@@ -1,0 +1,393 @@
+(* parcfl — command-line driver.
+
+   Subcommands:
+     info                    list the built-in benchmarks and their sizes
+     run                     analyse one benchmark in a given configuration
+     query                   answer points-to queries for named variables
+     oracle                  cross-check CFL(context-insensitive) vs Andersen
+     dot                     dump a benchmark's PAG as Graphviz *)
+
+open Cmdliner
+module P = Parcfl
+
+let bench_arg =
+  let doc = "Benchmark name (see `parcfl info`)." in
+  Arg.(value & opt string "h2" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let mode_arg =
+  let parse s = P.Mode.of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf m = P.Mode.pp ppf m in
+  let mode_conv = Arg.conv (parse, print) in
+  let doc = "Execution mode: seq, naive, d (sharing) or dq (+scheduling)." in
+  Arg.(
+    value
+    & opt mode_conv P.Mode.Share_sched
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let threads_arg =
+  let doc = "Number of threads (domains, or virtual cores with --sim)." in
+  Arg.(value & opt int 4 & info [ "t"; "threads" ] ~docv:"N" ~doc)
+
+let budget_arg =
+  let doc = "Per-query traversal budget B." in
+  Arg.(value & opt int P.Profile.default_budget & info [ "budget" ] ~docv:"B" ~doc)
+
+let sim_arg =
+  let doc =
+    "Use the deterministic multicore simulator instead of real domains \
+     (reports the simulated makespan)."
+  in
+  Arg.(value & flag & info [ "sim" ] ~doc)
+
+let build_bench name =
+  match P.Suite.build_by_name name with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %S; try one of: %s" name
+           (String.concat ", " P.Profile.names))
+
+let info_cmd =
+  let run () =
+    List.iter
+      (fun p ->
+        let b = P.Suite.build p in
+        Format.printf "%a@." (fun ppf -> P.Suite.pp_info ppf) b)
+      P.Profile.all;
+    0
+  in
+  Cmd.v (Cmd.info "info" ~doc:"List built-in benchmarks and their sizes")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run bench mode threads budget sim =
+    match build_bench bench with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok b ->
+        let solver_config = P.Config.with_budget budget P.Config.default in
+        let report =
+          if sim then
+            P.Runner.simulate ~tau_f:P.Profile.default_tau_f
+              ~tau_u:P.Profile.default_tau_u ~type_level:b.P.Suite.type_level
+              ~solver_config ~mode ~threads ~queries:b.P.Suite.queries
+              b.P.Suite.pag
+          else
+            P.Runner.run ~tau_f:P.Profile.default_tau_f
+              ~tau_u:P.Profile.default_tau_u ~type_level:b.P.Suite.type_level
+              ~solver_config ~mode ~threads ~queries:b.P.Suite.queries
+              b.P.Suite.pag
+        in
+        Format.printf "%a@." (fun ppf -> P.Report.pp_summary ppf) report;
+        0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Analyse one benchmark in a given configuration")
+    Term.(const run $ bench_arg $ mode_arg $ threads_arg $ budget_arg $ sim_arg)
+
+let query_cmd =
+  let vars_arg =
+    let doc = "Variable-name substrings to query (all matches)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"VAR" ~doc)
+  in
+  let run bench budget patterns =
+    match build_bench bench with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok b ->
+        let pag = b.P.Suite.pag in
+        let config = P.Config.with_budget budget P.Config.default in
+        let ctx_store = P.Ctx.create_store () in
+        let session = P.Solver.make_session ~config ~ctx_store pag in
+        let matches v =
+          patterns = []
+          || List.exists
+               (fun pat ->
+                 let name = P.Pag.var_name pag v in
+                 let len_p = String.length pat and len_n = String.length name in
+                 let rec at i =
+                   i + len_p <= len_n
+                   && (String.sub name i len_p = pat || at (i + 1))
+                 in
+                 at 0)
+               patterns
+        in
+        let n = ref 0 in
+        Array.iter
+          (fun v ->
+            if matches v && !n < 50 then begin
+              incr n;
+              let outcome = P.Solver.points_to session v in
+              Format.printf "%s -> %a@." (P.Pag.var_name pag v)
+                (P.Query.pp_result pag ctx_store)
+                outcome.P.Query.result
+            end)
+          (P.Pag.app_locals pag);
+        0
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Answer points-to queries for application locals matching a name")
+    Term.(const run $ bench_arg $ budget_arg $ vars_arg)
+
+let oracle_cmd =
+  let run bench =
+    match build_bench bench with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok b ->
+        let pag = b.P.Suite.pag in
+        let andersen = P.Andersen.solve pag in
+        let ctx_store = P.Ctx.create_store () in
+        let session =
+          P.Solver.make_session ~config:P.Config.oracle ~ctx_store pag
+        in
+        let mismatches = ref 0 and checked = ref 0 in
+        Array.iter
+          (fun v ->
+            incr checked;
+            let cfl =
+              P.Query.objects (P.Solver.points_to session v).P.Query.result
+              |> List.sort compare
+            in
+            let and_ = P.Andersen.points_to_list andersen v in
+            if cfl <> and_ then begin
+              incr mismatches;
+              if !mismatches <= 5 then
+                Format.printf "MISMATCH %s: cfl=%d objs, andersen=%d objs@."
+                  (P.Pag.var_name pag v) (List.length cfl) (List.length and_)
+            end)
+          (P.Pag.app_locals pag);
+        Format.printf "oracle check: %d queries, %d mismatches@." !checked
+          !mismatches;
+        if !mismatches = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:
+         "Cross-check the context-insensitive CFL solver against Andersen's \
+          analysis (they must agree exactly)")
+    Term.(const run $ bench_arg)
+
+let explain_cmd =
+  let var_arg =
+    let doc = "Substring of the variable to explain." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"VAR" ~doc)
+  in
+  let run bench budget pattern =
+    match build_bench bench with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok b ->
+        let pag = b.P.Suite.pag in
+        let config = P.Config.with_budget budget P.Config.default in
+        let ctx_store = P.Ctx.create_store () in
+        let session = P.Solver.make_session ~config ~ctx_store pag in
+        let contains name =
+          let lp = String.length pattern and ln = String.length name in
+          let rec at i =
+            i + lp <= ln && (String.sub name i lp = pattern || at (i + 1))
+          in
+          at 0
+        in
+        let found = ref false in
+        Array.iter
+          (fun v ->
+            if (not !found) && contains (P.Pag.var_name pag v) then begin
+              found := true;
+              let outcome = P.Solver.points_to session v in
+              match outcome.P.Query.result with
+              | P.Query.Out_of_budget ->
+                  Format.printf "%s: out of budget@." (P.Pag.var_name pag v)
+              | P.Query.Points_to _ ->
+                  let objs = P.Query.objects outcome.P.Query.result in
+                  Format.printf "%s points to %d object(s)@."
+                    (P.Pag.var_name pag v) (List.length objs);
+                  List.iter
+                    (fun o ->
+                      match P.Solver.explain session v o with
+                      | Some w ->
+                          Format.printf "  %a@."
+                            (P.Solver.Witness.pp pag ctx_store)
+                            w
+                      | None ->
+                          Format.printf "  %s: (no witness within budget)@."
+                            (P.Pag.obj_name pag o))
+                    objs
+            end)
+          (P.Pag.app_locals pag);
+        if not !found then begin
+          Format.printf "no application local matches %S@." pattern;
+          1
+        end
+        else 0
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show witness paths: why does a variable point to each object?")
+    Term.(const run $ bench_arg $ budget_arg $ var_arg)
+
+let clients_cmd =
+  let run bench budget =
+    match build_bench bench with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok b ->
+        let cs =
+          P.Client_session.create ~budget ~tau_f:P.Profile.default_tau_f
+            ~tau_u:P.Profile.default_tau_u b.P.Suite.pag
+        in
+        let types = b.P.Suite.program.P.Ir.types in
+        let null = P.Null_client.audit cs in
+        Format.printf
+          "null audit: %d bases checked, %d provably null, %d unknown@."
+          null.P.Null_client.n_checked
+          (List.length null.P.Null_client.findings)
+          null.P.Null_client.n_unknown;
+        let casts = P.Cast_client.check_all cs types in
+        Format.printf
+          "downcasts:  %d safe, %d unsafe, %d vacuous, %d unknown@."
+          casts.P.Cast_client.n_safe casts.P.Cast_client.n_unsafe
+          casts.P.Cast_client.n_vacuous casts.P.Cast_client.n_unknown;
+        let pairs = P.Alias_client.field_access_pairs ~limit:200 b.P.Suite.pag in
+        let alias =
+          P.Alias_client.summarise (P.Alias_client.check_pairs cs pairs)
+        in
+        Format.printf
+          "aliasing:   %d pairs -> %d may-alias, %d must-not, %d unknown@."
+          (List.length pairs) alias.P.Alias_client.n_may
+          alias.P.Alias_client.n_must_not alias.P.Alias_client.n_unknown;
+        let escape = P.Escape_client.check_all ~limit:200 cs in
+        Format.printf
+          "escape:     %d allocations -> %d escape to globals, %d local, %d            unknown@."
+          (escape.P.Escape_client.n_escaping + escape.P.Escape_client.n_local
+         + escape.P.Escape_client.n_unknown)
+          escape.P.Escape_client.n_escaping escape.P.Escape_client.n_local
+          escape.P.Escape_client.n_unknown;
+        Format.printf "jmp edges shared across all clients: %d@."
+          (P.Client_session.n_jumps_shared cs);
+        0
+  in
+  Cmd.v
+    (Cmd.info "clients"
+       ~doc:"Run the bundled client analyses (null, casts, aliasing, escape)")
+    Term.(const run $ bench_arg $ budget_arg)
+
+let analyze_cmd =
+  let path_arg =
+    let doc = "Mini-Java source file (see examples/vector.mj)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let insensitive_arg =
+    let doc = "Run context-insensitively (Andersen-equivalent)." in
+    Arg.(value & flag & info [ "insensitive" ] ~doc)
+  in
+  let run path budget insensitive =
+    match P.Parser.parse_file path with
+    | Error e ->
+        Format.eprintf "%s: %a@." path P.Parser.pp_error e;
+        1
+    | Ok program -> (
+        match P.Wellformed.check program with
+        | issue :: _ ->
+            Format.eprintf "%s: %a@." path P.Wellformed.pp_issue issue;
+            1
+        | [] ->
+            let cg = P.Callgraph.build program in
+            let lowering = P.Lower.lower program cg in
+            let pag = lowering.P.Lower.pag in
+            let config =
+              {
+                (P.Config.with_budget budget P.Config.default) with
+                P.Config.context_sensitive = not insensitive;
+              }
+            in
+            let ctx_store = P.Ctx.create_store () in
+            let session = P.Solver.make_session ~config ~ctx_store pag in
+            Format.printf "%a@.@." P.Pag.pp_stats pag;
+            Array.iter
+              (fun v ->
+                let outcome = P.Solver.points_to session v in
+                let objs = P.Query.objects outcome.P.Query.result in
+                Format.printf "pts(%s) = {%s}%s@." (P.Pag.var_name pag v)
+                  (String.concat ", " (List.map (P.Pag.obj_name pag) objs))
+                  (match outcome.P.Query.result with
+                  | P.Query.Out_of_budget -> "  (out of budget)"
+                  | _ -> ""))
+              (P.Pag.app_locals pag);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Parse a Mini-Java source file and report points-to sets for              its application locals")
+    Term.(const run $ path_arg $ budget_arg $ insensitive_arg)
+
+let save_cmd =
+  let path_arg =
+    let doc = "Output file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run bench path =
+    match build_bench bench with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok b ->
+        P.Serial.save_file path b.P.Suite.pag;
+        Format.printf "wrote %s@." path;
+        0
+  in
+  Cmd.v (Cmd.info "save" ~doc:"Serialise a benchmark PAG to a file")
+    Term.(const run $ bench_arg $ path_arg)
+
+let load_cmd =
+  let path_arg =
+    let doc = "PAG file (see `parcfl save`)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run path mode threads budget =
+    match P.Serial.load_file path with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok pag ->
+        let solver_config = P.Config.with_budget budget P.Config.default in
+        let report =
+          P.Runner.run ~tau_f:P.Profile.default_tau_f
+            ~tau_u:P.Profile.default_tau_u ~solver_config ~mode ~threads
+            ~queries:(P.Pag.app_locals pag) pag
+        in
+        Format.printf "%a@." (fun ppf -> P.Report.pp_summary ppf) report;
+        0
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load a serialised PAG and analyse its app locals")
+    Term.(const run $ path_arg $ mode_arg $ threads_arg $ budget_arg)
+
+let dot_cmd =
+  let run bench =
+    match build_bench bench with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok b ->
+        print_string (P.Dot.to_string b.P.Suite.pag);
+        0
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Dump the benchmark PAG as Graphviz")
+    Term.(const run $ bench_arg)
+
+let main =
+  let doc = "parallel demand-driven pointer analysis with CFL-reachability" in
+  Cmd.group (Cmd.info "parcfl" ~version:"1.0.0" ~doc)
+    [
+      info_cmd; run_cmd; query_cmd; oracle_cmd; explain_cmd; clients_cmd;
+      analyze_cmd; save_cmd; load_cmd; dot_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/alias_checker.ml: Array Format List Parcfl Printf Sys

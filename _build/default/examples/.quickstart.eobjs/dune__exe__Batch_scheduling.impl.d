@@ -1,0 +1,1 @@
+examples/batch_scheduling.ml: Array Format List Parcfl Printf Sys

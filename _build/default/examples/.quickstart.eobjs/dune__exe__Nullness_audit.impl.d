@@ -1,0 +1,1 @@
+examples/nullness_audit.ml: Array Format Hashtbl Parcfl Printf Sys

@@ -1,0 +1,1 @@
+examples/nullness_audit.mli:

@@ -1,0 +1,1 @@
+examples/witness_demo.ml: Array Format List Parcfl String

@@ -1,0 +1,1 @@
+examples/witness_demo.mli:

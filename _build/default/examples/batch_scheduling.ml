@@ -1,0 +1,71 @@
+(* Batch mode with all four execution configurations (the paper's workflow:
+   "some clients may issue queries in batch mode ... the points-to
+   information may be requested for all variables in a method, a class, a
+   package or even the entire program").
+
+   Runs the full query batch of one benchmark under SeqCFL, naive, D and
+   DQ, printing the work and early-termination statistics side by side,
+   then shows the simulated 16-core speedups.
+
+     dune exec examples/batch_scheduling.exe [-- benchmark [threads]] *)
+
+module P = Parcfl
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "h2" in
+  let threads =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4
+  in
+  let bench =
+    match P.Suite.build_by_name name with
+    | Some b -> b
+    | None ->
+        Printf.eprintf "unknown benchmark %s\n" name;
+        exit 1
+  in
+  Format.printf "%a@.@." (fun ppf -> P.Suite.pp_info ppf) bench;
+  let solver_config =
+    P.Config.with_budget P.Profile.default_budget P.Config.default
+  in
+  let run mode threads =
+    P.Runner.run ~tau_f:P.Profile.default_tau_f ~tau_u:P.Profile.default_tau_u
+      ~type_level:bench.P.Suite.type_level ~solver_config ~mode ~threads
+      ~queries:bench.P.Suite.queries bench.P.Suite.pag
+  in
+  Format.printf "real execution (%d domains where parallel):@." threads;
+  let seq = run P.Mode.Seq 1 in
+  List.iter
+    (fun (label, report) ->
+      Format.printf "  %-28s %a@." label
+        (fun ppf -> P.Report.pp_summary ppf)
+        report)
+    [
+      ("SeqCFL", seq);
+      ("ParCFL naive", run P.Mode.Naive threads);
+      ("ParCFL D (sharing)", run P.Mode.Share threads);
+      ("ParCFL DQ (+scheduling)", run P.Mode.Share_sched threads);
+    ];
+  (* Simulated speedups on the paper's 16 cores. *)
+  let simulate mode t =
+    P.Runner.simulate ~tau_f:P.Profile.default_tau_f
+      ~tau_u:P.Profile.default_tau_u ~type_level:bench.P.Suite.type_level
+      ~solver_config ~mode ~threads:t ~queries:bench.P.Suite.queries
+      bench.P.Suite.pag
+  in
+  let baseline =
+    Array.fold_left ( + ) 0 (P.Runner.per_query_cost seq)
+  in
+  Format.printf "@.simulated 16 virtual cores (speedup over SeqCFL steps):@.";
+  List.iter
+    (fun (label, mode) ->
+      let r = simulate mode 16 in
+      match r.P.Report.r_sim_makespan with
+      | Some mk ->
+          Format.printf "  %-28s %.1fX@." label
+            (float_of_int baseline /. float_of_int mk)
+      | None -> ())
+    [
+      ("naive/16", P.Mode.Naive);
+      ("D/16", P.Mode.Share);
+      ("DQ/16", P.Mode.Share_sched);
+    ]

@@ -1,0 +1,52 @@
+(* Witness paths: ask the analysis to justify its answers.
+
+   Builds a small program where a payload flows through a container and a
+   call chain, then prints, for each fact "v may point to o", the chain of
+   PAG edges the demand-driven traversal followed — the developer-facing
+   "why" a debugging client needs.
+
+     dune exec examples/witness_demo.exe *)
+
+module P = Parcfl
+
+let () =
+  (* box = new Box; box.item = new Item;           (heap step)
+     tmp = box.item; out = id(tmp);                (call steps) *)
+  let b = P.Pag.Build.create () in
+  let box_ = P.Pag.Build.add_var b ~app:true "box" in
+  let item = P.Pag.Build.add_var b ~app:true "item" in
+  let tmp = P.Pag.Build.add_var b ~app:true "tmp" in
+  let formal = P.Pag.Build.add_var b "id#x" in
+  let retv = P.Pag.Build.add_var b "id#ret" in
+  let out = P.Pag.Build.add_var b ~app:true "out" in
+  let o_box = P.Pag.Build.add_obj b "Box@3" in
+  let o_item = P.Pag.Build.add_obj b "Item@4" in
+  let fld = 0 in
+  P.Pag.Build.new_edge b ~dst:box_ o_box;
+  P.Pag.Build.new_edge b ~dst:item o_item;
+  P.Pag.Build.store b ~base:box_ fld ~src:item;
+  P.Pag.Build.load b ~dst:tmp ~base:box_ fld;
+  P.Pag.Build.param b ~dst:formal ~site:9 ~src:tmp;
+  P.Pag.Build.assign b ~dst:retv ~src:formal;
+  P.Pag.Build.ret b ~dst:out ~site:9 ~src:retv;
+  let pag = P.Pag.Build.freeze b in
+  let ctx_store = P.Ctx.create_store () in
+  let session =
+    P.Solver.make_session ~config:P.Config.default ~ctx_store pag
+  in
+  Array.iter
+    (fun v ->
+      let outcome = P.Solver.points_to session v in
+      let objs = P.Query.objects outcome.P.Query.result in
+      Format.printf "@.pts(%s) = {%s}@." (P.Pag.var_name pag v)
+        (String.concat ", " (List.map (P.Pag.obj_name pag) objs));
+      List.iter
+        (fun o ->
+          match P.Solver.explain session v o with
+          | Some w ->
+              Format.printf "  why %s: %a@." (P.Pag.obj_name pag o)
+                (P.Solver.Witness.pp pag ctx_store)
+                w
+          | None -> Format.printf "  why %s: (no witness)@." (P.Pag.obj_name pag o))
+        objs)
+    (P.Pag.app_locals pag)

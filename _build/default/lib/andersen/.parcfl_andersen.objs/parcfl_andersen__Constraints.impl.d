@@ -1,0 +1,1 @@
+lib/andersen/constraints.ml: Array List Parcfl_pag

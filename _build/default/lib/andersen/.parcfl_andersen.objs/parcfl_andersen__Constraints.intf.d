@@ -1,0 +1,1 @@
+lib/andersen/constraints.mli: Parcfl_pag

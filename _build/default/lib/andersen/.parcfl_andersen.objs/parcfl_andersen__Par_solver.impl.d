@@ -1,0 +1,1 @@
+lib/andersen/par_solver.ml: Array Constraints Hashtbl List Parcfl_conc Parcfl_prim Printf Sys

@@ -1,0 +1,1 @@
+lib/andersen/par_solver.mli: Parcfl_pag

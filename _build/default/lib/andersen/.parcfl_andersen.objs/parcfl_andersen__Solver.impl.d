@@ -1,0 +1,1 @@
+lib/andersen/solver.ml: Array Constraints Hashtbl List Parcfl_prim Queue

@@ -1,0 +1,1 @@
+lib/andersen/solver.mli: Constraints Parcfl_pag Parcfl_prim

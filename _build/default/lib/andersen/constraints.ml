@@ -1,0 +1,39 @@
+module Pag = Parcfl_pag.Pag
+
+type t = {
+  n_vars : int;
+  n_objs : int;
+  base : (Pag.var * Pag.obj) list;
+  copy : (Pag.var * Pag.var) list;
+  loads : (Pag.var * Pag.var * Pag.field) list;
+  stores : (Pag.var * Pag.field * Pag.var) list;
+}
+
+let of_pag pag =
+  let base = ref [] and copy = ref [] and loads = ref [] and stores = ref [] in
+  Pag.iter_edges pag (function
+    | Pag.New { dst; obj } -> base := (dst, obj) :: !base
+    | Pag.Assign { dst; src }
+    | Pag.Assign_global { dst; src }
+    | Pag.Param { dst; src; _ }
+    | Pag.Ret { dst; src; _ } -> copy := (dst, src) :: !copy
+    | Pag.Load { dst; base = p; field } -> loads := (dst, p, field) :: !loads
+    | Pag.Store { base = q; field; src } -> stores := (q, field, src) :: !stores);
+  {
+    n_vars = Pag.n_vars pag;
+    n_objs = Pag.n_objs pag;
+    base = !base;
+    copy = !copy;
+    loads = !loads;
+    stores = !stores;
+  }
+
+let loads_by_base t =
+  let a = Array.make t.n_vars [] in
+  List.iter (fun (x, p, f) -> a.(p) <- (f, x) :: a.(p)) t.loads;
+  a
+
+let stores_by_base t =
+  let a = Array.make t.n_vars [] in
+  List.iter (fun (q, f, y) -> a.(q) <- (f, y) :: a.(q)) t.stores;
+  a

@@ -1,0 +1,28 @@
+(** Inclusion constraints extracted from a PAG.
+
+    Andersen's analysis is context-insensitive: [assign_l], [assign_g],
+    [param_i] and [ret_i] all become subset edges. Loads/stores become
+    complex constraints resolved against the points-to sets of their base
+    variables. This module is shared by the sequential and parallel
+    solvers (and by Table II's demand-driven vs. whole-program
+    comparison). *)
+
+type t = {
+  n_vars : int;
+  n_objs : int;
+  base : (Parcfl_pag.Pag.var * Parcfl_pag.Pag.obj) list;
+      (** x ⊇ {o} facts from [new] edges *)
+  copy : (Parcfl_pag.Pag.var * Parcfl_pag.Pag.var) list;  (** dst ⊇ src *)
+  loads : (Parcfl_pag.Pag.var * Parcfl_pag.Pag.var * Parcfl_pag.Pag.field) list;
+      (** (x, p, f): x = p.f *)
+  stores : (Parcfl_pag.Pag.var * Parcfl_pag.Pag.field * Parcfl_pag.Pag.var) list;
+      (** (q, f, y): q.f = y *)
+}
+
+val of_pag : Parcfl_pag.Pag.t -> t
+
+val loads_by_base : t -> (Parcfl_pag.Pag.field * Parcfl_pag.Pag.var) list array
+(** per base variable p: the [(f, x)] with [x = p.f]. *)
+
+val stores_by_base : t -> (Parcfl_pag.Pag.field * Parcfl_pag.Pag.var) list array
+(** per base variable q: the [(f, y)] with [q.f = y]. *)

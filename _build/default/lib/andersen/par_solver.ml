@@ -1,0 +1,142 @@
+module Bitset = Parcfl_prim.Bitset
+module Vec = Parcfl_prim.Vec
+module Domain_pool = Parcfl_conc.Domain_pool
+
+type t = {
+  n_vars : int;
+  pts : Bitset.t Vec.t;
+  mutable rounds : int;
+}
+
+let points_to_list t v =
+  if v < t.n_vars then Bitset.elements (Vec.get t.pts v) else []
+
+let rounds t = t.rounds
+
+let fld_key o f = (o lsl 24) lor f
+
+let solve ?(threads = 1) pag =
+  let c = Constraints.of_pag pag in
+  let t = { n_vars = c.Constraints.n_vars; pts = Vec.create (); rounds = 0 } in
+  let succ : int Vec.t Vec.t = Vec.create () in
+  let succ_set : Bitset.t Vec.t = Vec.create () in
+  let new_node () =
+    let n = Vec.length t.pts in
+    Vec.push t.pts (Bitset.create ());
+    Vec.push succ (Vec.create ());
+    Vec.push succ_set (Bitset.create ());
+    n
+  in
+  for _ = 1 to c.Constraints.n_vars do
+    ignore (new_node ())
+  done;
+  let fld_node = Hashtbl.create 256 in
+  let node_of_fld o f =
+    let k = fld_key o f in
+    match Hashtbl.find_opt fld_node k with
+    | Some n -> n
+    | None ->
+        let n = new_node () in
+        Hashtbl.replace fld_node k n;
+        n
+  in
+  let loads_by_base = Constraints.loads_by_base c in
+  let stores_by_base = Constraints.stores_by_base c in
+  (* Raw-key edges already installed (or queued): written only in the
+     sequential merge phase, read concurrently by the workers — without
+     this filter every round would re-emit |pts(n)| x |accesses(n)| tuples
+     and the buffers explode on container-heavy graphs. *)
+  let edge_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  (* Static facts and copy edges. *)
+  List.iter
+    (fun (x, o) -> ignore (Bitset.add (Vec.get t.pts x) o))
+    c.Constraints.base;
+  List.iter
+    (fun (dst, src) ->
+      if dst <> src && Bitset.add (Vec.get succ_set src) dst then
+        Vec.push (Vec.get succ src) dst)
+    c.Constraints.copy;
+  let debug =
+    match Sys.getenv_opt "PARCFL_DEBUG" with Some _ -> true | None -> false
+  in
+  let frontier = ref (List.init (Vec.length t.pts) (fun n -> n)) in
+  Domain_pool.with_pool ~threads (fun pool ->
+      while !frontier <> [] do
+        t.rounds <- t.rounds + 1;
+        if debug then
+          Printf.eprintf "round %d: frontier=%d nodes=%d\n%!" t.rounds
+            (List.length !frontier) (Vec.length t.pts);
+        let nodes = Array.of_list !frontier in
+        let n_nodes = Array.length nodes in
+        let nw = Domain_pool.threads pool in
+        (* Parallel read phase: each worker scans a slice of the frontier
+           and buffers the unions/edges it implies. *)
+        let buf_unions = Array.make nw [] in (* (src_node, dst_node) *)
+        let buf_edges = Array.make nw [] in (* (src, dst) subset edges *)
+        Domain_pool.run pool (fun ~worker ->
+            let chunk = (n_nodes + nw - 1) / nw in
+            let lo = worker * chunk and hi = min n_nodes ((worker + 1) * chunk) in
+            let unions = ref [] and edges = ref [] in
+            (* A raw fld reference is offset past the var space so it can
+               never be mistaken for a variable node id. *)
+            let raw_fld o f = t.n_vars + fld_key o f in
+            let emit src dst =
+              if not (Hashtbl.mem edge_seen (src, dst)) then
+                edges := (src, dst) :: !edges
+            in
+            for i = lo to hi - 1 do
+              let n = nodes.(i) in
+              Vec.iter (fun s -> unions := (n, s) :: !unions) (Vec.get succ n);
+              if n < t.n_vars then
+                Bitset.iter
+                  (fun o ->
+                    List.iter
+                      (fun (f, x) -> emit (raw_fld o f) x)
+                      loads_by_base.(n);
+                    List.iter
+                      (fun (f, y) -> emit y (raw_fld o f))
+                      stores_by_base.(n))
+                  (Vec.get t.pts n)
+            done;
+            buf_unions.(worker) <- !unions;
+            buf_edges.(worker) <- !edges);
+        (* Sequential merge phase. *)
+        let changed = Hashtbl.create 64 in
+        let mark n = Hashtbl.replace changed n () in
+        let apply_union src dst =
+          if
+            Bitset.union_into ~dst:(Vec.get t.pts dst)
+              ~src:(Vec.get t.pts src)
+          then mark dst
+        in
+        Array.iter
+          (fun l -> List.iter (fun (src, dst) -> apply_union src dst) l)
+          buf_unions;
+        (* Edge buffers carry raw fld references; resolve them here where
+           the (unsynchronised) interner is safe to touch. *)
+        let resolve raw =
+          if raw < t.n_vars then raw
+          else
+            let k = raw - t.n_vars in
+            node_of_fld (k lsr 24) (k land 0xFFFFFF)
+        in
+        Array.iter
+          (fun l ->
+            List.iter
+              (fun (src_raw, dst_raw) ->
+                Hashtbl.replace edge_seen (src_raw, dst_raw) ();
+                let src = resolve src_raw in
+                let dst = resolve dst_raw in
+                if src <> dst && Bitset.add (Vec.get succ_set src) dst then begin
+                  Vec.push (Vec.get succ src) dst;
+                  apply_union src dst;
+                  (* A fresh edge must fire even if the union added nothing
+                     yet; re-examine the source next round. *)
+                  mark src
+                end)
+              l)
+          buf_edges;
+        if debug then Printf.eprintf "  merge done, changed=%d\n%!" (Hashtbl.length changed);
+        frontier := Hashtbl.fold (fun n () acc -> n :: acc) changed []
+      done);
+  t

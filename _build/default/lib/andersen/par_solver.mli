@@ -1,0 +1,25 @@
+(** Bulk-synchronous parallel Andersen's analysis.
+
+    Each round the frontier (nodes whose points-to sets grew) is partitioned
+    across the domain pool; workers read the current sets and emit
+    thread-local buffers of subset-edge installations and set unions, which
+    a sequential merge phase applies before the next round. The
+    read-parallel/merge-sequential split avoids per-node locking at the cost
+    of some serial work — the shape of the CPU baselines compared in the
+    paper's Table II (whole-program, context-insensitive), implemented here
+    as the comparison substrate.
+
+    Produces exactly the same points-to relation as the sequential
+    {!Solver} (asserted by the test suite).
+
+    Set the [PARCFL_DEBUG] environment variable to trace round sizes and
+    merge progress on stderr. *)
+
+type t
+
+val solve : ?threads:int -> Parcfl_pag.Pag.t -> t
+
+val points_to_list : t -> Parcfl_pag.Pag.var -> Parcfl_pag.Pag.obj list
+
+val rounds : t -> int
+(** BSP rounds to fixpoint. *)

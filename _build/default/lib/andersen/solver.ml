@@ -1,0 +1,108 @@
+module Bitset = Parcfl_prim.Bitset
+module Vec = Parcfl_prim.Vec
+
+(* Node space: variables are nodes [0, n_vars); (object, field) nodes are
+   interned above them on demand. *)
+type t = {
+  n_vars : int;
+  pts : Bitset.t Vec.t; (* node -> object set *)
+  succ : int Vec.t Vec.t; (* node -> subset-edge successors *)
+  succ_set : Bitset.t Vec.t; (* dedupe of succ *)
+  fld_node : (int, int) Hashtbl.t; (* (o,f) encoded -> node *)
+  loads_by_base : (int * int) list array;
+  stores_by_base : (int * int) list array;
+  mutable edges : int;
+  mutable pops : int;
+}
+
+let fld_key o f = (o lsl 24) lor f
+
+let node_of_fld t o f =
+  let k = fld_key o f in
+  match Hashtbl.find_opt t.fld_node k with
+  | Some n -> n
+  | None ->
+      let n = Vec.length t.pts in
+      Hashtbl.replace t.fld_node k n;
+      Vec.push t.pts (Bitset.create ());
+      Vec.push t.succ (Vec.create ());
+      Vec.push t.succ_set (Bitset.create ());
+      n
+
+let empty_bitset = Bitset.create ()
+
+let points_to t v = if v < t.n_vars then Vec.get t.pts v else empty_bitset
+
+let points_to_list t v = Bitset.elements (points_to t v)
+
+let field_points_to t o f =
+  match Hashtbl.find_opt t.fld_node (fld_key o f) with
+  | Some n -> Vec.get t.pts n
+  | None -> empty_bitset
+
+let n_edges_added t = t.edges
+let iterations t = t.pops
+
+let solve_constraints (c : Constraints.t) =
+  let t =
+    {
+      n_vars = c.Constraints.n_vars;
+      pts = Vec.create ();
+      succ = Vec.create ();
+      succ_set = Vec.create ();
+      fld_node = Hashtbl.create 256;
+      loads_by_base = Constraints.loads_by_base c;
+      stores_by_base = Constraints.stores_by_base c;
+      edges = 0;
+      pops = 0;
+    }
+  in
+  for _ = 1 to c.Constraints.n_vars do
+    Vec.push t.pts (Bitset.create ());
+    Vec.push t.succ (Vec.create ());
+    Vec.push t.succ_set (Bitset.create ())
+  done;
+  let work = Queue.create () in
+  let queued = Bitset.create () in
+  let enqueue n =
+    if Bitset.add queued n then Queue.push n work
+  in
+  let add_edge src dst =
+    if src <> dst && Bitset.add (Vec.get t.succ_set src) dst then begin
+      Vec.push (Vec.get t.succ src) dst;
+      t.edges <- t.edges + 1;
+      if Bitset.union_into ~dst:(Vec.get t.pts dst) ~src:(Vec.get t.pts src)
+      then enqueue dst
+    end
+  in
+  List.iter
+    (fun (x, o) -> if Bitset.add (Vec.get t.pts x) o then enqueue x)
+    c.Constraints.base;
+  List.iter (fun (dst, src) -> add_edge src dst) c.Constraints.copy;
+  (* Re-enqueue sources of copy edges so initial sets propagate. *)
+  List.iter (fun (_, src) -> enqueue src) c.Constraints.copy;
+  while not (Queue.is_empty work) do
+    let n = Queue.pop work in
+    Bitset.remove queued n;
+    t.pops <- t.pops + 1;
+    let pn = Vec.get t.pts n in
+    (* Propagate along existing edges. *)
+    Vec.iter
+      (fun s ->
+        if Bitset.union_into ~dst:(Vec.get t.pts s) ~src:pn then enqueue s)
+      (Vec.get t.succ n);
+    (* Complex constraints: new objects in a base's set install edges. *)
+    if n < t.n_vars then
+      Bitset.iter
+        (fun o ->
+          List.iter
+            (fun (f, x) -> add_edge (node_of_fld t o f) x)
+            t.loads_by_base.(n);
+          List.iter
+            (fun (f, y) -> add_edge y (node_of_fld t o f))
+            t.stores_by_base.(n))
+        pn
+  done;
+  t
+
+let solve pag = solve_constraints (Constraints.of_pag pag)

@@ -1,0 +1,33 @@
+(** Sequential field-sensitive Andersen's analysis.
+
+    The constraint graph has a node per variable and a node per
+    (object, field) pair (created on demand); complex load/store constraints
+    install new subset edges as the base variables' points-to sets grow.
+    A standard difference-free worklist solver — adequate at this scale and
+    easy to verify.
+
+    Doubles as the oracle for the CFL solver: on Java-style PAGs,
+    field-sensitive Andersen computes exactly the context-insensitive
+    [L_FS] CFL-reachability relation (Sridharan & Bodík), which
+    {!Parcfl_cfl.Solver} reproduces with [Config.oracle]. *)
+
+type t
+
+val solve : Parcfl_pag.Pag.t -> t
+
+val solve_constraints : Constraints.t -> t
+
+val points_to : t -> Parcfl_pag.Pag.var -> Parcfl_prim.Bitset.t
+(** The object set of a variable. Do not mutate. *)
+
+val points_to_list : t -> Parcfl_pag.Pag.var -> Parcfl_pag.Pag.obj list
+
+val field_points_to :
+  t -> Parcfl_pag.Pag.obj -> Parcfl_pag.Pag.field -> Parcfl_prim.Bitset.t
+(** pts(o.f); empty when never constrained. *)
+
+val n_edges_added : t -> int
+(** Subset edges installed, including dynamic ones (a size metric). *)
+
+val iterations : t -> int
+(** Worklist pops until fixpoint. *)

@@ -1,0 +1,1 @@
+lib/cfl/config.mli:

@@ -1,0 +1,1 @@
+lib/cfl/hooks.ml: Parcfl_pag

@@ -1,0 +1,1 @@
+lib/cfl/hooks.mli: Parcfl_pag

@@ -1,0 +1,1 @@
+lib/cfl/matcher.ml: Hooks Parcfl_pag

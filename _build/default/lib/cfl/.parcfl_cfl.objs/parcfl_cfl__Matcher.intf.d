@@ -1,0 +1,1 @@
+lib/cfl/matcher.mli: Hooks Parcfl_pag

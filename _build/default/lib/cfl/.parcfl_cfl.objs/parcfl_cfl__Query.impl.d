@@ -1,0 +1,1 @@
+lib/cfl/query.ml: Format Hashtbl List Parcfl_pag

@@ -1,0 +1,1 @@
+lib/cfl/query.mli: Format Parcfl_pag

@@ -1,0 +1,1 @@
+lib/cfl/solver.ml: Array Config Format Fun Hashtbl Hooks List Matcher Option Parcfl_conc Parcfl_pag Parcfl_prim Query Stats Summary

@@ -1,0 +1,1 @@
+lib/cfl/solver.mli: Config Format Hooks Matcher Parcfl_pag Query Stats Summary

@@ -1,0 +1,1 @@
+lib/cfl/stats.ml: Format Parcfl_conc

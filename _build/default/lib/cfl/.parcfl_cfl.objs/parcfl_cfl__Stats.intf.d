@@ -1,0 +1,1 @@
+lib/cfl/stats.mli: Format Parcfl_conc

@@ -1,0 +1,1 @@
+lib/cfl/summary.ml: Array Hashtbl List Parcfl_pag

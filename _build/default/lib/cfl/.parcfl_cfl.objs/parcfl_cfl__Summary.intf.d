@@ -1,0 +1,1 @@
+lib/cfl/summary.mli: Parcfl_pag

@@ -1,0 +1,16 @@
+type t = {
+  budget : int;
+  context_sensitive : bool;
+  max_ctx_depth : int;
+  exhaustive : bool;
+}
+
+let default =
+  { budget = 75_000; context_sensitive = true; max_ctx_depth = 64;
+    exhaustive = false }
+
+let oracle =
+  { budget = max_int; context_sensitive = false; max_ctx_depth = 64;
+    exhaustive = true }
+
+let with_budget budget t = { t with budget }

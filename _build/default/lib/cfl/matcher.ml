@@ -1,0 +1,14 @@
+type t = {
+  is_refined :
+    dir:Hooks.dir ->
+    anchor:Parcfl_pag.Pag.var ->
+    other_base:Parcfl_pag.Pag.var ->
+    field:Parcfl_pag.Pag.field ->
+    bool;
+  note_match_used :
+    dir:Hooks.dir ->
+    anchor:Parcfl_pag.Pag.var ->
+    other_base:Parcfl_pag.Pag.var ->
+    field:Parcfl_pag.Pag.field ->
+    unit;
+}

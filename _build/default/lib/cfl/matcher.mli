@@ -1,0 +1,34 @@
+(** Field-match abstraction for refinement-based analysis
+    (Sridharan & Bodík, PLDI'06 — the paper's [18], whose
+    "refinement-based configuration" §IV-A contrasts with the
+    general-purpose one reproduced by the plain solver).
+
+    Without a matcher, every load/store pair on a field is checked by the
+    full alias computation. With a matcher installed, an {e unrefined}
+    pair is treated as a direct "match edge" — the load is assumed to see
+    the store, with no alias test — which over-approximates soundly but
+    cheaply (the regular-language approximation). The refinement driver
+    ({!Parcfl_refine.Refinement}) re-runs queries, promoting the match
+    edges actually used to fully-checked status, until the answer is
+    precise enough or a pass limit is reached. *)
+
+type t = {
+  is_refined :
+    dir:Hooks.dir ->
+    anchor:Parcfl_pag.Pag.var ->
+    other_base:Parcfl_pag.Pag.var ->
+    field:Parcfl_pag.Pag.field ->
+    bool;
+      (** [anchor] is the variable whose ReachableNodes is being computed
+          (the load destination in the Bwd direction, the store source in
+          Fwd); [other_base] is the base of the matched access. True =
+          run the full alias check; false = take the match edge. *)
+  note_match_used :
+    dir:Hooks.dir ->
+    anchor:Parcfl_pag.Pag.var ->
+    other_base:Parcfl_pag.Pag.var ->
+    field:Parcfl_pag.Pag.field ->
+    unit;
+      (** Called whenever a match edge is taken, so the driver knows what
+          to refine next. *)
+}

@@ -1,0 +1,40 @@
+module Pag = Parcfl_pag.Pag
+module Ctx = Parcfl_pag.Ctx
+
+type result =
+  | Points_to of (Pag.obj * Ctx.t) list
+  | Out_of_budget
+
+type outcome = {
+  var : Pag.var;
+  result : result;
+  steps_used : int;
+  steps_walked : int;
+  early_terminated : bool;
+  used_partial : bool;
+}
+
+let objects = function
+  | Out_of_budget -> []
+  | Points_to pairs ->
+      let seen = Hashtbl.create 16 in
+      List.filter_map
+        (fun (o, _) ->
+          if Hashtbl.mem seen o then None
+          else begin
+            Hashtbl.add seen o ();
+            Some o
+          end)
+        pairs
+
+let completed o = match o.result with Points_to _ -> true | Out_of_budget -> false
+
+let pp_result pag store ppf = function
+  | Out_of_budget -> Format.pp_print_string ppf "<out of budget>"
+  | Points_to pairs ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf (o, c) ->
+             Format.fprintf ppf "<%s,%a>" (Pag.obj_name pag o) (Ctx.pp store) c))
+        pairs

@@ -1,0 +1,27 @@
+(** Queries and their outcomes. *)
+
+type result =
+  | Points_to of (Parcfl_pag.Pag.obj * Parcfl_pag.Ctx.t) list
+      (** Deduplicated (object, context) pairs, discovery order. *)
+  | Out_of_budget
+
+type outcome = {
+  var : Parcfl_pag.Pag.var;   (** the queried variable *)
+  result : result;
+  steps_used : int;   (** budget consumed: walked + charged via shortcuts *)
+  steps_walked : int; (** node traversals actually performed *)
+  early_terminated : bool;
+      (** true when the query was cut short by an Unfinished jmp edge *)
+  used_partial : bool;
+      (** a cyclic alias dependence was broken with a partial result; in
+          single-pass (non-exhaustive) mode the answer may under-approximate
+          the CFL relation on such cycles *)
+}
+
+val objects : result -> Parcfl_pag.Pag.obj list
+(** Distinct objects, discovery order; [[]] for [Out_of_budget]. *)
+
+val completed : outcome -> bool
+
+val pp_result :
+  Parcfl_pag.Pag.t -> Parcfl_pag.Ctx.store -> Format.formatter -> result -> unit

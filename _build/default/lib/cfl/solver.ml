@@ -1,0 +1,715 @@
+module Pag = Parcfl_pag.Pag
+module Ctx = Parcfl_pag.Ctx
+module Pair_set = Parcfl_prim.Pair_set
+module Vec = Parcfl_prim.Vec
+module Counter = Parcfl_conc.Counter
+
+type session = {
+  pag : Pag.t;
+  store : Ctx.store;
+  config : Config.t;
+  hooks : Hooks.t option;
+  matcher : Matcher.t option;
+  summaries : Summary.t option;
+  stats : Stats.t;
+}
+
+let make_session ?hooks ?matcher ?summaries ?stats ~config ~ctx_store pag =
+  (match (hooks, config.Config.exhaustive) with
+  | Some _, true ->
+      invalid_arg
+        "Solver.make_session: data sharing cannot be combined with \
+         exhaustive fixpoint mode (replayed shortcuts would go stale)"
+  | _ -> ());
+  (match (hooks, matcher) with
+  | Some _, Some _ ->
+      invalid_arg
+        "Solver.make_session: data sharing cannot be combined with a \
+         refinement matcher (shared shortcuts recorded under the match \
+         abstraction would poison precise queries)"
+  | _ -> ());
+  {
+    pag;
+    store = ctx_store;
+    config;
+    hooks;
+    matcher;
+    summaries;
+    stats = (match stats with Some s -> s | None -> Stats.create ());
+  }
+
+let pag s = s.pag
+let config s = s.config
+let stats s = s.stats
+let ctx_store s = s.store
+
+exception Out_of_budget_exn of int
+(** payload = BDG: an upper bound on the remaining budget at the abort
+    point (0 for a plain budget exhaustion, [s] for an early termination
+    through an Unfinished jmp). *)
+
+(* An active ReachableNodes invocation — the paper's query-local set S. *)
+type frame = {
+  f_dir : Hooks.dir;
+  f_var : Pag.var;
+  f_ctx : Ctx.t;
+  f_entry_steps : int;
+}
+
+(* Memo entry for a nested PointsTo/FlowsTo computation. The accumulator is
+   monotone: recomputation (exhaustive mode) only ever adds. *)
+type memo_entry = {
+  acc : Pair_set.t;
+  mutable active : bool;
+  mutable stamp : int; (* iteration that last (re)computed this entry *)
+}
+
+(* Provenance for witness extraction (tracing mode): how a node was first
+   reached in the top-level backward traversal. *)
+type prov =
+  | P_start
+  | P_assign of Pag.var * Ctx.t
+  | P_global of Pag.var * Ctx.t
+  | P_param of int * Pag.var * Ctx.t
+  | P_ret of int * Pag.var * Ctx.t
+  | P_heap of {
+      p_var : Pag.var;
+      p_ctx : Ctx.t;
+      field : Pag.field;
+      load_base : Pag.var;
+      store_base : Pag.var;
+    }
+
+type trace = {
+  parents : (int, prov) Hashtbl.t; (* key = var⊕ctx *)
+  facts : (int, Pag.var * Ctx.t) Hashtbl.t;
+      (* (obj⊕ctx) -> node holding the new edge *)
+}
+
+type qstate = {
+  s : session;
+  worker : int;
+  mutable steps : int; (* budget steps: walked + charged via shortcuts *)
+  mutable walked : int;
+  mutable frames : frame list;
+  mutable early_terminated : bool;
+  mutable used_partial : bool;
+  mutable iteration : int;
+  mutable grew : bool;
+  mutable compute_depth : int;
+  trace : trace option;
+  no_sharing : bool;
+  pt_memo : (int, memo_entry) Hashtbl.t; (* key = var⊕ctx *)
+  ft_memo : (int, memo_entry) Hashtbl.t; (* key = obj⊕ctx *)
+}
+
+let key a c = (a lsl 31) lor (Ctx.to_int c : int)
+
+let make_qstate ?trace ?(no_sharing = false) s worker =
+  {
+    s;
+    worker;
+    steps = 0;
+    walked = 0;
+    frames = [];
+    early_terminated = false;
+    used_partial = false;
+    iteration = 0;
+    grew = false;
+    compute_depth = 0;
+    trace;
+    no_sharing;
+    pt_memo = Hashtbl.create 64;
+    ft_memo = Hashtbl.create 64;
+  }
+
+(* One node traversal = one step (paper Section II-B3). *)
+let bump q =
+  q.steps <- q.steps + 1;
+  q.walked <- q.walked + 1;
+  Counter.incr q.s.stats.Stats.steps_walked ~worker:q.worker;
+  if q.steps > q.s.config.Config.budget then raise (Out_of_budget_exn 0)
+
+(* Context transfer functions. Traversing backwards (PointsTo), a [param_i]
+   edge leaves the callee: match-and-pop; a [ret_i] edge enters it: push.
+   Forwards (FlowsTo) the roles swap. Global assignments clear the context;
+   context-insensitive call sites (collapsed recursion cycles) and the
+   context-insensitive configuration leave it untouched. *)
+
+let ctx_push q cx site =
+  let cfg = q.s.config in
+  if not cfg.Config.context_sensitive then Some cx
+  else if Pag.site_is_ci q.s.pag site then Some cx
+  else if Ctx.depth q.s.store cx >= cfg.Config.max_ctx_depth then Some cx
+  else Some (Ctx.push q.s.store cx site)
+
+let ctx_match_pop q cx site =
+  let cfg = q.s.config in
+  if not cfg.Config.context_sensitive then Some cx
+  else if Pag.site_is_ci q.s.pag site then Some cx
+  else if Ctx.is_empty cx then Some cx (* partially balanced prefix *)
+  else
+    match Ctx.top q.s.store cx with
+    | Some i when i = site -> Some (Ctx.pop q.s.store cx)
+    | _ -> None
+
+(* Generic memoised fixpoint cell. [compute] must only *add* to the
+   accumulator. *)
+let memoized q tbl k compute =
+  match Hashtbl.find_opt tbl k with
+  | Some e when e.active ->
+      (* Cyclic dependence: serve the partial accumulator. *)
+      q.used_partial <- true;
+      e.acc
+  | Some e when e.stamp = q.iteration -> e.acc
+  | Some e ->
+      e.active <- true;
+      q.compute_depth <- q.compute_depth + 1;
+      Fun.protect
+        ~finally:(fun () ->
+          q.compute_depth <- q.compute_depth - 1;
+          e.active <- false;
+          e.stamp <- q.iteration)
+        (fun () -> compute e.acc);
+      e.acc
+  | None ->
+      let e = { acc = Pair_set.create (); active = true; stamp = q.iteration } in
+      Hashtbl.replace tbl k e;
+      q.compute_depth <- q.compute_depth + 1;
+      Fun.protect
+        ~finally:(fun () ->
+          q.compute_depth <- q.compute_depth - 1;
+          e.active <- false;
+          e.stamp <- q.iteration)
+        (fun () -> compute e.acc);
+      e.acc
+
+let acc_add q acc a c =
+  if Pair_set.add acc a (Ctx.to_int c) then q.grew <- true
+
+(* Consult the jmp store at a ReachableNodes entry (Algorithm 2 lines
+   2-8); fall back to [compute] and record the result (lines 9-22). *)
+let with_sharing q dir x c compute =
+  match (if q.no_sharing then None else q.s.hooks) with
+  | None -> compute ()
+  | Some h -> (
+      let found = h.Hooks.lookup dir x c ~steps:q.walked in
+      (match found.Hooks.unfinished with
+      | Some s when q.s.config.Config.budget - q.steps < s ->
+          q.early_terminated <- true;
+          Counter.incr q.s.stats.Stats.early_terminations ~worker:q.worker;
+          raise (Out_of_budget_exn s)
+      | _ -> ());
+      match found.Hooks.finished with
+      | Some { Hooks.cost; targets } ->
+          q.steps <- q.steps + cost;
+          Counter.add q.s.stats.Stats.steps_jumped ~worker:q.worker cost;
+          Counter.incr q.s.stats.Stats.jmp_taken ~worker:q.worker;
+          Array.to_list targets
+      | None ->
+          let entry_steps = q.steps in
+          let partial_before = q.used_partial in
+          q.used_partial <- false;
+          q.frames <-
+            { f_dir = dir; f_var = x; f_ctx = c; f_entry_steps = entry_steps }
+            :: q.frames;
+          let rch = compute () in
+          (match q.frames with
+          | _ :: rest -> q.frames <- rest
+          | [] -> assert false);
+          let saw_partial = q.used_partial in
+          q.used_partial <- partial_before || saw_partial;
+          (* A result computed through a broken cycle may under-approximate;
+             sharing it would leak the loss to other queries, so only exact
+             results are recorded. *)
+          if not saw_partial then
+            h.Hooks.record_finished dir x c ~cost:(q.steps - entry_steps)
+              ~targets:(Array.of_list rch);
+          rch)
+
+(* PointsTo(l, c): Algorithm 1. Returns the memo accumulator of (object,
+   context) pairs. *)
+let rec points_to_set q l c : Pair_set.t =
+  memoized q q.pt_memo (key l c) (fun acc ->
+      let pag = q.s.pag in
+      let visited = Pair_set.create () in
+      let work = Vec.create () in
+      (* Tracing records first-reach provenance, but only for the outermost
+         traversal — nested alias-test traversals have their own roots and
+         would break the parent chains. *)
+      let tracing =
+        match q.trace with
+        | Some tr when q.compute_depth = 1 -> Some tr
+        | _ -> None
+      in
+      let push ?prov v cx =
+        if Pair_set.add visited v (Ctx.to_int cx) then begin
+          (match (tracing, prov) with
+          | Some tr, Some p ->
+              let k = key v cx in
+              if not (Hashtbl.mem tr.parents k) then Hashtbl.add tr.parents k p
+          | _ -> ());
+          Vec.push work (v, cx)
+        end
+      in
+      push ?prov:(Option.map (fun _ -> P_start) tracing) l c;
+      (* Static assign-closure summaries replace the pop-by-pop walk of a
+         variable's local-assignment closure; disabled under tracing (the
+         skipped pops would leave witness chains dangling). *)
+      let summary_of x =
+        match (q.s.summaries, q.trace) with
+        | Some s, None -> Summary.find s x
+        | _ -> None
+      in
+      let rec drain () =
+        match Vec.pop work with
+        | None -> ()
+        | Some (x, cx) -> (
+            bump q;
+            match summary_of x with
+            | Some e ->
+                (* Charge what the closure walk would have cost (its pop is
+                   already counted above). *)
+                for _ = 2 to e.Summary.cost do
+                  bump q
+                done;
+                Array.iter (fun o -> acc_add q acc o cx) e.Summary.objs;
+                Array.iter
+                  (fun y -> push y Ctx.empty)
+                  e.Summary.gassign_srcs;
+                Array.iter
+                  (fun y -> List.iter (fun (z, cz) -> push z cz)
+                      (reachable_nodes q y cx))
+                  e.Summary.load_carriers;
+                Array.iter
+                  (fun (i, y) ->
+                    match ctx_match_pop q cx i with
+                    | Some cx' -> push y cx'
+                    | None -> ())
+                  e.Summary.params;
+                Array.iter
+                  (fun (i, y) ->
+                    match ctx_push q cx i with
+                    | Some cx' -> push y cx'
+                    | None -> ())
+                  e.Summary.rets;
+                drain ()
+            | None ->
+            Array.iter
+              (fun o ->
+                acc_add q acc o cx;
+                match tracing with
+                | Some tr ->
+                    let fk = key o cx in
+                    if not (Hashtbl.mem tr.facts fk) then
+                      Hashtbl.add tr.facts fk (x, cx)
+                | None -> ())
+              (Pag.new_in pag x);
+            Array.iter
+              (fun y -> push ~prov:(P_assign (x, cx)) y cx)
+              (Pag.assign_in pag x);
+            Array.iter
+              (fun y -> push ~prov:(P_global (x, cx)) y Ctx.empty)
+              (Pag.gassign_in pag x);
+            (match tracing with
+            | None ->
+                List.iter (fun (y, cy) -> push y cy) (reachable_nodes q x cx)
+            | Some _ ->
+                List.iter
+                  (fun (y, cy, (field, load_base, store_base)) ->
+                    push
+                      ~prov:
+                        (P_heap
+                           { p_var = x; p_ctx = cx; field; load_base;
+                             store_base })
+                      y cy)
+                  (reachable_nodes_annotated q x cx));
+            Array.iter
+              (fun (i, y) ->
+                match ctx_match_pop q cx i with
+                | Some cx' -> push ~prov:(P_param (i, x, cx)) y cx'
+                | None -> ())
+              (Pag.param_in pag x);
+            Array.iter
+              (fun (i, y) ->
+                match ctx_push q cx i with
+                | Some cx' -> push ~prov:(P_ret (i, x, cx)) y cx'
+                | None -> ())
+              (Pag.ret_in pag x);
+            drain ())
+      in
+      drain ())
+
+(* FlowsTo(o, c): the forward dual; collects every (variable, context)
+   reached — each is a flowsTo target of o. *)
+and flows_to_set q o c : Pair_set.t =
+  memoized q q.ft_memo (key o c) (fun acc ->
+      let pag = q.s.pag in
+      let visited = Pair_set.create () in
+      let work = Vec.create () in
+      let push v cx =
+        if Pair_set.add visited v (Ctx.to_int cx) then Vec.push work (v, cx)
+      in
+      Array.iter (fun x -> push x c) (Pag.new_out pag o);
+      let rec drain () =
+        match Vec.pop work with
+        | None -> ()
+        | Some (y, cy) ->
+            bump q;
+            acc_add q acc y cy;
+            Array.iter (fun z -> push z cy) (Pag.assign_out pag y);
+            Array.iter (fun z -> push z Ctx.empty) (Pag.gassign_out pag y);
+            List.iter
+              (fun (z, cz) -> push z cz)
+              (reachable_nodes_inv q y cy);
+            Array.iter
+              (fun (i, z) ->
+                match ctx_push q cy i with
+                | Some cy' -> push z cy'
+                | None -> ())
+              (Pag.param_out pag y);
+            Array.iter
+              (fun (i, z) ->
+                match ctx_match_pop q cy i with
+                | Some cy' -> push z cy'
+                | None -> ())
+              (Pag.ret_out pag y);
+            drain ()
+      in
+      drain ())
+
+(* ReachableNodes(x, c), backward direction: for each load x = p.f and each
+   store q.f = y with alias(p, q), the store's source y (in the context
+   where q was reached) flows on into x. *)
+and reachable_nodes q x c : (Pag.var * Ctx.t) list =
+  let pag = q.s.pag in
+  let loads = Pag.load_in pag x in
+  if Array.length loads = 0 then []
+  else
+    with_sharing q Hooks.Bwd x c (fun () ->
+        let refined qv f =
+          match q.s.matcher with
+          | None -> true
+          | Some m ->
+              m.Matcher.is_refined ~dir:Hooks.Bwd ~anchor:x ~other_base:qv
+                ~field:f
+        in
+        let rch = ref [] in
+        Array.iter
+          (fun (f, p) ->
+            let stores = Pag.stores_of_field pag f in
+            let any_refined =
+              Array.exists (fun (qv, _) -> refined qv f) stores
+            in
+            (* alias := ∪ FlowsTo(o, c0); indexed by variable for the
+               store-base matching below. Every pair examined is charged as
+               a step: the paper's (unmemoised) FlowsTo calls re-traverse
+               these nodes, so the budget must keep bounding the alias-test
+               work even though our memo makes the traversal itself cheap.
+               Skipped entirely when every matching store is unrefined. *)
+            let alias = Pair_set.create () in
+            if any_refined then begin
+              let pts_p = points_to_set q p c in
+              Pair_set.iter
+                (fun o c0 ->
+                  bump q;
+                  Pair_set.iter
+                    (fun v cv ->
+                      bump q;
+                      ignore (Pair_set.add alias v cv))
+                    (flows_to_set q o (Ctx.unsafe_of_int c0)))
+                pts_p
+            end;
+            Array.iter
+              (fun (qv, y) ->
+                if refined qv f then
+                  List.iter
+                    (fun c'' ->
+                      rch := (y, Ctx.unsafe_of_int c'') :: !rch)
+                    (Pair_set.find_firsts alias qv)
+                else begin
+                  (* match edge: assume the accesses alias (sound
+                     over-approximation); context passes through *)
+                  (match q.s.matcher with
+                  | Some m ->
+                      m.Matcher.note_match_used ~dir:Hooks.Bwd ~anchor:x
+                        ~other_base:qv ~field:f
+                  | None -> ());
+                  bump q;
+                  rch := (y, c) :: !rch
+                end)
+              stores)
+          loads;
+        List.rev !rch)
+
+(* Tracing variant of ReachableNodes: annotates each target with the
+   (field, load base, store base) that produced it. Never consults the jmp
+   store — replayed shortcuts carry no provenance. *)
+and reachable_nodes_annotated q x c :
+    (Pag.var * Ctx.t * (Pag.field * Pag.var * Pag.var)) list =
+  let pag = q.s.pag in
+  let loads = Pag.load_in pag x in
+  if Array.length loads = 0 then []
+  else begin
+    let rch = ref [] in
+    Array.iter
+      (fun (f, p) ->
+        let pts_p = points_to_set q p c in
+        let alias = Pair_set.create () in
+        Pair_set.iter
+          (fun o c0 ->
+            bump q;
+            Pair_set.iter
+              (fun v cv ->
+                bump q;
+                ignore (Pair_set.add alias v cv))
+              (flows_to_set q o (Ctx.unsafe_of_int c0)))
+          pts_p;
+        Array.iter
+          (fun (qv, y) ->
+            List.iter
+              (fun c'' ->
+                rch := (y, Ctx.unsafe_of_int c'', (f, p, qv)) :: !rch)
+              (Pair_set.find_firsts alias qv))
+          (Pag.stores_of_field pag f))
+      loads;
+    List.rev !rch
+  end
+
+(* ReachableNodesInv(y, c), forward direction: for each store q.f = y and
+   each load x = p.f with alias(q, p), the flow continues into x. *)
+and reachable_nodes_inv q y c : (Pag.var * Ctx.t) list =
+  let pag = q.s.pag in
+  let stores = Pag.store_out pag y in
+  if Array.length stores = 0 then []
+  else
+    with_sharing q Hooks.Fwd y c (fun () ->
+        let refined p f =
+          match q.s.matcher with
+          | None -> true
+          | Some m ->
+              m.Matcher.is_refined ~dir:Hooks.Fwd ~anchor:y ~other_base:p
+                ~field:f
+        in
+        let rch = ref [] in
+        Array.iter
+          (fun (f, qv) ->
+            let loads = Pag.loads_of_field pag f in
+            let any_refined = Array.exists (fun (_, p) -> refined p f) loads in
+            let alias = Pair_set.create () in
+            if any_refined then begin
+              let pts_q = points_to_set q qv c in
+              Pair_set.iter
+                (fun o c0 ->
+                  bump q;
+                  Pair_set.iter
+                    (fun v cv ->
+                      bump q;
+                      ignore (Pair_set.add alias v cv))
+                    (flows_to_set q o (Ctx.unsafe_of_int c0)))
+                pts_q
+            end;
+            Array.iter
+              (fun (x, p) ->
+                if refined p f then
+                  List.iter
+                    (fun c'' ->
+                      rch := (x, Ctx.unsafe_of_int c'') :: !rch)
+                    (Pair_set.find_firsts alias p)
+                else begin
+                  (match q.s.matcher with
+                  | Some m ->
+                      m.Matcher.note_match_used ~dir:Hooks.Fwd ~anchor:y
+                        ~other_base:p ~field:f
+                  | None -> ());
+                  bump q;
+                  rch := (x, c) :: !rch
+                end)
+              loads)
+          stores;
+        List.rev !rch)
+
+(* OutOfBudget (Algorithm 2 lines 23-25): for each still-active
+   ReachableNodes frame, record an Unfinished jmp edge whose threshold is
+   min(B, BDG + steps - s0). *)
+let record_unfinished q bdg =
+  match q.s.hooks with
+  | None -> ()
+  | Some h ->
+      let b = q.s.config.Config.budget in
+      List.iter
+        (fun fr ->
+          let s = min b (bdg + q.steps - fr.f_entry_steps) in
+          h.Hooks.record_unfinished fr.f_dir fr.f_var fr.f_ctx ~s)
+        q.frames
+
+let run_query s worker start =
+  let q = make_qstate s worker in
+  let attempt () =
+    let rec go () =
+      q.iteration <- q.iteration + 1;
+      q.grew <- false;
+      let r = start q in
+      if s.config.Config.exhaustive && q.grew then go () else r
+    in
+    go ()
+  in
+  match attempt () with
+  | set ->
+      Counter.incr s.stats.Stats.queries_answered ~worker;
+      ( Query.Points_to
+          (List.map
+             (fun (a, c) -> (a, Ctx.unsafe_of_int c))
+             (Pair_set.to_list set)),
+        q )
+  | exception Out_of_budget_exn bdg ->
+      record_unfinished q bdg;
+      q.frames <- [];
+      Counter.incr s.stats.Stats.queries_out_of_budget ~worker;
+      (Query.Out_of_budget, q)
+
+let outcome_of var (result, q) =
+  {
+    Query.var;
+    result;
+    steps_used = q.steps;
+    steps_walked = q.walked;
+    early_terminated = q.early_terminated;
+    used_partial = q.used_partial;
+  }
+
+let points_to_in ?(worker = 0) s l c =
+  outcome_of l (run_query s worker (fun q -> points_to_set q l c))
+
+let points_to ?worker s l = points_to_in ?worker s l Ctx.empty
+
+let flows_to ?(worker = 0) s o =
+  outcome_of o (run_query s worker (fun q -> flows_to_set q o Ctx.empty))
+
+module Witness = struct
+  type via =
+    | Start
+    | Assign
+    | Global
+    | Param of int
+    | Ret of int
+    | Heap of {
+        field : Pag.field;
+        load_base : Pag.var;
+        store_base : Pag.var;
+      }
+
+  type step = {
+    var : Pag.var;
+    ctx : Ctx.t;
+    via : via;
+  }
+
+  type t = {
+    steps : step list;
+    obj : Pag.obj;
+    obj_ctx : Ctx.t;
+  }
+
+  let pp pag store ppf t =
+    List.iter
+      (fun s ->
+        (match s.via with
+        | Start -> Format.fprintf ppf "query %s" (Pag.var_name pag s.var)
+        | Assign -> Format.fprintf ppf " <-assign- %s" (Pag.var_name pag s.var)
+        | Global -> Format.fprintf ppf " <-assign_g- %s" (Pag.var_name pag s.var)
+        | Param i ->
+            Format.fprintf ppf " <-param_%d- %s" i (Pag.var_name pag s.var)
+        | Ret i -> Format.fprintf ppf " <-ret_%d- %s" i (Pag.var_name pag s.var)
+        | Heap { field; load_base; store_base } ->
+            Format.fprintf ppf " <-heap(f%d: %s.f = _, _ = %s.f)- %s" field
+              (Pag.var_name pag store_base)
+              (Pag.var_name pag load_base)
+              (Pag.var_name pag s.var));
+        Format.fprintf ppf "@[<h>%a@]" (fun ppf c ->
+            if not (Ctx.is_empty c) then Format.fprintf ppf "%a" (Ctx.pp store) c) s.ctx)
+      t.steps;
+    Format.fprintf ppf " <-new- %s" (Pag.obj_name pag t.obj)
+end
+
+(* Explain why [l] may point to [o]: re-run the query with provenance
+   tracing (sharing disabled — replayed shortcuts carry no provenance) and
+   walk the parent chain from the allocation back to the query variable. *)
+let explain ?(worker = 0) s l o =
+  let tr = { parents = Hashtbl.create 256; facts = Hashtbl.create 64 } in
+  let q = make_qstate ~trace:tr ~no_sharing:true s worker in
+  let run () =
+    let rec go () =
+      q.iteration <- q.iteration + 1;
+      q.grew <- false;
+      let r = points_to_set q l Ctx.empty in
+      if s.config.Config.exhaustive && q.grew then go () else r
+    in
+    go ()
+  in
+  match run () with
+  | exception Out_of_budget_exn _ -> None
+  | _ -> (
+      (* Find any recorded fact for this object (any context). *)
+      let found =
+        Hashtbl.fold
+          (fun fk holder acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if fk lsr 31 = o then Some (fk land 0x7FFFFFFF, holder)
+                else None)
+          tr.facts None
+      in
+      match found with
+      | None -> None
+      | Some (obj_ctx, (hx, hc)) ->
+          (* Walk parents from the holder back to the query variable; the
+             chain is acyclic by construction but guard anyway. *)
+          let guard = Hashtbl.create 64 in
+          let rec walk v c acc =
+            let k = key v c in
+            if Hashtbl.mem guard k then acc
+            else begin
+              Hashtbl.add guard k ();
+              match Hashtbl.find_opt tr.parents k with
+              | None | Some P_start ->
+                  { Witness.var = v; ctx = c; via = Witness.Start } :: acc
+              | Some (P_assign (pv, pc)) ->
+                  walk pv pc
+                    ({ Witness.var = v; ctx = c; via = Witness.Assign } :: acc)
+              | Some (P_global (pv, pc)) ->
+                  walk pv pc
+                    ({ Witness.var = v; ctx = c; via = Witness.Global } :: acc)
+              | Some (P_param (i, pv, pc)) ->
+                  walk pv pc
+                    ({ Witness.var = v; ctx = c; via = Witness.Param i } :: acc)
+              | Some (P_ret (i, pv, pc)) ->
+                  walk pv pc
+                    ({ Witness.var = v; ctx = c; via = Witness.Ret i } :: acc)
+              | Some (P_heap { p_var; p_ctx; field; load_base; store_base }) ->
+                  walk p_var p_ctx
+                    ({
+                       Witness.var = v;
+                       ctx = c;
+                       via = Witness.Heap { field; load_base; store_base };
+                     }
+                    :: acc)
+            end
+          in
+          Some
+            {
+              Witness.steps = walk hx hc [];
+              obj = o;
+              obj_ctx = Ctx.unsafe_of_int obj_ctx;
+            })
+
+let may_alias ?(worker = 0) s v1 v2 =
+  let o1 = points_to ~worker s v1 in
+  let o2 = points_to ~worker s v2 in
+  match (o1.Query.result, o2.Query.result) with
+  | Query.Out_of_budget, _ | _, Query.Out_of_budget -> None
+  | Query.Points_to p1, Query.Points_to p2 ->
+      let objs1 = Hashtbl.create 16 in
+      List.iter (fun (o, _) -> Hashtbl.replace objs1 o ()) p1;
+      Some (List.exists (fun (o, _) -> Hashtbl.mem objs1 o) p2)

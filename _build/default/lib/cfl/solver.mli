@@ -1,0 +1,112 @@
+(** The demand-driven CFL-reachability solver (paper Algorithms 1 and 2).
+
+    [PointsTo(l, c)] traverses the PAG backwards along the [flowsTo]-bar
+    grammar (eq. 2/4) under the context-matching rules of [R_CS] (eq. 3),
+    collecting the (object, context) pairs whose allocations can flow into
+    [l] under [c]. [FlowsTo(o, c)] is the forward dual. Heap accesses are
+    matched by [ReachableNodes]: a load [x = p.f] reaches the source [y] of
+    every store [q.f = y] whose base [q] is an alias of [p], established by
+    composing PointsTo and FlowsTo.
+
+    Data sharing (Algorithm 2) is enabled by passing [hooks]: every
+    [ReachableNodes] consultation first checks the jmp store, takes Finished
+    shortcuts (charging their recorded cost to the budget), terminates early
+    on Unfinished markers when the remaining budget is insufficient, and
+    records its own results back. A single solver code path serves both
+    algorithms — no hooks means Algorithm 1.
+
+    Each query owns private memo tables for nested PointsTo/FlowsTo calls;
+    cyclic alias dependences are broken by returning the partial accumulator
+    of an in-flight computation (flagged in the outcome), or resolved exactly
+    in [exhaustive] mode by iterating to a fixpoint. *)
+
+type session
+
+val make_session :
+  ?hooks:Hooks.t ->
+  ?matcher:Matcher.t ->
+  ?summaries:Summary.t ->
+  ?stats:Stats.t ->
+  config:Config.t ->
+  ctx_store:Parcfl_pag.Ctx.store ->
+  Parcfl_pag.Pag.t ->
+  session
+(** [matcher] installs the refinement field-match abstraction (see
+    {!Matcher}); unrefined load/store pairs are assumed to alias without a
+    check. [summaries] installs static assign-closure summaries (see
+    {!Summary}) — precision-neutral traversal shortcuts.
+    @raise Invalid_argument when [hooks] is combined with
+    [config.exhaustive], or with [matcher]. *)
+
+val pag : session -> Parcfl_pag.Pag.t
+val config : session -> Config.t
+val stats : session -> Stats.t
+val ctx_store : session -> Parcfl_pag.Ctx.store
+
+val points_to : ?worker:int -> session -> Parcfl_pag.Pag.var -> Query.outcome
+(** Answer one query [(l, ∅)] — the paper issues batch queries with the
+    empty (unconstrained) context. [worker] indexes the stats stripes. *)
+
+val points_to_in :
+  ?worker:int ->
+  session ->
+  Parcfl_pag.Pag.var ->
+  Parcfl_pag.Ctx.t ->
+  Query.outcome
+(** Query under a specific context. *)
+
+val flows_to : ?worker:int -> session -> Parcfl_pag.Pag.obj -> Query.outcome
+(** The inverse query: which (variable, context) pairs may [o] flow to.
+    The [result]'s pairs are (variable, context), reusing the same type. *)
+
+val may_alias : ?worker:int -> session -> Parcfl_pag.Pag.var -> Parcfl_pag.Pag.var -> bool option
+(** Alias client: [Some b] when both queries complete, [None] when either
+    runs out of budget. *)
+
+(** Witness paths: an answer to "why does [l] point to [o]?". A witness is
+    the chain of PAG edges the backward traversal followed from the query
+    variable to the allocation's holder; heap steps summarise the matched
+    load/store pair (the nested alias justification is itself queryable via
+    the bases it names). *)
+module Witness : sig
+  type via =
+    | Start
+    | Assign
+    | Global
+    | Param of int
+    | Ret of int
+    | Heap of {
+        field : Parcfl_pag.Pag.field;
+        load_base : Parcfl_pag.Pag.var;
+        store_base : Parcfl_pag.Pag.var;
+      }
+
+  type step = {
+    var : Parcfl_pag.Pag.var;
+    ctx : Parcfl_pag.Ctx.t;
+    via : via;  (** how [var] was reached from the previous step *)
+  }
+
+  type t = {
+    steps : step list;  (** query variable first *)
+    obj : Parcfl_pag.Pag.obj;
+    obj_ctx : Parcfl_pag.Ctx.t;
+  }
+
+  val pp :
+    Parcfl_pag.Pag.t ->
+    Parcfl_pag.Ctx.store ->
+    Format.formatter ->
+    t ->
+    unit
+end
+
+val explain :
+  ?worker:int ->
+  session ->
+  Parcfl_pag.Pag.var ->
+  Parcfl_pag.Pag.obj ->
+  Witness.t option
+(** [explain s l o] re-runs the query with provenance tracing (data sharing
+    disabled for this query) and returns a witness path when [o] is indeed
+    in [l]'s points-to set within budget; [None] otherwise. *)

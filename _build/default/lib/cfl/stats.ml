@@ -1,0 +1,57 @@
+module Counter = Parcfl_conc.Counter
+
+type t = {
+  steps_walked : Counter.t;
+  steps_jumped : Counter.t;
+  jmp_taken : Counter.t;
+  early_terminations : Counter.t;
+  queries_answered : Counter.t;
+  queries_out_of_budget : Counter.t;
+}
+
+let create () =
+  {
+    steps_walked = Counter.create ();
+    steps_jumped = Counter.create ();
+    jmp_taken = Counter.create ();
+    early_terminations = Counter.create ();
+    queries_answered = Counter.create ();
+    queries_out_of_budget = Counter.create ();
+  }
+
+let reset t =
+  Counter.reset t.steps_walked;
+  Counter.reset t.steps_jumped;
+  Counter.reset t.jmp_taken;
+  Counter.reset t.early_terminations;
+  Counter.reset t.queries_answered;
+  Counter.reset t.queries_out_of_budget
+
+type snapshot = {
+  s_steps_walked : int;
+  s_steps_jumped : int;
+  s_jmp_taken : int;
+  s_early_terminations : int;
+  s_queries_answered : int;
+  s_queries_out_of_budget : int;
+}
+
+let snapshot t =
+  {
+    s_steps_walked = Counter.value t.steps_walked;
+    s_steps_jumped = Counter.value t.steps_jumped;
+    s_jmp_taken = Counter.value t.jmp_taken;
+    s_early_terminations = Counter.value t.early_terminations;
+    s_queries_answered = Counter.value t.queries_answered;
+    s_queries_out_of_budget = Counter.value t.queries_out_of_budget;
+  }
+
+let ratio_saved s =
+  if s.s_steps_walked = 0 then 0.0
+  else float_of_int s.s_steps_jumped /. float_of_int s.s_steps_walked
+
+let pp ppf s =
+  Format.fprintf ppf
+    "steps=%d jumped=%d taken=%d ETs=%d ok=%d oob=%d"
+    s.s_steps_walked s.s_steps_jumped s.s_jmp_taken s.s_early_terminations s.s_queries_answered
+    s.s_queries_out_of_budget

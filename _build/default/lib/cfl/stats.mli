@@ -1,0 +1,39 @@
+(** Shared, striped statistics for an analysis run.
+
+    These back the paper's Table I columns: [#S] (steps traversed),
+    [R_S] (steps saved by jmp edges over steps traversed) and
+    [#ETs] (early terminations); [#Jumps] is counted by the jmp store
+    itself ({!Parcfl_sharing.Jmp_store}). Counters are striped per worker — see
+    {!Parcfl_conc.Counter}. *)
+
+type t = {
+  steps_walked : Parcfl_conc.Counter.t;
+      (** node traversals actually performed (original PAG edges) *)
+  steps_jumped : Parcfl_conc.Counter.t;
+      (** steps charged through Finished jmp shortcuts — i.e. saved *)
+  jmp_taken : Parcfl_conc.Counter.t;  (** Finished shortcuts taken *)
+  early_terminations : Parcfl_conc.Counter.t;
+  queries_answered : Parcfl_conc.Counter.t;
+  queries_out_of_budget : Parcfl_conc.Counter.t;
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+type snapshot = {
+  s_steps_walked : int;
+  s_steps_jumped : int;
+  s_jmp_taken : int;
+  s_early_terminations : int;
+  s_queries_answered : int;
+  s_queries_out_of_budget : int;
+}
+
+val snapshot : t -> snapshot
+
+val ratio_saved : snapshot -> float
+(** The paper's [R_S]: steps saved by jmp edges / steps traversed across
+    original edges. *)
+
+val pp : Format.formatter -> snapshot -> unit

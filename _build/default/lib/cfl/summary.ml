@@ -1,0 +1,74 @@
+module Pag = Parcfl_pag.Pag
+
+type entry = {
+  cost : int;
+  objs : Pag.obj array;
+  gassign_srcs : Pag.var array;
+  params : (Pag.callsite * Pag.var) array;
+  rets : (Pag.callsite * Pag.var) array;
+  load_carriers : Pag.var array;
+}
+
+type t = {
+  entries : entry option array;
+  n_summarised : int;
+}
+
+let build ?(min_closure = 3) ?(max_closure = 64) pag =
+  let n = Pag.n_vars pag in
+  let entries = Array.make n None in
+  let count = ref 0 in
+  for x = 0 to n - 1 do
+    (* Backward closure over assign_l edges, capped at max_closure. *)
+    let seen = Hashtbl.create 16 in
+    let order = ref [] in
+    let overflow = ref false in
+    let rec visit v =
+      if (not !overflow) && not (Hashtbl.mem seen v) then begin
+        if Hashtbl.length seen >= max_closure then overflow := true
+        else begin
+          Hashtbl.replace seen v ();
+          order := v :: !order;
+          Array.iter visit (Pag.assign_in pag v)
+        end
+      end
+    in
+    visit x;
+    let size = Hashtbl.length seen in
+    if (not !overflow) && size >= min_closure then begin
+      let objs = ref [] in
+      let gas = ref [] in
+      let params = ref [] in
+      let rets = ref [] in
+      let loads = ref [] in
+      List.iter
+        (fun v ->
+          Array.iter (fun o -> objs := o :: !objs) (Pag.new_in pag v);
+          Array.iter (fun y -> gas := y :: !gas) (Pag.gassign_in pag v);
+          Array.iter (fun p -> params := p :: !params) (Pag.param_in pag v);
+          Array.iter (fun r -> rets := r :: !rets) (Pag.ret_in pag v);
+          if Array.length (Pag.load_in pag v) > 0 then loads := v :: !loads)
+        !order;
+      incr count;
+      entries.(x) <-
+        Some
+          {
+            cost = size;
+            objs = Array.of_list (List.sort_uniq compare !objs);
+            gassign_srcs = Array.of_list (List.sort_uniq compare !gas);
+            params = Array.of_list (List.sort_uniq compare !params);
+            rets = Array.of_list (List.sort_uniq compare !rets);
+            load_carriers = Array.of_list (List.sort_uniq compare !loads);
+          }
+    end
+  done;
+  { entries; n_summarised = !count }
+
+let find t v = if v >= 0 && v < Array.length t.entries then t.entries.(v) else None
+
+let n_summarised t = t.n_summarised
+
+let total_cost t =
+  Array.fold_left
+    (fun acc e -> match e with Some e -> acc + e.cost | None -> acc)
+    0 t.entries

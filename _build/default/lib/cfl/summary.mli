@@ -1,0 +1,45 @@
+(** Static assign-closure summaries (the summarisation family of the
+    paper's related work: "Summary-based schemes avoid redundant graph
+    traversals by reusing the method-local points-to relations summarised
+    statically [26] or on-demand [17]").
+
+    For a variable [x], the backward closure over local-assignment edges is
+    entirely intra-method (the lowering only emits [assign_l] between
+    locals of one method), so it can be summarised once, offline: the
+    objects allocated into the closure, and the frontier edges where a
+    demand-driven traversal must resume (globals, params, rets, and
+    closure members carrying loads). The solver then replaces the
+    pop-by-pop walk of the closure with one summary application, charging
+    the closure's size to the budget so step accounting is preserved.
+
+    Summaries are sound and precision-neutral: they skip only
+    [assign_l]-internal pops, whose effects are exactly the recorded
+    object and frontier sets. Budget accounting is exact on assign-only
+    closures; through heap accesses the exploration order (and hence the
+    alias-test charges read from partially-filled memo sets) can drift by
+    a few steps. *)
+
+type t
+
+type entry = {
+  cost : int;  (** closure size — charged to the budget on application *)
+  objs : Parcfl_pag.Pag.obj array;  (** new edges within the closure *)
+  gassign_srcs : Parcfl_pag.Pag.var array;
+  params : (Parcfl_pag.Pag.callsite * Parcfl_pag.Pag.var) array;
+  rets : (Parcfl_pag.Pag.callsite * Parcfl_pag.Pag.var) array;
+  load_carriers : Parcfl_pag.Pag.var array;
+      (** closure members with incoming load edges; the solver re-visits
+          them so ReachableNodes (and jmp sharing) applies as usual *)
+}
+
+val build : ?min_closure:int -> ?max_closure:int -> Parcfl_pag.Pag.t -> t
+(** Summaries are materialised only for closures with size in
+    [min_closure, max_closure] (defaults 3 and 64): trivial closures are
+    cheaper to walk directly, huge ones are memory-disproportionate. *)
+
+val find : t -> Parcfl_pag.Pag.var -> entry option
+
+val n_summarised : t -> int
+
+val total_cost : t -> int
+(** Sum of stored closure sizes (a memory/coverage metric). *)

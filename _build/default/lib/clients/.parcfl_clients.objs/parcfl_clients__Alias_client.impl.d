@@ -1,0 +1,1 @@
+lib/clients/alias_client.ml: Array Client_session Format List Parcfl_pag

@@ -1,0 +1,1 @@
+lib/clients/alias_client.mli: Client_session Format Parcfl_pag

@@ -1,0 +1,1 @@
+lib/clients/cast_client.ml: Client_session List Parcfl_lang Parcfl_pag

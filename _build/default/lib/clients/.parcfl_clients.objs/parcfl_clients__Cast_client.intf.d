@@ -1,0 +1,1 @@
+lib/clients/cast_client.mli: Client_session Parcfl_lang Parcfl_pag

@@ -1,0 +1,1 @@
+lib/clients/client_session.ml: Parcfl_cfl Parcfl_pag Parcfl_sharing

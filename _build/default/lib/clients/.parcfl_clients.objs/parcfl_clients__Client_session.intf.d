@@ -1,0 +1,1 @@
+lib/clients/client_session.mli: Parcfl_cfl Parcfl_pag

@@ -1,0 +1,1 @@
+lib/clients/escape_client.ml: Client_session List Parcfl_cfl Parcfl_pag

@@ -1,0 +1,1 @@
+lib/clients/escape_client.mli: Client_session Parcfl_pag

@@ -1,0 +1,1 @@
+lib/clients/null_client.ml: Client_session Hashtbl List Parcfl_pag

@@ -1,0 +1,1 @@
+lib/clients/null_client.mli: Client_session Parcfl_pag

@@ -1,0 +1,67 @@
+module Pag = Parcfl_pag.Pag
+
+type verdict =
+  | Must_not_alias
+  | May_alias
+  | Unknown
+
+type result = {
+  p : Pag.var;
+  q : Pag.var;
+  verdict : verdict;
+}
+
+let may_alias cs p q =
+  match
+    ( Client_session.points_to_objects cs p,
+      Client_session.points_to_objects cs q )
+  with
+  | None, _ | _, None -> Unknown
+  | Some op, Some oq ->
+      if List.exists (fun o -> List.mem o oq) op then May_alias
+      else Must_not_alias
+
+let check_pairs cs pairs =
+  List.map (fun (p, q) -> { p; q; verdict = may_alias cs p q }) pairs
+
+let field_access_pairs ?(limit = 1000) pag =
+  let out = ref [] and n = ref 0 in
+  (try
+     for f = 0 to Pag.n_fields pag - 1 do
+       let loads = Pag.loads_of_field pag f in
+       let stores = Pag.stores_of_field pag f in
+       Array.iter
+         (fun (_, p) ->
+           Array.iter
+             (fun (q, _) ->
+               if p <> q then begin
+                 out := (p, q) :: !out;
+                 incr n;
+                 if !n >= limit then raise Exit
+               end)
+             stores)
+         loads
+     done
+   with Exit -> ());
+  List.rev !out
+
+type summary = {
+  n_may : int;
+  n_must_not : int;
+  n_unknown : int;
+}
+
+let summarise results =
+  List.fold_left
+    (fun acc r ->
+      match r.verdict with
+      | May_alias -> { acc with n_may = acc.n_may + 1 }
+      | Must_not_alias -> { acc with n_must_not = acc.n_must_not + 1 }
+      | Unknown -> { acc with n_unknown = acc.n_unknown + 1 })
+    { n_may = 0; n_must_not = 0; n_unknown = 0 }
+    results
+
+let pp_verdict ppf = function
+  | Must_not_alias -> Format.pp_print_string ppf "must-not-alias"
+  | May_alias -> Format.pp_print_string ppf "may-alias"
+  | Unknown -> Format.pp_print_string ppf "unknown"

@@ -1,0 +1,39 @@
+(** Alias disambiguation (paper §I: "alias disambiguation [21]").
+
+    Answers may-alias queries for pairs of variables — the question an
+    optimising compiler asks before reordering two heap accesses. Batch
+    entry points enumerate the load/store pairs of a PAG so a compiler
+    pass can be simulated end to end. *)
+
+type verdict =
+  | Must_not_alias  (** disjoint points-to sets: safe to reorder *)
+  | May_alias
+  | Unknown  (** a query ran out of budget *)
+
+type result = {
+  p : Parcfl_pag.Pag.var;
+  q : Parcfl_pag.Pag.var;
+  verdict : verdict;
+}
+
+val may_alias : Client_session.t -> Parcfl_pag.Pag.var -> Parcfl_pag.Pag.var -> verdict
+
+val check_pairs :
+  Client_session.t ->
+  (Parcfl_pag.Pag.var * Parcfl_pag.Pag.var) list ->
+  result list
+
+val field_access_pairs :
+  ?limit:int -> Parcfl_pag.Pag.t -> (Parcfl_pag.Pag.var * Parcfl_pag.Pag.var) list
+(** All (load base, store base) pairs over the same field — the reorder
+    candidates. [limit] caps the list (default 1000). *)
+
+type summary = {
+  n_may : int;
+  n_must_not : int;
+  n_unknown : int;
+}
+
+val summarise : result list -> summary
+
+val pp_verdict : Format.formatter -> verdict -> unit

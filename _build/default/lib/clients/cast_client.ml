@@ -1,0 +1,66 @@
+module Pag = Parcfl_pag.Pag
+module Types = Parcfl_lang.Types
+
+type site = {
+  dst : Pag.var;
+  src : Pag.var;
+  target : Types.typ;
+}
+
+type verdict =
+  | Safe
+  | Unsafe of Pag.obj list
+  | Vacuous
+  | Unknown
+
+let downcast_sites types pag =
+  let out = ref [] in
+  Pag.iter_edges pag (function
+    | Pag.Assign { dst; src } | Pag.Assign_global { dst; src } ->
+        let td = Pag.var_typ pag dst and ts = Pag.var_typ pag src in
+        if
+          Types.is_ref td && Types.is_ref ts && td <> ts
+          && Types.subtype types ~sub:td ~super:ts
+        then out := { dst; src; target = td } :: !out
+    | _ -> ());
+  List.rev !out
+
+let check cs types site =
+  match Client_session.points_to_objects cs site.src with
+  | None -> Unknown
+  | Some [] -> Vacuous
+  | Some objs -> (
+      let pag = Client_session.pag cs in
+      let offending =
+        List.filter
+          (fun o ->
+            let to_ = Pag.obj_typ pag o in
+            not (Types.is_ref to_ && Types.subtype types ~sub:to_ ~super:site.target))
+          objs
+      in
+      match offending with [] -> Safe | _ -> Unsafe offending)
+
+type report = {
+  n_safe : int;
+  n_unsafe : int;
+  n_vacuous : int;
+  n_unknown : int;
+  unsafe_sites : (site * Pag.obj list) list;
+}
+
+let check_all cs types =
+  let pag = Client_session.pag cs in
+  List.fold_left
+    (fun acc site ->
+      match check cs types site with
+      | Safe -> { acc with n_safe = acc.n_safe + 1 }
+      | Vacuous -> { acc with n_vacuous = acc.n_vacuous + 1 }
+      | Unknown -> { acc with n_unknown = acc.n_unknown + 1 }
+      | Unsafe objs ->
+          {
+            acc with
+            n_unsafe = acc.n_unsafe + 1;
+            unsafe_sites = (site, objs) :: acc.unsafe_sites;
+          })
+    { n_safe = 0; n_unsafe = 0; n_vacuous = 0; n_unknown = 0; unsafe_sites = [] }
+    (downcast_sites types pag)

@@ -1,0 +1,35 @@
+(** Downcast safety (the type-casting client of the refinement literature
+    the paper builds on — Sridharan & Bodík use it as the flagship client;
+    here it runs on the general-purpose configuration).
+
+    An implicit downcast is a move whose destination's declared class is a
+    proper subclass of the source's. The cast is {e safe} when every object
+    the source may point to already has the destination's type. *)
+
+type site = {
+  dst : Parcfl_pag.Pag.var;
+  src : Parcfl_pag.Pag.var;
+  target : Parcfl_lang.Types.typ;  (** the destination's declared class *)
+}
+
+type verdict =
+  | Safe  (** all pointed-to objects are subtypes of the target *)
+  | Unsafe of Parcfl_pag.Pag.obj list  (** offending objects *)
+  | Vacuous  (** empty points-to set *)
+  | Unknown  (** out of budget *)
+
+val downcast_sites : Parcfl_lang.Types.t -> Parcfl_pag.Pag.t -> site list
+(** Assign edges whose endpoints' declared classes make the move a
+    downcast. *)
+
+val check : Client_session.t -> Parcfl_lang.Types.t -> site -> verdict
+
+type report = {
+  n_safe : int;
+  n_unsafe : int;
+  n_vacuous : int;
+  n_unknown : int;
+  unsafe_sites : (site * Parcfl_pag.Pag.obj list) list;
+}
+
+val check_all : Client_session.t -> Parcfl_lang.Types.t -> report

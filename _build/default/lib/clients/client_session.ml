@@ -1,0 +1,33 @@
+module Pag = Parcfl_pag.Pag
+module Ctx = Parcfl_pag.Ctx
+module Config = Parcfl_cfl.Config
+module Solver = Parcfl_cfl.Solver
+module Query = Parcfl_cfl.Query
+module Jmp_store = Parcfl_sharing.Jmp_store
+
+type t = {
+  session : Solver.session;
+  pag : Pag.t;
+  store : Jmp_store.t;
+  ctx_store : Ctx.store;
+}
+
+let create ?(budget = 75_000) ?tau_f ?tau_u ?(context_sensitive = true) pag =
+  let store = Jmp_store.create ?tau_f ?tau_u () in
+  let ctx_store = Ctx.create_store () in
+  let config = { Config.default with Config.budget; context_sensitive } in
+  let session =
+    Solver.make_session ~hooks:(Jmp_store.hooks store) ~config ~ctx_store pag
+  in
+  { session; pag; store; ctx_store }
+
+let solver t = t.session
+let pag t = t.pag
+let ctx_store t = t.ctx_store
+
+let points_to_objects t v =
+  match (Solver.points_to t.session v).Query.result with
+  | Query.Out_of_budget -> None
+  | Query.Points_to _ as r -> Some (Query.objects r)
+
+let n_jumps_shared t = Jmp_store.n_jumps t.store

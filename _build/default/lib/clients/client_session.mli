@@ -1,0 +1,23 @@
+(** Shared plumbing for the client analyses: one solver session with a jmp
+    store, so a batch of client queries shares discovered paths exactly the
+    way the paper's batch mode does. *)
+
+type t
+
+val create :
+  ?budget:int ->
+  ?tau_f:int ->
+  ?tau_u:int ->
+  ?context_sensitive:bool ->
+  Parcfl_pag.Pag.t ->
+  t
+
+val solver : t -> Parcfl_cfl.Solver.session
+val pag : t -> Parcfl_pag.Pag.t
+val ctx_store : t -> Parcfl_pag.Ctx.store
+
+val points_to_objects : t -> Parcfl_pag.Pag.var -> Parcfl_pag.Pag.obj list option
+(** [None] on budget exhaustion (unknown). *)
+
+val n_jumps_shared : t -> int
+(** jmp edges accumulated across the client's queries so far. *)

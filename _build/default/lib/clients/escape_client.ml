@@ -1,0 +1,48 @@
+module Pag = Parcfl_pag.Pag
+module Solver = Parcfl_cfl.Solver
+module Query = Parcfl_cfl.Query
+
+type verdict =
+  | Escapes of Pag.var list
+  | Local
+  | Unknown
+
+let check cs o =
+  let session = Client_session.solver cs in
+  let pag = Client_session.pag cs in
+  match (Solver.flows_to session o).Query.result with
+  | Query.Out_of_budget -> Unknown
+  | Query.Points_to pairs -> (
+      let globals =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (v, _) -> if Pag.var_is_global pag v then Some v else None)
+             pairs)
+      in
+      match globals with [] -> Local | gs -> Escapes gs)
+
+type report = {
+  n_escaping : int;
+  n_local : int;
+  n_unknown : int;
+  escaping : (Pag.obj * Pag.var list) list;
+}
+
+let check_all ?limit cs =
+  let pag = Client_session.pag cs in
+  let n = Pag.n_objs pag in
+  let n = match limit with Some l -> min l n | None -> n in
+  let acc = ref { n_escaping = 0; n_local = 0; n_unknown = 0; escaping = [] } in
+  for o = 0 to n - 1 do
+    match check cs o with
+    | Escapes gs ->
+        acc :=
+          {
+            !acc with
+            n_escaping = !acc.n_escaping + 1;
+            escaping = (o, gs) :: !acc.escaping;
+          }
+    | Local -> acc := { !acc with n_local = !acc.n_local + 1 }
+    | Unknown -> acc := { !acc with n_unknown = !acc.n_unknown + 1 }
+  done;
+  { !acc with escaping = List.rev !acc.escaping }

@@ -1,0 +1,23 @@
+(** Escape audit: does an allocation flow into a global (static) variable?
+
+    Objects reachable from globals outlive their allocating invocation and
+    are visible to every thread — the property thread-locality
+    optimisations and region inference must refute. Uses the demand-driven
+    FlowsTo direction: one forward query per allocation site. *)
+
+type verdict =
+  | Escapes of Parcfl_pag.Pag.var list  (** globals it reaches *)
+  | Local
+  | Unknown
+
+val check : Client_session.t -> Parcfl_pag.Pag.obj -> verdict
+
+type report = {
+  n_escaping : int;
+  n_local : int;
+  n_unknown : int;
+  escaping : (Parcfl_pag.Pag.obj * Parcfl_pag.Pag.var list) list;
+}
+
+val check_all : ?limit:int -> Client_session.t -> report
+(** Audits every allocation site (first [limit], default all). *)

@@ -1,0 +1,49 @@
+module Pag = Parcfl_pag.Pag
+
+type finding = {
+  base : Pag.var;
+  kind : [ `Load | `Store ];
+  field : Pag.field;
+}
+
+type report = {
+  findings : finding list;
+  n_checked : int;
+  n_ok : int;
+  n_unknown : int;
+}
+
+let dereference_bases pag =
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  Pag.iter_edges pag (function
+    | Pag.Load { base; field; _ } ->
+        if not (Hashtbl.mem seen base) then begin
+          Hashtbl.add seen base ();
+          out := (base, `Load, field) :: !out
+        end
+    | Pag.Store { base; field; _ } ->
+        if not (Hashtbl.mem seen base) then begin
+          Hashtbl.add seen base ();
+          out := (base, `Store, field) :: !out
+        end
+    | _ -> ());
+  List.rev !out
+
+let audit cs =
+  let pag = Client_session.pag cs in
+  let findings = ref [] and checked = ref 0 and ok = ref 0 and unk = ref 0 in
+  List.iter
+    (fun (base, kind, field) ->
+      incr checked;
+      match Client_session.points_to_objects cs base with
+      | None -> incr unk
+      | Some [] -> findings := { base; kind; field } :: !findings
+      | Some _ -> incr ok)
+    (dereference_bases pag);
+  {
+    findings = List.rev !findings;
+    n_checked = !checked;
+    n_ok = !ok;
+    n_unknown = !unk;
+  }

@@ -1,0 +1,26 @@
+(** Null-dereference audit (paper §IV-A: the client for which the
+    refinement-based configuration "is not well-suited", motivating the
+    general-purpose configuration this library reproduces).
+
+    A dereference base whose points-to set is provably empty is a
+    guaranteed null dereference (or dead code) in a whole program. *)
+
+type finding = {
+  base : Parcfl_pag.Pag.var;
+  kind : [ `Load | `Store ];
+  field : Parcfl_pag.Pag.field;
+}
+
+type report = {
+  findings : finding list;  (** provably-null dereference bases *)
+  n_checked : int;
+  n_ok : int;
+  n_unknown : int;  (** bases whose query ran out of budget *)
+}
+
+val dereference_bases :
+  Parcfl_pag.Pag.t -> (Parcfl_pag.Pag.var * [ `Load | `Store ] * Parcfl_pag.Pag.field) list
+(** Every load/store base with one representative access, deduplicated by
+    variable. *)
+
+val audit : Client_session.t -> report

@@ -1,0 +1,1 @@
+lib/conc/barrier.ml: Condition Mutex

@@ -1,0 +1,1 @@
+lib/conc/counter.mli:

@@ -1,0 +1,1 @@
+lib/conc/domain_pool.ml: Condition Domain List Mutex

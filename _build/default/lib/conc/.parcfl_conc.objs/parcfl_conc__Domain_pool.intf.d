@@ -1,0 +1,1 @@
+lib/conc/domain_pool.mli:

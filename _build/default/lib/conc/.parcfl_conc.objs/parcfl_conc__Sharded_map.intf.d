@@ -1,0 +1,1 @@
+lib/conc/sharded_map.mli:

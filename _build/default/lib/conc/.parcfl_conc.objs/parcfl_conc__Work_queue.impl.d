@@ -1,0 +1,1 @@
+lib/conc/work_queue.ml: Array Atomic

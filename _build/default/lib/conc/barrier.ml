@@ -1,0 +1,32 @@
+type t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  parties : int;
+  mutable waiting : int;
+  mutable generation : int;
+}
+
+let create parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties must be >= 1";
+  {
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    parties;
+    waiting = 0;
+    generation = 0;
+  }
+
+let wait t =
+  Mutex.lock t.lock;
+  let gen = t.generation in
+  t.waiting <- t.waiting + 1;
+  if t.waiting = t.parties then begin
+    t.waiting <- 0;
+    t.generation <- gen + 1;
+    Condition.broadcast t.cond
+  end
+  else
+    while t.generation = gen do
+      Condition.wait t.cond t.lock
+    done;
+  Mutex.unlock t.lock

@@ -1,0 +1,12 @@
+(** Reusable cyclic barrier for bulk-synchronous phases.
+
+    The parallel Andersen baseline iterates frontier-expansion rounds; all
+    workers must finish round [k] before any starts round [k+1]. *)
+
+type t
+
+val create : int -> t
+(** [create parties] for [parties] >= 1 participants. *)
+
+val wait : t -> unit
+(** Blocks until all parties have called [wait] for the current generation. *)

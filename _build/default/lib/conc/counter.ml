@@ -1,0 +1,16 @@
+type t = { stripes : int Atomic.t array }
+
+let default_stripes = 64
+
+let create ?(stripes = default_stripes) () =
+  { stripes = Array.init (max 1 stripes) (fun _ -> Atomic.make 0) }
+
+let stripe t worker = t.stripes.(worker mod Array.length t.stripes)
+
+let add t ~worker n = ignore (Atomic.fetch_and_add (stripe t worker) n)
+
+let incr t ~worker = add t ~worker 1
+
+let value t = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.stripes
+
+let reset t = Array.iter (fun a -> Atomic.set a 0) t.stripes

@@ -1,0 +1,21 @@
+(** Striped atomic counters.
+
+    Analysis statistics (#steps, #jumps, #early-terminations, ...) are bumped
+    from every query-processing domain. A single [Atomic.t] would serialise
+    the domains on one cache line; striping by worker id keeps increments
+    local and sums on read. *)
+
+type t
+
+val create : ?stripes:int -> unit -> t
+(** [stripes] defaults to a value comfortably above typical core counts. *)
+
+val add : t -> worker:int -> int -> unit
+
+val incr : t -> worker:int -> unit
+
+val value : t -> int
+(** Sum over all stripes. Linearizable only once writers are quiescent;
+    during a run it is a monotone lower bound. *)
+
+val reset : t -> unit

@@ -1,0 +1,29 @@
+(** Fixed-size pool of worker domains.
+
+    OCaml 5 domains are heavyweight (one per core is the intended use), so a
+    run spawns [threads - 1] domains once and reuses them for every parallel
+    region instead of spawning per task. Worker 0 is the calling domain —
+    with [threads = 1] no domain is ever spawned and execution is strictly
+    sequential, which keeps the [ParCFL^1] configurations deterministic.
+
+    Exceptions raised by workers are captured and re-raised in the caller
+    after all workers have stopped. *)
+
+type t
+
+val create : threads:int -> t
+(** [threads] >= 1; clamped to [recommended_domain_count ()] is the caller's
+    policy decision, not enforced here (the paper oversubscribes 16 threads
+    on 16 cores; we allow oversubscription on purpose). *)
+
+val threads : t -> int
+
+val run : t -> (worker:int -> unit) -> unit
+(** [run pool f] executes [f ~worker] on every worker (ids [0..threads-1])
+    and returns when all have finished. Not reentrant. *)
+
+val shutdown : t -> unit
+(** Joins all domains. The pool must not be used afterwards. Idempotent. *)
+
+val with_pool : threads:int -> (t -> 'a) -> 'a
+(** Create, run, and always shut down. *)

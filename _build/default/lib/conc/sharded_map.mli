@@ -1,0 +1,44 @@
+(** A sharded concurrent hash map.
+
+    This is the OCaml counterpart of the ConcurrentHashMap the paper uses to
+    manage [jmp] edges (Section IV-A): keys are hashed to one of [shards]
+    plain hash tables, each protected by its own mutex, so query-processing
+    domains contend only when they touch the same shard.
+
+    The [add_if_absent] operation implements the paper's insertion rule: when
+    two threads race to record a jmp edge for the same [(x, c)] key, exactly
+    one wins and the other observes the winner's value ("only one of the two
+    will succeed"). *)
+
+module Make (Key : sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end) : sig
+  type key = Key.t
+  type 'v t
+
+  val create : ?shards:int -> ?initial_capacity:int -> unit -> 'v t
+  (** [shards] is rounded up to a power of two; default 64. *)
+
+  val find_opt : 'v t -> key -> 'v option
+
+  val mem : 'v t -> key -> bool
+
+  val add_if_absent : 'v t -> key -> 'v -> [ `Added | `Present of 'v ]
+  (** Atomic insert-if-absent. *)
+
+  val update : 'v t -> key -> ('v option -> 'v option) -> unit
+  (** Atomic read-modify-write of one binding; [None] result removes it. *)
+
+  val remove : 'v t -> key -> unit
+
+  val length : 'v t -> int
+
+  val fold : (key -> 'v -> 'acc -> 'acc) -> 'v t -> 'acc -> 'acc
+  (** Snapshot iteration: takes each shard's lock in turn. Intended for
+      post-run statistics, not for use concurrently with heavy writes. *)
+
+  val clear : 'v t -> unit
+end

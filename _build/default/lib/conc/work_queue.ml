@@ -1,0 +1,34 @@
+type 'a t = {
+  items : 'a array;
+  next : int Atomic.t;
+}
+
+(* The queue is filled once and only drained afterwards, so an atomic cursor
+   over an immutable array is both simpler and cheaper than a mutex-protected
+   deque; it keeps the strict issue order the scheduler relies on. *)
+
+let create items = { items; next = Atomic.make 0 }
+
+let of_list l = create (Array.of_list l)
+
+let pop t =
+  let i = Atomic.fetch_and_add t.next 1 in
+  if i < Array.length t.items then Some t.items.(i) else None
+
+let pop_many t n =
+  if n <= 0 then []
+  else begin
+    let i = Atomic.fetch_and_add t.next n in
+    let len = Array.length t.items in
+    if i >= len then []
+    else begin
+      let stop = min len (i + n) in
+      let rec collect j acc =
+        if j < i then acc else collect (j - 1) (t.items.(j) :: acc)
+      in
+      collect (stop - 1) []
+    end
+  end
+
+let remaining t =
+  max 0 (Array.length t.items - Atomic.get t.next)

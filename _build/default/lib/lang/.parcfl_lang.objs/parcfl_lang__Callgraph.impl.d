@@ -1,0 +1,1 @@
+lib/lang/callgraph.ml: Array Ir List Parcfl_prim

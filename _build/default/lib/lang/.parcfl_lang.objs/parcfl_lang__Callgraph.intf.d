@@ -1,0 +1,1 @@
+lib/lang/callgraph.mli: Ir

@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Array Callgraph Hashtbl Ir List Parcfl_pag Printf Types

@@ -1,0 +1,1 @@
+lib/lang/lower.mli: Callgraph Hashtbl Ir Parcfl_pag

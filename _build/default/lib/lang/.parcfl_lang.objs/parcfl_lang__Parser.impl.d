@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Format Hashtbl In_channel Ir List Option Printf String Types

@@ -1,0 +1,1 @@
+lib/lang/types.ml: Array Format List Option Parcfl_prim

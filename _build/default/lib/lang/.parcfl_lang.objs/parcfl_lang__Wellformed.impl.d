@@ -1,0 +1,1 @@
+lib/lang/wellformed.ml: Array Format Ir List Option Printf String Types

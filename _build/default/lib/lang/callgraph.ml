@@ -1,0 +1,87 @@
+module Scc = Parcfl_prim.Scc
+module Bitset = Parcfl_prim.Bitset
+module Vec = Parcfl_prim.Vec
+
+type callsite = int
+
+type t = {
+  site_caller : int array;
+  site_targets : int list array;
+  method_sites : callsite array array;
+  recursive : Bitset.t;
+  scc : Scc.t;
+}
+
+let resolve program stmt =
+  match stmt with
+  | Ir.Call { recv; static_typ; mname; _ } -> (
+      match recv with
+      | None -> (
+          match Ir.method_id program static_typ mname with
+          | Some m -> Some [ m ]
+          | None -> Some [])
+      | Some _ -> Some (Ir.dispatch program static_typ mname))
+  | _ -> None
+
+let build program =
+  let callers = Vec.create () in
+  let targets = Vec.create () in
+  let method_sites =
+    Array.map
+      (fun _ -> Vec.create ())
+      program.Ir.methods
+  in
+  Array.iteri
+    (fun mid m ->
+      List.iter
+        (fun stmt ->
+          match resolve program stmt with
+          | None -> ()
+          | Some tgts ->
+              let site = Vec.length callers in
+              Vec.push callers mid;
+              Vec.push targets tgts;
+              Vec.push method_sites.(mid) site)
+        m.Ir.m_body)
+    program.Ir.methods;
+  let site_caller = Vec.to_array callers in
+  let site_targets = Vec.to_array targets in
+  let n_methods = Array.length program.Ir.methods in
+  let succs =
+    let adj = Array.make n_methods [] in
+    Array.iteri
+      (fun site tgts ->
+        let c = site_caller.(site) in
+        adj.(c) <- List.rev_append tgts adj.(c))
+      site_targets;
+    fun m -> adj.(m)
+  in
+  let scc = Scc.compute ~n:n_methods ~succs in
+  let recursive = Bitset.create ~capacity:(Array.length site_caller) () in
+  Array.iteri
+    (fun site tgts ->
+      let c = scc.Scc.comp_of.(site_caller.(site)) in
+      if List.exists (fun m -> scc.Scc.comp_of.(m) = c) tgts then
+        ignore (Bitset.add recursive site))
+    site_targets;
+  {
+    site_caller;
+    site_targets;
+    method_sites = Array.map Vec.to_array method_sites;
+    recursive;
+    scc;
+  }
+
+let n_sites t = Array.length t.site_caller
+let caller t s = t.site_caller.(s)
+let targets t s = t.site_targets.(s)
+let is_recursive t s = Bitset.mem t.recursive s
+let sites_of_method t m = t.method_sites.(m)
+let n_components t = t.scc.Scc.n_comps
+
+let same_component t m1 m2 = t.scc.Scc.comp_of.(m1) = t.scc.Scc.comp_of.(m2)
+
+let iter_call_edges t f =
+  Array.iteri
+    (fun site tgts -> List.iter (fun m -> f site t.site_caller.(site) m) tgts)
+    t.site_targets

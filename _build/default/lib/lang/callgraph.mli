@@ -1,0 +1,35 @@
+(** Call graph construction (CHA) and recursion-cycle collapsing.
+
+    Call sites are numbered densely in (method id, body position) order; the
+    PAG lowering walks statements in the same order, so the numbering is
+    shared by construction.
+
+    The paper requires "recursion cycles of the call graph are collapsed"
+    (Section IV-A) so that context stacks stay bounded: any call site whose
+    caller and (some) target lie in the same strongly connected component is
+    flagged recursive and later treated context-insensitively. *)
+
+type callsite = int
+
+type t
+
+val build : Ir.program -> t
+
+val n_sites : t -> int
+
+val caller : t -> callsite -> Ir.method_id
+
+val targets : t -> callsite -> Ir.method_id list
+(** CHA targets; empty for calls that resolve to nothing (dead call). *)
+
+val is_recursive : t -> callsite -> bool
+
+val sites_of_method : t -> Ir.method_id -> callsite array
+(** Call sites in [m]'s body, in statement order. *)
+
+val n_components : t -> int
+
+val same_component : t -> Ir.method_id -> Ir.method_id -> bool
+
+val iter_call_edges : t -> (callsite -> Ir.method_id -> Ir.method_id -> unit) -> unit
+(** [f site caller target] for every resolved edge. *)

@@ -1,0 +1,145 @@
+type typ = Types.typ
+type field = Types.field
+type method_id = int
+type global_id = int
+
+type operand =
+  | Slot of int
+  | Global of global_id
+
+type stmt =
+  | Alloc of { lhs : operand; cls : typ }
+  | Move of { lhs : operand; rhs : operand }
+  | Load of { lhs : operand; base : operand; field : field }
+  | Store of { base : operand; field : field; rhs : operand }
+  | Call of {
+      lhs : operand option;
+      recv : operand option;
+      static_typ : typ;
+      mname : string;
+      args : operand list;
+    }
+  | Return of operand
+
+type meth = {
+  m_name : string;
+  m_owner : typ;
+  m_is_static : bool;
+  m_n_formals : int;
+  m_slots : (string * typ) array;
+  m_ret_slot : int option;
+  m_body : stmt list;
+  m_app : bool;
+}
+
+type program = {
+  types : Types.t;
+  globals : (string * typ) array;
+  methods : meth array;
+}
+
+(* (owner, name) -> method id. Programs are immutable after construction,
+   so the index is rebuilt lazily per program via a weak-ish association:
+   we simply build a Hashtbl on first use and cache it with a global
+   memo keyed by physical identity. Programs are few (one per benchmark),
+   so a tiny assoc list suffices. *)
+let index_cache : (program * (typ * string, method_id) Hashtbl.t) list ref =
+  ref []
+
+let index program =
+  match List.find_opt (fun (p, _) -> p == program) !index_cache with
+  | Some (_, tbl) -> tbl
+  | None ->
+      let tbl = Hashtbl.create (Array.length program.methods) in
+      Array.iteri
+        (fun id m -> Hashtbl.replace tbl (m.m_owner, m.m_name) id)
+        program.methods;
+      index_cache := (program, tbl) :: List.filteri (fun i _ -> i < 7) !index_cache;
+      tbl
+
+let method_id program cls mname =
+  let tbl = index program in
+  let rec up c =
+    match Hashtbl.find_opt tbl (c, mname) with
+    | Some id -> Some id
+    | None -> (
+        match Types.super program.types c with
+        | Some s -> up s
+        | None -> None)
+  in
+  if cls < 0 then None else up cls
+
+let dispatch program cls mname =
+  if cls < 0 then []
+  else begin
+    let tbl = index program in
+    let seen = Hashtbl.create 8 in
+    let out = ref [] in
+    List.iter
+      (fun sub ->
+        (* The implementation a receiver of runtime type [sub] binds to. *)
+        let rec up c =
+          match Hashtbl.find_opt tbl (c, mname) with
+          | Some id -> Some id
+          | None -> (
+              match Types.super program.types c with
+              | Some s -> up s
+              | None -> None)
+        in
+        match up sub with
+        | Some id when not (Hashtbl.mem seen id) ->
+            Hashtbl.add seen id ();
+            out := id :: !out
+        | _ -> ())
+      (Types.subclasses program.types cls);
+    List.rev !out
+  end
+
+let n_slots m = Array.length m.m_slots
+
+let stmt_count program =
+  Array.fold_left (fun acc m -> acc + List.length m.m_body) 0 program.methods
+
+let pp_operand program m ppf = function
+  | Slot i -> Format.pp_print_string ppf (fst m.m_slots.(i))
+  | Global g -> Format.fprintf ppf "%s" (fst program.globals.(g))
+
+let pp_stmt program m ppf stmt =
+  let op = pp_operand program m in
+  match stmt with
+  | Alloc { lhs; cls } ->
+      Format.fprintf ppf "%a = new %s()" op lhs
+        (Types.class_name program.types cls)
+  | Move { lhs; rhs } -> Format.fprintf ppf "%a = %a" op lhs op rhs
+  | Load { lhs; base; field } ->
+      Format.fprintf ppf "%a = %a.%s" op lhs op base
+        (Types.field_name program.types field)
+  | Store { base; field; rhs } ->
+      Format.fprintf ppf "%a.%s = %a" op base
+        (Types.field_name program.types field)
+        op rhs
+  | Call { lhs; recv; static_typ; mname; args } ->
+      (match lhs with
+      | Some l -> Format.fprintf ppf "%a = " op l
+      | None -> ());
+      (match recv with
+      | Some r -> Format.fprintf ppf "%a.%s(" op r mname
+      | None ->
+          Format.fprintf ppf "%s.%s("
+            (Types.class_name program.types static_typ)
+            mname);
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        op ppf args;
+      Format.pp_print_string ppf ")"
+  | Return o -> Format.fprintf ppf "return %a" op o
+
+let pp_method program ppf m =
+  Format.fprintf ppf "%s %s.%s(...) {@."
+    (if m.m_is_static then "static" else "virtual")
+    (Types.class_name program.types m.m_owner)
+    m.m_name;
+  List.iter
+    (fun s -> Format.fprintf ppf "  %a;@." (pp_stmt program m) s)
+    m.m_body;
+  Format.fprintf ppf "}"

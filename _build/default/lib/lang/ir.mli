@@ -1,0 +1,70 @@
+(** Mini-Java intermediate representation.
+
+    A program is a set of classes with instance methods, static (global)
+    reference variables, and straight-line method bodies of
+    pointer-manipulating statements — exactly the statement shapes the PAG
+    models (paper Fig. 1). Control flow is irrelevant to a flow-insensitive
+    analysis, so bodies are statement lists.
+
+    Within a method, operands refer to slots: formals first (slot 0 is
+    [this] for instance methods), then locals. The optional return slot is a
+    designated local. *)
+
+type typ = Types.typ
+type field = Types.field
+type method_id = int
+type global_id = int
+
+type operand =
+  | Slot of int      (** formal or local of the enclosing method *)
+  | Global of global_id
+
+type stmt =
+  | Alloc of { lhs : operand; cls : typ }
+      (** [lhs = new cls()] — one abstract object per occurrence. *)
+  | Move of { lhs : operand; rhs : operand }
+  | Load of { lhs : operand; base : operand; field : field }
+  | Store of { base : operand; field : field; rhs : operand }
+  | Call of {
+      lhs : operand option;
+      recv : operand option;  (** [None] for static calls *)
+      static_typ : typ;       (** receiver's static type / owner for static *)
+      mname : string;
+      args : operand list;
+    }
+  | Return of operand
+      (** assigns to the method's return slot. *)
+
+type meth = {
+  m_name : string;
+  m_owner : typ;
+  m_is_static : bool;
+  m_n_formals : int;      (** including [this] when instance *)
+  m_slots : (string * typ) array;  (** formals then locals *)
+  m_ret_slot : int option;  (** must be a valid slot when present *)
+  m_body : stmt list;
+  m_app : bool;  (** application code (queried) vs library code *)
+}
+
+type program = {
+  types : Types.t;
+  globals : (string * typ) array;
+  methods : meth array;
+}
+
+val method_id : program -> typ -> string -> method_id option
+(** Static lookup: the method named [mname] as seen from class [typ]
+    (walking up the hierarchy). *)
+
+val dispatch : program -> typ -> string -> method_id list
+(** CHA dispatch for a virtual call on static receiver type [typ]: every
+    implementation that a runtime type [<= typ] could bind to (the
+    implementations reachable from subclasses, deduplicated). *)
+
+val n_slots : meth -> int
+
+val stmt_count : program -> int
+
+val pp_stmt : program -> meth -> Format.formatter -> stmt -> unit
+
+val pp_method : program -> Format.formatter -> meth -> unit

@@ -1,0 +1,165 @@
+module Pag = Parcfl_pag.Pag
+
+module B = Pag.Build
+
+type t = {
+  pag : Pag.t;
+  global_var : Pag.var array;
+  slot_var : Pag.var array array;
+  obj_of_alloc : (Ir.method_id * int, Pag.obj) Hashtbl.t;
+}
+
+let lower (program : Ir.program) (cg : Callgraph.t) =
+  let b = B.create () in
+  let types = program.Ir.types in
+  let global_var =
+    Array.map
+      (fun (name, typ) ->
+        if Types.is_ref typ then B.add_var b ~global:true ~typ name else -1)
+      program.Ir.globals
+  in
+  let slot_var =
+    Array.mapi
+      (fun mid m ->
+        Array.mapi
+          (fun _i (name, typ) ->
+            if Types.is_ref typ then
+              let qualified =
+                Printf.sprintf "%s.%s#%s"
+                  (Types.class_name types m.Ir.m_owner)
+                  m.Ir.m_name name
+              in
+              B.add_var b ~typ ~method_id:mid ~app:m.Ir.m_app qualified
+            else -1)
+          m.Ir.m_slots)
+      program.Ir.methods
+  in
+  let obj_of_alloc = Hashtbl.create 256 in
+  (* A statement operand as a PAG variable; [-1] for primitive slots. *)
+  let var_of mid op =
+    match op with
+    | Ir.Slot i -> slot_var.(mid).(i)
+    | Ir.Global g -> global_var.(g)
+  in
+  let is_global = function Ir.Global _ -> true | Ir.Slot _ -> false in
+  let temp_count = ref 0 in
+  (* ld/st edges must connect locals (Fig. 1); reroute a global operand
+     through a fresh local linked by assign_g. [incoming] says whether the
+     temp receives the global's value (base/rhs position) or feeds it. *)
+  let localise mid op ~incoming =
+    let v = var_of mid op in
+    if v < 0 then -1
+    else if not (is_global op) then v
+    else begin
+      incr temp_count;
+      let tmp =
+        B.add_var b ~method_id:mid
+          (Printf.sprintf "$tmp%d" !temp_count)
+      in
+      if incoming then B.assign_global b ~dst:tmp ~src:v
+      else B.assign_global b ~dst:v ~src:tmp;
+      tmp
+    end
+  in
+  let move b ~dst ~src ~dst_global ~src_global =
+    if dst_global || src_global then B.assign_global b ~dst ~src
+    else B.assign b ~dst ~src
+  in
+  Array.iteri
+    (fun mid m ->
+      let sites = Callgraph.sites_of_method cg mid in
+      let next_site = ref 0 in
+      List.iter
+        (fun (pos, stmt) ->
+          match stmt with
+          | Ir.Alloc { lhs; cls } ->
+              let v = var_of mid lhs in
+              if Types.is_ref cls then begin
+                let o =
+                  B.add_obj b ~typ:cls ~method_id:mid
+                    (Printf.sprintf "o@%s.%s:%d"
+                       (Types.class_name types m.Ir.m_owner)
+                       m.Ir.m_name pos)
+                in
+                Hashtbl.replace obj_of_alloc (mid, pos) o;
+                if v >= 0 then
+                  if is_global lhs then begin
+                    (* g = new C(): allocate into a temp, then assign_g. *)
+                    incr temp_count;
+                    let tmp =
+                      B.add_var b ~method_id:mid
+                        (Printf.sprintf "$tmp%d" !temp_count)
+                    in
+                    B.new_edge b ~dst:tmp o;
+                    B.assign_global b ~dst:v ~src:tmp
+                  end
+                  else B.new_edge b ~dst:v o
+              end
+          | Ir.Move { lhs; rhs } ->
+              let dst = var_of mid lhs and src = var_of mid rhs in
+              if dst >= 0 && src >= 0 then
+                move b ~dst ~src ~dst_global:(is_global lhs)
+                  ~src_global:(is_global rhs)
+          | Ir.Return rhs -> (
+              match m.Ir.m_ret_slot with
+              | None -> ()
+              | Some r ->
+                  let dst = slot_var.(mid).(r) and src = var_of mid rhs in
+                  if dst >= 0 && src >= 0 then
+                    move b ~dst ~src ~dst_global:false
+                      ~src_global:(is_global rhs))
+          | Ir.Load { lhs; base; field } ->
+              let dst = localise mid lhs ~incoming:false in
+              let base_v = localise mid base ~incoming:true in
+              if dst >= 0 && base_v >= 0 then B.load b ~dst ~base:base_v field
+          | Ir.Store { base; field; rhs } ->
+              let base_v = localise mid base ~incoming:true in
+              let src = localise mid rhs ~incoming:true in
+              if base_v >= 0 && src >= 0 then B.store b ~base:base_v field ~src
+          | Ir.Call { lhs; recv; args; _ } ->
+              let site = sites.(!next_site) in
+              incr next_site;
+              if Callgraph.is_recursive cg site then B.mark_ci_site b site;
+              List.iter
+                (fun tgt ->
+                  let callee = program.Ir.methods.(tgt) in
+                  let callee_slots = slot_var.(tgt) in
+                  (* this-parameter *)
+                  (match recv with
+                  | Some r when not callee.Ir.m_is_static ->
+                      let actual = localise mid r ~incoming:true in
+                      let formal = callee_slots.(0) in
+                      if actual >= 0 && formal >= 0 then
+                        B.param b ~dst:formal ~site ~src:actual
+                  | _ -> ());
+                  (* positional parameters *)
+                  let offset = if callee.Ir.m_is_static then 0 else 1 in
+                  List.iteri
+                    (fun j arg ->
+                      let fi = offset + j in
+                      if fi < callee.Ir.m_n_formals then begin
+                        let actual = localise mid arg ~incoming:true in
+                        let formal = callee_slots.(fi) in
+                        if actual >= 0 && formal >= 0 then
+                          B.param b ~dst:formal ~site ~src:actual
+                      end)
+                    args;
+                  (* return value *)
+                  match (lhs, callee.Ir.m_ret_slot) with
+                  | Some l, Some r ->
+                      let dst = localise mid l ~incoming:false in
+                      let src = callee_slots.(r) in
+                      if dst >= 0 && src >= 0 then B.ret b ~dst ~site ~src
+                  | _ -> ())
+                (Callgraph.targets cg site))
+        (List.mapi (fun pos s -> (pos, s)) m.Ir.m_body))
+    program.Ir.methods;
+  { pag = B.freeze b; global_var; slot_var; obj_of_alloc }
+
+let var_of_slot t mid slot =
+  let v = t.slot_var.(mid).(slot) in
+  if v >= 0 then Some v else None
+
+let var_of_global t g =
+  let v = t.global_var.(g) in
+  if v >= 0 then Some v else None

@@ -1,0 +1,26 @@
+(** Lowering Mini-Java IR to the PAG (paper Fig. 1 + Section II-A).
+
+    Reference-typed slots and globals become PAG variables; allocation
+    statements become abstract objects; statements become the seven edge
+    kinds. Call sites are resolved through {!Callgraph} (CHA): a virtual
+    call contributes [param]/[ret] edges for {e every} CHA target at the
+    same call site. Sites inside call-graph recursion cycles are marked
+    context-insensitive on the PAG (the paper's cycle collapsing).
+
+    Loads and stores whose base or value is a global are normalised through
+    a fresh temporary connected by an [assign_g] edge, preserving the PAG
+    invariant that [ld]/[st] edges connect locals. *)
+
+type t = {
+  pag : Parcfl_pag.Pag.t;
+  global_var : Parcfl_pag.Pag.var array;  (** global id -> PAG var, [-1] if primitive *)
+  slot_var : Parcfl_pag.Pag.var array array;  (** method id -> slot -> PAG var, [-1] *)
+  obj_of_alloc : (Ir.method_id * int, Parcfl_pag.Pag.obj) Hashtbl.t;
+      (** (method, body position of the Alloc) -> object *)
+}
+
+val lower : Ir.program -> Callgraph.t -> t
+
+val var_of_slot : t -> Ir.method_id -> int -> Parcfl_pag.Pag.var option
+
+val var_of_global : t -> Ir.global_id -> Parcfl_pag.Pag.var option

@@ -1,0 +1,693 @@
+type error = {
+  line : int;
+  col : int;
+  message : string;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
+
+exception Err of error
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+
+type token =
+  | Ident of string
+  | Kw of string
+  | Punct of char (* { } ( ) ; , . = *)
+  | Eof
+
+type lexed = {
+  tok : token;
+  t_line : int;
+  t_col : int;
+}
+
+let keywords =
+  [ "class"; "extends"; "static"; "global"; "library"; "new"; "return";
+    "this"; "void"; "int"; "boolean" ]
+
+let lex text =
+  let out = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let n = String.length text in
+  let i = ref 0 in
+  let fail message = raise (Err { line = !line; col = !col; message }) in
+  let advance () =
+    (if text.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then
+      while !i < n && text.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if text.[!i] = '*' && !i + 1 < n && text.[!i + 1] = '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then fail "unterminated block comment"
+    end
+    else if
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+    then begin
+      let l0 = !line and c0 = !col in
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = text.[!i] in
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = '$'
+      do
+        advance ()
+      done;
+      let word = String.sub text start (!i - start) in
+      let tok = if List.mem word keywords then Kw word else Ident word in
+      out := { tok; t_line = l0; t_col = c0 } :: !out
+    end
+    else if c >= '0' && c <= '9' then begin
+      (* integer literals appear only as ignored call arguments like get(0);
+         lex them as the pseudo-identifier "$int" so the resolver can skip
+         them in primitive positions *)
+      let l0 = !line and c0 = !col in
+      while !i < n && text.[!i] >= '0' && text.[!i] <= '9' do
+        advance ()
+      done;
+      out := { tok = Ident "$int"; t_line = l0; t_col = c0 } :: !out
+    end
+    else if String.contains "{}();,.=" c then begin
+      out := { tok = Punct c; t_line = !line; t_col = !col } :: !out;
+      advance ()
+    end
+    else fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  out := { tok = Eof; t_line = !line; t_col = !col } :: !out;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Surface AST                                                          *)
+
+type s_operand =
+  | S_this
+  | S_name of string
+
+type s_stmt =
+  | S_local of string * string (* type name, var name *)
+  | S_alloc of s_operand * string
+  | S_move of s_operand * s_operand
+  | S_load of s_operand * s_operand * string (* x = base.f *)
+  | S_store of s_operand * string * s_operand (* base.f = y *)
+  | S_call of {
+      lhs : s_operand option;
+      recv : s_operand option; (* None: static, receiver named by cls *)
+      cls : string option; (* static calls: class name *)
+      mname : string;
+      args : s_operand list;
+    }
+  | S_return of s_operand
+
+type s_method = {
+  sm_static : bool;
+  sm_ret : string; (* type name or "void" *)
+  sm_name : string;
+  sm_params : (string * string) list; (* type, name *)
+  sm_body : s_stmt list;
+  sm_line : int;
+  sm_col : int;
+}
+
+type s_class = {
+  sc_name : string;
+  sc_super : string option;
+  sc_library : bool;
+  sc_fields : (string * string) list; (* type, name *)
+  sc_methods : s_method list;
+}
+
+type s_program = {
+  sp_globals : (string * string) list; (* type, name *)
+  sp_classes : s_class list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser                                             *)
+
+type state = {
+  mutable toks : lexed list;
+}
+
+let peek st = match st.toks with t :: _ -> t | [] -> assert false
+
+
+let next st =
+  match st.toks with
+  | t :: rest ->
+      if t.tok <> Eof then st.toks <- rest;
+      t
+  | [] -> assert false
+
+let fail_at (t : lexed) message =
+  raise (Err { line = t.t_line; col = t.t_col; message })
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Kw s -> Printf.sprintf "keyword %S" s
+  | Punct c -> Printf.sprintf "%C" c
+  | Eof -> "end of input"
+
+let expect_punct st c =
+  let t = next st in
+  match t.tok with
+  | Punct c' when c' = c -> ()
+  | _ -> fail_at t (Printf.sprintf "expected %C, found %s" c (describe t.tok))
+
+let expect_ident st what =
+  let t = next st in
+  match t.tok with
+  | Ident s -> s
+  | _ -> fail_at t (Printf.sprintf "expected %s, found %s" what (describe t.tok))
+
+let type_name st =
+  let t = next st in
+  match t.tok with
+  | Ident s -> s
+  | Kw ("int" | "boolean" | "void") ->
+      (match t.tok with Kw s -> s | _ -> assert false)
+  | _ -> fail_at t (Printf.sprintf "expected a type, found %s" (describe t.tok))
+
+let operand st =
+  let t = next st in
+  match t.tok with
+  | Kw "this" -> S_this
+  | Ident s -> S_name s
+  | _ ->
+      fail_at t (Printf.sprintf "expected a variable, found %s" (describe t.tok))
+
+let parse_args st =
+  expect_punct st '(';
+  if (peek st).tok = Punct ')' then begin
+    ignore (next st);
+    []
+  end
+  else begin
+    let rec more acc =
+      let a = operand st in
+      let t = next st in
+      match t.tok with
+      | Punct ',' -> more (a :: acc)
+      | Punct ')' -> List.rev (a :: acc)
+      | _ -> fail_at t "expected ',' or ')' in argument list"
+    in
+    more []
+  end
+
+(* rhs of [lhs =]: allocation, call, load, or move. *)
+let parse_rhs st lhs =
+  let t = peek st in
+  match t.tok with
+  | Kw "new" ->
+      ignore (next st);
+      let cls = expect_ident st "a class name" in
+      expect_punct st '(';
+      expect_punct st ')';
+      expect_punct st ';';
+      S_alloc (lhs, cls)
+  | Kw "this" | Ident _ -> (
+      let base = operand st in
+      match (peek st).tok with
+      | Punct ';' ->
+          ignore (next st);
+          S_move (lhs, base)
+      | Punct '.' -> (
+          ignore (next st);
+          let member = expect_ident st "a field or method name" in
+          match (peek st).tok with
+          | Punct '(' ->
+              let args = parse_args st in
+              expect_punct st ';';
+              (* receiver may actually be a class name (static call);
+                 resolved later *)
+              let recv, cls =
+                match base with
+                | S_this -> (Some S_this, None)
+                | S_name n -> (Some (S_name n), Some n)
+              in
+              S_call { lhs = Some lhs; recv; cls; mname = member; args }
+          | Punct ';' ->
+              ignore (next st);
+              S_load (lhs, base, member)
+          | _ -> fail_at (peek st) "expected '(' or ';' after member access")
+      | _ -> fail_at (peek st) "expected ';' or '.' after variable")
+  | _ -> fail_at t (Printf.sprintf "unexpected %s in assignment" (describe t.tok))
+
+let rec parse_stmts st acc =
+  let t = peek st in
+  match t.tok with
+  | Punct '}' ->
+      ignore (next st);
+      List.rev acc
+  | Kw "return" ->
+      ignore (next st);
+      let o = operand st in
+      expect_punct st ';';
+      parse_stmts st (S_return o :: acc)
+  | Kw ("int" | "boolean") ->
+      let ty = type_name st in
+      let name = expect_ident st "a variable name" in
+      expect_punct st ';';
+      parse_stmts st (S_local (ty, name) :: acc)
+  | Kw "this" -> (
+      ignore (next st);
+      expect_punct st '.';
+      let member = expect_ident st "a field or method name" in
+      match (peek st).tok with
+      | Punct '(' ->
+          let args = parse_args st in
+          expect_punct st ';';
+          parse_stmts st
+            (S_call
+               { lhs = None; recv = Some S_this; cls = None; mname = member;
+                 args }
+            :: acc)
+      | Punct '=' ->
+          ignore (next st);
+          let rhs = operand st in
+          expect_punct st ';';
+          parse_stmts st (S_store (S_this, member, rhs) :: acc)
+      | _ -> fail_at (peek st) "expected '(' or '=' after this.member")
+  | Ident first -> (
+      ignore (next st);
+      match (peek st).tok with
+      | Ident name ->
+          (* local declaration: Type name; *)
+          ignore (next st);
+          expect_punct st ';';
+          parse_stmts st (S_local (first, name) :: acc)
+      | Punct '=' ->
+          ignore (next st);
+          let stmt = parse_rhs st (S_name first) in
+          parse_stmts st (stmt :: acc)
+      | Punct '.' -> (
+          ignore (next st);
+          let member = expect_ident st "a field or method name" in
+          match (peek st).tok with
+          | Punct '(' ->
+              let args = parse_args st in
+              expect_punct st ';';
+              parse_stmts st
+                (S_call
+                   {
+                     lhs = None;
+                     recv = Some (S_name first);
+                     cls = Some first;
+                     mname = member;
+                     args;
+                   }
+                :: acc)
+          | Punct '=' ->
+              ignore (next st);
+              let rhs = operand st in
+              expect_punct st ';';
+              parse_stmts st (S_store (S_name first, member, rhs) :: acc)
+          | _ -> fail_at (peek st) "expected '(' or '=' after member access")
+      | _ ->
+          fail_at (peek st)
+            (Printf.sprintf "unexpected %s after %S" (describe (peek st).tok)
+               first))
+  | _ ->
+      fail_at t (Printf.sprintf "unexpected %s in method body" (describe t.tok))
+
+let parse_params st =
+  expect_punct st '(';
+  if (peek st).tok = Punct ')' then begin
+    ignore (next st);
+    []
+  end
+  else begin
+    let rec more acc =
+      let ty = type_name st in
+      let name = expect_ident st "a parameter name" in
+      let t = next st in
+      match t.tok with
+      | Punct ',' -> more ((ty, name) :: acc)
+      | Punct ')' -> List.rev ((ty, name) :: acc)
+      | _ -> fail_at t "expected ',' or ')' in parameter list"
+    in
+    more []
+  end
+
+let parse_member st =
+  let static =
+    if (peek st).tok = Kw "static" then begin
+      ignore (next st);
+      true
+    end
+    else false
+  in
+  let t0 = peek st in
+  let ty = type_name st in
+  let name = expect_ident st "a member name" in
+  match (peek st).tok with
+  | Punct ';' when not static ->
+      ignore (next st);
+      `Field (ty, name)
+  | Punct '(' ->
+      let params = parse_params st in
+      expect_punct st '{';
+      let body = parse_stmts st [] in
+      `Method
+        {
+          sm_static = static;
+          sm_ret = ty;
+          sm_name = name;
+          sm_params = params;
+          sm_body = body;
+          sm_line = t0.t_line;
+          sm_col = t0.t_col;
+        }
+  | _ -> fail_at (peek st) "expected ';' (field) or '(' (method)"
+
+let parse_class st ~library =
+  let _ = next st (* 'class' *) in
+  let name = expect_ident st "a class name" in
+  let super =
+    if (peek st).tok = Kw "extends" then begin
+      ignore (next st);
+      Some (expect_ident st "a superclass name")
+    end
+    else None
+  in
+  expect_punct st '{';
+  let fields = ref [] and methods = ref [] in
+  while (peek st).tok <> Punct '}' do
+    match parse_member st with
+    | `Field (ty, n) -> fields := (ty, n) :: !fields
+    | `Method m -> methods := m :: !methods
+  done;
+  ignore (next st);
+  {
+    sc_name = name;
+    sc_super = super;
+    sc_library = library;
+    sc_fields = List.rev !fields;
+    sc_methods = List.rev !methods;
+  }
+
+let parse_surface text =
+  let st = { toks = lex text } in
+  let globals = ref [] and classes = ref [] in
+  let rec loop () =
+    match (peek st).tok with
+    | Eof -> ()
+    | Kw "global" ->
+        ignore (next st);
+        let ty = type_name st in
+        let name = expect_ident st "a global name" in
+        expect_punct st ';';
+        globals := (ty, name) :: !globals;
+        loop ()
+    | Kw "library" ->
+        ignore (next st);
+        if (peek st).tok <> Kw "class" then
+          fail_at (peek st) "expected 'class' after 'library'";
+        classes := parse_class st ~library:true :: !classes;
+        loop ()
+    | Kw "class" ->
+        classes := parse_class st ~library:false :: !classes;
+        loop ()
+    | t ->
+        fail_at (peek st)
+          (Printf.sprintf "expected 'class' or 'global', found %s" (describe t))
+  in
+  loop ();
+  { sp_globals = List.rev !globals; sp_classes = List.rev !classes }
+
+(* ------------------------------------------------------------------ *)
+(* Resolution to Ir                                                     *)
+
+let err message = raise (Err { line = 0; col = 0; message })
+
+let resolve (sp : s_program) : Ir.program =
+  let types = Types.create () in
+  let class_ids = Hashtbl.create 16 in
+  Hashtbl.replace class_ids "Object" (Types.object_root types);
+  let is_prim = function "int" | "boolean" | "void" -> true | _ -> false in
+  let declared c = Hashtbl.mem class_ids c in
+  (* Two passes over classes: supers may be declared later in the file, so
+     declare in an order where supers come first (fail on cycles). *)
+  let remaining = ref sp.sp_classes in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    remaining :=
+      List.filter
+        (fun sc ->
+          if Hashtbl.mem class_ids sc.sc_name then
+            err (Printf.sprintf "duplicate class %s" sc.sc_name);
+          let ready =
+            match sc.sc_super with None -> true | Some s -> declared s
+          in
+          if ready then begin
+            let super =
+              Option.map (Hashtbl.find class_ids) sc.sc_super
+            in
+            Hashtbl.replace class_ids sc.sc_name
+              (Types.declare_class types ?super sc.sc_name);
+            progress := true;
+            false
+          end
+          else true)
+        !remaining
+  done;
+  (match !remaining with
+  | [] -> ()
+  | sc :: _ ->
+      err
+        (Printf.sprintf "class %s extends unknown or cyclic superclass %s"
+           sc.sc_name
+           (Option.value sc.sc_super ~default:"?")));
+  let typ_of name =
+    if is_prim name then Types.prim
+    else
+      match Hashtbl.find_opt class_ids name with
+      | Some t -> t
+      | None -> err (Printf.sprintf "unknown type %s" name)
+  in
+  (* Fields. *)
+  List.iter
+    (fun sc ->
+      let owner = Hashtbl.find class_ids sc.sc_name in
+      List.iter
+        (fun (ty, name) ->
+          ignore
+            (Types.declare_field types ~owner ~name ~field_typ:(typ_of ty)))
+        sc.sc_fields)
+    sp.sp_classes;
+  let field_by_name cls fname =
+    let fields = Types.fields_of types cls in
+    match
+      List.find_opt (fun f -> Types.field_name types f = fname) fields
+    with
+    | Some f -> f
+    | None ->
+        err
+          (Printf.sprintf "class %s has no field %s"
+             (Types.class_name types cls)
+             fname)
+  in
+  let globals = Array.of_list sp.sp_globals in
+  let global_ids = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (_, name) ->
+      if Hashtbl.mem global_ids name then
+        err (Printf.sprintf "duplicate global %s" name);
+      Hashtbl.replace global_ids name i)
+    globals;
+  let globals = Array.map (fun (ty, name) -> (name, typ_of ty)) globals in
+  (* Methods. *)
+  let methods = ref [] in
+  List.iter
+    (fun sc ->
+      let owner = Hashtbl.find class_ids sc.sc_name in
+      List.iter
+        (fun sm ->
+          let fail message =
+            raise (Err { line = sm.sm_line; col = sm.sm_col; message })
+          in
+          let slots = ref [] (* reversed (name, typ) *) in
+          let slot_ids = Hashtbl.create 8 in
+          let add_slot name ty =
+            if Hashtbl.mem slot_ids name then
+              fail (Printf.sprintf "duplicate variable %s" name);
+            let id = List.length !slots in
+            Hashtbl.replace slot_ids name id;
+            slots := (name, ty) :: !slots;
+            id
+          in
+          if not sm.sm_static then ignore (add_slot "this" owner);
+          List.iter
+            (fun (ty, name) -> ignore (add_slot name (typ_of ty)))
+            sm.sm_params;
+          let n_formals = List.length !slots in
+          (* declare locals *)
+          List.iter
+            (function
+              | S_local (ty, name) -> ignore (add_slot name (typ_of ty))
+              | _ -> ())
+            sm.sm_body;
+          let ret_slot =
+            if is_prim sm.sm_ret then None
+            else Some (add_slot "$ret" (typ_of sm.sm_ret))
+          in
+          (* Integer literals (e.g. [get(0)]) resolve to a shared
+             primitive-typed slot; lowering drops primitive operands, so
+             the literal contributes no value flow. *)
+          let lit_slot = ref None in
+          let op = function
+            | S_this ->
+                if sm.sm_static then fail "this used in a static method"
+                else Ir.Slot 0
+            | S_name "$int" -> (
+                match !lit_slot with
+                | Some i -> Ir.Slot i
+                | None ->
+                    let i =
+                      let id = List.length !slots in
+                      Hashtbl.replace slot_ids "$lit" id;
+                      slots := ("$lit", Types.prim) :: !slots;
+                      id
+                    in
+                    lit_slot := Some i;
+                    Ir.Slot i)
+            | S_name n -> (
+                match Hashtbl.find_opt slot_ids n with
+                | Some i -> Ir.Slot i
+                | None -> (
+                    match Hashtbl.find_opt global_ids n with
+                    | Some g -> Ir.Global g
+                    | None -> fail (Printf.sprintf "unknown variable %s" n)))
+          in
+          let operand_typ = function
+            | Ir.Slot i ->
+                let name, ty = List.nth (List.rev !slots) i in
+                ignore name;
+                ty
+            | Ir.Global g -> snd globals.(g)
+          in
+          let is_var = function
+            | S_this -> not sm.sm_static
+            | S_name "$int" -> false
+            | S_name n ->
+                Hashtbl.mem slot_ids n || Hashtbl.mem global_ids n
+          in
+          let body = ref [] in
+          List.iter
+            (fun stmt ->
+              match stmt with
+              | S_local _ -> ()
+              | S_alloc (lhs, cls) ->
+                  body :=
+                    Ir.Alloc { lhs = op lhs; cls = typ_of cls } :: !body
+              | S_move (lhs, rhs) ->
+                  body := Ir.Move { lhs = op lhs; rhs = op rhs } :: !body
+              | S_return o -> (
+                  match ret_slot with
+                  | Some _ -> body := Ir.Return (op o) :: !body
+                  | None -> () (* returning a primitive: irrelevant *))
+              | S_load (lhs, base, fname) ->
+                  let base' = op base in
+                  let bt = operand_typ base' in
+                  if not (Types.is_ref bt) then
+                    fail
+                      (Printf.sprintf "field access on primitive base (.%s)"
+                         fname);
+                  body :=
+                    Ir.Load
+                      { lhs = op lhs; base = base'; field = field_by_name bt fname }
+                    :: !body
+              | S_store (base, fname, rhs) ->
+                  let base' = op base in
+                  let bt = operand_typ base' in
+                  if not (Types.is_ref bt) then
+                    fail
+                      (Printf.sprintf "field store on primitive base (.%s)"
+                         fname);
+                  body :=
+                    Ir.Store
+                      { base = base'; field = field_by_name bt fname; rhs = op rhs }
+                    :: !body
+              | S_call { lhs; recv; cls; mname; args } ->
+                  let lhs = Option.map op lhs in
+                  let args = List.map op args in
+                  let recv, static_typ =
+                    match (recv, cls) with
+                    | Some S_this, _ -> (Some (op S_this), owner)
+                    | Some (S_name n), maybe_cls ->
+                        if is_var (S_name n) then begin
+                          let r = op (S_name n) in
+                          let rt = operand_typ r in
+                          if not (Types.is_ref rt) then
+                            fail
+                              (Printf.sprintf
+                                 "method call on primitive receiver %s" n);
+                          (Some r, rt)
+                        end
+                        else begin
+                          match maybe_cls with
+                          | Some cname when Hashtbl.mem class_ids cname ->
+                              (None, Hashtbl.find class_ids cname)
+                          | _ ->
+                              fail
+                                (Printf.sprintf "unknown receiver or class %s"
+                                   n)
+                        end
+                    | None, Some cname when Hashtbl.mem class_ids cname ->
+                        (None, Hashtbl.find class_ids cname)
+                    | _ -> fail "cannot resolve call receiver"
+                  in
+                  body :=
+                    Ir.Call { lhs; recv; static_typ; mname; args } :: !body)
+            sm.sm_body;
+          methods :=
+            {
+              Ir.m_name = sm.sm_name;
+              m_owner = owner;
+              m_is_static = sm.sm_static;
+              m_n_formals = n_formals;
+              m_slots = Array.of_list (List.rev !slots);
+              m_ret_slot = ret_slot;
+              m_body = List.rev !body;
+              m_app = not sc.sc_library;
+            }
+            :: !methods)
+        sc.sc_methods)
+    sp.sp_classes;
+  { Ir.types; globals; methods = Array.of_list (List.rev !methods) }
+
+let parse text =
+  match resolve (parse_surface text) with
+  | program -> Ok program
+  | exception Err e -> Error e
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error m -> Error { line = 0; col = 0; message = m }

@@ -1,0 +1,46 @@
+(** Concrete syntax for Mini-Java programs.
+
+    The analysis's IR ({!Ir}) can be built programmatically; this parser
+    accepts a small Java-like surface syntax so programs can be written as
+    text (and shipped as reproducible test inputs):
+
+    {v
+    // comments and /* block comments */
+    global Object CACHE;
+
+    library class Vector {          // 'library' = not queried (m_app false)
+      Object elems;
+      void add(Object e) { this.elems = e; }
+      Object get() { Object t; t = this.elems; return t; }
+    }
+
+    class Main extends Object {
+      static void main() {
+        Vector v; Object s;
+        v = new Vector();
+        v.add(s);
+        s = v.get();
+        CACHE = s;                   // globals resolve when no local shadows
+        s = Util.id(s);              // static call: Class.method(...)
+      }
+    }
+    v}
+
+    Statements: allocation [x = new C();], move [x = y;], field access
+    [x = y.f;] / [x.f = y;], calls [x = r.m(a, b);] (virtual, CHA-resolved),
+    [x = C.m(a);] (static), [r.m(a);], and [return x;]. Locals may be
+    declared anywhere in a body; [this] is available in instance methods.
+    [int], [boolean] and [void] are the primitive types. *)
+
+type error = {
+  line : int;
+  col : int;
+  message : string;
+}
+
+val parse : string -> (Ir.program, error) result
+(** Parse full source text. *)
+
+val parse_file : string -> (Ir.program, error) result
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,167 @@
+module Vec = Parcfl_prim.Vec
+module Scc = Parcfl_prim.Scc
+
+type typ = int
+type field = int
+
+let prim = -1
+
+type class_info = {
+  c_name : string;
+  c_super : typ option;
+  mutable c_fields : field list; (* declared, reverse order *)
+  mutable c_children : typ list;
+}
+
+type field_info = {
+  f_name : string;
+  f_owner : typ;
+  f_typ : typ;
+}
+
+type t = {
+  classes : class_info Vec.t;
+  fields : field_info Vec.t;
+  root : typ;
+  arr : field;
+  mutable levels : int array option; (* memoised L(t) *)
+}
+
+let declare_class_raw t ?super name =
+  let id = Vec.length t.classes in
+  Vec.push t.classes
+    { c_name = name; c_super = super; c_fields = []; c_children = [] };
+  (match super with
+  | Some s ->
+      let si = Vec.get t.classes s in
+      si.c_children <- id :: si.c_children
+  | None -> ());
+  id
+
+let declare_field t ~owner ~name ~field_typ =
+  if owner < 0 || owner >= Vec.length t.classes then
+    invalid_arg "Types.declare_field: unknown owner";
+  t.levels <- None;
+  let id = Vec.length t.fields in
+  Vec.push t.fields { f_name = name; f_owner = owner; f_typ = field_typ };
+  let ci = Vec.get t.classes owner in
+  ci.c_fields <- id :: ci.c_fields;
+  id
+
+let create () =
+  let t =
+    { classes = Vec.create (); fields = Vec.create (); root = 0; arr = 0;
+      levels = None }
+  in
+  let root = declare_class_raw t "Object" in
+  assert (root = 0);
+  let arr = declare_field t ~owner:root ~name:"arr" ~field_typ:root in
+  assert (arr = 0);
+  t
+
+let object_root t = t.root
+let arr_field t = t.arr
+
+let declare_class t ?super name =
+  t.levels <- None;
+  declare_class_raw t ?super:(Some (Option.value super ~default:t.root)) name
+
+let n_classes t = Vec.length t.classes
+let n_fields t = Vec.length t.fields
+
+let class_name t c = (Vec.get t.classes c).c_name
+let super t c = (Vec.get t.classes c).c_super
+let is_ref c = c >= 0
+
+let field_name t f = (Vec.get t.fields f).f_name
+let field_owner t f = (Vec.get t.fields f).f_owner
+let field_typ t f = (Vec.get t.fields f).f_typ
+
+let fields_of t c =
+  let rec up c acc =
+    let ci = Vec.get t.classes c in
+    let acc = List.rev_append ci.c_fields acc in
+    match ci.c_super with Some s -> up s acc | None -> acc
+  in
+  up c []
+
+let subclasses t c =
+  let rec go c acc =
+    let ci = Vec.get t.classes c in
+    List.fold_left (fun acc ch -> go ch acc) (c :: acc) ci.c_children
+  in
+  go c []
+
+let subtype t ~sub ~super:sup =
+  if sub < 0 || sup < 0 then sub = sup
+  else
+    let rec up c = c = sup || (match (Vec.get t.classes c).c_super with
+      | Some s -> up s
+      | None -> false)
+    in
+    up sub
+
+(* L(t) via SCC over the containment graph (class -> types of its ref
+   fields, including inherited). Within a cycle all members share a level;
+   across the condensation, level = 1 + max over contained components'
+   levels (the +1 being the isRef contribution). *)
+let compute_levels t =
+  let n = Vec.length t.classes in
+  let succs c =
+    List.filter_map
+      (fun f ->
+        let ft = field_typ t f in
+        if is_ref ft then Some ft else None)
+      (fields_of t c)
+  in
+  let scc = Scc.compute ~n ~succs in
+  let dag = Scc.condensation scc ~succs in
+  let comp_level = Array.make scc.Scc.n_comps 0 in
+  (* Components are numbered in reverse topological order: successors have
+     smaller ids, so a forward pass sees them first. *)
+  for comp = 0 to scc.Scc.n_comps - 1 do
+    let below =
+      List.fold_left (fun acc c' -> max acc comp_level.(c')) 0 dag.(comp)
+    in
+    let self_cycle =
+      (not (Scc.is_trivial scc comp))
+      ||
+      match scc.Scc.members.(comp) with
+      | [ c ] -> List.exists (fun s -> s = c) (succs c)
+      | _ -> false
+    in
+    (* A self-recursive type contains itself; "modulo recursion" means the
+       recursive contribution is ignored, so it adds nothing beyond +1. *)
+    ignore self_cycle;
+    comp_level.(comp) <- below + 1
+  done;
+  Array.init n (fun c -> comp_level.(scc.Scc.comp_of.(c)))
+
+let level t c =
+  if not (is_ref c) then 0
+  else begin
+    let levels =
+      match t.levels with
+      | Some l when Array.length l = Vec.length t.classes -> l
+      | _ ->
+          let l = compute_levels t in
+          t.levels <- Some l;
+          l
+    in
+    levels.(c)
+  end
+
+let pp_class t ppf c =
+  Format.fprintf ppf "class %s" (class_name t c);
+  (match super t c with
+  | Some s when s <> t.root -> Format.fprintf ppf " extends %s" (class_name t s)
+  | _ -> ());
+  Format.fprintf ppf " { ";
+  List.iter
+    (fun f ->
+      let ft = field_typ t f in
+      Format.fprintf ppf "%s %s; "
+        (if is_ref ft then class_name t ft else "prim")
+        (field_name t f))
+    (fields_of t c);
+  Format.fprintf ppf "}"

@@ -1,0 +1,68 @@
+(** Class hierarchy and reference types of the Mini-Java frontend.
+
+    Provides the type-containment levels [L(t)] used by the paper's
+    dependence-depth heuristic (Section III-C2):
+
+    {v L(t) = max{ L(ti) | ti in FT(t) } + 1   if isRef(t)
+       L(t) = 0                                otherwise v}
+
+    where [FT(t)] enumerates the types of all instance fields of [t], modulo
+    recursion (mutually recursive types share a level). *)
+
+type t
+(** The (mutable, build-phase) type table. *)
+
+type typ = int
+(** Dense class id. Non-reference (primitive) types are represented by the
+    distinguished {!prim} value. *)
+
+type field = int
+(** Dense field id, global across all classes. *)
+
+val create : unit -> t
+
+val prim : typ
+(** The pseudo-type of primitives ([int], [boolean], ...): [isRef] is false
+    and its level is 0. *)
+
+val object_root : t -> typ
+(** The implicit root class (java.lang.Object analogue), created by
+    {!create}. *)
+
+val declare_class : t -> ?super:typ -> string -> typ
+(** [declare_class t ~super name]; [super] defaults to the root. *)
+
+val declare_field : t -> owner:typ -> name:string -> field_typ:typ -> field
+(** Declares an instance field. Reference- and primitive-typed fields are
+    both allowed; only reference fields matter for pointer analysis, but
+    primitive fields still contribute 0 to [L(t)]. *)
+
+val arr_field : t -> field
+(** The distinguished [arr] field: loads/stores of array elements collapse
+    onto it (paper Section II-A). Declared on the root class with root
+    type. *)
+
+val n_classes : t -> int
+val n_fields : t -> int
+
+val class_name : t -> typ -> string
+val super : t -> typ -> typ option
+val is_ref : typ -> bool
+
+val field_name : t -> field -> string
+val field_owner : t -> field -> typ
+val field_typ : t -> field -> typ
+
+val fields_of : t -> typ -> field list
+(** Declared and inherited instance fields, owner-first order. *)
+
+val subclasses : t -> typ -> typ list
+(** Reflexive-transitive: [c] itself plus all (indirect) subclasses. *)
+
+val subtype : t -> sub:typ -> super:typ -> bool
+
+val level : t -> typ -> int
+(** [L(t)]; memoised on first call — the hierarchy must not change
+    afterwards. *)
+
+val pp_class : t -> Format.formatter -> typ -> unit

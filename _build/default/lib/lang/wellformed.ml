@@ -1,0 +1,113 @@
+type issue = {
+  where : string;
+  what : string;
+}
+
+let pp_issue ppf i = Format.fprintf ppf "%s: %s" i.where i.what
+
+let check (program : Ir.program) =
+  let issues = ref [] in
+  let problem where fmt =
+    Format.kasprintf (fun what -> issues := { where; what } :: !issues) fmt
+  in
+  let n_globals = Array.length program.Ir.globals in
+  Array.iteri
+    (fun mid m ->
+      let where =
+        Printf.sprintf "%s.%s"
+          (Types.class_name program.Ir.types m.Ir.m_owner)
+          m.Ir.m_name
+      in
+      let n_slots = Array.length m.Ir.m_slots in
+      if m.Ir.m_n_formals > n_slots then
+        problem where "declares %d formals but only %d slots" m.Ir.m_n_formals
+          n_slots;
+      if (not m.Ir.m_is_static) && m.Ir.m_n_formals < 1 then
+        problem where "instance method without a this formal";
+      (match m.Ir.m_ret_slot with
+      | Some r when r < 0 || r >= n_slots ->
+          problem where "return slot %d out of range" r
+      | _ -> ());
+      let operand what = function
+        | Ir.Slot i ->
+            if i < 0 || i >= n_slots then
+              problem where "%s: slot %d out of range" what i
+        | Ir.Global g ->
+            if g < 0 || g >= n_globals then
+              problem where "%s: global %d out of range" what g
+      in
+      let operand_typ = function
+        | Ir.Slot i when i >= 0 && i < n_slots -> snd m.Ir.m_slots.(i)
+        | Ir.Global g when g >= 0 && g < n_globals ->
+            snd program.Ir.globals.(g)
+        | _ -> Types.prim
+      in
+      let check_field what base field =
+        let t = operand_typ base in
+        if Types.is_ref t then begin
+          let declared = Types.fields_of program.Ir.types t in
+          if not (List.mem field declared) then
+            problem where "%s: field %s not declared on %s" what
+              (Types.field_name program.Ir.types field)
+              (Types.class_name program.Ir.types t)
+        end
+      in
+      List.iteri
+        (fun pos stmt ->
+          let what k = Printf.sprintf "stmt %d (%s)" pos k in
+          match stmt with
+          | Ir.Alloc { lhs; cls } ->
+              operand (what "alloc") lhs;
+              if not (Types.is_ref cls) then
+                problem where "%s: allocating a primitive" (what "alloc")
+          | Ir.Move { lhs; rhs } ->
+              operand (what "move") lhs;
+              operand (what "move") rhs
+          | Ir.Return rhs ->
+              operand (what "return") rhs;
+              if m.Ir.m_ret_slot = None then
+                problem where "%s: return in a method without a return slot"
+                  (what "return")
+          | Ir.Load { lhs; base; field } ->
+              operand (what "load") lhs;
+              operand (what "load") base;
+              check_field (what "load") base field
+          | Ir.Store { base; field; rhs } ->
+              operand (what "store") base;
+              operand (what "store") rhs;
+              check_field (what "store") base field
+          | Ir.Call { lhs; recv; static_typ; mname; args } ->
+              Option.iter (operand (what "call")) lhs;
+              Option.iter (operand (what "call")) recv;
+              List.iter (operand (what "call")) args;
+              let targets =
+                match recv with
+                | None -> (
+                    match Ir.method_id program static_typ mname with
+                    | Some t -> [ t ]
+                    | None -> [])
+                | Some _ -> Ir.dispatch program static_typ mname
+              in
+              if targets = [] then
+                problem where "%s: %s.%s resolves to no target" (what "call")
+                  (Types.class_name program.Ir.types static_typ)
+                  mname)
+        m.Ir.m_body;
+      ignore mid)
+    program.Ir.methods;
+  List.rev !issues
+
+let check_exn program =
+  match check program with
+  | [] -> ()
+  | issues ->
+      let take n l =
+        List.filteri (fun i _ -> i < n) l
+      in
+      failwith
+        (Printf.sprintf "ill-formed program (%d issues): %s"
+           (List.length issues)
+           (String.concat "; "
+              (List.map
+                 (fun i -> Format.asprintf "%a" pp_issue i)
+                 (take 5 issues))))

@@ -1,0 +1,19 @@
+(** Structural validation of Mini-Java programs.
+
+    Catches generator and hand-construction mistakes before they turn into
+    confusing analysis results: out-of-range slots and globals, bad formal
+    counts, return slots out of range, fields used on types that do not
+    declare them, and calls that resolve to no target. *)
+
+type issue = {
+  where : string;  (** "Class.method" or "globals" *)
+  what : string;
+}
+
+val check : Ir.program -> issue list
+(** Empty when the program is well-formed. *)
+
+val check_exn : Ir.program -> unit
+(** @raise Failure with a summary of the first few issues. *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,1 @@
+lib/pag/ctx.ml: Array Atomic Format List Mutex Parcfl_conc

@@ -1,0 +1,1 @@
+lib/pag/ctx.mli: Format

@@ -1,0 +1,1 @@
+lib/pag/cycle_elim.ml: Array Hashtbl List Pag Parcfl_prim

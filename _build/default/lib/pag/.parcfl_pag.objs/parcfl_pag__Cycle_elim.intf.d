@@ -1,0 +1,1 @@
+lib/pag/cycle_elim.mli: Pag

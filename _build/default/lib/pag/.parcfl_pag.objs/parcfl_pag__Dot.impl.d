@@ -1,0 +1,1 @@
+lib/pag/dot.ml: Format Pag Printf String

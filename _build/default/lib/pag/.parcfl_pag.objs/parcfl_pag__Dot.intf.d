@@ -1,0 +1,1 @@
+lib/pag/dot.mli: Format Pag

@@ -1,0 +1,1 @@
+lib/pag/pag.ml: Array Format Parcfl_prim Printf

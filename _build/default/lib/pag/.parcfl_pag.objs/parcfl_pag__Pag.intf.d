@@ -1,0 +1,1 @@
+lib/pag/pag.mli: Format

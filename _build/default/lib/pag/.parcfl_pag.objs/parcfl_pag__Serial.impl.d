@@ -1,0 +1,1 @@
+lib/pag/serial.ml: Buffer Format In_channel List Out_channel Pag Printf String

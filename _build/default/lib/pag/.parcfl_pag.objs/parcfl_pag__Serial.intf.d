@@ -1,0 +1,1 @@
+lib/pag/serial.mli: Format Pag

@@ -1,0 +1,122 @@
+type t = int
+
+type entry = {
+  site : int;
+  parent : int;
+  depth : int;
+}
+
+module Key = struct
+  type t = int * int (* site, parent *)
+
+  let equal (s1, p1) (s2, p2) = s1 = s2 && p1 = p2
+  let hash (s, p) = (s * 0x9e3779b1) lxor (p * 0x85ebca77) land max_int
+end
+
+module Tbl = Parcfl_conc.Sharded_map.Make (Key)
+
+(* Entries live in a chunked table so the id→entry array never reallocates:
+   readers may index it while another domain interns. A chunk pointer is
+   published with an atomic store; the entry fields are written before the id
+   escapes (ids only travel through mutex-protected structures, giving the
+   necessary happens-before). *)
+let chunk_bits = 12
+let chunk_size = 1 lsl chunk_bits
+let max_chunks = 1 lsl 16
+
+type store = {
+  ids : int Tbl.t;
+  chunks : entry array option Atomic.t array;
+  next : int Atomic.t; (* next free id; id 0 is the empty context *)
+  alloc_lock : Mutex.t;
+}
+
+let dummy_entry = { site = -1; parent = -1; depth = 0 }
+
+let create_store () =
+  {
+    ids = Tbl.create ~shards:64 ();
+    chunks = Array.init max_chunks (fun _ -> Atomic.make None);
+    next = Atomic.make 1;
+    alloc_lock = Mutex.create ();
+  }
+
+let empty = 0
+
+let is_empty c = c = 0
+
+let entry store c =
+  let chunk = c lsr chunk_bits and off = c land (chunk_size - 1) in
+  match Atomic.get store.chunks.(chunk) with
+  | Some arr -> arr.(off)
+  | None -> invalid_arg "Ctx: unknown context id"
+
+let write_entry store id e =
+  let chunk = id lsr chunk_bits and off = id land (chunk_size - 1) in
+  if chunk >= max_chunks then failwith "Ctx: context store exhausted";
+  let arr =
+    match Atomic.get store.chunks.(chunk) with
+    | Some arr -> arr
+    | None ->
+        Mutex.lock store.alloc_lock;
+        let arr =
+          match Atomic.get store.chunks.(chunk) with
+          | Some arr -> arr
+          | None ->
+              let arr = Array.make chunk_size dummy_entry in
+              Atomic.set store.chunks.(chunk) (Some arr);
+              arr
+        in
+        Mutex.unlock store.alloc_lock;
+        arr
+  in
+  arr.(off) <- e
+
+let push store c i =
+  let key = (i, c) in
+  match Tbl.find_opt store.ids key with
+  | Some id -> id
+  | None ->
+      let depth = if c = 0 then 1 else (entry store c).depth + 1 in
+      let id = Atomic.fetch_and_add store.next 1 in
+      write_entry store id { site = i; parent = c; depth };
+      (match Tbl.add_if_absent store.ids key id with
+      | `Added -> id
+      | `Present winner ->
+          (* Another domain interned the same key first; our slot is wasted
+             but harmless (ids need not be dense). *)
+          winner)
+
+let top store c = if c = 0 then None else Some (entry store c).site
+
+let pop store c = if c = 0 then 0 else (entry store c).parent
+
+let depth store c = if c = 0 then 0 else (entry store c).depth
+
+let to_list store c =
+  let rec go c acc =
+    if c = 0 then List.rev acc
+    else
+      let e = entry store c in
+      go e.parent (e.site :: acc)
+  in
+  go c []
+
+let of_list store sites =
+  List.fold_left (fun c i -> push store c i) 0 (List.rev sites)
+
+let count store = Atomic.get store.next - 1
+
+let equal (a : t) b = a = b
+let hash (c : t) = c * 0x2545F491 land max_int
+let to_int c = c
+let unsafe_of_int c = c
+
+let pp store ppf c =
+  if c = 0 then Format.pp_print_string ppf "[]"
+  else
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+         Format.pp_print_int)
+      (to_list store c)

@@ -1,0 +1,113 @@
+module Scc = Parcfl_prim.Scc
+
+type t = {
+  pag : Pag.t;
+  representative : Pag.var array;
+  n_collapsed : int;
+}
+
+let run pag =
+  let n = Pag.n_vars pag in
+  let succs v = Array.to_list (Pag.assign_out pag v) in
+  let scc = Scc.compute ~n ~succs in
+  (* Representative of a component: its smallest member (stable naming). *)
+  let rep_of_comp =
+    Array.map
+      (fun members -> List.fold_left min max_int members)
+      scc.Scc.members
+  in
+  let representative =
+    Array.init n (fun v -> rep_of_comp.(scc.Scc.comp_of.(v)))
+  in
+  (* Rebuild: keep one variable per representative; dense renumbering. *)
+  let keep = Array.make n false in
+  Array.iter (fun r -> keep.(r) <- true) representative;
+  let b = Pag.Build.create () in
+  let new_id = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    if keep.(v) then
+      new_id.(v) <-
+        Pag.Build.add_var b
+          ~global:(Pag.var_is_global pag v)
+          ~typ:(Pag.var_typ pag v) ~method_id:(Pag.var_method pag v)
+          ~app:(Pag.var_is_app pag v) (Pag.var_name pag v)
+  done;
+  for o = 0 to Pag.n_objs pag - 1 do
+    let o' =
+      Pag.Build.add_obj b ~typ:(Pag.obj_typ pag o)
+        ~method_id:(Pag.obj_method pag o) (Pag.obj_name pag o)
+    in
+    assert (o' = o)
+  done;
+  let tr v = new_id.(representative.(v)) in
+  (* app/global flags of a representative come from itself; members with
+     differing flags still translate onto it, which can only merge more —
+     a sound over-approximation, and assign cycles across the app/library
+     boundary are rare. Deduplicate edges while re-attaching. *)
+  let seen = Hashtbl.create 1024 in
+  let once key f =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      f ()
+    end
+  in
+  Pag.iter_edges pag (function
+    | Pag.New { dst; obj } ->
+        let d = tr dst in
+        once (`New, d, obj, 0) (fun () -> Pag.Build.new_edge b ~dst:d obj)
+    | Pag.Assign { dst; src } ->
+        let d = tr dst and s = tr src in
+        if d <> s then
+          once (`Assign, d, s, 0) (fun () -> Pag.Build.assign b ~dst:d ~src:s)
+    | Pag.Assign_global { dst; src } ->
+        let d = tr dst and s = tr src in
+        if d <> s then
+          once (`Gassign, d, s, 0) (fun () ->
+              Pag.Build.assign_global b ~dst:d ~src:s)
+    | Pag.Load { dst; base; field } ->
+        let d = tr dst and p = tr base in
+        once (`Load, d, p, field) (fun () ->
+            Pag.Build.load b ~dst:d ~base:p field)
+    | Pag.Store { base; field; src } ->
+        let q = tr base and s = tr src in
+        once (`Store, q, s, field) (fun () ->
+            Pag.Build.store b ~base:q field ~src:s)
+    | Pag.Param { dst; site; src } ->
+        let d = tr dst and s = tr src in
+        once (`Param, d, s, site) (fun () ->
+            Pag.Build.param b ~dst:d ~site ~src:s)
+    | Pag.Ret { dst; site; src } ->
+        let d = tr dst and s = tr src in
+        once (`Ret, d, s, site) (fun () ->
+            Pag.Build.ret b ~dst:d ~site ~src:s));
+  (* Preserve context-insensitive call-site markers. *)
+  let max_site = ref (-1) in
+  Pag.iter_edges pag (function
+    | Pag.Param { site; _ } | Pag.Ret { site; _ } ->
+        if site > !max_site then max_site := site
+    | _ -> ());
+  for site = 0 to !max_site do
+    if Pag.site_is_ci pag site then Pag.Build.mark_ci_site b site
+  done;
+  let collapsed_pag = Pag.Build.freeze b in
+  let representative = Array.map (fun r -> new_id.(r)) representative in
+  {
+    pag = collapsed_pag;
+    representative;
+    n_collapsed = n - Pag.n_vars collapsed_pag;
+  }
+
+let translate t v = t.representative.(v)
+
+let translate_queries t queries =
+  let seen = Hashtbl.create (Array.length queries) in
+  let out = ref [] in
+  Array.iter
+    (fun q ->
+      let r = translate t q in
+      if not (Hashtbl.mem seen r) then begin
+        Hashtbl.add seen r ();
+        out := r :: !out
+      end)
+    queries;
+  Array.of_list (List.rev !out)

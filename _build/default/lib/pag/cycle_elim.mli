@@ -1,0 +1,32 @@
+(** Points-to cycle elimination (paper Section IV-A: "points-to cycles are
+    eliminated as described in [18]").
+
+    Variables on a cycle of local-assignment edges necessarily have equal
+    points-to sets, so the cycle can be collapsed to a single
+    representative before the analysis runs: every member's edges are
+    re-attached to the representative, and queries/results are translated
+    through the mapping. This shrinks the PAG and, more importantly,
+    removes the redundant traversals a demand-driven query would spend
+    going around the cycle.
+
+    Only [assign_l] cycles are collapsed. [param]/[ret] cycles must stay:
+    their members' points-to sets coincide only context-insensitively.
+    Global-assignment cycles could be collapsed too but are rare; keeping
+    the transformation minimal keeps its correctness argument short. *)
+
+type t = {
+  pag : Pag.t;  (** the collapsed graph *)
+  representative : Pag.var array;
+      (** old variable -> new variable (many-to-one) *)
+  n_collapsed : int;
+      (** variables eliminated ([old n_vars - new n_vars]) *)
+}
+
+val run : Pag.t -> t
+
+val translate : t -> Pag.var -> Pag.var
+(** Where an original variable lives in the collapsed graph. *)
+
+val translate_queries : t -> Pag.var array -> Pag.var array
+(** Representative of each query, deduplicated, order-preserving — query a
+    cycle once, and the answer holds for every member. *)

@@ -1,0 +1,35 @@
+let var_id v = Printf.sprintf "v%d" v
+let obj_id o = Printf.sprintf "o%d" o
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let output ppf pag =
+  Format.fprintf ppf "digraph pag {@.";
+  Format.fprintf ppf "  rankdir=BT;@.";
+  for v = 0 to Pag.n_vars pag - 1 do
+    Format.fprintf ppf "  %s [label=\"%s\"%s];@." (var_id v)
+      (escape (Pag.var_name pag v))
+      (if Pag.var_is_global pag v then ",shape=box" else "")
+  done;
+  for o = 0 to Pag.n_objs pag - 1 do
+    Format.fprintf ppf "  %s [label=\"%s\",shape=diamond];@." (obj_id o)
+      (escape (Pag.obj_name pag o))
+  done;
+  let edge src dst label =
+    Format.fprintf ppf "  %s -> %s [label=\"%s\"];@." src dst label
+  in
+  Pag.iter_edges pag (function
+    | Pag.New { dst; obj } -> edge (obj_id obj) (var_id dst) "new"
+    | Pag.Assign { dst; src } -> edge (var_id src) (var_id dst) "assign"
+    | Pag.Assign_global { dst; src } -> edge (var_id src) (var_id dst) "assign_g"
+    | Pag.Load { dst; base; field } ->
+        edge (var_id base) (var_id dst) (Printf.sprintf "ld(%d)" field)
+    | Pag.Store { base; field; src } ->
+        edge (var_id src) (var_id base) (Printf.sprintf "st(%d)" field)
+    | Pag.Param { dst; site; src } ->
+        edge (var_id src) (var_id dst) (Printf.sprintf "param%d" site)
+    | Pag.Ret { dst; site; src } ->
+        edge (var_id src) (var_id dst) (Printf.sprintf "ret%d" site));
+  Format.fprintf ppf "}@."
+
+let to_string pag = Format.asprintf "%a" output pag

@@ -1,0 +1,6 @@
+(** Graphviz export of a PAG, for debugging small examples (e.g. the paper's
+    Fig. 2). *)
+
+val output : Format.formatter -> Pag.t -> unit
+
+val to_string : Pag.t -> string

@@ -1,0 +1,327 @@
+module Vec = Parcfl_prim.Vec
+module Bitset = Parcfl_prim.Bitset
+
+type var = int
+type obj = int
+type field = int
+type callsite = int
+
+type edge =
+  | New of { dst : var; obj : obj }
+  | Assign of { dst : var; src : var }
+  | Assign_global of { dst : var; src : var }
+  | Load of { dst : var; base : var; field : field }
+  | Store of { base : var; field : field; src : var }
+  | Param of { dst : var; site : callsite; src : var }
+  | Ret of { dst : var; site : callsite; src : var }
+
+type var_info = {
+  v_name : string;
+  v_global : bool;
+  v_typ : int;
+  v_method : int;
+  v_app : bool;
+}
+
+type obj_info = {
+  o_name : string;
+  o_typ : int;
+  o_method : int;
+}
+
+type t = {
+  vars : var_info array;
+  objs : obj_info array;
+  n_edges : int;
+  n_fields : int;
+  new_in : obj array array;
+  new_out : var array array;
+  assign_in : var array array;
+  assign_out : var array array;
+  gassign_in : var array array;
+  gassign_out : var array array;
+  param_in : (callsite * var) array array;
+  param_out : (callsite * var) array array;
+  ret_in : (callsite * var) array array;
+  ret_out : (callsite * var) array array;
+  load_in : (field * var) array array;
+  store_out : (field * var) array array;
+  stores_of_field : (var * var) array array;
+  loads_of_field : (var * var) array array;
+  ci_sites : Bitset.t;
+  app_locals : var array;
+}
+
+module Build = struct
+  type b = {
+    b_vars : var_info Vec.t;
+    b_objs : obj_info Vec.t;
+    mutable b_edges : int;
+    b_new : (var * obj) Vec.t;
+    b_assign : (var * var) Vec.t;
+    b_gassign : (var * var) Vec.t;
+    b_param : (var * callsite * var) Vec.t;
+    b_ret : (var * callsite * var) Vec.t;
+    b_load : (var * var * field) Vec.t; (* dst, base, field *)
+    b_store : (var * field * var) Vec.t; (* base, field, src *)
+    b_ci : Bitset.t;
+  }
+
+  let create () =
+    {
+      b_vars = Vec.create ();
+      b_objs = Vec.create ();
+      b_edges = 0;
+      b_new = Vec.create ();
+      b_assign = Vec.create ();
+      b_gassign = Vec.create ();
+      b_param = Vec.create ();
+      b_ret = Vec.create ();
+      b_load = Vec.create ();
+      b_store = Vec.create ();
+      b_ci = Bitset.create ();
+    }
+
+  let add_var b ?(global = false) ?(typ = -1) ?(method_id = -1) ?(app = false)
+      name =
+    let id = Vec.length b.b_vars in
+    Vec.push b.b_vars
+      { v_name = name; v_global = global; v_typ = typ; v_method = method_id;
+        v_app = app };
+    id
+
+  let add_obj b ?(typ = -1) ?(method_id = -1) name =
+    let id = Vec.length b.b_objs in
+    Vec.push b.b_objs { o_name = name; o_typ = typ; o_method = method_id };
+    id
+
+  let check_var b v what =
+    if v < 0 || v >= Vec.length b.b_vars then
+      invalid_arg (Printf.sprintf "Pag.Build.%s: unknown variable %d" what v)
+
+  let check_obj b o what =
+    if o < 0 || o >= Vec.length b.b_objs then
+      invalid_arg (Printf.sprintf "Pag.Build.%s: unknown object %d" what o)
+
+  let bump b = b.b_edges <- b.b_edges + 1
+
+  let new_edge b ~dst o =
+    check_var b dst "new_edge";
+    check_obj b o "new_edge";
+    Vec.push b.b_new (dst, o);
+    bump b
+
+  let assign b ~dst ~src =
+    check_var b dst "assign";
+    check_var b src "assign";
+    Vec.push b.b_assign (dst, src);
+    bump b
+
+  let assign_global b ~dst ~src =
+    check_var b dst "assign_global";
+    check_var b src "assign_global";
+    Vec.push b.b_gassign (dst, src);
+    bump b
+
+  let load b ~dst ~base field =
+    check_var b dst "load";
+    check_var b base "load";
+    if field < 0 then invalid_arg "Pag.Build.load: negative field";
+    Vec.push b.b_load (dst, base, field);
+    bump b
+
+  let store b ~base field ~src =
+    check_var b base "store";
+    check_var b src "store";
+    if field < 0 then invalid_arg "Pag.Build.store: negative field";
+    Vec.push b.b_store (base, field, src);
+    bump b
+
+  let param b ~dst ~site ~src =
+    check_var b dst "param";
+    check_var b src "param";
+    Vec.push b.b_param (dst, site, src);
+    bump b
+
+  let ret b ~dst ~site ~src =
+    check_var b dst "ret";
+    check_var b src "ret";
+    Vec.push b.b_ret (dst, site, src);
+    bump b
+
+  let mark_ci_site b site = ignore (Bitset.add b.b_ci site)
+
+  let n_vars b = Vec.length b.b_vars
+
+  (* Freezing: bucket every edge list by endpoint into per-node vectors, then
+     snapshot each vector as an array. Two passes (count, fill) would save
+     transient memory but the graphs here are small enough that clarity
+     wins. *)
+  let freeze b =
+    let nv = Vec.length b.b_vars and no = Vec.length b.b_objs in
+    let mk n = Array.init n (fun _ -> Vec.create ()) in
+    let new_in = mk nv and new_out = mk no in
+    Vec.iter
+      (fun (x, o) ->
+        Vec.push new_in.(x) o;
+        Vec.push new_out.(o) x)
+      b.b_new;
+    let assign_in = mk nv and assign_out = mk nv in
+    Vec.iter
+      (fun (x, y) ->
+        Vec.push assign_in.(x) y;
+        Vec.push assign_out.(y) x)
+      b.b_assign;
+    let gassign_in = mk nv and gassign_out = mk nv in
+    Vec.iter
+      (fun (x, y) ->
+        Vec.push gassign_in.(x) y;
+        Vec.push gassign_out.(y) x)
+      b.b_gassign;
+    let param_in = mk nv and param_out = mk nv in
+    Vec.iter
+      (fun (x, i, y) ->
+        Vec.push param_in.(x) (i, y);
+        Vec.push param_out.(y) (i, x))
+      b.b_param;
+    let ret_in = mk nv and ret_out = mk nv in
+    Vec.iter
+      (fun (x, i, y) ->
+        Vec.push ret_in.(x) (i, y);
+        Vec.push ret_out.(y) (i, x))
+      b.b_ret;
+    let n_fields =
+      let m = ref 0 in
+      Vec.iter (fun (_, _, f) -> if f + 1 > !m then m := f + 1) b.b_load;
+      Vec.iter (fun (_, f, _) -> if f + 1 > !m then m := f + 1) b.b_store;
+      !m
+    in
+    let load_in = mk nv and loads_of_field = mk n_fields in
+    Vec.iter
+      (fun (x, p, f) ->
+        Vec.push load_in.(x) (f, p);
+        Vec.push loads_of_field.(f) (x, p))
+      b.b_load;
+    let store_out = mk nv and stores_of_field = mk n_fields in
+    Vec.iter
+      (fun (q, f, y) ->
+        Vec.push store_out.(y) (f, q);
+        Vec.push stores_of_field.(f) (q, y))
+      b.b_store;
+    let snap a = Array.map Vec.to_array a in
+    let app_locals =
+      let acc = Vec.create () in
+      Vec.iteri
+        (fun id vi -> if vi.v_app && not vi.v_global then Vec.push acc id)
+        b.b_vars;
+      Vec.to_array acc
+    in
+    {
+      vars = Vec.to_array b.b_vars;
+      objs = Vec.to_array b.b_objs;
+      n_edges = b.b_edges;
+      n_fields;
+      new_in = snap new_in;
+      new_out = snap new_out;
+      assign_in = snap assign_in;
+      assign_out = snap assign_out;
+      gassign_in = snap gassign_in;
+      gassign_out = snap gassign_out;
+      param_in = snap param_in;
+      param_out = snap param_out;
+      ret_in = snap ret_in;
+      ret_out = snap ret_out;
+      load_in = snap load_in;
+      store_out = snap store_out;
+      stores_of_field = snap stores_of_field;
+      loads_of_field = snap loads_of_field;
+      ci_sites = b.b_ci;
+      app_locals;
+    }
+end
+
+let n_vars t = Array.length t.vars
+let n_objs t = Array.length t.objs
+let n_nodes t = n_vars t + n_objs t
+let n_edges t = t.n_edges
+let n_fields t = t.n_fields
+
+let var_name t v = t.vars.(v).v_name
+let obj_name t o = t.objs.(o).o_name
+let var_is_global t v = t.vars.(v).v_global
+let var_typ t v = t.vars.(v).v_typ
+let obj_typ t o = t.objs.(o).o_typ
+let obj_method t o = t.objs.(o).o_method
+let var_method t v = t.vars.(v).v_method
+let var_is_app t v = t.vars.(v).v_app
+let site_is_ci t i = Bitset.mem t.ci_sites i
+let app_locals t = t.app_locals
+
+let new_in t v = t.new_in.(v)
+let new_out t o = t.new_out.(o)
+let assign_in t v = t.assign_in.(v)
+let assign_out t v = t.assign_out.(v)
+let gassign_in t v = t.gassign_in.(v)
+let gassign_out t v = t.gassign_out.(v)
+let param_in t v = t.param_in.(v)
+let param_out t v = t.param_out.(v)
+let ret_in t v = t.ret_in.(v)
+let ret_out t v = t.ret_out.(v)
+let load_in t v = t.load_in.(v)
+let store_out t v = t.store_out.(v)
+
+let stores_of_field t f =
+  if f >= 0 && f < t.n_fields then t.stores_of_field.(f) else [||]
+
+let loads_of_field t f =
+  if f >= 0 && f < t.n_fields then t.loads_of_field.(f) else [||]
+
+let iter_edges t f =
+  Array.iteri
+    (fun dst objs -> Array.iter (fun obj -> f (New { dst; obj })) objs)
+    t.new_in;
+  Array.iteri
+    (fun dst srcs -> Array.iter (fun src -> f (Assign { dst; src })) srcs)
+    t.assign_in;
+  Array.iteri
+    (fun dst srcs ->
+      Array.iter (fun src -> f (Assign_global { dst; src })) srcs)
+    t.gassign_in;
+  Array.iteri
+    (fun dst pairs ->
+      Array.iter (fun (field, base) -> f (Load { dst; base; field })) pairs)
+    t.load_in;
+  Array.iteri
+    (fun src pairs ->
+      Array.iter (fun (field, base) -> f (Store { base; field; src })) pairs)
+    t.store_out;
+  Array.iteri
+    (fun dst pairs ->
+      Array.iter (fun (site, src) -> f (Param { dst; site; src })) pairs)
+    t.param_in;
+  Array.iteri
+    (fun dst pairs ->
+      Array.iter (fun (site, src) -> f (Ret { dst; site; src })) pairs)
+    t.ret_in
+
+let iter_direct_neighbors t v f =
+  Array.iter f t.assign_in.(v);
+  Array.iter f t.assign_out.(v);
+  Array.iter f t.gassign_in.(v);
+  Array.iter f t.gassign_out.(v);
+  Array.iter (fun (_, y) -> f y) t.param_in.(v);
+  Array.iter (fun (_, y) -> f y) t.param_out.(v);
+  Array.iter (fun (_, y) -> f y) t.ret_in.(v);
+  Array.iter (fun (_, y) -> f y) t.ret_out.(v)
+
+let iter_direct_succs t v f =
+  (* Value flows src -> dst; successors of v are the dsts of its outgoing
+     assign-like edges. *)
+  Array.iter f t.assign_out.(v);
+  Array.iter f t.gassign_out.(v);
+  Array.iter (fun (_, x) -> f x) t.param_out.(v);
+  Array.iter (fun (_, x) -> f x) t.ret_out.(v)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "PAG: %d vars, %d objs, %d edges, %d fields" (n_vars t)
+    (n_objs t) (n_edges t) t.n_fields

@@ -1,0 +1,151 @@
+(** The Pointer Assignment Graph (paper Fig. 1).
+
+    Nodes are variables (local or global) and abstract objects (allocation
+    sites); edges are the seven statement kinds: [new], [assign_l],
+    [assign_g], [ld(f)], [st(f)], [param_i] and [ret_i]. The graph is built
+    once by the frontend ({!module:Parcfl_lang}) or by hand (tests), then
+    frozen into immutable adjacency arrays that all query-processing domains
+    read concurrently. [jmp] edges (the paper's Fig. 4 extension) are *not*
+    stored here — they are added while the analysis runs and live in the
+    concurrent {!Parcfl_sharing.Jmp_store}.
+
+    All identifiers are dense non-negative ints: variables and objects in
+    separate id spaces; fields and call sites in the frontend's id spaces. *)
+
+type var = int
+type obj = int
+type field = int
+type callsite = int
+
+type edge =
+  | New of { dst : var; obj : obj }          (** [dst <-new- obj] *)
+  | Assign of { dst : var; src : var }       (** [dst <-assign_l- src] *)
+  | Assign_global of { dst : var; src : var } (** [dst <-assign_g- src] *)
+  | Load of { dst : var; base : var; field : field }  (** [dst = base.f] *)
+  | Store of { base : var; field : field; src : var } (** [base.f = src] *)
+  | Param of { dst : var; site : callsite; src : var }
+      (** formal [dst] <- actual [src] at call site [site] *)
+  | Ret of { dst : var; site : callsite; src : var }
+      (** caller lhs [dst] <- callee return [src] at call site [site] *)
+
+type t
+
+(** {1 Building} *)
+
+module Build : sig
+  type b
+
+  val create : unit -> b
+
+  val add_var :
+    b ->
+    ?global:bool ->
+    ?typ:int ->
+    ?method_id:int ->
+    ?app:bool ->
+    string ->
+    var
+  (** [typ] is the variable's declared type (frontend type id, [-1] when
+      untyped); [method_id] its enclosing method ([-1] for globals);
+      [app] marks application-code variables — the paper issues queries for
+      "all the local variables in its application code". *)
+
+  val add_obj : b -> ?typ:int -> ?method_id:int -> string -> obj
+
+  val new_edge : b -> dst:var -> obj -> unit
+  val assign : b -> dst:var -> src:var -> unit
+  val assign_global : b -> dst:var -> src:var -> unit
+  val load : b -> dst:var -> base:var -> field -> unit
+  val store : b -> base:var -> field -> src:var -> unit
+  val param : b -> dst:var -> site:callsite -> src:var -> unit
+  val ret : b -> dst:var -> site:callsite -> src:var -> unit
+
+  val mark_ci_site : b -> callsite -> unit
+  (** Mark a call site as context-insensitive: its [param]/[ret] edges are
+      traversed without pushing/matching. The frontend marks sites inside
+      call-graph recursion cycles this way — the paper collapses "recursion
+      cycles of the call graph" (Section IV-A). *)
+
+  val n_vars : b -> int
+
+  val freeze : b -> t
+end
+
+(** {1 Sizes} *)
+
+val n_vars : t -> int
+val n_objs : t -> int
+val n_nodes : t -> int
+val n_edges : t -> int
+
+(** {1 Node attributes} *)
+
+val var_name : t -> var -> string
+val obj_name : t -> obj -> string
+val var_is_global : t -> var -> bool
+val var_typ : t -> var -> int
+val obj_typ : t -> obj -> int
+
+val obj_method : t -> obj -> int
+(** Method containing the allocation site, [-1] if unknown. *)
+
+val var_method : t -> var -> int
+val var_is_app : t -> var -> bool
+val site_is_ci : t -> callsite -> bool
+
+val app_locals : t -> var array
+(** All application-code local variables, in id order — the paper's query
+    population. *)
+
+(** {1 Adjacency (frozen arrays — do not mutate)} *)
+
+val new_in : t -> var -> obj array
+(** objects [o] with [x <-new- o]. *)
+
+val new_out : t -> obj -> var array
+(** variables [x] with [x <-new- o]. *)
+
+val assign_in : t -> var -> var array
+val assign_out : t -> var -> var array
+val gassign_in : t -> var -> var array
+val gassign_out : t -> var -> var array
+
+val param_in : t -> var -> (callsite * var) array
+(** pairs [(i, y)] with [x <-param_i- y] (x formal, y actual). *)
+
+val param_out : t -> var -> (callsite * var) array
+(** pairs [(i, x)] with [x <-param_i- y] for this [y]. *)
+
+val ret_in : t -> var -> (callsite * var) array
+val ret_out : t -> var -> (callsite * var) array
+
+val load_in : t -> var -> (field * var) array
+(** pairs [(f, p)] with [x = p.f]. *)
+
+val store_out : t -> var -> (field * var) array
+(** pairs [(f, q)] with [q.f = y] for this [y]. *)
+
+val stores_of_field : t -> field -> (var * var) array
+(** pairs [(q, y)] with [q.f = y] — the "all N matching stores" of
+    [ReachableNodes] (Algorithm 1 line 19). *)
+
+val loads_of_field : t -> field -> (var * var) array
+(** pairs [(x, p)] with [x = p.f] — the dual index for the FlowsTo
+    direction. *)
+
+val n_fields : t -> int
+(** Upper bound on field ids occurring in the graph plus one. *)
+
+(** {1 Whole-graph iteration} *)
+
+val iter_edges : t -> (edge -> unit) -> unit
+
+val iter_direct_neighbors : t -> var -> (var -> unit) -> unit
+(** Neighbors under the paper's [direct] relation (eq. 5): assign_l,
+    assign_g, param, ret edges, both directions. Used for query grouping. *)
+
+val iter_direct_succs : t -> var -> (var -> unit) -> unit
+(** Directed version (value-flow direction: src -> dst) for connection
+    distances. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,169 @@
+let esc s =
+  (* Names may contain spaces and '#' (the comment marker); encode both. *)
+  let s = String.concat "\\s" (String.split_on_char ' ' s) in
+  String.concat "\\h" (String.split_on_char '#' s)
+
+(* A tiny local unescape helper instead of pulling in Str. *)
+module Str_replace = struct
+  let all s =
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if !i + 1 < n && s.[!i] = '\\' && s.[!i + 1] = 's' then begin
+        Buffer.add_char buf ' ';
+        i := !i + 2
+      end
+      else if !i + 1 < n && s.[!i] = '\\' && s.[!i + 1] = 'h' then begin
+        Buffer.add_char buf '#';
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+end
+
+let write ppf pag =
+  Format.fprintf ppf "pag 1@.";
+  for v = 0 to Pag.n_vars pag - 1 do
+    Format.fprintf ppf "var %d %s" v (esc (Pag.var_name pag v));
+    if Pag.var_is_global pag v then Format.fprintf ppf " global";
+    if Pag.var_is_app pag v then Format.fprintf ppf " app";
+    if Pag.var_typ pag v >= 0 then Format.fprintf ppf " typ=%d" (Pag.var_typ pag v);
+    if Pag.var_method pag v >= 0 then
+      Format.fprintf ppf " method=%d" (Pag.var_method pag v);
+    Format.fprintf ppf "@."
+  done;
+  for o = 0 to Pag.n_objs pag - 1 do
+    Format.fprintf ppf "obj %d %s" o (esc (Pag.obj_name pag o));
+    if Pag.obj_typ pag o >= 0 then Format.fprintf ppf " typ=%d" (Pag.obj_typ pag o);
+    if Pag.obj_method pag o >= 0 then
+      Format.fprintf ppf " method=%d" (Pag.obj_method pag o);
+    Format.fprintf ppf "@."
+  done;
+  (* ci sites *)
+  let max_site = ref (-1) in
+  Pag.iter_edges pag (function
+    | Pag.Param { site; _ } | Pag.Ret { site; _ } ->
+        if site > !max_site then max_site := site
+    | _ -> ());
+  for s = 0 to !max_site do
+    if Pag.site_is_ci pag s then Format.fprintf ppf "ci %d@." s
+  done;
+  Pag.iter_edges pag (function
+    | Pag.New { dst; obj } -> Format.fprintf ppf "new %d %d@." dst obj
+    | Pag.Assign { dst; src } -> Format.fprintf ppf "assign %d %d@." dst src
+    | Pag.Assign_global { dst; src } ->
+        Format.fprintf ppf "gassign %d %d@." dst src
+    | Pag.Load { dst; base; field } ->
+        Format.fprintf ppf "load %d %d %d@." dst base field
+    | Pag.Store { base; field; src } ->
+        Format.fprintf ppf "store %d %d %d@." base field src
+    | Pag.Param { dst; site; src } ->
+        Format.fprintf ppf "param %d %d %d@." dst site src
+    | Pag.Ret { dst; site; src } ->
+        Format.fprintf ppf "ret %d %d %d@." dst site src)
+
+let to_string pag = Format.asprintf "%a" write pag
+
+exception Bad of string
+
+let read text =
+  let b = Pag.Build.create () in
+  let next_var = ref 0 and next_obj = ref 0 in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let line = String.trim line in
+    if line = "" then ()
+    else
+      let parts = String.split_on_char ' ' line in
+      let int s =
+        match int_of_string_opt s with
+        | Some i -> i
+        | None -> bad "line %d: expected integer, got %S" lineno s
+      in
+      match parts with
+      | "pag" :: version :: _ ->
+          if int version <> 1 then bad "unsupported format version %s" version
+      | "var" :: id :: name :: attrs ->
+          if int id <> !next_var then
+            bad "line %d: variable ids must be dense (expected %d)" lineno
+              !next_var;
+          incr next_var;
+          let global = List.mem "global" attrs in
+          let app = List.mem "app" attrs in
+          let keyed prefix =
+            List.fold_left
+              (fun acc a ->
+                let pl = String.length prefix in
+                if
+                  String.length a > pl
+                  && String.sub a 0 pl = prefix
+                then int (String.sub a pl (String.length a - pl))
+                else acc)
+              (-1) attrs
+          in
+          ignore
+            (Pag.Build.add_var b ~global ~app ~typ:(keyed "typ=")
+               ~method_id:(keyed "method=")
+               (Str_replace.all name))
+      | "obj" :: id :: name :: attrs ->
+          if int id <> !next_obj then
+            bad "line %d: object ids must be dense (expected %d)" lineno
+              !next_obj;
+          incr next_obj;
+          let keyed prefix =
+            List.fold_left
+              (fun acc a ->
+                let pl = String.length prefix in
+                if String.length a > pl && String.sub a 0 pl = prefix then
+                  int (String.sub a pl (String.length a - pl))
+                else acc)
+              (-1) attrs
+          in
+          ignore
+            (Pag.Build.add_obj b ~typ:(keyed "typ=") ~method_id:(keyed "method=")
+               (Str_replace.all name))
+      | [ "ci"; site ] -> Pag.Build.mark_ci_site b (int site)
+      | [ "new"; dst; obj ] -> Pag.Build.new_edge b ~dst:(int dst) (int obj)
+      | [ "assign"; dst; src ] ->
+          Pag.Build.assign b ~dst:(int dst) ~src:(int src)
+      | [ "gassign"; dst; src ] ->
+          Pag.Build.assign_global b ~dst:(int dst) ~src:(int src)
+      | [ "load"; dst; base; field ] ->
+          Pag.Build.load b ~dst:(int dst) ~base:(int base) (int field)
+      | [ "store"; base; field; src ] ->
+          Pag.Build.store b ~base:(int base) (int field) ~src:(int src)
+      | [ "param"; dst; site; src ] ->
+          Pag.Build.param b ~dst:(int dst) ~site:(int site) ~src:(int src)
+      | [ "ret"; dst; site; src ] ->
+          Pag.Build.ret b ~dst:(int dst) ~site:(int site) ~src:(int src)
+      | kw :: _ -> bad "line %d: unknown directive %S" lineno kw
+      | [] -> ()
+  in
+  match
+    String.split_on_char '\n' text
+    |> List.iteri (fun i l -> parse_line (i + 1) l)
+  with
+  | () -> Ok (Pag.Build.freeze b)
+  | exception Bad m -> Error m
+  | exception Invalid_argument m -> Error m
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> read text
+  | exception Sys_error m -> Error m
+
+let save_file path pag =
+  Out_channel.with_open_text path (fun oc ->
+      let ppf = Format.formatter_of_out_channel oc in
+      write ppf pag;
+      Format.pp_print_flush ppf ())

@@ -1,0 +1,33 @@
+(** Textual PAG serialisation.
+
+    A line-oriented, diff-friendly format so benchmarks can be exported,
+    inspected, or loaded from other frontends (e.g. a real Soot dump
+    post-processed into this shape):
+
+    {v
+    pag 1                        # header, format version
+    var <id> <name> [global] [app] [typ=<t>] [method=<m>]
+    obj <id> <name> [typ=<t>] [method=<m>]
+    ci <site>                    # context-insensitive call site
+    new <dst> <obj>
+    assign <dst> <src>
+    gassign <dst> <src>
+    load <dst> <base> <field>
+    store <base> <field> <src>
+    param <dst> <site> <src>
+    ret <dst> <site> <src>
+    v}
+
+    Ids must be dense and in declaration order. Writing then reading
+    round-trips the graph exactly (asserted by the test suite). *)
+
+val write : Format.formatter -> Pag.t -> unit
+
+val to_string : Pag.t -> string
+
+val read : string -> (Pag.t, string) result
+(** Parse from the full file contents. *)
+
+val load_file : string -> (Pag.t, string) result
+
+val save_file : string -> Pag.t -> unit

@@ -1,0 +1,1 @@
+lib/par/report.ml: Array Format Hashtbl Mode Parcfl_cfl Parcfl_pag

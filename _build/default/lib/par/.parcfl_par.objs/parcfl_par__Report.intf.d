@@ -1,0 +1,1 @@
+lib/par/report.mli: Format Hashtbl Mode Parcfl_cfl Parcfl_pag

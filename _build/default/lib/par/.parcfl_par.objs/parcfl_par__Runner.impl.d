@@ -1,0 +1,1 @@
+lib/par/runner.ml: Array Mode Option Parcfl_cfl Parcfl_conc Parcfl_pag Parcfl_sched Parcfl_sharing Report Sim_store Unix

@@ -1,0 +1,1 @@
+lib/par/runner.mli: Mode Parcfl_cfl Parcfl_pag Report

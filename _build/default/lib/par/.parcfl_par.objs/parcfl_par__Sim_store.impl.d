@@ -1,0 +1,1 @@
+lib/par/sim_store.ml: Hashtbl Parcfl_cfl Parcfl_pag

@@ -1,0 +1,1 @@
+lib/par/sim_store.mli: Parcfl_cfl

@@ -1,0 +1,26 @@
+type t = Seq | Naive | Share | Share_sched
+
+let uses_sharing = function
+  | Seq | Naive -> false
+  | Share | Share_sched -> true
+
+let uses_scheduling = function
+  | Seq | Naive | Share -> false
+  | Share_sched -> true
+
+let to_string = function
+  | Seq -> "seq"
+  | Naive -> "naive"
+  | Share -> "d"
+  | Share_sched -> "dq"
+
+let of_string = function
+  | "seq" -> Ok Seq
+  | "naive" -> Ok Naive
+  | "d" -> Ok Share
+  | "dq" -> Ok Share_sched
+  | s -> Error (Printf.sprintf "unknown mode %S (expected seq|naive|d|dq)" s)
+
+let all = [ Seq; Naive; Share; Share_sched ]
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,22 @@
+(** The four configurations evaluated in the paper (Section IV-C):
+
+    - [Seq] — SeqCFL, the sequential baseline (Algorithm 1, one thread);
+    - [Naive] — ParCFL^t_naive: inter-query parallelism over a shared
+      lock-protected work list, no sharing (Section III-A);
+    - [Share] — ParCFL^t_D: naive + the data-sharing scheme (Section III-B);
+    - [Share_sched] — ParCFL^t_DQ: sharing + query scheduling
+      (Section III-C). *)
+
+type t = Seq | Naive | Share | Share_sched
+
+val uses_sharing : t -> bool
+val uses_scheduling : t -> bool
+
+val to_string : t -> string
+(** ["seq" | "naive" | "d" | "dq"] — the paper's subscripts. *)
+
+val of_string : string -> (t, string) result
+
+val all : t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+module Stats = Parcfl_cfl.Stats
+module Query = Parcfl_cfl.Query
+
+type query_stat = {
+  qs_var : Parcfl_pag.Pag.var;
+  qs_completed : bool;
+  qs_steps_walked : int;
+  qs_steps_used : int;
+  qs_early_terminated : bool;
+}
+
+type t = {
+  r_mode : Mode.t;
+  r_threads : int;
+  r_wall_seconds : float;
+  r_sim_makespan : int option;
+  r_stats : Stats.snapshot;
+  r_n_jumps_finished : int;
+  r_n_jumps_unfinished : int;
+  r_mean_group_size : float;
+  r_jmp_histogram : (int array * int array) option;
+  r_queries : query_stat array;
+  r_outcomes : Query.outcome array;
+}
+
+let n_jumps t = t.r_n_jumps_finished + t.r_n_jumps_unfinished
+
+let total_walked t = t.r_stats.Stats.s_steps_walked
+
+let n_early_terminations t = t.r_stats.Stats.s_early_terminations
+
+let n_completed t =
+  Array.fold_left
+    (fun acc q -> if q.qs_completed then acc + 1 else acc)
+    0 t.r_queries
+
+let results_by_var t =
+  let tbl = Hashtbl.create (Array.length t.r_outcomes) in
+  Array.iter
+    (fun (o : Query.outcome) -> Hashtbl.replace tbl o.Query.var o.Query.result)
+    t.r_outcomes;
+  tbl
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "mode=%a threads=%d queries=%d completed=%d walked=%d jumps=%d+%d \
+     ETs=%d wall=%.3fs%a"
+    Mode.pp t.r_mode t.r_threads
+    (Array.length t.r_queries)
+    (n_completed t) (total_walked t) t.r_n_jumps_finished
+    t.r_n_jumps_unfinished
+    (n_early_terminations t)
+    t.r_wall_seconds
+    (fun ppf -> function
+      | Some m -> Format.fprintf ppf " sim_makespan=%d" m
+      | None -> ())
+    t.r_sim_makespan

@@ -1,0 +1,42 @@
+(** The result of one analysis run — everything the evaluation tables and
+    figures consume. *)
+
+type query_stat = {
+  qs_var : Parcfl_pag.Pag.var;
+  qs_completed : bool;
+  qs_steps_walked : int;  (** node traversals the query actually performed *)
+  qs_steps_used : int;    (** budget consumed incl. jmp-shortcut charges *)
+  qs_early_terminated : bool;
+}
+
+type t = {
+  r_mode : Mode.t;
+  r_threads : int;
+  r_wall_seconds : float;
+  r_sim_makespan : int option;
+      (** simulated-parallel makespan in steps (set by {!Runner.simulate}) *)
+  r_stats : Parcfl_cfl.Stats.snapshot;
+  r_n_jumps_finished : int;
+  r_n_jumps_unfinished : int;
+  r_mean_group_size : float;  (** the paper's [S_g]; 0.0 when unscheduled *)
+  r_jmp_histogram : (int array * int array) option;
+      (** (Finished, Unfinished) jmp counts bucketed by log2 steps saved
+          (Fig. 7); [None] without sharing or under simulation *)
+  r_queries : query_stat array;  (** in issue order *)
+  r_outcomes : Parcfl_cfl.Query.outcome array;  (** same order *)
+}
+
+val n_jumps : t -> int
+
+val total_walked : t -> int
+(** Total steps actually traversed — Table I's [#S] when the run is the
+    sequential baseline. *)
+
+val n_early_terminations : t -> int
+
+val n_completed : t -> int
+
+val results_by_var :
+  t -> (Parcfl_pag.Pag.var, Parcfl_cfl.Query.result) Hashtbl.t
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,204 @@
+module Pag = Parcfl_pag.Pag
+module Ctx = Parcfl_pag.Ctx
+module Config = Parcfl_cfl.Config
+module Solver = Parcfl_cfl.Solver
+module Stats = Parcfl_cfl.Stats
+module Query = Parcfl_cfl.Query
+module Jmp_store = Parcfl_sharing.Jmp_store
+module Schedule = Parcfl_sched.Schedule
+module Work_queue = Parcfl_conc.Work_queue
+module Domain_pool = Parcfl_conc.Domain_pool
+
+let dummy_outcome =
+  {
+    Query.var = -1;
+    result = Query.Out_of_budget;
+    steps_used = 0;
+    steps_walked = 0;
+    early_terminated = false;
+    used_partial = false;
+  }
+
+(* Work units in issue order, plus the slot offset of each unit's first
+   query in the flat outcome array. *)
+let make_units ?order_within ?order_across mode pag queries type_level =
+  if Mode.uses_scheduling mode then begin
+    let sched =
+      Schedule.build ?order_within ?order_across ~pag ~type_level queries
+    in
+    (sched.Schedule.groups, sched.Schedule.mean_group_size)
+  end
+  else (Array.map (fun q -> [| q |]) queries, 0.0)
+
+let offsets_of units =
+  let n = Array.length units in
+  let offsets = Array.make n 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i u ->
+      offsets.(i) <- !total;
+      total := !total + Array.length u)
+    units;
+  (offsets, !total)
+
+let query_stat_of (o : Query.outcome) =
+  {
+    Report.qs_var = o.Query.var;
+    qs_completed = Query.completed o;
+    qs_steps_walked = o.Query.steps_walked;
+    qs_steps_used = o.Query.steps_used;
+    qs_early_terminated = o.Query.early_terminated;
+  }
+
+let fig7_buckets = 17
+
+let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
+    ~mean_group_size ~histogram outcomes =
+  let nf, nu = jumps in
+  {
+    Report.r_mode = mode;
+    r_threads = threads;
+    r_wall_seconds = wall;
+    r_sim_makespan = sim_makespan;
+    r_stats = Stats.snapshot stats;
+    r_n_jumps_finished = nf;
+    r_n_jumps_unfinished = nu;
+    r_mean_group_size = mean_group_size;
+    r_jmp_histogram = histogram;
+    r_queries = Array.map query_stat_of outcomes;
+    r_outcomes = outcomes;
+  }
+
+let run ?tau_f ?tau_u ?share_directions ?sched_order_within
+    ?sched_order_across ?(type_level = fun _ -> 1)
+    ?(solver_config = Config.default) ~mode ~threads ~queries pag =
+  let threads = match mode with Mode.Seq -> 1 | _ -> max 1 threads in
+  let ctx_store = Ctx.create_store () in
+  let stats = Stats.create () in
+  let store =
+    if Mode.uses_sharing mode then
+      Some (Jmp_store.create ?tau_f ?tau_u ?directions:share_directions ())
+    else None
+  in
+  let hooks = Option.map Jmp_store.hooks store in
+  let session =
+    Solver.make_session ?hooks ~stats ~config:solver_config ~ctx_store pag
+  in
+  let units, mean_group_size =
+    make_units ?order_within:sched_order_within
+      ?order_across:sched_order_across mode pag queries type_level
+  in
+  let offsets, total = offsets_of units in
+  let outcomes = Array.make total dummy_outcome in
+  let indexed = Array.mapi (fun i u -> (i, u)) units in
+  let queue = Work_queue.create indexed in
+  let worker ~worker =
+    let rec loop () =
+      match Work_queue.pop queue with
+      | None -> ()
+      | Some (i, unit_vars) ->
+          Array.iteri
+            (fun j v ->
+              outcomes.(offsets.(i) + j) <- Solver.points_to ~worker session v)
+            unit_vars;
+          loop ()
+    in
+    loop ()
+  in
+  let t0 = Unix.gettimeofday () in
+  if threads = 1 then worker ~worker:0
+  else
+    Domain_pool.with_pool ~threads (fun pool -> Domain_pool.run pool worker);
+  let wall = Unix.gettimeofday () -. t0 in
+  let jumps =
+    match store with
+    | Some s -> (Jmp_store.n_finished s, Jmp_store.n_unfinished s)
+    | None -> (0, 0)
+  in
+  let histogram =
+    Option.map (fun s -> Jmp_store.histogram s ~buckets:fig7_buckets) store
+  in
+  finish_report ~mode ~threads ~wall ~sim_makespan:None ~stats ~jumps
+    ~mean_group_size ~histogram outcomes
+
+let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
+    ?(type_level = fun _ -> 1) ?(solver_config = Config.default) ~mode
+    ~threads ~queries pag =
+  let threads = match mode with Mode.Seq -> 1 | _ -> max 1 threads in
+  let ctx_store = Ctx.create_store () in
+  let stats = Stats.create () in
+  let store =
+    if Mode.uses_sharing mode then Some (Sim_store.create ?tau_f ?tau_u ())
+    else None
+  in
+  let units, mean_group_size =
+    make_units ?order_within:sched_order_within
+      ?order_across:sched_order_across mode pag queries type_level
+  in
+  let offsets, total = offsets_of units in
+  let outcomes = Array.make total dummy_outcome in
+  let clocks = Array.make threads 0 in
+  (* Discrete-event loop: the next unit always goes to the thread that
+     frees up first (ties to the lowest id) — a shared work queue with zero
+     synchronisation cost. *)
+  let pick () =
+    let best = ref 0 in
+    for t = 1 to threads - 1 do
+      if clocks.(t) < clocks.(!best) then best := t
+    done;
+    !best
+  in
+  let t0 = Unix.gettimeofday () in
+  Array.iteri
+    (fun i unit_vars ->
+      let th = pick () in
+      Array.iteri
+        (fun j v ->
+          let start = clocks.(th) in
+          let finish =
+            match store with
+            | None ->
+                let session =
+                  Solver.make_session ~stats ~config:solver_config ~ctx_store
+                    pag
+                in
+                let outcome = Solver.points_to ~worker:th session v in
+                (outcome, start + outcome.Query.steps_walked + 1)
+            | Some st ->
+                let qs = Sim_store.begin_query st ~start in
+                let session =
+                  Solver.make_session ~hooks:qs.Sim_store.hooks ~stats
+                    ~config:solver_config ~ctx_store pag
+                in
+                let outcome = Solver.points_to ~worker:th session v in
+                (* Records become visible when the query completes; the
+                   publication's own synchronisation cost lands on this
+                   thread's clock but overlaps the visibility point. *)
+                let avail =
+                  start + outcome.Query.steps_walked + 1
+                  + qs.Sim_store.sync_cost ()
+                in
+                qs.Sim_store.publish ~avail;
+                ( outcome,
+                  start + outcome.Query.steps_walked + 1
+                  + qs.Sim_store.sync_cost () )
+          in
+          let outcome, t_end = finish in
+          clocks.(th) <- t_end;
+          outcomes.(offsets.(i) + j) <- outcome)
+        unit_vars)
+    units;
+  let wall = Unix.gettimeofday () -. t0 in
+  let makespan = Array.fold_left max 0 clocks in
+  let jumps =
+    match store with
+    | Some s -> (Sim_store.n_finished s, Sim_store.n_unfinished s)
+    | None -> (0, 0)
+  in
+  finish_report ~mode ~threads ~wall ~sim_makespan:(Some makespan) ~stats
+    ~jumps ~mean_group_size ~histogram:None outcomes
+
+let per_query_cost report =
+  Array.map
+    (fun q -> q.Report.qs_steps_walked + 1)
+    report.Report.r_queries

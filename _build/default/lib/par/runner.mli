@@ -1,0 +1,54 @@
+(** Executing a batch of queries in one of the four configurations.
+
+    {!run} executes for real: [threads] OCaml domains pull work units from a
+    shared queue ({!Parcfl_conc.Work_queue}), sharing a concurrent jmp store
+    when the mode calls for it. Work units are single queries, or scheduled
+    groups in [Share_sched] mode.
+
+    {!simulate} replays the same workload under a deterministic
+    discrete-event model of [threads] virtual cores (one traversal step =
+    one time unit, zero synchronisation cost): whenever a virtual thread is
+    free it takes the next unit, runs its queries through the {e real}
+    solver against a virtual-time jmp store ({!Sim_store}), and advances its
+    clock by the steps actually walked. The resulting makespan measures the
+    algorithmic speedup — work reduction by sharing/scheduling plus load
+    distribution — independently of the host's core count. This is the
+    substitute for the paper's 16-core testbed (see DESIGN.md). *)
+
+val run :
+  ?tau_f:int ->
+  ?tau_u:int ->
+  ?share_directions:[ `Both | `Bwd_only ] ->
+  ?sched_order_within:bool ->
+  ?sched_order_across:bool ->
+  ?type_level:(int -> int) ->
+  ?solver_config:Parcfl_cfl.Config.t ->
+  mode:Mode.t ->
+  threads:int ->
+  queries:Parcfl_pag.Pag.var array ->
+  Parcfl_pag.Pag.t ->
+  Report.t
+(** [type_level] is required for meaningful [Share_sched] scheduling; it
+    defaults to a constant function (all groups equal DD). [solver_config]
+    defaults to {!Parcfl_cfl.Config.default}. [Seq] mode forces one thread.
+    [share_directions], [sched_order_within] and [sched_order_across] are
+    ablation knobs (see {!Parcfl_sharing.Jmp_store.create} and
+    {!Parcfl_sched.Schedule.build}). *)
+
+val simulate :
+  ?tau_f:int ->
+  ?tau_u:int ->
+  ?sched_order_within:bool ->
+  ?sched_order_across:bool ->
+  ?type_level:(int -> int) ->
+  ?solver_config:Parcfl_cfl.Config.t ->
+  mode:Mode.t ->
+  threads:int ->
+  queries:Parcfl_pag.Pag.var array ->
+  Parcfl_pag.Pag.t ->
+  Report.t
+(** Deterministic; [r_sim_makespan] is set. *)
+
+val per_query_cost : Report.t -> int array
+(** Steps walked per query (+1 dispatch overhead), in issue order — the
+    simulator's time model, exposed for tests. *)

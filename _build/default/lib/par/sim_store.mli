@@ -1,0 +1,44 @@
+(** A virtual-time jmp store for the multicore simulator.
+
+    The simulator replays the analysis sequentially while modelling [T]
+    threads with virtual clocks (one step = one time unit). Sharing is
+    order-dependent: a real thread can only take jmp edges that have already
+    been recorded. This store reproduces that at query granularity — a
+    query starting at virtual time [t0] sees a record iff the recording
+    query {e finished} at virtual time [<= t0], or the record was made
+    earlier by the same query's thread (records are buffered per query and
+    published at the query's completion time).
+
+    The store also meters synchronisation work: every lookup and every
+    record costs virtual time (a concurrent-map probe resp. insert under a
+    shard lock). This is what makes the paper's selective optimisation
+    (tau_f/tau_u) pay off — unrestricted jmp insertion floods the map with
+    cheap shortcuts whose synchronisation costs more than the traversal
+    they save (Section IV-A).
+
+    Single-threaded by design: only the (sequential) simulator uses it. *)
+
+type t
+
+val create : ?tau_f:int -> ?tau_u:int -> unit -> t
+
+type query_session = {
+  hooks : Parcfl_cfl.Hooks.t;
+  publish : avail:int -> unit;
+      (** call once, when the query's completion time is known *)
+  sync_cost : unit -> int;
+      (** virtual time spent in store synchronisation so far: lookups,
+          threshold-filtered record attempts, and (after [publish])
+          inserts *)
+}
+
+val begin_query : t -> start:int -> query_session
+
+val n_finished : t -> int
+val n_unfinished : t -> int
+
+val lookup_cost : int
+(** virtual steps per store lookup *)
+
+val insert_cost : int
+(** virtual steps per record published into the shared map *)

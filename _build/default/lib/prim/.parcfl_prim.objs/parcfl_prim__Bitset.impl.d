@@ -1,0 +1,1 @@
+lib/prim/bitset.ml: Bytes Char Format List

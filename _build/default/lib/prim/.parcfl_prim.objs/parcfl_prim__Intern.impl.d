@@ -1,0 +1,1 @@
+lib/prim/intern.ml: Hashtbl Vec

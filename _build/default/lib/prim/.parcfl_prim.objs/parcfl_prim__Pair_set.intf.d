@@ -1,0 +1,1 @@
+lib/prim/pair_set.mli:

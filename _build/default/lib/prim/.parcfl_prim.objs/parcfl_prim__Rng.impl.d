@@ -1,0 +1,1 @@
+lib/prim/rng.ml: Array Char Int64 List String

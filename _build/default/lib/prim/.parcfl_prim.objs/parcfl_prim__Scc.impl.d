@@ -1,0 +1,1 @@
+lib/prim/scc.ml: Array Hashtbl List

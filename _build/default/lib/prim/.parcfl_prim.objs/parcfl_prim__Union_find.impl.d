@@ -1,0 +1,1 @@
+lib/prim/union_find.ml: Array

@@ -1,0 +1,1 @@
+lib/prim/vec.ml: Array List Obj

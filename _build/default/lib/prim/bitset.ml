@@ -1,0 +1,146 @@
+type t = { mutable words : Bytes.t }
+(* Bytes rather than int array: bitsets dominate the Andersen baseline's
+   memory, and byte-addressed words keep copies cheap. We store 8 bits per
+   byte and manipulate them directly. *)
+
+let bits_per_byte = 8
+
+let byte_of i = i lsr 3
+let bit_of i = i land 7
+
+let create ?(capacity = 64) () =
+  let nbytes = max 1 ((capacity + bits_per_byte - 1) / bits_per_byte) in
+  { words = Bytes.make nbytes '\000' }
+
+let capacity t = Bytes.length t.words * bits_per_byte
+
+let ensure t i =
+  if i >= capacity t then begin
+    let needed = byte_of i + 1 in
+    let nbytes = max needed (2 * Bytes.length t.words) in
+    let words = Bytes.make nbytes '\000' in
+    Bytes.blit t.words 0 words 0 (Bytes.length t.words);
+    t.words <- words
+  end
+
+let mem t i =
+  i >= 0 && i < capacity t
+  && Char.code (Bytes.unsafe_get t.words (byte_of i)) land (1 lsl bit_of i) <> 0
+
+let add t i =
+  if i < 0 then invalid_arg "Bitset.add: negative member";
+  ensure t i;
+  let b = byte_of i and m = 1 lsl bit_of i in
+  let old = Char.code (Bytes.unsafe_get t.words b) in
+  if old land m <> 0 then false
+  else begin
+    Bytes.unsafe_set t.words b (Char.unsafe_chr (old lor m));
+    true
+  end
+
+let remove t i =
+  if i >= 0 && i < capacity t then begin
+    let b = byte_of i and m = 1 lsl bit_of i in
+    let old = Char.code (Bytes.unsafe_get t.words b) in
+    Bytes.unsafe_set t.words b (Char.unsafe_chr (old land lnot m))
+  end
+
+let union_into ~dst ~src =
+  (* Grow dst to src's highest *set* byte, not src's capacity: sizing to
+     capacity lets union cycles (a ⊇ b and b ⊇ a) ping-pong the doubling
+     growth into exponentially larger allocations with no new members. *)
+  let n = ref (Bytes.length src.words) in
+  while !n > 0 && Bytes.unsafe_get src.words (!n - 1) = '\000' do
+    decr n
+  done;
+  let n = !n in
+  if n * 8 > capacity dst then ensure dst ((n * 8) - 1);
+  let changed = ref false in
+  for b = 0 to n - 1 do
+    let s = Char.code (Bytes.unsafe_get src.words b) in
+    if s <> 0 then begin
+      let d = Char.code (Bytes.unsafe_get dst.words b) in
+      let u = d lor s in
+      if u <> d then begin
+        Bytes.unsafe_set dst.words b (Char.unsafe_chr u);
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+let popcount_byte =
+  let tbl = Bytes.create 256 in
+  for c = 0 to 255 do
+    let rec count n acc = if n = 0 then acc else count (n lsr 1) (acc + (n land 1)) in
+    Bytes.set tbl c (Char.chr (count c 0))
+  done;
+  fun c -> Char.code (Bytes.unsafe_get tbl c)
+
+let cardinal t =
+  let n = ref 0 in
+  for b = 0 to Bytes.length t.words - 1 do
+    n := !n + popcount_byte (Char.code (Bytes.unsafe_get t.words b))
+  done;
+  !n
+
+let is_empty t =
+  let rec go b =
+    b >= Bytes.length t.words
+    || (Bytes.unsafe_get t.words b = '\000' && go (b + 1))
+  in
+  go 0
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let iter f t =
+  for b = 0 to Bytes.length t.words - 1 do
+    let w = Char.code (Bytes.unsafe_get t.words b) in
+    if w <> 0 then
+      for bit = 0 to 7 do
+        if w land (1 lsl bit) <> 0 then f ((b lsl 3) lor bit)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let copy t = { words = Bytes.copy t.words }
+
+let equal a b =
+  let la = Bytes.length a.words and lb = Bytes.length b.words in
+  let common = min la lb in
+  let rec eq_common i =
+    i >= common || (Bytes.unsafe_get a.words i = Bytes.unsafe_get b.words i && eq_common (i + 1))
+  in
+  let rec zero w i l = i >= l || (Bytes.unsafe_get w i = '\000' && zero w (i + 1) l) in
+  eq_common 0 && zero a.words common la && zero b.words common lb
+
+let subset a b =
+  let la = Bytes.length a.words and lb = Bytes.length b.words in
+  let common = min la lb in
+  let rec sub i =
+    i >= common
+    ||
+    let wa = Char.code (Bytes.unsafe_get a.words i) in
+    let wb = Char.code (Bytes.unsafe_get b.words i) in
+    wa land lnot wb = 0 && sub (i + 1)
+  in
+  let rec zero i = i >= la || (Bytes.unsafe_get a.words i = '\000' && zero (i + 1)) in
+  sub 0 && (common >= la || zero common)
+
+let of_list l =
+  let t = create () in
+  List.iter (fun i -> ignore (add t i)) l;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (elements t)

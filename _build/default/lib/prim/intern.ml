@@ -1,0 +1,25 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  names : string Vec.t;
+}
+
+let create () = { by_name = Hashtbl.create 256; names = Vec.create () }
+
+let intern t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some id -> id
+  | None ->
+      let id = Vec.length t.names in
+      Hashtbl.add t.by_name s id;
+      Vec.push t.names s;
+      id
+
+let find_opt t s = Hashtbl.find_opt t.by_name s
+
+let name t id =
+  if id < 0 || id >= Vec.length t.names then invalid_arg "Intern.name: unknown id";
+  Vec.get t.names id
+
+let count t = Vec.length t.names
+
+let iter f t = Vec.iteri f t.names

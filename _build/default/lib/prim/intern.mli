@@ -1,0 +1,21 @@
+(** String interning: bidirectional string <-> dense-int mapping.
+
+    The frontend interns class, method, field and variable names so that the
+    PAG and all analysis maps are indexed by dense integers. Not thread-safe;
+    interning happens during (single-threaded) graph construction only. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Returns the existing id or assigns the next dense id. *)
+
+val find_opt : t -> string -> int option
+
+val name : t -> int -> string
+(** @raise Invalid_argument on an unknown id. *)
+
+val count : t -> int
+
+val iter : (int -> string -> unit) -> t -> unit

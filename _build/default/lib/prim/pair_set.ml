@@ -1,0 +1,50 @@
+type t = {
+  seen : (int, unit) Hashtbl.t; (* encoded pair *)
+  by_fst : (int, int list) Hashtbl.t;
+  order : (int * int) Vec.t;
+  first_order : int Vec.t;
+}
+
+let bits = 31
+let limit = 1 lsl bits
+
+let encode a b =
+  if a < 0 || b < 0 || a >= limit || b >= limit then
+    invalid_arg "Pair_set: components must be in [0, 2^31)";
+  (a lsl bits) lor b
+
+let create ?(capacity = 16) () =
+  {
+    seen = Hashtbl.create capacity;
+    by_fst = Hashtbl.create capacity;
+    order = Vec.create ();
+    first_order = Vec.create ();
+  }
+
+let mem t a b = Hashtbl.mem t.seen (encode a b)
+
+let add t a b =
+  let k = encode a b in
+  if Hashtbl.mem t.seen k then false
+  else begin
+    Hashtbl.replace t.seen k ();
+    (match Hashtbl.find_opt t.by_fst a with
+    | Some l -> Hashtbl.replace t.by_fst a (b :: l)
+    | None ->
+        Hashtbl.replace t.by_fst a [ b ];
+        Vec.push t.first_order a);
+    Vec.push t.order (a, b);
+    true
+  end
+
+let cardinal t = Vec.length t.order
+
+let iter f t = Vec.iter (fun (a, b) -> f a b) t.order
+
+let find_firsts t a = Option.value (Hashtbl.find_opt t.by_fst a) ~default:[]
+
+let mem_first t a = Hashtbl.mem t.by_fst a
+
+let to_list t = Vec.to_list t.order
+
+let firsts t = Vec.to_list t.first_order

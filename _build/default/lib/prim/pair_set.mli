@@ -1,0 +1,34 @@
+(** Deduplicating sets of int pairs with grouping by first component.
+
+    The solver's points-to sets are sets of (object, context) pairs and its
+    flows-to sets are sets of (variable, context) pairs; alias matching needs
+    "all contexts recorded for this variable", hence the by-first index.
+
+    Iteration follows insertion order, which keeps traversals deterministic
+    across runs. Both components must fit in 31 bits (they are dense ids). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val add : t -> int -> int -> bool
+(** [add t a b] returns [true] iff the pair was new. *)
+
+val mem : t -> int -> int -> bool
+
+val cardinal : t -> int
+
+val iter : (int -> int -> unit) -> t -> unit
+(** Insertion order. *)
+
+val find_firsts : t -> int -> int list
+(** [find_firsts t a] is every [b] with [(a, b)] in the set, most recently
+    added first; [[]] when none. *)
+
+val mem_first : t -> int -> bool
+
+val to_list : t -> (int * int) list
+(** Insertion order. *)
+
+val firsts : t -> int list
+(** Distinct first components, in first-insertion order. *)

@@ -1,0 +1,36 @@
+(** Deterministic splittable PRNG (SplitMix64).
+
+    The workload generator must produce identical benchmark programs on every
+    run and in every domain, so it cannot rely on [Random]'s global state;
+    each generator owns an explicit [Rng.t] seeded from the profile name. *)
+
+type t
+
+val create : int64 -> t
+
+val of_string_seed : string -> t
+(** Seed derived from a FNV-1a hash of the string. *)
+
+val split : t -> t
+(** An independent stream; the parent advances. *)
+
+val int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success; [p] in (0, 1]. *)

@@ -1,0 +1,119 @@
+type t = {
+  comp_of : int array;
+  n_comps : int;
+  members : int list array;
+}
+
+(* Iterative Tarjan: explicit stacks so that the deep call chains of large
+   generated programs cannot overflow the OCaml stack. *)
+let compute ~n ~succs =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let comp_of = Array.make n (-1) in
+  let n_comps = ref 0 in
+  let counter = ref 0 in
+  let members_rev = ref [] in
+  (* Frame: node, its remaining successors. *)
+  let visit root =
+    if index.(root) < 0 then begin
+      let frames = ref [ (root, ref (succs root)) ] in
+      index.(root) <- !counter;
+      lowlink.(root) <- !counter;
+      incr counter;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, rest) :: tail -> (
+            match !rest with
+            | w :: ws ->
+                rest := ws;
+                if index.(w) < 0 then begin
+                  index.(w) <- !counter;
+                  lowlink.(w) <- !counter;
+                  incr counter;
+                  stack := w :: !stack;
+                  on_stack.(w) <- true;
+                  frames := (w, ref (succs w)) :: !frames
+                end
+                else if on_stack.(w) then
+                  lowlink.(v) <- min lowlink.(v) index.(w)
+            | [] ->
+                frames := tail;
+                (match tail with
+                | (parent, _) :: _ ->
+                    lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+                | [] -> ());
+                if lowlink.(v) = index.(v) then begin
+                  let c = !n_comps in
+                  incr n_comps;
+                  let mem = ref [] in
+                  let continue = ref true in
+                  while !continue do
+                    match !stack with
+                    | [] -> continue := false
+                    | w :: rest_stack ->
+                        stack := rest_stack;
+                        on_stack.(w) <- false;
+                        comp_of.(w) <- c;
+                        mem := w :: !mem;
+                        if w = v then continue := false
+                  done;
+                  members_rev := !mem :: !members_rev
+                end)
+      done
+    end
+  in
+  for v = 0 to n - 1 do
+    visit v
+  done;
+  let members = Array.of_list (List.rev !members_rev) in
+  { comp_of; n_comps = !n_comps; members }
+
+let condensation t ~succs =
+  let dag = Array.make t.n_comps [] in
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun c mem ->
+      List.iter
+        (fun v ->
+          List.iter
+            (fun w ->
+              let c' = t.comp_of.(w) in
+              if c' <> c && not (Hashtbl.mem seen (c, c')) then begin
+                Hashtbl.add seen (c, c') ();
+                dag.(c) <- c' :: dag.(c)
+              end)
+            (succs v))
+        mem)
+    t.members;
+  dag
+
+let longest_path_through ~dag ~weight =
+  let n = Array.length dag in
+  (* Tarjan numbers components in reverse topological order: every edge goes
+     from a higher id to a lower id. [down.(c)] = heaviest path starting at c
+     (including c); computed in id order since successors have smaller ids.
+     [up.(c)] = heaviest path ending at c (including c); computed in reverse
+     id order by relaxing over incoming edges. *)
+  let down = Array.make n 0 in
+  for c = 0 to n - 1 do
+    let best = List.fold_left (fun acc c' -> max acc down.(c')) 0 dag.(c) in
+    down.(c) <- best + weight c
+  done;
+  let up = Array.make n 0 in
+  for c = n - 1 downto 0 do
+    (* Predecessors have higher ids, so up.(c) already holds the heaviest
+       incoming path when c is reached. *)
+    up.(c) <- up.(c) + weight c;
+    List.iter (fun c' -> up.(c') <- max up.(c') up.(c)) dag.(c)
+  done;
+  Array.init n (fun c -> down.(c) + up.(c) - weight c)
+
+let is_trivial t c =
+  match t.members.(c) with
+  | [ _ ] -> true
+  | _ -> false

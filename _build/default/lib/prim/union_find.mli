@@ -1,0 +1,22 @@
+(** Union-find with path compression and union by rank.
+
+    Used to group query variables by the [direct] relation (Section III-C1):
+    two variables belong to the same query group when they are connected by
+    assign/param/ret edges. *)
+
+type t
+
+val create : int -> t
+(** [create n] has singletons [0..n-1]. *)
+
+val find : t -> int -> int
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val n_classes : t -> int
+
+val classes : t -> int list array
+(** Representative-indexed member lists; only non-empty entries are the
+    classes (indexed by representative). Members appear in ascending order. *)

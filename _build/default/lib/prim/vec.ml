@@ -1,0 +1,86 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 0) () = { data = Array.make (max capacity 0) (Obj.magic 0); len = 0 }
+(* The dummy element trick: slots beyond [len] are never read, so the
+   unsound placeholder never escapes. This avoids requiring a witness value
+   of ['a] to create an empty vector. *)
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  Array.unsafe_get t.data i
+
+let set t i x =
+  check t i;
+  Array.unsafe_set t.data i x
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 8 else 2 * cap in
+  let data = Array.make ncap (Obj.magic 0) in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    let x = Array.unsafe_get t.data t.len in
+    Array.unsafe_set t.data t.len (Obj.magic 0);
+    Some x
+  end
+
+let top t = if t.len = 0 then None else Some (Array.unsafe_get t.data (t.len - 1))
+
+let clear t =
+  Array.fill t.data 0 t.len (Obj.magic 0);
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i (Array.unsafe_get t.data i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let exists p t =
+  let rec go i = i < t.len && (p (Array.unsafe_get t.data i) || go (i + 1)) in
+  go 0
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_list l =
+  let t = create ~capacity:(List.length l) () in
+  List.iter (push t) l;
+  t
+
+let map_to_list f t = List.rev (fold (fun acc x -> f x :: acc) [] t)
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.len

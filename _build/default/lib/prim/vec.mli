@@ -1,0 +1,45 @@
+(** Growable arrays (vectors).
+
+    The PAG stores per-node adjacency as vectors so that edges can be added
+    incrementally while the graph is being built (and, for [jmp] edges,
+    while the analysis runs). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the last element. *)
+
+val top : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val of_list : 'a list -> 'a t
+
+val map_to_list : ('a -> 'b) -> 'a t -> 'b list
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/refine/refinement.ml: Hashtbl List Parcfl_cfl Parcfl_pag

@@ -1,0 +1,1 @@
+lib/refine/refinement.mli: Parcfl_cfl Parcfl_pag

@@ -1,0 +1,79 @@
+module Pag = Parcfl_pag.Pag
+module Ctx = Parcfl_pag.Ctx
+module Config = Parcfl_cfl.Config
+module Solver = Parcfl_cfl.Solver
+module Query = Parcfl_cfl.Query
+module Hooks = Parcfl_cfl.Hooks
+module Matcher = Parcfl_cfl.Matcher
+
+type outcome = {
+  result : Query.result;
+  passes : int;
+  fully_refined : bool;
+  steps_walked : int;
+}
+
+(* A refinement point is one (direction, anchor, other base, field)
+   match-edge site, encoded into a single int key. *)
+let point_key ~dir ~anchor ~other_base ~field =
+  let d = match dir with Hooks.Bwd -> 0 | Hooks.Fwd -> 1 in
+  (((anchor * 0x3FFFF) + other_base) * 2 + d) * 1024
+  + (field land 1023)
+
+let points_to ?(max_passes = 10) ?(satisfied = fun _ -> false) ~config
+    ~ctx_store pag v =
+  let refined : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let total_walked = ref 0 in
+  let rec pass n =
+    let used : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let matcher =
+      {
+        Matcher.is_refined =
+          (fun ~dir ~anchor ~other_base ~field ->
+            Hashtbl.mem refined (point_key ~dir ~anchor ~other_base ~field));
+        note_match_used =
+          (fun ~dir ~anchor ~other_base ~field ->
+            Hashtbl.replace used
+              (point_key ~dir ~anchor ~other_base ~field)
+              ());
+      }
+    in
+    let session = Solver.make_session ~matcher ~config ~ctx_store pag in
+    let o = Solver.points_to session v in
+    total_walked := !total_walked + o.Query.steps_walked;
+    let converged = Hashtbl.length used = 0 in
+    let done_ =
+      converged || n >= max_passes || satisfied o.Query.result
+      || o.Query.result = Query.Out_of_budget
+    in
+    if done_ then
+      {
+        result = o.Query.result;
+        passes = n;
+        fully_refined = converged;
+        steps_walked = !total_walked;
+      }
+    else begin
+      Hashtbl.iter (fun k () -> Hashtbl.replace refined k ()) used;
+      pass (n + 1)
+    end
+  in
+  pass 1
+
+let cast_safe ?max_passes ~config ~ctx_store ~obj_ok pag v =
+  let all_ok = function
+    | Query.Out_of_budget -> false
+    | Query.Points_to pairs -> List.for_all (fun (o, _) -> obj_ok o) pairs
+  in
+  let outcome =
+    points_to ?max_passes ~satisfied:all_ok ~config ~ctx_store pag v
+  in
+  match outcome.result with
+  | Query.Out_of_budget -> `Unknown outcome.passes
+  | Query.Points_to _ when all_ok outcome.result -> `Safe outcome.passes
+  | Query.Points_to _ ->
+      (* Objects of the wrong type survived. Only a fully refined answer
+         can report them as real flows; otherwise the approximation may be
+         to blame but the pass limit was hit. *)
+      if outcome.fully_refined then `Unsafe outcome.passes
+      else `Unknown outcome.passes

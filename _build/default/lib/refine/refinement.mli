@@ -1,0 +1,59 @@
+(** The refinement driver: iterative precision on demand.
+
+    The paper's sequential baseline [18] offers two configurations; the
+    evaluation uses the general-purpose one, noting that "the
+    refinement-based configuration is not well-suited to certain clients
+    such as null-pointer detection" (§IV-A). This module implements that
+    other configuration so the trade-off is reproducible:
+
+    - pass 0 answers the query with {e all} field accesses approximated by
+      match edges (any load of [f] sees any store of [f], no alias check —
+      a regular-language over-approximation, cheap);
+    - if the client is not yet satisfied, the match edges that were
+      actually used are {e refined} (promoted to full alias checking) and
+      the query re-runs;
+    - iteration stops when the client accepts the answer, no unrefined
+      match edge was used (the answer now equals the general-purpose
+      one), or the pass limit is hit — the last answer is returned, still
+      a sound over-approximation.
+
+    Clients that only need to {e exclude} objects (downcast safety: "does
+    anything of the wrong type flow here?") often stop after cheap early
+    passes; clients that must certify an {e exact} set (null-dereference
+    proofs) force full refinement and gain nothing — the trade-off the
+    paper describes. *)
+
+type outcome = {
+  result : Parcfl_cfl.Query.result;
+      (** sound over-approximation of the points-to set *)
+  passes : int;  (** refinement passes executed (>= 1) *)
+  fully_refined : bool;
+      (** true when no match edge contributed to the final answer — the
+          result is exactly the general-purpose analysis's *)
+  steps_walked : int;  (** total across passes *)
+}
+
+val points_to :
+  ?max_passes:int ->
+  ?satisfied:(Parcfl_cfl.Query.result -> bool) ->
+  config:Parcfl_cfl.Config.t ->
+  ctx_store:Parcfl_pag.Ctx.store ->
+  Parcfl_pag.Pag.t ->
+  Parcfl_pag.Pag.var ->
+  outcome
+(** [satisfied] is the client's early-accept test, called on each pass's
+    result (default: never — refine until converged or [max_passes],
+    default 10). *)
+
+val cast_safe :
+  ?max_passes:int ->
+  config:Parcfl_cfl.Config.t ->
+  ctx_store:Parcfl_pag.Ctx.store ->
+  obj_ok:(Parcfl_pag.Pag.obj -> bool) ->
+  Parcfl_pag.Pag.t ->
+  Parcfl_pag.Pag.var ->
+  [ `Safe of int | `Unsafe of int | `Unknown of int ]
+(** The flagship refinement client: is every object [v] may point to
+    acceptable ([obj_ok])? Accepts as soon as a pass's (over-approximate)
+    answer is all-ok — an over-approximation that passes proves safety.
+    Returns the verdict with the number of passes used. *)

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Float Hashtbl List Option Parcfl_pag Parcfl_prim

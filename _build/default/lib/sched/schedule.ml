@@ -1,0 +1,126 @@
+module Pag = Parcfl_pag.Pag
+module Scc = Parcfl_prim.Scc
+module Union_find = Parcfl_prim.Union_find
+module Vec = Parcfl_prim.Vec
+
+type t = {
+  groups : Pag.var array array;
+  n_components : int;
+  mean_group_size : float;
+}
+
+let direct_succs pag v =
+  let out = ref [] in
+  Pag.iter_direct_succs pag v (fun w -> out := w :: !out);
+  !out
+
+let connection_distances ~pag =
+  let n = Pag.n_vars pag in
+  let succs = direct_succs pag in
+  let scc = Scc.compute ~n ~succs in
+  let dag = Scc.condensation scc ~succs in
+  let weight c = List.length scc.Scc.members.(c) in
+  let through = Scc.longest_path_through ~dag ~weight in
+  Array.init n (fun v -> through.(scc.Scc.comp_of.(v)))
+
+let build ?(order_within = true) ?(order_across = true) ~pag ~type_level
+    queries =
+  let n = Pag.n_vars pag in
+  (* Grouping: undirected connectivity over direct edges. *)
+  let uf = Union_find.create n in
+  for v = 0 to n - 1 do
+    Pag.iter_direct_succs pag v (fun w -> Union_find.union uf v w)
+  done;
+  let cd = connection_distances ~pag in
+  let dd v =
+    let l = type_level (Pag.var_typ pag v) in
+    if l <= 0 then infinity else 1.0 /. float_of_int l
+  in
+  (* A component's DD is the min over all its members, queried or not. *)
+  let comp_dd = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    let r = Union_find.find uf v in
+    let d = dd v in
+    match Hashtbl.find_opt comp_dd r with
+    | Some d' when d' <= d -> ()
+    | _ -> Hashtbl.replace comp_dd r d
+  done;
+  (* Collect queries per component. *)
+  let comp_queries = Hashtbl.create 64 in
+  Array.iter
+    (fun v ->
+      let r = Union_find.find uf v in
+      match Hashtbl.find_opt comp_queries r with
+      | Some vec -> Vec.push vec v
+      | None ->
+          let vec = Vec.create () in
+          Vec.push vec v;
+          Hashtbl.replace comp_queries r vec)
+    queries;
+  let components =
+    Hashtbl.fold
+      (fun r vec acc ->
+        let members = Vec.to_array vec in
+        (* Within a group: increasing CD, ties by id for determinism. *)
+        if order_within then
+          Array.sort
+            (fun a b ->
+              let c = compare cd.(a) cd.(b) in
+              if c <> 0 then c else compare a b)
+            members
+        else Array.sort compare members;
+        (Option.value (Hashtbl.find_opt comp_dd r) ~default:infinity, r, members)
+        :: acc)
+      comp_queries []
+  in
+  (* Across groups: increasing DD; ties by representative for determinism. *)
+  let components =
+    if order_across then
+      List.sort
+        (fun (d1, r1, _) (d2, r2, _) ->
+          let c = compare d1 d2 in
+          if c <> 0 then c else compare r1 r2)
+        components
+    else
+      List.sort (fun (_, r1, _) (_, r2, _) -> compare r1 r2) components
+  in
+  let n_components = List.length components in
+  let mean =
+    if n_components = 0 then 0.0
+    else float_of_int (Array.length queries) /. float_of_int n_components
+  in
+  (* Load balance to roughly M queries per unit: split the big, merge the
+     small (with their DD-adjacent neighbours). *)
+  let m = max 1 (int_of_float (Float.round mean)) in
+  let units = Vec.create () in
+  let pending = Vec.create () in
+  let flush () =
+    if Vec.length pending > 0 then begin
+      Vec.push units (Vec.to_array pending);
+      Vec.clear pending
+    end
+  in
+  List.iter
+    (fun (_, _, members) ->
+      let len = Array.length members in
+      if len >= m then begin
+        (* Close the current merge buffer first to preserve issue order. *)
+        flush ();
+        let chunks = (len + m - 1) / m in
+        let base = len / chunks and extra = len mod chunks in
+        let pos = ref 0 in
+        for i = 0 to chunks - 1 do
+          let sz = base + if i < extra then 1 else 0 in
+          Vec.push units (Array.sub members !pos sz);
+          pos := !pos + sz
+        done
+      end
+      else begin
+        Array.iter (Vec.push pending) members;
+        if Vec.length pending >= m then flush ()
+      end)
+    components;
+  flush ();
+  { groups = Vec.to_array units; n_components; mean_group_size = mean }
+
+let flat_order t = Array.concat (Array.to_list t.groups)

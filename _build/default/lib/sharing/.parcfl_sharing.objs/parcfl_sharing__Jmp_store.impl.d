@@ -1,0 +1,1 @@
+lib/sharing/jmp_store.ml: Array Atomic Parcfl_cfl Parcfl_conc Parcfl_pag

@@ -1,0 +1,1 @@
+lib/sharing/jmp_store.mli: Parcfl_cfl

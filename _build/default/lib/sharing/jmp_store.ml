@@ -1,0 +1,131 @@
+module Hooks = Parcfl_cfl.Hooks
+module Ctx = Parcfl_pag.Ctx
+
+module Key = struct
+  (* (direction ⊕ variable, context): the direction bit is folded into the
+     variable component so the key stays two machine ints. *)
+  type t = int * int
+
+  let make dir var ctx =
+    let d = match dir with Hooks.Bwd -> 0 | Hooks.Fwd -> 1 in
+    ((var lsl 1) lor d, Ctx.to_int ctx)
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (a * 0x9e3779b1) lxor (b * 0x61C88647) land max_int
+end
+
+module Tbl = Parcfl_conc.Sharded_map.Make (Key)
+
+type record_ = {
+  mutable fin : Hooks.finished option;
+  mutable unf : int option;
+}
+
+type t = {
+  tbl : record_ Tbl.t;
+  tau_f : int;
+  tau_u : int;
+  bwd_only : bool;
+  n_fin : int Atomic.t;
+  n_unf : int Atomic.t;
+}
+
+let create ?(shards = 64) ?(tau_f = 100) ?(tau_u = 10_000)
+    ?(directions = `Both) () =
+  {
+    tbl = Tbl.create ~shards ();
+    tau_f;
+    tau_u;
+    bwd_only = (directions = `Bwd_only);
+    n_fin = Atomic.make 0;
+    n_unf = Atomic.make 0;
+  }
+
+let skip t dir = t.bwd_only && dir = Hooks.Fwd
+
+let lookup t dir var ctx ~steps =
+  ignore steps;
+  if skip t dir then Hooks.no_jmp
+  else
+    match Tbl.find_opt t.tbl (Key.make dir var ctx) with
+  | None -> Hooks.no_jmp
+  | Some r -> { Hooks.unfinished = r.unf; finished = r.fin }
+
+(* The two record kinds share a key; updates go through the shard lock so a
+   concurrent reader (which also holds the lock via find_opt) never sees a
+   half-written record. First write of each kind wins. *)
+let record_finished t dir var ctx ~cost ~targets =
+  if cost >= t.tau_f && not (skip t dir) then begin
+    let added = ref false in
+    Tbl.update t.tbl (Key.make dir var ctx) (function
+      | None ->
+          added := true;
+          Some { fin = Some { Hooks.cost; targets }; unf = None }
+      | Some r ->
+          if r.fin = None then begin
+            added := true;
+            r.fin <- Some { Hooks.cost; targets }
+          end;
+          Some r);
+    if !added then ignore (Atomic.fetch_and_add t.n_fin 1)
+  end
+
+let record_unfinished t dir var ctx ~s =
+  if s >= t.tau_u && not (skip t dir) then begin
+    let added = ref false in
+    Tbl.update t.tbl (Key.make dir var ctx) (function
+      | None ->
+          added := true;
+          Some { fin = None; unf = Some s }
+      | Some r ->
+          if r.unf = None then begin
+            added := true;
+            r.unf <- Some s
+          end;
+          Some r);
+    if !added then ignore (Atomic.fetch_and_add t.n_unf 1)
+  end
+
+let hooks t =
+  {
+    Hooks.lookup = (fun dir var ctx ~steps -> lookup t dir var ctx ~steps);
+    record_finished =
+      (fun dir var ctx ~cost ~targets ->
+        record_finished t dir var ctx ~cost ~targets);
+    record_unfinished =
+      (fun dir var ctx ~s -> record_unfinished t dir var ctx ~s);
+  }
+
+let n_finished t = Atomic.get t.n_fin
+let n_unfinished t = Atomic.get t.n_unf
+let n_jumps t = n_finished t + n_unfinished t
+let tau_f t = t.tau_f
+let tau_u t = t.tau_u
+
+let bucket_of ~buckets v =
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  min (buckets - 1) (log2 (max 1 v) 0)
+
+let histogram t ~buckets =
+  let fin = Array.make buckets 0 and unf = Array.make buckets 0 in
+  let _ =
+    Tbl.fold
+      (fun _key r () ->
+        (match r.fin with
+        | Some { Hooks.cost; _ } ->
+            let b = bucket_of ~buckets cost in
+            fin.(b) <- fin.(b) + 1
+        | None -> ());
+        match r.unf with
+        | Some s ->
+            let b = bucket_of ~buckets s in
+            unf.(b) <- unf.(b) + 1
+        | None -> ())
+      t.tbl ()
+  in
+  (fin, unf)
+
+let clear t =
+  Tbl.clear t.tbl;
+  Atomic.set t.n_fin 0;
+  Atomic.set t.n_unf 0

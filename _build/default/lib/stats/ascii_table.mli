@@ -1,0 +1,17 @@
+(** Fixed-width ASCII tables for the bench harness (Table I/II rows). *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  Format.formatter ->
+  string list list ->
+  unit
+(** Column widths are computed from the content; [align] defaults to Left
+    for the first column and Right for the rest. *)
+
+val fmt_int : int -> string
+(** Thousands separators: [12345 -> "12,345"]. *)
+
+val fmt_float : ?decimals:int -> float -> string

@@ -1,0 +1,26 @@
+let log2_label i = Printf.sprintf "2^%d" i
+
+let render ppf ~bucket_label ~series =
+  match series with
+  | [] -> ()
+  | (_, first) :: _ ->
+      let buckets = Array.length first in
+      let max_count =
+        List.fold_left
+          (fun acc (_, counts) -> Array.fold_left max acc counts)
+          1 series
+      in
+      let bar n =
+        let width = 40 * n / max_count in
+        String.make width '#'
+      in
+      Format.fprintf ppf "%-6s" "bucket";
+      List.iter (fun (name, _) -> Format.fprintf ppf "  %12s" name) series;
+      Format.fprintf ppf "@.";
+      for b = 0 to buckets - 1 do
+        Format.fprintf ppf "%-6s" (bucket_label b);
+        List.iter
+          (fun (_, counts) -> Format.fprintf ppf "  %12d" counts.(b))
+          series;
+        Format.fprintf ppf "  |%s@." (bar first.(b))
+      done

@@ -1,0 +1,13 @@
+(** ASCII histograms (Fig. 7-style: Finished counts above the axis,
+    Unfinished below, buckets by powers of two). *)
+
+val render :
+  Format.formatter ->
+  bucket_label:(int -> string) ->
+  series:(string * int array) list ->
+  unit
+(** All series must share the same bucket count. Each row prints the bucket
+    label, the counts, and a proportional bar for the first series. *)
+
+val log2_label : int -> string
+(** ["2^i"]. *)

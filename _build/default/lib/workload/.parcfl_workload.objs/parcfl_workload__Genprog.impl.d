@@ -1,0 +1,1 @@
+lib/workload/genprog.ml: Array List Parcfl_lang Parcfl_prim Printf Profile

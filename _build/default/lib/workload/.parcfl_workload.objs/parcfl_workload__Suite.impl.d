@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Array Format Genprog Option Parcfl_lang Parcfl_pag Profile

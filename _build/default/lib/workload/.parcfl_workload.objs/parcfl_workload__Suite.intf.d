@@ -1,0 +1,1 @@
+lib/workload/suite.mli: Format Parcfl_lang Parcfl_pag Profile

@@ -1,0 +1,474 @@
+module Ir = Parcfl_lang.Ir
+module Types = Parcfl_lang.Types
+module Rng = Parcfl_prim.Rng
+module Vec = Parcfl_prim.Vec
+
+let sp = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+(* Method construction                                                  *)
+
+type mb = {
+  slots : (string * Types.typ) Vec.t;
+  mutable body_rev : Ir.stmt list;
+}
+
+let mb_create () = { slots = Vec.create (); body_rev = [] }
+
+let local mb name typ =
+  let i = Vec.length mb.slots in
+  Vec.push mb.slots (name, typ);
+  i
+
+let emit mb s = mb.body_rev <- s :: mb.body_rev
+
+let finish mb ~name ~owner ~is_static ~n_formals ~ret_slot ~app =
+  {
+    Ir.m_name = name;
+    m_owner = owner;
+    m_is_static = is_static;
+    m_n_formals = n_formals;
+    m_slots = Vec.to_array mb.slots;
+    m_ret_slot = ret_slot;
+    m_body = List.rev mb.body_rev;
+    m_app = app;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Library layer                                                        *)
+
+type payload = {
+  levels : Types.typ array; (* index = containment depth *)
+  inner : Types.field array; (* inner.(d) : field of levels.(d), d >= 1 *)
+}
+
+let gen_payloads types ~families ~depth =
+  Array.init families (fun f ->
+      let root = Types.object_root types in
+      let base = Types.declare_class types (sp "P%d_0" f) in
+      let _data =
+        Types.declare_field types ~owner:base ~name:"data" ~field_typ:root
+      in
+      let levels = Array.make (depth + 1) base in
+      let inner = Array.make (depth + 1) (-1) in
+      for d = 1 to depth do
+        let c = Types.declare_class types (sp "P%d_%d" f d) in
+        levels.(d) <- c;
+        inner.(d) <-
+          Types.declare_field types ~owner:c ~name:"inner"
+            ~field_typ:levels.(d - 1)
+      done;
+      { levels; inner })
+
+type container = {
+  c_cls : Types.typ;
+  c_entry : Types.typ;
+  c_head : Types.field;
+  c_val : Types.field;
+  c_next : Types.field;
+}
+
+let gen_container_types types i =
+  let root = Types.object_root types in
+  let entry = Types.declare_class types (sp "Entry%d" i) in
+  let c_val = Types.declare_field types ~owner:entry ~name:"val" ~field_typ:root in
+  let c_next =
+    Types.declare_field types ~owner:entry ~name:"next" ~field_typ:entry
+  in
+  let cls = Types.declare_class types (sp "Container%d" i) in
+  let c_head =
+    Types.declare_field types ~owner:cls ~name:"head" ~field_typ:entry
+  in
+  { c_cls = cls; c_entry = entry; c_head; c_val; c_next }
+
+(* add:      en = new Entry; en.val = e; t = this.head;
+             en.next = t; this.head = en
+   get:      en = this.head; v = en.val; return v
+   get_next: en = this.head; n = en.next; v = n.val; return v *)
+let gen_container_methods types c =
+  let root = Types.object_root types in
+  let add =
+    let mb = mb_create () in
+    let _this = local mb "this" c.c_cls in
+    let e = local mb "e" root in
+    let en = local mb "en" c.c_entry in
+    let t = local mb "t" c.c_entry in
+    emit mb (Ir.Alloc { lhs = Ir.Slot en; cls = c.c_entry });
+    emit mb (Ir.Store { base = Ir.Slot en; field = c.c_val; rhs = Ir.Slot e });
+    emit mb (Ir.Load { lhs = Ir.Slot t; base = Ir.Slot 0; field = c.c_head });
+    emit mb (Ir.Store { base = Ir.Slot en; field = c.c_next; rhs = Ir.Slot t });
+    emit mb (Ir.Store { base = Ir.Slot 0; field = c.c_head; rhs = Ir.Slot en });
+    finish mb ~name:"add" ~owner:c.c_cls ~is_static:false ~n_formals:2
+      ~ret_slot:None ~app:false
+  in
+  let get =
+    let mb = mb_create () in
+    let _this = local mb "this" c.c_cls in
+    let en = local mb "en" c.c_entry in
+    let v = local mb "v" root in
+    emit mb (Ir.Load { lhs = Ir.Slot en; base = Ir.Slot 0; field = c.c_head });
+    emit mb (Ir.Load { lhs = Ir.Slot v; base = Ir.Slot en; field = c.c_val });
+    emit mb (Ir.Return (Ir.Slot v));
+    finish mb ~name:"get" ~owner:c.c_cls ~is_static:false ~n_formals:1
+      ~ret_slot:(Some v) ~app:false
+  in
+  let get_next =
+    let mb = mb_create () in
+    let _this = local mb "this" c.c_cls in
+    let en = local mb "en" c.c_entry in
+    let n = local mb "n" c.c_entry in
+    let v = local mb "v" root in
+    emit mb (Ir.Load { lhs = Ir.Slot en; base = Ir.Slot 0; field = c.c_head });
+    emit mb (Ir.Load { lhs = Ir.Slot n; base = Ir.Slot en; field = c.c_next });
+    emit mb (Ir.Load { lhs = Ir.Slot v; base = Ir.Slot n; field = c.c_val });
+    emit mb (Ir.Return (Ir.Slot v));
+    finish mb ~name:"get_next" ~owner:c.c_cls ~is_static:false ~n_formals:1
+      ~ret_slot:(Some v) ~app:false
+  in
+  [ add; get; get_next ]
+
+(* Static identity chains: Util_j.id_k(x) = Util_j.id_{k-1}(x); id_0 = x. *)
+let gen_util_chain types j len =
+  let root = Types.object_root types in
+  let cls = Types.declare_class types (sp "Util%d" j) in
+  let meths = ref [] in
+  for k = 0 to len - 1 do
+    let mb = mb_create () in
+    let x = local mb "x" root in
+    let r = local mb "r" root in
+    if k = 0 then emit mb (Ir.Return (Ir.Slot x))
+    else begin
+      emit mb
+        (Ir.Call
+           {
+             lhs = Some (Ir.Slot r);
+             recv = None;
+             static_typ = cls;
+             mname = sp "id%d" (k - 1);
+             args = [ Ir.Slot x ];
+           });
+      emit mb (Ir.Return (Ir.Slot r))
+    end;
+    meths :=
+      finish mb ~name:(sp "id%d" k) ~owner:cls ~is_static:true ~n_formals:1
+        ~ret_slot:(Some r) ~app:false
+      :: !meths
+  done;
+  (cls, List.rev !meths)
+
+(* ------------------------------------------------------------------ *)
+(* Application layer                                                    *)
+
+type world = {
+  types : Types.t;
+  rng : Rng.t;
+  payloads : payload array;
+  utils : (Types.typ * int) array; (* class, chain length *)
+  (* globals *)
+  container_globals : (int * container) array; (* global id, its class *)
+  payload_globals : int array; (* global ids typed Object *)
+  app_classes : Types.typ array;
+  app_fields : Types.field array array; (* per app class: own Object fields *)
+  method_names : string array;
+}
+
+let gen_app_method w ~profile ~cls_idx ~mname =
+  let p = profile in
+  let types = w.types in
+  let root = Types.object_root types in
+  let rng = w.rng in
+  let cls = w.app_classes.(cls_idx) in
+  let mb = mb_create () in
+  let _this = local mb "this" cls in
+  let p0 = local mb "p0" root in
+  let p1 = local mb "p1" root in
+  let n_formals = 3 in
+  let ret = local mb "ret" root in
+  (* object locals *)
+  let obj_locals =
+    Array.init (max 2 p.Profile.locals_per_method) (fun i ->
+        local mb (sp "l%d" i) root)
+  in
+  let any_obj () = Rng.pick rng obj_locals in
+  (* container locals: two, with classes drawn from the shared globals *)
+  let cont_globals =
+    Array.init 2 (fun _ -> Rng.pick rng w.container_globals)
+  in
+  let cont_locals =
+    Array.map (fun (_, c) -> local mb "c" c.c_cls) cont_globals
+  in
+  (* payload locals for the containment motif *)
+  let fam = Rng.pick rng w.payloads in
+  let d = 1 + Rng.int rng (Array.length fam.levels - 1) in
+  let lp_hi = local mb "ph" fam.levels.(d) in
+  let lp_lo = local mb "pl" fam.levels.(d - 1) in
+  (* a cross-class application local *)
+  let other_cls_idx = Rng.int rng (Array.length w.app_classes) in
+  let l_app = local mb "a" w.app_classes.(other_cls_idx) in
+  (* Seed the locals so flows exist even in short methods. *)
+  emit mb (Ir.Alloc { lhs = Ir.Slot (any_obj ()); cls = fam.levels.(0) });
+  emit mb (Ir.Move { lhs = Ir.Slot (any_obj ()); rhs = Ir.Slot p0 });
+  let emit_container_op () =
+    let i = Rng.int rng 2 in
+    let gid, c = cont_globals.(i) in
+    let cl = cont_locals.(i) in
+    emit mb (Ir.Move { lhs = Ir.Slot cl; rhs = Ir.Global gid });
+    if Rng.bool rng then
+      emit mb
+        (Ir.Call
+           {
+             lhs = None;
+             recv = Some (Ir.Slot cl);
+             static_typ = c.c_cls;
+             mname = "add";
+             args = [ Ir.Slot (any_obj ()) ];
+           })
+    else
+      emit mb
+        (Ir.Call
+           {
+             lhs = Some (Ir.Slot (any_obj ()));
+             recv = Some (Ir.Slot cl);
+             static_typ = c.c_cls;
+             mname = (if Rng.int rng 10 < 3 then "get_next" else "get");
+             args = [];
+           })
+  in
+  let emit_heap_op () =
+    let fields = w.app_fields.(cls_idx) in
+    if Array.length fields > 0 then begin
+      let f = Rng.pick rng fields in
+      if Rng.bool rng then
+        emit mb
+          (Ir.Store { base = Ir.Slot 0; field = f; rhs = Ir.Slot (any_obj ()) })
+      else
+        emit mb
+          (Ir.Load { lhs = Ir.Slot (any_obj ()); base = Ir.Slot 0; field = f })
+    end
+  in
+  let emit_alloc () =
+    match Rng.int rng 4 with
+    | 0 ->
+        (* containment chain: ph = new P_d; pl = new P_{d-1}; ph.inner = pl *)
+        emit mb (Ir.Alloc { lhs = Ir.Slot lp_hi; cls = fam.levels.(d) });
+        emit mb (Ir.Alloc { lhs = Ir.Slot lp_lo; cls = fam.levels.(d - 1) });
+        emit mb
+          (Ir.Store
+             { base = Ir.Slot lp_hi; field = fam.inner.(d); rhs = Ir.Slot lp_lo });
+        emit mb (Ir.Move { lhs = Ir.Slot (any_obj ()); rhs = Ir.Slot lp_lo })
+    | 1 ->
+        let f = Rng.pick rng w.payloads in
+        emit mb (Ir.Alloc { lhs = Ir.Slot (any_obj ()); cls = f.levels.(0) })
+    | 2 ->
+        (* implicit downcast: Object-typed local into a payload-typed one
+           (material for the cast-safety client) *)
+        emit mb (Ir.Move { lhs = Ir.Slot lp_lo; rhs = Ir.Slot (any_obj ()) })
+    | _ -> emit mb (Ir.Move { lhs = Ir.Slot (any_obj ()); rhs = Ir.Slot p1 })
+  in
+  let emit_call () =
+    match Rng.int rng 4 with
+    | 0 ->
+        (* utility chain *)
+        let ucls, ulen = Rng.pick rng w.utils in
+        emit mb
+          (Ir.Call
+             {
+               lhs = Some (Ir.Slot (any_obj ()));
+               recv = None;
+               static_typ = ucls;
+               mname = sp "id%d" (ulen - 1);
+               args = [ Ir.Slot (any_obj ()) ];
+             })
+    | 1 ->
+        (* same-object virtual call *)
+        emit mb
+          (Ir.Call
+             {
+               lhs = Some (Ir.Slot (any_obj ()));
+               recv = Some (Ir.Slot 0);
+               static_typ = cls;
+               mname = Rng.pick rng w.method_names;
+               args = [ Ir.Slot (any_obj ()); Ir.Slot (any_obj ()) ];
+             })
+    | _ ->
+        (* cross-class: a = new A_k; l = a.m(args) *)
+        emit mb
+          (Ir.Alloc { lhs = Ir.Slot l_app; cls = w.app_classes.(other_cls_idx) });
+        emit mb
+          (Ir.Call
+             {
+               lhs = Some (Ir.Slot (any_obj ()));
+               recv = Some (Ir.Slot l_app);
+               static_typ = w.app_classes.(other_cls_idx);
+               mname = Rng.pick rng w.method_names;
+               args = [ Ir.Slot (any_obj ()); Ir.Slot (any_obj ()) ];
+             })
+  in
+  let emit_global_op () =
+    if Array.length w.payload_globals > 0 then begin
+      let g = Rng.pick rng w.payload_globals in
+      if Rng.bool rng then
+        emit mb (Ir.Move { lhs = Ir.Global g; rhs = Ir.Slot (any_obj ()) })
+      else emit mb (Ir.Move { lhs = Ir.Slot (any_obj ()); rhs = Ir.Global g })
+    end
+  in
+  let emit_recursion () =
+    emit mb
+      (Ir.Call
+         {
+           lhs = Some (Ir.Slot (any_obj ()));
+           recv = Some (Ir.Slot 0);
+           static_typ = cls;
+           mname;
+           args = [ Ir.Slot (any_obj ()); Ir.Slot (any_obj ()) ];
+         })
+  in
+  for _ = 1 to p.Profile.stmts_per_method do
+    let r = Rng.float rng 1.0 in
+    let pc = p.Profile.p_container_op in
+    let ph = pc +. p.Profile.p_heap_op in
+    let pl = ph +. p.Profile.p_call in
+    let pg = pl +. p.Profile.p_global_op in
+    let pr = pg +. p.Profile.p_recursion in
+    if r < pc then emit_container_op ()
+    else if r < ph then emit_heap_op ()
+    else if r < pl then emit_call ()
+    else if r < pg then emit_global_op ()
+    else if r < pr then emit_recursion ()
+    else emit_alloc ()
+  done;
+  emit mb (Ir.Move { lhs = Ir.Slot ret; rhs = Ir.Slot (any_obj ()) });
+  emit mb (Ir.Return (Ir.Slot ret));
+  finish mb ~name:mname ~owner:cls ~is_static:false ~n_formals
+    ~ret_slot:(Some ret) ~app:true
+
+let gen_main w ~profile =
+  ignore profile;
+  let types = w.types in
+  let root = Types.object_root types in
+  let main_cls = Types.declare_class types "Main" in
+  let mb = mb_create () in
+  (* Populate the shared container globals. *)
+  Array.iter
+    (fun (gid, c) ->
+      let l = local mb (sp "c%d" gid) c.c_cls in
+      emit mb (Ir.Alloc { lhs = Ir.Slot l; cls = c.c_cls });
+      emit mb (Ir.Move { lhs = Ir.Global gid; rhs = Ir.Slot l });
+      (* Give every container an initial payload so gets have sources. *)
+      let v = local mb (sp "v%d" gid) root in
+      emit mb (Ir.Alloc { lhs = Ir.Slot v; cls = w.payloads.(gid mod Array.length w.payloads).levels.(0) });
+      emit mb
+        (Ir.Call
+           {
+             lhs = None;
+             recv = Some (Ir.Slot l);
+             static_typ = c.c_cls;
+             mname = "add";
+             args = [ Ir.Slot v ];
+           }))
+    w.container_globals;
+  (* Kick off each application class chain. *)
+  Array.iteri
+    (fun i cls ->
+      let a = local mb (sp "a%d" i) cls in
+      emit mb (Ir.Alloc { lhs = Ir.Slot a; cls });
+      let arg = local mb (sp "x%d" i) root in
+      emit mb
+        (Ir.Alloc
+           { lhs = Ir.Slot arg; cls = w.payloads.(i mod Array.length w.payloads).levels.(0) });
+      emit mb
+        (Ir.Call
+           {
+             lhs = None;
+             recv = Some (Ir.Slot a);
+             static_typ = cls;
+             mname = w.method_names.(i mod Array.length w.method_names);
+             args = [ Ir.Slot arg; Ir.Slot arg ];
+           }))
+    w.app_classes;
+  finish mb ~name:"main" ~owner:main_cls ~is_static:true ~n_formals:0
+    ~ret_slot:None ~app:true
+
+(* ------------------------------------------------------------------ *)
+
+let generate (p : Profile.t) =
+  let rng = Rng.of_string_seed p.Profile.name in
+  let types = Types.create () in
+  let root = Types.object_root types in
+  let payloads =
+    gen_payloads types ~families:p.Profile.n_payload_families
+      ~depth:p.Profile.payload_depth
+  in
+  let containers =
+    Array.init p.Profile.n_container_classes (gen_container_types types)
+  in
+  let methods = Vec.create () in
+  Array.iter
+    (fun c -> List.iter (Vec.push methods) (gen_container_methods types c))
+    containers;
+  let utils =
+    Array.init p.Profile.n_util_chains (fun j ->
+        let cls, ms = gen_util_chain types j p.Profile.util_chain_len in
+        List.iter (Vec.push methods) ms;
+        (cls, p.Profile.util_chain_len))
+  in
+  (* Globals: shared containers, then payload (Object) globals. *)
+  let globals = Vec.create () in
+  let container_globals =
+    Array.init p.Profile.n_container_globals (fun k ->
+        let c = containers.(k mod Array.length containers) in
+        let gid = Vec.length globals in
+        Vec.push globals (sp "G%d" gid, c.c_cls);
+        (gid, c))
+  in
+  let payload_globals =
+    Array.init (max 1 (p.Profile.n_container_globals / 2)) (fun _ ->
+        let gid = Vec.length globals in
+        Vec.push globals (sp "G%d" gid, root);
+        gid)
+  in
+  (* Application classes: inheritance chains of length [app_hierarchy]. *)
+  let app_classes = Array.make p.Profile.n_app_classes root in
+  for i = 0 to p.Profile.n_app_classes - 1 do
+    let super =
+      if i mod p.Profile.app_hierarchy = 0 then None else Some app_classes.(i - 1)
+    in
+    app_classes.(i) <- Types.declare_class types ?super (sp "A%d" i)
+  done;
+  let app_fields =
+    Array.map
+      (fun cls ->
+        Array.init 2 (fun k ->
+            Types.declare_field types ~owner:cls ~name:(sp "f%d" k)
+              ~field_typ:root))
+      app_classes
+  in
+  let method_names =
+    Array.init p.Profile.methods_per_class (fun j -> sp "m%d" j)
+  in
+  let w =
+    {
+      types;
+      rng;
+      payloads;
+      utils;
+      container_globals;
+      payload_globals;
+      app_classes;
+      app_fields;
+      method_names;
+    }
+  in
+  Array.iteri
+    (fun cls_idx _cls ->
+      Array.iter
+        (fun mname ->
+          Vec.push methods (gen_app_method w ~profile:p ~cls_idx ~mname))
+        method_names)
+    app_classes;
+  Vec.push methods (gen_main w ~profile:p);
+  {
+    Ir.types;
+    globals = Vec.to_array globals;
+    methods = Vec.to_array methods;
+  }

@@ -1,0 +1,23 @@
+(** Deterministic Mini-Java program generation from a profile.
+
+    The generated programs are built from the structural motifs that drive
+    the paper's results:
+
+    - {b container classes} (Vector analogues): an [Entry] cell with
+      [val]/[next] fields and a [Container] with a [head] field, plus
+      [add]/[get]/[get_next] methods. Containers are shared through global
+      variables, so heap-access paths through them are long and are
+      re-traversed by many queries — the redundancy data sharing removes.
+    - {b payload wrapper chains}: classes [P_f_d] containing [P_f_(d-1)],
+      giving the type-containment spread the DD scheduling heuristic keys
+      on.
+    - {b utility call chains}: static identity wrappers that deepen
+      realisable paths and exercise [param]/[ret] context matching.
+    - {b application classes} in inheritance chains with overriding methods
+      (CHA dispatch fan-out), whose bodies randomly mix allocations,
+      container operations, own-field heap accesses, utility and
+      application calls (occasionally recursive), and global traffic.
+
+    Generation is a pure function of the profile (seeded by its name). *)
+
+val generate : Profile.t -> Parcfl_lang.Ir.program

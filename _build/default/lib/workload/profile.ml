@@ -1,0 +1,123 @@
+type t = {
+  name : string;
+  n_payload_families : int;
+  payload_depth : int;
+  n_container_classes : int;
+  n_container_globals : int;
+  n_util_chains : int;
+  util_chain_len : int;
+  n_app_classes : int;
+  app_hierarchy : int;
+  methods_per_class : int;
+  stmts_per_method : int;
+  locals_per_method : int;
+  p_container_op : float;
+  p_heap_op : float;
+  p_call : float;
+  p_global_op : float;
+  p_recursion : float;
+}
+
+let default_budget = 4_000
+
+(* Paper: tau_f = 100, tau_u = 10,000 at B = 75,000; scaled to B = 4,000
+   these keep the same proportions (tau_u ~ B/7.5, tau_f well below the
+   typical ReachableNodes cost). *)
+let default_tau_f = 25
+let default_tau_u = 533
+
+(* A JVM98-flavoured profile: a large shared library layer, a modest
+   application on top. [app] scales the query count; [lib] the PAG size. *)
+let jvm98 name ~app ~lib ~stmts =
+  {
+    name;
+    n_payload_families = 6;
+    payload_depth = 4;
+    n_container_classes = 4 * lib;
+    n_container_globals = 6 * lib;
+    n_util_chains = 4 * lib;
+    util_chain_len = 5;
+    n_app_classes = app;
+    app_hierarchy = 3;
+    methods_per_class = 4;
+    stmts_per_method = stmts;
+    locals_per_method = 5;
+    p_container_op = 0.30;
+    p_heap_op = 0.20;
+    p_call = 0.22;
+    p_global_op = 0.08;
+    p_recursion = 0.04;
+  }
+
+(* DaCapo-flavoured: smaller library, much more application code. *)
+let dacapo name ~app ~lib ~stmts =
+  {
+    name;
+    n_payload_families = 5;
+    payload_depth = 3;
+    n_container_classes = 3 * lib;
+    n_container_globals = 4 * lib;
+    n_util_chains = 3 * lib;
+    util_chain_len = 4;
+    n_app_classes = app;
+    app_hierarchy = 4;
+    methods_per_class = 4;
+    stmts_per_method = stmts;
+    locals_per_method = 4;
+    p_container_op = 0.28;
+    p_heap_op = 0.22;
+    p_call = 0.24;
+    p_global_op = 0.07;
+    p_recursion = 0.05;
+  }
+
+let all =
+  [
+    (* SPEC JVM98 — large shared library, few application queries. *)
+    jvm98 "_200_check" ~app:1 ~lib:8 ~stmts:10;
+    jvm98 "_201_compress" ~app:1 ~lib:8 ~stmts:12;
+    jvm98 "_202_jess" ~app:5 ~lib:8 ~stmts:14;
+    jvm98 "_205_raytrace" ~app:2 ~lib:8 ~stmts:12;
+    jvm98 "_209_db" ~app:1 ~lib:8 ~stmts:14;
+    jvm98 "_213_javac" ~app:10 ~lib:9 ~stmts:14;
+    jvm98 "_222_mpegaudio" ~app:4 ~lib:8 ~stmts:13;
+    jvm98 "_227_mtrt" ~app:2 ~lib:8 ~stmts:12;
+    jvm98 "_228_jack" ~app:4 ~lib:8 ~stmts:13;
+    jvm98 "_999_checkit" ~app:1 ~lib:8 ~stmts:11;
+    (* DaCapo 2009 — smaller PAGs, many more queries. *)
+    dacapo "avrora" ~app:17 ~lib:3 ~stmts:11;
+    dacapo "batik" ~app:44 ~lib:8 ~stmts:11;
+    dacapo "fop" ~app:49 ~lib:9 ~stmts:11;
+    dacapo "h2" ~app:31 ~lib:3 ~stmts:12;
+    dacapo "luindex" ~app:15 ~lib:3 ~stmts:11;
+    dacapo "lusearch" ~app:12 ~lib:3 ~stmts:12;
+    dacapo "pmd" ~app:39 ~lib:3 ~stmts:11;
+    dacapo "sunflow" ~app:15 ~lib:8 ~stmts:11;
+    dacapo "tomcat" ~app:64 ~lib:9 ~stmts:11;
+    dacapo "xalan" ~app:39 ~lib:3 ~stmts:11;
+  ]
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+let names = List.map (fun p -> p.name) all
+
+let tiny =
+  {
+    name = "tiny";
+    n_payload_families = 2;
+    payload_depth = 2;
+    n_container_classes = 2;
+    n_container_globals = 2;
+    n_util_chains = 1;
+    util_chain_len = 2;
+    n_app_classes = 2;
+    app_hierarchy = 2;
+    methods_per_class = 2;
+    stmts_per_method = 6;
+    locals_per_method = 3;
+    p_container_op = 0.3;
+    p_heap_op = 0.2;
+    p_call = 0.2;
+    p_global_op = 0.1;
+    p_recursion = 0.05;
+  }

@@ -1,0 +1,51 @@
+(** Benchmark profiles.
+
+    One profile per benchmark in the paper's Table I (the 10 SPEC JVM98
+    programs and 10 DaCapo 2009 programs), scaled down ~100x in node and
+    query count so a full evaluation sweep runs in minutes on one core
+    (see DESIGN.md's substitution notes). JVM98 profiles carry
+    proportionally more library code relative to application code, matching
+    the paper's observation that "the JVM98 benchmarks involve more library
+    code". All generation is deterministic from the profile name. *)
+
+type t = {
+  name : string;
+  (* library layer *)
+  n_payload_families : int;  (** distinct payload class families *)
+  payload_depth : int;       (** wrapper containment depth (drives L(t)) *)
+  n_container_classes : int; (** Vector-like container classes *)
+  n_container_globals : int; (** shared container instances in globals *)
+  n_util_chains : int;       (** identity-wrapper call chains *)
+  util_chain_len : int;
+  (* application layer *)
+  n_app_classes : int;
+  app_hierarchy : int;       (** length of app subclass chains (CHA fan-out) *)
+  methods_per_class : int;
+  stmts_per_method : int;
+  locals_per_method : int;
+  (* statement mix *)
+  p_container_op : float;
+  p_heap_op : float;
+  p_call : float;
+  p_global_op : float;
+  p_recursion : float;
+}
+
+val all : t list
+(** The 20 Table-I benchmarks, in the paper's row order. *)
+
+val find : string -> t option
+
+val names : string list
+
+val default_budget : int
+(** The scaled per-query budget [B] matching these profile sizes (the paper
+    pairs B = 75,000 with ~200k-node PAGs; we pair {!default_budget} with
+    ~2k-node PAGs). *)
+
+val default_tau_f : int
+val default_tau_u : int
+(** Scaled selective-optimisation thresholds (paper: 100 and 10,000). *)
+
+val tiny : t
+(** A miniature profile for unit tests. *)

@@ -1,0 +1,37 @@
+module Ir = Parcfl_lang.Ir
+module Types = Parcfl_lang.Types
+module Callgraph = Parcfl_lang.Callgraph
+module Lower = Parcfl_lang.Lower
+module Pag = Parcfl_pag.Pag
+
+type t = {
+  profile : Profile.t;
+  program : Ir.program;
+  callgraph : Callgraph.t;
+  lowering : Lower.t;
+  pag : Pag.t;
+  queries : Pag.var array;
+  type_level : int -> int;
+}
+
+let build profile =
+  let program = Genprog.generate profile in
+  let callgraph = Callgraph.build program in
+  let lowering = Lower.lower program callgraph in
+  let pag = lowering.Lower.pag in
+  let queries = Pag.app_locals pag in
+  let types = program.Ir.types in
+  let type_level t = Types.level types t in
+  { profile; program; callgraph; lowering; pag; queries; type_level }
+
+let build_by_name name = Option.map build (Profile.find name)
+
+let n_classes t = Types.n_classes t.program.Ir.types
+
+let n_methods t = Array.length t.program.Ir.methods
+
+let pp_info ppf t =
+  Format.fprintf ppf "%-16s classes=%d methods=%d nodes=%d edges=%d queries=%d"
+    t.profile.Profile.name (n_classes t) (n_methods t) (Pag.n_nodes t.pag)
+    (Pag.n_edges t.pag)
+    (Array.length t.queries)

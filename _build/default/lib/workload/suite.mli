@@ -1,0 +1,24 @@
+(** A benchmark instance ready to analyse: generated program, call graph,
+    PAG, and the query batch (all application-code locals, as in the
+    paper's Section IV-C). *)
+
+type t = {
+  profile : Profile.t;
+  program : Parcfl_lang.Ir.program;
+  callgraph : Parcfl_lang.Callgraph.t;
+  lowering : Parcfl_lang.Lower.t;
+  pag : Parcfl_pag.Pag.t;
+  queries : Parcfl_pag.Pag.var array;
+  type_level : int -> int;
+      (** [L(t)] over the benchmark's class table, for DD scheduling. *)
+}
+
+val build : Profile.t -> t
+
+val build_by_name : string -> t option
+
+val n_classes : t -> int
+val n_methods : t -> int
+
+val pp_info : Format.formatter -> t -> unit
+(** One Table-I-style info line. *)

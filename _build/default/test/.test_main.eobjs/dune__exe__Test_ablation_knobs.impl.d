@@ -1,0 +1,1 @@
+test/test_ablation_knobs.ml: Alcotest Array Hashtbl Lazy List Parcfl

@@ -1,0 +1,1 @@
+test/test_andersen.ml: Alcotest List Parcfl

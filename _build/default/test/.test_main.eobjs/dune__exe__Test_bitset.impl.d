@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest List Parcfl QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_clients.ml: Alcotest List Parcfl

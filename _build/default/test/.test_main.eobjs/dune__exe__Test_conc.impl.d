@@ -1,0 +1,1 @@
+test/test_conc.ml: Alcotest Array Atomic Int Mutex Parcfl

@@ -1,0 +1,1 @@
+test/test_ctx.ml: Alcotest Array Parcfl QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cycle_elim.ml: Alcotest Array List Parcfl Printf QCheck QCheck_alcotest

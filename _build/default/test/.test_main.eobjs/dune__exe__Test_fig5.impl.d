@@ -1,0 +1,1 @@
+test/test_fig5.ml: Alcotest Array List Parcfl Printf

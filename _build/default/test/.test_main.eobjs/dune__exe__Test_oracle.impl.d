@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array List Option Parcfl Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pag.ml: Alcotest Array List Parcfl String

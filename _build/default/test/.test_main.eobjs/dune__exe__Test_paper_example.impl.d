@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest List Parcfl

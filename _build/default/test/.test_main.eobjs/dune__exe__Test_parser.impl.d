@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Format Hashtbl List Parcfl String

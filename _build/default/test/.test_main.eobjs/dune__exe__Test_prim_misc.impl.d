@@ -1,0 +1,1 @@
+test/test_prim_misc.ml: Alcotest Array List Parcfl QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scc.ml: Alcotest Array List Parcfl Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array List Parcfl Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Array Filename List Parcfl Printf QCheck QCheck_alcotest Sys

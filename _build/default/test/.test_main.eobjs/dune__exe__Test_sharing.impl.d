@@ -1,0 +1,1 @@
+test/test_sharing.ml: Alcotest Array List Parcfl Printf

@@ -1,0 +1,1 @@
+test/test_stats_render.ml: Alcotest Format List Parcfl String

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest List Parcfl QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Array Format List Parcfl String

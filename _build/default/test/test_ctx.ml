@@ -1,0 +1,80 @@
+module Ctx = Parcfl.Ctx
+module Domain_pool = Parcfl.Domain_pool
+
+let test_empty () =
+  let s = Ctx.create_store () in
+  Alcotest.(check bool) "empty" true (Ctx.is_empty Ctx.empty);
+  Alcotest.(check (option int)) "top" None (Ctx.top s Ctx.empty);
+  Alcotest.(check bool) "pop empty = empty" true
+    (Ctx.equal (Ctx.pop s Ctx.empty) Ctx.empty);
+  Alcotest.(check int) "depth" 0 (Ctx.depth s Ctx.empty)
+
+let test_push_pop () =
+  let s = Ctx.create_store () in
+  let c1 = Ctx.push s Ctx.empty 7 in
+  let c2 = Ctx.push s c1 9 in
+  Alcotest.(check (option int)) "top" (Some 9) (Ctx.top s c2);
+  Alcotest.(check int) "depth" 2 (Ctx.depth s c2);
+  Alcotest.(check bool) "pop" true (Ctx.equal (Ctx.pop s c2) c1);
+  Alcotest.(check (list int)) "to_list" [ 9; 7 ] (Ctx.to_list s c2)
+
+let test_hash_consing () =
+  let s = Ctx.create_store () in
+  let a = Ctx.push s (Ctx.push s Ctx.empty 1) 2 in
+  let b = Ctx.push s (Ctx.push s Ctx.empty 1) 2 in
+  Alcotest.(check bool) "same stack, same id" true (Ctx.equal a b);
+  Alcotest.(check int) "same int" (Ctx.to_int a) (Ctx.to_int b);
+  let c = Ctx.push s (Ctx.push s Ctx.empty 2) 1 in
+  Alcotest.(check bool) "order matters" false (Ctx.equal a c)
+
+let test_roundtrip () =
+  let s = Ctx.create_store () in
+  let sites = [ 3; 1; 4; 1; 5 ] in
+  let c = Ctx.of_list s sites in
+  Alcotest.(check (list int)) "roundtrip" sites (Ctx.to_list s c);
+  Alcotest.(check int) "depth" 5 (Ctx.depth s c)
+
+let test_count () =
+  let s = Ctx.create_store () in
+  ignore (Ctx.of_list s [ 1; 2; 3 ]);
+  ignore (Ctx.of_list s [ 2; 3 ]) (* suffixes shared *);
+  Alcotest.(check int) "distinct contexts" 3 (Ctx.count s)
+
+let test_concurrent_interning () =
+  (* All domains intern the same contexts; afterwards the store must agree
+     on one id per stack. *)
+  let s = Ctx.create_store () in
+  let ids = Array.make_matrix 4 100 Ctx.empty in
+  Domain_pool.with_pool ~threads:4 (fun pool ->
+      Domain_pool.run pool (fun ~worker ->
+          for i = 0 to 99 do
+            ids.(worker).(i) <- Ctx.of_list s [ i; i mod 7; 42 ]
+          done));
+  for i = 0 to 99 do
+    for w = 1 to 3 do
+      if not (Ctx.equal ids.(0).(i) ids.(w).(i)) then
+        Alcotest.failf "context %d interned inconsistently" i
+    done;
+    Alcotest.(check (list int))
+      "content survives concurrency" [ i; i mod 7; 42 ]
+      (Ctx.to_list s ids.(0).(i))
+  done
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_list/to_list roundtrip" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun sites ->
+      let s = Ctx.create_store () in
+      Ctx.to_list s (Ctx.of_list s sites) = sites)
+
+let suite =
+  ( "ctx",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "push/pop" `Quick test_push_pop;
+      Alcotest.test_case "hash consing" `Quick test_hash_consing;
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "count" `Quick test_count;
+      Alcotest.test_case "concurrent interning" `Quick test_concurrent_interning;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+    ] )

@@ -1,0 +1,140 @@
+(* Points-to cycle elimination: collapsing assign-edge SCCs must preserve
+   the points-to relation (modulo variable representatives). *)
+module Pag = Parcfl.Pag
+module B = Parcfl.Pag.Build
+module Cycle_elim = Parcfl.Cycle_elim
+module Ctx = Parcfl.Ctx
+module Config = Parcfl.Config
+module Solver = Parcfl.Solver
+module Query = Parcfl.Query
+module Andersen = Parcfl.Andersen
+
+let test_collapse_cycle () =
+  (* a <-> b <-> c cycle plus d = c; o flows into a. *)
+  let b = B.create () in
+  let va = B.add_var b ~app:true "a" in
+  let vb = B.add_var b ~app:true "b" in
+  let vc = B.add_var b ~app:true "c" in
+  let vd = B.add_var b ~app:true "d" in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:va o;
+  B.assign b ~dst:vb ~src:va;
+  B.assign b ~dst:vc ~src:vb;
+  B.assign b ~dst:va ~src:vc;
+  B.assign b ~dst:vd ~src:vc;
+  let pag = B.freeze b in
+  let ce = Cycle_elim.run pag in
+  Alcotest.(check int) "two variables collapsed" 2 ce.Cycle_elim.n_collapsed;
+  Alcotest.(check int) "vars after" 2 (Pag.n_vars ce.Cycle_elim.pag);
+  Alcotest.(check bool) "a,b,c share representative" true
+    (Cycle_elim.translate ce va = Cycle_elim.translate ce vb
+    && Cycle_elim.translate ce vb = Cycle_elim.translate ce vc);
+  Alcotest.(check bool) "d separate" true
+    (Cycle_elim.translate ce vd <> Cycle_elim.translate ce va);
+  (* Points-to preserved through translation. *)
+  let session =
+    Solver.make_session ~config:Config.default
+      ~ctx_store:(Ctx.create_store ()) ce.Cycle_elim.pag
+  in
+  List.iter
+    (fun v ->
+      let outcome = Solver.points_to session (Cycle_elim.translate ce v) in
+      Alcotest.(check (list int)) "pts {o}" [ o ]
+        (Query.objects outcome.Query.result))
+    [ va; vb; vc; vd ]
+
+let test_no_cycles_noop () =
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let y = B.add_var b "y" in
+  B.assign b ~dst:y ~src:x;
+  let pag = B.freeze b in
+  let ce = Cycle_elim.run pag in
+  Alcotest.(check int) "nothing collapsed" 0 ce.Cycle_elim.n_collapsed;
+  Alcotest.(check int) "same vars" 2 (Pag.n_vars ce.Cycle_elim.pag);
+  Alcotest.(check int) "same edges" 1 (Pag.n_edges ce.Cycle_elim.pag)
+
+let test_param_cycles_kept () =
+  (* param/ret cycles must not collapse (only context-insensitively
+     equal). *)
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let y = B.add_var b "y" in
+  B.param b ~dst:y ~site:1 ~src:x;
+  B.param b ~dst:x ~site:2 ~src:y;
+  let pag = B.freeze b in
+  let ce = Cycle_elim.run pag in
+  Alcotest.(check int) "not collapsed" 0 ce.Cycle_elim.n_collapsed
+
+let test_queries_translate () =
+  let b = B.create () in
+  let va = B.add_var b ~app:true "a" in
+  let vb = B.add_var b ~app:true "b" in
+  B.assign b ~dst:vb ~src:va;
+  B.assign b ~dst:va ~src:vb;
+  let pag = B.freeze b in
+  let ce = Cycle_elim.run pag in
+  let qs = Cycle_elim.translate_queries ce [| va; vb |] in
+  Alcotest.(check int) "one query for the cycle" 1 (Array.length qs)
+
+(* On a generated benchmark: collapsed-graph results equal original-graph
+   results under Andersen (a strong whole-relation check). *)
+let test_preserves_andersen () =
+  let bench = Parcfl.Suite.build Parcfl.Profile.tiny in
+  let pag = bench.Parcfl.Suite.pag in
+  let ce = Cycle_elim.run pag in
+  let before = Andersen.solve pag in
+  let after = Andersen.solve ce.Cycle_elim.pag in
+  for v = 0 to Pag.n_vars pag - 1 do
+    let a = Andersen.points_to_list before v in
+    let b = Andersen.points_to_list after (Cycle_elim.translate ce v) in
+    if a <> b then
+      Alcotest.failf "pts differ for %s after collapsing" (Pag.var_name pag v)
+  done;
+  Alcotest.(check bool) "graph not larger" true
+    (Pag.n_edges ce.Cycle_elim.pag <= Pag.n_edges pag)
+
+(* Property: collapsing preserves the Andersen relation on random PAGs
+   rich in assign cycles. *)
+let prop_preserves_random =
+  QCheck.Test.make ~name:"collapse preserves Andersen on random PAGs"
+    ~count:100
+    QCheck.(list (pair (pair (int_bound 7) (int_bound 7)) (int_bound 7)))
+    (fun triples ->
+      let b = B.create () in
+      let vars = Array.init 8 (fun i -> B.add_var b (Printf.sprintf "v%d" i)) in
+      let objects = Array.init 3 (fun i -> B.add_obj b (Printf.sprintf "o%d" i)) in
+      List.iter
+        (fun ((a, c), k) ->
+          match k with
+          | 0 -> B.new_edge b ~dst:vars.(a) objects.(c mod 3)
+          | 1 | 2 | 3 -> B.assign b ~dst:vars.(a) ~src:vars.(c)
+          | 4 -> B.load b ~dst:vars.(a) ~base:vars.(c) 0
+          | 5 -> B.store b ~base:vars.(a) 0 ~src:vars.(c)
+          | _ -> B.param b ~dst:vars.(a) ~site:1 ~src:vars.(c))
+        triples;
+      let pag = B.freeze b in
+      let ce = Cycle_elim.run pag in
+      let before = Andersen.solve pag in
+      let after = Andersen.solve ce.Cycle_elim.pag in
+      let ok = ref true in
+      for v = 0 to Pag.n_vars pag - 1 do
+        if
+          Andersen.points_to_list before v
+          <> Andersen.points_to_list after (Cycle_elim.translate ce v)
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  ( "cycle-elim",
+    [
+      Alcotest.test_case "collapse assign cycle" `Quick test_collapse_cycle;
+      Alcotest.test_case "acyclic is no-op" `Quick test_no_cycles_noop;
+      Alcotest.test_case "param cycles kept" `Quick test_param_cycles_kept;
+      Alcotest.test_case "query translation dedupes" `Quick
+        test_queries_translate;
+      Alcotest.test_case "preserves Andersen relation" `Quick
+        test_preserves_andersen;
+      QCheck_alcotest.to_alcotest prop_preserves_random;
+    ] )

@@ -1,0 +1,285 @@
+(* IR lookup/dispatch, call-graph construction, recursion collapsing,
+   lowering, and well-formedness checking on a small handwritten program. *)
+module Types = Parcfl.Types
+module Ir = Parcfl.Ir
+module Callgraph = Parcfl.Callgraph
+module Lower = Parcfl.Lower
+module Wellformed = Parcfl.Wellformed
+module Pag = Parcfl.Pag
+
+(* class A           { Object f; m(x) { this.f = x; r = this.f; return r } }
+   class B extends A {           m(x) { r = x; return r } }
+   class U           { static id(x) { r = id(x); return r } }   // recursive
+   class Main        { static main() { a = new A(); b = new B();
+                                       o = new Object();
+                                       y = a.m(o);    // site 0: CHA {A.m,B.m}
+                                       z = U.id(o);   // site 1: static
+                                       g = o; w = g } } *)
+let build_program () =
+  let types = Types.create () in
+  let root = Types.object_root types in
+  let ca = Types.declare_class types "A" in
+  let cb = Types.declare_class types ~super:ca "B" in
+  let cu = Types.declare_class types "U" in
+  let cmain = Types.declare_class types "Main" in
+  let ff = Types.declare_field types ~owner:ca ~name:"f" ~field_typ:root in
+  let m_a =
+    {
+      Ir.m_name = "m";
+      m_owner = ca;
+      m_is_static = false;
+      m_n_formals = 2;
+      m_slots = [| ("this", ca); ("x", root); ("r", root) |];
+      m_ret_slot = Some 2;
+      m_body =
+        [
+          Ir.Store { base = Ir.Slot 0; field = ff; rhs = Ir.Slot 1 };
+          Ir.Load { lhs = Ir.Slot 2; base = Ir.Slot 0; field = ff };
+          Ir.Return (Ir.Slot 2);
+        ];
+      m_app = false;
+    }
+  in
+  let m_b =
+    {
+      Ir.m_name = "m";
+      m_owner = cb;
+      m_is_static = false;
+      m_n_formals = 2;
+      m_slots = [| ("this", cb); ("x", root); ("r", root) |];
+      m_ret_slot = Some 2;
+      m_body = [ Ir.Move { lhs = Ir.Slot 2; rhs = Ir.Slot 1 }; Ir.Return (Ir.Slot 2) ];
+      m_app = false;
+    }
+  in
+  let m_id =
+    {
+      Ir.m_name = "id";
+      m_owner = cu;
+      m_is_static = true;
+      m_n_formals = 1;
+      m_slots = [| ("x", root); ("r", root) |];
+      m_ret_slot = Some 1;
+      m_body =
+        [
+          Ir.Call
+            {
+              lhs = Some (Ir.Slot 1);
+              recv = None;
+              static_typ = cu;
+              mname = "id";
+              args = [ Ir.Slot 0 ];
+            };
+          Ir.Return (Ir.Slot 1);
+        ];
+      m_app = false;
+    }
+  in
+  let m_main =
+    {
+      Ir.m_name = "main";
+      m_owner = cmain;
+      m_is_static = true;
+      m_n_formals = 0;
+      m_slots =
+        [|
+          ("a", ca); ("b", cb); ("o", root); ("y", root); ("z", root);
+          ("w", root);
+        |];
+      m_ret_slot = None;
+      m_body =
+        [
+          Ir.Alloc { lhs = Ir.Slot 0; cls = ca };
+          Ir.Alloc { lhs = Ir.Slot 1; cls = cb };
+          Ir.Alloc { lhs = Ir.Slot 2; cls = root };
+          Ir.Call
+            {
+              lhs = Some (Ir.Slot 3);
+              recv = Some (Ir.Slot 0);
+              static_typ = ca;
+              mname = "m";
+              args = [ Ir.Slot 2 ];
+            };
+          Ir.Call
+            {
+              lhs = Some (Ir.Slot 4);
+              recv = None;
+              static_typ = cu;
+              mname = "id";
+              args = [ Ir.Slot 2 ];
+            };
+          Ir.Move { lhs = Ir.Global 0; rhs = Ir.Slot 2 };
+          Ir.Move { lhs = Ir.Slot 5; rhs = Ir.Global 0 };
+        ];
+      m_app = true;
+    }
+  in
+  let program =
+    {
+      Ir.types;
+      globals = [| ("g", root) |];
+      methods = [| m_a; m_b; m_id; m_main |];
+    }
+  in
+  (program, (ca, cb, cu, cmain))
+
+let test_method_lookup () =
+  let program, (ca, cb, cu, cmain) = build_program () in
+  Alcotest.(check (option int)) "A.m" (Some 0) (Ir.method_id program ca "m");
+  Alcotest.(check (option int)) "B.m (own)" (Some 1) (Ir.method_id program cb "m");
+  Alcotest.(check (option int)) "B.id absent" None (Ir.method_id program cb "id");
+  Alcotest.(check (option int)) "U.id" (Some 2) (Ir.method_id program cu "id");
+  Alcotest.(check (option int)) "Main.main" (Some 3)
+    (Ir.method_id program cmain "main");
+  Alcotest.(check (option int)) "prim lookup" None
+    (Ir.method_id program Types.prim "m")
+
+let test_dispatch () =
+  let program, (ca, cb, _, _) = build_program () in
+  Alcotest.(check (list int)) "dispatch on A = {A.m, B.m}" [ 0; 1 ]
+    (List.sort compare (Ir.dispatch program ca "m"));
+  Alcotest.(check (list int)) "dispatch on B = {B.m}" [ 1 ]
+    (Ir.dispatch program cb "m")
+
+let test_callgraph () =
+  let program, _ = build_program () in
+  let cg = Callgraph.build program in
+  Alcotest.(check int) "3 call sites" 3 (Callgraph.n_sites cg);
+  (* Sites are numbered in (method, position) order: U.id's self call is
+     site 0; main's two calls are 1 and 2. *)
+  Alcotest.(check int) "site 0 caller" 2 (Callgraph.caller cg 0);
+  Alcotest.(check (list int)) "site 0 targets" [ 2 ] (Callgraph.targets cg 0);
+  Alcotest.(check bool) "self-recursion collapsed" true
+    (Callgraph.is_recursive cg 0);
+  Alcotest.(check int) "site 1 caller is main" 3 (Callgraph.caller cg 1);
+  Alcotest.(check (list int)) "site 1 CHA targets" [ 0; 1 ]
+    (List.sort compare (Callgraph.targets cg 1));
+  Alcotest.(check bool) "main call not recursive" false
+    (Callgraph.is_recursive cg 1);
+  Alcotest.(check (list int)) "main's sites" [ 1; 2 ]
+    (Array.to_list (Callgraph.sites_of_method cg 3));
+  let edges = ref 0 in
+  Callgraph.iter_call_edges cg (fun _ _ _ -> incr edges);
+  Alcotest.(check int) "4 call edges" 4 !edges;
+  Alcotest.(check bool) "id and main in different components" false
+    (Callgraph.same_component cg 2 3)
+
+let test_lowering () =
+  let program, _ = build_program () in
+  let cg = Callgraph.build program in
+  let l = Lower.lower program cg in
+  let pag = l.Lower.pag in
+  (* 3 objects were allocated in main. *)
+  Alcotest.(check int) "objects" 3 (Pag.n_objs pag);
+  (* main's app locals are queries; library methods' are not. *)
+  let app = Pag.app_locals pag in
+  Alcotest.(check int) "6 app locals" 6 (Array.length app);
+  (* Virtual dispatch: site 1 produced param edges into both A.m and B.m
+     this-formals. *)
+  let this_a = Option.get (Lower.var_of_slot l 0 0) in
+  let this_b = Option.get (Lower.var_of_slot l 1 0) in
+  Alcotest.(check int) "param into A.m this" 1
+    (Array.length (Pag.param_in pag this_a));
+  Alcotest.(check int) "param into B.m this" 1
+    (Array.length (Pag.param_in pag this_b));
+  (* The recursive U.id call site is context-insensitive. *)
+  Alcotest.(check bool) "ci site" true (Pag.site_is_ci pag 0);
+  (* Globals lower to a PAG global with assign_g edges (via main's moves). *)
+  let g = Option.get (Lower.var_of_global l 0) in
+  Alcotest.(check bool) "global flag" true (Pag.var_is_global pag g);
+  Alcotest.(check int) "gassign into g" 1 (Array.length (Pag.gassign_in pag g));
+  Alcotest.(check int) "gassign out of g" 1
+    (Array.length (Pag.gassign_out pag g));
+  (* Loads/stores connect locals only (Fig. 1 invariant). *)
+  Pag.iter_edges pag (function
+    | Pag.Load { base; dst; _ } ->
+        Alcotest.(check bool) "load base local" false (Pag.var_is_global pag base);
+        Alcotest.(check bool) "load dst local" false (Pag.var_is_global pag dst)
+    | Pag.Store { base; src; _ } ->
+        Alcotest.(check bool) "store base local" false (Pag.var_is_global pag base);
+        Alcotest.(check bool) "store src local" false (Pag.var_is_global pag src)
+    | _ -> ())
+
+let test_global_heap_normalisation () =
+  (* x = g.f with a global base must reroute through a temp. *)
+  let types = Types.create () in
+  let root = Types.object_root types in
+  let c = Types.declare_class types "C" in
+  let f = Types.declare_field types ~owner:c ~name:"f" ~field_typ:root in
+  let m =
+    {
+      Ir.m_name = "m";
+      m_owner = c;
+      m_is_static = true;
+      m_n_formals = 0;
+      m_slots = [| ("x", root) |];
+      m_ret_slot = None;
+      m_body = [ Ir.Load { lhs = Ir.Slot 0; base = Ir.Global 0; field = f } ];
+      m_app = true;
+    }
+  in
+  let program = { Ir.types; globals = [| ("g", c) |]; methods = [| m |] } in
+  let cg = Callgraph.build program in
+  let l = Lower.lower program cg in
+  let pag = l.Lower.pag in
+  let x = Option.get (Lower.var_of_slot l 0 0) in
+  (match Pag.load_in pag x with
+  | [| (f', base) |] ->
+      Alcotest.(check int) "field" f f';
+      Alcotest.(check bool) "temp base is local" false
+        (Pag.var_is_global pag base);
+      let g = Option.get (Lower.var_of_global l 0) in
+      Alcotest.(check (list int)) "temp fed from g" [ g ]
+        (Array.to_list (Pag.gassign_in pag base))
+  | _ -> Alcotest.fail "expected exactly one load edge")
+
+let test_wellformed_accepts () =
+  let program, _ = build_program () in
+  Alcotest.(check int) "no issues" 0 (List.length (Wellformed.check program))
+
+let test_wellformed_rejects () =
+  let program, (ca, _, _, _) = build_program () in
+  let bad_method =
+    {
+      Ir.m_name = "bad";
+      m_owner = ca;
+      m_is_static = true;
+      m_n_formals = 0;
+      m_slots = [| ("x", Types.object_root program.Ir.types) |];
+      m_ret_slot = Some 7;
+      m_body =
+        [
+          Ir.Move { lhs = Ir.Slot 9; rhs = Ir.Slot 0 };
+          Ir.Move { lhs = Ir.Global 5; rhs = Ir.Slot 0 };
+          Ir.Call
+            {
+              lhs = None;
+              recv = None;
+              static_typ = ca;
+              mname = "nonexistent";
+              args = [];
+            };
+        ];
+      m_app = false;
+    }
+  in
+  let program =
+    { program with Ir.methods = Array.append program.Ir.methods [| bad_method |] }
+  in
+  let issues = Wellformed.check program in
+  Alcotest.(check bool) "at least 4 issues" true (List.length issues >= 4);
+  let raised = try Wellformed.check_exn program; false with Failure _ -> true in
+  Alcotest.(check bool) "check_exn raises" true raised
+
+let suite =
+  ( "lang",
+    [
+      Alcotest.test_case "method lookup" `Quick test_method_lookup;
+      Alcotest.test_case "CHA dispatch" `Quick test_dispatch;
+      Alcotest.test_case "call graph" `Quick test_callgraph;
+      Alcotest.test_case "lowering" `Quick test_lowering;
+      Alcotest.test_case "global heap normalisation" `Quick
+        test_global_heap_normalisation;
+      Alcotest.test_case "wellformed accepts" `Quick test_wellformed_accepts;
+      Alcotest.test_case "wellformed rejects" `Quick test_wellformed_rejects;
+    ] )

@@ -1,0 +1,34 @@
+(* Aggregated test runner; suites live in per-module files. *)
+let () =
+  Alcotest.run "parcfl"
+    [
+      Test_bitset.suite;
+      Test_vec.suite;
+      Test_scc.suite;
+      Test_prim_misc.suite;
+      Test_conc.suite;
+      Test_ctx.suite;
+      Test_pag.suite;
+      Test_cycle_elim.suite;
+      Test_serial.suite;
+      Test_types.suite;
+      Test_lang.suite;
+      Test_parser.suite;
+      Test_paper_example.suite;
+      Test_solver.suite;
+      Test_solver_extra.suite;
+      Test_witness.suite;
+      Test_oracle.suite;
+      Test_sharing.suite;
+      Test_refine.suite;
+      Test_summary.suite;
+      Test_sched.suite;
+      Test_fig5.suite;
+      Test_andersen.suite;
+      Test_par.suite;
+      Test_sim_store.suite;
+      Test_ablation_knobs.suite;
+      Test_workload.suite;
+      Test_clients.suite;
+      Test_stats_render.suite;
+    ]

@@ -1,0 +1,127 @@
+module Pag = Parcfl.Pag
+module B = Parcfl.Pag.Build
+
+(* A small PAG: o0 -> x -> y (assign), y = p.f / q.f = z, param/ret. *)
+let small () =
+  let b = B.create () in
+  let x = B.add_var b ~typ:1 ~app:true "x" in
+  let y = B.add_var b ~typ:1 ~app:true "y" in
+  let p = B.add_var b "p" in
+  let q = B.add_var b "q" in
+  let z = B.add_var b "z" in
+  let g = B.add_var b ~global:true "g" in
+  let f = B.add_var b "f" in
+  let o0 = B.add_obj b ~typ:1 "o0" in
+  B.new_edge b ~dst:x o0;
+  B.assign b ~dst:y ~src:x;
+  B.assign_global b ~dst:g ~src:y;
+  B.load b ~dst:y ~base:p 3;
+  B.store b ~base:q 3 ~src:z;
+  B.param b ~dst:f ~site:11 ~src:x;
+  B.ret b ~dst:z ~site:11 ~src:f;
+  B.mark_ci_site b 12;
+  (B.freeze b, (x, y, p, q, z, g, f, o0))
+
+let test_sizes () =
+  let pag, _ = small () in
+  Alcotest.(check int) "vars" 7 (Pag.n_vars pag);
+  Alcotest.(check int) "objs" 1 (Pag.n_objs pag);
+  Alcotest.(check int) "nodes" 8 (Pag.n_nodes pag);
+  Alcotest.(check int) "edges" 7 (Pag.n_edges pag);
+  Alcotest.(check int) "fields" 4 (Pag.n_fields pag)
+
+let test_attributes () =
+  let pag, (x, _, _, _, _, g, _, o0) = small () in
+  Alcotest.(check string) "var name" "x" (Pag.var_name pag x);
+  Alcotest.(check string) "obj name" "o0" (Pag.obj_name pag o0);
+  Alcotest.(check bool) "global" true (Pag.var_is_global pag g);
+  Alcotest.(check bool) "local" false (Pag.var_is_global pag x);
+  Alcotest.(check int) "typ" 1 (Pag.var_typ pag x);
+  Alcotest.(check bool) "app" true (Pag.var_is_app pag x);
+  Alcotest.(check bool) "ci site" true (Pag.site_is_ci pag 12);
+  Alcotest.(check bool) "cs site" false (Pag.site_is_ci pag 11);
+  Alcotest.(check (list int)) "app locals" [ 0; 1 ]
+    (Array.to_list (Pag.app_locals pag))
+
+let test_adjacency () =
+  let pag, (x, y, p, q, z, g, f, o0) = small () in
+  Alcotest.(check (list int)) "new_in x" [ o0 ] (Array.to_list (Pag.new_in pag x));
+  Alcotest.(check (list int)) "new_out o0" [ x ] (Array.to_list (Pag.new_out pag o0));
+  Alcotest.(check (list int)) "assign_in y" [ x ] (Array.to_list (Pag.assign_in pag y));
+  Alcotest.(check (list int)) "assign_out x" [ y ] (Array.to_list (Pag.assign_out pag x));
+  Alcotest.(check (list int)) "gassign_in g" [ y ] (Array.to_list (Pag.gassign_in pag g));
+  Alcotest.(check (list (pair int int))) "load_in y" [ (3, p) ]
+    (Array.to_list (Pag.load_in pag y));
+  Alcotest.(check (list (pair int int))) "store_out z" [ (3, q) ]
+    (Array.to_list (Pag.store_out pag z));
+  Alcotest.(check (list (pair int int))) "stores_of_field" [ (q, z) ]
+    (Array.to_list (Pag.stores_of_field pag 3));
+  Alcotest.(check (list (pair int int))) "loads_of_field" [ (y, p) ]
+    (Array.to_list (Pag.loads_of_field pag 3));
+  Alcotest.(check (list (pair int int))) "stores of absent field" []
+    (Array.to_list (Pag.stores_of_field pag 99));
+  Alcotest.(check (list (pair int int))) "param_in f" [ (11, x) ]
+    (Array.to_list (Pag.param_in pag f));
+  Alcotest.(check (list (pair int int))) "ret_in z" [ (11, f) ]
+    (Array.to_list (Pag.ret_in pag z))
+
+let test_iter_edges () =
+  let pag, _ = small () in
+  let n = ref 0 in
+  Pag.iter_edges pag (fun _ -> incr n);
+  Alcotest.(check int) "iter_edges count = n_edges" (Pag.n_edges pag) !n
+
+let test_direct_neighbors () =
+  let pag, (x, y, _, _, z, g, f, _) = small () in
+  let neighbors v =
+    let out = ref [] in
+    Pag.iter_direct_neighbors pag v (fun w -> out := w :: !out);
+    List.sort_uniq compare !out
+  in
+  (* x: assign to y, param to f. Loads/stores excluded (eq. 5). *)
+  Alcotest.(check (list int)) "x neighbors" (List.sort compare [ y; f ])
+    (neighbors x);
+  Alcotest.(check (list int)) "g neighbors" [ y ] (neighbors g);
+  let succs v =
+    let out = ref [] in
+    Pag.iter_direct_succs pag v (fun w -> out := w :: !out);
+    List.sort_uniq compare !out
+  in
+  Alcotest.(check (list int)) "x succs" (List.sort compare [ y; f ]) (succs x);
+  Alcotest.(check (list int)) "f succs" [ z ] (succs f);
+  Alcotest.(check (list int)) "z succs" [] (succs z)
+
+let test_builder_validation () =
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  Alcotest.check_raises "unknown var"
+    (Invalid_argument "Pag.Build.assign: unknown variable 5") (fun () ->
+      B.assign b ~dst:x ~src:5);
+  Alcotest.check_raises "unknown obj"
+    (Invalid_argument "Pag.Build.new_edge: unknown object 0") (fun () ->
+      B.new_edge b ~dst:x 0)
+
+let test_dot () =
+  let pag, _ = small () in
+  let dot = Parcfl.Dot.to_string pag in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  let contains needle =
+    let ln = String.length needle and lh = String.length dot in
+    let rec go i = i + ln <= lh && (String.sub dot i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has new edge" true (contains "new");
+  Alcotest.(check bool) "has ld(3)" true (contains "ld(3)")
+
+let suite =
+  ( "pag",
+    [
+      Alcotest.test_case "sizes" `Quick test_sizes;
+      Alcotest.test_case "attributes" `Quick test_attributes;
+      Alcotest.test_case "adjacency" `Quick test_adjacency;
+      Alcotest.test_case "iter_edges" `Quick test_iter_edges;
+      Alcotest.test_case "direct neighbors" `Quick test_direct_neighbors;
+      Alcotest.test_case "builder validation" `Quick test_builder_validation;
+      Alcotest.test_case "dot export" `Quick test_dot;
+    ] )

@@ -1,0 +1,170 @@
+(* The paper's running example (Fig. 2): the Vector program. Golden facts
+   asserted from Section II-B:
+     - o15 flows to thisVector (via param15);
+     - thisVector and thisget are aliases; o6 flows to tget;
+     - s1main points to o16 along a realisable path (param17/param17,
+       param18/ret18 matched);
+     - s1main does NOT point to o20 context-sensitively;
+     - context-insensitively s1main points to both o16 and o20. *)
+module Pag = Parcfl.Pag
+module B = Parcfl.Pag.Build
+module Ctx = Parcfl.Ctx
+module Config = Parcfl.Config
+module Solver = Parcfl.Solver
+module Query = Parcfl.Query
+
+type fig2 = {
+  pag : Pag.t;
+  s1 : Pag.var;
+  s2 : Pag.var;
+  tget : Pag.var;
+  this_vector : Pag.var;
+  this_get : Pag.var;
+  o6 : Pag.obj;
+  o15 : Pag.obj;
+  o16 : Pag.obj;
+  o19 : Pag.obj;
+  o20 : Pag.obj;
+}
+
+let elems = 0
+let arr = 1
+
+let build () =
+  let b = B.create () in
+  (* main locals *)
+  let v1 = B.add_var b ~app:true "v1main" in
+  let v2 = B.add_var b ~app:true "v2main" in
+  let n1 = B.add_var b ~app:true "n1main" in
+  let n2 = B.add_var b ~app:true "n2main" in
+  let s1 = B.add_var b ~app:true "s1main" in
+  let s2 = B.add_var b ~app:true "s2main" in
+  (* Vector constructor *)
+  let this_vector = B.add_var b "thisVector" in
+  let t_vector = B.add_var b "tVector" in
+  (* add *)
+  let this_add = B.add_var b "thisadd" in
+  let e_add = B.add_var b "eadd" in
+  let t_add = B.add_var b "tadd" in
+  (* get *)
+  let this_get = B.add_var b "thisget" in
+  let t_get = B.add_var b "tget" in
+  let ret_get = B.add_var b "retget" in
+  (* objects *)
+  let o6 = B.add_obj b "o6" in
+  let o15 = B.add_obj b "o15" in
+  let o16 = B.add_obj b "o16" in
+  let o19 = B.add_obj b "o19" in
+  let o20 = B.add_obj b "o20" in
+  (* allocations *)
+  B.new_edge b ~dst:t_vector o6;
+  B.new_edge b ~dst:v1 o15;
+  B.new_edge b ~dst:n1 o16;
+  B.new_edge b ~dst:v2 o19;
+  B.new_edge b ~dst:n2 o20;
+  (* constructor: this.elems = t; invoked at sites 15 and 19 *)
+  B.store b ~base:this_vector elems ~src:t_vector;
+  B.param b ~dst:this_vector ~site:15 ~src:v1;
+  B.param b ~dst:this_vector ~site:19 ~src:v2;
+  (* add: t = this.elems; t[..] = e; invoked at sites 17 and 21 *)
+  B.load b ~dst:t_add ~base:this_add elems;
+  B.store b ~base:t_add arr ~src:e_add;
+  B.param b ~dst:this_add ~site:17 ~src:v1;
+  B.param b ~dst:e_add ~site:17 ~src:n1;
+  B.param b ~dst:this_add ~site:21 ~src:v2;
+  B.param b ~dst:e_add ~site:21 ~src:n2;
+  (* get: t = this.elems; return t[i]; invoked at sites 18 and 22 *)
+  B.load b ~dst:t_get ~base:this_get elems;
+  B.load b ~dst:ret_get ~base:t_get arr;
+  B.param b ~dst:this_get ~site:18 ~src:v1;
+  B.param b ~dst:this_get ~site:22 ~src:v2;
+  B.ret b ~dst:s1 ~site:18 ~src:ret_get;
+  B.ret b ~dst:s2 ~site:22 ~src:ret_get;
+  {
+    pag = B.freeze b;
+    s1;
+    s2;
+    tget = t_get;
+    this_vector;
+    this_get;
+    o6;
+    o15;
+    o16;
+    o19;
+    o20;
+  }
+
+let session ?(config = Config.default) pag =
+  Solver.make_session ~config ~ctx_store:(Ctx.create_store ()) pag
+
+let objects_of outcome = Query.objects outcome.Query.result
+
+let test_context_sensitive () =
+  let g = build () in
+  let s = session g.pag in
+  Alcotest.(check (list int)) "s1 -> {o16} only" [ g.o16 ]
+    (objects_of (Solver.points_to s g.s1));
+  Alcotest.(check (list int)) "s2 -> {o20} only" [ g.o20 ]
+    (objects_of (Solver.points_to s g.s2))
+
+let test_o6_flows_to_tget () =
+  let g = build () in
+  let s = session g.pag in
+  let objs = objects_of (Solver.points_to s g.tget) in
+  Alcotest.(check bool) "o6 in pts(tget)" true (List.mem g.o6 objs)
+
+let test_this_aliases () =
+  let g = build () in
+  let s = session g.pag in
+  Alcotest.(check (option bool)) "thisVector alias thisget" (Some true)
+    (Solver.may_alias s g.this_vector g.this_get);
+  (* Both this-formals see both vectors, so they also alias thisadd; but
+     s1/s2 do not alias each other. *)
+  Alcotest.(check (option bool)) "s1 not alias s2" (Some false)
+    (Solver.may_alias s g.s1 g.s2)
+
+let test_context_insensitive_merges () =
+  let g = build () in
+  let s =
+    session ~config:{ Config.default with Config.context_sensitive = false }
+      g.pag
+  in
+  let objs = List.sort compare (objects_of (Solver.points_to s g.s1)) in
+  Alcotest.(check (list int)) "insensitive s1 -> {o16, o20}"
+    (List.sort compare [ g.o16; g.o20 ])
+    objs
+
+let test_points_to_this () =
+  let g = build () in
+  let s = session g.pag in
+  let objs =
+    List.sort compare (objects_of (Solver.points_to s g.this_vector))
+  in
+  Alcotest.(check (list int)) "thisVector -> {o15, o19}"
+    (List.sort compare [ g.o15; g.o19 ])
+    objs
+
+let test_flows_to () =
+  let g = build () in
+  let s = session g.pag in
+  let outcome = Solver.flows_to s g.o16 in
+  match outcome.Query.result with
+  | Query.Out_of_budget -> Alcotest.fail "flows_to ran out of budget"
+  | Query.Points_to pairs ->
+      let vars = List.sort_uniq compare (List.map fst pairs) in
+      Alcotest.(check bool) "o16 flows to s1" true (List.mem g.s1 vars);
+      Alcotest.(check bool) "o16 does not flow to s2" false
+        (List.mem g.s2 vars)
+
+let suite =
+  ( "paper-example",
+    [
+      Alcotest.test_case "context-sensitive points-to" `Quick
+        test_context_sensitive;
+      Alcotest.test_case "o6 flows to tget" `Quick test_o6_flows_to_tget;
+      Alcotest.test_case "this aliases" `Quick test_this_aliases;
+      Alcotest.test_case "context-insensitive merges" `Quick
+        test_context_insensitive_merges;
+      Alcotest.test_case "receiver points-to" `Quick test_points_to_this;
+      Alcotest.test_case "flows-to inverse" `Quick test_flows_to;
+    ] )

@@ -1,0 +1,159 @@
+(* The execution modes: mode parsing, the real parallel runner (naive mode
+   is deterministic per query, so parallel must equal sequential exactly),
+   soundness of shared-mode results, and determinism of the simulator. *)
+module Pag = Parcfl.Pag
+module Mode = Parcfl.Mode
+module Runner = Parcfl.Runner
+module Report = Parcfl.Report
+module Query = Parcfl.Query
+module Config = Parcfl.Config
+
+let bench = lazy (Parcfl.Suite.build Parcfl.Profile.tiny)
+
+let config = Config.with_budget 2_000 Config.default
+
+let run ?(mode = Mode.Seq) ?(threads = 1) ?(sim = false) () =
+  let b = Lazy.force bench in
+  if sim then
+    Runner.simulate ~tau_f:5 ~tau_u:50 ~type_level:b.Parcfl.Suite.type_level
+      ~solver_config:config ~mode ~threads ~queries:b.Parcfl.Suite.queries
+      b.Parcfl.Suite.pag
+  else
+    Runner.run ~tau_f:5 ~tau_u:50 ~type_level:b.Parcfl.Suite.type_level
+      ~solver_config:config ~mode ~threads ~queries:b.Parcfl.Suite.queries
+      b.Parcfl.Suite.pag
+
+let results_sorted report =
+  let tbl = Report.results_by_var report in
+  Hashtbl.fold
+    (fun v r acc -> (v, List.sort compare (Query.objects r)) :: acc)
+    tbl []
+  |> List.sort compare
+
+let test_mode_strings () =
+  List.iter
+    (fun m ->
+      match Mode.of_string (Mode.to_string m) with
+      | Ok m' when m = m' -> ()
+      | _ -> Alcotest.failf "mode %s does not roundtrip" (Mode.to_string m))
+    Mode.all;
+  (match Mode.of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus mode accepted");
+  Alcotest.(check bool) "sharing flags" true
+    (Mode.uses_sharing Mode.Share
+    && Mode.uses_sharing Mode.Share_sched
+    && (not (Mode.uses_sharing Mode.Naive))
+    && not (Mode.uses_scheduling Mode.Share))
+
+let test_report_shape () =
+  let b = Lazy.force bench in
+  let r = run () in
+  Alcotest.(check int) "one outcome per query"
+    (Array.length b.Parcfl.Suite.queries)
+    (Array.length r.Report.r_queries);
+  (* Outcome vars are exactly the queries (order preserved for seq). *)
+  Alcotest.(check (list int)) "vars in issue order"
+    (Array.to_list b.Parcfl.Suite.queries)
+    (Array.to_list (Array.map (fun q -> q.Report.qs_var) r.Report.r_queries));
+  Alcotest.(check bool) "walked counted" true (Report.total_walked r > 0);
+  Alcotest.(check int) "no jumps without sharing" 0 (Report.n_jumps r)
+
+let test_naive_parallel_equals_seq () =
+  (* Without sharing each query is independent and deterministic, so any
+     thread count must produce identical results. *)
+  let seq = results_sorted (run ~mode:Mode.Seq ()) in
+  List.iter
+    (fun threads ->
+      let par = results_sorted (run ~mode:Mode.Naive ~threads ()) in
+      if par <> seq then
+        Alcotest.failf "naive/%d differs from sequential" threads)
+    [ 1; 2; 4 ]
+
+let test_shared_parallel_sound () =
+  (* With sharing, completed queries must stay within the context-
+     insensitive over-approximation (Andersen). *)
+  let b = Lazy.force bench in
+  let andersen = Parcfl.Andersen.solve b.Parcfl.Suite.pag in
+  List.iter
+    (fun (mode, threads) ->
+      let r = run ~mode ~threads () in
+      Array.iter
+        (fun (o : Query.outcome) ->
+          match o.Query.result with
+          | Query.Out_of_budget -> ()
+          | Query.Points_to _ ->
+              let objs = Query.objects o.Query.result in
+              let ref_ =
+                Parcfl.Andersen.points_to_list andersen o.Query.var
+              in
+              if not (List.for_all (fun x -> List.mem x ref_) objs) then
+                Alcotest.failf "unsound result for var %d under %s/%d"
+                  o.Query.var (Mode.to_string mode) threads)
+        r.Report.r_outcomes)
+    [ (Mode.Share, 2); (Mode.Share_sched, 2); (Mode.Share, 4) ]
+
+let test_scheduled_covers_all_queries () =
+  let b = Lazy.force bench in
+  let r = run ~mode:Mode.Share_sched ~threads:2 () in
+  let vars =
+    List.sort compare
+      (Array.to_list (Array.map (fun q -> q.Report.qs_var) r.Report.r_queries))
+  in
+  Alcotest.(check (list int)) "every query answered once"
+    (List.sort compare (Array.to_list b.Parcfl.Suite.queries))
+    vars;
+  Alcotest.(check bool) "Sg recorded" true (r.Report.r_mean_group_size > 0.0)
+
+let test_simulator_deterministic () =
+  let r1 = run ~mode:Mode.Share_sched ~threads:4 ~sim:true () in
+  let r2 = run ~mode:Mode.Share_sched ~threads:4 ~sim:true () in
+  Alcotest.(check (option int)) "same makespan" r1.Report.r_sim_makespan
+    r2.Report.r_sim_makespan;
+  Alcotest.(check bool) "same outcomes" true
+    (results_sorted r1 = results_sorted r2);
+  Alcotest.(check bool) "makespan set" true (r1.Report.r_sim_makespan <> None)
+
+let test_simulator_scales () =
+  (* More virtual threads cannot increase the makespan... not strictly true
+     with sharing (less sharing at higher parallelism), but it holds for
+     the no-sharing naive mode up to rounding. *)
+  let m t =
+    Option.get (run ~mode:Mode.Naive ~threads:t ~sim:true ()).Report.r_sim_makespan
+  in
+  let m1 = m 1 and m4 = m 4 in
+  Alcotest.(check bool) "naive sim speeds up" true (m4 < m1);
+  Alcotest.(check bool) "at most linear" true (m4 * 4 >= m1)
+
+let test_seq_forces_one_thread () =
+  let r = run ~mode:Mode.Seq ~threads:8 () in
+  Alcotest.(check int) "threads forced to 1" 1 r.Report.r_threads
+
+let test_per_query_cost () =
+  let r = run () in
+  let costs = Runner.per_query_cost r in
+  Alcotest.(check int) "one cost per query"
+    (Array.length r.Report.r_queries)
+    (Array.length costs);
+  Array.iter
+    (fun c -> if c < 1 then Alcotest.fail "cost must be >= 1")
+    costs
+
+let suite =
+  ( "par",
+    [
+      Alcotest.test_case "mode strings" `Quick test_mode_strings;
+      Alcotest.test_case "report shape" `Quick test_report_shape;
+      Alcotest.test_case "naive parallel = sequential" `Quick
+        test_naive_parallel_equals_seq;
+      Alcotest.test_case "shared parallel sound" `Quick
+        test_shared_parallel_sound;
+      Alcotest.test_case "scheduling covers all queries" `Quick
+        test_scheduled_covers_all_queries;
+      Alcotest.test_case "simulator deterministic" `Quick
+        test_simulator_deterministic;
+      Alcotest.test_case "simulator scales (naive)" `Quick test_simulator_scales;
+      Alcotest.test_case "seq forces one thread" `Quick
+        test_seq_forces_one_thread;
+      Alcotest.test_case "per-query cost" `Quick test_per_query_cost;
+    ] )

@@ -1,0 +1,206 @@
+(* The Mini-Java concrete-syntax parser. *)
+module Parser = Parcfl.Parser
+module Ir = Parcfl.Ir
+module Types = Parcfl.Types
+module Wellformed = Parcfl.Wellformed
+module Pag = Parcfl.Pag
+module Query = Parcfl.Query
+
+let fig2_source =
+  {|
+// The paper's Fig. 2 Vector example.
+global Object UNUSED;
+
+library class ObjectArray { Object arr; }
+
+library class Vector {
+  ObjectArray elems;
+  int count;
+
+  void init() {
+    ObjectArray t;
+    t = new ObjectArray();
+    this.elems = t;
+  }
+  void add(Object e) {
+    ObjectArray t;
+    t = this.elems;
+    t.arr = e;
+  }
+  Object get(int i) {
+    ObjectArray t;  Object r;
+    t = this.elems;
+    r = t.arr;
+    return r;
+  }
+}
+
+class Main {
+  static void main() {
+    Vector v1;  Vector v2;  Object n1;  Object n2;  Object s1;  Object s2;
+    v1 = new Vector();
+    v1.init();
+    n1 = new Object();
+    v1.add(n1);
+    s1 = v1.get(0);
+    v2 = new Vector();
+    v2.init();
+    n2 = new Object();
+    v2.add(n2);
+    s2 = v2.get(0);
+  }
+}
+|}
+
+let parse_ok src =
+  match Parser.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let test_fig2_parses () =
+  let program = parse_ok fig2_source in
+  Alcotest.(check int) "4 methods" 4 (Array.length program.Ir.methods);
+  Alcotest.(check int) "1 global" 1 (Array.length program.Ir.globals);
+  Alcotest.(check (list string)) "no wellformed issues" []
+    (List.map (fun i -> Format.asprintf "%a" Wellformed.pp_issue i)
+       (Wellformed.check program));
+  (* Library methods are not app code; Main.main is. *)
+  Array.iter
+    (fun m ->
+      let expected = m.Ir.m_name = "main" in
+      if m.Ir.m_app <> expected then
+        Alcotest.failf "app flag wrong for %s" m.Ir.m_name)
+    program.Ir.methods
+
+let test_fig2_analysis () =
+  (* End-to-end through the parser: context-sensitive precision on the
+     paper's example. *)
+  let program = parse_ok fig2_source in
+  let report = Parcfl.analyze ~mode:Parcfl.Mode.Seq program in
+  let pag_cg = Parcfl.Callgraph.build program in
+  let lowering = Parcfl.Lower.lower program pag_cg in
+  let pag = lowering.Parcfl.Lower.pag in
+  let tbl = Parcfl.Report.results_by_var report in
+  let find_var suffix =
+    let found = ref (-1) in
+    for v = 0 to Pag.n_vars pag - 1 do
+      let name = Pag.var_name pag v in
+      let ls = String.length suffix and ln = String.length name in
+      if ln >= ls && String.sub name (ln - ls) ls = suffix then found := v
+    done;
+    if !found < 0 then Alcotest.failf "no var ending in %s" suffix;
+    !found
+  in
+  let objs_of v =
+    match Hashtbl.find_opt tbl v with
+    | Some r -> List.sort_uniq compare (Query.objects r)
+    | None -> Alcotest.failf "no result for var %d" v
+  in
+  let s1 = find_var "main#s1" and s2 = find_var "main#s2" in
+  let o1 = objs_of s1 and o2 = objs_of s2 in
+  Alcotest.(check int) "s1 one object" 1 (List.length o1);
+  Alcotest.(check int) "s2 one object" 1 (List.length o2);
+  Alcotest.(check bool) "distinct objects" true (o1 <> o2)
+
+let test_inheritance_and_static () =
+  let src =
+    {|
+class A { Object m(Object x) { return x; } }
+class B extends A { Object m(Object x) { Object y; y = new Object(); return y; } }
+class Util { static Object id(Object x) { return x; } }
+class Main {
+  static void main() {
+    A a; Object o; Object r;
+    a = new B();
+    o = new Object();
+    r = a.m(o);
+    r = Util.id(o);
+  }
+}
+|}
+  in
+  let program = parse_ok src in
+  let cg = Parcfl.Callgraph.build program in
+  (* a.m dispatches over A.m and B.m. *)
+  let site0_targets = Parcfl.Callgraph.targets cg 0 in
+  Alcotest.(check int) "CHA fan-out" 2 (List.length site0_targets);
+  Alcotest.(check (list string)) "wellformed" []
+    (List.map (fun i -> Format.asprintf "%a" Wellformed.pp_issue i)
+       (Wellformed.check program))
+
+let test_globals_resolution () =
+  let src =
+    {|
+global Object G;
+class Main {
+  static void main() {
+    Object x; Object G2;
+    x = new Object();
+    G = x;
+    G2 = G;
+  }
+}
+|}
+  in
+  let program = parse_ok src in
+  (* G resolves to the global; G2 is a local. *)
+  let main = program.Ir.methods.(0) in
+  let has_global_store =
+    List.exists
+      (function
+        | Ir.Move { lhs = Ir.Global 0; _ } -> true
+        | _ -> false)
+      main.Ir.m_body
+  in
+  Alcotest.(check bool) "assignment into global" true has_global_store
+
+let expect_error src needle =
+  match Parser.parse src with
+  | Ok _ -> Alcotest.failf "expected a parse error mentioning %S" needle
+  | Error e ->
+      let msg = Format.asprintf "%a" Parser.pp_error e in
+      let ls = String.length msg and lb = String.length needle in
+      let rec has i = i + lb <= ls && (String.sub msg i lb = needle || has (i + 1)) in
+      if not (has 0) then
+        Alcotest.failf "error %S does not mention %S" msg needle
+
+let test_errors () =
+  expect_error "class A {" "expected";
+  expect_error "class A extends Missing { }" "superclass";
+  expect_error "class A { void m() { x = y; } }" "unknown variable";
+  expect_error "class A { void m() { Object x; x = y.f; } }" "unknown variable";
+  expect_error "class A { Object f; void m() { Object x; x = x.g; } }"
+    "no field";
+  expect_error "class A { static void m() { this.f = this; } }" "static";
+  expect_error "class A { void m() { int i; i.f = i; } }" "primitive";
+  expect_error "class A { void m() { } } class A { }" "duplicate class";
+  expect_error "class A { void m() { Object x; Object x; } }"
+    "duplicate variable";
+  expect_error "class A /* unterminated" "comment";
+  expect_error "class A { void m() { @ } }" "unexpected character"
+
+let test_forward_references () =
+  (* A extends B declared later. *)
+  let src = "class A extends B { } class B { }" in
+  let program = parse_ok src in
+  Alcotest.(check int) "three classes (incl Object)" 3
+    (Types.n_classes program.Ir.types)
+
+let test_lex_trivia () =
+  let src =
+    "// leading comment\n/* block\ncomment */ class A { void m() { } }"
+  in
+  ignore (parse_ok src)
+
+let suite =
+  ( "parser",
+    [
+      Alcotest.test_case "Fig. 2 parses" `Quick test_fig2_parses;
+      Alcotest.test_case "Fig. 2 analysis end-to-end" `Quick test_fig2_analysis;
+      Alcotest.test_case "inheritance and statics" `Quick
+        test_inheritance_and_static;
+      Alcotest.test_case "globals resolution" `Quick test_globals_resolution;
+      Alcotest.test_case "errors" `Quick test_errors;
+      Alcotest.test_case "forward references" `Quick test_forward_references;
+      Alcotest.test_case "comments and trivia" `Quick test_lex_trivia;
+    ] )

@@ -1,0 +1,190 @@
+(* Refinement-based analysis: the match abstraction over-approximates
+   soundly, refinement converges to the general-purpose answer, and the
+   cast client accepts early when the approximation already proves
+   safety. *)
+module Pag = Parcfl.Pag
+module B = Parcfl.Pag.Build
+module Ctx = Parcfl.Ctx
+module Config = Parcfl.Config
+module Solver = Parcfl.Solver
+module Query = Parcfl.Query
+module Refinement = Parcfl.Refinement
+
+let config = Config.default
+
+(* Two disjoint base objects with same-field accesses: the match
+   abstraction conflates them, full refinement separates them.
+     p1 = o1; p2 = o2; a1 = oa; a2 = ob;
+     p1.f = a1; p2.f = a2; x = p1.f *)
+let cross_talk_graph () =
+  let b = B.create () in
+  let p1 = B.add_var b "p1" in
+  let p2 = B.add_var b "p2" in
+  let a1 = B.add_var b "a1" in
+  let a2 = B.add_var b "a2" in
+  let x = B.add_var b "x" in
+  let o1 = B.add_obj b "o1" in
+  let o2 = B.add_obj b "o2" in
+  let oa = B.add_obj b "oa" in
+  let ob = B.add_obj b "ob" in
+  B.new_edge b ~dst:p1 o1;
+  B.new_edge b ~dst:p2 o2;
+  B.new_edge b ~dst:a1 oa;
+  B.new_edge b ~dst:a2 ob;
+  B.store b ~base:p1 0 ~src:a1;
+  B.store b ~base:p2 0 ~src:a2;
+  B.load b ~dst:x ~base:p1 0;
+  (B.freeze b, (x, oa, ob))
+
+let refine_pts ?max_passes ?satisfied pag v =
+  Refinement.points_to ?max_passes ?satisfied ~config
+    ~ctx_store:(Ctx.create_store ()) pag v
+
+let objects result = List.sort compare (Query.objects result)
+
+let test_pass0_overapproximates () =
+  let pag, (x, oa, ob) = cross_talk_graph () in
+  let o = refine_pts ~max_passes:1 pag x in
+  Alcotest.(check int) "one pass" 1 o.Refinement.passes;
+  Alcotest.(check bool) "not fully refined" false o.Refinement.fully_refined;
+  (* The match edge lets both stores flow in. *)
+  Alcotest.(check (list int)) "conflated" [ oa; ob ]
+    (objects o.Refinement.result)
+
+let test_refinement_converges () =
+  let pag, (x, oa, _) = cross_talk_graph () in
+  let o = refine_pts pag x in
+  Alcotest.(check bool) "fully refined" true o.Refinement.fully_refined;
+  Alcotest.(check bool) "took more than one pass" true (o.Refinement.passes > 1);
+  Alcotest.(check (list int)) "precise answer" [ oa ]
+    (objects o.Refinement.result);
+  (* Agreement with the general-purpose solver. *)
+  let s =
+    Solver.make_session ~config ~ctx_store:(Ctx.create_store ()) pag
+  in
+  Alcotest.(check (list int)) "equals non-refinement answer"
+    (objects (Solver.points_to s x).Query.result)
+    (objects o.Refinement.result)
+
+let test_soundness_superset () =
+  (* Every pass's answer must contain the precise one. *)
+  let pag, (x, _, _) = cross_talk_graph () in
+  let precise =
+    let s = Solver.make_session ~config ~ctx_store:(Ctx.create_store ()) pag in
+    objects (Solver.points_to s x).Query.result
+  in
+  List.iter
+    (fun k ->
+      let o = refine_pts ~max_passes:k pag x in
+      match o.Refinement.result with
+      | Query.Out_of_budget -> ()
+      | r ->
+          let approx = objects r in
+          Alcotest.(check bool)
+            (Printf.sprintf "pass-%d superset" k)
+            true
+            (List.for_all (fun ob -> List.mem ob approx) precise))
+    [ 1; 2; 3 ]
+
+let test_satisfied_stops_early () =
+  let pag, (x, _, _) = cross_talk_graph () in
+  let o = refine_pts ~satisfied:(fun _ -> true) pag x in
+  Alcotest.(check int) "accepted after pass 1" 1 o.Refinement.passes
+
+let test_cast_safe_early_accept () =
+  let pag, (x, _, _) = cross_talk_graph () in
+  (* Every object acceptable: pass 1's over-approximation already proves
+     it — no refinement needed. *)
+  match
+    Refinement.cast_safe ~config ~ctx_store:(Ctx.create_store ())
+      ~obj_ok:(fun _ -> true) pag x
+  with
+  | `Safe 1 -> ()
+  | `Safe n -> Alcotest.failf "safe but took %d passes" n
+  | _ -> Alcotest.fail "expected `Safe"
+
+let test_cast_unsafe_needs_refinement () =
+  let pag, (x, _, ob) = cross_talk_graph () in
+  (* ob is unacceptable but does NOT actually flow to x: refinement must
+     discover that and prove safety. *)
+  (match
+     Refinement.cast_safe ~config ~ctx_store:(Ctx.create_store ())
+       ~obj_ok:(fun o -> o <> ob) pag x
+   with
+  | `Safe n -> Alcotest.(check bool) "needed refinement" true (n > 1)
+  | _ -> Alcotest.fail "expected `Safe after refinement");
+  (* oa IS in the precise answer; rejecting it must yield `Unsafe. *)
+  match
+    Refinement.cast_safe ~config ~ctx_store:(Ctx.create_store ())
+      ~obj_ok:(fun _ -> false) pag x
+  with
+  | `Unsafe _ -> ()
+  | _ -> Alcotest.fail "expected `Unsafe"
+
+let test_refinement_on_benchmark () =
+  (* Full refinement equals the general-purpose analysis on completed
+     queries of a generated benchmark. *)
+  let bench = Parcfl.Suite.build Parcfl.Profile.tiny in
+  let pag = bench.Parcfl.Suite.pag in
+  let cfg = Config.with_budget 4_000 Config.default in
+  let s = Solver.make_session ~config:cfg ~ctx_store:(Ctx.create_store ()) pag in
+  let n = ref 0 in
+  Array.iter
+    (fun v ->
+      if !n < 40 then begin
+        incr n;
+        let precise = Solver.points_to s v in
+        let refined =
+          Refinement.points_to ~max_passes:30 ~config:cfg
+            ~ctx_store:(Ctx.create_store ()) pag v
+        in
+        match (precise.Query.result, refined.Refinement.result) with
+        | Query.Points_to _, r when refined.Refinement.fully_refined ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "var %d" v)
+              (objects precise.Query.result)
+              (objects r)
+        | _ -> () (* budget-limited either way: no comparison *)
+      end)
+    bench.Parcfl.Suite.queries;
+  Alcotest.(check bool) "compared some" true (!n > 0)
+
+let test_matcher_hooks_conflict () =
+  let pag, (_, _, _) = cross_talk_graph () in
+  let store = Parcfl.Jmp_store.create () in
+  let matcher =
+    {
+      Parcfl.Matcher.is_refined = (fun ~dir:_ ~anchor:_ ~other_base:_ ~field:_ -> true);
+      note_match_used = (fun ~dir:_ ~anchor:_ ~other_base:_ ~field:_ -> ());
+    }
+  in
+  let raised =
+    try
+      ignore
+        (Solver.make_session
+           ~hooks:(Parcfl.Jmp_store.hooks store)
+           ~matcher ~config ~ctx_store:(Ctx.create_store ()) pag);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "matcher + hooks rejected" true raised
+
+let suite =
+  ( "refine",
+    [
+      Alcotest.test_case "pass 0 over-approximates" `Quick
+        test_pass0_overapproximates;
+      Alcotest.test_case "refinement converges" `Quick test_refinement_converges;
+      Alcotest.test_case "every pass is a superset" `Quick
+        test_soundness_superset;
+      Alcotest.test_case "satisfied stops early" `Quick
+        test_satisfied_stops_early;
+      Alcotest.test_case "cast client accepts early" `Quick
+        test_cast_safe_early_accept;
+      Alcotest.test_case "cast client refines when needed" `Quick
+        test_cast_unsafe_needs_refinement;
+      Alcotest.test_case "converged = general-purpose (benchmark)" `Quick
+        test_refinement_on_benchmark;
+      Alcotest.test_case "matcher + hooks conflict" `Quick
+        test_matcher_hooks_conflict;
+    ] )

@@ -1,0 +1,122 @@
+module Scc = Parcfl.Scc
+
+let compute n edges =
+  let adj = Array.make n [] in
+  List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) edges;
+  (Scc.compute ~n ~succs:(fun v -> adj.(v)), fun v -> adj.(v))
+
+let test_chain () =
+  let scc, _ = compute 4 [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check int) "4 comps" 4 scc.Scc.n_comps;
+  (* Reverse topological numbering: an edge u->v has comp(u) >= comp(v). *)
+  Alcotest.(check bool) "topo order" true
+    (scc.Scc.comp_of.(0) > scc.Scc.comp_of.(1)
+    && scc.Scc.comp_of.(1) > scc.Scc.comp_of.(2)
+    && scc.Scc.comp_of.(2) > scc.Scc.comp_of.(3))
+
+let test_cycle () =
+  let scc, _ = compute 5 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 3) ] in
+  Alcotest.(check int) "2 comps" 2 scc.Scc.n_comps;
+  Alcotest.(check bool) "0,1,2 together" true
+    (scc.Scc.comp_of.(0) = scc.Scc.comp_of.(1)
+    && scc.Scc.comp_of.(1) = scc.Scc.comp_of.(2));
+  Alcotest.(check bool) "3,4 together" true
+    (scc.Scc.comp_of.(3) = scc.Scc.comp_of.(4));
+  Alcotest.(check bool) "cycle comp not trivial" false
+    (Scc.is_trivial scc scc.Scc.comp_of.(0))
+
+let test_self_loop () =
+  let scc, _ = compute 2 [ (0, 0); (0, 1) ] in
+  Alcotest.(check int) "2 comps" 2 scc.Scc.n_comps;
+  (* A self-loop keeps the component a singleton. *)
+  Alcotest.(check bool) "trivial by member count" true
+    (Scc.is_trivial scc scc.Scc.comp_of.(0))
+
+let test_condensation () =
+  let scc, succs = compute 6 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2); (4, 5) ] in
+  let dag = Scc.condensation scc ~succs in
+  Alcotest.(check int) "4 comps" 4 scc.Scc.n_comps;
+  (* DAG edges never point upward in the id order. *)
+  Array.iteri
+    (fun c succ ->
+      List.iter
+        (fun c' ->
+          Alcotest.(check bool) "reverse-topo edge" true (c' < c))
+        succ)
+    dag;
+  (* No self loops. *)
+  Array.iteri
+    (fun c succ ->
+      Alcotest.(check bool) "no self loop" false (List.mem c succ))
+    dag
+
+let test_longest_path () =
+  (* 0 -> 1 -> 2 and 0 -> 2: path 0,1,2 has weight 3 through each node. *)
+  let scc, succs = compute 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let dag = Scc.condensation scc ~succs in
+  let weight c = List.length scc.Scc.members.(c) in
+  let through = Scc.longest_path_through ~dag ~weight in
+  Array.iteri
+    (fun v _ ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d on heaviest path" v)
+        3
+        through.(scc.Scc.comp_of.(v)))
+    [| 0; 1; 2 |]
+
+let test_longest_path_branch () =
+  (* 0 -> 1, 0 -> 2 -> 3: node 1 lies on a path of 2, node 3 on a path of 3. *)
+  let scc, succs = compute 4 [ (0, 1); (0, 2); (2, 3) ] in
+  let dag = Scc.condensation scc ~succs in
+  let weight c = List.length scc.Scc.members.(c) in
+  let through = Scc.longest_path_through ~dag ~weight in
+  Alcotest.(check int) "short branch" 2 through.(scc.Scc.comp_of.(1));
+  Alcotest.(check int) "long branch" 3 through.(scc.Scc.comp_of.(3));
+  Alcotest.(check int) "root" 3 through.(scc.Scc.comp_of.(0))
+
+(* Property: same component iff mutually reachable (checked against a
+   transitive closure on small random graphs). *)
+let prop_scc_reachability =
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_bound 7) (fun n ->
+          let n = n + 1 in
+          list_size (int_bound 20) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+          >>= fun edges -> return (n, edges)))
+  in
+  QCheck.Test.make ~name:"same comp iff mutually reachable" ~count:300
+    (QCheck.make gen) (fun (n, edges) ->
+      let scc, _ = compute n edges in
+      let reach = Array.make_matrix n n false in
+      for v = 0 to n - 1 do
+        reach.(v).(v) <- true
+      done;
+      List.iter (fun (u, v) -> reach.(u).(v) <- true) edges;
+      for k = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+          done
+        done
+      done;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let same = scc.Scc.comp_of.(i) = scc.Scc.comp_of.(j) in
+          let mutual = reach.(i).(j) && reach.(j).(i) in
+          if same <> mutual then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  ( "scc",
+    [
+      Alcotest.test_case "chain" `Quick test_chain;
+      Alcotest.test_case "cycle" `Quick test_cycle;
+      Alcotest.test_case "self loop" `Quick test_self_loop;
+      Alcotest.test_case "condensation" `Quick test_condensation;
+      Alcotest.test_case "longest path (diamondish)" `Quick test_longest_path;
+      Alcotest.test_case "longest path (branch)" `Quick test_longest_path_branch;
+      QCheck_alcotest.to_alcotest prop_scc_reachability;
+    ] )

@@ -1,0 +1,180 @@
+(* Query scheduling: grouping by the direct relation, connection
+   distances, DD ordering, split/merge load balancing. *)
+module Pag = Parcfl.Pag
+module B = Parcfl.Pag.Build
+module Schedule = Parcfl.Schedule
+
+(* Two components linked only by a load/store (which does NOT connect):
+     comp1: a -> b -> c (assigns)
+     comp2: d -> e (param), plus the load c = d.f (no direct edge). *)
+let two_components () =
+  let b = B.create () in
+  let va = B.add_var b ~typ:1 ~app:true "a" in
+  let vb = B.add_var b ~typ:1 ~app:true "b" in
+  let vc = B.add_var b ~typ:1 ~app:true "c" in
+  let vd = B.add_var b ~typ:2 ~app:true "d" in
+  let ve = B.add_var b ~typ:2 ~app:true "e" in
+  B.assign b ~dst:vb ~src:va;
+  B.assign b ~dst:vc ~src:vb;
+  B.param b ~dst:ve ~site:1 ~src:vd;
+  B.load b ~dst:vc ~base:vd 0;
+  (B.freeze b, (va, vb, vc, vd, ve))
+
+let test_grouping () =
+  let pag, (va, vb, vc, vd, ve) = two_components () in
+  let sched =
+    Schedule.build ~pag ~type_level:(fun _ -> 1) [| va; vb; vc; vd; ve |]
+  in
+  Alcotest.(check int) "two components" 2 sched.Schedule.n_components;
+  (* Load edges must not merge the components. *)
+  let find_group v =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i g -> if Array.exists (fun x -> x = v) g then found := i)
+      sched.Schedule.groups;
+    !found
+  in
+  Alcotest.(check bool) "a,b,c together" true
+    (find_group va = find_group vb && find_group vb = find_group vc);
+  Alcotest.(check bool) "d,e together" true (find_group vd = find_group ve);
+  Alcotest.(check bool) "components separate" true
+    (find_group va <> find_group vd)
+
+let test_cd () =
+  (* Chain v0 -> v1 -> v2 -> v3 plus a short branch v4 -> v2: the heaviest
+     path through every chain node is 4; through v4 it is 3. *)
+  let b = B.create () in
+  let v = Array.init 5 (fun i -> B.add_var b (Printf.sprintf "v%d" i)) in
+  B.assign b ~dst:v.(1) ~src:v.(0);
+  B.assign b ~dst:v.(2) ~src:v.(1);
+  B.assign b ~dst:v.(3) ~src:v.(2);
+  B.assign b ~dst:v.(2) ~src:v.(4);
+  let pag = B.freeze b in
+  let cd = Schedule.connection_distances ~pag in
+  Alcotest.(check int) "cd v0" 4 cd.(0);
+  Alcotest.(check int) "cd v3" 4 cd.(3);
+  Alcotest.(check int) "cd v4" 3 cd.(4)
+
+let test_cd_recursion_collapsed () =
+  (* A cycle counts once ("modulo recursion"): v0 <-> v1 -> v2. *)
+  let b = B.create () in
+  let v = Array.init 3 (fun i -> B.add_var b (Printf.sprintf "v%d" i)) in
+  B.assign b ~dst:v.(1) ~src:v.(0);
+  B.assign b ~dst:v.(0) ~src:v.(1);
+  B.assign b ~dst:v.(2) ~src:v.(1);
+  let pag = B.freeze b in
+  let cd = Schedule.connection_distances ~pag in
+  (* SCC {v0,v1} weighs 2; longest path through all nodes = 3. *)
+  Alcotest.(check int) "cd v0" 3 cd.(0);
+  Alcotest.(check int) "cd v2" 3 cd.(2)
+
+let test_dd_ordering () =
+  (* Deep-typed group must be issued before shallow-typed group. *)
+  let b = B.create () in
+  let deep1 = B.add_var b ~typ:10 ~app:true "deep1" in
+  let deep2 = B.add_var b ~typ:10 ~app:true "deep2" in
+  let shallow1 = B.add_var b ~typ:1 ~app:true "s1" in
+  let shallow2 = B.add_var b ~typ:1 ~app:true "s2" in
+  B.assign b ~dst:deep2 ~src:deep1;
+  B.assign b ~dst:shallow2 ~src:shallow1;
+  let pag = B.freeze b in
+  let type_level t = t (* type id doubles as its level *) in
+  let sched =
+    Schedule.build ~pag ~type_level [| shallow1; shallow2; deep1; deep2 |]
+  in
+  let flat = Array.to_list (Schedule.flat_order sched) in
+  let pos v =
+    let rec go i = function
+      | [] -> -1
+      | x :: _ when x = v -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 flat
+  in
+  Alcotest.(check bool) "deep group first" true (pos deep1 < pos shallow1)
+
+let test_cd_ordering_within_group () =
+  (* Within one chain component, shorter-CD variables come first. All chain
+     members share the same longest path, so add a side branch to create
+     distinct CDs: hub has larger CD than leaf. *)
+  let b = B.create () in
+  let hub = B.add_var b ~typ:1 ~app:true "hub" in
+  let leaf = B.add_var b ~typ:1 ~app:true "leaf" in
+  let c1 = B.add_var b ~typ:1 ~app:true "c1" in
+  let c2 = B.add_var b ~typ:1 ~app:true "c2" in
+  B.assign b ~dst:hub ~src:c1;
+  B.assign b ~dst:c2 ~src:hub;
+  B.assign b ~dst:leaf ~src:hub (* leaf dead-ends *);
+  let pag = B.freeze b in
+  let sched =
+    Schedule.build ~pag ~type_level:(fun _ -> 1) [| hub; leaf; c1; c2 |]
+  in
+  let flat = Array.to_list (Schedule.flat_order sched) in
+  let pos v =
+    let rec go i = function
+      | [] -> -1
+      | x :: _ when x = v -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 flat
+  in
+  Alcotest.(check bool) "leaf (CD 3) before hub (CD 3)... deterministic" true
+    (pos leaf >= 0 && pos hub >= 0);
+  (* leaf lies on a path of 3 (c1-hub-leaf), hub on a path of 3 too; c1/c2
+     tie. The real assertion: order is by (CD, id) and total. *)
+  let cd = Schedule.connection_distances ~pag in
+  let rec sorted = function
+    | a :: b :: tl ->
+        (cd.(a) < cd.(b) || (cd.(a) = cd.(b) && a < b)) && sorted (b :: tl)
+    | _ -> true
+  in
+  Alcotest.(check bool) "group sorted by (CD, id)" true (sorted flat)
+
+let test_split_merge () =
+  (* 1 big component (12 vars) and 4 singletons: mean ~3.2, so the big one
+     splits and the singletons merge. *)
+  let b = B.create () in
+  let big = Array.init 12 (fun i -> B.add_var b ~app:true (Printf.sprintf "b%d" i)) in
+  for i = 1 to 11 do
+    B.assign b ~dst:big.(i) ~src:big.(i - 1)
+  done;
+  let singles = Array.init 4 (fun i -> B.add_var b ~app:true (Printf.sprintf "s%d" i)) in
+  let pag = B.freeze b in
+  let queries = Array.append big singles in
+  let sched = Schedule.build ~pag ~type_level:(fun _ -> 1) queries in
+  Alcotest.(check int) "components" 5 sched.Schedule.n_components;
+  (* All units are reasonably sized: none more than ~2x the mean. *)
+  Array.iter
+    (fun g ->
+      Alcotest.(check bool) "unit size bounded" true (Array.length g <= 7))
+    sched.Schedule.groups;
+  Alcotest.(check bool) "more units than components" true
+    (Array.length sched.Schedule.groups >= 5)
+
+let prop_flat_order_permutation =
+  QCheck.Test.make ~name:"flat_order is a permutation of the queries" ~count:30
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      ignore seed;
+      let bench = Parcfl.Suite.build Parcfl.Profile.tiny in
+      let sched =
+        Schedule.build ~pag:bench.Parcfl.Suite.pag
+          ~type_level:bench.Parcfl.Suite.type_level
+          bench.Parcfl.Suite.queries
+      in
+      let flat = Array.to_list (Schedule.flat_order sched) in
+      List.sort compare flat
+      = List.sort compare (Array.to_list bench.Parcfl.Suite.queries))
+
+let suite =
+  ( "sched",
+    [
+      Alcotest.test_case "grouping by direct relation" `Quick test_grouping;
+      Alcotest.test_case "connection distances" `Quick test_cd;
+      Alcotest.test_case "CD modulo recursion" `Quick test_cd_recursion_collapsed;
+      Alcotest.test_case "DD ordering across groups" `Quick test_dd_ordering;
+      Alcotest.test_case "CD ordering within group" `Quick
+        test_cd_ordering_within_group;
+      Alcotest.test_case "split/merge balancing" `Quick test_split_merge;
+      QCheck_alcotest.to_alcotest prop_flat_order_permutation;
+    ] )

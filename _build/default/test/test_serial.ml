@@ -1,0 +1,134 @@
+(* PAG serialisation: write/read round-trips, error handling, and
+   semantic equivalence of the reloaded graph. *)
+module Pag = Parcfl.Pag
+module B = Parcfl.Pag.Build
+module Serial = Parcfl.Serial
+module Andersen = Parcfl.Andersen
+
+let build_sample () =
+  let b = B.create () in
+  let x = B.add_var b ~global:false ~typ:3 ~method_id:1 ~app:true "m#x y" in
+  let g = B.add_var b ~global:true "G" in
+  let p = B.add_var b "p" in
+  let o = B.add_obj b ~typ:3 ~method_id:1 "o@m:0" in
+  B.new_edge b ~dst:x o;
+  B.assign b ~dst:p ~src:x;
+  B.assign_global b ~dst:g ~src:x;
+  B.load b ~dst:x ~base:p 2;
+  B.store b ~base:p 2 ~src:x;
+  B.param b ~dst:p ~site:4 ~src:x;
+  B.ret b ~dst:x ~site:4 ~src:p;
+  B.mark_ci_site b 4;
+  B.freeze b
+
+let graphs_equal a b =
+  Pag.n_vars a = Pag.n_vars b
+  && Pag.n_objs a = Pag.n_objs b
+  && Pag.n_edges a = Pag.n_edges b
+  &&
+  let dump g =
+    let acc = ref [] in
+    Pag.iter_edges g (fun e -> acc := e :: !acc);
+    List.sort compare !acc
+  in
+  dump a = dump b
+
+let test_roundtrip () =
+  let pag = build_sample () in
+  let text = Serial.to_string pag in
+  match Serial.read text with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok pag' ->
+      Alcotest.(check bool) "edges preserved" true (graphs_equal pag pag');
+      Alcotest.(check string) "name with space preserved" "m#x y"
+        (Pag.var_name pag' 0);
+      Alcotest.(check bool) "global flag" true (Pag.var_is_global pag' 1);
+      Alcotest.(check bool) "app flag" true (Pag.var_is_app pag' 0);
+      Alcotest.(check int) "typ" 3 (Pag.var_typ pag' 0);
+      Alcotest.(check int) "method" 1 (Pag.var_method pag' 0);
+      Alcotest.(check bool) "ci site survives" true (Pag.site_is_ci pag' 4);
+      (* Double round-trip is a fixpoint. *)
+      Alcotest.(check string) "stable text" text (Serial.to_string pag')
+
+let test_file_roundtrip () =
+  let pag = build_sample () in
+  let path = Filename.temp_file "parcfl" ".pag" in
+  Serial.save_file path pag;
+  (match Serial.load_file path with
+  | Error m -> Alcotest.failf "load failed: %s" m
+  | Ok pag' -> Alcotest.(check bool) "file roundtrip" true (graphs_equal pag pag'));
+  Sys.remove path
+
+let test_errors () =
+  let expect_error text =
+    match Serial.read text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+  in
+  expect_error "pag 2\n";
+  expect_error "var 5 skipped_id\n";
+  expect_error "obj 1 skipped_id\n";
+  expect_error "frobnicate 1 2\n";
+  expect_error "new 0 0\n" (* unknown nodes *);
+  expect_error "var 0 x\nnew 0 nonint\n";
+  (match Serial.load_file "/nonexistent/path.pag" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected file error")
+
+let test_comments_and_blanks () =
+  let text = "pag 1\n# a comment\n\nvar 0 x\nobj 0 o # trailing\nnew 0 0\n" in
+  match Serial.read text with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok pag ->
+      Alcotest.(check int) "one var" 1 (Pag.n_vars pag);
+      Alcotest.(check int) "one edge" 1 (Pag.n_edges pag)
+
+let test_benchmark_roundtrip () =
+  (* A full generated benchmark round-trips and keeps its points-to
+     relation. *)
+  let bench = Parcfl.Suite.build Parcfl.Profile.tiny in
+  let pag = bench.Parcfl.Suite.pag in
+  match Serial.read (Serial.to_string pag) with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok pag' ->
+      Alcotest.(check bool) "structure" true (graphs_equal pag pag');
+      let before = Andersen.solve pag and after = Andersen.solve pag' in
+      for v = 0 to Pag.n_vars pag - 1 do
+        if Andersen.points_to_list before v <> Andersen.points_to_list after v
+        then Alcotest.failf "pts changed after round-trip for var %d" v
+      done
+
+(* Property: write/read round-trips arbitrary random PAGs. *)
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"roundtrip on random PAGs" ~count:100
+    QCheck.(list (pair (pair (int_bound 7) (int_bound 7)) (int_bound 6)))
+    (fun triples ->
+      let b = B.create () in
+      let vars = Array.init 8 (fun i -> B.add_var b (Printf.sprintf "v%d" i)) in
+      let objects = Array.init 3 (fun i -> B.add_obj b (Printf.sprintf "o%d" i)) in
+      List.iter
+        (fun ((a, c), k) ->
+          match k with
+          | 0 -> B.new_edge b ~dst:vars.(a) objects.(c mod 3)
+          | 1 -> B.assign b ~dst:vars.(a) ~src:vars.(c)
+          | 2 -> B.assign_global b ~dst:vars.(a) ~src:vars.(c)
+          | 3 -> B.load b ~dst:vars.(a) ~base:vars.(c) (a mod 4)
+          | 4 -> B.store b ~base:vars.(a) (c mod 4) ~src:vars.(c)
+          | 5 -> B.param b ~dst:vars.(a) ~site:(c mod 5) ~src:vars.(c)
+          | _ -> B.ret b ~dst:vars.(a) ~site:(c mod 5) ~src:vars.(c))
+        triples;
+      let pag = B.freeze b in
+      match Serial.read (Serial.to_string pag) with
+      | Error _ -> false
+      | Ok pag' -> graphs_equal pag pag')
+
+let suite =
+  ( "serial",
+    [
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+      Alcotest.test_case "errors" `Quick test_errors;
+      Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+      Alcotest.test_case "benchmark roundtrip" `Quick test_benchmark_roundtrip;
+      QCheck_alcotest.to_alcotest prop_roundtrip_random;
+    ] )

@@ -1,0 +1,309 @@
+(* Solver unit tests on hand-built PAGs: each edge kind's traversal rule,
+   context matching, budget exhaustion, depth capping, and the
+   flows-to/points-to duality. *)
+module Pag = Parcfl.Pag
+module B = Parcfl.Pag.Build
+module Ctx = Parcfl.Ctx
+module Config = Parcfl.Config
+module Solver = Parcfl.Solver
+module Query = Parcfl.Query
+
+let session ?(config = Config.default) pag =
+  Solver.make_session ~config ~ctx_store:(Ctx.create_store ()) pag
+
+let objs outcome = List.sort compare (Query.objects outcome.Query.result)
+
+let test_new_assign_chain () =
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let y = B.add_var b "y" in
+  let z = B.add_var b "z" in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:x o;
+  B.assign b ~dst:y ~src:x;
+  B.assign b ~dst:z ~src:y;
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "z -> {o}" [ o ] (objs (Solver.points_to s z));
+  Alcotest.(check (list int)) "x -> {o}" [ o ] (objs (Solver.points_to s x));
+  (* Assignment is directed: nothing flows backwards. *)
+  let w = Solver.points_to s x in
+  Alcotest.(check int) "x used few steps" 0
+    (if w.Query.steps_walked <= 3 then 0 else w.Query.steps_walked)
+
+let test_assign_not_bidirectional () =
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let y = B.add_var b "y" in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:y o;
+  B.assign b ~dst:y ~src:x (* y = x, and y also points to o directly *);
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "x stays empty" [] (objs (Solver.points_to s x))
+
+let test_field_matching () =
+  (* p = o1; q = p; q.f = a (a = oA); x = p.f  =>  x -> {oA}.
+     Unrelated field g must not leak. *)
+  let b = B.create () in
+  let p = B.add_var b "p" in
+  let q = B.add_var b "q" in
+  let a = B.add_var b "a" in
+  let x = B.add_var b "x" in
+  let y = B.add_var b "y" in
+  let o1 = B.add_obj b "o1" in
+  let oa = B.add_obj b "oA" in
+  B.new_edge b ~dst:p o1;
+  B.assign b ~dst:q ~src:p;
+  B.new_edge b ~dst:a oa;
+  B.store b ~base:q 0 ~src:a;
+  B.load b ~dst:x ~base:p 0;
+  B.load b ~dst:y ~base:p 1 (* different field *);
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "x -> {oA}" [ oa ] (objs (Solver.points_to s x));
+  Alcotest.(check (list int)) "y empty" [] (objs (Solver.points_to s y))
+
+let test_field_no_false_alias () =
+  (* Two distinct objects with the same field: no cross-talk. *)
+  let b = B.create () in
+  let p1 = B.add_var b "p1" in
+  let p2 = B.add_var b "p2" in
+  let a1 = B.add_var b "a1" in
+  let a2 = B.add_var b "a2" in
+  let x1 = B.add_var b "x1" in
+  let o1 = B.add_obj b "o1" in
+  let o2 = B.add_obj b "o2" in
+  let oa = B.add_obj b "oA" in
+  let ob = B.add_obj b "oB" in
+  B.new_edge b ~dst:p1 o1;
+  B.new_edge b ~dst:p2 o2;
+  B.new_edge b ~dst:a1 oa;
+  B.new_edge b ~dst:a2 ob;
+  B.store b ~base:p1 0 ~src:a1;
+  B.store b ~base:p2 0 ~src:a2;
+  B.load b ~dst:x1 ~base:p1 0;
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "x1 -> {oA} only" [ oa ]
+    (objs (Solver.points_to s x1))
+
+let test_context_matching () =
+  (* Two call sites into the same identity method: f's caller results stay
+     separate. ret edge then param edge must match the same site. *)
+  let b = B.create () in
+  let formal = B.add_var b "formal" in
+  let retv = B.add_var b "retv" in
+  let a1 = B.add_var b "a1" in
+  let a2 = B.add_var b "a2" in
+  let r1 = B.add_var b "r1" in
+  let r2 = B.add_var b "r2" in
+  let o1 = B.add_obj b "o1" in
+  let o2 = B.add_obj b "o2" in
+  B.new_edge b ~dst:a1 o1;
+  B.new_edge b ~dst:a2 o2;
+  B.param b ~dst:formal ~site:1 ~src:a1;
+  B.param b ~dst:formal ~site:2 ~src:a2;
+  B.assign b ~dst:retv ~src:formal;
+  B.ret b ~dst:r1 ~site:1 ~src:retv;
+  B.ret b ~dst:r2 ~site:2 ~src:retv;
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "r1 -> {o1}" [ o1 ] (objs (Solver.points_to s r1));
+  Alcotest.(check (list int)) "r2 -> {o2}" [ o2 ] (objs (Solver.points_to s r2));
+  (* The formal itself merges both callers (query starts with empty
+     context, partially balanced). *)
+  Alcotest.(check (list int)) "formal -> {o1, o2}" [ o1; o2 ]
+    (objs (Solver.points_to s formal));
+  (* Context-insensitive configuration merges r1/r2. *)
+  let si =
+    session ~config:{ Config.default with Config.context_sensitive = false } pag
+  in
+  Alcotest.(check (list int)) "insensitive r1 -> {o1, o2}" [ o1; o2 ]
+    (objs (Solver.points_to si r1))
+
+let test_ci_site_merges () =
+  (* Same shape, but site 1 collapsed (recursion cycle): matching is off
+     for it, so r1 sees both objects. *)
+  let b = B.create () in
+  let formal = B.add_var b "formal" in
+  let retv = B.add_var b "retv" in
+  let a1 = B.add_var b "a1" in
+  let a2 = B.add_var b "a2" in
+  let r1 = B.add_var b "r1" in
+  let o1 = B.add_obj b "o1" in
+  let o2 = B.add_obj b "o2" in
+  B.new_edge b ~dst:a1 o1;
+  B.new_edge b ~dst:a2 o2;
+  B.param b ~dst:formal ~site:1 ~src:a1;
+  B.param b ~dst:formal ~site:2 ~src:a2;
+  B.assign b ~dst:retv ~src:formal;
+  B.ret b ~dst:r1 ~site:1 ~src:retv;
+  B.mark_ci_site b 1;
+  let pag = B.freeze b in
+  let s = session pag in
+  (* Entering via collapsed ret1 leaves the context empty, so param2 also
+     matches (partially balanced). *)
+  Alcotest.(check (list int)) "r1 -> {o1, o2}" [ o1; o2 ]
+    (objs (Solver.points_to s r1))
+
+let test_global_clears_context () =
+  (* Returning through a global kills the balance requirement:
+     r2 = g and g = formal (via assign_g): r2 sees o1 even though the
+     paths cross call sites unmatched. *)
+  let b = B.create () in
+  let formal = B.add_var b "formal" in
+  let g = B.add_var b ~global:true "g" in
+  let r2 = B.add_var b "r2" in
+  let a1 = B.add_var b "a1" in
+  let o1 = B.add_obj b "o1" in
+  B.new_edge b ~dst:a1 o1;
+  B.param b ~dst:formal ~site:1 ~src:a1;
+  B.assign_global b ~dst:g ~src:formal;
+  B.assign_global b ~dst:r2 ~src:g;
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "r2 -> {o1} through global" [ o1 ]
+    (objs (Solver.points_to s r2))
+
+let test_budget_exhaustion () =
+  (* A long chain with a 5-step budget must abort. *)
+  let b = B.create () in
+  let vars = Array.init 20 (fun i -> B.add_var b (Printf.sprintf "v%d" i)) in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:vars.(0) o;
+  for i = 1 to 19 do
+    B.assign b ~dst:vars.(i) ~src:vars.(i - 1)
+  done;
+  let pag = B.freeze b in
+  let s = session ~config:(Config.with_budget 5 Config.default) pag in
+  let outcome = Solver.points_to s vars.(19) in
+  Alcotest.(check bool) "out of budget" false (Query.completed outcome);
+  Alcotest.(check (list int)) "no objects reported" []
+    (Query.objects outcome.Query.result);
+  (* With enough budget the same query completes. *)
+  let s = session ~config:(Config.with_budget 100 Config.default) pag in
+  Alcotest.(check (list int)) "completes" [ o ]
+    (objs (Solver.points_to s vars.(19)))
+
+let test_depth_cap () =
+  (* A chain of ret edges deeper than the cap must still terminate and
+     stay sound (keep the object reachable). *)
+  let depth = 10 in
+  let b = B.create () in
+  let vars = Array.init (depth + 1) (fun i -> B.add_var b (Printf.sprintf "v%d" i)) in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:vars.(0) o;
+  for i = 1 to depth do
+    B.ret b ~dst:vars.(i) ~site:i ~src:vars.(i - 1)
+  done;
+  let pag = B.freeze b in
+  let config = { Config.default with Config.max_ctx_depth = 3 } in
+  let s = session ~config pag in
+  Alcotest.(check (list int)) "capped but sound" [ o ]
+    (objs (Solver.points_to s vars.(depth)))
+
+let test_unrealisable_path () =
+  (* o flows into site-1's formal; exiting through site-2's param is an
+     unrealisable path and must be rejected. *)
+  let b = B.create () in
+  let a1 = B.add_var b "a1" in
+  let formal = B.add_var b "formal" in
+  let formal2 = B.add_var b "formal2" in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:a1 o;
+  B.param b ~dst:formal ~site:1 ~src:a1;
+  (* query x that reaches formal via ret1 then needs param2: blocked *)
+  let x = B.add_var b "x" in
+  B.ret b ~dst:x ~site:2 ~src:formal2;
+  B.param b ~dst:formal2 ~site:1 ~src:formal;
+  let pag = B.freeze b in
+  let s = session pag in
+  (* Path: x <-ret2- formal2 <-param1- formal <-param1- a1 <-new- o.
+     From x, context [2]; param1 requires top = 1: mismatch. *)
+  Alcotest.(check (list int)) "unrealisable blocked" []
+    (objs (Solver.points_to s x))
+
+let test_flows_to_duality () =
+  (* For every var v and object o on a small graph:
+     o in pts(v) iff v in flowsTo(o). *)
+  let b = B.create () in
+  let p = B.add_var b "p" in
+  let q = B.add_var b "q" in
+  let a = B.add_var b "a" in
+  let x = B.add_var b "x" in
+  let o1 = B.add_obj b "o1" in
+  let oa = B.add_obj b "oA" in
+  B.new_edge b ~dst:p o1;
+  B.assign b ~dst:q ~src:p;
+  B.new_edge b ~dst:a oa;
+  B.store b ~base:q 0 ~src:a;
+  B.load b ~dst:x ~base:p 0;
+  let pag = B.freeze b in
+  let s = session pag in
+  for v = 0 to Pag.n_vars pag - 1 do
+    let pts = objs (Solver.points_to s v) in
+    for o = 0 to Pag.n_objs pag - 1 do
+      let flows =
+        match (Solver.flows_to s o).Query.result with
+        | Query.Points_to pairs -> List.map fst pairs
+        | Query.Out_of_budget -> []
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "duality v%d o%d" v o)
+        (List.mem o pts) (List.mem v flows)
+    done
+  done
+
+let test_exhaustive_cycle () =
+  (* A heap cycle: n.next = n; x = n.next. Single-pass may under-
+     approximate; exhaustive mode must find the fact and flag nothing
+     partial at the end. *)
+  let b = B.create () in
+  let n = B.add_var b "n" in
+  let x = B.add_var b "x" in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:n o;
+  B.store b ~base:n 0 ~src:n;
+  B.load b ~dst:x ~base:n 0;
+  let pag = B.freeze b in
+  let s = session ~config:Config.oracle pag in
+  Alcotest.(check (list int)) "x -> {o}" [ o ] (objs (Solver.points_to s x))
+
+let test_oracle_config_rejects_sharing () =
+  let b = B.create () in
+  let _ = B.add_var b "x" in
+  let pag = B.freeze b in
+  let store = Parcfl.Jmp_store.create () in
+  let raised =
+    try
+      ignore
+        (Solver.make_session
+           ~hooks:(Parcfl.Jmp_store.hooks store)
+           ~config:Config.oracle ~ctx_store:(Ctx.create_store ()) pag);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "sharing + exhaustive rejected" true raised
+
+let suite =
+  ( "solver",
+    [
+      Alcotest.test_case "new/assign chain" `Quick test_new_assign_chain;
+      Alcotest.test_case "assign directed" `Quick test_assign_not_bidirectional;
+      Alcotest.test_case "field matching" `Quick test_field_matching;
+      Alcotest.test_case "no false alias across objects" `Quick
+        test_field_no_false_alias;
+      Alcotest.test_case "context matching" `Quick test_context_matching;
+      Alcotest.test_case "collapsed site merges" `Quick test_ci_site_merges;
+      Alcotest.test_case "global clears context" `Quick
+        test_global_clears_context;
+      Alcotest.test_case "budget exhaustion" `Quick test_budget_exhaustion;
+      Alcotest.test_case "context depth cap" `Quick test_depth_cap;
+      Alcotest.test_case "unrealisable path" `Quick test_unrealisable_path;
+      Alcotest.test_case "flows-to duality" `Quick test_flows_to_duality;
+      Alcotest.test_case "exhaustive resolves heap cycle" `Quick
+        test_exhaustive_cycle;
+      Alcotest.test_case "oracle rejects sharing" `Quick
+        test_oracle_config_rejects_sharing;
+    ] )

@@ -1,0 +1,189 @@
+(* Additional solver edge cases: empty graphs, multiple allocations,
+   shared objects across new edges, self-assignments, context clearing
+   through chains, and statistics accounting. *)
+module Pag = Parcfl.Pag
+module B = Parcfl.Pag.Build
+module Ctx = Parcfl.Ctx
+module Config = Parcfl.Config
+module Solver = Parcfl.Solver
+module Query = Parcfl.Query
+module Stats = Parcfl.Stats
+
+let session ?(config = Config.default) ?stats pag =
+  Solver.make_session ?stats ~config ~ctx_store:(Ctx.create_store ()) pag
+
+let objs outcome = List.sort compare (Query.objects outcome.Query.result)
+
+let test_empty_graph () =
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "no edges, no objects" []
+    (objs (Solver.points_to s x))
+
+let test_multiple_allocations () =
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let o1 = B.add_obj b "o1" in
+  let o2 = B.add_obj b "o2" in
+  B.new_edge b ~dst:x o1;
+  B.new_edge b ~dst:x o2;
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "both allocations" [ o1; o2 ]
+    (objs (Solver.points_to s x))
+
+let test_object_shared_across_vars () =
+  (* One abstract object flowing to two unrelated variables must make them
+     aliases but must not connect their other objects. *)
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let y = B.add_var b "y" in
+  let o = B.add_obj b "o" in
+  let oy = B.add_obj b "oy" in
+  B.new_edge b ~dst:x o;
+  B.new_edge b ~dst:y o;
+  B.new_edge b ~dst:y oy;
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (option bool)) "alias via shared object" (Some true)
+    (Solver.may_alias s x y);
+  Alcotest.(check (list int)) "x unpolluted" [ o ] (objs (Solver.points_to s x))
+
+let test_self_assignment () =
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:x o;
+  B.assign b ~dst:x ~src:x;
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "self assign terminates" [ o ]
+    (objs (Solver.points_to s x))
+
+let test_global_chain_clears_and_survives () =
+  (* o -> a -param1-> f -gassign-> g -gassign-> h -param2(pop? no: empty)->
+     after a global, any call-site matching restriction is reset. *)
+  let b = B.create () in
+  let a = B.add_var b "a" in
+  let f = B.add_var b "f" in
+  let g = B.add_var b ~global:true "g" in
+  let h = B.add_var b "h" in
+  let k = B.add_var b "k" in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:a o;
+  B.param b ~dst:f ~site:1 ~src:a;
+  B.assign_global b ~dst:g ~src:f;
+  B.assign_global b ~dst:h ~src:g;
+  (* From h, exit through an unrelated site: allowed because the context
+     was cleared at the global. *)
+  B.param b ~dst:k ~site:2 ~src:h;
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "flows through global" [ o ]
+    (objs (Solver.points_to s k))
+
+let test_stats_accounting () =
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let y = B.add_var b "y" in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:x o;
+  B.assign b ~dst:y ~src:x;
+  let pag = B.freeze b in
+  let stats = Stats.create () in
+  let s = session ~stats pag in
+  let outcome = Solver.points_to s y in
+  let snap = Stats.snapshot stats in
+  Alcotest.(check int) "queries answered" 1 snap.Stats.s_queries_answered;
+  Alcotest.(check int) "walked equals query's" outcome.Query.steps_walked
+    snap.Stats.s_steps_walked;
+  Alcotest.(check int) "walked = 2 pops" 2 outcome.Query.steps_walked;
+  Alcotest.(check int) "no sharing stats" 0 snap.Stats.s_jmp_taken
+
+let test_points_to_in_context () =
+  (* Querying under a specific context restricts param matching. *)
+  let b = B.create () in
+  let a1 = B.add_var b "a1" in
+  let a2 = B.add_var b "a2" in
+  let formal = B.add_var b "formal" in
+  let o1 = B.add_obj b "o1" in
+  let o2 = B.add_obj b "o2" in
+  B.new_edge b ~dst:a1 o1;
+  B.new_edge b ~dst:a2 o2;
+  B.param b ~dst:formal ~site:1 ~src:a1;
+  B.param b ~dst:formal ~site:2 ~src:a2;
+  let pag = B.freeze b in
+  let store = Ctx.create_store () in
+  let s = Solver.make_session ~config:Config.default ~ctx_store:store pag in
+  let c1 = Ctx.push store Ctx.empty 1 in
+  let outcome = Solver.points_to_in s formal c1 in
+  Alcotest.(check (list int)) "only site-1 caller" [ o1 ]
+    (List.sort compare (Query.objects outcome.Query.result))
+
+let test_load_without_store () =
+  let b = B.create () in
+  let p = B.add_var b "p" in
+  let x = B.add_var b "x" in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:p o;
+  B.load b ~dst:x ~base:p 0;
+  let pag = B.freeze b in
+  let s = session pag in
+  Alcotest.(check (list int)) "no store, empty" []
+    (objs (Solver.points_to s x))
+
+let test_store_without_load () =
+  let b = B.create () in
+  let q = B.add_var b "q" in
+  let y = B.add_var b "y" in
+  let o = B.add_obj b "oq" in
+  let ov = B.add_obj b "ov" in
+  B.new_edge b ~dst:q o;
+  B.new_edge b ~dst:y ov;
+  B.store b ~base:q 0 ~src:y;
+  let pag = B.freeze b in
+  let s = session pag in
+  (* FlowsTo of the stored object stops at the store (no matching load). *)
+  match (Solver.flows_to s ov).Query.result with
+  | Query.Out_of_budget -> Alcotest.fail "budget"
+  | Query.Points_to pairs ->
+      Alcotest.(check (list int)) "flows only to y" [ y ]
+        (List.sort_uniq compare (List.map fst pairs))
+
+let test_dedup_pts_pairs () =
+  (* Two paths to the same allocation yield one (object, context) pair. *)
+  let b = B.create () in
+  let x = B.add_var b "x" in
+  let m1 = B.add_var b "m1" in
+  let m2 = B.add_var b "m2" in
+  let src = B.add_var b "src" in
+  let o = B.add_obj b "o" in
+  B.new_edge b ~dst:src o;
+  B.assign b ~dst:m1 ~src;
+  B.assign b ~dst:m2 ~src;
+  B.assign b ~dst:x ~src:m1;
+  B.assign b ~dst:x ~src:m2;
+  let pag = B.freeze b in
+  let s = session pag in
+  match (Solver.points_to s x).Query.result with
+  | Query.Points_to pairs -> Alcotest.(check int) "deduped" 1 (List.length pairs)
+  | Query.Out_of_budget -> Alcotest.fail "budget"
+
+let suite =
+  ( "solver-extra",
+    [
+      Alcotest.test_case "empty graph" `Quick test_empty_graph;
+      Alcotest.test_case "multiple allocations" `Quick test_multiple_allocations;
+      Alcotest.test_case "object shared across vars" `Quick
+        test_object_shared_across_vars;
+      Alcotest.test_case "self assignment" `Quick test_self_assignment;
+      Alcotest.test_case "global clears context chain" `Quick
+        test_global_chain_clears_and_survives;
+      Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+      Alcotest.test_case "points_to_in context" `Quick test_points_to_in_context;
+      Alcotest.test_case "load without store" `Quick test_load_without_store;
+      Alcotest.test_case "store without load" `Quick test_store_without_load;
+      Alcotest.test_case "pts pairs deduped" `Quick test_dedup_pts_pairs;
+    ] )

@@ -1,0 +1,60 @@
+module T = Parcfl.Ascii_table
+module H = Parcfl.Histogram
+
+let test_fmt_int () =
+  Alcotest.(check string) "small" "7" (T.fmt_int 7);
+  Alcotest.(check string) "thousands" "1,234" (T.fmt_int 1234);
+  Alcotest.(check string) "millions" "12,345,678" (T.fmt_int 12_345_678);
+  Alcotest.(check string) "negative" "-1,000" (T.fmt_int (-1000));
+  Alcotest.(check string) "zero" "0" (T.fmt_int 0)
+
+let test_fmt_float () =
+  Alcotest.(check string) "default" "3.14" (T.fmt_float 3.14159);
+  Alcotest.(check string) "decimals" "3.1" (T.fmt_float ~decimals:1 3.14159)
+
+let test_table_render () =
+  let out =
+    Format.asprintf "%a"
+      (fun ppf () ->
+        T.render ~header:[ "name"; "count" ] ppf
+          [ [ "alpha"; "1" ]; [ "b"; "22,000" ] ])
+      ()
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "header + rule + 2 rows" true (List.length lines >= 4);
+  (* Right-aligned numeric column: the count column lines up at the end. *)
+  let has_substr s sub =
+    let ls = String.length s and lb = String.length sub in
+    let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "contains data" true (has_substr out "22,000");
+  Alcotest.(check bool) "contains rule" true (has_substr out "-----")
+
+let test_histogram_render () =
+  let out =
+    Format.asprintf "%a"
+      (fun ppf () ->
+        H.render ppf ~bucket_label:H.log2_label
+          ~series:[ ("a", [| 1; 5; 0 |]); ("b", [| 2; 0; 9 |]) ])
+      ()
+  in
+  let has_substr s sub =
+    let ls = String.length s and lb = String.length sub in
+    let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "labels" true (has_substr out "2^2");
+  Alcotest.(check bool) "bars" true (has_substr out "#");
+  (* Empty series list is a no-op, not a crash. *)
+  H.render Format.str_formatter ~bucket_label:H.log2_label ~series:[];
+  ignore (Format.flush_str_formatter ())
+
+let suite =
+  ( "stats-render",
+    [
+      Alcotest.test_case "fmt_int" `Quick test_fmt_int;
+      Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+      Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "histogram render" `Quick test_histogram_render;
+    ] )

@@ -1,0 +1,86 @@
+module Types = Parcfl.Types
+
+let test_hierarchy () =
+  let t = Types.create () in
+  let root = Types.object_root t in
+  let a = Types.declare_class t "A" in
+  let b = Types.declare_class t ~super:a "B" in
+  let c = Types.declare_class t ~super:b "C" in
+  let d = Types.declare_class t "D" in
+  Alcotest.(check (option int)) "super of B" (Some a) (Types.super t b);
+  Alcotest.(check (option int)) "super of A" (Some root) (Types.super t a);
+  Alcotest.(check bool) "C <= A" true (Types.subtype t ~sub:c ~super:a);
+  Alcotest.(check bool) "A !<= C" false (Types.subtype t ~sub:a ~super:c);
+  Alcotest.(check bool) "D <= root" true (Types.subtype t ~sub:d ~super:root);
+  Alcotest.(check bool) "prim subtype only itself" true
+    (Types.subtype t ~sub:Types.prim ~super:Types.prim);
+  Alcotest.(check bool) "prim not subtype of root" false
+    (Types.subtype t ~sub:Types.prim ~super:root);
+  let subs = List.sort compare (Types.subclasses t a) in
+  Alcotest.(check (list int)) "subclasses of A" (List.sort compare [ a; b; c ]) subs
+
+let test_fields () =
+  let t = Types.create () in
+  let a = Types.declare_class t "A" in
+  let b = Types.declare_class t ~super:a "B" in
+  let fa = Types.declare_field t ~owner:a ~name:"x" ~field_typ:a in
+  let fb = Types.declare_field t ~owner:b ~name:"y" ~field_typ:Types.prim in
+  Alcotest.(check string) "field name" "x" (Types.field_name t fa);
+  Alcotest.(check int) "field owner" a (Types.field_owner t fa);
+  Alcotest.(check int) "field typ" a (Types.field_typ t fa);
+  let inherited = Types.fields_of t b in
+  Alcotest.(check bool) "B inherits x" true (List.mem fa inherited);
+  Alcotest.(check bool) "B declares y" true (List.mem fb inherited);
+  Alcotest.(check bool) "B inherits arr" true
+    (List.mem (Types.arr_field t) inherited);
+  Alcotest.(check bool) "A lacks y" false (List.mem fb (Types.fields_of t a))
+
+let test_levels () =
+  let t = Types.create () in
+  (* leaf: only primitive fields -> contains only the inherited arr field
+     (typed Object, level 1), so L(leaf) = 2. *)
+  let leaf = Types.declare_class t "Leaf" in
+  let _ = Types.declare_field t ~owner:leaf ~name:"n" ~field_typ:Types.prim in
+  let mid = Types.declare_class t "Mid" in
+  let _ = Types.declare_field t ~owner:mid ~name:"l" ~field_typ:leaf in
+  let top = Types.declare_class t "Top" in
+  let _ = Types.declare_field t ~owner:top ~name:"m" ~field_typ:mid in
+  Alcotest.(check int) "prim level" 0 (Types.level t Types.prim);
+  Alcotest.(check int) "Object level" 1 (Types.level t (Types.object_root t));
+  Alcotest.(check int) "leaf" 2 (Types.level t leaf);
+  Alcotest.(check int) "mid" 3 (Types.level t mid);
+  Alcotest.(check int) "top" 4 (Types.level t top)
+
+let test_levels_recursive () =
+  (* Mutually recursive types share a level ("modulo recursion"). *)
+  let t = Types.create () in
+  let a = Types.declare_class t "A" in
+  let b = Types.declare_class t "B" in
+  let _ = Types.declare_field t ~owner:a ~name:"b" ~field_typ:b in
+  let _ = Types.declare_field t ~owner:b ~name:"a" ~field_typ:a in
+  Alcotest.(check int) "same level" (Types.level t a) (Types.level t b);
+  (* A self-recursive list node terminates and sits one above Object. *)
+  let node = Types.declare_class t "Node" in
+  let _ = Types.declare_field t ~owner:node ~name:"next" ~field_typ:node in
+  Alcotest.(check bool) "node level finite and >= 2" true
+    (Types.level t node >= 2 && Types.level t node < 100)
+
+let test_level_invalidation () =
+  let t = Types.create () in
+  let a = Types.declare_class t "A" in
+  let l0 = Types.level t a in
+  (* Declaring a deep field afterwards must invalidate the memo. *)
+  let b = Types.declare_class t "B" in
+  let _ = Types.declare_field t ~owner:b ~name:"a" ~field_typ:a in
+  let _ = Types.declare_field t ~owner:a ~name:"self" ~field_typ:b in
+  Alcotest.(check bool) "level recomputed" true (Types.level t a >= l0)
+
+let suite =
+  ( "types",
+    [
+      Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+      Alcotest.test_case "fields" `Quick test_fields;
+      Alcotest.test_case "levels" `Quick test_levels;
+      Alcotest.test_case "recursive levels" `Quick test_levels_recursive;
+      Alcotest.test_case "level invalidation" `Quick test_level_invalidation;
+    ] )

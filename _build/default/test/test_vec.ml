@@ -1,0 +1,73 @@
+module Vec = Parcfl.Vec
+
+let check_int = Alcotest.(check int)
+
+let test_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get 7" 49 (Vec.get v 7);
+  Vec.set v 7 0;
+  check_int "set 7" 0 (Vec.get v 7);
+  Alcotest.check_raises "oob get" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 100))
+
+let test_pop_top () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (option int)) "top" (Some 3) (Vec.top v);
+  Alcotest.(check (option int)) "pop" (Some 3) (Vec.pop v);
+  Alcotest.(check (option int)) "pop" (Some 2) (Vec.pop v);
+  Alcotest.(check (option int)) "pop" (Some 1) (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v);
+  Alcotest.(check bool) "empty" true (Vec.is_empty v)
+
+let test_iterators () =
+  let v = Vec.of_list [ 5; 6; 7 ] in
+  check_int "fold sum" 18 (Vec.fold ( + ) 0 v);
+  Alcotest.(check (list int)) "to_list" [ 5; 6; 7 ] (Vec.to_list v);
+  Alcotest.(check (list int)) "map_to_list" [ 10; 12; 14 ]
+    (Vec.map_to_list (fun x -> 2 * x) v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 6) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check (list (pair int int)))
+    "iteri" [ (2, 7); (1, 6); (0, 5) ] !seen
+
+let test_clear_sort () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v);
+  Vec.clear v;
+  check_int "cleared" 0 (Vec.length v);
+  Vec.push v 42;
+  check_int "reusable" 1 (Vec.length v)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun xs -> Vec.to_list (Vec.of_list xs) = xs)
+
+let prop_stack =
+  QCheck.Test.make ~name:"push then pop-all reverses" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      let rec drain acc =
+        match Vec.pop v with None -> acc | Some x -> drain (x :: acc)
+      in
+      drain [] = xs)
+
+let suite =
+  ( "vec",
+    [
+      Alcotest.test_case "push/get/set" `Quick test_push_get;
+      Alcotest.test_case "pop/top" `Quick test_pop_top;
+      Alcotest.test_case "iterators" `Quick test_iterators;
+      Alcotest.test_case "clear/sort" `Quick test_clear_sort;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_stack;
+    ] )

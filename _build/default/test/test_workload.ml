@@ -1,0 +1,110 @@
+(* The benchmark generator: determinism, well-formedness of every profile,
+   and the structural properties the evaluation relies on. *)
+module Pag = Parcfl.Pag
+module Profile = Parcfl.Profile
+module Genprog = Parcfl.Genprog
+module Suite = Parcfl.Suite
+module Wellformed = Parcfl.Wellformed
+module Ir = Parcfl.Ir
+
+let test_profiles_present () =
+  Alcotest.(check int) "20 benchmarks" 20 (List.length Profile.all);
+  Alcotest.(check bool) "names unique" true
+    (List.length (List.sort_uniq compare Profile.names) = 20);
+  Alcotest.(check bool) "find works" true (Profile.find "tomcat" <> None);
+  Alcotest.(check bool) "find fails" true (Profile.find "nope" = None)
+
+let test_determinism () =
+  let p = Option.get (Profile.find "_209_db") in
+  let a = Genprog.generate p in
+  let b = Genprog.generate p in
+  Alcotest.(check int) "same method count"
+    (Array.length a.Ir.methods)
+    (Array.length b.Ir.methods);
+  Array.iteri
+    (fun i ma ->
+      let mb = b.Ir.methods.(i) in
+      if ma.Ir.m_body <> mb.Ir.m_body then
+        Alcotest.failf "method %d body differs between runs" i)
+    a.Ir.methods;
+  (* And the lowered PAGs agree in size. *)
+  let sa = Suite.build p and sb = Suite.build p in
+  Alcotest.(check int) "same nodes" (Pag.n_nodes sa.Suite.pag)
+    (Pag.n_nodes sb.Suite.pag);
+  Alcotest.(check int) "same edges" (Pag.n_edges sa.Suite.pag)
+    (Pag.n_edges sb.Suite.pag)
+
+let test_tiny_wellformed () =
+  let program = Genprog.generate Profile.tiny in
+  Alcotest.(check (list string)) "no issues" []
+    (List.map
+       (fun i -> Format.asprintf "%a" Wellformed.pp_issue i)
+       (Wellformed.check program))
+
+let test_all_profiles_wellformed () =
+  List.iter
+    (fun p ->
+      let program = Genprog.generate p in
+      match Wellformed.check program with
+      | [] -> ()
+      | i :: _ ->
+          Alcotest.failf "%s ill-formed: %a" p.Profile.name Wellformed.pp_issue
+            i)
+    Profile.all
+
+let test_structure () =
+  List.iter
+    (fun name ->
+      let b = Option.get (Suite.build_by_name name) in
+      let pag = b.Suite.pag in
+      Alcotest.(check bool) (name ^ " has queries") true
+        (Array.length b.Suite.queries > 0);
+      Alcotest.(check bool) (name ^ " queries are app locals") true
+        (Array.for_all
+           (fun v -> Pag.var_is_app pag v && not (Pag.var_is_global pag v))
+           b.Suite.queries);
+      Alcotest.(check bool) (name ^ " has heap accesses") true
+        (let loads = ref false in
+         Pag.iter_edges pag (function
+           | Pag.Load _ -> loads := true
+           | _ -> ());
+         !loads);
+      Alcotest.(check bool) (name ^ " has context-insensitive sites") true
+        (* every profile injects some recursion *)
+        (let found = ref false in
+         for s = 0 to 10_000 do
+           if Pag.site_is_ci pag s then found := true
+         done;
+         !found);
+      (* Type levels feed the scheduler: containers must be deeper than
+         Object. *)
+      let types = b.Suite.program.Ir.types in
+      let deep = ref 0 in
+      for t = 0 to Parcfl.Types.n_classes types - 1 do
+        if Parcfl.Types.level types t > 2 then incr deep
+      done;
+      Alcotest.(check bool) (name ^ " has deep types") true (!deep > 0))
+    [ "_200_check"; "luindex" ]
+
+let test_relative_scale () =
+  (* DaCapo profiles must have more queries relative to PAG size than
+     JVM98 ones — the paper's library-code observation. *)
+  let density name =
+    let b = Option.get (Suite.build_by_name name) in
+    float_of_int (Array.length b.Suite.queries)
+    /. float_of_int (Pag.n_nodes b.Suite.pag)
+  in
+  Alcotest.(check bool) "tomcat denser than _201_compress" true
+    (density "tomcat" > density "_201_compress")
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "profiles present" `Quick test_profiles_present;
+      Alcotest.test_case "generation deterministic" `Quick test_determinism;
+      Alcotest.test_case "tiny wellformed" `Quick test_tiny_wellformed;
+      Alcotest.test_case "all profiles wellformed" `Slow
+        test_all_profiles_wellformed;
+      Alcotest.test_case "structure" `Quick test_structure;
+      Alcotest.test_case "relative scale" `Quick test_relative_scale;
+    ] )
