@@ -771,6 +771,43 @@ let micro ms =
     (List.map (fun (n, e) -> [ n; T.fmt_float ~decimals:0 e ]) rows)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: every run the sections above consume, as   *)
+(* one bench-results JSON (see Parcfl.Bench_json). Written to           *)
+(* bench/results/latest.json and mirrored at the repo root as           *)
+(* BENCH_parcfl.json so CI and plotting scripts have a stable path.     *)
+
+let emit_results ms =
+  let entries =
+    List.concat_map
+      (fun m ->
+        let name = m.bench.P.Suite.profile.P.Profile.name in
+        let entry r = P.Report.to_json ~bench:name r in
+        [
+          entry (Lazy.force m.seq_real);
+          entry (Lazy.force m.d1_real);
+          entry (Lazy.force m.dq1_real);
+          entry (Lazy.force m.naive16_sim);
+          entry (Lazy.force m.d16_sim);
+        ]
+        @ List.map (fun t -> entry (m.dq_sim t)) [ 1; 2; 4; 8; 16 ])
+      ms
+  in
+  let meta =
+    [
+      ("budget", P.Json.Int budget);
+      ("tau_f", P.Json.Int tau_f);
+      ("tau_u", P.Json.Int tau_u);
+      ("sim_threads", P.Json.Int sim_threads);
+      ("benchmarks", P.Json.Int (List.length ms));
+    ]
+  in
+  List.iter
+    (fun path ->
+      P.Bench_json.write ~path ~meta entries;
+      Format.printf "results -> %s@." path)
+    [ "bench/results/latest.json"; "BENCH_parcfl.json" ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -810,4 +847,5 @@ let () =
       | "micro" -> micro ms
       | s -> Format.printf "unknown section %S (skipped)@." s)
     sections;
+  emit_results ms;
   Format.printf "@.done.@."

@@ -39,6 +39,24 @@ let sim_arg =
   in
   Arg.(value & flag & info [ "sim" ] ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Record per-worker solver events (query start/end, jmp hits, early \
+     terminations, budget exhaustion) and write them as Chrome \
+     trace_event JSON to $(docv) — open in chrome://tracing or Perfetto."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let bench_json_arg =
+  let doc =
+    "Append the run's machine-readable results (mode, threads, wall clock \
+     or makespan, ratio saved, histograms) as a bench-results JSON file \
+     at $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
+
 let build_bench name =
   match P.Suite.build_by_name name with
   | Some b -> Ok b
@@ -60,31 +78,64 @@ let info_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run bench mode threads budget sim =
+  let run bench mode threads budget sim trace_out bench_json =
     match build_bench bench with
     | Error e ->
         prerr_endline e;
         1
     | Ok b ->
         let solver_config = P.Config.with_budget budget P.Config.default in
+        let tracer =
+          Option.map
+            (fun _ -> P.Tracer.create ~workers:(max 1 threads) ())
+            trace_out
+        in
         let report =
           if sim then
             P.Runner.simulate ~tau_f:P.Profile.default_tau_f
               ~tau_u:P.Profile.default_tau_u ~type_level:b.P.Suite.type_level
-              ~solver_config ~mode ~threads ~queries:b.P.Suite.queries
-              b.P.Suite.pag
+              ~solver_config ?tracer ~mode ~threads
+              ~queries:b.P.Suite.queries b.P.Suite.pag
           else
             P.Runner.run ~tau_f:P.Profile.default_tau_f
               ~tau_u:P.Profile.default_tau_u ~type_level:b.P.Suite.type_level
-              ~solver_config ~mode ~threads ~queries:b.P.Suite.queries
-              b.P.Suite.pag
+              ~solver_config ?tracer ~mode ~threads
+              ~queries:b.P.Suite.queries b.P.Suite.pag
         in
         Format.printf "%a@." (fun ppf -> P.Report.pp_summary ppf) report;
-        0
+        Format.printf "%a@." (fun ppf -> P.Report.pp_histograms ppf) report;
+        let failed = ref false in
+        let write what path f =
+          try f () with
+          | Sys_error msg ->
+              Format.eprintf "parcfl: cannot write %s %S: %s@." what path msg;
+              failed := true
+        in
+        (match (trace_out, tracer) with
+        | Some path, Some tr ->
+            write "trace" path (fun () ->
+                P.Tracer.write_chrome ~path tr;
+                Format.printf "trace: %d events -> %s%s@."
+                  (P.Tracer.n_events tr) path
+                  (let d = P.Tracer.n_dropped tr in
+                   if d > 0 then Printf.sprintf " (%d oldest dropped)" d
+                   else ""))
+        | _ -> ());
+        Option.iter
+          (fun path ->
+            write "bench json" path (fun () ->
+                P.Bench_json.write ~path
+                  ~meta:[ ("budget", P.Json.Int budget) ]
+                  [ P.Report.to_json ~bench report ];
+                Format.printf "bench json -> %s@." path))
+          bench_json;
+        if !failed then 1 else 0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Analyse one benchmark in a given configuration")
-    Term.(const run $ bench_arg $ mode_arg $ threads_arg $ budget_arg $ sim_arg)
+    Term.(
+      const run $ bench_arg $ mode_arg $ threads_arg $ budget_arg $ sim_arg
+      $ trace_out_arg $ bench_json_arg)
 
 let query_cmd =
   let vars_arg =

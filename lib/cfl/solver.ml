@@ -3,6 +3,7 @@ module Ctx = Parcfl_pag.Ctx
 module Pair_set = Parcfl_prim.Pair_set
 module Vec = Parcfl_prim.Vec
 module Counter = Parcfl_conc.Counter
+module Tracer = Parcfl_obs.Tracer
 
 type session = {
   pag : Pag.t;
@@ -12,9 +13,11 @@ type session = {
   matcher : Matcher.t option;
   summaries : Summary.t option;
   stats : Stats.t;
+  tracer : Tracer.t option;
 }
 
-let make_session ?hooks ?matcher ?summaries ?stats ~config ~ctx_store pag =
+let make_session ?hooks ?matcher ?summaries ?stats ?tracer ~config ~ctx_store
+    pag =
   (match (hooks, config.Config.exhaustive) with
   | Some _, true ->
       invalid_arg
@@ -36,6 +39,7 @@ let make_session ?hooks ?matcher ?summaries ?stats ~config ~ctx_store pag =
     matcher;
     summaries;
     stats = (match stats with Some s -> s | None -> Stats.create ());
+    tracer;
   }
 
 let pag s = s.pag
@@ -123,6 +127,12 @@ let make_qstate ?trace ?(no_sharing = false) s worker =
     ft_memo = Hashtbl.create 64;
   }
 
+(* Tracing is off the hot path until enabled: one [None] check per event. *)
+let trace q kind ~var =
+  match q.s.tracer with
+  | None -> ()
+  | Some tr -> Tracer.emit tr ~worker:q.worker kind ~var
+
 (* One node traversal = one step (paper Section II-B3). *)
 let bump q =
   q.steps <- q.steps + 1;
@@ -198,6 +208,7 @@ let with_sharing q dir x c compute =
       | Some s when q.s.config.Config.budget - q.steps < s ->
           q.early_terminated <- true;
           Counter.incr q.s.stats.Stats.early_terminations ~worker:q.worker;
+          trace q Tracer.Early_term ~var:x;
           raise (Out_of_budget_exn s)
       | _ -> ());
       match found.Hooks.finished with
@@ -205,6 +216,7 @@ let with_sharing q dir x c compute =
           q.steps <- q.steps + cost;
           Counter.add q.s.stats.Stats.steps_jumped ~worker:q.worker cost;
           Counter.incr q.s.stats.Stats.jmp_taken ~worker:q.worker;
+          trace q Tracer.Jmp_hit ~var:x;
           Array.to_list targets
       | None ->
           let entry_steps = q.steps in
@@ -543,8 +555,9 @@ let record_unfinished q bdg =
           h.Hooks.record_unfinished fr.f_dir fr.f_var fr.f_ctx ~s)
         q.frames
 
-let run_query s worker start =
+let run_query s worker var start =
   let q = make_qstate s worker in
+  trace q Tracer.Query_start ~var;
   let attempt () =
     let rec go () =
       q.iteration <- q.iteration + 1;
@@ -557,6 +570,7 @@ let run_query s worker start =
   match attempt () with
   | set ->
       Counter.incr s.stats.Stats.queries_answered ~worker;
+      trace q Tracer.Query_end ~var;
       ( Query.Points_to
           (List.map
              (fun (a, c) -> (a, Ctx.unsafe_of_int c))
@@ -566,6 +580,8 @@ let run_query s worker start =
       record_unfinished q bdg;
       q.frames <- [];
       Counter.incr s.stats.Stats.queries_out_of_budget ~worker;
+      trace q Tracer.Budget_exhausted ~var;
+      trace q Tracer.Query_end ~var;
       (Query.Out_of_budget, q)
 
 let outcome_of var (result, q) =
@@ -579,12 +595,12 @@ let outcome_of var (result, q) =
   }
 
 let points_to_in ?(worker = 0) s l c =
-  outcome_of l (run_query s worker (fun q -> points_to_set q l c))
+  outcome_of l (run_query s worker l (fun q -> points_to_set q l c))
 
 let points_to ?worker s l = points_to_in ?worker s l Ctx.empty
 
 let flows_to ?(worker = 0) s o =
-  outcome_of o (run_query s worker (fun q -> flows_to_set q o Ctx.empty))
+  outcome_of o (run_query s worker o (fun q -> flows_to_set q o Ctx.empty))
 
 module Witness = struct
   type via =

@@ -27,6 +27,7 @@ val make_session :
   ?matcher:Matcher.t ->
   ?summaries:Summary.t ->
   ?stats:Stats.t ->
+  ?tracer:Parcfl_obs.Tracer.t ->
   config:Config.t ->
   ctx_store:Parcfl_pag.Ctx.store ->
   Parcfl_pag.Pag.t ->
@@ -34,7 +35,10 @@ val make_session :
 (** [matcher] installs the refinement field-match abstraction (see
     {!Matcher}); unrefined load/store pairs are assumed to alias without a
     check. [summaries] installs static assign-closure summaries (see
-    {!Summary}) — precision-neutral traversal shortcuts.
+    {!Summary}) — precision-neutral traversal shortcuts. [tracer] records
+    query start/end, jmp-shortcut hits, early terminations and budget
+    exhaustion per worker (see {!Parcfl_obs.Tracer}); absent, tracing costs
+    one branch per would-be event.
     @raise Invalid_argument when [hooks] is combined with
     [config.exhaustive], or with [matcher]. *)
 

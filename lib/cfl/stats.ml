@@ -9,14 +9,14 @@ type t = {
   queries_out_of_budget : Counter.t;
 }
 
-let create () =
+let create ?stripes () =
   {
-    steps_walked = Counter.create ();
-    steps_jumped = Counter.create ();
-    jmp_taken = Counter.create ();
-    early_terminations = Counter.create ();
-    queries_answered = Counter.create ();
-    queries_out_of_budget = Counter.create ();
+    steps_walked = Counter.create ?stripes ();
+    steps_jumped = Counter.create ?stripes ();
+    jmp_taken = Counter.create ?stripes ();
+    early_terminations = Counter.create ?stripes ();
+    queries_answered = Counter.create ?stripes ();
+    queries_out_of_budget = Counter.create ?stripes ();
   }
 
 let reset t =

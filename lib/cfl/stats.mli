@@ -17,7 +17,9 @@ type t = {
   queries_out_of_budget : Parcfl_conc.Counter.t;
 }
 
-val create : unit -> t
+val create : ?stripes:int -> unit -> t
+(** [stripes] is forwarded to every counter — pass the worker-pool size so
+    each worker gets a private stripe (see {!Parcfl_conc.Counter.create}). *)
 
 val reset : t -> unit
 

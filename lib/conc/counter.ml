@@ -1,9 +1,24 @@
 type t = { stripes : int Atomic.t array }
 
-let default_stripes = 64
+(* [Atomic.make] returns a one-word heap block; stripes allocated in one
+   loop end up adjacent, so neighbouring workers bounce the same cache line
+   between cores (false sharing) — the opposite of what striping is for.
+   Re-homing each atomic as the first field of a cache-line-sized block
+   keeps the accessed word at field 0 (all Atomic primitives operate on
+   field 0 only) while the trailing unit fields act as padding. This is the
+   multicore-magic [copy_as_padded] technique. *)
+let cache_line_words = 8
 
-let create ?(stripes = default_stripes) () =
-  { stripes = Array.init (max 1 stripes) (fun _ -> Atomic.make 0) }
+let padded_atomic v : int Atomic.t =
+  let b = Obj.new_block 0 cache_line_words in
+  Obj.set_field b 0 (Obj.repr (v : int));
+  (Obj.magic b : int Atomic.t)
+
+let default_stripes () = Domain.recommended_domain_count ()
+
+let create ?stripes () =
+  let n = match stripes with Some n -> max 1 n | None -> default_stripes () in
+  { stripes = Array.init n (fun _ -> padded_atomic 0) }
 
 let stripe t worker = t.stripes.(worker mod Array.length t.stripes)
 

@@ -3,12 +3,15 @@
     Analysis statistics (#steps, #jumps, #early-terminations, ...) are bumped
     from every query-processing domain. A single [Atomic.t] would serialise
     the domains on one cache line; striping by worker id keeps increments
-    local and sums on read. *)
+    local and sums on read. Each stripe is padded to its own cache line so
+    that stripes of {e different} workers never contend either. *)
 
 type t
 
 val create : ?stripes:int -> unit -> t
-(** [stripes] defaults to a value comfortably above typical core counts. *)
+(** [stripes] defaults to [Domain.recommended_domain_count ()] — the pool
+    size of a fully parallel run — so each worker of a default pool gets a
+    private stripe. Callers that know their pool size should pass it. *)
 
 val add : t -> worker:int -> int -> unit
 

@@ -44,6 +44,9 @@ struct
 
   let find_opt t k = with_lock (shard t k) (fun tbl -> H.find_opt tbl k)
 
+  let find_map t k f =
+    with_lock (shard t k) (fun tbl -> Option.map f (H.find_opt tbl k))
+
   let mem t k = with_lock (shard t k) (fun tbl -> H.mem tbl k)
 
   let add_if_absent t k v =

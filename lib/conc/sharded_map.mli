@@ -24,6 +24,12 @@ end) : sig
 
   val find_opt : 'v t -> key -> 'v option
 
+  val find_map : 'v t -> key -> ('v -> 'a) -> 'a option
+  (** [find_map t k f] applies [f] to the binding {e while still holding the
+      shard lock}, so [f] can read mutable fields of the stored value
+      without racing a concurrent [update] of the same binding. [f] must be
+      quick and must not touch [t] (the shard lock is not reentrant). *)
+
   val mem : 'v t -> key -> bool
 
   val add_if_absent : 'v t -> key -> 'v -> [ `Added | `Present of 'v ]

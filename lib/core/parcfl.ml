@@ -16,6 +16,8 @@
     - {!Mode}, {!Runner}, {!Report} — the four execution configurations,
       real parallel execution, and the multicore simulator;
     - {!Andersen}, {!Andersen_par} — the whole-program baseline/oracle;
+    - {!Tracer}, {!Json}, {!Bench_json} — observability: per-worker event
+      tracing with Chrome trace export, and machine-readable bench results;
     - {!Profile}, {!Genprog}, {!Suite} — benchmark generation;
     - {!Bitset}, {!Vec}, {!Rng}, ... — substrate data structures. *)
 
@@ -82,9 +84,12 @@ module Null_client = Parcfl_clients.Null_client
 module Cast_client = Parcfl_clients.Cast_client
 module Escape_client = Parcfl_clients.Escape_client
 
-(* Reporting *)
+(* Reporting and observability *)
 module Ascii_table = Parcfl_stats.Ascii_table
 module Histogram = Parcfl_stats.Histogram
+module Tracer = Parcfl_obs.Tracer
+module Json = Parcfl_obs.Json
+module Bench_json = Parcfl_obs.Bench_json
 
 (* Workloads *)
 module Profile = Parcfl_workload.Profile

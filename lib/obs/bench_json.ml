@@ -1,0 +1,12 @@
+let schema_version = 1
+
+let wrap ?(meta = []) entries =
+  Json.Obj
+    ([
+       ("schema", Json.Int schema_version);
+       ("suite", Json.String "parcfl");
+     ]
+    @ meta
+    @ [ ("entries", Json.List entries) ])
+
+let write ~path ?meta entries = Json.write_file ~path (wrap ?meta entries)

@@ -1,0 +1,24 @@
+(** Machine-readable benchmark results.
+
+    One schema for both emitters: the bench harness ([bench/main.ml]) writes
+    the whole evaluation sweep to [bench/results/latest.json] plus the
+    repo-root [BENCH_parcfl.json] perf-trajectory file, and the CLI's
+    [--bench-json] flag writes a single run. A results document is
+
+    {v
+    { "schema": 1, "suite": "parcfl", <meta...>, "entries": [ <entry>... ] }
+    v}
+
+    where each entry is a {!Parcfl_par.Report} rendered by [Report.to_json]
+    (mode, threads, wall seconds, simulated makespan, ratio saved, latency
+    and steps histograms, ...). *)
+
+val schema_version : int
+
+val wrap : ?meta:(string * Json.t) list -> Json.t list -> Json.t
+(** Build a results document from entry values. [meta] bindings (e.g.
+    budget, host, timestamp) are spliced between the schema header and the
+    entries. *)
+
+val write : path:string -> ?meta:(string * Json.t) list -> Json.t list -> unit
+(** [wrap] then {!Json.write_file}. *)

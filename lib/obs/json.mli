@@ -1,0 +1,31 @@
+(** A minimal JSON value type with a printer and parser.
+
+    Just enough JSON for the observability layer — the Chrome trace-event
+    exporter ({!Tracer}) and the bench-results emitter ({!Bench_json}) —
+    without pulling an external dependency into the build. The printer
+    always emits valid JSON (NaN/infinite floats become [null]); the parser
+    accepts anything the printer emits plus ordinary interchange JSON
+    (escapes, [\uXXXX], nested containers). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. Floats keep 12 significant digits and
+    always carry a ['.'] or exponent so they re-parse as [Float]. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document (trailing garbage is an
+    error). Numbers without ['.'] or exponent parse as [Int]. *)
+
+val member : string -> t -> t option
+(** First binding of a key in an [Obj]; [None] otherwise. *)
+
+val write_file : path:string -> t -> unit
+(** Serialise to [path], creating parent directories as needed. *)

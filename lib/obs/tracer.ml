@@ -1,0 +1,140 @@
+type kind =
+  | Query_start
+  | Query_end
+  | Jmp_hit
+  | Early_term
+  | Budget_exhausted
+
+let kind_to_int = function
+  | Query_start -> 0
+  | Query_end -> 1
+  | Jmp_hit -> 2
+  | Early_term -> 3
+  | Budget_exhausted -> 4
+
+let kind_of_int = function
+  | 0 -> Query_start
+  | 1 -> Query_end
+  | 2 -> Jmp_hit
+  | 3 -> Early_term
+  | _ -> Budget_exhausted
+
+let kind_name = function
+  | Query_start | Query_end -> "query"
+  | Jmp_hit -> "jmp_hit"
+  | Early_term -> "early_term"
+  | Budget_exhausted -> "budget_exhausted"
+
+(* Parallel arrays rather than an event record: emitting boxes nothing
+   (floats unbox into the float array) and each ring is written by exactly
+   one worker. *)
+type ring = {
+  kinds : int array;
+  vars : int array;
+  ts : float array;
+  mutable count : int; (* total emitted, including overwritten *)
+  mutable last_ts : float;
+}
+
+type t = {
+  rings : ring array;
+  capacity : int;
+  t0 : float;
+}
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) ~workers () =
+  if workers < 1 then invalid_arg "Tracer.create: workers must be >= 1";
+  if capacity < 1 then invalid_arg "Tracer.create: capacity must be >= 1";
+  {
+    rings =
+      Array.init workers (fun _ ->
+          {
+            kinds = Array.make capacity 0;
+            vars = Array.make capacity 0;
+            ts = Array.make capacity 0.0;
+            count = 0;
+            last_ts = 0.0;
+          });
+    capacity;
+    t0 = Unix.gettimeofday ();
+  }
+
+let workers t = Array.length t.rings
+
+let emit t ~worker kind ~var =
+  if worker >= 0 && worker < Array.length t.rings then begin
+    let r = t.rings.(worker) in
+    let now = (Unix.gettimeofday () -. t.t0) *. 1e6 in
+    let now = if now > r.last_ts then now else r.last_ts in
+    r.last_ts <- now;
+    let i = r.count mod t.capacity in
+    r.kinds.(i) <- kind_to_int kind;
+    r.vars.(i) <- var;
+    r.ts.(i) <- now;
+    r.count <- r.count + 1
+  end
+
+let n_events t =
+  Array.fold_left (fun acc r -> acc + min r.count t.capacity) 0 t.rings
+
+let n_dropped t =
+  Array.fold_left (fun acc r -> acc + max 0 (r.count - t.capacity)) 0 t.rings
+
+let iter_ring t r f =
+  let kept = min r.count t.capacity in
+  let start = r.count - kept in
+  for j = 0 to kept - 1 do
+    let i = (start + j) mod t.capacity in
+    f (kind_of_int r.kinds.(i)) r.vars.(i) r.ts.(i)
+  done
+
+let iter t f =
+  Array.iteri
+    (fun worker r -> iter_ring t r (fun kind var ts -> f ~worker kind ~var ~ts))
+    t.rings
+
+let event ~tid ~ph ~name ~ts ~var extra =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("cat", Json.String "parcfl");
+       ("ph", Json.String ph);
+       ("pid", Json.Int 0);
+       ("tid", Json.Int tid);
+       ("ts", Json.Float ts);
+       ("args", Json.Obj [ ("var", Json.Int var) ]);
+     ]
+    @ extra)
+
+let instant_scope = [ ("s", Json.String "t") ]
+
+let to_json t =
+  let evs = ref [] in
+  Array.iteri
+    (fun tid r ->
+      (* Queries never nest within a worker, so after wrap-around the ring
+         can only start mid-query: skipping to the first retained
+         Query_start restores B/E pairing. *)
+      let started = ref (r.count <= t.capacity) in
+      iter_ring t r (fun kind var ts ->
+          if (not !started) && kind = Query_start then started := true;
+          if !started then
+            let e =
+              match kind with
+              | Query_start -> event ~tid ~ph:"B" ~name:"query" ~ts ~var []
+              | Query_end -> event ~tid ~ph:"E" ~name:"query" ~ts ~var []
+              | (Jmp_hit | Early_term | Budget_exhausted) as k ->
+                  event ~tid ~ph:"i" ~name:(kind_name k) ~ts ~var
+                    instant_scope
+            in
+            evs := e :: !evs))
+    t.rings;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !evs));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome ~path t = Json.write_file ~path (to_json t)

@@ -1,0 +1,54 @@
+(** Per-worker, allocation-light event tracing.
+
+    A tracer holds one fixed-capacity ring buffer per worker domain; emitting
+    an event writes a tag, a variable id and a timestamp into preallocated
+    arrays — no locks, no allocation, no cross-worker traffic on the hot
+    path. When a ring is full the oldest events are overwritten, so tracing
+    a long run costs bounded memory and the trace keeps the most recent
+    window.
+
+    The solver emits {!Query_start}/{!Query_end} around each query plus
+    instants for jmp-store shortcut hits, early terminations and budget
+    exhaustion; the result exports as Chrome [trace_event]-format JSON
+    (load it in [chrome://tracing] or [https://ui.perfetto.dev]). *)
+
+type kind =
+  | Query_start  (** a [points_to]/[flows_to] query begins; arg = variable *)
+  | Query_end  (** the query's outcome is decided (completed or aborted) *)
+  | Jmp_hit  (** a Finished jmp shortcut replayed; arg = the jmp's variable *)
+  | Early_term  (** an Unfinished marker terminated the query early *)
+  | Budget_exhausted  (** the traversal budget ran out *)
+
+val kind_name : kind -> string
+
+type t
+
+val create : ?capacity:int -> workers:int -> unit -> t
+(** One ring of [capacity] events (default 65536) per worker in
+    [0 .. workers-1]. @raise Invalid_argument on non-positive arguments. *)
+
+val workers : t -> int
+
+val emit : t -> worker:int -> kind -> var:int -> unit
+(** Record one event, timestamped now. Timestamps are clamped to be
+    non-decreasing within a worker. Out-of-range [worker] ids are ignored
+    rather than raising — the tracer must never take down an analysis. *)
+
+val n_events : t -> int
+(** Events currently held across all rings. *)
+
+val n_dropped : t -> int
+(** Events overwritten by ring wrap-around. *)
+
+val iter : t -> (worker:int -> kind -> var:int -> ts:float -> unit) -> unit
+(** Visit retained events, per worker in chronological order. [ts] is in
+    microseconds since the tracer was created. *)
+
+val to_json : t -> Json.t
+(** Chrome trace-event JSON: [{"traceEvents": [...]}] with queries as
+    ["B"]/["E"] duration pairs and the other kinds as thread instants.
+    After wrap-around, a worker's leading events up to its first retained
+    {!Query_start} are dropped so the exported nesting stays well formed. *)
+
+val write_chrome : path:string -> t -> unit
+(** [to_json] serialised to [path] (parent directories created). *)

@@ -1,5 +1,7 @@
 module Stats = Parcfl_cfl.Stats
 module Query = Parcfl_cfl.Query
+module Histogram = Parcfl_stats.Histogram
+module Json = Parcfl_obs.Json
 
 type query_stat = {
   qs_var : Parcfl_pag.Pag.var;
@@ -7,6 +9,7 @@ type query_stat = {
   qs_steps_walked : int;
   qs_steps_used : int;
   qs_early_terminated : bool;
+  qs_latency_us : float;
 }
 
 type t = {
@@ -19,9 +22,13 @@ type t = {
   r_n_jumps_unfinished : int;
   r_mean_group_size : float;
   r_jmp_histogram : (int array * int array) option;
+  r_latency_hist : int array;
+  r_steps_hist : int array;
   r_queries : query_stat array;
   r_outcomes : Query.outcome array;
 }
+
+let hist_buckets = 24
 
 let n_jumps t = t.r_n_jumps_finished + t.r_n_jumps_unfinished
 
@@ -33,6 +40,15 @@ let n_completed t =
   Array.fold_left
     (fun acc q -> if q.qs_completed then acc + 1 else acc)
     0 t.r_queries
+
+(* Fraction of the total step demand served by jmp shortcuts instead of
+   traversal; unlike the paper's R_S (= jumped/walked, which exceeds 1 once
+   shortcuts save more than remains to walk) this is a proper ratio. *)
+let ratio_saved t =
+  let walked = t.r_stats.Stats.s_steps_walked
+  and jumped = t.r_stats.Stats.s_steps_jumped in
+  if walked + jumped = 0 then 0.0
+  else float_of_int jumped /. float_of_int (walked + jumped)
 
 let results_by_var t =
   let tbl = Hashtbl.create (Array.length t.r_outcomes) in
@@ -55,3 +71,44 @@ let pp_summary ppf t =
       | Some m -> Format.fprintf ppf " sim_makespan=%d" m
       | None -> ())
     t.r_sim_makespan
+
+let pp_histograms ppf t =
+  Format.fprintf ppf "per-query cost histograms (log2 buckets):@.";
+  Histogram.render ppf ~bucket_label:Histogram.log2_label
+    ~series:
+      [
+        ((if t.r_sim_makespan = None then "latency_us" else "latency_steps"),
+         t.r_latency_hist);
+        ("steps", t.r_steps_hist);
+      ]
+
+let json_of_int_array a =
+  Json.List (Array.to_list (Array.map (fun v -> Json.Int v) a))
+
+let to_json ?bench t =
+  let s = t.r_stats in
+  Json.Obj
+    ((match bench with
+     | Some b -> [ ("bench", Json.String b) ]
+     | None -> [])
+    @ [
+        ("mode", Json.String (Mode.to_string t.r_mode));
+        ("threads", Json.Int t.r_threads);
+        ("sim", Json.Bool (t.r_sim_makespan <> None));
+        ("wall_seconds", Json.Float t.r_wall_seconds);
+        ( "sim_makespan",
+          match t.r_sim_makespan with
+          | Some m -> Json.Int m
+          | None -> Json.Null );
+        ("queries", Json.Int (Array.length t.r_queries));
+        ("completed", Json.Int (n_completed t));
+        ("steps_walked", Json.Int s.Stats.s_steps_walked);
+        ("steps_jumped", Json.Int s.Stats.s_steps_jumped);
+        ("jumps_finished", Json.Int t.r_n_jumps_finished);
+        ("jumps_unfinished", Json.Int t.r_n_jumps_unfinished);
+        ("early_terminations", Json.Int s.Stats.s_early_terminations);
+        ("ratio_saved", Json.Float (ratio_saved t));
+        ("mean_group_size", Json.Float t.r_mean_group_size);
+        ("latency_hist", json_of_int_array t.r_latency_hist);
+        ("steps_hist", json_of_int_array t.r_steps_hist);
+      ])

@@ -1,5 +1,5 @@
-(** The result of one analysis run — everything the evaluation tables and
-    figures consume. *)
+(** The result of one analysis run — everything the evaluation tables,
+    figures and machine-readable emitters consume. *)
 
 type query_stat = {
   qs_var : Parcfl_pag.Pag.var;
@@ -7,6 +7,9 @@ type query_stat = {
   qs_steps_walked : int;  (** node traversals the query actually performed *)
   qs_steps_used : int;    (** budget consumed incl. jmp-shortcut charges *)
   qs_early_terminated : bool;
+  qs_latency_us : float;
+      (** per-query latency: wall microseconds under {!Runner.run},
+          virtual steps under {!Runner.simulate} *)
 }
 
 type t = {
@@ -22,9 +25,19 @@ type t = {
   r_jmp_histogram : (int array * int array) option;
       (** (Finished, Unfinished) jmp counts bucketed by log2 steps saved
           (Fig. 7); [None] without sharing or under simulation *)
+  r_latency_hist : int array;
+      (** per-query latency counts in {!hist_buckets} log2 buckets;
+          sums to the query count *)
+  r_steps_hist : int array;
+      (** per-query steps-walked counts, same bucketing; sums to the
+          query count *)
   r_queries : query_stat array;  (** in issue order *)
   r_outcomes : Parcfl_cfl.Query.outcome array;  (** same order *)
 }
+
+val hist_buckets : int
+(** Bucket count of [r_latency_hist]/[r_steps_hist] (log2 buckets, last
+    bucket absorbs overflow). *)
 
 val n_jumps : t -> int
 
@@ -36,7 +49,20 @@ val n_early_terminations : t -> int
 
 val n_completed : t -> int
 
+val ratio_saved : t -> float
+(** Steps served by jmp shortcuts over total step demand,
+    [jumped / (walked + jumped)] — always in [\[0, 1\]] (the paper's [R_S]
+    = jumped/walked is unbounded; see {!Parcfl_cfl.Stats.ratio_saved}). *)
+
 val results_by_var :
   t -> (Parcfl_pag.Pag.var, Parcfl_cfl.Query.result) Hashtbl.t
 
 val pp_summary : Format.formatter -> t -> unit
+
+val pp_histograms : Format.formatter -> t -> unit
+(** Render [r_latency_hist] and [r_steps_hist] as an ASCII histogram. *)
+
+val to_json : ?bench:string -> t -> Parcfl_obs.Json.t
+(** The bench-results entry for this run: mode, threads, wall/makespan,
+    ratio saved, counters and both histograms (see
+    {!Parcfl_obs.Bench_json}). *)

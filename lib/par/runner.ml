@@ -8,6 +8,7 @@ module Jmp_store = Parcfl_sharing.Jmp_store
 module Schedule = Parcfl_sched.Schedule
 module Work_queue = Parcfl_conc.Work_queue
 module Domain_pool = Parcfl_conc.Domain_pool
+module Histogram = Parcfl_stats.Histogram
 
 let dummy_outcome =
   {
@@ -41,20 +42,47 @@ let offsets_of units =
     units;
   (offsets, !total)
 
-let query_stat_of (o : Query.outcome) =
+let query_stat_of (o : Query.outcome) latency_us =
   {
     Report.qs_var = o.Query.var;
     qs_completed = Query.completed o;
     qs_steps_walked = o.Query.steps_walked;
     qs_steps_used = o.Query.steps_used;
     qs_early_terminated = o.Query.early_terminated;
+    qs_latency_us = latency_us;
   }
 
 let fig7_buckets = 17
 
+(* A worker failure is surfaced by [Domain_pool.run] (real execution) or
+   propagates out of the sequential loop (simulation), so a report is only
+   ever built from a fully executed batch; a leftover dummy means a query
+   was silently skipped — fail loudly rather than hand out a bogus
+   Out_of_budget for it. *)
+let ensure_complete outcomes =
+  Array.iteri
+    (fun i (o : Query.outcome) ->
+      if o.Query.var < 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Par.Runner: query slot %d was never executed (worker failure \
+              swallowed?)"
+             i))
+    outcomes
+
 let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
-    ~mean_group_size ~histogram outcomes =
+    ~mean_group_size ~histogram ~latencies outcomes =
+  ensure_complete outcomes;
   let nf, nu = jumps in
+  let buckets = Report.hist_buckets in
+  let latency_hist =
+    Histogram.of_values ~buckets
+      (Array.map (fun l -> int_of_float l) latencies)
+  in
+  let steps_hist =
+    Histogram.of_values ~buckets
+      (Array.map (fun (o : Query.outcome) -> o.Query.steps_walked) outcomes)
+  in
   {
     Report.r_mode = mode;
     r_threads = threads;
@@ -65,16 +93,19 @@ let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
     r_n_jumps_unfinished = nu;
     r_mean_group_size = mean_group_size;
     r_jmp_histogram = histogram;
-    r_queries = Array.map query_stat_of outcomes;
+    r_latency_hist = latency_hist;
+    r_steps_hist = steps_hist;
+    r_queries =
+      Array.mapi (fun i o -> query_stat_of o latencies.(i)) outcomes;
     r_outcomes = outcomes;
   }
 
 let run ?tau_f ?tau_u ?share_directions ?sched_order_within
     ?sched_order_across ?(type_level = fun _ -> 1)
-    ?(solver_config = Config.default) ~mode ~threads ~queries pag =
+    ?(solver_config = Config.default) ?tracer ~mode ~threads ~queries pag =
   let threads = match mode with Mode.Seq -> 1 | _ -> max 1 threads in
   let ctx_store = Ctx.create_store () in
-  let stats = Stats.create () in
+  let stats = Stats.create ~stripes:threads () in
   let store =
     if Mode.uses_sharing mode then
       Some (Jmp_store.create ?tau_f ?tau_u ?directions:share_directions ())
@@ -82,7 +113,8 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
   in
   let hooks = Option.map Jmp_store.hooks store in
   let session =
-    Solver.make_session ?hooks ~stats ~config:solver_config ~ctx_store pag
+    Solver.make_session ?hooks ~stats ?tracer ~config:solver_config
+      ~ctx_store pag
   in
   let units, mean_group_size =
     make_units ?order_within:sched_order_within
@@ -90,6 +122,7 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
   in
   let offsets, total = offsets_of units in
   let outcomes = Array.make total dummy_outcome in
+  let latencies = Array.make total 0.0 in
   let indexed = Array.mapi (fun i u -> (i, u)) units in
   let queue = Work_queue.create indexed in
   let worker ~worker =
@@ -99,7 +132,11 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
       | Some (i, unit_vars) ->
           Array.iteri
             (fun j v ->
-              outcomes.(offsets.(i) + j) <- Solver.points_to ~worker session v)
+              let t0 = Unix.gettimeofday () in
+              let o = Solver.points_to ~worker session v in
+              latencies.(offsets.(i) + j) <-
+                (Unix.gettimeofday () -. t0) *. 1e6;
+              outcomes.(offsets.(i) + j) <- o)
             unit_vars;
           loop ()
     in
@@ -119,14 +156,14 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
     Option.map (fun s -> Jmp_store.histogram s ~buckets:fig7_buckets) store
   in
   finish_report ~mode ~threads ~wall ~sim_makespan:None ~stats ~jumps
-    ~mean_group_size ~histogram outcomes
+    ~mean_group_size ~histogram ~latencies outcomes
 
 let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
-    ?(type_level = fun _ -> 1) ?(solver_config = Config.default) ~mode
-    ~threads ~queries pag =
+    ?(type_level = fun _ -> 1) ?(solver_config = Config.default) ?tracer
+    ~mode ~threads ~queries pag =
   let threads = match mode with Mode.Seq -> 1 | _ -> max 1 threads in
   let ctx_store = Ctx.create_store () in
-  let stats = Stats.create () in
+  let stats = Stats.create ~stripes:threads () in
   let store =
     if Mode.uses_sharing mode then Some (Sim_store.create ?tau_f ?tau_u ())
     else None
@@ -137,6 +174,7 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
   in
   let offsets, total = offsets_of units in
   let outcomes = Array.make total dummy_outcome in
+  let latencies = Array.make total 0.0 in
   let clocks = Array.make threads 0 in
   (* Discrete-event loop: the next unit always goes to the thread that
      frees up first (ties to the lowest id) — a shared work queue with zero
@@ -159,8 +197,8 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
             match store with
             | None ->
                 let session =
-                  Solver.make_session ~stats ~config:solver_config ~ctx_store
-                    pag
+                  Solver.make_session ~stats ?tracer ~config:solver_config
+                    ~ctx_store pag
                 in
                 let outcome = Solver.points_to ~worker:th session v in
                 (outcome, start + outcome.Query.steps_walked + 1)
@@ -168,7 +206,7 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
                 let qs = Sim_store.begin_query st ~start in
                 let session =
                   Solver.make_session ~hooks:qs.Sim_store.hooks ~stats
-                    ~config:solver_config ~ctx_store pag
+                    ?tracer ~config:solver_config ~ctx_store pag
                 in
                 let outcome = Solver.points_to ~worker:th session v in
                 (* Records become visible when the query completes; the
@@ -185,6 +223,8 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
           in
           let outcome, t_end = finish in
           clocks.(th) <- t_end;
+          (* Virtual latency: the query's span on its thread's clock. *)
+          latencies.(offsets.(i) + j) <- float_of_int (t_end - start);
           outcomes.(offsets.(i) + j) <- outcome)
         unit_vars)
     units;
@@ -196,7 +236,7 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
     | None -> (0, 0)
   in
   finish_report ~mode ~threads ~wall ~sim_makespan:(Some makespan) ~stats
-    ~jumps ~mean_group_size ~histogram:None outcomes
+    ~jumps ~mean_group_size ~histogram:None ~latencies outcomes
 
 let per_query_cost report =
   Array.map

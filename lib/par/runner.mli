@@ -23,6 +23,7 @@ val run :
   ?sched_order_across:bool ->
   ?type_level:(int -> int) ->
   ?solver_config:Parcfl_cfl.Config.t ->
+  ?tracer:Parcfl_obs.Tracer.t ->
   mode:Mode.t ->
   threads:int ->
   queries:Parcfl_pag.Pag.var array ->
@@ -33,7 +34,11 @@ val run :
     defaults to {!Parcfl_cfl.Config.default}. [Seq] mode forces one thread.
     [share_directions], [sched_order_within] and [sched_order_across] are
     ablation knobs (see {!Parcfl_sharing.Jmp_store.create} and
-    {!Parcfl_sched.Schedule.build}). *)
+    {!Parcfl_sched.Schedule.build}). [tracer] records per-worker solver
+    events for Chrome trace export; create it with at least [threads]
+    workers. If a worker raises, the exception propagates out of [run] —
+    no query is ever silently dropped ([Report.t] is only built from a
+    fully executed batch). *)
 
 val simulate :
   ?tau_f:int ->
@@ -42,12 +47,16 @@ val simulate :
   ?sched_order_across:bool ->
   ?type_level:(int -> int) ->
   ?solver_config:Parcfl_cfl.Config.t ->
+  ?tracer:Parcfl_obs.Tracer.t ->
   mode:Mode.t ->
   threads:int ->
   queries:Parcfl_pag.Pag.var array ->
   Parcfl_pag.Pag.t ->
   Report.t
-(** Deterministic; [r_sim_makespan] is set. *)
+(** Deterministic; [r_sim_makespan] is set and [qs_latency_us] holds
+    virtual steps rather than microseconds. Tracer events carry the
+    virtual thread as the worker id. Like {!run}, a solver exception
+    propagates rather than yielding a partial report. *)
 
 val per_query_cost : Report.t -> int array
 (** Steps walked per query (+1 dispatch overhead), in issue order — the

@@ -43,13 +43,21 @@ let create ?(shards = 64) ?(tau_f = 100) ?(tau_u = 10_000)
 
 let skip t dir = t.bwd_only && dir = Hooks.Fwd
 
+(* The [fin]/[unf] fields are mutated by record_finished/record_unfinished
+   under the shard lock, so they must also be *read* under it: copying them
+   out inside [find_map] is what makes a concurrent lookup see either the
+   value before or after a racing record, never a mix. (Reading after
+   [find_opt] returned — the previous code — raced with the writers.) *)
 let lookup t dir var ctx ~steps =
   ignore steps;
   if skip t dir then Hooks.no_jmp
   else
-    match Tbl.find_opt t.tbl (Key.make dir var ctx) with
-  | None -> Hooks.no_jmp
-  | Some r -> { Hooks.unfinished = r.unf; finished = r.fin }
+    match
+      Tbl.find_map t.tbl (Key.make dir var ctx) (fun r ->
+          { Hooks.unfinished = r.unf; finished = r.fin })
+    with
+    | None -> Hooks.no_jmp
+    | Some l -> l
 
 (* The two record kinds share a key; updates go through the shard lock so a
    concurrent reader (which also holds the lock via find_opt) never sees a
@@ -102,23 +110,20 @@ let n_jumps t = n_finished t + n_unfinished t
 let tau_f t = t.tau_f
 let tau_u t = t.tau_u
 
-let bucket_of ~buckets v =
-  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
-  min (buckets - 1) (log2 (max 1 v) 0)
-
 let histogram t ~buckets =
+  let bucket_of = Parcfl_stats.Histogram.bucket ~buckets in
   let fin = Array.make buckets 0 and unf = Array.make buckets 0 in
   let _ =
     Tbl.fold
       (fun _key r () ->
         (match r.fin with
         | Some { Hooks.cost; _ } ->
-            let b = bucket_of ~buckets cost in
+            let b = bucket_of cost in
             fin.(b) <- fin.(b) + 1
         | None -> ());
         match r.unf with
         | Some s ->
-            let b = bucket_of ~buckets s in
+            let b = bucket_of s in
             unf.(b) <- unf.(b) + 1
         | None -> ())
       t.tbl ()

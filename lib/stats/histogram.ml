@@ -1,5 +1,18 @@
 let log2_label i = Printf.sprintf "2^%d" i
 
+let bucket ~buckets v =
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  min (buckets - 1) (log2 (max 1 v) 0)
+
+let of_values ~buckets values =
+  let h = Array.make buckets 0 in
+  Array.iter
+    (fun v ->
+      let b = bucket ~buckets v in
+      h.(b) <- h.(b) + 1)
+    values;
+  h
+
 let render ppf ~bucket_label ~series =
   match series with
   | [] -> ()

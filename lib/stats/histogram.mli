@@ -11,3 +11,10 @@ val render :
 
 val log2_label : int -> string
 (** ["2^i"]. *)
+
+val bucket : buckets:int -> int -> int
+(** The log2 bucket of a value: [bucket ~buckets v = i] iff
+    [2^i <= max 1 v < 2^(i+1)], with the last bucket absorbing overflow. *)
+
+val of_values : buckets:int -> int array -> int array
+(** Bucket every value; the result sums to [Array.length values]. *)

@@ -33,6 +33,22 @@ let test_counter_parallel () =
           done));
   Alcotest.(check int) "parallel sum" 40_000 (Counter.value c)
 
+let test_counter_explicit_stripes () =
+  (* One stripe still sums correctly (all workers collide on it); many
+     stripes wrap worker ids. *)
+  List.iter
+    (fun stripes ->
+      let c = Counter.create ~stripes () in
+      Domain_pool.with_pool ~threads:4 (fun pool ->
+          Domain_pool.run pool (fun ~worker ->
+              for _ = 1 to 5_000 do
+                Counter.incr c ~worker
+              done));
+      Alcotest.(check int)
+        (Printf.sprintf "sum with %d stripes" stripes)
+        20_000 (Counter.value c))
+    [ 1; 3; 64 ]
+
 (* --------------------------- sharded map -------------------------- *)
 
 let test_map_basic () =
@@ -49,6 +65,14 @@ let test_map_basic () =
   Alcotest.(check (option string)) "update remove" None (Int_map.find_opt m 2);
   Int_map.remove m 1;
   Alcotest.(check int) "length" 0 (Int_map.length m)
+
+let test_map_find_map () =
+  let m = Int_map.create ~shards:2 () in
+  ignore (Int_map.add_if_absent m 7 "seven");
+  Alcotest.(check (option int)) "projects under the lock" (Some 5)
+    (Int_map.find_map m 7 String.length);
+  Alcotest.(check (option int)) "absent key" None
+    (Int_map.find_map m 8 String.length)
 
 let test_map_fold_clear () =
   let m = Int_map.create () in
@@ -172,7 +196,10 @@ let suite =
     [
       Alcotest.test_case "counter" `Quick test_counter;
       Alcotest.test_case "counter parallel" `Quick test_counter_parallel;
+      Alcotest.test_case "counter explicit stripes" `Quick
+        test_counter_explicit_stripes;
       Alcotest.test_case "sharded map basic" `Quick test_map_basic;
+      Alcotest.test_case "sharded map find_map" `Quick test_map_find_map;
       Alcotest.test_case "sharded map fold/clear" `Quick test_map_fold_clear;
       Alcotest.test_case "sharded map race" `Quick test_map_race;
       Alcotest.test_case "work queue order" `Quick test_queue_order;

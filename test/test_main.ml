@@ -31,4 +31,5 @@ let () =
       Test_workload.suite;
       Test_clients.suite;
       Test_stats_render.suite;
+      Test_obs.suite;
     ]

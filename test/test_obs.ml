@@ -1,0 +1,265 @@
+(* Observability layer: the hand-rolled JSON printer/parser, the per-worker
+   event tracer with its Chrome trace export, and the report-level
+   histogram/ratio invariants the bench emitter relies on. *)
+module Json = Parcfl.Json
+module Tracer = Parcfl.Tracer
+module Mode = Parcfl.Mode
+module Runner = Parcfl.Runner
+module Report = Parcfl.Report
+module Histogram = Parcfl.Histogram
+
+(* ------------------------------- json ------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("true", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 3.25);
+        ("big", Json.Float 1.5e300);
+        ("str", Json.String "a\"b\\c\nd\te\x01f");
+        ("unicode", Json.String "caf\xc3\xa9");
+        ("list", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trip" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_float_token () =
+  (* Floats must re-parse as Float, ints as Int. *)
+  (match Json.of_string (Json.to_string (Json.Float 4.0)) with
+  | Ok (Json.Float 4.0) -> ()
+  | Ok v -> Alcotest.failf "4.0 became %s" (Json.to_string v)
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string (Json.to_string (Json.Int 4)) with
+  | Ok (Json.Int 4) -> ()
+  | _ -> Alcotest.fail "int 4 does not round-trip");
+  (* Non-finite floats print as null — still valid JSON. *)
+  match Json.of_string (Json.to_string (Json.Float Float.nan)) with
+  | Ok Json.Null -> ()
+  | _ -> Alcotest.fail "nan must serialise as null"
+
+let test_json_parser_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok v -> Alcotest.failf "%S parsed as %s" s (Json.to_string v))
+    [
+      ""; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "nul"; "1 2";
+      "{\"a\":1,}"; "[1] trailing";
+    ]
+
+let test_json_unicode_escape () =
+  match Json.of_string "\"\\u0041\\u00e9\\n\"" with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "escapes decode" "A\xc3\xa9\n" s
+  | Ok v -> Alcotest.failf "unexpected %s" (Json.to_string v)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------ tracer ----------------------------- *)
+
+let trace_events json =
+  match Json.member "traceEvents" json with
+  | Some (Json.List evs) -> evs
+  | _ -> Alcotest.fail "missing traceEvents"
+
+let str_field k ev =
+  match Json.member k ev with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.failf "event missing %S" k
+
+let int_field k ev =
+  match Json.member k ev with
+  | Some (Json.Int i) -> i
+  | _ -> Alcotest.failf "event missing int %S" k
+
+let ts_field ev =
+  match Json.member "ts" ev with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> Alcotest.fail "event missing ts"
+
+(* The structural contract of the export: per thread, timestamps are
+   monotonic, B/E strictly alternate (queries never nest per worker) and
+   every B has its E. *)
+let check_well_formed evs =
+  let per_tid = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let tid = int_field "tid" ev in
+      let prev =
+        match Hashtbl.find_opt per_tid tid with
+        | Some p -> p
+        | None -> (neg_infinity, 0)
+      in
+      let last_ts, depth = prev in
+      let ts = ts_field ev in
+      if ts < last_ts then
+        Alcotest.failf "tid %d: ts %f < %f" tid ts last_ts;
+      let depth =
+        match str_field "ph" ev with
+        | "B" ->
+            if depth <> 0 then Alcotest.failf "tid %d: nested B" tid;
+            1
+        | "E" ->
+            if depth <> 1 then Alcotest.failf "tid %d: E without B" tid;
+            0
+        | "i" -> depth
+        | ph -> Alcotest.failf "unexpected phase %S" ph
+      in
+      Hashtbl.replace per_tid tid (ts, depth))
+    evs;
+  Hashtbl.iter
+    (fun tid (_, depth) ->
+      if depth <> 0 then Alcotest.failf "tid %d: unclosed B" tid)
+    per_tid
+
+let test_tracer_roundtrip () =
+  let tr = Tracer.create ~workers:2 () in
+  for w = 0 to 1 do
+    for q = 0 to 4 do
+      Tracer.emit tr ~worker:w Tracer.Query_start ~var:q;
+      Tracer.emit tr ~worker:w Tracer.Jmp_hit ~var:(100 + q);
+      if q mod 2 = 0 then Tracer.emit tr ~worker:w Tracer.Early_term ~var:q;
+      Tracer.emit tr ~worker:w Tracer.Query_end ~var:q
+    done
+  done;
+  Alcotest.(check int) "all retained" (5 * 2 * 2 + 5 * 2 + 3 * 2)
+    (Tracer.n_events tr);
+  Alcotest.(check int) "nothing dropped" 0 (Tracer.n_dropped tr);
+  let s = Json.to_string (Tracer.to_json tr) in
+  match Json.of_string s with
+  | Error e -> Alcotest.failf "export does not parse: %s" e
+  | Ok json ->
+      let evs = trace_events json in
+      check_well_formed evs;
+      let tids =
+        List.sort_uniq compare (List.map (int_field "tid") evs)
+      in
+      Alcotest.(check (list int)) "both workers present" [ 0; 1 ] tids;
+      let starts =
+        List.filter (fun ev -> str_field "ph" ev = "B") evs
+      in
+      Alcotest.(check int) "10 queries" 10 (List.length starts)
+
+let test_tracer_overflow () =
+  let tr = Tracer.create ~capacity:16 ~workers:1 () in
+  for q = 0 to 99 do
+    Tracer.emit tr ~worker:0 Tracer.Query_start ~var:q;
+    Tracer.emit tr ~worker:0 Tracer.Budget_exhausted ~var:q;
+    Tracer.emit tr ~worker:0 Tracer.Query_end ~var:q
+  done;
+  Alcotest.(check int) "ring is full" 16 (Tracer.n_events tr);
+  Alcotest.(check int) "rest dropped" (300 - 16) (Tracer.n_dropped tr);
+  (* After wrap the export must still be well formed: no orphan E. *)
+  match Json.of_string (Json.to_string (Tracer.to_json tr)) with
+  | Error e -> Alcotest.failf "overflow export does not parse: %s" e
+  | Ok json -> check_well_formed (trace_events json)
+
+let test_tracer_ignores_bad_worker () =
+  let tr = Tracer.create ~workers:1 () in
+  Tracer.emit tr ~worker:5 Tracer.Query_start ~var:0;
+  Tracer.emit tr ~worker:(-1) Tracer.Query_start ~var:0;
+  Alcotest.(check int) "out-of-range workers ignored" 0 (Tracer.n_events tr)
+
+(* --------------------------- histograms ---------------------------- *)
+
+let test_histogram_bucket () =
+  Alcotest.(check int) "0 -> bucket 0" 0 (Histogram.bucket ~buckets:8 0);
+  Alcotest.(check int) "1 -> bucket 0" 0 (Histogram.bucket ~buckets:8 1);
+  Alcotest.(check int) "2 -> bucket 1" 1 (Histogram.bucket ~buckets:8 2);
+  Alcotest.(check int) "255 -> bucket 7" 7 (Histogram.bucket ~buckets:8 255);
+  Alcotest.(check int) "overflow clamps" 7
+    (Histogram.bucket ~buckets:8 max_int);
+  let h = Histogram.of_values ~buckets:8 [| 0; 1; 2; 3; 9; 1_000_000 |] in
+  Alcotest.(check int) "totals preserved" 6 (Array.fold_left ( + ) 0 h)
+
+(* ------------------------ report invariants ------------------------ *)
+
+let bench = lazy (Parcfl.Suite.build Parcfl.Profile.tiny)
+
+let test_report_invariants () =
+  let b = Lazy.force bench in
+  let n_queries = Array.length b.Parcfl.Suite.queries in
+  List.iter
+    (fun (mode, sim) ->
+      let r =
+        if sim then
+          Runner.simulate ~tau_f:5 ~tau_u:50
+            ~type_level:b.Parcfl.Suite.type_level ~mode ~threads:4
+            ~queries:b.Parcfl.Suite.queries b.Parcfl.Suite.pag
+        else
+          Runner.run ~tau_f:5 ~tau_u:50
+            ~type_level:b.Parcfl.Suite.type_level ~mode ~threads:2
+            ~queries:b.Parcfl.Suite.queries b.Parcfl.Suite.pag
+      in
+      let total a = Array.fold_left ( + ) 0 a in
+      Alcotest.(check int) "latency hist sums to query count" n_queries
+        (total r.Report.r_latency_hist);
+      Alcotest.(check int) "steps hist sums to query count" n_queries
+        (total r.Report.r_steps_hist);
+      let rs = Report.ratio_saved r in
+      Alcotest.(check bool) "ratio_saved in [0,1]" true
+        (rs >= 0.0 && rs <= 1.0);
+      if Mode.uses_sharing mode then
+        Alcotest.(check bool) "sharing saves something" true (rs > 0.0)
+      else Alcotest.(check (float 0.0)) "no sharing, no savings" 0.0 rs;
+      (* The bench entry is valid JSON carrying the same numbers. *)
+      match Json.of_string (Json.to_string (Report.to_json ~bench:"t" r)) with
+      | Error e -> Alcotest.failf "report json: %s" e
+      | Ok j ->
+          Alcotest.(check (option string)) "mode field"
+            (Some (Mode.to_string mode))
+            (match Json.member "mode" j with
+            | Some (Json.String s) -> Some s
+            | _ -> None);
+          (match Json.member "ratio_saved" j with
+          | Some (Json.Float f) ->
+              Alcotest.(check (float 1e-9)) "ratio field" rs f
+          | _ -> Alcotest.fail "ratio_saved missing");
+          (match Json.member "queries" j with
+          | Some (Json.Int q) ->
+              Alcotest.(check int) "queries field" n_queries q
+          | _ -> Alcotest.fail "queries missing"))
+    [ (Mode.Seq, false); (Mode.Share, false); (Mode.Share_sched, true) ]
+
+let test_solver_trace_wiring () =
+  (* The runner threads the tracer into the solver: a traced run records
+     exactly one B/E pair per query on the workers that executed them. *)
+  let b = Lazy.force bench in
+  let tracer = Tracer.create ~workers:2 () in
+  let _r =
+    Runner.run ~tau_f:5 ~tau_u:50 ~type_level:b.Parcfl.Suite.type_level
+      ~tracer ~mode:Mode.Share ~threads:2 ~queries:b.Parcfl.Suite.queries
+      b.Parcfl.Suite.pag
+  in
+  match Json.of_string (Json.to_string (Tracer.to_json tracer)) with
+  | Error e -> Alcotest.failf "trace json: %s" e
+  | Ok json ->
+      let evs = trace_events json in
+      check_well_formed evs;
+      let starts = List.filter (fun ev -> str_field "ph" ev = "B") evs in
+      Alcotest.(check int) "one span per query"
+        (Array.length b.Parcfl.Suite.queries)
+        (List.length starts)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json float token" `Quick test_json_float_token;
+      Alcotest.test_case "json parser errors" `Quick test_json_parser_errors;
+      Alcotest.test_case "json unicode escape" `Quick test_json_unicode_escape;
+      Alcotest.test_case "tracer roundtrip" `Quick test_tracer_roundtrip;
+      Alcotest.test_case "tracer overflow" `Quick test_tracer_overflow;
+      Alcotest.test_case "tracer bad worker" `Quick
+        test_tracer_ignores_bad_worker;
+      Alcotest.test_case "histogram bucket" `Quick test_histogram_bucket;
+      Alcotest.test_case "report invariants" `Quick test_report_invariants;
+      Alcotest.test_case "solver trace wiring" `Quick
+        test_solver_trace_wiring;
+    ] )

@@ -139,6 +139,47 @@ let test_per_query_cost () =
     (fun c -> if c < 1 then Alcotest.fail "cost must be >= 1")
     costs
 
+let test_poisoned_query_raises () =
+  (* A query the solver cannot even start (a var id far outside the PAG)
+     must surface as an exception from the runner — never as a silently
+     fabricated outcome in the report. *)
+  let b = Lazy.force bench in
+  let poisoned = Array.append b.Parcfl.Suite.queries [| 1_000_000 |] in
+  let attempt sim =
+    if sim then
+      Runner.simulate ~type_level:b.Parcfl.Suite.type_level
+        ~solver_config:config ~mode:Mode.Naive ~threads:2 ~queries:poisoned
+        b.Parcfl.Suite.pag
+    else
+      Runner.run ~type_level:b.Parcfl.Suite.type_level
+        ~solver_config:config ~mode:Mode.Naive ~threads:2 ~queries:poisoned
+        b.Parcfl.Suite.pag
+  in
+  List.iter
+    (fun sim ->
+      let raised = try ignore (attempt sim); false with _ -> true in
+      Alcotest.(check bool)
+        (if sim then "simulate raises" else "run raises")
+        true raised)
+    [ false; true ]
+
+let test_latency_recorded () =
+  let r = run ~mode:Mode.Share_sched ~threads:2 () in
+  Array.iter
+    (fun q ->
+      if q.Report.qs_latency_us < 0.0 then
+        Alcotest.fail "negative latency")
+    r.Report.r_queries;
+  Alcotest.(check bool) "some query took measurable time" true
+    (Array.exists (fun q -> q.Report.qs_latency_us > 0.0) r.Report.r_queries);
+  (* Simulated latency counts virtual steps: at least 1 per query. *)
+  let rs = run ~mode:Mode.Share_sched ~threads:4 ~sim:true () in
+  Array.iter
+    (fun q ->
+      if q.Report.qs_latency_us < 1.0 then
+        Alcotest.fail "virtual latency below one step")
+    rs.Report.r_queries
+
 let suite =
   ( "par",
     [
@@ -156,4 +197,7 @@ let suite =
       Alcotest.test_case "seq forces one thread" `Quick
         test_seq_forces_one_thread;
       Alcotest.test_case "per-query cost" `Quick test_per_query_cost;
+      Alcotest.test_case "poisoned query raises" `Quick
+        test_poisoned_query_raises;
+      Alcotest.test_case "latency recorded" `Quick test_latency_recorded;
     ] )

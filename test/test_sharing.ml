@@ -220,6 +220,56 @@ let test_sharing_precision () =
       | _ -> ())
     base
 
+(* Concurrent readers must never observe a torn record: before the
+   find_map fix, lookup read the record's mutable fin/unf fields after
+   releasing the shard lock, racing the in-place update in record_*. Two
+   writer domains race first-wins inserts on the same keys while two
+   reader domains check every observed value is one a writer actually
+   wrote. *)
+let test_store_multicore_stress () =
+  let st = Jmp_store.create ~tau_f:1 ~tau_u:1 () in
+  let h = Jmp_store.hooks st in
+  let c = Ctx.empty in
+  let n_keys = 64 and rounds = 400 in
+  let bad = Atomic.make 0 in
+  let writer seed () =
+    for r = 0 to rounds - 1 do
+      for v = 0 to n_keys - 1 do
+        h.Hooks.record_finished Hooks.Bwd v c
+          ~cost:(10 + ((seed + r) mod 8))
+          ~targets:[| (v, c) |];
+        h.Hooks.record_unfinished Hooks.Bwd v c ~s:(100 + ((seed + r) mod 8))
+      done
+    done
+  in
+  let reader () =
+    for _ = 0 to rounds - 1 do
+      for v = 0 to n_keys - 1 do
+        let jmp = h.Hooks.lookup Hooks.Bwd v c ~steps:0 in
+        (match jmp.Hooks.finished with
+        | Some { Hooks.cost; targets } ->
+            if
+              cost < 10 || cost >= 18
+              || Array.length targets <> 1
+              || fst targets.(0) <> v
+            then Atomic.incr bad
+        | None -> ());
+        match jmp.Hooks.unfinished with
+        | Some s -> if s < 100 || s >= 108 then Atomic.incr bad
+        | None -> ()
+      done
+    done
+  in
+  let domains =
+    List.map Domain.spawn [ writer 0; writer 3; reader; reader ]
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no torn reads" 0 (Atomic.get bad);
+  (* First-wins: exactly one record per key survived the write race. *)
+  Alcotest.(check int) "one finished per key" n_keys (Jmp_store.n_finished st);
+  Alcotest.(check int) "one unfinished per key" n_keys
+    (Jmp_store.n_unfinished st)
+
 let suite =
   ( "sharing",
     [
@@ -233,4 +283,6 @@ let suite =
       Alcotest.test_case "no ET with enough budget" `Quick
         test_no_et_with_enough_budget;
       Alcotest.test_case "sharing precision" `Quick test_sharing_precision;
+      Alcotest.test_case "store multicore stress" `Quick
+        test_store_multicore_stress;
     ] )
