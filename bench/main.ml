@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- table1 fig6  -- selected sections
      dune exec bench/main.exe -- -b h2 fig8   -- restrict benchmarks
 
-   Sections: table1 table2 fig6 fig7 fig8 mem micro.
+   Sections: table1 table2 fig6 fig7 fig8 mem ablate refinecmp serve micro.
 
    Figures 6 and 8 report *simulated* multicore speedups: the host has a
    single core, so parallel scaling is measured with the deterministic
@@ -690,6 +690,95 @@ let refinecmp ms =
     "@.(GP = general-purpose configuration — the paper's choice; RF =      refinement. RF wins when early passes prove casts safe; for clients      needing exact sets — null detection — RF degenerates to GP plus      wasted passes, which is why the paper runs GP.)@."
 
 (* ------------------------------------------------------------------ *)
+(* Service: the persistent analysis front end (lib/svc). Drives an      *)
+(* in-process service through submit/pump with a skewed query mix and   *)
+(* reports micro-batching throughput and cross-batch cache behaviour.   *)
+
+let serve_entries : P.Json.t list ref = ref []
+
+let serve ms =
+  let ms = ablation_sample ms in
+  Format.printf
+    "@.== Service: micro-batched serving with a cross-batch cache ==@.@.";
+  let rows =
+    List.map
+      (fun m ->
+        let b = m.bench in
+        let name = b.P.Suite.profile.P.Profile.name in
+        let service =
+          P.Service.create
+            ~config:
+              {
+                P.Service.default_config with
+                P.Service.threads = 2;
+                max_batch = 32;
+                max_wait = 0.0;
+                tau_f = Some tau_f;
+                tau_u = Some tau_u;
+                max_budget = budget;
+              }
+            ~type_level:b.P.Suite.type_level b.P.Suite.pag
+        in
+        let mix = P.Suite.query_mix b ~n:400 in
+        let answered = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        Array.iter
+          (fun v ->
+            P.Service.submit service ~now:(Unix.gettimeofday ())
+              ~respond:(fun _ -> incr answered)
+              (P.Svc_protocol.Query
+                 {
+                   id = !answered;
+                   var = Printf.sprintf "#%d" v;
+                   budget = None;
+                   deadline_ms = None;
+                 });
+            (* max_wait = 0: every pending request is due immediately, so
+               batch size is bounded by arrival concurrency (here: the
+               admission queue depth when we poll). *)
+            ignore
+              (P.Service.pump service ~now:(Unix.gettimeofday ())))
+          mix;
+        P.Service.drain service ~now:(Unix.gettimeofday ());
+        let wall = Unix.gettimeofday () -. t0 in
+        let metrics = P.Service.metrics service in
+        let hits = P.Svc_metrics.get metrics P.Svc_metrics.Cache_hit in
+        let qps =
+          if wall > 0.0 then float_of_int !answered /. wall else 0.0
+        in
+        let hit_rate = P.Svc_metrics.cache_hit_rate metrics in
+        serve_entries :=
+          P.Json.Obj
+            [
+              ("section", P.Json.String "serve");
+              ("bench", P.Json.String name);
+              ("requests", P.Json.Int !answered);
+              ("qps", P.Json.Float qps);
+              ("cache_hit_rate", P.Json.Float hit_rate);
+              ("wall_seconds", P.Json.Float wall);
+              ("stats", P.Service.metrics_json service);
+            ]
+          :: !serve_entries;
+        [
+          name;
+          string_of_int !answered;
+          T.fmt_float ~decimals:0 qps;
+          T.fmt_float hit_rate;
+          string_of_int hits;
+          string_of_int (P.Svc_metrics.get metrics P.Svc_metrics.Batches);
+          T.fmt_float ~decimals:1 (P.Svc_metrics.mean_batch_size metrics);
+        ])
+      ms
+  in
+  T.render
+    ~header:
+      [
+        "Benchmark"; "#req"; "req/s"; "hit rate"; "#hits"; "#batches";
+        "batch sz";
+      ]
+    Format.std_formatter rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per table/figure kernel.         *)
 
 let micro ms =
@@ -791,6 +880,7 @@ let emit_results ms =
         ]
         @ List.map (fun t -> entry (m.dq_sim t)) [ 1; 2; 4; 8; 16 ])
       ms
+    @ List.rev !serve_entries
   in
   let meta =
     [
@@ -821,7 +911,7 @@ let () =
     if sections = [] then
       [
         "table1"; "table2"; "fig6"; "fig7"; "fig8"; "mem"; "ablate";
-        "refinecmp"; "micro";
+        "refinecmp"; "serve"; "micro";
       ]
     else sections
   in
@@ -844,6 +934,7 @@ let () =
       | "mem" -> mem ms
       | "ablate" -> ablate ms
       | "refinecmp" -> refinecmp ms
+      | "serve" -> serve ms
       | "micro" -> micro ms
       | s -> Format.printf "unknown section %S (skipped)@." s)
     sections;

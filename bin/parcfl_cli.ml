@@ -5,6 +5,8 @@
      run                     analyse one benchmark in a given configuration
      query                   answer points-to queries for named variables
      oracle                  cross-check CFL(context-insensitive) vs Andersen
+     serve                   persistent analysis service (stdio / Unix socket)
+     load                    load-generate against a running serve socket
      dot                     dump a benchmark's PAG as Graphviz *)
 
 open Cmdliner
@@ -396,7 +398,7 @@ let save_cmd =
   Cmd.v (Cmd.info "save" ~doc:"Serialise a benchmark PAG to a file")
     Term.(const run $ bench_arg $ path_arg)
 
-let load_cmd =
+let load_pag_cmd =
   let path_arg =
     let doc = "PAG file (see `parcfl save`)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
@@ -417,8 +419,192 @@ let load_cmd =
         0
   in
   Cmd.v
-    (Cmd.info "load" ~doc:"Load a serialised PAG and analyse its app locals")
+    (Cmd.info "load-pag"
+       ~doc:"Load a serialised PAG and analyse its app locals")
     Term.(const run $ path_arg $ mode_arg $ threads_arg $ budget_arg)
+
+let socket_arg =
+  let doc = "Unix domain socket path." in
+  Arg.(
+    value & opt (some string) None & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let stdio_arg =
+    let doc = "Also serve stdin/stdout (default when no --socket)." in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let max_batch_arg =
+    let doc = "Micro-batch size cap." in
+    Arg.(value & opt int 64 & info [ "max-batch" ] ~docv:"N" ~doc)
+  in
+  let window_arg =
+    let doc = "Micro-batch accumulation window, milliseconds." in
+    Arg.(value & opt float 10.0 & info [ "window-ms" ] ~docv:"MS" ~doc)
+  in
+  let queue_cap_arg =
+    let doc = "Admission queue capacity (beyond it, requests are rejected)." in
+    Arg.(value & opt int 1024 & info [ "queue-cap" ] ~docv:"N" ~doc)
+  in
+  let cache_cap_arg =
+    let doc = "Result cache capacity (entries)." in
+    Arg.(value & opt int 4096 & info [ "cache-cap" ] ~docv:"N" ~doc)
+  in
+  let run bench mode threads budget socket stdio max_batch window_ms queue_cap
+      cache_cap trace_out bench_json =
+    match build_bench bench with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok b ->
+        let tracer =
+          Option.map
+            (fun _ -> P.Tracer.create ~workers:(max 1 threads) ())
+            trace_out
+        in
+        let config =
+          {
+            P.Service.threads;
+            mode;
+            max_batch;
+            max_wait = window_ms /. 1000.0;
+            queue_capacity = queue_cap;
+            cache_capacity = cache_cap;
+            max_budget = budget;
+            tau_f = Some P.Profile.default_tau_f;
+            tau_u = Some P.Profile.default_tau_u;
+          }
+        in
+        let service =
+          P.Service.create ~config ?tracer ~type_level:b.P.Suite.type_level
+            b.P.Suite.pag
+        in
+        let stdio = if socket = None then true else stdio in
+        (* Service chatter goes to stderr: stdout is the stdio transport. *)
+        Format.eprintf "parcfl serve: bench=%s mode=%a threads=%d%s%s@." bench
+          (fun ppf -> P.Mode.pp ppf)
+          mode threads
+          (match socket with
+          | Some p -> Printf.sprintf " socket=%s" p
+          | None -> "")
+          (if stdio then " stdio" else "");
+        P.Server.serve ~stdio ?socket_path:socket service;
+        let stats = P.Service.metrics_json service in
+        Format.eprintf "parcfl serve: drained; stats %s@."
+          (P.Json.to_string stats);
+        let failed = ref false in
+        let write what path f =
+          try f () with
+          | Sys_error msg ->
+              Format.eprintf "parcfl: cannot write %s %S: %s@." what path msg;
+              failed := true
+        in
+        (match (trace_out, tracer) with
+        | Some path, Some tr ->
+            write "trace" path (fun () -> P.Tracer.write_chrome ~path tr)
+        | _ -> ());
+        Option.iter
+          (fun path ->
+            write "bench json" path (fun () ->
+                P.Bench_json.write ~path
+                  ~meta:[ ("bench", P.Json.String bench) ]
+                  [ P.Json.Obj [ ("section", P.Json.String "serve"); ("stats", stats) ] ]))
+          bench_json;
+        if !failed then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis service over stdio and/or a Unix \
+          domain socket (micro-batching, cross-batch result cache, \
+          admission control)")
+    Term.(
+      const run $ bench_arg $ mode_arg $ threads_arg $ budget_arg $ socket_arg
+      $ stdio_arg $ max_batch_arg $ window_arg $ queue_cap_arg $ cache_cap_arg
+      $ trace_out_arg $ bench_json_arg)
+
+let load_cmd =
+  let clients_arg =
+    let doc = "Concurrent closed-loop clients (one domain each)." in
+    Arg.(value & opt int 4 & info [ "c"; "clients" ] ~docv:"N" ~doc)
+  in
+  let requests_arg =
+    let doc = "Requests per client." in
+    Arg.(value & opt int 50 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Aggregate target rate, requests/second (0 = unthrottled)." in
+    Arg.(value & opt float 0.0 & info [ "rate" ] ~docv:"QPS" ~doc)
+  in
+  let mix_arg =
+    let doc = "Size of the replayed query mix." in
+    Arg.(value & opt int 256 & info [ "mix" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Query-mix sampling seed." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let hot_share_arg =
+    let doc = "Fraction of draws aimed at the hot query set." in
+    Arg.(value & opt float 0.75 & info [ "hot-share" ] ~docv:"F" ~doc)
+  in
+  let run bench socket clients requests rate mix seed hot_share bench_json =
+    match socket with
+    | None ->
+        prerr_endline "parcfl load: --socket is required";
+        1
+    | Some socket -> (
+        match build_bench bench with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok b ->
+            (* The server must be running the same benchmark: the mix is
+               replayed as stable #<id> references into its PAG. *)
+            let vars = P.Suite.query_mix ~seed ~hot_share b ~n:mix in
+            let queries =
+              Array.map (fun v -> Printf.sprintf "#%d" v) vars
+            in
+            if Array.length queries = 0 then begin
+              prerr_endline "parcfl load: benchmark has no queries";
+              1
+            end
+            else begin
+              let connect = P.Load_gen.connect_unix socket in
+              let summary =
+                P.Load_gen.run ~rate ~connect ~clients
+                  ~requests_per_client:requests ~queries ()
+              in
+              Format.printf "%a@." (fun ppf -> P.Load_gen.pp ppf) summary;
+              (match P.Load_gen.fetch_stats ~connect () with
+              | Ok stats ->
+                  Format.printf "server stats: %s@." (P.Json.to_string stats)
+              | Error e -> Format.eprintf "stats fetch failed: %s@." e);
+              Option.iter
+                (fun path ->
+                  try
+                    P.Bench_json.write ~path
+                      ~meta:[ ("bench", P.Json.String bench) ]
+                      [
+                        P.Json.Obj
+                          [
+                            ("section", P.Json.String "load");
+                            ("summary", P.Load_gen.to_json summary);
+                          ];
+                      ]
+                  with Sys_error msg ->
+                    Format.eprintf "parcfl: cannot write bench json: %s@." msg)
+                bench_json;
+              if summary.P.Load_gen.ls_errors > 0 then 1 else 0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Replay a benchmark query mix against a running `parcfl serve` \
+          socket and report throughput and latency percentiles")
+    Term.(
+      const run $ bench_arg $ socket_arg $ clients_arg $ requests_arg
+      $ rate_arg $ mix_arg $ seed_arg $ hot_share_arg $ bench_json_arg)
 
 let dot_cmd =
   let run bench =
@@ -438,7 +624,7 @@ let main =
   Cmd.group (Cmd.info "parcfl" ~version:"1.0.0" ~doc)
     [
       info_cmd; run_cmd; query_cmd; oracle_cmd; explain_cmd; clients_cmd;
-      analyze_cmd; save_cmd; load_cmd; dot_cmd;
+      analyze_cmd; save_cmd; load_pag_cmd; serve_cmd; load_cmd; dot_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

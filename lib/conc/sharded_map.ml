@@ -68,6 +68,9 @@ struct
   let length t =
     Array.fold_left (fun acc s -> acc + with_lock s H.length) 0 t.shards
 
+  let size t =
+    Array.fold_left (fun acc s -> acc + H.length s.table) 0 t.shards
+
   let fold f t init =
     Array.fold_left
       (fun acc s -> with_lock s (fun tbl -> H.fold f tbl acc))

@@ -41,6 +41,14 @@ end) : sig
   val remove : 'v t -> key -> unit
 
   val length : 'v t -> int
+  (** Exact binding count; takes every shard lock in turn. *)
+
+  val size : 'v t -> int
+  (** Approximate binding count {e without} taking any lock: each shard's
+      counter is read racily, so concurrent writers can make the total drift
+      by a few entries. Safe (no tearing) and O(shards); intended for hot
+      paths that only need a bound — cache-capacity checks, queue-depth
+      style stats — where [length]'s lock sweep would serialise writers. *)
 
   val fold : (key -> 'v -> 'acc -> 'acc) -> 'v t -> 'acc -> 'acc
   (** Snapshot iteration: takes each shard's lock in turn. Intended for

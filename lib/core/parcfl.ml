@@ -18,6 +18,10 @@
     - {!Andersen}, {!Andersen_par} — the whole-program baseline/oracle;
     - {!Tracer}, {!Json}, {!Bench_json} — observability: per-worker event
       tracing with Chrome trace export, and machine-readable bench results;
+    - {!Service}, {!Server}, {!Load_gen}, {!Svc_protocol}, ... — the
+      persistent analysis service: micro-batching, cross-batch caching,
+      admission control, stdio/Unix-socket front ends and a load-generator
+      client;
     - {!Profile}, {!Genprog}, {!Suite} — benchmark generation;
     - {!Bitset}, {!Vec}, {!Rng}, ... — substrate data structures. *)
 
@@ -83,6 +87,17 @@ module Alias_client = Parcfl_clients.Alias_client
 module Null_client = Parcfl_clients.Null_client
 module Cast_client = Parcfl_clients.Cast_client
 module Escape_client = Parcfl_clients.Escape_client
+
+(* Service *)
+module Svc_protocol = Parcfl_svc.Protocol
+module Svc_cache = Parcfl_svc.Cache
+module Svc_admission = Parcfl_svc.Admission
+module Svc_batcher = Parcfl_svc.Batcher
+module Svc_engine = Parcfl_svc.Engine
+module Svc_metrics = Parcfl_svc.Metrics
+module Service = Parcfl_svc.Service
+module Server = Parcfl_svc.Server
+module Load_gen = Parcfl_svc.Load_gen
 
 (* Reporting and observability *)
 module Ascii_table = Parcfl_stats.Ascii_table

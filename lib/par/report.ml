@@ -9,6 +9,8 @@ type query_stat = {
   qs_steps_walked : int;
   qs_steps_used : int;
   qs_early_terminated : bool;
+  qs_start_us : float;
+  qs_end_us : float;
   qs_latency_us : float;
 }
 

@@ -7,9 +7,17 @@ type query_stat = {
   qs_steps_walked : int;  (** node traversals the query actually performed *)
   qs_steps_used : int;    (** budget consumed incl. jmp-shortcut charges *)
   qs_early_terminated : bool;
+  qs_start_us : float;
+      (** when the query began: absolute wall-clock microseconds (epoch)
+          under {!Runner.run}, virtual time in steps under
+          {!Runner.simulate} *)
+  qs_end_us : float;
+      (** when the query's outcome was decided, same clock as
+          [qs_start_us]. Read by the serving layer to enforce per-request
+          deadlines without a second [gettimeofday] call. *)
   qs_latency_us : float;
-      (** per-query latency: wall microseconds under {!Runner.run},
-          virtual steps under {!Runner.simulate} *)
+      (** [qs_end_us -. qs_start_us]: wall microseconds under
+          {!Runner.run}, virtual steps under {!Runner.simulate} *)
 }
 
 type t = {

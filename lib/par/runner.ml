@@ -22,10 +22,13 @@ let dummy_outcome =
 
 (* Work units in issue order, plus the slot offset of each unit's first
    query in the flat outcome array. *)
-let make_units ?order_within ?order_across mode pag queries type_level =
+let make_units ?order_within ?order_across ?plan mode pag queries type_level =
   if Mode.uses_scheduling mode then begin
     let sched =
-      Schedule.build ?order_within ?order_across ~pag ~type_level queries
+      match plan with
+      | Some plan -> Schedule.build_with ?order_within ?order_across plan queries
+      | None ->
+          Schedule.build ?order_within ?order_across ~pag ~type_level queries
     in
     (sched.Schedule.groups, sched.Schedule.mean_group_size)
   end
@@ -42,14 +45,16 @@ let offsets_of units =
     units;
   (offsets, !total)
 
-let query_stat_of (o : Query.outcome) latency_us =
+let query_stat_of (o : Query.outcome) start_us end_us =
   {
     Report.qs_var = o.Query.var;
     qs_completed = Query.completed o;
     qs_steps_walked = o.Query.steps_walked;
     qs_steps_used = o.Query.steps_used;
     qs_early_terminated = o.Query.early_terminated;
-    qs_latency_us = latency_us;
+    qs_start_us = start_us;
+    qs_end_us = end_us;
+    qs_latency_us = end_us -. start_us;
   }
 
 let fig7_buckets = 17
@@ -71,13 +76,13 @@ let ensure_complete outcomes =
     outcomes
 
 let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
-    ~mean_group_size ~histogram ~latencies outcomes =
+    ~mean_group_size ~histogram ~starts ~ends outcomes =
   ensure_complete outcomes;
   let nf, nu = jumps in
   let buckets = Report.hist_buckets in
   let latency_hist =
     Histogram.of_values ~buckets
-      (Array.map (fun l -> int_of_float l) latencies)
+      (Array.map2 (fun s e -> int_of_float (e -. s)) starts ends)
   in
   let steps_hist =
     Histogram.of_values ~buckets
@@ -96,19 +101,31 @@ let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
     r_latency_hist = latency_hist;
     r_steps_hist = steps_hist;
     r_queries =
-      Array.mapi (fun i o -> query_stat_of o latencies.(i)) outcomes;
+      Array.mapi (fun i o -> query_stat_of o starts.(i) ends.(i)) outcomes;
     r_outcomes = outcomes;
   }
 
 let run ?tau_f ?tau_u ?share_directions ?sched_order_within
-    ?sched_order_across ?(type_level = fun _ -> 1)
-    ?(solver_config = Config.default) ?tracer ~mode ~threads ~queries pag =
+    ?sched_order_across ?sched_plan ?store ?ctx_store
+    ?(type_level = fun _ -> 1) ?(solver_config = Config.default) ?tracer
+    ~mode ~threads ~queries pag =
   let threads = match mode with Mode.Seq -> 1 | _ -> max 1 threads in
-  let ctx_store = Ctx.create_store () in
+  (* A caller-owned jmp store must come with the context store its records
+     were interned in — jmp keys and targets carry context ids that only
+     that store can resolve. *)
+  let ctx_store =
+    match ctx_store with Some s -> s | None -> Ctx.create_store ()
+  in
   let stats = Stats.create ~stripes:threads () in
+  (* A caller-owned store persists jmp edges across runs (the serving
+     layer's cross-batch sharing); without one, a fresh store lives for
+     this batch only. Either way it is consulted only in sharing modes. *)
   let store =
     if Mode.uses_sharing mode then
-      Some (Jmp_store.create ?tau_f ?tau_u ?directions:share_directions ())
+      match store with
+      | Some s -> Some s
+      | None ->
+          Some (Jmp_store.create ?tau_f ?tau_u ?directions:share_directions ())
     else None
   in
   let hooks = Option.map Jmp_store.hooks store in
@@ -118,11 +135,13 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
   in
   let units, mean_group_size =
     make_units ?order_within:sched_order_within
-      ?order_across:sched_order_across mode pag queries type_level
+      ?order_across:sched_order_across ?plan:sched_plan mode pag queries
+      type_level
   in
   let offsets, total = offsets_of units in
   let outcomes = Array.make total dummy_outcome in
-  let latencies = Array.make total 0.0 in
+  let starts = Array.make total 0.0 in
+  let ends = Array.make total 0.0 in
   let indexed = Array.mapi (fun i u -> (i, u)) units in
   let queue = Work_queue.create indexed in
   let worker ~worker =
@@ -134,8 +153,9 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
             (fun j v ->
               let t0 = Unix.gettimeofday () in
               let o = Solver.points_to ~worker session v in
-              latencies.(offsets.(i) + j) <-
-                (Unix.gettimeofday () -. t0) *. 1e6;
+              let t1 = Unix.gettimeofday () in
+              starts.(offsets.(i) + j) <- t0 *. 1e6;
+              ends.(offsets.(i) + j) <- t1 *. 1e6;
               outcomes.(offsets.(i) + j) <- o)
             unit_vars;
           loop ()
@@ -156,7 +176,7 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
     Option.map (fun s -> Jmp_store.histogram s ~buckets:fig7_buckets) store
   in
   finish_report ~mode ~threads ~wall ~sim_makespan:None ~stats ~jumps
-    ~mean_group_size ~histogram ~latencies outcomes
+    ~mean_group_size ~histogram ~starts ~ends outcomes
 
 let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
     ?(type_level = fun _ -> 1) ?(solver_config = Config.default) ?tracer
@@ -174,7 +194,8 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
   in
   let offsets, total = offsets_of units in
   let outcomes = Array.make total dummy_outcome in
-  let latencies = Array.make total 0.0 in
+  let starts = Array.make total 0.0 in
+  let ends = Array.make total 0.0 in
   let clocks = Array.make threads 0 in
   (* Discrete-event loop: the next unit always goes to the thread that
      frees up first (ties to the lowest id) — a shared work queue with zero
@@ -224,7 +245,8 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
           let outcome, t_end = finish in
           clocks.(th) <- t_end;
           (* Virtual latency: the query's span on its thread's clock. *)
-          latencies.(offsets.(i) + j) <- float_of_int (t_end - start);
+          starts.(offsets.(i) + j) <- float_of_int start;
+          ends.(offsets.(i) + j) <- float_of_int t_end;
           outcomes.(offsets.(i) + j) <- outcome)
         unit_vars)
     units;
@@ -236,7 +258,7 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
     | None -> (0, 0)
   in
   finish_report ~mode ~threads ~wall ~sim_makespan:(Some makespan) ~stats
-    ~jumps ~mean_group_size ~histogram:None ~latencies outcomes
+    ~jumps ~mean_group_size ~histogram:None ~starts ~ends outcomes
 
 let per_query_cost report =
   Array.map

@@ -21,6 +21,9 @@ val run :
   ?share_directions:[ `Both | `Bwd_only ] ->
   ?sched_order_within:bool ->
   ?sched_order_across:bool ->
+  ?sched_plan:Parcfl_sched.Schedule.plan ->
+  ?store:Parcfl_sharing.Jmp_store.t ->
+  ?ctx_store:Parcfl_pag.Ctx.store ->
   ?type_level:(int -> int) ->
   ?solver_config:Parcfl_cfl.Config.t ->
   ?tracer:Parcfl_obs.Tracer.t ->
@@ -34,11 +37,22 @@ val run :
     defaults to {!Parcfl_cfl.Config.default}. [Seq] mode forces one thread.
     [share_directions], [sched_order_within] and [sched_order_across] are
     ablation knobs (see {!Parcfl_sharing.Jmp_store.create} and
-    {!Parcfl_sched.Schedule.build}). [tracer] records per-worker solver
-    events for Chrome trace export; create it with at least [threads]
-    workers. If a worker raises, the exception propagates out of [run] —
-    no query is ever silently dropped ([Report.t] is only built from a
-    fully executed batch). *)
+    {!Parcfl_sched.Schedule.build}). [sched_plan] reuses a precomputed
+    {!Parcfl_sched.Schedule.prepare} plan so scheduling a small batch does
+    not re-walk the whole PAG (it must have been prepared against the same
+    [pag]/[type_level]). [store] is a caller-owned jmp store that outlives
+    this run — pass the same store to successive runs and later batches
+    replay shortcuts recorded by earlier ones (the serving layer's
+    cross-batch sharing); when absent, sharing modes create a private store
+    for the batch and [tau_f]/[tau_u]/[share_directions] configure it.
+    A caller-owned [store] MUST be paired with the caller-owned
+    [ctx_store] its records were interned in: jmp keys and targets carry
+    context ids that only that store resolves (a fresh per-run store would
+    raise on them). Pass both or neither.
+    [tracer] records per-worker solver events for Chrome trace export;
+    create it with at least [threads] workers. If a worker raises, the
+    exception propagates out of [run] — no query is ever silently dropped
+    ([Report.t] is only built from a fully executed batch). *)
 
 val simulate :
   ?tau_f:int ->

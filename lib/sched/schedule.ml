@@ -23,8 +23,13 @@ let connection_distances ~pag =
   let through = Scc.longest_path_through ~dag ~weight in
   Array.init n (fun v -> through.(scc.Scc.comp_of.(v)))
 
-let build ?(order_within = true) ?(order_across = true) ~pag ~type_level
-    queries =
+type plan = {
+  root_of : int array;
+  cd : int array;
+  comp_dd : (int, float) Hashtbl.t;
+}
+
+let prepare ~pag ~type_level =
   let n = Pag.n_vars pag in
   (* Grouping: undirected connectivity over direct edges. *)
   let uf = Union_find.create n in
@@ -45,11 +50,15 @@ let build ?(order_within = true) ?(order_across = true) ~pag ~type_level
     | Some d' when d' <= d -> ()
     | _ -> Hashtbl.replace comp_dd r d
   done;
+  { root_of = Array.init n (Union_find.find uf); cd; comp_dd }
+
+let build_with ?(order_within = true) ?(order_across = true) plan queries =
+  let { root_of; cd; comp_dd } = plan in
   (* Collect queries per component. *)
   let comp_queries = Hashtbl.create 64 in
   Array.iter
     (fun v ->
-      let r = Union_find.find uf v in
+      let r = root_of.(v) in
       match Hashtbl.find_opt comp_queries r with
       | Some vec -> Vec.push vec v
       | None ->
@@ -122,5 +131,8 @@ let build ?(order_within = true) ?(order_across = true) ~pag ~type_level
     components;
   flush ();
   { groups = Vec.to_array units; n_components; mean_group_size = mean }
+
+let build ?order_within ?order_across ~pag ~type_level queries =
+  build_with ?order_within ?order_across (prepare ~pag ~type_level) queries
 
 let flat_order t = Array.concat (Array.to_list t.groups)

@@ -32,6 +32,31 @@ type t = {
   mean_group_size : float;  (** the paper's [S_g] (before split/merge) *)
 }
 
+type plan
+(** The PAG-wide precomputation behind {!build}: the direct-relation
+    components, every variable's connection distance, and each component's
+    dependence depth. Building a plan is O(nodes + edges); scheduling a
+    batch against an existing plan is then linear in the {e batch}, not in
+    the graph. A long-lived service scheduling many micro-batches over one
+    loaded PAG prepares once and calls {!build_with} per batch. A plan is
+    immutable and safe to share across domains. *)
+
+val prepare :
+  pag:Parcfl_pag.Pag.t -> type_level:(int -> int) -> plan
+(** [type_level] maps a frontend type id to its containment level [L(t)];
+    it must return 0 for unknown/primitive ([-1]) types. *)
+
+val build_with :
+  ?order_within:bool ->
+  ?order_across:bool ->
+  plan ->
+  Parcfl_pag.Pag.var array ->
+  t
+(** [order_within] (default true) applies the CD ordering inside groups;
+    [order_across] (default true) applies the DD ordering across groups.
+    Disabling either isolates one heuristic's contribution (ablation
+    benches); grouping and load balancing always apply. *)
+
 val build :
   ?order_within:bool ->
   ?order_across:bool ->
@@ -39,13 +64,7 @@ val build :
   type_level:(int -> int) ->
   Parcfl_pag.Pag.var array ->
   t
-(** [type_level] maps a frontend type id to its containment level [L(t)];
-    it must return 0 for unknown/primitive ([-1]) types.
-
-    [order_within] (default true) applies the CD ordering inside groups;
-    [order_across] (default true) applies the DD ordering across groups.
-    Disabling either isolates one heuristic's contribution (ablation
-    benches); grouping and load balancing always apply. *)
+(** [prepare] + [build_with] in one call — the one-shot batch entry point. *)
 
 val connection_distances : pag:Parcfl_pag.Pag.t -> int array
 (** CD per variable (exposed for tests and ablation benches). *)

@@ -1,0 +1,45 @@
+type 'a t = { cap : int; q : 'a Queue.t; lock : Mutex.t }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Svc.Admission.create: capacity must be > 0";
+  { cap = capacity; q = Queue.create (); lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let capacity t = t.cap
+let depth t = with_lock t (fun () -> Queue.length t.q)
+
+let try_add t x =
+  with_lock t (fun () ->
+      if Queue.length t.q >= t.cap then false
+      else begin
+        Queue.add x t.q;
+        true
+      end)
+
+let peek t = with_lock t (fun () -> Queue.peek_opt t.q)
+
+let take t ~max =
+  with_lock t (fun () ->
+      let rec go n acc =
+        if n = 0 then List.rev acc
+        else
+          match Queue.take_opt t.q with
+          | None -> List.rev acc
+          | Some x -> go (n - 1) (x :: acc)
+      in
+      go (Stdlib.max 0 max) [])
+
+let drain t =
+  with_lock t (fun () ->
+      let acc = List.of_seq (Queue.to_seq t.q) in
+      Queue.clear t.q;
+      acc)

@@ -1,0 +1,22 @@
+type t = { max_batch : int; max_wait : float }
+
+let create ?(max_batch = 64) ?(max_wait = 0.01) () =
+  if max_batch <= 0 then invalid_arg "Svc.Batcher.create: max_batch must be > 0";
+  if max_wait < 0.0 then invalid_arg "Svc.Batcher.create: max_wait must be >= 0";
+  { max_batch; max_wait }
+
+let max_batch t = t.max_batch
+let max_wait t = t.max_wait
+
+let due t ~now ~depth ~oldest_arrival =
+  depth > 0
+  && (depth >= t.max_batch
+     ||
+     match oldest_arrival with
+     | Some a -> now -. a >= t.max_wait
+     | None -> false)
+
+let wait_hint t ~now ~oldest_arrival =
+  match oldest_arrival with
+  | None -> None
+  | Some a -> Some (Float.max 0.0 (a +. t.max_wait -. now))

@@ -1,0 +1,28 @@
+(** Micro-batching policy: when is a batch worth forming?
+
+    Incoming queries accumulate in the admission queue until either the
+    batch is {b full} ([max_batch] queries — enough for the scheduler's
+    direct-grouping and CD/DD ordering to pay off and for the domain pool
+    to stay busy) or the {b window} expires ([max_wait] seconds after the
+    oldest query's admission — a hard bound on the queueing latency a
+    request can be charged). The policy is pure: the service feeds it the
+    clock, the queue depth and the oldest arrival time, which keeps every
+    decision unit-testable without sleeping. *)
+
+type t
+
+val create : ?max_batch:int -> ?max_wait:float -> unit -> t
+(** Defaults: [max_batch = 64] queries, [max_wait = 0.01] (10 ms).
+    @raise Invalid_argument when [max_batch <= 0] or [max_wait < 0]. *)
+
+val max_batch : t -> int
+val max_wait : t -> float
+
+val due : t -> now:float -> depth:int -> oldest_arrival:float option -> bool
+(** Should a batch be formed right now? *)
+
+val wait_hint :
+  t -> now:float -> oldest_arrival:float option -> float option
+(** Seconds until the window of the oldest pending request expires —
+    [None] when nothing is pending (block on input), [Some 0.] when
+    already due. Front ends use this as their poll timeout. *)

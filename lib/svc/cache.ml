@@ -1,0 +1,72 @@
+module Query = Parcfl_cfl.Query
+
+type key = { ck_var : int; ck_budget : int; ck_generation : int }
+
+module Map = Parcfl_conc.Sharded_map.Make (struct
+  type t = key
+
+  let equal a b =
+    a.ck_var = b.ck_var
+    && a.ck_budget = b.ck_budget
+    && a.ck_generation = b.ck_generation
+
+  let hash k =
+    let h = (k.ck_var * 0x9e3779b1) lxor (k.ck_budget * 0x85ebca77) in
+    (h lxor (k.ck_generation * 0xc2b2ae3d)) land max_int
+end)
+
+type entry = { outcome : Query.outcome; mutable tick : int }
+
+type t = {
+  map : entry Map.t;
+  cap : int;
+  clock : int Atomic.t;
+  evicted : int Atomic.t;
+}
+
+let create ?(shards = 16) ~capacity () =
+  if capacity <= 0 then invalid_arg "Svc.Cache.create: capacity must be > 0";
+  {
+    map = Map.create ~shards ();
+    cap = capacity;
+    clock = Atomic.make 0;
+    evicted = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+let size t = Map.size t.map
+let evictions t = Atomic.get t.evicted
+
+let find t k =
+  let tick = Atomic.fetch_and_add t.clock 1 in
+  Map.find_map t.map k (fun e ->
+      e.tick <- tick;
+      e.outcome)
+
+(* Drop the oldest entries until ~10% of the capacity is free again, so a
+   stream of inserts pays for the sweep in amortised O(1). The fold/sort
+   snapshot tolerates concurrent ticks: an entry touched between snapshot
+   and removal is evicted a little unfairly, never unsafely. *)
+let evict t =
+  let snapshot =
+    Map.fold (fun k e acc -> (e.tick, k) :: acc) t.map []
+  in
+  let arr = Array.of_list snapshot in
+  Array.sort compare arr;
+  let target = max 1 (t.cap - max 1 (t.cap / 10)) in
+  let excess = Array.length arr - target in
+  for i = 0 to excess - 1 do
+    Map.remove t.map (snd arr.(i));
+    Atomic.incr t.evicted
+  done
+
+let put t k outcome =
+  let tick = Atomic.fetch_and_add t.clock 1 in
+  Map.update t.map k (function
+    | Some e ->
+        e.tick <- tick;
+        Some e
+    | None -> Some { outcome; tick });
+  if Map.size t.map > t.cap then evict t
+
+let clear t = Map.clear t.map

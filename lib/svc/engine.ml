@@ -1,0 +1,110 @@
+module Pag = Parcfl_pag.Pag
+module Config = Parcfl_cfl.Config
+module Mode = Parcfl_par.Mode
+module Runner = Parcfl_par.Runner
+module Report = Parcfl_par.Report
+module Schedule = Parcfl_sched.Schedule
+module Jmp_store = Parcfl_sharing.Jmp_store
+module Ctx = Parcfl_pag.Ctx
+
+type t = {
+  mode : Mode.t;
+  threads : int;
+  solver_config : Config.t;
+  tau_f : int option;
+  tau_u : int option;
+  tracer : Parcfl_obs.Tracer.t option;
+  mutable pag : Pag.t;
+  mutable type_level : int -> int;
+  mutable plan : Schedule.plan;
+  mutable store : Jmp_store.t option;
+  mutable ctx_store : Ctx.store;
+      (* jmp records carry context ids; the store that interned them must
+         outlive them, so it is renewed exactly when the jmp store is *)
+  mutable generation : int;
+  mutable rate : float option;  (* EWMA steps/second *)
+}
+
+let fresh_store t =
+  if Mode.uses_sharing t.mode then
+    Some (Jmp_store.create ?tau_f:t.tau_f ?tau_u:t.tau_u ())
+  else None
+
+let create ?(mode = Mode.Share_sched) ?(threads = 4) ?tau_f ?tau_u
+    ?(solver_config = Config.default) ?tracer ~type_level pag =
+  let t =
+    {
+      mode;
+      threads = max 1 threads;
+      solver_config;
+      tau_f;
+      tau_u;
+      tracer;
+      pag;
+      type_level;
+      plan = Schedule.prepare ~pag ~type_level;
+      store = None;
+      ctx_store = Ctx.create_store ();
+      generation = 0;
+      rate = None;
+    }
+  in
+  t.store <- fresh_store t;
+  t
+
+let pag t = t.pag
+let generation t = t.generation
+let mode t = t.mode
+let threads t = t.threads
+let max_budget t = t.solver_config.Config.budget
+
+let load t ?type_level pag =
+  let type_level = Option.value type_level ~default:t.type_level in
+  t.pag <- pag;
+  t.type_level <- type_level;
+  t.plan <- Schedule.prepare ~pag ~type_level;
+  t.store <- fresh_store t;
+  t.ctx_store <- Ctx.create_store ();
+  t.generation <- t.generation + 1
+
+let jmp_edges t =
+  match t.store with Some s -> Jmp_store.n_jumps s | None -> 0
+
+let steps_per_second t = t.rate
+
+let deadline_budget t ~seconds_left =
+  let cap = max_budget t in
+  if seconds_left <= 0.0 then 1
+  else
+    match t.rate with
+    | None -> cap
+    | Some r ->
+        let affordable = int_of_float (r *. seconds_left) in
+        max 1 (min cap affordable)
+
+let ewma_alpha = 0.3
+
+let observe_rate t report =
+  let wall = report.Report.r_wall_seconds in
+  let steps = Report.total_walked report in
+  if wall > 1e-6 && steps > 0 then begin
+    let sample = float_of_int steps /. wall in
+    t.rate <-
+      Some
+        (match t.rate with
+        | None -> sample
+        | Some r -> (ewma_alpha *. sample) +. ((1.0 -. ewma_alpha) *. r))
+  end
+
+let execute t ~budget queries =
+  let solver_config =
+    Config.with_budget (max 1 (min budget (max_budget t))) t.solver_config
+  in
+  let report =
+    Runner.run ?tau_f:t.tau_f ?tau_u:t.tau_u ~sched_plan:t.plan
+      ?store:t.store ~ctx_store:t.ctx_store ~type_level:t.type_level
+      ~solver_config ?tracer:t.tracer ~mode:t.mode ~threads:t.threads
+      ~queries t.pag
+  in
+  observe_rate t report;
+  report

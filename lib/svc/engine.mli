@@ -1,0 +1,60 @@
+(** The persistent solver state behind the service.
+
+    An engine owns, for its whole lifetime: the loaded PAG, the shared jmp
+    store (so shortcuts recorded by one batch are replayed by every later
+    batch — the paper's data sharing lifted across batches), the
+    precomputed scheduling plan (direct groups + CD/DD, built once per
+    loaded graph instead of once per batch) and the monotone {b generation}
+    counter that versions all of it for the result cache.
+
+    {!execute} runs one micro-batch through {!Parcfl_par.Runner.run} on the
+    configured mode/threads and returns the full report (per-query
+    outcomes, wall-clock start/end stamps for deadline enforcement). It
+    also maintains an exponentially-weighted estimate of the solver's
+    traversal rate (steps/second), which the service uses to translate a
+    wall-clock deadline into a step budget for the solver's existing
+    budget [B]. *)
+
+type t
+
+val create :
+  ?mode:Parcfl_par.Mode.t ->
+  ?threads:int ->
+  ?tau_f:int ->
+  ?tau_u:int ->
+  ?solver_config:Parcfl_cfl.Config.t ->
+  ?tracer:Parcfl_obs.Tracer.t ->
+  type_level:(int -> int) ->
+  Parcfl_pag.Pag.t ->
+  t
+(** Defaults: [mode = Share_sched], [threads = 4],
+    [solver_config = Config.default]. The solver config's budget is the
+    service-wide {e maximum} per-query budget; requests can only lower it. *)
+
+val pag : t -> Parcfl_pag.Pag.t
+val generation : t -> int
+val mode : t -> Parcfl_par.Mode.t
+val threads : t -> int
+
+val max_budget : t -> int
+(** The solver config's budget [B]. *)
+
+val load : t -> ?type_level:(int -> int) -> Parcfl_pag.Pag.t -> unit
+(** Replace the loaded graph: bumps the generation, clears the jmp store
+    and rebuilds the scheduling plan. [type_level] defaults to the previous
+    one (pass it whenever the new graph has its own type hierarchy). *)
+
+val jmp_edges : t -> int
+(** jmp records accumulated across all batches so far. *)
+
+val steps_per_second : t -> float option
+(** EWMA of observed traversal throughput; [None] until a batch with
+    measurable wall time has run. *)
+
+val deadline_budget : t -> seconds_left:float -> int
+(** The step budget a request with [seconds_left] of wall clock can afford
+    under the current rate estimate, clamped to [1 .. max_budget]. With no
+    estimate yet, [max_budget] (optimistic: the first batch calibrates). *)
+
+val execute : t -> budget:int -> Parcfl_pag.Pag.var array -> Parcfl_par.Report.t
+(** Solve one deduplicated batch with per-query budget [budget]. *)

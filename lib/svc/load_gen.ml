@@ -1,0 +1,184 @@
+module Domain_pool = Parcfl_conc.Domain_pool
+module Histogram = Parcfl_stats.Histogram
+module Json = Parcfl_obs.Json
+
+type summary = {
+  ls_clients : int;
+  ls_sent : int;
+  ls_ok : int;
+  ls_cached : int;
+  ls_timeouts : int;
+  ls_rejected : int;
+  ls_errors : int;
+  ls_wall_s : float;
+  ls_throughput : float;
+  ls_p50_us : float;
+  ls_p95_us : float;
+  ls_p99_us : float;
+  ls_max_us : float;
+  ls_latency_hist : int array;
+}
+
+let hist_buckets = 22
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (q *. float_of_int (n - 1)) in
+    sorted.(max 0 (min (n - 1) i))
+
+type tally = {
+  mutable ok : int;
+  mutable cached : int;
+  mutable timeouts : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable latencies : float list;
+}
+
+let classify tally = function
+  | Ok (Protocol.Answer { cached; _ }) ->
+      tally.ok <- tally.ok + 1;
+      if cached then tally.cached <- tally.cached + 1
+  | Ok (Protocol.Timeout _) -> tally.timeouts <- tally.timeouts + 1
+  | Ok (Protocol.Rejected _) -> tally.rejected <- tally.rejected + 1
+  | Ok (Protocol.Error _) | Ok (Protocol.Pong _)
+  | Ok (Protocol.Stats_reply _)
+  | Error _ ->
+      tally.errors <- tally.errors + 1
+
+let connect_unix path () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let round_trip oc ic request =
+  output_string oc (Protocol.request_to_string request ^ "\n");
+  flush oc;
+  match input_line ic with
+  | line -> Protocol.response_of_string line
+  | exception End_of_file -> Error "connection closed"
+
+let client_loop ~rate_per_client ~requests ~queries ~client tally =
+  fun fd ->
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let n_queries = Array.length queries in
+  let t_start = Unix.gettimeofday () in
+  (try
+     for i = 0 to requests - 1 do
+       (if rate_per_client > 0.0 then
+          let due = t_start +. (float_of_int i /. rate_per_client) in
+          let slack = due -. Unix.gettimeofday () in
+          if slack > 0.0 then Unix.sleepf slack);
+       let var = queries.(((client * 7919) + i) mod n_queries) in
+       let id = (client * 1_000_000) + i in
+       let t0 = Unix.gettimeofday () in
+       let reply =
+         round_trip oc ic
+           (Protocol.Query { id; var; budget = None; deadline_ms = None })
+       in
+       let t1 = Unix.gettimeofday () in
+       tally.latencies <- ((t1 -. t0) *. 1e6) :: tally.latencies;
+       classify tally reply;
+       (* A mismatched echo id means the stream desynchronised. *)
+       match reply with
+       | Ok r when Protocol.response_id r <> Some id ->
+           tally.errors <- tally.errors + 1
+       | _ -> ()
+     done
+   with
+  | End_of_file | Sys_error _ -> tally.errors <- tally.errors + 1
+  | Unix.Unix_error _ -> tally.errors <- tally.errors + 1);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let run ?(rate = 0.0) ~connect ~clients ~requests_per_client ~queries () =
+  if clients <= 0 then invalid_arg "Svc.Load_gen.run: clients must be > 0";
+  if requests_per_client <= 0 then
+    invalid_arg "Svc.Load_gen.run: requests_per_client must be > 0";
+  if Array.length queries = 0 then
+    invalid_arg "Svc.Load_gen.run: empty query mix";
+  let tallies =
+    Array.init clients (fun _ ->
+        { ok = 0; cached = 0; timeouts = 0; rejected = 0; errors = 0;
+          latencies = [] })
+  in
+  let rate_per_client = rate /. float_of_int clients in
+  let t0 = Unix.gettimeofday () in
+  Domain_pool.with_pool ~threads:clients (fun pool ->
+      Domain_pool.run pool (fun ~worker ->
+          let fd = connect () in
+          client_loop ~rate_per_client ~requests:requests_per_client ~queries
+            ~client:worker tallies.(worker) fd));
+  let wall = Unix.gettimeofday () -. t0 in
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let latencies =
+    Array.of_list (Array.fold_left (fun acc t -> t.latencies @ acc) [] tallies)
+  in
+  Array.sort compare latencies;
+  let sent = clients * requests_per_client in
+  let responded = Array.length latencies in
+  {
+    ls_clients = clients;
+    ls_sent = sent;
+    ls_ok = sum (fun t -> t.ok);
+    ls_cached = sum (fun t -> t.cached);
+    ls_timeouts = sum (fun t -> t.timeouts);
+    ls_rejected = sum (fun t -> t.rejected);
+    ls_errors = sum (fun t -> t.errors);
+    ls_wall_s = wall;
+    ls_throughput =
+      (if wall > 0.0 then float_of_int responded /. wall else 0.0);
+    ls_p50_us = percentile latencies 0.50;
+    ls_p95_us = percentile latencies 0.95;
+    ls_p99_us = percentile latencies 0.99;
+    ls_max_us = (if responded = 0 then 0.0 else latencies.(responded - 1));
+    ls_latency_hist =
+      Histogram.of_values ~buckets:hist_buckets
+        (Array.map int_of_float latencies);
+  }
+
+let fetch_stats ~connect () =
+  match connect () with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let reply = round_trip oc ic (Protocol.Stats 0) in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match reply with
+      | Ok (Protocol.Stats_reply { stats; _ }) -> Ok stats
+      | Ok r ->
+          Error
+            (Printf.sprintf "unexpected reply %s" (Protocol.response_to_string r))
+      | Error e -> Error e)
+
+let to_json s =
+  Json.Obj
+    [
+      ("clients", Json.Int s.ls_clients);
+      ("sent", Json.Int s.ls_sent);
+      ("ok", Json.Int s.ls_ok);
+      ("cached", Json.Int s.ls_cached);
+      ("timeouts", Json.Int s.ls_timeouts);
+      ("rejected", Json.Int s.ls_rejected);
+      ("errors", Json.Int s.ls_errors);
+      ("wall_seconds", Json.Float s.ls_wall_s);
+      ("throughput_qps", Json.Float s.ls_throughput);
+      ("p50_us", Json.Float s.ls_p50_us);
+      ("p95_us", Json.Float s.ls_p95_us);
+      ("p99_us", Json.Float s.ls_p99_us);
+      ("max_us", Json.Float s.ls_max_us);
+      ( "latency_hist",
+        Json.List (Array.to_list (Array.map (fun n -> Json.Int n) s.ls_latency_hist)) );
+    ]
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>clients=%d sent=%d ok=%d (cached=%d) timeouts=%d rejected=%d \
+     errors=%d@,wall=%.3fs throughput=%.1f req/s@,latency p50=%.0fus \
+     p95=%.0fus p99=%.0fus max=%.0fus@]"
+    s.ls_clients s.ls_sent s.ls_ok s.ls_cached s.ls_timeouts s.ls_rejected
+    s.ls_errors s.ls_wall_s s.ls_throughput s.ls_p50_us s.ls_p95_us
+    s.ls_p99_us s.ls_max_us

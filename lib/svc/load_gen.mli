@@ -1,0 +1,54 @@
+(** Load generator: replay a query mix against a running service.
+
+    Each client runs on its own domain with its own connection and drives
+    the server closed-loop (one outstanding request), optionally paced to
+    a target aggregate rate. Latency is measured client-side per request
+    (write → response line) and merged into percentiles and a log2
+    histogram ({!Parcfl_stats.Histogram}). *)
+
+type summary = {
+  ls_clients : int;
+  ls_sent : int;
+  ls_ok : int;  (** answers, cold or cached *)
+  ls_cached : int;  (** subset of [ls_ok] served from the result cache *)
+  ls_timeouts : int;
+  ls_rejected : int;
+  ls_errors : int;  (** error responses, malformed replies, dead connections *)
+  ls_wall_s : float;
+  ls_throughput : float;  (** responses (of any kind) per second *)
+  ls_p50_us : float;
+  ls_p95_us : float;
+  ls_p99_us : float;
+  ls_max_us : float;
+  ls_latency_hist : int array;  (** log2 us buckets, {!hist_buckets} wide *)
+}
+
+val hist_buckets : int
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [0,1]; 0 on empty input. *)
+
+val run :
+  ?rate:float ->
+  connect:(unit -> Unix.file_descr) ->
+  clients:int ->
+  requests_per_client:int ->
+  queries:string array ->
+  unit ->
+  summary
+(** [rate] is the aggregate target in requests/second, spread evenly over
+    clients; 0 (default) means unthrottled. [queries] are protocol
+    variable references (names or ["#<id>"]), replayed round-robin with a
+    per-client offset. @raise Invalid_argument on no clients, no
+    requests or an empty query mix. *)
+
+val connect_unix : string -> unit -> Unix.file_descr
+(** Connector for a Unix domain socket path. *)
+
+val fetch_stats :
+  connect:(unit -> Unix.file_descr) -> unit -> (Parcfl_obs.Json.t, string) result
+(** One [stats] round trip on a fresh connection. *)
+
+val to_json : summary -> Parcfl_obs.Json.t
+
+val pp : Format.formatter -> summary -> unit

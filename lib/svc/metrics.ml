@@ -1,0 +1,71 @@
+module Counter = Parcfl_conc.Counter
+module Json = Parcfl_obs.Json
+
+type counter =
+  | Admitted
+  | Rejected
+  | Cache_hit
+  | Cache_miss
+  | Completed
+  | Timeout_budget
+  | Timeout_deadline
+  | Batches
+  | Batched_queries
+  | Coalesced
+
+let all =
+  [
+    Admitted; Rejected; Cache_hit; Cache_miss; Completed; Timeout_budget;
+    Timeout_deadline; Batches; Batched_queries; Coalesced;
+  ]
+
+let index = function
+  | Admitted -> 0
+  | Rejected -> 1
+  | Cache_hit -> 2
+  | Cache_miss -> 3
+  | Completed -> 4
+  | Timeout_budget -> 5
+  | Timeout_deadline -> 6
+  | Batches -> 7
+  | Batched_queries -> 8
+  | Coalesced -> 9
+
+let name = function
+  | Admitted -> "admitted"
+  | Rejected -> "rejected"
+  | Cache_hit -> "cache_hits"
+  | Cache_miss -> "cache_misses"
+  | Completed -> "completed"
+  | Timeout_budget -> "timeouts_budget"
+  | Timeout_deadline -> "timeouts_deadline"
+  | Batches -> "batches"
+  | Batched_queries -> "batched_queries"
+  | Coalesced -> "coalesced"
+
+type t = Counter.t array
+
+let create () = Array.init (List.length all) (fun _ -> Counter.create ())
+
+let incr ?(worker = 0) t c = Counter.incr t.(index c) ~worker
+let add ?(worker = 0) t c n = Counter.add t.(index c) ~worker n
+let get t c = Counter.value t.(index c)
+
+let cache_hit_rate t =
+  let h = get t Cache_hit and m = get t Cache_miss in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+
+let mean_batch_size t =
+  let b = get t Batches in
+  if b = 0 then 0.0
+  else float_of_int (get t Batched_queries) /. float_of_int b
+
+let to_json t ~queue_depth ~cache_size =
+  Json.Obj
+    (List.map (fun c -> (name c, Json.Int (get t c))) all
+    @ [
+        ("cache_hit_rate", Json.Float (cache_hit_rate t));
+        ("mean_batch_size", Json.Float (mean_batch_size t));
+        ("queue_depth", Json.Int queue_depth);
+        ("cache_size", Json.Int cache_size);
+      ])

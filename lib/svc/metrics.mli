@@ -1,0 +1,36 @@
+(** Service counters.
+
+    One striped counter ({!Parcfl_conc.Counter}) per event class, bumped by
+    the service loop and readable at any time (a [stats] request snapshots
+    them). The snapshot also carries the two gauges the counters cannot
+    derive — current queue depth and cache size — which the service passes
+    in at read time. *)
+
+type counter =
+  | Admitted  (** queries accepted into the inflight queue *)
+  | Rejected  (** queries refused because the queue was full (backpressure) *)
+  | Cache_hit
+  | Cache_miss
+  | Completed  (** queries answered with a points-to set *)
+  | Timeout_budget  (** answered [Timeout] — step budget exceeded *)
+  | Timeout_deadline  (** answered [Timeout] — wall-clock deadline passed *)
+  | Batches  (** micro-batches executed *)
+  | Batched_queries  (** queries executed across all batches (post-coalesce) *)
+  | Coalesced  (** duplicate in-batch queries folded into one solve *)
+
+type t
+
+val create : unit -> t
+val incr : ?worker:int -> t -> counter -> unit
+val add : ?worker:int -> t -> counter -> int -> unit
+val get : t -> counter -> int
+
+val cache_hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 before any lookup. *)
+
+val mean_batch_size : t -> float
+
+val to_json :
+  t -> queue_depth:int -> cache_size:int -> Parcfl_obs.Json.t
+(** The [stats] response payload: every counter plus derived rates and the
+    two gauges. *)

@@ -1,0 +1,214 @@
+module Json = Parcfl_obs.Json
+
+type request =
+  | Query of {
+      id : int;
+      var : string;
+      budget : int option;
+      deadline_ms : float option;
+    }
+  | Stats of int
+  | Ping of int
+  | Quit
+
+let split_ws line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let int_of_token what tok =
+  match int_of_string_opt tok with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" what tok)
+
+let parse_option acc tok =
+  match (acc, String.index_opt tok '=') with
+  | Error _, _ -> acc
+  | Ok _, None -> Error (Printf.sprintf "malformed option %S (want k=v)" tok)
+  | Ok (budget, deadline), Some i -> (
+      let k = String.sub tok 0 i in
+      let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match k with
+      | "budget" -> (
+          match int_of_string_opt v with
+          | Some b when b > 0 -> Ok (Some b, deadline)
+          | _ -> Error (Printf.sprintf "budget: want a positive integer, got %S" v))
+      | "deadline_ms" -> (
+          match float_of_string_opt v with
+          | Some d when d >= 0.0 -> Ok (budget, Some d)
+          | _ -> Error (Printf.sprintf "deadline_ms: want a non-negative float, got %S" v))
+      | _ -> Error (Printf.sprintf "unknown option %S" k))
+
+let parse_request line =
+  match split_ws line with
+  | [ "quit" ] -> Ok Quit
+  | [ "ping"; id ] -> Result.map (fun id -> Ping id) (int_of_token "ping id" id)
+  | [ "stats"; id ] ->
+      Result.map (fun id -> Stats id) (int_of_token "stats id" id)
+  | "query" :: id :: var :: opts ->
+      Result.bind (int_of_token "query id" id) (fun id ->
+          Result.map
+            (fun (budget, deadline_ms) -> Query { id; var; budget; deadline_ms })
+            (List.fold_left parse_option (Ok (None, None)) opts))
+  | [] -> Error "empty request"
+  | verb :: _ ->
+      Error
+        (Printf.sprintf
+           "unknown request %S (want query|stats|ping|quit)" verb)
+
+let request_to_string = function
+  | Quit -> "quit"
+  | Ping id -> Printf.sprintf "ping %d" id
+  | Stats id -> Printf.sprintf "stats %d" id
+  | Query { id; var; budget; deadline_ms } ->
+      String.concat ""
+        [
+          Printf.sprintf "query %d %s" id var;
+          (match budget with
+          | Some b -> Printf.sprintf " budget=%d" b
+          | None -> "");
+          (match deadline_ms with
+          | Some d -> Printf.sprintf " deadline_ms=%.3f" d
+          | None -> "");
+        ]
+
+type timeout_reason = [ `Budget | `Deadline ]
+
+type response =
+  | Answer of {
+      id : int;
+      var : string;
+      objects : string list;
+      cached : bool;
+      steps : int;
+      latency_us : float;
+    }
+  | Timeout of { id : int; reason : timeout_reason; cached : bool }
+  | Rejected of { id : int; reason : string }
+  | Error of { id : int option; reason : string }
+  | Pong of int
+  | Stats_reply of { id : int; stats : Json.t }
+
+let reason_string = function `Budget -> "budget" | `Deadline -> "deadline"
+
+let response_to_json = function
+  | Answer { id; var; objects; cached; steps; latency_us } ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("status", Json.String "ok");
+          ("var", Json.String var);
+          ("objects", Json.List (List.map (fun o -> Json.String o) objects));
+          ("cached", Json.Bool cached);
+          ("steps", Json.Int steps);
+          ("latency_us", Json.Float latency_us);
+        ]
+  | Timeout { id; reason; cached } ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("status", Json.String "timeout");
+          ("reason", Json.String (reason_string reason));
+          ("cached", Json.Bool cached);
+        ]
+  | Rejected { id; reason } ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("status", Json.String "rejected");
+          ("reason", Json.String reason);
+        ]
+  | Error { id; reason } ->
+      Json.Obj
+        [
+          ( "id",
+            match id with Some id -> Json.Int id | None -> Json.Null );
+          ("status", Json.String "error");
+          ("reason", Json.String reason);
+        ]
+  | Pong id -> Json.Obj [ ("id", Json.Int id); ("status", Json.String "pong") ]
+  | Stats_reply { id; stats } ->
+      Json.Obj
+        [ ("id", Json.Int id); ("status", Json.String "stats"); ("stats", stats) ]
+
+let response_to_string r = Json.to_string (response_to_json r)
+
+let member_int name j =
+  match Json.member name j with Some (Json.Int n) -> Some n | _ -> None
+
+let member_string name j =
+  match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+
+let member_bool name j =
+  match Json.member name j with Some (Json.Bool b) -> Some b | _ -> None
+
+let member_float name j =
+  match Json.member name j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Stdlib.Error (Printf.sprintf "response missing %s" what)
+
+let ( let* ) = Result.bind
+
+let response_of_json j =
+  let* status = require "status" (member_string "status" j) in
+  match status with
+  | "ok" ->
+      let* id = require "id" (member_int "id" j) in
+      let* var = require "var" (member_string "var" j) in
+      let* objects =
+        match Json.member "objects" j with
+        | Some (Json.List l) ->
+            List.fold_left
+              (fun acc o ->
+                let* acc = acc in
+                match o with
+                | Json.String s -> Ok (s :: acc)
+                | _ -> Stdlib.Error "objects: expected strings")
+              (Ok []) l
+            |> Result.map List.rev
+        | _ -> Stdlib.Error "response missing objects"
+      in
+      let* cached = require "cached" (member_bool "cached" j) in
+      let* steps = require "steps" (member_int "steps" j) in
+      let* latency_us = require "latency_us" (member_float "latency_us" j) in
+      Ok (Answer { id; var; objects; cached; steps; latency_us })
+  | "timeout" ->
+      let* id = require "id" (member_int "id" j) in
+      let* reason = require "reason" (member_string "reason" j) in
+      let* reason =
+        match reason with
+        | "budget" -> Ok `Budget
+        | "deadline" -> Ok `Deadline
+        | r -> Stdlib.Error (Printf.sprintf "unknown timeout reason %S" r)
+      in
+      let cached = Option.value ~default:false (member_bool "cached" j) in
+      Ok (Timeout { id; reason; cached })
+  | "rejected" ->
+      let* id = require "id" (member_int "id" j) in
+      let* reason = require "reason" (member_string "reason" j) in
+      Ok (Rejected { id; reason })
+  | "error" ->
+      let* reason = require "reason" (member_string "reason" j) in
+      Ok (Error { id = member_int "id" j; reason })
+  | "pong" ->
+      let* id = require "id" (member_int "id" j) in
+      Ok (Pong id)
+  | "stats" ->
+      let* id = require "id" (member_int "id" j) in
+      let* stats = require "stats" (Json.member "stats" j) in
+      Ok (Stats_reply { id; stats })
+  | s -> Stdlib.Error (Printf.sprintf "unknown response status %S" s)
+
+let response_of_string s = Result.bind (Json.of_string s) response_of_json
+
+let response_id = function
+  | Answer { id; _ }
+  | Timeout { id; _ }
+  | Rejected { id; _ }
+  | Pong id
+  | Stats_reply { id; _ } ->
+      Some id
+  | Error { id; _ } -> id

@@ -1,0 +1,71 @@
+(** The service's newline-delimited wire protocol.
+
+    Requests are single lines of space-separated tokens; responses are
+    single-line JSON objects ({!Parcfl_obs.Json}). The same parser/printer
+    pair backs every front end (stdio pipe, Unix domain socket) and the
+    load-generator client, so client and server cannot drift.
+
+    Request grammar (one request per line; blank lines are ignored by the
+    transports):
+
+    {v
+    query <id> <var> [budget=<steps>] [deadline_ms=<float>]
+    stats <id>
+    ping <id>
+    quit
+    v}
+
+    [<var>] is either [#<n>] — PAG variable id [n] — or a variable name
+    resolved by exact match against the loaded PAG. [<id>] is an arbitrary
+    client-chosen integer echoed back in the response so clients can
+    pipeline requests. *)
+
+type request =
+  | Query of {
+      id : int;
+      var : string;  (** ["#<n>"] or an exact variable name *)
+      budget : int option;  (** per-request step budget cap *)
+      deadline_ms : float option;
+          (** wall-clock deadline relative to admission *)
+    }
+  | Stats of int  (** service counters snapshot *)
+  | Ping of int
+  | Quit  (** begin graceful drain and shut the server down *)
+
+val parse_request : string -> (request, string) result
+(** One line, no trailing newline. *)
+
+val request_to_string : request -> string
+(** The canonical line for a request (used by the load-gen client);
+    [parse_request (request_to_string r) = Ok r]. *)
+
+type timeout_reason = [ `Budget | `Deadline ]
+
+type response =
+  | Answer of {
+      id : int;
+      var : string;  (** the variable's name in the loaded PAG *)
+      objects : string list;  (** pointed-to object names, sorted *)
+      cached : bool;
+      steps : int;
+          (** budget the solve consumed (for cache hits: as recorded when
+              the entry was produced) *)
+      latency_us : float;
+          (** admission-to-answer service latency (0 on a cache hit) *)
+    }
+  | Timeout of { id : int; reason : timeout_reason; cached : bool }
+  | Rejected of { id : int; reason : string }
+  | Error of { id : int option; reason : string }
+  | Pong of int
+  | Stats_reply of { id : int; stats : Parcfl_obs.Json.t }
+
+val response_to_json : response -> Parcfl_obs.Json.t
+
+val response_to_string : response -> string
+(** Single-line JSON, no trailing newline. *)
+
+val response_of_json : Parcfl_obs.Json.t -> (response, string) result
+
+val response_of_string : string -> (response, string) result
+
+val response_id : response -> int option

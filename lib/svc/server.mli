@@ -1,0 +1,27 @@
+(** Front ends: the service behind a newline-delimited byte stream.
+
+    One single-threaded event loop multiplexes every connected client with
+    [select]; the parallelism lives inside the service's batch execution
+    (the engine's domain pool). The loop's poll timeout is the service's
+    {!Service.wait_hint}, so a pending micro-batch fires when its window
+    expires even while the line is quiet, and input never waits on a
+    running batch longer than the batch itself.
+
+    Transports, usable together:
+    - {b stdio}: requests on [stdin], responses on [stdout] — `parcfl
+      serve` behind a pipe. EOF on stdin begins a graceful drain.
+    - {b Unix domain socket}: a listening socket accepting any number of
+      concurrent clients — `parcfl serve --socket /tmp/parcfl.sock`.
+
+    A [quit] request from any client (or stdin EOF) stops intake, drains
+    the in-flight queue — every admitted request still gets its real
+    response — closes every connection and returns. *)
+
+val serve :
+  ?stdio:bool ->
+  ?socket_path:string ->
+  Service.t ->
+  unit
+(** [stdio] defaults to [true] when [socket_path] is [None], else [false].
+    The socket path is unlinked before bind and after shutdown.
+    @raise Invalid_argument when both transports are disabled. *)

@@ -1,0 +1,315 @@
+module Pag = Parcfl_pag.Pag
+module Config = Parcfl_cfl.Config
+module Query = Parcfl_cfl.Query
+module Mode = Parcfl_par.Mode
+module Report = Parcfl_par.Report
+module Json = Parcfl_obs.Json
+
+type config = {
+  threads : int;
+  mode : Mode.t;
+  max_batch : int;
+  max_wait : float;
+  queue_capacity : int;
+  cache_capacity : int;
+  max_budget : int;
+  tau_f : int option;
+  tau_u : int option;
+}
+
+let default_config =
+  {
+    threads = 4;
+    mode = Mode.Share_sched;
+    max_batch = 64;
+    max_wait = 0.01;
+    queue_capacity = 1024;
+    cache_capacity = 4096;
+    max_budget = Config.default.Config.budget;
+    tau_f = None;
+    tau_u = None;
+  }
+
+type pending = {
+  p_id : int;
+  p_var : Pag.var;
+  p_budget : int;  (* effective step budget for this request *)
+  p_deadline : float option;  (* absolute seconds *)
+  p_arrival : float;
+  p_respond : Protocol.response -> unit;
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  cache : Cache.t;
+  queue : pending Admission.t;
+  batcher : Batcher.t;
+  metrics : Metrics.t;
+  names : (string, Pag.var) Hashtbl.t;
+}
+
+let index_names pag =
+  let tbl = Hashtbl.create 1024 in
+  for v = 0 to Pag.n_vars pag - 1 do
+    let name = Pag.var_name pag v in
+    (* First binding wins: resolution is deterministic when names repeat
+       across methods; clients needing precision use the #id form. *)
+    if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name v
+  done;
+  tbl
+
+let create ?(config = default_config) ?tracer ~type_level pag =
+  let solver_config =
+    Config.with_budget config.max_budget Config.default
+  in
+  let engine =
+    Engine.create ~mode:config.mode ~threads:config.threads
+      ?tau_f:config.tau_f ?tau_u:config.tau_u ~solver_config ?tracer
+      ~type_level pag
+  in
+  {
+    cfg = config;
+    engine;
+    cache = Cache.create ~capacity:config.cache_capacity ();
+    queue = Admission.create ~capacity:config.queue_capacity;
+    batcher =
+      Batcher.create ~max_batch:config.max_batch ~max_wait:config.max_wait ();
+    metrics = Metrics.create ();
+    names = index_names pag;
+  }
+
+let config t = t.cfg
+let engine t = t.engine
+let queue_depth t = Admission.depth t.queue
+let metrics t = t.metrics
+
+let metrics_json t =
+  let base =
+    Metrics.to_json t.metrics ~queue_depth:(queue_depth t)
+      ~cache_size:(Cache.size t.cache)
+  in
+  let extra =
+    [
+      ("generation", Json.Int (Engine.generation t.engine));
+      ("jmp_edges", Json.Int (Engine.jmp_edges t.engine));
+      ("cache_evictions", Json.Int (Cache.evictions t.cache));
+      ( "steps_per_second",
+        match Engine.steps_per_second t.engine with
+        | Some r -> Json.Float r
+        | None -> Json.Null );
+      ("threads", Json.Int (Engine.threads t.engine));
+      ("mode", Json.String (Mode.to_string (Engine.mode t.engine)));
+    ]
+  in
+  match base with
+  | Json.Obj fields -> Json.Obj (fields @ extra)
+  | j -> j
+
+let resolve t name =
+  let pag = Engine.pag t.engine in
+  let len = String.length name in
+  if len > 1 && name.[0] = '#' then
+    match int_of_string_opt (String.sub name 1 (len - 1)) with
+    | Some v when v >= 0 && v < Pag.n_vars pag -> Ok v
+    | Some v ->
+        Error
+          (Printf.sprintf "variable id %d out of range (0..%d)" v
+             (Pag.n_vars pag - 1))
+    | None -> Error (Printf.sprintf "malformed variable id %S" name)
+  else
+    match Hashtbl.find_opt t.names name with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "unknown variable %S" name)
+
+let object_names pag result =
+  Query.objects result
+  |> List.map (Pag.obj_name pag)
+  |> List.sort_uniq compare
+
+(* The request's effective step budget: its own cap, the service ceiling,
+   and — when it carries a deadline — the steps the engine's observed
+   traversal rate says the remaining wall clock can afford. This is how a
+   wall-clock deadline maps onto the solver's existing budget B. *)
+let effective_budget t ~now ~budget ~deadline =
+  let cap = Engine.max_budget t.engine in
+  let b = match budget with Some b -> min b cap | None -> cap in
+  match deadline with
+  | None -> b
+  | Some d ->
+      min b (Engine.deadline_budget t.engine ~seconds_left:(d -. now))
+
+let cache_key t ~var ~budget =
+  {
+    Cache.ck_var = var;
+    ck_budget = budget;
+    ck_generation = Engine.generation t.engine;
+  }
+
+let answer_of_outcome t ~id ~cached ~latency_us (outcome : Query.outcome) =
+  let pag = Engine.pag t.engine in
+  if outcome.Query.result = Query.Out_of_budget then
+    Protocol.Timeout { id; reason = `Budget; cached }
+  else
+    Protocol.Answer
+      {
+        id;
+        var = Pag.var_name pag outcome.Query.var;
+        objects = object_names pag outcome.Query.result;
+        cached;
+        steps = outcome.Query.steps_used;
+        latency_us;
+      }
+
+let submit t ~now ~respond req =
+  match req with
+  | Protocol.Ping id -> respond (Protocol.Pong id)
+  | Protocol.Stats id ->
+      respond (Protocol.Stats_reply { id; stats = metrics_json t })
+  | Protocol.Quit -> ()
+  | Protocol.Query { id; var; budget; deadline_ms } -> (
+      match resolve t var with
+      | Error reason -> respond (Protocol.Error { id = Some id; reason })
+      | Ok v -> (
+          let deadline = Option.map (fun d -> now +. (d /. 1000.0)) deadline_ms in
+          let eff = effective_budget t ~now ~budget ~deadline in
+          match Cache.find t.cache (cache_key t ~var:v ~budget:eff) with
+          | Some outcome ->
+              Metrics.incr t.metrics Metrics.Cache_hit;
+              let resp =
+                answer_of_outcome t ~id ~cached:true ~latency_us:0.0 outcome
+              in
+              (match resp with
+              | Protocol.Timeout _ ->
+                  Metrics.incr t.metrics Metrics.Timeout_budget
+              | _ -> Metrics.incr t.metrics Metrics.Completed);
+              respond resp
+          | None ->
+              Metrics.incr t.metrics Metrics.Cache_miss;
+              let p =
+                {
+                  p_id = id;
+                  p_var = v;
+                  p_budget = eff;
+                  p_deadline = deadline;
+                  p_arrival = now;
+                  p_respond = respond;
+                }
+              in
+              if Admission.try_add t.queue p then
+                Metrics.incr t.metrics Metrics.Admitted
+              else begin
+                Metrics.incr t.metrics Metrics.Rejected;
+                respond (Protocol.Rejected { id; reason = "queue_full" })
+              end))
+
+let oldest_arrival t =
+  Option.map (fun p -> p.p_arrival) (Admission.peek t.queue)
+
+let due t ~now =
+  Batcher.due t.batcher ~now ~depth:(queue_depth t)
+    ~oldest_arrival:(oldest_arrival t)
+
+let wait_hint t ~now =
+  Batcher.wait_hint t.batcher ~now ~oldest_arrival:(oldest_arrival t)
+
+let respond_timeout t p reason =
+  Metrics.incr t.metrics
+    (match reason with
+    | `Deadline -> Metrics.Timeout_deadline
+    | `Budget -> Metrics.Timeout_budget);
+  p.p_respond (Protocol.Timeout { id = p.p_id; reason; cached = false })
+
+let run_batch t live =
+  (* Coalesce duplicate variables: one solve serves every requester. *)
+  let seen = Hashtbl.create 64 in
+  let vars =
+    List.filter_map
+      (fun p ->
+        if Hashtbl.mem seen p.p_var then None
+        else begin
+          Hashtbl.add seen p.p_var ();
+          Some p.p_var
+        end)
+      live
+    |> Array.of_list
+  in
+  Metrics.incr t.metrics Metrics.Batches;
+  Metrics.add t.metrics Metrics.Batched_queries (List.length live);
+  Metrics.add t.metrics Metrics.Coalesced
+    (List.length live - Array.length vars);
+  let batch_budget =
+    List.fold_left (fun acc p -> max acc p.p_budget) 1 live
+  in
+  let report = Engine.execute t.engine ~budget:batch_budget vars in
+  let by_var = Hashtbl.create (Array.length vars) in
+  Array.iteri
+    (fun i (o : Query.outcome) ->
+      Hashtbl.replace by_var o.Query.var (o, report.Report.r_queries.(i)))
+    report.Report.r_outcomes;
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt by_var p.p_var with
+      | None ->
+          (* Cannot happen: the runner answers every scheduled query or
+             raises. Fail the request rather than hang the client. *)
+          p.p_respond
+            (Protocol.Error
+               { id = Some p.p_id; reason = "internal: query lost in batch" })
+      | Some (outcome, qs) ->
+          let within_budget =
+            outcome.Query.result <> Query.Out_of_budget
+            && outcome.Query.steps_used <= p.p_budget
+          in
+          (* Cache whatever this solve proves about (var, budget): a
+             completed answer within the request's budget, or — when the
+             request's budget is exactly what the batch ran with — a
+             genuine out-of-budget outcome. A tighter per-request budget
+             that the solve overran is NOT cached as a failure: we never
+             fabricate an outcome the solver did not produce. *)
+          if within_budget then
+            Cache.put t.cache
+              (cache_key t ~var:p.p_var ~budget:p.p_budget)
+              outcome
+          else if
+            outcome.Query.result = Query.Out_of_budget
+            && p.p_budget = batch_budget
+          then
+            Cache.put t.cache
+              (cache_key t ~var:p.p_var ~budget:p.p_budget)
+              outcome;
+          let deadline_missed =
+            match p.p_deadline with
+            | Some d -> qs.Report.qs_end_us /. 1e6 > d
+            | None -> false
+          in
+          if deadline_missed then respond_timeout t p `Deadline
+          else if not within_budget then respond_timeout t p `Budget
+          else begin
+            Metrics.incr t.metrics Metrics.Completed;
+            p.p_respond
+              (answer_of_outcome t ~id:p.p_id ~cached:false
+                 ~latency_us:(qs.Report.qs_end_us -. (p.p_arrival *. 1e6))
+                 outcome)
+          end)
+    live
+
+let pump ?(force = false) t ~now =
+  if queue_depth t = 0 || ((not force) && not (due t ~now)) then 0
+  else begin
+    let batch = Admission.take t.queue ~max:(Batcher.max_batch t.batcher) in
+    let live, expired =
+      List.partition
+        (fun p ->
+          match p.p_deadline with Some d -> now <= d | None -> true)
+        batch
+    in
+    List.iter (fun p -> respond_timeout t p `Deadline) expired;
+    if live <> [] then run_batch t live;
+    List.length batch
+  end
+
+let drain t ~now =
+  while pump ~force:true t ~now > 0 do
+    ()
+  done

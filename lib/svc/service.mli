@@ -1,0 +1,85 @@
+(** The analysis service: admission → cache → micro-batch → solve → respond.
+
+    A service owns an {!Engine} (PAG, jmp store, scheduling plan), a
+    {!Cache}, an {!Admission} queue and a {!Batcher} policy, and turns a
+    stream of {!Protocol} requests into responses:
+
+    + {!submit} answers [ping]/[stats] immediately, resolves a query's
+      variable, computes its {e effective budget} (the request's own cap,
+      the wall-clock deadline translated through the engine's observed
+      traversal rate, and the service maximum — whichever is smallest),
+      then consults the cache. A hit responds immediately; a miss enters
+      the admission queue or is {e rejected} with backpressure when full.
+    + {!pump} forms a micro-batch when the {!Batcher} says one is due
+      (or when forced during drain): expired-deadline requests are answered
+      [Timeout] without solving, duplicate in-batch queries are coalesced
+      into one solve, and the batch runs on the engine's domain pool with
+      the scheduler's direct-grouping + CD/DD order.
+    + Completed solves are answered, cached for later identical requests,
+      and checked against each request's own budget and deadline — a query
+      whose deadline passed or whose budget the solve exceeded reports
+      [Timeout], never a fabricated answer.
+
+    The service is driven from one front-end thread ({!Server}'s event
+    loop or a test harness); the parallelism lives inside the engine's
+    batch execution. Responses are delivered through the callback given at
+    submission, always from within {!submit}/{!pump}/{!drain}. *)
+
+type config = {
+  threads : int;  (** engine domain pool size *)
+  mode : Parcfl_par.Mode.t;
+  max_batch : int;
+  max_wait : float;  (** micro-batch window, seconds *)
+  queue_capacity : int;  (** admission bound; beyond it requests are rejected *)
+  cache_capacity : int;
+  max_budget : int;  (** service-wide per-query step-budget ceiling *)
+  tau_f : int option;
+  tau_u : int option;
+}
+
+val default_config : config
+(** 4 threads, [Share_sched], batches of 64 / 10 ms, queue 1024, cache
+    4096, budget {!Parcfl_cfl.Config.default}'s. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?tracer:Parcfl_obs.Tracer.t ->
+  type_level:(int -> int) ->
+  Parcfl_pag.Pag.t ->
+  t
+
+val config : t -> config
+val engine : t -> Engine.t
+val queue_depth : t -> int
+val metrics : t -> Metrics.t
+
+val metrics_json : t -> Parcfl_obs.Json.t
+(** The [stats] payload: counters, gauges, generation, jmp edges, observed
+    traversal rate. *)
+
+val resolve : t -> string -> (Parcfl_pag.Pag.var, string) result
+(** ["#<n>"] by id (bounds-checked), otherwise exact-name lookup. *)
+
+val submit :
+  t ->
+  now:float ->
+  respond:(Protocol.response -> unit) ->
+  Protocol.request ->
+  unit
+(** [respond] fires zero or one time per request: immediately (ping,
+    stats, cache hit, rejection, resolution error) or from a later
+    {!pump}/{!drain}. [Protocol.Quit] is transport-level and ignored
+    here. *)
+
+val due : t -> now:float -> bool
+val wait_hint : t -> now:float -> float option
+
+val pump : ?force:bool -> t -> now:float -> int
+(** Execute one micro-batch if due ([force] overrides the policy). Returns
+    the number of requests answered. *)
+
+val drain : t -> now:float -> unit
+(** Graceful shutdown: keep pumping (forced) until the queue is empty —
+    every in-flight request gets a real response. *)

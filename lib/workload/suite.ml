@@ -24,7 +24,28 @@ let build profile =
   let type_level t = Types.level types t in
   { profile; program; callgraph; lowering; pag; queries; type_level }
 
-let build_by_name name = Option.map build (Profile.find name)
+let build_by_name name =
+  match Profile.find name with
+  | Some p -> Some (build p)
+  | None when name = Profile.tiny.Profile.name -> Some (build Profile.tiny)
+  | None -> None
+
+let query_mix ?(seed = 0) ?(hot_share = 0.75) ?(hot_frac = 0.1) t ~n =
+  if n < 0 then invalid_arg "Suite.query_mix: n must be >= 0";
+  let qs = t.queries in
+  let total = Array.length qs in
+  if total = 0 then [||]
+  else begin
+    let rng =
+      Parcfl_prim.Rng.create
+        (Int64.add 0x9e3779b97f4a7c15L (Int64.of_int seed))
+    in
+    let hot = max 1 (int_of_float (hot_frac *. float_of_int total)) in
+    Array.init n (fun _ ->
+        if Parcfl_prim.Rng.float rng 1.0 < hot_share then
+          qs.(Parcfl_prim.Rng.int rng hot)
+        else qs.(Parcfl_prim.Rng.int rng total))
+  end
 
 let n_classes t = Types.n_classes t.program.Ir.types
 

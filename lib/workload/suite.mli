@@ -16,6 +16,16 @@ type t = {
 val build : Profile.t -> t
 
 val build_by_name : string -> t option
+(** Looks up {!Profile.all} by name, plus the ["tiny"] smoke profile. *)
+
+val query_mix :
+  ?seed:int -> ?hot_share:float -> ?hot_frac:float -> t -> n:int -> Parcfl_pag.Pag.var array
+(** [n] queries sampled deterministically from the benchmark's query set
+    with a skewed popularity: a fraction [hot_share] (default 0.75) of
+    draws land in a "hot set" of the first [hot_frac] (default 0.1) of
+    the queries, the rest are uniform over all queries. Repeats are the
+    point — they exercise a result cache. Empty when the benchmark has no
+    queries. *)
 
 val n_classes : t -> int
 val n_methods : t -> int

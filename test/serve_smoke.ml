@@ -1,0 +1,108 @@
+(* CI smoke test for `parcfl serve`: start the real binary on a pipe pair
+   (the stdio transport), send a ping, three queries — one repeated so the
+   cross-batch cache must hit — and a stats probe, then quit and check
+   every response, including that served answers equal a direct in-process
+   solve of the same variables.
+
+   Usage: serve_smoke.exe <path/to/parcfl_cli.exe> *)
+
+module P = Parcfl
+module Proto = P.Svc_protocol
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let () =
+  if Array.length Sys.argv < 2 then fail "usage: serve_smoke <parcfl_cli.exe>";
+  let cli = Sys.argv.(1) in
+  if not (Sys.file_exists cli) then fail "no such binary %s" cli;
+
+  (* The ground truth: the same deterministic benchmark the server builds. *)
+  let bench =
+    match P.Suite.build_by_name "tiny" with
+    | Some b -> b
+    | None -> fail "tiny benchmark missing"
+  in
+  let expected v =
+    let session =
+      P.Solver.make_session ~config:P.Config.default
+        ~ctx_store:(P.Ctx.create_store ()) bench.P.Suite.pag
+    in
+    P.Query.objects (P.Solver.points_to session v).P.Query.result
+    |> List.map (P.Pag.obj_name bench.P.Suite.pag)
+    |> List.sort_uniq compare
+  in
+  let v0 = bench.P.Suite.queries.(0) in
+  let v1 = bench.P.Suite.queries.(min 1 (Array.length bench.P.Suite.queries - 1)) in
+
+  let to_child_r, to_child_w = Unix.pipe ~cloexec:false () in
+  let from_child_r, from_child_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "-b"; "tiny"; "-t"; "1"; "--stdio" |]
+      to_child_r from_child_w Unix.stderr
+  in
+  Unix.close to_child_r;
+  Unix.close from_child_w;
+  let oc = Unix.out_channel_of_descr to_child_w in
+  let ic = Unix.in_channel_of_descr from_child_r in
+
+  let deadline = Unix.gettimeofday () +. 120.0 in
+  let send r =
+    output_string oc (Proto.request_to_string r ^ "\n");
+    flush oc
+  in
+  let recv () =
+    if Unix.gettimeofday () > deadline then fail "smoke test deadline exceeded";
+    match input_line ic with
+    | line -> (
+        match Proto.response_of_string line with
+        | Ok r -> r
+        | Error e -> fail "bad response %S: %s" line e)
+    | exception End_of_file -> fail "server closed the stream early"
+  in
+
+  send (Proto.Ping 1);
+  (match recv () with
+  | Proto.Pong 1 -> ()
+  | r -> fail "expected pong, got %s" (Proto.response_to_string r));
+
+  let ask id v =
+    send
+      (Proto.Query
+         { id; var = Printf.sprintf "#%d" v; budget = None; deadline_ms = None })
+  in
+  let expect_answer id v ~cached_ok =
+    match recv () with
+    | Proto.Answer { id = id'; objects; cached; _ } when id' = id ->
+        if objects <> expected v then fail "query %d: wrong points-to set" id;
+        if (not cached_ok) && cached then fail "query %d: unexpected cache hit" id;
+        cached
+    | r -> fail "query %d: unexpected %s" id (Proto.response_to_string r)
+  in
+  (* Three queries; responses come back in completion order per request,
+     one line each, on one pipe — ask and await one at a time. *)
+  ask 10 v0;
+  ignore (expect_answer 10 v0 ~cached_ok:false);
+  ask 11 v1;
+  ignore (expect_answer 11 v1 ~cached_ok:(v1 = v0));
+  ask 12 v0;
+  if not (expect_answer 12 v0 ~cached_ok:true) then
+    fail "repeated query 12 missed the cache";
+
+  send (Proto.Stats 20);
+  (match recv () with
+  | Proto.Stats_reply { id = 20; stats = P.Json.Obj fields } -> (
+      match List.assoc_opt "cache_hits" fields with
+      | Some (P.Json.Int h) when h >= 1 -> ()
+      | _ -> fail "stats report no cache hits")
+  | r -> fail "expected stats, got %s" (Proto.response_to_string r));
+
+  send Proto.Quit;
+  close_out oc;
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> fail "server exited %d" n
+  | Unix.WSIGNALED n -> fail "server killed by signal %d" n
+  | Unix.WSTOPPED n -> fail "server stopped by signal %d" n);
+  print_endline "serve smoke: ok"

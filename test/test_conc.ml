@@ -85,6 +85,20 @@ let test_map_fold_clear () =
   Int_map.clear m;
   Alcotest.(check int) "cleared" 0 (Int_map.length m)
 
+let test_map_size () =
+  let m = Int_map.create ~shards:4 () in
+  Alcotest.(check int) "empty" 0 (Int_map.size m);
+  for i = 0 to 99 do
+    ignore (Int_map.add_if_absent m i (string_of_int i))
+  done;
+  (* Quiescent, so the approximate count is exact and agrees with length. *)
+  Alcotest.(check int) "size" 100 (Int_map.size m);
+  Alcotest.(check int) "size = length" (Int_map.length m) (Int_map.size m);
+  Int_map.remove m 0;
+  Alcotest.(check int) "after remove" 99 (Int_map.size m);
+  Int_map.clear m;
+  Alcotest.(check int) "after clear" 0 (Int_map.size m)
+
 let test_map_race () =
   (* Hammer add_if_absent from 4 domains: exactly one writer must win per
      key and everyone must agree on the winner afterwards. *)
@@ -201,6 +215,7 @@ let suite =
       Alcotest.test_case "sharded map basic" `Quick test_map_basic;
       Alcotest.test_case "sharded map find_map" `Quick test_map_find_map;
       Alcotest.test_case "sharded map fold/clear" `Quick test_map_fold_clear;
+      Alcotest.test_case "sharded map size" `Quick test_map_size;
       Alcotest.test_case "sharded map race" `Quick test_map_race;
       Alcotest.test_case "work queue order" `Quick test_queue_order;
       Alcotest.test_case "work queue parallel" `Quick test_queue_parallel;

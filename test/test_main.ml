@@ -32,4 +32,5 @@ let () =
       Test_clients.suite;
       Test_stats_render.suite;
       Test_obs.suite;
+      Test_svc.suite;
     ]

@@ -1,0 +1,369 @@
+(* The persistent analysis service (lib/svc): wire protocol, result cache,
+   admission control, micro-batching policy, and the service state machine
+   driven deterministically through submit/pump/drain with an explicit
+   clock — no server process, no sleeping. *)
+
+module P = Parcfl
+module Proto = P.Svc_protocol
+
+(* ----------------------------- protocol ---------------------------- *)
+
+let test_request_round_trip () =
+  let requests =
+    [
+      Proto.Query { id = 1; var = "#5"; budget = None; deadline_ms = None };
+      Proto.Query
+        { id = 2; var = "Main.x"; budget = Some 100; deadline_ms = Some 5.5 };
+      Proto.Stats 3;
+      Proto.Ping 4;
+      Proto.Quit;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Proto.parse_request (Proto.request_to_string r) with
+      | Ok r' when r = r' -> ()
+      | Ok _ -> Alcotest.failf "round trip changed %s" (Proto.request_to_string r)
+      | Error e -> Alcotest.failf "round trip failed: %s" e)
+    requests
+
+let test_request_errors () =
+  List.iter
+    (fun line ->
+      match Proto.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parsed %S" line)
+    [ ""; "query"; "query x"; "bogus 1"; "ping notanint"; "query 1 v budget=x" ]
+
+let test_response_round_trip () =
+  let responses =
+    [
+      Proto.Answer
+        {
+          id = 1;
+          var = "v";
+          objects = [ "a"; "b" ];
+          cached = true;
+          steps = 17;
+          latency_us = 250.0;
+        };
+      Proto.Timeout { id = 2; reason = `Budget; cached = false };
+      Proto.Timeout { id = 3; reason = `Deadline; cached = false };
+      Proto.Rejected { id = 4; reason = "queue_full" };
+      Proto.Error { id = Some 5; reason = "no such variable" };
+      Proto.Error { id = None; reason = "parse error" };
+      Proto.Pong 6;
+      Proto.Stats_reply
+        { id = 7; stats = P.Json.Obj [ ("admitted", P.Json.Int 1) ] };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Proto.response_of_string (Proto.response_to_string r) with
+      | Ok r' when r = r' -> ()
+      | Ok _ ->
+          Alcotest.failf "round trip changed %s" (Proto.response_to_string r)
+      | Error e -> Alcotest.failf "round trip failed: %s" e)
+    responses
+
+(* ------------------------------ cache ------------------------------ *)
+
+let tiny = lazy (Option.get (P.Suite.build_by_name "tiny"))
+
+let solve_outcome v =
+  let b = Lazy.force tiny in
+  let session =
+    P.Solver.make_session ~config:P.Config.default
+      ~ctx_store:(P.Ctx.create_store ()) b.P.Suite.pag
+  in
+  P.Solver.points_to session v
+
+let test_cache_basic () =
+  let b = Lazy.force tiny in
+  let outcome = solve_outcome b.P.Suite.queries.(0) in
+  let c = P.Svc_cache.create ~capacity:10 () in
+  let key g v = { P.Svc_cache.ck_var = v; ck_budget = 100; ck_generation = g } in
+  Alcotest.(check bool) "miss" true (P.Svc_cache.find c (key 0 0) = None);
+  P.Svc_cache.put c (key 0 0) outcome;
+  Alcotest.(check bool) "hit" true (P.Svc_cache.find c (key 0 0) <> None);
+  Alcotest.(check int) "size" 1 (P.Svc_cache.size c);
+  (* A new generation is a different key: loading a new PAG invalidates
+     without a sweep. *)
+  Alcotest.(check bool) "new generation misses" true
+    (P.Svc_cache.find c (key 1 0) = None);
+  (* A different budget is a different key too. *)
+  Alcotest.(check bool) "other budget misses" true
+    (P.Svc_cache.find c
+       { P.Svc_cache.ck_var = 0; ck_budget = 99; ck_generation = 0 }
+    = None)
+
+let test_cache_eviction () =
+  let b = Lazy.force tiny in
+  let outcome = solve_outcome b.P.Suite.queries.(0) in
+  let c = P.Svc_cache.create ~capacity:10 () in
+  let key v = { P.Svc_cache.ck_var = v; ck_budget = 1; ck_generation = 0 } in
+  for v = 0 to 9 do
+    P.Svc_cache.put c (key v) outcome
+  done;
+  Alcotest.(check int) "at capacity" 10 (P.Svc_cache.size c);
+  (* Refresh v=0 so the sweep prefers older entries. *)
+  ignore (P.Svc_cache.find c (key 0));
+  P.Svc_cache.put c (key 10) outcome;
+  Alcotest.(check bool) "evicted" true (P.Svc_cache.evictions c > 0);
+  Alcotest.(check bool) "bounded" true (P.Svc_cache.size c <= 10);
+  Alcotest.(check bool) "recently used survives" true
+    (P.Svc_cache.find c (key 0) <> None);
+  Alcotest.(check bool) "newest survives" true
+    (P.Svc_cache.find c (key 10) <> None)
+
+(* ---------------------------- admission ---------------------------- *)
+
+let test_admission () =
+  let q = P.Svc_admission.create ~capacity:2 in
+  Alcotest.(check bool) "add 1" true (P.Svc_admission.try_add q 1);
+  Alcotest.(check bool) "add 2" true (P.Svc_admission.try_add q 2);
+  Alcotest.(check bool) "full" false (P.Svc_admission.try_add q 3);
+  Alcotest.(check int) "depth" 2 (P.Svc_admission.depth q);
+  Alcotest.(check (option int)) "peek oldest" (Some 1) (P.Svc_admission.peek q);
+  Alcotest.(check (list int)) "take fifo" [ 1 ] (P.Svc_admission.take q ~max:1);
+  Alcotest.(check bool) "space again" true (P.Svc_admission.try_add q 3);
+  Alcotest.(check (list int)) "drain fifo" [ 2; 3 ] (P.Svc_admission.drain q);
+  Alcotest.(check int) "empty" 0 (P.Svc_admission.depth q)
+
+(* ----------------------------- batcher ----------------------------- *)
+
+let test_batcher () =
+  let b = P.Svc_batcher.create ~max_batch:4 ~max_wait:1.0 () in
+  Alcotest.(check bool) "empty never due" false
+    (P.Svc_batcher.due b ~now:10.0 ~depth:0 ~oldest_arrival:None);
+  Alcotest.(check bool) "full is due" true
+    (P.Svc_batcher.due b ~now:0.0 ~depth:4 ~oldest_arrival:(Some 0.0));
+  Alcotest.(check bool) "window open" false
+    (P.Svc_batcher.due b ~now:0.5 ~depth:1 ~oldest_arrival:(Some 0.0));
+  Alcotest.(check bool) "window expired" true
+    (P.Svc_batcher.due b ~now:1.5 ~depth:1 ~oldest_arrival:(Some 0.0));
+  Alcotest.(check bool) "hint when empty" true
+    (P.Svc_batcher.wait_hint b ~now:0.0 ~oldest_arrival:None = None);
+  (match P.Svc_batcher.wait_hint b ~now:0.25 ~oldest_arrival:(Some 0.0) with
+  | Some s -> Alcotest.(check (float 1e-9)) "hint" 0.75 s
+  | None -> Alcotest.fail "expected a wait hint");
+  match P.Svc_batcher.wait_hint b ~now:5.0 ~oldest_arrival:(Some 0.0) with
+  | Some s -> Alcotest.(check (float 1e-9)) "overdue hint" 0.0 s
+  | None -> Alcotest.fail "expected a zero hint"
+
+(* ----------------------------- service ----------------------------- *)
+
+let service_config =
+  {
+    P.Service.default_config with
+    P.Service.threads = 1;
+    max_batch = 8;
+    max_wait = 0.0;
+  }
+
+let make_service ?(config = service_config) () =
+  let b = Lazy.force tiny in
+  (b, P.Service.create ~config ~type_level:b.P.Suite.type_level b.P.Suite.pag)
+
+let collector () =
+  let responses : (int, Proto.response) Hashtbl.t = Hashtbl.create 8 in
+  let respond r =
+    match Proto.response_id r with
+    | Some id -> Hashtbl.replace responses id r
+    | None -> Alcotest.fail "response without an id"
+  in
+  (responses, respond)
+
+let query ?budget ?deadline_ms id v =
+  Proto.Query { id; var = Printf.sprintf "#%d" v; budget; deadline_ms }
+
+let test_cached_equals_cold () =
+  let b, svc = make_service () in
+  let v = b.P.Suite.queries.(0) in
+  let responses, respond = collector () in
+  P.Service.submit svc ~now:0.0 ~respond (query 1 v);
+  ignore (P.Service.pump ~force:true svc ~now:0.0);
+  P.Service.submit svc ~now:1.0 ~respond (query 2 v);
+  let expected =
+    P.Query.objects (solve_outcome v).P.Query.result
+    |> List.map (P.Pag.obj_name b.P.Suite.pag)
+    |> List.sort_uniq compare
+  in
+  (match Hashtbl.find_opt responses 1 with
+  | Some (Proto.Answer { cached; objects; _ }) ->
+      Alcotest.(check bool) "first is cold" false cached;
+      Alcotest.(check (list string)) "cold = direct solve" expected objects
+  | r ->
+      Alcotest.failf "unexpected cold response %s"
+        (match r with Some r -> Proto.response_to_string r | None -> "none"));
+  match Hashtbl.find_opt responses 2 with
+  | Some (Proto.Answer { cached; objects; _ }) ->
+      Alcotest.(check bool) "second is cached" true cached;
+      Alcotest.(check (list string)) "cached = cold" expected objects
+  | r ->
+      Alcotest.failf "unexpected cached response %s"
+        (match r with Some r -> Proto.response_to_string r | None -> "none")
+
+let test_queue_full_rejection () =
+  let _, svc =
+    make_service
+      ~config:{ service_config with P.Service.queue_capacity = 1 }
+      ()
+  in
+  let b = Lazy.force tiny in
+  let v0 = b.P.Suite.queries.(0) and v1 = b.P.Suite.queries.(1) in
+  let responses, respond = collector () in
+  P.Service.submit svc ~now:0.0 ~respond (query 1 v0);
+  P.Service.submit svc ~now:0.0 ~respond (query 2 v1);
+  (match Hashtbl.find_opt responses 2 with
+  | Some (Proto.Rejected _) -> ()
+  | r ->
+      Alcotest.failf "expected rejection, got %s"
+        (match r with Some r -> Proto.response_to_string r | None -> "none"));
+  (* The admitted request is untouched by the rejection. *)
+  ignore (P.Service.pump ~force:true svc ~now:0.0);
+  match Hashtbl.find_opt responses 1 with
+  | Some (Proto.Answer _) -> ()
+  | r ->
+      Alcotest.failf "expected an answer, got %s"
+        (match r with Some r -> Proto.response_to_string r | None -> "none")
+
+let test_drain_completes_inflight () =
+  let b, svc = make_service () in
+  let responses, respond = collector () in
+  let n = min 5 (Array.length b.P.Suite.queries) in
+  for i = 0 to n - 1 do
+    P.Service.submit svc ~now:0.0 ~respond (query i b.P.Suite.queries.(i))
+  done;
+  Alcotest.(check int) "queued" n (P.Service.queue_depth svc);
+  P.Service.drain svc ~now:0.0;
+  Alcotest.(check int) "drained" 0 (P.Service.queue_depth svc);
+  for i = 0 to n - 1 do
+    match Hashtbl.find_opt responses i with
+    | Some (Proto.Answer _) | Some (Proto.Timeout _) -> ()
+    | r ->
+        Alcotest.failf "request %d: expected a real response, got %s" i
+          (match r with Some r -> Proto.response_to_string r | None -> "none")
+  done
+
+let test_deadline_expired_is_timeout () =
+  let b, svc = make_service () in
+  let responses, respond = collector () in
+  P.Service.submit svc ~now:0.0 ~respond
+    (query ~deadline_ms:1.0 1 b.P.Suite.queries.(0));
+  (* The batch forms long after the deadline: the service must report
+     Timeout `Deadline without fabricating a points-to answer. *)
+  ignore (P.Service.pump ~force:true svc ~now:10.0);
+  match Hashtbl.find_opt responses 1 with
+  | Some (Proto.Timeout { reason = `Deadline; _ }) -> ()
+  | r ->
+      Alcotest.failf "expected deadline timeout, got %s"
+        (match r with Some r -> Proto.response_to_string r | None -> "none")
+
+let test_budget_exhausted_is_timeout () =
+  let b, svc = make_service () in
+  (* Pick a query that genuinely needs more than one step. *)
+  let needs_work =
+    Array.to_list b.P.Suite.queries
+    |> List.find_opt (fun v -> (solve_outcome v).P.Query.steps_walked > 1)
+  in
+  match needs_work with
+  | None -> () (* degenerate suite; nothing to assert *)
+  | Some v ->
+      let responses, respond = collector () in
+      P.Service.submit svc ~now:0.0 ~respond (query ~budget:1 1 v);
+      ignore (P.Service.pump ~force:true svc ~now:0.0);
+      (match Hashtbl.find_opt responses 1 with
+      | Some (Proto.Timeout { reason = `Budget; _ }) -> ()
+      | r ->
+          Alcotest.failf "expected budget timeout, got %s"
+            (match r with
+            | Some r -> Proto.response_to_string r
+            | None -> "none"))
+
+let test_stats_count_hits () =
+  let b, svc = make_service () in
+  let _, respond = collector () in
+  let v = b.P.Suite.queries.(0) in
+  P.Service.submit svc ~now:0.0 ~respond (query 1 v);
+  ignore (P.Service.pump ~force:true svc ~now:0.0);
+  P.Service.submit svc ~now:1.0 ~respond (query 2 v);
+  P.Service.submit svc ~now:1.0 ~respond (query 3 v);
+  let m = P.Service.metrics svc in
+  Alcotest.(check bool) "cache hits counted" true
+    (P.Svc_metrics.get m P.Svc_metrics.Cache_hit >= 2);
+  Alcotest.(check bool) "hit rate positive" true
+    (P.Svc_metrics.cache_hit_rate m > 0.0);
+  (* The stats request carries the same counters over the wire. *)
+  let seen = ref None in
+  P.Service.submit svc ~now:1.0
+    ~respond:(fun r -> seen := Some r)
+    (Proto.Stats 9);
+  match !seen with
+  | Some (Proto.Stats_reply { stats = P.Json.Obj fields; _ }) ->
+      (match List.assoc_opt "cache_hits" fields with
+      | Some (P.Json.Int h) ->
+          Alcotest.(check bool) "stats payload hits" true (h >= 2)
+      | _ -> Alcotest.fail "stats payload missing cache_hits")
+  | _ -> Alcotest.fail "expected a stats reply"
+
+let test_resolve () =
+  let b, svc = make_service () in
+  let v = b.P.Suite.queries.(0) in
+  (match P.Service.resolve svc (Printf.sprintf "#%d" v) with
+  | Ok v' -> Alcotest.(check int) "by id" v v'
+  | Error e -> Alcotest.failf "resolve #id failed: %s" e);
+  (match P.Service.resolve svc (P.Pag.var_name b.P.Suite.pag v) with
+  | Ok v' -> Alcotest.(check int) "by name" v v'
+  | Error e -> Alcotest.failf "resolve name failed: %s" e);
+  (match P.Service.resolve svc "#999999999" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range id resolved");
+  match P.Service.resolve svc "no_such_variable_xyz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown name resolved"
+
+(* Satellite: Runner surfaces per-query wall-clock start/end stamps. *)
+let test_runner_query_stamps () =
+  let b = Lazy.force tiny in
+  let r =
+    P.Runner.run ~type_level:b.P.Suite.type_level
+      ~solver_config:P.Config.default ~mode:P.Mode.Seq ~threads:1
+      ~queries:b.P.Suite.queries b.P.Suite.pag
+  in
+  Array.iter
+    (fun qs ->
+      if qs.P.Report.qs_end_us < qs.P.Report.qs_start_us then
+        Alcotest.fail "qs_end_us precedes qs_start_us";
+      if qs.P.Report.qs_start_us <= 0.0 then
+        Alcotest.fail "qs_start_us is not an absolute timestamp";
+      let lat = qs.P.Report.qs_end_us -. qs.P.Report.qs_start_us in
+      if abs_float (lat -. qs.P.Report.qs_latency_us) > 1e-6 then
+        Alcotest.fail "qs_latency_us disagrees with the stamps")
+    r.P.Report.r_queries
+
+let suite =
+  ( "svc",
+    [
+      Alcotest.test_case "protocol request round trip" `Quick
+        test_request_round_trip;
+      Alcotest.test_case "protocol request errors" `Quick test_request_errors;
+      Alcotest.test_case "protocol response round trip" `Quick
+        test_response_round_trip;
+      Alcotest.test_case "cache basic + generation" `Quick test_cache_basic;
+      Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+      Alcotest.test_case "admission backpressure" `Quick test_admission;
+      Alcotest.test_case "batcher policy" `Quick test_batcher;
+      Alcotest.test_case "cached result equals cold solve" `Quick
+        test_cached_equals_cold;
+      Alcotest.test_case "queue full rejects" `Quick test_queue_full_rejection;
+      Alcotest.test_case "drain completes in-flight" `Quick
+        test_drain_completes_inflight;
+      Alcotest.test_case "expired deadline times out" `Quick
+        test_deadline_expired_is_timeout;
+      Alcotest.test_case "exhausted budget times out" `Quick
+        test_budget_exhausted_is_timeout;
+      Alcotest.test_case "stats count cache hits" `Quick test_stats_count_hits;
+      Alcotest.test_case "variable resolution" `Quick test_resolve;
+      Alcotest.test_case "runner query stamps" `Quick test_runner_query_stamps;
+    ] )
