@@ -449,8 +449,22 @@ let serve_cmd =
     let doc = "Result cache capacity (entries)." in
     Arg.(value & opt int 4096 & info [ "cache-cap" ] ~docv:"N" ~doc)
   in
+  let slowlog_cap_arg =
+    let doc = "Slow-query flight recorder capacity (worst queries kept)." in
+    Arg.(value & opt int 32 & info [ "slowlog-cap" ] ~docv:"N" ~doc)
+  in
+  let metrics_socket_arg =
+    let doc =
+      "Unix socket serving the Prometheus text exposition: each accepted \
+       connection receives one scrape and is closed."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-socket" ] ~docv:"PATH" ~doc)
+  in
   let run bench mode threads budget socket stdio max_batch window_ms queue_cap
-      cache_cap trace_out bench_json =
+      cache_cap slowlog_cap metrics_socket trace_out bench_json =
     match build_bench bench with
     | Error e ->
         prerr_endline e;
@@ -472,6 +486,7 @@ let serve_cmd =
             max_budget = budget;
             tau_f = Some P.Profile.default_tau_f;
             tau_u = Some P.Profile.default_tau_u;
+            slowlog_capacity = slowlog_cap;
           }
         in
         let service =
@@ -487,7 +502,8 @@ let serve_cmd =
           | Some p -> Printf.sprintf " socket=%s" p
           | None -> "")
           (if stdio then " stdio" else "");
-        P.Server.serve ~stdio ?socket_path:socket service;
+        P.Server.serve ~stdio ?socket_path:socket
+          ?metrics_socket_path:metrics_socket service;
         let stats = P.Service.metrics_json service in
         Format.eprintf "parcfl serve: drained; stats %s@."
           (P.Json.to_string stats);
@@ -520,7 +536,7 @@ let serve_cmd =
     Term.(
       const run $ bench_arg $ mode_arg $ threads_arg $ budget_arg $ socket_arg
       $ stdio_arg $ max_batch_arg $ window_arg $ queue_cap_arg $ cache_cap_arg
-      $ trace_out_arg $ bench_json_arg)
+      $ slowlog_cap_arg $ metrics_socket_arg $ trace_out_arg $ bench_json_arg)
 
 let load_cmd =
   let clients_arg =

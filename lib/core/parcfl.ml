@@ -18,6 +18,9 @@
     - {!Andersen}, {!Andersen_par} — the whole-program baseline/oracle;
     - {!Tracer}, {!Json}, {!Bench_json} — observability: per-worker event
       tracing with Chrome trace export, and machine-readable bench results;
+    - {!Expo}, {!Telemetry} — pull-based telemetry: Prometheus text
+      exposition and the collector registry every subsystem reports into
+      (served by the service's [metrics] request and scrape socket);
     - {!Service}, {!Server}, {!Load_gen}, {!Svc_protocol}, ... — the
       persistent analysis service: micro-batching, cross-batch caching,
       admission control, stdio/Unix-socket front ends and a load-generator
@@ -95,6 +98,7 @@ module Svc_admission = Parcfl_svc.Admission
 module Svc_batcher = Parcfl_svc.Batcher
 module Svc_engine = Parcfl_svc.Engine
 module Svc_metrics = Parcfl_svc.Metrics
+module Svc_slowlog = Parcfl_svc.Slowlog
 module Service = Parcfl_svc.Service
 module Server = Parcfl_svc.Server
 module Load_gen = Parcfl_svc.Load_gen
@@ -105,6 +109,8 @@ module Histogram = Parcfl_stats.Histogram
 module Tracer = Parcfl_obs.Tracer
 module Json = Parcfl_obs.Json
 module Bench_json = Parcfl_obs.Bench_json
+module Expo = Parcfl_telemetry.Expo
+module Telemetry = Parcfl_telemetry.Registry
 
 (* Workloads *)
 module Profile = Parcfl_workload.Profile

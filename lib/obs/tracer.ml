@@ -135,6 +135,9 @@ let to_json t =
     [
       ("traceEvents", Json.List (List.rev !evs));
       ("displayTimeUnit", Json.String "ms");
+      (* Truncation must be visible: a viewer reading a wrapped ring would
+         otherwise mistake the retained window for the whole run. *)
+      ("droppedEvents", Json.Int (n_dropped t));
     ]
 
 let write_chrome ~path t = Json.write_file ~path (to_json t)

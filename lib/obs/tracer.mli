@@ -48,7 +48,9 @@ val to_json : t -> Json.t
 (** Chrome trace-event JSON: [{"traceEvents": [...]}] with queries as
     ["B"]/["E"] duration pairs and the other kinds as thread instants.
     After wrap-around, a worker's leading events up to its first retained
-    {!Query_start} are dropped so the exported nesting stays well formed. *)
+    {!Query_start} are dropped so the exported nesting stays well formed.
+    The top-level [droppedEvents] field carries {!n_dropped}, so a
+    truncated trace declares itself. *)
 
 val write_chrome : path:string -> t -> unit
 (** [to_json] serialised to [path] (parent directories created). *)

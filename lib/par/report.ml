@@ -26,6 +26,8 @@ type t = {
   r_jmp_histogram : (int array * int array) option;
   r_latency_hist : int array;
   r_steps_hist : int array;
+  r_group_sizes : int array;
+  r_worker_busy_us : float array;
   r_queries : query_stat array;
   r_outcomes : Query.outcome array;
 }
@@ -111,6 +113,11 @@ let to_json ?bench t =
         ("early_terminations", Json.Int s.Stats.s_early_terminations);
         ("ratio_saved", Json.Float (ratio_saved t));
         ("mean_group_size", Json.Float t.r_mean_group_size);
+        ("n_groups", Json.Int (Array.length t.r_group_sizes));
+        ( "worker_busy_us",
+          Json.List
+            (Array.to_list
+               (Array.map (fun v -> Json.Float v) t.r_worker_busy_us)) );
         ("latency_hist", json_of_int_array t.r_latency_hist);
         ("steps_hist", json_of_int_array t.r_steps_hist);
       ])

@@ -39,6 +39,13 @@ type t = {
   r_steps_hist : int array;
       (** per-query steps-walked counts, same bucketing; sums to the
           query count *)
+  r_group_sizes : int array;
+      (** scheduling-unit sizes in issue order (one entry per unit; a
+          singleton per query when unscheduled) *)
+  r_worker_busy_us : float array;
+      (** per-worker time spent inside queries, indexed by worker id: wall
+          microseconds under {!Runner.run}, virtual steps under
+          {!Runner.simulate}. Busy over wall is the domain's utilization. *)
   r_queries : query_stat array;  (** in issue order *)
   r_outcomes : Parcfl_cfl.Query.outcome array;  (** same order *)
 }

@@ -76,7 +76,7 @@ let ensure_complete outcomes =
     outcomes
 
 let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
-    ~mean_group_size ~histogram ~starts ~ends outcomes =
+    ~mean_group_size ~histogram ~group_sizes ~busy ~starts ~ends outcomes =
   ensure_complete outcomes;
   let nf, nu = jumps in
   let buckets = Report.hist_buckets in
@@ -100,6 +100,8 @@ let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
     r_jmp_histogram = histogram;
     r_latency_hist = latency_hist;
     r_steps_hist = steps_hist;
+    r_group_sizes = group_sizes;
+    r_worker_busy_us = busy;
     r_queries =
       Array.mapi (fun i o -> query_stat_of o starts.(i) ends.(i)) outcomes;
     r_outcomes = outcomes;
@@ -144,6 +146,9 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
   let ends = Array.make total 0.0 in
   let indexed = Array.mapi (fun i u -> (i, u)) units in
   let queue = Work_queue.create indexed in
+  (* Per-worker slot: each domain writes only its own index, so no
+     synchronisation is needed beyond the pool join. *)
+  let busy = Array.make threads 0.0 in
   let worker ~worker =
     let rec loop () =
       match Work_queue.pop queue with
@@ -156,6 +161,7 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
               let t1 = Unix.gettimeofday () in
               starts.(offsets.(i) + j) <- t0 *. 1e6;
               ends.(offsets.(i) + j) <- t1 *. 1e6;
+              busy.(worker) <- busy.(worker) +. ((t1 -. t0) *. 1e6);
               outcomes.(offsets.(i) + j) <- o)
             unit_vars;
           loop ()
@@ -176,7 +182,8 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
     Option.map (fun s -> Jmp_store.histogram s ~buckets:fig7_buckets) store
   in
   finish_report ~mode ~threads ~wall ~sim_makespan:None ~stats ~jumps
-    ~mean_group_size ~histogram ~starts ~ends outcomes
+    ~mean_group_size ~histogram ~group_sizes:(Array.map Array.length units)
+    ~busy ~starts ~ends outcomes
 
 let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
     ?(type_level = fun _ -> 1) ?(solver_config = Config.default) ?tracer
@@ -258,7 +265,10 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
     | None -> (0, 0)
   in
   finish_report ~mode ~threads ~wall ~sim_makespan:(Some makespan) ~stats
-    ~jumps ~mean_group_size ~histogram:None ~starts ~ends outcomes
+    ~jumps ~mean_group_size ~histogram:None
+    ~group_sizes:(Array.map Array.length units)
+    ~busy:(Array.map float_of_int clocks)
+    ~starts ~ends outcomes
 
 let per_query_cost report =
   Array.map

@@ -136,3 +136,4 @@ let build ?order_within ?order_across ~pag ~type_level queries =
   build_with ?order_within ?order_across (prepare ~pag ~type_level) queries
 
 let flat_order t = Array.concat (Array.to_list t.groups)
+let group_sizes t = Array.map Array.length t.groups

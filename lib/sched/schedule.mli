@@ -71,3 +71,7 @@ val connection_distances : pag:Parcfl_pag.Pag.t -> int array
 
 val flat_order : t -> Parcfl_pag.Pag.var array
 (** All queries in scheduled order, groups flattened. *)
+
+val group_sizes : t -> int array
+(** Size of each scheduling unit in issue order (post split/merge) —
+    telemetry feeds this to a group-size histogram. *)

@@ -28,6 +28,8 @@ type t = {
   bwd_only : bool;
   n_fin : int Atomic.t;
   n_unf : int Atomic.t;
+  n_hit : int Atomic.t;
+  n_miss : int Atomic.t;
 }
 
 let create ?(shards = 64) ?(tau_f = 100) ?(tau_u = 10_000)
@@ -39,6 +41,8 @@ let create ?(shards = 64) ?(tau_f = 100) ?(tau_u = 10_000)
     bwd_only = (directions = `Bwd_only);
     n_fin = Atomic.make 0;
     n_unf = Atomic.make 0;
+    n_hit = Atomic.make 0;
+    n_miss = Atomic.make 0;
   }
 
 let skip t dir = t.bwd_only && dir = Hooks.Fwd
@@ -56,8 +60,12 @@ let lookup t dir var ctx ~steps =
       Tbl.find_map t.tbl (Key.make dir var ctx) (fun r ->
           { Hooks.unfinished = r.unf; finished = r.fin })
     with
-    | None -> Hooks.no_jmp
-    | Some l -> l
+    | None ->
+        ignore (Atomic.fetch_and_add t.n_miss 1);
+        Hooks.no_jmp
+    | Some l ->
+        ignore (Atomic.fetch_and_add t.n_hit 1);
+        l
 
 (* The two record kinds share a key; updates go through the shard lock so a
    concurrent reader (which also holds the lock via find_opt) never sees a
@@ -106,6 +114,8 @@ let hooks t =
 
 let n_finished t = Atomic.get t.n_fin
 let n_unfinished t = Atomic.get t.n_unf
+let n_hits t = Atomic.get t.n_hit
+let n_misses t = Atomic.get t.n_miss
 let n_jumps t = n_finished t + n_unfinished t
 let tau_f t = t.tau_f
 let tau_u t = t.tau_u
@@ -133,4 +143,6 @@ let histogram t ~buckets =
 let clear t =
   Tbl.clear t.tbl;
   Atomic.set t.n_fin 0;
-  Atomic.set t.n_unf 0
+  Atomic.set t.n_unf 0;
+  Atomic.set t.n_hit 0;
+  Atomic.set t.n_miss 0

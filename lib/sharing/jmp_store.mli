@@ -43,6 +43,14 @@ val n_unfinished : t -> int
 val n_jumps : t -> int
 (** Table I's #Jumps: all jmp records added. *)
 
+val n_hits : t -> int
+(** Lookups that found a record (Finished or Unfinished). Lookups skipped
+    because the store is restricted to [`Bwd_only] are not counted either
+    way. *)
+
+val n_misses : t -> int
+(** Lookups that found no record for the key. *)
+
 val tau_f : t -> int
 val tau_u : t -> int
 

@@ -8,13 +8,18 @@ let create ?(max_batch = 64) ?(max_wait = 0.01) () =
 let max_batch t = t.max_batch
 let max_wait t = t.max_wait
 
+type flush_reason = Full | Window
+
+let flush_reason t ~now ~depth ~oldest_arrival =
+  if depth <= 0 then None
+  else if depth >= t.max_batch then Some Full
+  else
+    match oldest_arrival with
+    | Some a when now -. a >= t.max_wait -> Some Window
+    | _ -> None
+
 let due t ~now ~depth ~oldest_arrival =
-  depth > 0
-  && (depth >= t.max_batch
-     ||
-     match oldest_arrival with
-     | Some a -> now -. a >= t.max_wait
-     | None -> false)
+  flush_reason t ~now ~depth ~oldest_arrival <> None
 
 let wait_hint t ~now ~oldest_arrival =
   match oldest_arrival with

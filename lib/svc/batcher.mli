@@ -18,8 +18,22 @@ val create : ?max_batch:int -> ?max_wait:float -> unit -> t
 val max_batch : t -> int
 val max_wait : t -> float
 
+type flush_reason =
+  | Full  (** the queue reached [max_batch] *)
+  | Window  (** the oldest pending query aged past [max_wait] *)
+
+val flush_reason :
+  t ->
+  now:float ->
+  depth:int ->
+  oldest_arrival:float option ->
+  flush_reason option
+(** Why a batch should be formed right now, or [None] when it should not.
+    [Full] wins when both conditions hold — a full queue flushes
+    regardless of age. *)
+
 val due : t -> now:float -> depth:int -> oldest_arrival:float option -> bool
-(** Should a batch be formed right now? *)
+(** [flush_reason t ... <> None]. Should a batch be formed right now? *)
 
 val wait_hint :
   t -> now:float -> oldest_arrival:float option -> float option

@@ -17,11 +17,15 @@ end)
 
 type entry = { outcome : Query.outcome; mutable tick : int }
 
+let age_buckets = 24
+
 type t = {
   map : entry Map.t;
   cap : int;
   clock : int Atomic.t;
   evicted : int Atomic.t;
+  age_hist : int array;  (* log2 buckets of tick-age at eviction *)
+  age_lock : Mutex.t;
 }
 
 let create ?(shards = 16) ~capacity () =
@@ -31,6 +35,8 @@ let create ?(shards = 16) ~capacity () =
     cap = capacity;
     clock = Atomic.make 0;
     evicted = Atomic.make 0;
+    age_hist = Array.make age_buckets 0;
+    age_lock = Mutex.create ();
   }
 
 let capacity t = t.cap
@@ -55,10 +61,17 @@ let evict t =
   Array.sort compare arr;
   let target = max 1 (t.cap - max 1 (t.cap / 10)) in
   let excess = Array.length arr - target in
+  let now = Atomic.get t.clock in
+  let bucket_of = Parcfl_stats.Histogram.bucket ~buckets:age_buckets in
+  Mutex.lock t.age_lock;
   for i = 0 to excess - 1 do
     Map.remove t.map (snd arr.(i));
-    Atomic.incr t.evicted
-  done
+    Atomic.incr t.evicted;
+    let age = max 0 (now - fst arr.(i)) in
+    let b = bucket_of age in
+    t.age_hist.(b) <- t.age_hist.(b) + 1
+  done;
+  Mutex.unlock t.age_lock
 
 let put t k outcome =
   let tick = Atomic.fetch_and_add t.clock 1 in
@@ -68,5 +81,11 @@ let put t k outcome =
         Some e
     | None -> Some { outcome; tick });
   if Map.size t.map > t.cap then evict t
+
+let eviction_age_hist t =
+  Mutex.lock t.age_lock;
+  let copy = Array.copy t.age_hist in
+  Mutex.unlock t.age_lock;
+  copy
 
 let clear t = Map.clear t.map

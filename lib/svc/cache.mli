@@ -40,4 +40,9 @@ val put : t -> key -> Parcfl_cfl.Query.outcome -> unit
 val evictions : t -> int
 (** Entries removed by capacity sweeps so far. *)
 
+val eviction_age_hist : t -> int array
+(** Log2 histogram of the recency-tick age (now − last touch) of entries
+    at the moment they were evicted: bucket [i] counts evictions whose age
+    fell in [[2^i, 2^(i+1))]. Young evictions signal an undersized cache. *)
+
 val clear : t -> unit

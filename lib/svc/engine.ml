@@ -70,6 +70,12 @@ let load t ?type_level pag =
 let jmp_edges t =
   match t.store with Some s -> Jmp_store.n_jumps s | None -> 0
 
+let jmp_stat f t = match t.store with Some s -> f s | None -> 0
+let jmp_hits t = jmp_stat Jmp_store.n_hits t
+let jmp_misses t = jmp_stat Jmp_store.n_misses t
+let jmp_finished t = jmp_stat Jmp_store.n_finished t
+let jmp_unfinished t = jmp_stat Jmp_store.n_unfinished t
+
 let steps_per_second t = t.rate
 
 let deadline_budget t ~seconds_left =

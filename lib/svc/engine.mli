@@ -47,6 +47,13 @@ val load : t -> ?type_level:(int -> int) -> Parcfl_pag.Pag.t -> unit
 val jmp_edges : t -> int
 (** jmp records accumulated across all batches so far. *)
 
+val jmp_hits : t -> int
+(** Store lookups that found a record; 0 in modes without sharing. *)
+
+val jmp_misses : t -> int
+val jmp_finished : t -> int
+val jmp_unfinished : t -> int
+
 val steps_per_second : t -> float option
 (** EWMA of observed traversal throughput; [None] until a batch with
     measurable wall time has run. *)

@@ -12,21 +12,35 @@ type summary = {
   ls_errors : int;
   ls_wall_s : float;
   ls_throughput : float;
-  ls_p50_us : float;
-  ls_p95_us : float;
-  ls_p99_us : float;
-  ls_max_us : float;
+  ls_p50_us : float option;
+  ls_p95_us : float option;
+  ls_p99_us : float option;
+  ls_max_us : float option;
   ls_latency_hist : int array;
 }
 
 let hist_buckets = 22
 
+(* A p-quantile needs at least ceil(1/(1-q)) samples before the order
+   statistic it indexes is distinguishable from the maximum — reporting a
+   "p99" of a 5-sample run is garbage, so refuse instead. *)
+let min_samples q =
+  if q >= 1.0 then 1
+  else max 1 (int_of_float (Float.ceil (1.0 /. (1.0 -. q))))
+
 let percentile sorted q =
   let n = Array.length sorted in
-  if n = 0 then 0.0
+  if Float.is_nan q || q < 0.0 || q > 1.0 then
+    Error (Printf.sprintf "percentile: q=%g outside [0,1]" q)
+  else if n = 0 then Error "percentile: empty sample set"
+  else if n < min_samples q then
+    Error
+      (Printf.sprintf
+         "percentile: %d sample(s) cannot support q=%g (need >= %d)" n q
+         (min_samples q))
   else
     let i = int_of_float (q *. float_of_int (n - 1)) in
-    sorted.(max 0 (min (n - 1) i))
+    Ok sorted.(max 0 (min (n - 1) i))
 
 type tally = {
   mutable ok : int;
@@ -44,7 +58,8 @@ let classify tally = function
   | Ok (Protocol.Timeout _) -> tally.timeouts <- tally.timeouts + 1
   | Ok (Protocol.Rejected _) -> tally.rejected <- tally.rejected + 1
   | Ok (Protocol.Error _) | Ok (Protocol.Pong _)
-  | Ok (Protocol.Stats_reply _)
+  | Ok (Protocol.Stats_reply _) | Ok (Protocol.Metrics_reply _)
+  | Ok (Protocol.Slowlog_reply _)
   | Error _ ->
       tally.errors <- tally.errors + 1
 
@@ -130,10 +145,11 @@ let run ?(rate = 0.0) ~connect ~clients ~requests_per_client ~queries () =
     ls_wall_s = wall;
     ls_throughput =
       (if wall > 0.0 then float_of_int responded /. wall else 0.0);
-    ls_p50_us = percentile latencies 0.50;
-    ls_p95_us = percentile latencies 0.95;
-    ls_p99_us = percentile latencies 0.99;
-    ls_max_us = (if responded = 0 then 0.0 else latencies.(responded - 1));
+    ls_p50_us = Result.to_option (percentile latencies 0.50);
+    ls_p95_us = Result.to_option (percentile latencies 0.95);
+    ls_p99_us = Result.to_option (percentile latencies 0.99);
+    ls_max_us =
+      (if responded = 0 then None else Some latencies.(responded - 1));
     ls_latency_hist =
       Histogram.of_values ~buckets:hist_buckets
         (Array.map int_of_float latencies);
@@ -166,19 +182,27 @@ let to_json s =
       ("errors", Json.Int s.ls_errors);
       ("wall_seconds", Json.Float s.ls_wall_s);
       ("throughput_qps", Json.Float s.ls_throughput);
-      ("p50_us", Json.Float s.ls_p50_us);
-      ("p95_us", Json.Float s.ls_p95_us);
-      ("p99_us", Json.Float s.ls_p99_us);
-      ("max_us", Json.Float s.ls_max_us);
+      ( "p50_us",
+        match s.ls_p50_us with Some v -> Json.Float v | None -> Json.Null );
+      ( "p95_us",
+        match s.ls_p95_us with Some v -> Json.Float v | None -> Json.Null );
+      ( "p99_us",
+        match s.ls_p99_us with Some v -> Json.Float v | None -> Json.Null );
+      ( "max_us",
+        match s.ls_max_us with Some v -> Json.Float v | None -> Json.Null );
       ( "latency_hist",
         Json.List (Array.to_list (Array.map (fun n -> Json.Int n) s.ls_latency_hist)) );
     ]
 
+let pp_quantile ppf = function
+  | Some v -> Format.fprintf ppf "%.0fus" v
+  | None -> Format.pp_print_string ppf "n/a"
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>clients=%d sent=%d ok=%d (cached=%d) timeouts=%d rejected=%d \
-     errors=%d@,wall=%.3fs throughput=%.1f req/s@,latency p50=%.0fus \
-     p95=%.0fus p99=%.0fus max=%.0fus@]"
+     errors=%d@,wall=%.3fs throughput=%.1f req/s@,latency p50=%a \
+     p95=%a p99=%a max=%a@]"
     s.ls_clients s.ls_sent s.ls_ok s.ls_cached s.ls_timeouts s.ls_rejected
-    s.ls_errors s.ls_wall_s s.ls_throughput s.ls_p50_us s.ls_p95_us
-    s.ls_p99_us s.ls_max_us
+    s.ls_errors s.ls_wall_s s.ls_throughput pp_quantile s.ls_p50_us
+    pp_quantile s.ls_p95_us pp_quantile s.ls_p99_us pp_quantile s.ls_max_us

@@ -16,17 +16,24 @@ type summary = {
   ls_errors : int;  (** error responses, malformed replies, dead connections *)
   ls_wall_s : float;
   ls_throughput : float;  (** responses (of any kind) per second *)
-  ls_p50_us : float;
-  ls_p95_us : float;
-  ls_p99_us : float;
-  ls_max_us : float;
+  ls_p50_us : float option;
+      (** [None] when too few samples support the quantile (see
+          {!percentile}) — rendered as [null] / [n/a], never a fabricated
+          number *)
+  ls_p95_us : float option;
+  ls_p99_us : float option;
+  ls_max_us : float option;  (** [None] when nothing responded *)
   ls_latency_hist : int array;  (** log2 us buckets, {!hist_buckets} wide *)
 }
 
 val hist_buckets : int
 
-val percentile : float array -> float -> float
-(** [percentile sorted q] with [q] in [0,1]; 0 on empty input. *)
+val percentile : float array -> float -> (float, string) result
+(** [percentile sorted q] with [q] in [[0,1]] over an ascending-sorted
+    array. Errors (instead of returning garbage) when [q] is out of range,
+    the sample set is empty, or it holds fewer than [ceil (1 / (1-q))]
+    samples — below that the requested order statistic is
+    indistinguishable from the maximum (a 5-sample "p99" is noise). *)
 
 val run :
   ?rate:float ->

@@ -12,11 +12,17 @@ type counter =
   | Batches
   | Batched_queries
   | Coalesced
+  | Flush_full
+  | Flush_window
+  | Flush_forced
+  | Sched_groups
+  | Early_terms
 
 let all =
   [
     Admitted; Rejected; Cache_hit; Cache_miss; Completed; Timeout_budget;
-    Timeout_deadline; Batches; Batched_queries; Coalesced;
+    Timeout_deadline; Batches; Batched_queries; Coalesced; Flush_full;
+    Flush_window; Flush_forced; Sched_groups; Early_terms;
   ]
 
 let index = function
@@ -30,6 +36,11 @@ let index = function
   | Batches -> 7
   | Batched_queries -> 8
   | Coalesced -> 9
+  | Flush_full -> 10
+  | Flush_window -> 11
+  | Flush_forced -> 12
+  | Sched_groups -> 13
+  | Early_terms -> 14
 
 let name = function
   | Admitted -> "admitted"
@@ -42,14 +53,24 @@ let name = function
   | Batches -> "batches"
   | Batched_queries -> "batched_queries"
   | Coalesced -> "coalesced"
+  | Flush_full -> "flushes_full"
+  | Flush_window -> "flushes_window"
+  | Flush_forced -> "flushes_forced"
+  | Sched_groups -> "sched_groups"
+  | Early_terms -> "early_terminations"
 
-type t = Counter.t array
+type t = { counters : Counter.t array; created : float }
 
-let create () = Array.init (List.length all) (fun _ -> Counter.create ())
+let create () =
+  {
+    counters = Array.init (List.length all) (fun _ -> Counter.create ());
+    created = Unix.gettimeofday ();
+  }
 
-let incr ?(worker = 0) t c = Counter.incr t.(index c) ~worker
-let add ?(worker = 0) t c n = Counter.add t.(index c) ~worker n
-let get t c = Counter.value t.(index c)
+let incr ?(worker = 0) t c = Counter.incr t.counters.(index c) ~worker
+let add ?(worker = 0) t c n = Counter.add t.counters.(index c) ~worker n
+let get t c = Counter.value t.counters.(index c)
+let uptime_s t = Float.max 0.0 (Unix.gettimeofday () -. t.created)
 
 let cache_hit_rate t =
   let h = get t Cache_hit and m = get t Cache_miss in
@@ -60,7 +81,7 @@ let mean_batch_size t =
   if b = 0 then 0.0
   else float_of_int (get t Batched_queries) /. float_of_int b
 
-let to_json t ~queue_depth ~cache_size =
+let to_json ?(extra = []) t ~queue_depth ~cache_size =
   Json.Obj
     (List.map (fun c -> (name c, Json.Int (get t c))) all
     @ [
@@ -68,4 +89,6 @@ let to_json t ~queue_depth ~cache_size =
         ("mean_batch_size", Json.Float (mean_batch_size t));
         ("queue_depth", Json.Int queue_depth);
         ("cache_size", Json.Int cache_size);
-      ])
+        ("uptime_s", Json.Float (uptime_s t));
+      ]
+    @ extra)

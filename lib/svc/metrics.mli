@@ -17,13 +17,29 @@ type counter =
   | Batches  (** micro-batches executed *)
   | Batched_queries  (** queries executed across all batches (post-coalesce) *)
   | Coalesced  (** duplicate in-batch queries folded into one solve *)
+  | Flush_full  (** batches formed because the queue hit [max_batch] *)
+  | Flush_window  (** batches formed because the oldest query aged out *)
+  | Flush_forced  (** batches formed by an explicit [drain] *)
+  | Sched_groups  (** scheduling units executed across all batches *)
+  | Early_terms  (** early terminations observed across all batches *)
+
+val all : counter list
+(** Every counter, in a fixed order (the [stats] field order). *)
+
+val name : counter -> string
+(** The counter's snake_case wire name. *)
 
 type t
 
 val create : unit -> t
+(** Also stamps the creation time, the zero of {!uptime_s}. *)
+
 val incr : ?worker:int -> t -> counter -> unit
 val add : ?worker:int -> t -> counter -> int -> unit
 val get : t -> counter -> int
+
+val uptime_s : t -> float
+(** Seconds since {!create}. *)
 
 val cache_hit_rate : t -> float
 (** [hits / (hits + misses)]; 0 before any lookup. *)
@@ -31,6 +47,11 @@ val cache_hit_rate : t -> float
 val mean_batch_size : t -> float
 
 val to_json :
-  t -> queue_depth:int -> cache_size:int -> Parcfl_obs.Json.t
-(** The [stats] response payload: every counter plus derived rates and the
-    two gauges. *)
+  ?extra:(string * Parcfl_obs.Json.t) list ->
+  t ->
+  queue_depth:int ->
+  cache_size:int ->
+  Parcfl_obs.Json.t
+(** The [stats] response payload: every counter plus derived rates, the
+    queue/cache gauges, [uptime_s], and any [extra] fields the service
+    appends (jmp-store and eviction counters it owns the sources of). *)

@@ -8,6 +8,8 @@ type request =
       deadline_ms : float option;
     }
   | Stats of int
+  | Metrics of int
+  | Slowlog of { id : int; limit : int option }
   | Ping of int
   | Quit
 
@@ -43,6 +45,17 @@ let parse_request line =
   | [ "ping"; id ] -> Result.map (fun id -> Ping id) (int_of_token "ping id" id)
   | [ "stats"; id ] ->
       Result.map (fun id -> Stats id) (int_of_token "stats id" id)
+  | [ "metrics"; id ] ->
+      Result.map (fun id -> Metrics id) (int_of_token "metrics id" id)
+  | [ "slowlog"; id ] ->
+      Result.map
+        (fun id -> Slowlog { id; limit = None })
+        (int_of_token "slowlog id" id)
+  | [ "slowlog"; id; n ] ->
+      Result.bind (int_of_token "slowlog id" id) (fun id ->
+          Result.bind (int_of_token "slowlog limit" n) (fun n ->
+              if n < 0 then Error "slowlog limit: want a non-negative integer"
+              else Ok (Slowlog { id; limit = Some n })))
   | "query" :: id :: var :: opts ->
       Result.bind (int_of_token "query id" id) (fun id ->
           Result.map
@@ -52,12 +65,16 @@ let parse_request line =
   | verb :: _ ->
       Error
         (Printf.sprintf
-           "unknown request %S (want query|stats|ping|quit)" verb)
+           "unknown request %S (want query|stats|metrics|slowlog|ping|quit)"
+           verb)
 
 let request_to_string = function
   | Quit -> "quit"
   | Ping id -> Printf.sprintf "ping %d" id
   | Stats id -> Printf.sprintf "stats %d" id
+  | Metrics id -> Printf.sprintf "metrics %d" id
+  | Slowlog { id; limit = None } -> Printf.sprintf "slowlog %d" id
+  | Slowlog { id; limit = Some n } -> Printf.sprintf "slowlog %d %d" id n
   | Query { id; var; budget; deadline_ms } ->
       String.concat ""
         [
@@ -86,6 +103,8 @@ type response =
   | Error of { id : int option; reason : string }
   | Pong of int
   | Stats_reply of { id : int; stats : Json.t }
+  | Metrics_reply of { id : int; body : string }
+  | Slowlog_reply of { id : int; entries : Json.t }
 
 let reason_string = function `Budget -> "budget" | `Deadline -> "deadline"
 
@@ -128,6 +147,22 @@ let response_to_json = function
   | Stats_reply { id; stats } ->
       Json.Obj
         [ ("id", Json.Int id); ("status", Json.String "stats"); ("stats", stats) ]
+  | Metrics_reply { id; body } ->
+      (* The multi-line exposition rides inside a JSON string, keeping the
+         one-line-per-response transport invariant. *)
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("status", Json.String "metrics");
+          ("body", Json.String body);
+        ]
+  | Slowlog_reply { id; entries } ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("status", Json.String "slowlog");
+          ("entries", entries);
+        ]
 
 let response_to_string r = Json.to_string (response_to_json r)
 
@@ -200,6 +235,14 @@ let response_of_json j =
       let* id = require "id" (member_int "id" j) in
       let* stats = require "stats" (Json.member "stats" j) in
       Ok (Stats_reply { id; stats })
+  | "metrics" ->
+      let* id = require "id" (member_int "id" j) in
+      let* body = require "body" (member_string "body" j) in
+      Ok (Metrics_reply { id; body })
+  | "slowlog" ->
+      let* id = require "id" (member_int "id" j) in
+      let* entries = require "entries" (Json.member "entries" j) in
+      Ok (Slowlog_reply { id; entries })
   | s -> Stdlib.Error (Printf.sprintf "unknown response status %S" s)
 
 let response_of_string s = Result.bind (Json.of_string s) response_of_json
@@ -209,6 +252,8 @@ let response_id = function
   | Timeout { id; _ }
   | Rejected { id; _ }
   | Pong id
-  | Stats_reply { id; _ } ->
+  | Stats_reply { id; _ }
+  | Metrics_reply { id; _ }
+  | Slowlog_reply { id; _ } ->
       Some id
   | Error { id; _ } -> id

@@ -11,6 +11,8 @@
     {v
     query <id> <var> [budget=<steps>] [deadline_ms=<float>]
     stats <id>
+    metrics <id>
+    slowlog <id> [<limit>]
     ping <id>
     quit
     v}
@@ -29,6 +31,10 @@ type request =
           (** wall-clock deadline relative to admission *)
     }
   | Stats of int  (** service counters snapshot *)
+  | Metrics of int  (** Prometheus text exposition of the full registry *)
+  | Slowlog of { id : int; limit : int option }
+      (** the flight recorder's worst queries by latency, worst first;
+          [limit] truncates the reply *)
   | Ping of int
   | Quit  (** begin graceful drain and shut the server down *)
 
@@ -58,6 +64,11 @@ type response =
   | Error of { id : int option; reason : string }
   | Pong of int
   | Stats_reply of { id : int; stats : Parcfl_obs.Json.t }
+  | Metrics_reply of { id : int; body : string }
+      (** [body] is the multi-line exposition text, carried as one JSON
+          string so the response still fits on one line *)
+  | Slowlog_reply of { id : int; entries : Parcfl_obs.Json.t }
+      (** a JSON list, worst query first (see {!Slowlog.to_json}) *)
 
 val response_to_json : response -> Parcfl_obs.Json.t
 

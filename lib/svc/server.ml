@@ -28,6 +28,7 @@ type t = {
   service : Service.t;
   mutable conns : conn list;
   mutable listen_fd : Unix.file_descr option;
+  mutable metrics_fd : Unix.file_descr option;
   mutable stopping : bool;
 }
 
@@ -98,12 +99,38 @@ let accept_client t listen_fd =
 let close_conn conn =
   if not conn.is_stdio then (try Unix.close conn.fd with Unix.Unix_error _ -> ())
 
-let serve ?stdio ?socket_path service =
+(* The scrape listener is HTTP-free: accept, write the full exposition,
+   close. One snapshot per connection — the `nc`-able analogue of GET
+   /metrics, and exactly what a Prometheus exporter sidecar needs. *)
+let accept_scrape t listen_fd =
+  match Unix.accept listen_fd with
+  | fd, _ ->
+      let body = Service.metrics_text t.service in
+      let conn =
+        { fd; out_fd = fd; buf = Buffer.create 0; alive = true;
+          is_stdio = false }
+      in
+      write_all conn body;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+let serve ?stdio ?socket_path ?metrics_socket_path service =
   let stdio = Option.value stdio ~default:(socket_path = None) in
   if (not stdio) && socket_path = None then
     invalid_arg "Svc.Server.serve: no transport enabled";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let t = { service; conns = []; listen_fd = None; stopping = false } in
+  let t =
+    { service; conns = []; listen_fd = None; metrics_fd = None;
+      stopping = false }
+  in
   if stdio then
     t.conns <-
       [
@@ -115,24 +142,26 @@ let serve ?stdio ?socket_path service =
           is_stdio = true;
         };
       ];
+  Option.iter (fun path -> t.listen_fd <- Some (listen_unix path)) socket_path;
   Option.iter
-    (fun path ->
-      (try Unix.unlink path with Unix.Unix_error _ -> ());
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.bind fd (Unix.ADDR_UNIX path);
-      Unix.listen fd 64;
-      Unix.set_nonblock fd;
-      t.listen_fd <- Some fd)
-    socket_path;
+    (fun path -> t.metrics_fd <- Some (listen_unix path))
+    metrics_socket_path;
   while not t.stopping do
     t.conns <- List.filter (fun c -> c.alive) t.conns;
     let now = Unix.gettimeofday () in
     if Service.due t.service ~now then ignore (Service.pump t.service ~now);
     let read_fds =
       (match t.listen_fd with Some fd -> [ fd ] | None -> [])
+      @ (match t.metrics_fd with Some fd -> [ fd ] | None -> [])
       @ List.map (fun c -> c.fd) t.conns
     in
-    if read_fds = [] && Service.queue_depth t.service = 0 then
+    if
+      (match read_fds with
+      | [] -> true
+      | [ fd ] -> Some fd = t.metrics_fd
+      | _ -> false)
+      && Service.queue_depth t.service = 0
+    then
       (* No clients left and nothing queued: a socket-only server keeps
          waiting for the next client; pure stdio would have stopped at
          EOF already. *)
@@ -148,6 +177,7 @@ let serve ?stdio ?socket_path service =
           List.iter
             (fun fd ->
               if Some fd = t.listen_fd then accept_client t fd
+              else if Some fd = t.metrics_fd then accept_scrape t fd
               else
                 match List.find_opt (fun c -> c.fd = fd) t.conns with
                 | Some conn when conn.alive -> read_chunk t conn
@@ -165,5 +195,12 @@ let serve ?stdio ?socket_path service =
         (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ())
         socket_path)
     t.listen_fd;
+  Option.iter
+    (fun fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Option.iter
+        (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ())
+        metrics_socket_path)
+    t.metrics_fd;
   Service.drain t.service ~now:(Unix.gettimeofday ());
   List.iter close_conn t.conns

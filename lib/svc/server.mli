@@ -12,6 +12,11 @@
       serve` behind a pipe. EOF on stdin begins a graceful drain.
     - {b Unix domain socket}: a listening socket accepting any number of
       concurrent clients — `parcfl serve --socket /tmp/parcfl.sock`.
+    - {b metrics socket} ([metrics_socket_path]): an HTTP-free scrape
+      endpoint — every accepted connection is written one full Prometheus
+      text exposition ({!Service.metrics_text}) and closed. Works with
+      [nc -U] or any collector that can read a stream; it never parses
+      input, so it is not a protocol transport.
 
     A [quit] request from any client (or stdin EOF) stops intake, drains
     the in-flight queue — every admitted request still gets its real
@@ -20,8 +25,10 @@
 val serve :
   ?stdio:bool ->
   ?socket_path:string ->
+  ?metrics_socket_path:string ->
   Service.t ->
   unit
 (** [stdio] defaults to [true] when [socket_path] is [None], else [false].
-    The socket path is unlinked before bind and after shutdown.
+    Socket paths are unlinked before bind and after shutdown. The metrics
+    socket alone does not count as a transport.
     @raise Invalid_argument when both transports are disabled. *)

@@ -4,6 +4,9 @@ module Query = Parcfl_cfl.Query
 module Mode = Parcfl_par.Mode
 module Report = Parcfl_par.Report
 module Json = Parcfl_obs.Json
+module Expo = Parcfl_telemetry.Expo
+module Registry = Parcfl_telemetry.Registry
+module Histogram = Parcfl_stats.Histogram
 
 type config = {
   threads : int;
@@ -15,6 +18,7 @@ type config = {
   max_budget : int;
   tau_f : int option;
   tau_u : int option;
+  slowlog_capacity : int;
 }
 
 let default_config =
@@ -28,6 +32,7 @@ let default_config =
     max_budget = Config.default.Config.budget;
     tau_f = None;
     tau_u = None;
+    slowlog_capacity = 32;
   }
 
 type pending = {
@@ -46,7 +51,15 @@ type t = {
   queue : pending Admission.t;
   batcher : Batcher.t;
   metrics : Metrics.t;
+  slowlog : Slowlog.t;
+  registry : Registry.t;
   names : (string, Pag.var) Hashtbl.t;
+  (* Cumulative service-lifetime histograms (log2 buckets), folded in from
+     each batch report on the pump thread — no synchronisation needed. *)
+  lat_hist : int array;
+  steps_hist : int array;
+  group_hist : int array;
+  busy_us : float array;  (* per engine worker, across all batches *)
 }
 
 let index_names pag =
@@ -59,6 +72,94 @@ let index_names pag =
   done;
   tbl
 
+(* Everything the service knows, as Prometheus families. Collectors only
+   read atomics and snapshot copies, so a scrape never blocks a solve. *)
+let register_collectors t =
+  let c = Expo.counter and g = Expo.gauge in
+  (* Service counters: one family per Metrics counter. *)
+  Registry.register t.registry (fun () ->
+      List.map
+        (fun m ->
+          c
+            ~name:(Printf.sprintf "parcfl_svc_%s_total" (Metrics.name m))
+            ~help:("Service counter: " ^ Metrics.name m)
+            (float_of_int (Metrics.get t.metrics m)))
+        Metrics.all);
+  (* Service gauges + latency/steps histograms. *)
+  Registry.register t.registry (fun () ->
+      [
+        g ~name:"parcfl_svc_queue_depth" ~help:"Admission queue depth"
+          (float_of_int (Admission.depth t.queue));
+        g ~name:"parcfl_svc_uptime_seconds" ~help:"Seconds since service start"
+          (Metrics.uptime_s t.metrics);
+        g ~name:"parcfl_svc_threads" ~help:"Engine domain pool size"
+          (float_of_int (Engine.threads t.engine));
+        g ~name:"parcfl_svc_generation" ~help:"Loaded-PAG generation"
+          (float_of_int (Engine.generation t.engine));
+        (match Engine.steps_per_second t.engine with
+        | Some r ->
+            g ~name:"parcfl_svc_steps_per_second"
+              ~help:"EWMA of observed solver traversal rate" r
+        | None ->
+            g ~name:"parcfl_svc_steps_per_second"
+              ~help:"EWMA of observed solver traversal rate" Float.nan);
+        Expo.histogram_of_log2 ~name:"parcfl_svc_latency_us"
+          ~help:"Per-query service latency, microseconds (solved queries)"
+          t.lat_hist;
+        Expo.histogram_of_log2 ~name:"parcfl_svc_steps"
+          ~help:"Per-query steps walked" t.steps_hist;
+      ]);
+  (* Per-domain utilization: busy microseconds by worker. *)
+  Registry.register t.registry (fun () ->
+      List.init (Array.length t.busy_us) (fun w ->
+          c
+            ~labels:[ ("worker", string_of_int w) ]
+            ~name:"parcfl_worker_busy_us_total"
+            ~help:"Microseconds each domain spent inside queries"
+            t.busy_us.(w)));
+  (* Result cache: size, evictions, age-at-eviction. *)
+  Registry.register t.registry (fun () ->
+      [
+        g ~name:"parcfl_cache_size" ~help:"Result-cache entries"
+          (float_of_int (Cache.size t.cache));
+        g ~name:"parcfl_cache_capacity" ~help:"Result-cache capacity"
+          (float_of_int (Cache.capacity t.cache));
+        c ~name:"parcfl_cache_evictions_total"
+          ~help:"Entries removed by capacity sweeps"
+          (float_of_int (Cache.evictions t.cache));
+        Expo.histogram_of_log2 ~name:"parcfl_cache_eviction_age_ticks"
+          ~help:"Recency-tick age of entries at eviction"
+          (Cache.eviction_age_hist t.cache);
+      ]);
+  (* jmp store (lib/sharing): the paper's shared shortcut state. *)
+  Registry.register t.registry (fun () ->
+      [
+        c ~name:"parcfl_jmp_hits_total"
+          ~help:"jmp-store lookups that found a record"
+          (float_of_int (Engine.jmp_hits t.engine));
+        c ~name:"parcfl_jmp_misses_total"
+          ~help:"jmp-store lookups that found nothing"
+          (float_of_int (Engine.jmp_misses t.engine));
+        c ~name:"parcfl_jmp_finished_total"
+          ~help:"Finished jmp records accepted"
+          (float_of_int (Engine.jmp_finished t.engine));
+        c ~name:"parcfl_jmp_unfinished_total"
+          ~help:"Unfinished jmp records accepted"
+          (float_of_int (Engine.jmp_unfinished t.engine));
+      ]);
+  (* Scheduler (lib/sched): groups and their sizes. *)
+  Registry.register t.registry (fun () ->
+      [
+        c ~name:"parcfl_sched_groups_total"
+          ~help:"Scheduling units executed across all batches"
+          (float_of_int (Metrics.get t.metrics Metrics.Sched_groups));
+        c ~name:"parcfl_sched_early_terminations_total"
+          ~help:"Queries cut short by the early-termination rule"
+          (float_of_int (Metrics.get t.metrics Metrics.Early_terms));
+        Expo.histogram_of_log2 ~name:"parcfl_sched_group_size"
+          ~help:"Scheduling-unit sizes (queries per unit)" t.group_hist;
+      ])
+
 let create ?(config = default_config) ?tracer ~type_level pag =
   let solver_config =
     Config.with_budget config.max_budget Config.default
@@ -68,21 +169,36 @@ let create ?(config = default_config) ?tracer ~type_level pag =
       ?tau_f:config.tau_f ?tau_u:config.tau_u ~solver_config ?tracer
       ~type_level pag
   in
-  {
-    cfg = config;
-    engine;
-    cache = Cache.create ~capacity:config.cache_capacity ();
-    queue = Admission.create ~capacity:config.queue_capacity;
-    batcher =
-      Batcher.create ~max_batch:config.max_batch ~max_wait:config.max_wait ();
-    metrics = Metrics.create ();
-    names = index_names pag;
-  }
+  let buckets = Report.hist_buckets in
+  let t =
+    {
+      cfg = config;
+      engine;
+      cache = Cache.create ~capacity:config.cache_capacity ();
+      queue = Admission.create ~capacity:config.queue_capacity;
+      batcher =
+        Batcher.create ~max_batch:config.max_batch ~max_wait:config.max_wait
+          ();
+      metrics = Metrics.create ();
+      slowlog = Slowlog.create ~capacity:config.slowlog_capacity;
+      registry = Registry.create ();
+      names = index_names pag;
+      lat_hist = Array.make buckets 0;
+      steps_hist = Array.make buckets 0;
+      group_hist = Array.make buckets 0;
+      busy_us = Array.make (Engine.threads engine) 0.0;
+    }
+  in
+  register_collectors t;
+  t
 
 let config t = t.cfg
 let engine t = t.engine
 let queue_depth t = Admission.depth t.queue
 let metrics t = t.metrics
+let slowlog t = t.slowlog
+let registry t = t.registry
+let metrics_text t = Registry.render t.registry
 
 let metrics_json t =
   let base =
@@ -93,6 +209,10 @@ let metrics_json t =
     [
       ("generation", Json.Int (Engine.generation t.engine));
       ("jmp_edges", Json.Int (Engine.jmp_edges t.engine));
+      ("jmp_hits", Json.Int (Engine.jmp_hits t.engine));
+      ("jmp_misses", Json.Int (Engine.jmp_misses t.engine));
+      ("jmp_finished", Json.Int (Engine.jmp_finished t.engine));
+      ("jmp_unfinished", Json.Int (Engine.jmp_unfinished t.engine));
       ("cache_evictions", Json.Int (Cache.evictions t.cache));
       ( "steps_per_second",
         match Engine.steps_per_second t.engine with
@@ -161,11 +281,37 @@ let answer_of_outcome t ~id ~cached ~latency_us (outcome : Query.outcome) =
         latency_us;
       }
 
+let note_slowlog t ~id ~var ~budget ~steps ~latency_us ~outcome ~cached ~now =
+  Slowlog.note t.slowlog
+    {
+      Slowlog.sl_id = id;
+      sl_var = var;
+      sl_budget = budget;
+      sl_steps = steps;
+      sl_latency_us = latency_us;
+      sl_outcome = outcome;
+      sl_cached = cached;
+      sl_at = now;
+    }
+
+let observe_latency t latency_us =
+  let b =
+    Histogram.bucket ~buckets:(Array.length t.lat_hist)
+      (max 0 (int_of_float latency_us))
+  in
+  t.lat_hist.(b) <- t.lat_hist.(b) + 1
+
 let submit t ~now ~respond req =
   match req with
   | Protocol.Ping id -> respond (Protocol.Pong id)
   | Protocol.Stats id ->
       respond (Protocol.Stats_reply { id; stats = metrics_json t })
+  | Protocol.Metrics id ->
+      respond (Protocol.Metrics_reply { id; body = metrics_text t })
+  | Protocol.Slowlog { id; limit } ->
+      respond
+        (Protocol.Slowlog_reply
+           { id; entries = Slowlog.to_json ?limit t.slowlog })
   | Protocol.Quit -> ()
   | Protocol.Query { id; var; budget; deadline_ms } -> (
       match resolve t var with
@@ -179,10 +325,19 @@ let submit t ~now ~respond req =
               let resp =
                 answer_of_outcome t ~id ~cached:true ~latency_us:0.0 outcome
               in
-              (match resp with
-              | Protocol.Timeout _ ->
-                  Metrics.incr t.metrics Metrics.Timeout_budget
-              | _ -> Metrics.incr t.metrics Metrics.Completed);
+              let outcome_str =
+                match resp with
+                | Protocol.Timeout _ ->
+                    Metrics.incr t.metrics Metrics.Timeout_budget;
+                    "timeout_budget"
+                | _ ->
+                    Metrics.incr t.metrics Metrics.Completed;
+                    "ok"
+              in
+              observe_latency t 0.0;
+              note_slowlog t ~id ~var ~budget:eff
+                ~steps:outcome.Query.steps_used ~latency_us:0.0
+                ~outcome:outcome_str ~cached:true ~now;
               respond resp
           | None ->
               Metrics.incr t.metrics Metrics.Cache_miss;
@@ -213,11 +368,20 @@ let due t ~now =
 let wait_hint t ~now =
   Batcher.wait_hint t.batcher ~now ~oldest_arrival:(oldest_arrival t)
 
-let respond_timeout t p reason =
+let respond_timeout t ~now ~latency_us ~steps p reason =
   Metrics.incr t.metrics
     (match reason with
     | `Deadline -> Metrics.Timeout_deadline
     | `Budget -> Metrics.Timeout_budget);
+  observe_latency t latency_us;
+  note_slowlog t ~id:p.p_id
+    ~var:(Pag.var_name (Engine.pag t.engine) p.p_var)
+    ~budget:p.p_budget ~steps ~latency_us
+    ~outcome:
+      (match reason with
+      | `Deadline -> "timeout_deadline"
+      | `Budget -> "timeout_budget")
+    ~cached:false ~now;
   p.p_respond (Protocol.Timeout { id = p.p_id; reason; cached = false })
 
 let run_batch t live =
@@ -242,6 +406,25 @@ let run_batch t live =
     List.fold_left (fun acc p -> max acc p.p_budget) 1 live
   in
   let report = Engine.execute t.engine ~budget:batch_budget vars in
+  Metrics.add t.metrics Metrics.Sched_groups
+    (Array.length report.Report.r_group_sizes);
+  Metrics.add t.metrics Metrics.Early_terms
+    (Report.n_early_terminations report);
+  Array.iteri
+    (fun i c -> t.steps_hist.(i) <- t.steps_hist.(i) + c)
+    report.Report.r_steps_hist;
+  let group_bucket =
+    Histogram.bucket ~buckets:(Array.length t.group_hist)
+  in
+  Array.iter
+    (fun s ->
+      let b = group_bucket s in
+      t.group_hist.(b) <- t.group_hist.(b) + 1)
+    report.Report.r_group_sizes;
+  Array.iteri
+    (fun w b ->
+      if w < Array.length t.busy_us then t.busy_us.(w) <- t.busy_us.(w) +. b)
+    report.Report.r_worker_busy_us;
   let by_var = Hashtbl.create (Array.length vars) in
   Array.iteri
     (fun i (o : Query.outcome) ->
@@ -283,20 +466,38 @@ let run_batch t live =
             | Some d -> qs.Report.qs_end_us /. 1e6 > d
             | None -> false
           in
-          if deadline_missed then respond_timeout t p `Deadline
-          else if not within_budget then respond_timeout t p `Budget
+          let end_s = qs.Report.qs_end_us /. 1e6 in
+          let latency_us = qs.Report.qs_end_us -. (p.p_arrival *. 1e6) in
+          let steps = outcome.Query.steps_used in
+          if deadline_missed then
+            respond_timeout t ~now:end_s ~latency_us ~steps p `Deadline
+          else if not within_budget then
+            respond_timeout t ~now:end_s ~latency_us ~steps p `Budget
           else begin
             Metrics.incr t.metrics Metrics.Completed;
+            observe_latency t latency_us;
+            note_slowlog t ~id:p.p_id
+              ~var:(Pag.var_name (Engine.pag t.engine) p.p_var)
+              ~budget:p.p_budget ~steps ~latency_us ~outcome:"ok"
+              ~cached:false ~now:end_s;
             p.p_respond
-              (answer_of_outcome t ~id:p.p_id ~cached:false
-                 ~latency_us:(qs.Report.qs_end_us -. (p.p_arrival *. 1e6))
+              (answer_of_outcome t ~id:p.p_id ~cached:false ~latency_us
                  outcome)
           end)
     live
 
 let pump ?(force = false) t ~now =
-  if queue_depth t = 0 || ((not force) && not (due t ~now)) then 0
+  let reason =
+    Batcher.flush_reason t.batcher ~now ~depth:(queue_depth t)
+      ~oldest_arrival:(oldest_arrival t)
+  in
+  if queue_depth t = 0 || ((not force) && reason = None) then 0
   else begin
+    Metrics.incr t.metrics
+      (match reason with
+      | Some Batcher.Full -> Metrics.Flush_full
+      | Some Batcher.Window -> Metrics.Flush_window
+      | None -> Metrics.Flush_forced);
     let batch = Admission.take t.queue ~max:(Batcher.max_batch t.batcher) in
     let live, expired =
       List.partition
@@ -304,7 +505,12 @@ let pump ?(force = false) t ~now =
           match p.p_deadline with Some d -> now <= d | None -> true)
         batch
     in
-    List.iter (fun p -> respond_timeout t p `Deadline) expired;
+    List.iter
+      (fun p ->
+        respond_timeout t ~now
+          ~latency_us:((now -. p.p_arrival) *. 1e6)
+          ~steps:0 p `Deadline)
+      expired;
     if live <> [] then run_batch t live;
     List.length batch
   end

@@ -35,11 +35,12 @@ type config = {
   max_budget : int;  (** service-wide per-query step-budget ceiling *)
   tau_f : int option;
   tau_u : int option;
+  slowlog_capacity : int;  (** flight-recorder bound (worst queries kept) *)
 }
 
 val default_config : config
 (** 4 threads, [Share_sched], batches of 64 / 10 ms, queue 1024, cache
-    4096, budget {!Parcfl_cfl.Config.default}'s. *)
+    4096, budget {!Parcfl_cfl.Config.default}'s, slowlog 32. *)
 
 type t
 
@@ -55,9 +56,21 @@ val engine : t -> Engine.t
 val queue_depth : t -> int
 val metrics : t -> Metrics.t
 
+val slowlog : t -> Slowlog.t
+(** The flight recorder; populated by every answered query. *)
+
+val registry : t -> Parcfl_telemetry.Registry.t
+(** The telemetry registry with every subsystem's collectors registered
+    (service counters, cache, jmp store, scheduler, per-worker busy
+    time). Extendable by embedders before serving. *)
+
+val metrics_text : t -> string
+(** The full Prometheus text exposition — the [metrics] request payload
+    and what the scrape listener serves. *)
+
 val metrics_json : t -> Parcfl_obs.Json.t
-(** The [stats] payload: counters, gauges, generation, jmp edges, observed
-    traversal rate. *)
+(** The [stats] payload: counters, gauges, generation, jmp-store
+    hit/miss/record counters, observed traversal rate. *)
 
 val resolve : t -> string -> (Parcfl_pag.Pag.var, string) result
 (** ["#<n>"] by id (bounds-checked), otherwise exact-name lookup. *)

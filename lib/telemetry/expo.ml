@@ -1,0 +1,168 @@
+type sample = { labels : (string * string) list; value : float }
+
+type hist = {
+  h_labels : (string * string) list;
+  h_buckets : (float * int) list;
+  h_count : int;
+  h_sum : float option;
+}
+
+type family =
+  | Counter of { name : string; help : string; samples : sample list }
+  | Gauge of { name : string; help : string; samples : sample list }
+  | Histogram of { name : string; help : string; series : hist list }
+
+let family_name = function
+  | Counter { name; _ } | Gauge { name; _ } | Histogram { name; _ } -> name
+
+let name_char_ok first c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || ((not first) && c >= '0' && c <= '9')
+
+let sanitize_name s =
+  if s = "" then "_"
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.iteri
+      (fun i c -> if not (name_char_ok false c) then Bytes.set b i '_')
+      b;
+    let s = Bytes.to_string b in
+    (* A leading digit is prefixed, not replaced: "9lives" stays
+       distinguishable from "_lives". *)
+    if name_char_ok true s.[0] then s else "_" ^ s
+  end
+
+let escape ~quote s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value = escape ~quote:true
+let escape_help = escape ~quote:false
+
+(* Prometheus number spelling: integers without a fraction part, the rest
+   with enough digits to round-trip, and the spec's spellings for the
+   non-finite values. *)
+let number v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let counter ?(labels = []) ~name ~help v =
+  Counter { name; help; samples = [ { labels; value = v } ] }
+
+let gauge ?(labels = []) ~name ~help v =
+  Gauge { name; help; samples = [ { labels; value = v } ] }
+
+let cumulative_of_log2 h =
+  let n = Array.length h in
+  if n = 0 then [ (Float.infinity, 0) ]
+  else begin
+    let acc = ref 0 in
+    List.init n (fun i ->
+        acc := !acc + h.(i);
+        let le =
+          if i = n - 1 then Float.infinity else Float.of_int (1 lsl (i + 1))
+        in
+        (le, !acc))
+  end
+
+let histogram_of_log2 ?(labels = []) ?sum ~name ~help h =
+  let buckets = cumulative_of_log2 h in
+  let count = match List.rev buckets with (_, c) :: _ -> c | [] -> 0 in
+  Histogram
+    {
+      name;
+      help;
+      series =
+        [ { h_labels = labels; h_buckets = buckets; h_count = count;
+            h_sum = sum } ];
+    }
+
+let label_str labels =
+  match labels with
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_name k)
+                 (escape_label_value v))
+             ls)
+      ^ "}"
+
+let sort_samples samples =
+  List.sort (fun a b -> compare a.labels b.labels) samples
+
+let render_header buf name help kind =
+  Buffer.add_string buf
+    (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" name (escape_help help)
+       name kind)
+
+let render_simple buf name kind help samples =
+  render_header buf name help kind;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" name (label_str s.labels)
+           (number s.value)))
+    (sort_samples samples)
+
+let render_hist buf name help series =
+  render_header buf name help "histogram";
+  let series =
+    List.sort (fun a b -> compare a.h_labels b.h_labels) series
+  in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun (le, c) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" name
+               (label_str (h.h_labels @ [ ("le", number le) ]))
+               c))
+        h.h_buckets;
+      (match h.h_sum with
+      | Some s ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" name (label_str h.h_labels)
+               (number s))
+      | None -> ());
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" name (label_str h.h_labels)
+           h.h_count))
+    series
+
+let render families =
+  let buf = Buffer.create 4096 in
+  let families =
+    List.sort
+      (fun a b ->
+        compare
+          (sanitize_name (family_name a))
+          (sanitize_name (family_name b)))
+      families
+  in
+  List.iter
+    (fun f ->
+      let name = sanitize_name (family_name f) in
+      match f with
+      | Counter { help; samples; _ } ->
+          render_simple buf name "counter" help samples
+      | Gauge { help; samples; _ } -> render_simple buf name "gauge" help samples
+      | Histogram { help; series; _ } -> render_hist buf name help series)
+    families;
+  Buffer.contents buf

@@ -1,0 +1,81 @@
+(** Prometheus text exposition (version 0.0.4), dependency-free.
+
+    A scrape is a list of {e metric families} rendered as
+
+    {v
+    # HELP parcfl_cache_hits_total Cache lookups served from the cache.
+    # TYPE parcfl_cache_hits_total counter
+    parcfl_cache_hits_total{shard="0"} 42
+    v}
+
+    The renderer is deterministic: families are sorted by name and samples
+    by their label sets, so the same registry state always produces the
+    same bytes — the test suite diffs scrapes textually. Metric names are
+    sanitised to [[a-zA-Z_:][a-zA-Z0-9_:]*]; label values are escaped per
+    the exposition spec (backslash, double quote, newline).
+
+    Histograms follow the Prometheus convention: cumulative
+    [name_bucket{le="..."}] series ending in [le="+Inf"], plus [name_count]
+    and (when the producer tracked it) [name_sum]. {!cumulative_of_log2}
+    adapts this repo's log2 bucket arrays ({!Parcfl_stats.Histogram}):
+    bucket [i] counts values in [[2^i, 2^(i+1))], so its cumulative upper
+    bound is [le = 2^(i+1)], with the last bucket mapped to [+Inf]. *)
+
+type sample = { labels : (string * string) list; value : float }
+
+type hist = {
+  h_labels : (string * string) list;
+  h_buckets : (float * int) list;
+      (** (upper bound, cumulative count); bounds strictly increasing,
+          counts non-decreasing, last bound [infinity] *)
+  h_count : int;  (** total observations = last bucket's count *)
+  h_sum : float option;  (** omitted from the output when [None] *)
+}
+
+type family =
+  | Counter of { name : string; help : string; samples : sample list }
+  | Gauge of { name : string; help : string; samples : sample list }
+  | Histogram of { name : string; help : string; series : hist list }
+
+val family_name : family -> string
+
+val sanitize_name : string -> string
+(** Replace every character outside [[a-zA-Z0-9_:]] with ['_'] and prefix
+    ['_'] when the first character may not start a name. Total: any string
+    becomes a valid metric name. *)
+
+val escape_label_value : string -> string
+(** Backslash, double quote, and newline each become their two-character
+    escaped spelling. *)
+
+val escape_help : string -> string
+(** Backslash and newline escaped (HELP lines must stay on one line);
+    quotes are left alone outside label position. *)
+
+val counter :
+  ?labels:(string * string) list -> name:string -> help:string -> float ->
+  family
+(** One-sample counter family (the common case). *)
+
+val gauge :
+  ?labels:(string * string) list -> name:string -> help:string -> float ->
+  family
+
+val cumulative_of_log2 : int array -> (float * int) list
+(** Turn a log2 bucket array into cumulative [(le, count)] pairs; empty
+    array becomes a single [+Inf] bucket of 0. *)
+
+val histogram_of_log2 :
+  ?labels:(string * string) list ->
+  ?sum:float ->
+  name:string ->
+  help:string ->
+  int array ->
+  family
+(** A one-series histogram family from a log2 bucket array. *)
+
+val render : family list -> string
+(** The full exposition: families sorted by (sanitised) name, one
+    HELP/TYPE header each, samples sorted by label set, trailing newline.
+    Non-finite gauge/counter values render as the Prometheus spellings
+    NaN, +Inf, and -Inf. *)

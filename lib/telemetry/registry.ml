@@ -1,0 +1,11 @@
+type t = { mutable collectors : (unit -> Expo.family list) list }
+
+let create () = { collectors = [] }
+let register t f = t.collectors <- f :: t.collectors
+
+let collect t =
+  List.concat_map
+    (fun f -> try f () with _ -> [])
+    (List.rev t.collectors)
+
+let render t = Expo.render (collect t)

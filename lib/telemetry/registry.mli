@@ -1,0 +1,23 @@
+(** A registry of pull-based collectors.
+
+    Subsystems register a thunk that snapshots their counters into
+    {!Expo.family} values; a scrape calls every thunk and renders the
+    combined exposition. Collectors run on the scraping thread, so they
+    must only read (atomics, immutable snapshots) — never mutate solver
+    state. Registration order is irrelevant: {!Expo.render} sorts. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> (unit -> Expo.family list) -> unit
+(** Add a collector. Thread-safety: registration is expected at service
+    construction time, before concurrent scrapes begin. *)
+
+val collect : t -> Expo.family list
+(** Run every collector and concatenate the families. A collector that
+    raises contributes nothing (a broken gauge must not take down the
+    scrape endpoint). *)
+
+val render : t -> string
+(** [Expo.render (collect t)]. *)

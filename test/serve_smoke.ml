@@ -97,6 +97,36 @@ let () =
       | _ -> fail "stats report no cache hits")
   | r -> fail "expected stats, got %s" (Proto.response_to_string r));
 
+  (* Telemetry: a full Prometheus exposition over the same wire. *)
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  send (Proto.Metrics 21);
+  (match recv () with
+  | Proto.Metrics_reply { id = 21; body } ->
+      List.iter
+        (fun needle ->
+          if not (contains needle body) then
+            fail "metrics exposition lacks %S" needle)
+        [
+          "# TYPE parcfl_jmp_hits_total counter";
+          "# TYPE parcfl_sched_groups_total counter";
+          "# TYPE parcfl_cache_evictions_total counter";
+          "# TYPE parcfl_svc_latency_us histogram";
+          "parcfl_svc_latency_us_bucket{le=\"+Inf\"}";
+        ]
+  | r -> fail "expected metrics, got %s" (Proto.response_to_string r));
+
+  (* The flight recorder saw the three answered queries. *)
+  send (Proto.Slowlog { id = 22; limit = Some 2 });
+  (match recv () with
+  | Proto.Slowlog_reply { id = 22; entries = P.Json.List l } ->
+      if l = [] then fail "slowlog is empty after three queries";
+      if List.length l > 2 then fail "slowlog ignored the limit"
+  | r -> fail "expected slowlog, got %s" (Proto.response_to_string r));
+
   send Proto.Quit;
   close_out oc;
   let _, status = Unix.waitpid [] pid in

@@ -33,4 +33,5 @@ let () =
       Test_stats_render.suite;
       Test_obs.suite;
       Test_svc.suite;
+      Test_telemetry.suite;
     ]

@@ -15,7 +15,10 @@ let test_request_round_trip () =
       Proto.Query
         { id = 2; var = "Main.x"; budget = Some 100; deadline_ms = Some 5.5 };
       Proto.Stats 3;
-      Proto.Ping 4;
+      Proto.Metrics 4;
+      Proto.Slowlog { id = 5; limit = None };
+      Proto.Slowlog { id = 6; limit = Some 10 };
+      Proto.Ping 7;
       Proto.Quit;
     ]
   in
@@ -33,7 +36,11 @@ let test_request_errors () =
       match Proto.parse_request line with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "parsed %S" line)
-    [ ""; "query"; "query x"; "bogus 1"; "ping notanint"; "query 1 v budget=x" ]
+    [
+      ""; "query"; "query x"; "bogus 1"; "ping notanint";
+      "query 1 v budget=x"; "metrics"; "metrics x"; "slowlog";
+      "slowlog 1 -2"; "slowlog 1 x";
+    ]
 
 let test_response_round_trip () =
   let responses =
@@ -55,6 +62,14 @@ let test_response_round_trip () =
       Proto.Pong 6;
       Proto.Stats_reply
         { id = 7; stats = P.Json.Obj [ ("admitted", P.Json.Int 1) ] };
+      Proto.Metrics_reply
+        { id = 8; body = "# HELP a b\n# TYPE a counter\na 1\n" };
+      Proto.Slowlog_reply
+        {
+          id = 9;
+          entries =
+            P.Json.List [ P.Json.Obj [ ("id", P.Json.Int 1) ] ];
+        };
     ]
   in
   List.iter

@@ -1,0 +1,370 @@
+(* Telemetry: Prometheus text exposition (lib/telemetry), the collector
+   registry, the slow-query flight recorder, the load generator's honest
+   percentiles, and the tracer's dropped-event footer. The exposition tests
+   diff rendered text because the renderer promises deterministic bytes. *)
+
+module P = Parcfl
+module E = P.Expo
+module Proto = P.Svc_protocol
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains what needle text =
+  if not (contains ~needle text) then
+    Alcotest.failf "%s: %S not found in:\n%s" what needle text
+
+(* Drop the one line that tracks wall-clock time, so two scrapes of an
+   unchanged service compare equal. *)
+let strip_uptime text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l ->
+         not (String.length l >= 26 && String.sub l 0 26 = "parcfl_svc_uptime_seconds "))
+  |> String.concat "\n"
+
+(* --------------------------- exposition ---------------------------- *)
+
+let test_sanitize_and_escape () =
+  Alcotest.(check string) "dots and dashes" "foo_bar_baz"
+    (E.sanitize_name "foo.bar-baz");
+  Alcotest.(check string) "leading digit" "_9lives" (E.sanitize_name "9lives");
+  Alcotest.(check string) "empty" "_" (E.sanitize_name "");
+  Alcotest.(check string) "valid untouched" "ok_name:x9"
+    (E.sanitize_name "ok_name:x9");
+  Alcotest.(check string) "label escapes" "a\\\\b\\\"c\\nd"
+    (E.escape_label_value "a\\b\"c\nd");
+  (* HELP text keeps quotes (not in label position) but stays on one line. *)
+  Alcotest.(check string) "help escapes" "say \"hi\"\\n"
+    (E.escape_help "say \"hi\"\n")
+
+let test_render_deterministic_and_sorted () =
+  let families =
+    [
+      E.gauge ~name:"zz_last" ~help:"z" 1.0;
+      E.counter ~name:"aa_first_total" ~help:"a" 2.0;
+      E.Counter
+        {
+          name = "mid_total";
+          help = "m";
+          samples =
+            [
+              { E.labels = [ ("shard", "1") ]; value = 1.0 };
+              { E.labels = [ ("shard", "0") ]; value = 3.0 };
+            ];
+        };
+    ]
+  in
+  let text = E.render families in
+  let text' = E.render (List.rev families) in
+  Alcotest.(check string) "order-insensitive input, identical bytes" text
+    text';
+  (* Families come out sorted by name, samples sorted by label set. *)
+  let idx needle =
+    let rec find i =
+      if i + String.length needle > String.length text then -1
+      else if String.sub text i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let a = idx "aa_first_total 2" in
+  let m0 = idx "mid_total{shard=\"0\"} 3" in
+  let m1 = idx "mid_total{shard=\"1\"} 1" in
+  let z = idx "zz_last 1" in
+  List.iter
+    (fun (what, i) -> if i < 0 then Alcotest.failf "missing line: %s" what)
+    [ ("aa", a); ("mid shard 0", m0); ("mid shard 1", m1); ("zz", z) ];
+  Alcotest.(check bool) "families sorted" true (a < m0 && m1 < z);
+  Alcotest.(check bool) "samples sorted by labels" true (m0 < m1)
+
+let test_render_nonfinite () =
+  let text =
+    E.render
+      [
+        E.gauge ~name:"g_nan" ~help:"h" Float.nan;
+        E.gauge ~name:"g_pinf" ~help:"h" Float.infinity;
+        E.gauge ~name:"g_ninf" ~help:"h" Float.neg_infinity;
+      ]
+  in
+  check_contains "NaN" "g_nan NaN\n" text;
+  check_contains "+Inf" "g_pinf +Inf\n" text;
+  check_contains "-Inf" "g_ninf -Inf\n" text
+
+let test_cumulative_buckets () =
+  (* log2 bucket i counts [2^i, 2^(i+1)); cumulative le = 2^(i+1). *)
+  let buckets = E.cumulative_of_log2 [| 3; 0; 2; 1 |] in
+  let les = List.map fst buckets and counts = List.map snd buckets in
+  Alcotest.(check (list int)) "cumulative counts" [ 3; 3; 5; 6 ] counts;
+  (match les with
+  | [ a; b; c; inf ] ->
+      Alcotest.(check (float 0.0)) "le0" 2.0 a;
+      Alcotest.(check (float 0.0)) "le1" 4.0 b;
+      Alcotest.(check (float 0.0)) "le2" 8.0 c;
+      Alcotest.(check bool) "last is +Inf" true (inf = Float.infinity)
+  | _ -> Alcotest.fail "expected 4 buckets");
+  let rec monotone = function
+    | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+        le1 < le2 && c1 <= c2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly increasing le, non-decreasing count" true
+    (monotone buckets);
+  Alcotest.(check bool) "empty array is one +Inf bucket of 0" true
+    (E.cumulative_of_log2 [||] = [ (Float.infinity, 0) ])
+
+let test_histogram_render () =
+  let text =
+    E.render
+      [
+        E.histogram_of_log2 ~sum:12.5 ~name:"lat_us" ~help:"latency"
+          [| 2; 1; 0; 4 |];
+      ]
+  in
+  check_contains "type line" "# TYPE lat_us histogram\n" text;
+  check_contains "first bucket" "lat_us_bucket{le=\"2\"} 2\n" text;
+  check_contains "mid bucket" "lat_us_bucket{le=\"4\"} 3\n" text;
+  check_contains "inf bucket" "lat_us_bucket{le=\"+Inf\"} 7\n" text;
+  check_contains "sum" "lat_us_sum 12.5\n" text;
+  check_contains "count" "lat_us_count 7\n" text
+
+let test_registry () =
+  let r = P.Telemetry.create () in
+  P.Telemetry.register r (fun () ->
+      [ E.counter ~name:"good_total" ~help:"fine" 1.0 ]);
+  (* A faulty collector must not take down the scrape. *)
+  P.Telemetry.register r (fun () -> failwith "collector crash");
+  P.Telemetry.register r (fun () ->
+      [ E.gauge ~name:"also_good" ~help:"fine" 2.0 ]);
+  let text = P.Telemetry.render r in
+  check_contains "first collector" "good_total 1\n" text;
+  check_contains "third collector" "also_good 2\n" text;
+  Alcotest.(check int) "two families survive" 2
+    (List.length (P.Telemetry.collect r))
+
+(* ----------------------------- slowlog ----------------------------- *)
+
+let entry ?(cached = false) ?(outcome = "ok") ~id ~lat ~at () =
+  {
+    P.Svc_slowlog.sl_id = id;
+    sl_var = Printf.sprintf "v%d" id;
+    sl_budget = 100;
+    sl_steps = 10;
+    sl_latency_us = lat;
+    sl_outcome = outcome;
+    sl_cached = cached;
+    sl_at = at;
+  }
+
+let test_slowlog_bound_and_order () =
+  let sl = P.Svc_slowlog.create ~capacity:4 in
+  (* Offer 10 queries with latencies 10, 20, ..., 100 us. *)
+  for i = 1 to 10 do
+    P.Svc_slowlog.note sl
+      (entry ~id:i ~lat:(float_of_int (i * 10)) ~at:(float_of_int i) ())
+  done;
+  Alcotest.(check int) "bounded" 4 (P.Svc_slowlog.size sl);
+  let worst = P.Svc_slowlog.worst sl in
+  Alcotest.(check (list int)) "four slowest, slowest first"
+    [ 10; 9; 8; 7 ]
+    (List.map (fun e -> e.P.Svc_slowlog.sl_id) worst);
+  (* A query faster than every resident is not kept. *)
+  P.Svc_slowlog.note sl (entry ~id:11 ~lat:1.0 ~at:11.0 ());
+  Alcotest.(check (list int)) "fast newcomer rejected"
+    [ 10; 9; 8; 7 ]
+    (List.map
+       (fun e -> e.P.Svc_slowlog.sl_id)
+       (P.Svc_slowlog.worst sl));
+  (* A slower one evicts the current fastest resident (id 7). *)
+  P.Svc_slowlog.note sl (entry ~id:12 ~lat:75.0 ~at:12.0 ());
+  Alcotest.(check (list int)) "slow newcomer evicts fastest"
+    [ 10; 9; 8; 12 ]
+    (List.map
+       (fun e -> e.P.Svc_slowlog.sl_id)
+       (P.Svc_slowlog.worst sl));
+  Alcotest.(check int) "limit truncates" 2
+    (List.length (P.Svc_slowlog.worst ~limit:2 sl));
+  (* Latency ties break newest-first. *)
+  let sl2 = P.Svc_slowlog.create ~capacity:3 in
+  P.Svc_slowlog.note sl2 (entry ~id:1 ~lat:50.0 ~at:1.0 ());
+  P.Svc_slowlog.note sl2 (entry ~id:2 ~lat:50.0 ~at:2.0 ());
+  Alcotest.(check (list int)) "ties newest first" [ 2; 1 ]
+    (List.map
+       (fun e -> e.P.Svc_slowlog.sl_id)
+       (P.Svc_slowlog.worst sl2));
+  (match P.Svc_slowlog.to_json ~limit:1 sl2 with
+  | P.Json.List [ P.Json.Obj fields ] ->
+      Alcotest.(check bool) "json id" true
+        (List.assoc_opt "id" fields = Some (P.Json.Int 2))
+  | _ -> Alcotest.fail "expected a one-element JSON list");
+  P.Svc_slowlog.clear sl2;
+  Alcotest.(check int) "clear" 0 (P.Svc_slowlog.size sl2)
+
+(* --------------------------- percentiles --------------------------- *)
+
+let test_percentile_honesty () =
+  let sorted n = Array.init n (fun i -> float_of_int (i + 1)) in
+  (match P.Load_gen.percentile [||] 0.5 with
+  | Error _ -> ()
+  | Ok v -> Alcotest.failf "empty sample set produced %f" v);
+  (match P.Load_gen.percentile (sorted 10) 1.5 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "q out of range accepted");
+  (match P.Load_gen.percentile (sorted 10) Float.nan with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "NaN quantile accepted");
+  (* p99 needs ceil(1/0.01) = 100 samples: 50 is not enough. *)
+  (match P.Load_gen.percentile (sorted 50) 0.99 with
+  | Error _ -> ()
+  | Ok v -> Alcotest.failf "p99 of 50 samples produced %f" v);
+  (match P.Load_gen.percentile (sorted 100) 0.99 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "p99 of 100 samples refused: %s" e);
+  (match P.Load_gen.percentile (sorted 2) 0.5 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "p50 of 2 samples refused: %s" e);
+  match P.Load_gen.percentile (sorted 3) 1.0 with
+  | Ok v -> Alcotest.(check (float 0.0)) "q=1 is the max" 3.0 v
+  | Error e -> Alcotest.failf "q=1 refused: %s" e
+
+(* ------------------------- tracer footer --------------------------- *)
+
+let test_tracer_dropped_footer () =
+  let t = P.Tracer.create ~capacity:4 ~workers:1 () in
+  for i = 0 to 9 do
+    P.Tracer.emit t ~worker:0 P.Tracer.Query_start ~var:i;
+    P.Tracer.emit t ~worker:0 P.Tracer.Query_end ~var:i
+  done;
+  Alcotest.(check int) "dropped count" 16 (P.Tracer.n_dropped t);
+  match P.Tracer.to_json t with
+  | P.Json.Obj fields ->
+      Alcotest.(check bool) "footer present" true
+        (List.assoc_opt "droppedEvents" fields = Some (P.Json.Int 16))
+  | _ -> Alcotest.fail "expected a JSON object"
+
+(* ---------------------- service end to end ------------------------- *)
+
+let tiny = lazy (Option.get (P.Suite.build_by_name "tiny"))
+
+let make_service () =
+  let b = Lazy.force tiny in
+  let config =
+    {
+      P.Service.default_config with
+      P.Service.threads = 1;
+      max_batch = 8;
+      max_wait = 0.0;
+      slowlog_capacity = 3;
+    }
+  in
+  (b, P.Service.create ~config ~type_level:b.P.Suite.type_level b.P.Suite.pag)
+
+let drive_queries svc queries =
+  Array.iteri
+    (fun i v ->
+      P.Service.submit svc
+        ~now:(float_of_int i)
+        ~respond:(fun _ -> ())
+        (Proto.Query
+           {
+             id = i;
+             var = Printf.sprintf "#%d" v;
+             budget = None;
+             deadline_ms = None;
+           });
+      ignore (P.Service.pump ~force:true svc ~now:(float_of_int i)))
+    queries
+
+let test_service_exposition () =
+  let b, svc = make_service () in
+  drive_queries svc b.P.Suite.queries;
+  let text = P.Service.metrics_text svc in
+  (* The acceptance bar: at least one counter from each dark subsystem. *)
+  check_contains "jmp store" "# TYPE parcfl_jmp_hits_total counter" text;
+  check_contains "jmp misses" "parcfl_jmp_misses_total " text;
+  check_contains "sched" "# TYPE parcfl_sched_groups_total counter" text;
+  check_contains "early terms" "parcfl_sched_early_terminations_total " text;
+  check_contains "cache evictions" "# TYPE parcfl_cache_evictions_total counter"
+    text;
+  check_contains "latency histogram" "# TYPE parcfl_svc_latency_us histogram"
+    text;
+  check_contains "latency inf bucket" "parcfl_svc_latency_us_bucket{le=\"+Inf\"}"
+    text;
+  check_contains "latency count" "parcfl_svc_latency_us_count " text;
+  check_contains "batcher" "parcfl_svc_flushes_forced_total " text;
+  check_contains "worker busy" "parcfl_worker_busy_us_total{worker=\"0\"}" text;
+  (* Scrapes are deterministic between state changes (modulo uptime). *)
+  Alcotest.(check string) "stable bytes" (strip_uptime text)
+    (strip_uptime (P.Service.metrics_text svc));
+  (* Every sched group the engine ran is visible. *)
+  check_contains "group size histogram" "parcfl_sched_group_size_bucket" text
+
+let test_service_slowlog () =
+  let b, svc = make_service () in
+  drive_queries svc b.P.Suite.queries;
+  let sl = P.Service.slowlog svc in
+  Alcotest.(check bool) "populated" true (P.Svc_slowlog.size sl > 0);
+  Alcotest.(check bool) "bounded by capacity" true
+    (P.Svc_slowlog.size sl <= 3);
+  let worst = P.Svc_slowlog.worst sl in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.P.Svc_slowlog.sl_latency_us >= b.P.Svc_slowlog.sl_latency_us
+        && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "slowest first" true (sorted worst);
+  (* The protocol path returns the same list as JSON. *)
+  let responses = ref [] in
+  P.Service.submit svc ~now:99.0
+    ~respond:(fun r -> responses := r :: !responses)
+    (Proto.Slowlog { id = 7; limit = Some 2 });
+  match !responses with
+  | [ Proto.Slowlog_reply { id = 7; entries = P.Json.List l } ] ->
+      Alcotest.(check bool) "limit honoured" true (List.length l <= 2)
+  | _ -> Alcotest.fail "expected one slowlog reply"
+
+let test_service_metrics_request () =
+  let b, svc = make_service () in
+  drive_queries svc b.P.Suite.queries;
+  let responses = ref [] in
+  P.Service.submit svc ~now:99.0
+    ~respond:(fun r -> responses := r :: !responses)
+    (Proto.Metrics 5);
+  match !responses with
+  | [ Proto.Metrics_reply { id = 5; body } ] ->
+      Alcotest.(check string) "request equals scrape"
+        (strip_uptime (P.Service.metrics_text svc))
+        (strip_uptime body);
+      (* The reply survives the single-line wire format. *)
+      let line = Proto.response_to_string (List.hd !responses) in
+      Alcotest.(check bool) "single line" true
+        (not (String.contains line '\n'));
+      (match Proto.response_of_string line with
+      | Ok (Proto.Metrics_reply { body = body'; _ }) ->
+          Alcotest.(check string) "round trip" body body'
+      | _ -> Alcotest.fail "metrics reply did not round trip")
+  | _ -> Alcotest.fail "expected one metrics reply"
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "sanitise and escape" `Quick test_sanitize_and_escape;
+      Alcotest.test_case "render deterministic + sorted" `Quick
+        test_render_deterministic_and_sorted;
+      Alcotest.test_case "non-finite values" `Quick test_render_nonfinite;
+      Alcotest.test_case "cumulative log2 buckets" `Quick
+        test_cumulative_buckets;
+      Alcotest.test_case "histogram rendering" `Quick test_histogram_render;
+      Alcotest.test_case "registry isolates collectors" `Quick test_registry;
+      Alcotest.test_case "slowlog bound and order" `Quick
+        test_slowlog_bound_and_order;
+      Alcotest.test_case "percentile honesty" `Quick test_percentile_honesty;
+      Alcotest.test_case "tracer dropped footer" `Quick
+        test_tracer_dropped_footer;
+      Alcotest.test_case "service exposition" `Quick test_service_exposition;
+      Alcotest.test_case "service slowlog" `Quick test_service_slowlog;
+      Alcotest.test_case "service metrics request" `Quick
+        test_service_metrics_request;
+    ] )
