@@ -16,6 +16,12 @@
                         tripping on scheduler noise)
      steps_walked      growth > 2% (deterministic at fixed seed)
      sim_makespan      growth > 5% (deterministic discrete-event model)
+     minor_words       growth > 10% (deterministic: allocation per query
+                        depends only on code paths, not timing — a jump
+                        means an allocation crept back into the hot path)
+     steps_per_second  drop below 1/2 of baseline, gated on BOTH walls
+                        being >= 0.05 s (same noise floor as wall_seconds:
+                        sub-50ms rates are dominated by fixed costs)
      completed         any drop
      requests          any drop (service rows)
 
@@ -27,6 +33,8 @@ let wall_ratio = 2.0
 let wall_floor_s = 0.05
 let steps_tol = 0.02
 let makespan_tol = 0.05
+let minor_words_tol = 0.10
+let sps_ratio = 2.0
 
 (* ------------------------------------------------------------------ *)
 (* Field access *)
@@ -79,6 +87,18 @@ let check_growth field tol k b l acc =
       :: acc
   | _ -> acc
 
+let check_sps k b l acc =
+  match
+    (num "steps_per_second" b, num "steps_per_second" l,
+     num "wall_seconds" b, num "wall_seconds" l)
+  with
+  | Some bs, Some ls, Some bw, Some lw
+    when bw >= wall_floor_s && lw >= wall_floor_s && ls *. sps_ratio < bs ->
+      Printf.sprintf "%s: steps_per_second %.0f -> %.0f (< 1/%.1fx)" k bs ls
+        sps_ratio
+      :: acc
+  | _ -> acc
+
 let check_no_drop field k b l acc =
   match (num field b, num field l) with
   | Some bv, Some lv when lv < bv ->
@@ -90,6 +110,8 @@ let check_entry k baseline latest =
   |> check_wall k baseline latest
   |> check_growth "steps_walked" steps_tol k baseline latest
   |> check_growth "sim_makespan" makespan_tol k baseline latest
+  |> check_growth "minor_words" minor_words_tol k baseline latest
+  |> check_sps k baseline latest
   |> check_no_drop "completed" k baseline latest
   |> check_no_drop "requests" k baseline latest
   |> List.rev
@@ -148,7 +170,7 @@ let read_doc path =
 
 let self_test () =
   let entry ?section ~bench ~mode ~threads ~sim ~wall ~steps ~completed
-      ?makespan () =
+      ?makespan ?minor_words ?sps () =
     J.Obj
       ((match section with
        | Some s -> [ ("section", J.String s) ]
@@ -163,7 +185,14 @@ let self_test () =
           ("completed", J.Int completed);
           ( "sim_makespan",
             match makespan with Some m -> J.Int m | None -> J.Null );
-        ])
+        ]
+      @ (match minor_words with
+        | Some m -> [ ("minor_words", J.Int m) ]
+        | None -> [])
+      @
+      match sps with
+      | Some s -> [ ("steps_per_second", J.Float s) ]
+      | None -> [])
   in
   let doc es = J.Obj [ ("schema", J.Int 1); ("entries", J.List es) ] in
   let base =
@@ -173,6 +202,8 @@ let self_test () =
           ~steps:1000 ~completed:100 ();
         entry ~bench:"b" ~mode:"dq" ~threads:16 ~sim:true ~wall:0.001
           ~steps:800 ~completed:100 ~makespan:500 ();
+        entry ~bench:"b" ~mode:"d" ~threads:8 ~sim:false ~wall:1.0
+          ~steps:1000 ~completed:100 ~minor_words:10000 ~sps:1000.0 ();
       ]
   in
   let expect name doc' want =
@@ -236,6 +267,37 @@ let self_test () =
            ~steps:1000 ~completed:99 ();
        ])
     1;
+  run "minor-words-regression"
+    (doc
+       [
+         entry ~bench:"b" ~mode:"d" ~threads:8 ~sim:false ~wall:1.0
+           ~steps:1000 ~completed:100 ~minor_words:11001 ~sps:1000.0 ();
+       ])
+    1;
+  (* +9% allocation and 2x faster: both inside tolerance. *)
+  run "minor-words-and-sps-within-tolerance"
+    (doc
+       [
+         entry ~bench:"b" ~mode:"d" ~threads:8 ~sim:false ~wall:1.0
+           ~steps:1000 ~completed:100 ~minor_words:10900 ~sps:2000.0 ();
+       ])
+    0;
+  run "sps-drop"
+    (doc
+       [
+         entry ~bench:"b" ~mode:"d" ~threads:8 ~sim:false ~wall:1.0
+           ~steps:1000 ~completed:100 ~minor_words:10000 ~sps:400.0 ();
+       ])
+    1;
+  (* Same throughput halving, but the run finished in 10 ms: below the
+     noise floor where rates are dominated by fixed costs. *)
+  run "sps-drop-below-wall-floor"
+    (doc
+       [
+         entry ~bench:"b" ~mode:"d" ~threads:8 ~sim:false ~wall:0.01
+           ~steps:1000 ~completed:100 ~minor_words:10000 ~sps:400.0 ();
+       ])
+    0;
   run "everything-at-once"
     (doc
        [

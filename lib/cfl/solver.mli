@@ -47,6 +47,20 @@ val config : session -> Config.t
 val stats : session -> Stats.t
 val ctx_store : session -> Parcfl_pag.Ctx.store
 
+type qstate
+(** Reusable per-query solver state: memo tables, worklists and visited
+    sets. One query runs at a time per qstate; running a new query resets
+    the state in O(1) (generation-bumped tables) while keeping the backing
+    storage warm, so a worker that answers many queries allocates almost
+    nothing after the first. Not thread-safe — one qstate per worker. *)
+
+val make_qstate : ?worker:int -> session -> qstate
+(** [worker] indexes the stats stripes (default 0). *)
+
+val points_to_with : qstate -> Parcfl_pag.Pag.var -> Query.outcome
+(** [points_to] reusing [qstate]'s storage. Results are materialized into
+    the outcome before return, so they survive the next query's reset. *)
+
 val points_to : ?worker:int -> session -> Parcfl_pag.Pag.var -> Query.outcome
 (** Answer one query [(l, ∅)] — the paper issues batch queries with the
     empty (unconstrained) context. [worker] indexes the stats stripes. *)

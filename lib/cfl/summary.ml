@@ -29,7 +29,7 @@ let build ?(min_closure = 3) ?(max_closure = 64) pag =
         else begin
           Hashtbl.replace seen v ();
           order := v :: !order;
-          Array.iter visit (Pag.assign_in pag v)
+          Pag.iter_assign_in pag v visit
         end
       end
     in
@@ -43,11 +43,11 @@ let build ?(min_closure = 3) ?(max_closure = 64) pag =
       let loads = ref [] in
       List.iter
         (fun v ->
-          Array.iter (fun o -> objs := o :: !objs) (Pag.new_in pag v);
-          Array.iter (fun y -> gas := y :: !gas) (Pag.gassign_in pag v);
-          Array.iter (fun p -> params := p :: !params) (Pag.param_in pag v);
-          Array.iter (fun r -> rets := r :: !rets) (Pag.ret_in pag v);
-          if Array.length (Pag.load_in pag v) > 0 then loads := v :: !loads)
+          Pag.iter_new_in pag v (fun o -> objs := o :: !objs);
+          Pag.iter_gassign_in pag v (fun y -> gas := y :: !gas);
+          Pag.iter_param_in pag v (fun i y -> params := (i, y) :: !params);
+          Pag.iter_ret_in pag v (fun i r -> rets := (i, r) :: !rets);
+          if Pag.has_load_in pag v then loads := v :: !loads)
         !order;
       incr count;
       entries.(x) <-

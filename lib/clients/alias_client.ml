@@ -28,19 +28,13 @@ let field_access_pairs ?(limit = 1000) pag =
   let out = ref [] and n = ref 0 in
   (try
      for f = 0 to Pag.n_fields pag - 1 do
-       let loads = Pag.loads_of_field pag f in
-       let stores = Pag.stores_of_field pag f in
-       Array.iter
-         (fun (_, p) ->
-           Array.iter
-             (fun (q, _) ->
+       Pag.iter_loads_of_field pag f (fun _ p ->
+           Pag.iter_stores_of_field pag f (fun q _ ->
                if p <> q then begin
                  out := (p, q) :: !out;
                  incr n;
                  if !n >= limit then raise Exit
-               end)
-             stores)
-         loads
+               end))
      done
    with Exit -> ());
   List.rev !out

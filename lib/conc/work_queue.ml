@@ -15,19 +15,15 @@ let pop t =
   let i = Atomic.fetch_and_add t.next 1 in
   if i < Array.length t.items then Some t.items.(i) else None
 
+(* A grab hands back a window into the backing array instead of building a
+   list: one tuple per batch, nothing per item. *)
 let pop_many t n =
-  if n <= 0 then []
+  if n <= 0 then (t.items, 0, 0)
   else begin
     let i = Atomic.fetch_and_add t.next n in
     let len = Array.length t.items in
-    if i >= len then []
-    else begin
-      let stop = min len (i + n) in
-      let rec collect j acc =
-        if j < i then acc else collect (j - 1) (t.items.(j) :: acc)
-      in
-      collect (stop - 1) []
-    end
+    if i >= len then (t.items, 0, 0)
+    else (t.items, i, min len (i + n) - i)
   end
 
 let remaining t =

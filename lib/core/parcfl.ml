@@ -36,6 +36,8 @@ module Union_find = Parcfl_prim.Union_find
 module Rng = Parcfl_prim.Rng
 module Intern = Parcfl_prim.Intern
 module Pair_set = Parcfl_prim.Pair_set
+module Int_table = Parcfl_prim.Int_table
+module Pack = Parcfl_prim.Pack
 module Counter = Parcfl_conc.Counter
 module Sharded_map = Parcfl_conc.Sharded_map
 module Work_queue = Parcfl_conc.Work_queue

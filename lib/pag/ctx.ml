@@ -20,9 +20,14 @@ module Tbl = Parcfl_conc.Sharded_map.Make (Key)
    published with an atomic store; the entry fields are written before the id
    escapes (ids only travel through mutex-protected structures, giving the
    necessary happens-before). *)
+(* Spine size is a real cost, not just an address-space bound: every store
+   creation allocates [max_chunks] atomics and the first minor collection
+   after it promotes them all, a pause charged to whatever query happens to
+   be running. 2^24 contexts is still orders of magnitude beyond any
+   workload in the suite, and exhaustion fails loudly below. *)
 let chunk_bits = 12
 let chunk_size = 1 lsl chunk_bits
-let max_chunks = 1 lsl 16
+let max_chunks = 1 lsl 12
 
 type store = {
   ids : int Tbl.t;
@@ -88,6 +93,8 @@ let push store c i =
           winner)
 
 let top store c = if c = 0 then None else Some (entry store c).site
+
+let top_site store c = if c = 0 then -1 else (entry store c).site
 
 let pop store c = if c = 0 then 0 else (entry store c).parent
 

@@ -28,6 +28,9 @@ val push : store -> t -> int -> t
 
 val top : store -> t -> int option
 
+val top_site : store -> t -> int
+(** [top] without the option box: the top call site, or [-1] when empty. *)
+
 val pop : store -> t -> t
 (** [pop store empty = empty] — matching the paper's Algorithm 1 line 14
     remark that [⊥.pop() ≡ ⊥]. *)

@@ -1,5 +1,6 @@
 module Vec = Parcfl_prim.Vec
 module Bitset = Parcfl_prim.Bitset
+module Pack = Parcfl_prim.Pack
 
 type var = int
 type obj = int
@@ -29,25 +30,34 @@ type obj_info = {
   o_method : int;
 }
 
+(* Struct-of-arrays CSR adjacency: the neighbors of node [v] live in
+   [dat.(off.(v)) .. dat.(off.(v+1) - 1)], in edge-insertion order. Paired
+   relations (site+var, field+var, var+var) store both halves in one int via
+   {!Pack} — traversing them allocates nothing. *)
+type csr = {
+  off : int array; (* length n+1 *)
+  dat : int array;
+}
+
 type t = {
   vars : var_info array;
   objs : obj_info array;
   n_edges : int;
   n_fields : int;
-  new_in : obj array array;
-  new_out : var array array;
-  assign_in : var array array;
-  assign_out : var array array;
-  gassign_in : var array array;
-  gassign_out : var array array;
-  param_in : (callsite * var) array array;
-  param_out : (callsite * var) array array;
-  ret_in : (callsite * var) array array;
-  ret_out : (callsite * var) array array;
-  load_in : (field * var) array array;
-  store_out : (field * var) array array;
-  stores_of_field : (var * var) array array;
-  loads_of_field : (var * var) array array;
+  new_in : csr; (* var -> obj *)
+  new_out : csr; (* obj -> var *)
+  assign_in : csr; (* var -> var *)
+  assign_out : csr;
+  gassign_in : csr;
+  gassign_out : csr;
+  param_in : csr; (* var -> site ⊕ var *)
+  param_out : csr;
+  ret_in : csr;
+  ret_out : csr;
+  load_in : csr; (* var -> field ⊕ base *)
+  store_out : csr; (* var -> field ⊕ base *)
+  stores_of_field : csr; (* field -> base ⊕ src *)
+  loads_of_field : csr; (* field -> dst ⊕ base *)
   ci_sites : Bitset.t;
   app_locals : var array;
 }
@@ -82,9 +92,12 @@ module Build = struct
       b_ci = Bitset.create ();
     }
 
+  (* Ids are validated against the packing width as they are created, so
+     [freeze] and the solver can use [Pack.unsafe_pack] throughout. *)
   let add_var b ?(global = false) ?(typ = -1) ?(method_id = -1) ?(app = false)
       name =
     let id = Vec.length b.b_vars in
+    Pack.check_hi "variable id" id;
     Vec.push b.b_vars
       { v_name = name; v_global = global; v_typ = typ; v_method = method_id;
         v_app = app };
@@ -92,6 +105,7 @@ module Build = struct
 
   let add_obj b ?(typ = -1) ?(method_id = -1) name =
     let id = Vec.length b.b_objs in
+    Pack.check_hi "object id" id;
     Vec.push b.b_objs { o_name = name; o_typ = typ; o_method = method_id };
     id
 
@@ -127,6 +141,7 @@ module Build = struct
     check_var b dst "load";
     check_var b base "load";
     if field < 0 then invalid_arg "Pag.Build.load: negative field";
+    Pack.check_hi "field id" field;
     Vec.push b.b_load (dst, base, field);
     bump b
 
@@ -134,18 +149,23 @@ module Build = struct
     check_var b base "store";
     check_var b src "store";
     if field < 0 then invalid_arg "Pag.Build.store: negative field";
+    Pack.check_hi "field id" field;
     Vec.push b.b_store (base, field, src);
     bump b
 
   let param b ~dst ~site ~src =
     check_var b dst "param";
     check_var b src "param";
+    if site < 0 then invalid_arg "Pag.Build.param: negative call site";
+    Pack.check_hi "call site id" site;
     Vec.push b.b_param (dst, site, src);
     bump b
 
   let ret b ~dst ~site ~src =
     check_var b dst "ret";
     check_var b src "ret";
+    if site < 0 then invalid_arg "Pag.Build.ret: negative call site";
+    Pack.check_hi "call site id" site;
     Vec.push b.b_ret (dst, site, src);
     bump b
 
@@ -153,62 +173,69 @@ module Build = struct
 
   let n_vars b = Vec.length b.b_vars
 
-  (* Freezing: bucket every edge list by endpoint into per-node vectors, then
-     snapshot each vector as an array. Two passes (count, fill) would save
-     transient memory but the graphs here are small enough that clarity
-     wins. *)
+  (* Two-pass CSR construction: count per-node degrees into [off], prefix-sum
+     into row starts, then fill [dat] with a moving cursor. Replaying the
+     edge vectors in the same order both times keeps each node's neighbor
+     list in edge-insertion order, so traversal order (and therefore the
+     deterministic steps-walked counts the bench gate tracks) is identical
+     to the old per-node-vector freeze. *)
+  let csr_of n iter =
+    let off = Array.make (n + 1) 0 in
+    iter (fun node _payload -> off.(node + 1) <- off.(node + 1) + 1);
+    for i = 0 to n - 1 do
+      off.(i + 1) <- off.(i + 1) + off.(i)
+    done;
+    let dat = Array.make off.(n) 0 in
+    let cur = Array.copy off in
+    iter (fun node payload ->
+        dat.(cur.(node)) <- payload;
+        cur.(node) <- cur.(node) + 1);
+    { off; dat }
+
   let freeze b =
     let nv = Vec.length b.b_vars and no = Vec.length b.b_objs in
-    let mk n = Array.init n (fun _ -> Vec.create ()) in
-    let new_in = mk nv and new_out = mk no in
-    Vec.iter
-      (fun (x, o) ->
-        Vec.push new_in.(x) o;
-        Vec.push new_out.(o) x)
-      b.b_new;
-    let assign_in = mk nv and assign_out = mk nv in
-    Vec.iter
-      (fun (x, y) ->
-        Vec.push assign_in.(x) y;
-        Vec.push assign_out.(y) x)
-      b.b_assign;
-    let gassign_in = mk nv and gassign_out = mk nv in
-    Vec.iter
-      (fun (x, y) ->
-        Vec.push gassign_in.(x) y;
-        Vec.push gassign_out.(y) x)
-      b.b_gassign;
-    let param_in = mk nv and param_out = mk nv in
-    Vec.iter
-      (fun (x, i, y) ->
-        Vec.push param_in.(x) (i, y);
-        Vec.push param_out.(y) (i, x))
-      b.b_param;
-    let ret_in = mk nv and ret_out = mk nv in
-    Vec.iter
-      (fun (x, i, y) ->
-        Vec.push ret_in.(x) (i, y);
-        Vec.push ret_out.(y) (i, x))
-      b.b_ret;
+    let new_in = csr_of nv (fun f -> Vec.iter (fun (x, o) -> f x o) b.b_new)
+    and new_out = csr_of no (fun f -> Vec.iter (fun (x, o) -> f o x) b.b_new)
+    and assign_in =
+      csr_of nv (fun f -> Vec.iter (fun (x, y) -> f x y) b.b_assign)
+    and assign_out =
+      csr_of nv (fun f -> Vec.iter (fun (x, y) -> f y x) b.b_assign)
+    and gassign_in =
+      csr_of nv (fun f -> Vec.iter (fun (x, y) -> f x y) b.b_gassign)
+    and gassign_out =
+      csr_of nv (fun f -> Vec.iter (fun (x, y) -> f y x) b.b_gassign)
+    and param_in =
+      csr_of nv (fun f ->
+          Vec.iter (fun (x, i, y) -> f x (Pack.unsafe_pack i y)) b.b_param)
+    and param_out =
+      csr_of nv (fun f ->
+          Vec.iter (fun (x, i, y) -> f y (Pack.unsafe_pack i x)) b.b_param)
+    and ret_in =
+      csr_of nv (fun f ->
+          Vec.iter (fun (x, i, y) -> f x (Pack.unsafe_pack i y)) b.b_ret)
+    and ret_out =
+      csr_of nv (fun f ->
+          Vec.iter (fun (x, i, y) -> f y (Pack.unsafe_pack i x)) b.b_ret)
+    in
     let n_fields =
       let m = ref 0 in
       Vec.iter (fun (_, _, f) -> if f + 1 > !m then m := f + 1) b.b_load;
       Vec.iter (fun (_, f, _) -> if f + 1 > !m then m := f + 1) b.b_store;
       !m
     in
-    let load_in = mk nv and loads_of_field = mk n_fields in
-    Vec.iter
-      (fun (x, p, f) ->
-        Vec.push load_in.(x) (f, p);
-        Vec.push loads_of_field.(f) (x, p))
-      b.b_load;
-    let store_out = mk nv and stores_of_field = mk n_fields in
-    Vec.iter
-      (fun (q, f, y) ->
-        Vec.push store_out.(y) (f, q);
-        Vec.push stores_of_field.(f) (q, y))
-      b.b_store;
-    let snap a = Array.map Vec.to_array a in
+    let load_in =
+      csr_of nv (fun f ->
+          Vec.iter (fun (x, p, fd) -> f x (Pack.unsafe_pack fd p)) b.b_load)
+    and loads_of_field =
+      csr_of n_fields (fun f ->
+          Vec.iter (fun (x, p, fd) -> f fd (Pack.unsafe_pack x p)) b.b_load)
+    and store_out =
+      csr_of nv (fun f ->
+          Vec.iter (fun (q, fd, y) -> f y (Pack.unsafe_pack fd q)) b.b_store)
+    and stores_of_field =
+      csr_of n_fields (fun f ->
+          Vec.iter (fun (q, fd, y) -> f fd (Pack.unsafe_pack q y)) b.b_store)
+    in
     let app_locals =
       let acc = Vec.create () in
       Vec.iteri
@@ -221,20 +248,20 @@ module Build = struct
       objs = Vec.to_array b.b_objs;
       n_edges = b.b_edges;
       n_fields;
-      new_in = snap new_in;
-      new_out = snap new_out;
-      assign_in = snap assign_in;
-      assign_out = snap assign_out;
-      gassign_in = snap gassign_in;
-      gassign_out = snap gassign_out;
-      param_in = snap param_in;
-      param_out = snap param_out;
-      ret_in = snap ret_in;
-      ret_out = snap ret_out;
-      load_in = snap load_in;
-      store_out = snap store_out;
-      stores_of_field = snap stores_of_field;
-      loads_of_field = snap loads_of_field;
+      new_in;
+      new_out;
+      assign_in;
+      assign_out;
+      gassign_in;
+      gassign_out;
+      param_in;
+      param_out;
+      ret_in;
+      ret_out;
+      load_in;
+      store_out;
+      stores_of_field;
+      loads_of_field;
       ci_sites = b.b_ci;
       app_locals;
     }
@@ -257,70 +284,136 @@ let var_is_app t v = t.vars.(v).v_app
 let site_is_ci t i = Bitset.mem t.ci_sites i
 let app_locals t = t.app_locals
 
-let new_in t v = t.new_in.(v)
-let new_out t o = t.new_out.(o)
-let assign_in t v = t.assign_in.(v)
-let assign_out t v = t.assign_out.(v)
-let gassign_in t v = t.gassign_in.(v)
-let gassign_out t v = t.gassign_out.(v)
-let param_in t v = t.param_in.(v)
-let param_out t v = t.param_out.(v)
-let ret_in t v = t.ret_in.(v)
-let ret_out t v = t.ret_out.(v)
-let load_in t v = t.load_in.(v)
-let store_out t v = t.store_out.(v)
+(* Zero-alloc row iteration. The callback is applied to raw payload ints;
+   the paired wrappers below unpack in-register. Rows are contiguous, so
+   these compile to a plain counted loop over [dat]. The [off] reads stay
+   bounds-checked — they are the only guard an out-of-range node id meets
+   (the old snapshot arrays raised here too); the payload reads are safe
+   once [off] is, since the builder seals [off] as a monotone prefix sum
+   over [dat]. *)
+let[@inline] iter_row c v f =
+  let stop = c.off.(v + 1) in
+  for i = c.off.(v) to stop - 1 do
+    f (Array.unsafe_get c.dat i)
+  done
+
+let[@inline] iter_row2 c v f =
+  let stop = c.off.(v + 1) in
+  for i = c.off.(v) to stop - 1 do
+    let d = Array.unsafe_get c.dat i in
+    f (Pack.hi d) (Pack.lo d)
+  done
+
+let[@inline] row_len c v = c.off.(v + 1) - c.off.(v)
+
+let iter_new_in t v f = iter_row t.new_in v f
+let iter_new_out t o f = iter_row t.new_out o f
+let iter_assign_in t v f = iter_row t.assign_in v f
+let iter_assign_out t v f = iter_row t.assign_out v f
+let iter_gassign_in t v f = iter_row t.gassign_in v f
+let iter_gassign_out t v f = iter_row t.gassign_out v f
+let iter_param_in t v f = iter_row2 t.param_in v f
+let iter_param_out t v f = iter_row2 t.param_out v f
+let iter_ret_in t v f = iter_row2 t.ret_in v f
+let iter_ret_out t v f = iter_row2 t.ret_out v f
+let iter_load_in t v f = iter_row2 t.load_in v f
+let iter_store_out t v f = iter_row2 t.store_out v f
+
+let has_load_in t v = row_len t.load_in v > 0
+let has_store_out t v = row_len t.store_out v > 0
+
+let has_stores_of_field t f =
+  f >= 0 && f < t.n_fields && row_len t.stores_of_field f > 0
+
+let has_loads_of_field t f =
+  f >= 0 && f < t.n_fields && row_len t.loads_of_field f > 0
+
+(* Field-indexed rows carry the user-facing bounds contract: a negative
+   field id is a caller bug; an id at or past [n_fields] is a legal field
+   that simply has no loads/stores (interned but unused), i.e. empty. *)
+let[@inline] check_field what f =
+  if f < 0 then
+    invalid_arg (Printf.sprintf "Pag.%s: negative field %d" what f)
+
+let iter_stores_of_field t fd f =
+  check_field "iter_stores_of_field" fd;
+  if fd < t.n_fields then iter_row2 t.stores_of_field fd f
+
+let iter_loads_of_field t fd f =
+  check_field "iter_loads_of_field" fd;
+  if fd < t.n_fields then iter_row2 t.loads_of_field fd f
+
+(* Allocating snapshots of the same rows, for cold callers (serialization,
+   dot export, tests) that want materialized arrays. *)
+let snap_row c v = Array.sub c.dat c.off.(v) (row_len c v)
+
+let snap_row2 c v =
+  let start = c.off.(v) in
+  Array.init (row_len c v) (fun i ->
+      let d = c.dat.(start + i) in
+      (Pack.hi d, Pack.lo d))
+
+let new_in t v = snap_row t.new_in v
+let new_out t o = snap_row t.new_out o
+let assign_in t v = snap_row t.assign_in v
+let assign_out t v = snap_row t.assign_out v
+let gassign_in t v = snap_row t.gassign_in v
+let gassign_out t v = snap_row t.gassign_out v
+let param_in t v = snap_row2 t.param_in v
+let param_out t v = snap_row2 t.param_out v
+let ret_in t v = snap_row2 t.ret_in v
+let ret_out t v = snap_row2 t.ret_out v
+let load_in t v = snap_row2 t.load_in v
+let store_out t v = snap_row2 t.store_out v
 
 let stores_of_field t f =
-  if f >= 0 && f < t.n_fields then t.stores_of_field.(f) else [||]
+  check_field "stores_of_field" f;
+  if f < t.n_fields then snap_row2 t.stores_of_field f else [||]
 
 let loads_of_field t f =
-  if f >= 0 && f < t.n_fields then t.loads_of_field.(f) else [||]
+  check_field "loads_of_field" f;
+  if f < t.n_fields then snap_row2 t.loads_of_field f else [||]
 
 let iter_edges t f =
-  Array.iteri
-    (fun dst objs -> Array.iter (fun obj -> f (New { dst; obj })) objs)
-    t.new_in;
-  Array.iteri
-    (fun dst srcs -> Array.iter (fun src -> f (Assign { dst; src })) srcs)
-    t.assign_in;
-  Array.iteri
-    (fun dst srcs ->
-      Array.iter (fun src -> f (Assign_global { dst; src })) srcs)
-    t.gassign_in;
-  Array.iteri
-    (fun dst pairs ->
-      Array.iter (fun (field, base) -> f (Load { dst; base; field })) pairs)
-    t.load_in;
-  Array.iteri
-    (fun src pairs ->
-      Array.iter (fun (field, base) -> f (Store { base; field; src })) pairs)
-    t.store_out;
-  Array.iteri
-    (fun dst pairs ->
-      Array.iter (fun (site, src) -> f (Param { dst; site; src })) pairs)
-    t.param_in;
-  Array.iteri
-    (fun dst pairs ->
-      Array.iter (fun (site, src) -> f (Ret { dst; site; src })) pairs)
-    t.ret_in
+  for dst = 0 to n_vars t - 1 do
+    iter_row t.new_in dst (fun obj -> f (New { dst; obj }))
+  done;
+  for dst = 0 to n_vars t - 1 do
+    iter_row t.assign_in dst (fun src -> f (Assign { dst; src }))
+  done;
+  for dst = 0 to n_vars t - 1 do
+    iter_row t.gassign_in dst (fun src -> f (Assign_global { dst; src }))
+  done;
+  for dst = 0 to n_vars t - 1 do
+    iter_row2 t.load_in dst (fun field base -> f (Load { dst; base; field }))
+  done;
+  for src = 0 to n_vars t - 1 do
+    iter_row2 t.store_out src (fun field base -> f (Store { base; field; src }))
+  done;
+  for dst = 0 to n_vars t - 1 do
+    iter_row2 t.param_in dst (fun site src -> f (Param { dst; site; src }))
+  done;
+  for dst = 0 to n_vars t - 1 do
+    iter_row2 t.ret_in dst (fun site src -> f (Ret { dst; site; src }))
+  done
 
 let iter_direct_neighbors t v f =
-  Array.iter f t.assign_in.(v);
-  Array.iter f t.assign_out.(v);
-  Array.iter f t.gassign_in.(v);
-  Array.iter f t.gassign_out.(v);
-  Array.iter (fun (_, y) -> f y) t.param_in.(v);
-  Array.iter (fun (_, y) -> f y) t.param_out.(v);
-  Array.iter (fun (_, y) -> f y) t.ret_in.(v);
-  Array.iter (fun (_, y) -> f y) t.ret_out.(v)
+  iter_row t.assign_in v f;
+  iter_row t.assign_out v f;
+  iter_row t.gassign_in v f;
+  iter_row t.gassign_out v f;
+  iter_row2 t.param_in v (fun _ y -> f y);
+  iter_row2 t.param_out v (fun _ y -> f y);
+  iter_row2 t.ret_in v (fun _ y -> f y);
+  iter_row2 t.ret_out v (fun _ y -> f y)
 
 let iter_direct_succs t v f =
   (* Value flows src -> dst; successors of v are the dsts of its outgoing
      assign-like edges. *)
-  Array.iter f t.assign_out.(v);
-  Array.iter f t.gassign_out.(v);
-  Array.iter (fun (_, x) -> f x) t.param_out.(v);
-  Array.iter (fun (_, x) -> f x) t.ret_out.(v)
+  iter_row t.assign_out v f;
+  iter_row t.gassign_out v f;
+  iter_row2 t.param_out v (fun _ x -> f x);
+  iter_row2 t.ret_out v (fun _ x -> f x)
 
 let pp_stats ppf t =
   Format.fprintf ppf "PAG: %d vars, %d objs, %d edges, %d fields" (n_vars t)

@@ -97,7 +97,56 @@ val app_locals : t -> var array
 (** All application-code local variables, in id order — the paper's query
     population. *)
 
-(** {1 Adjacency (frozen arrays — do not mutate)} *)
+(** {1 Adjacency iterators (zero-allocation)}
+
+    The frozen graph stores every relation in CSR form: one [offsets] array
+    plus one packed [int array] payload per relation (pairs are packed as
+    [hi lsl 39 lor lo], see {!Parcfl_prim.Pack}). These iterators walk a
+    contiguous row of that payload and allocate nothing — they are the hot
+    path's view of the graph. Neighbors are visited in edge-insertion
+    order. *)
+
+val iter_new_in : t -> var -> (obj -> unit) -> unit
+val iter_new_out : t -> obj -> (var -> unit) -> unit
+val iter_assign_in : t -> var -> (var -> unit) -> unit
+val iter_assign_out : t -> var -> (var -> unit) -> unit
+val iter_gassign_in : t -> var -> (var -> unit) -> unit
+val iter_gassign_out : t -> var -> (var -> unit) -> unit
+
+val iter_param_in : t -> var -> (callsite -> var -> unit) -> unit
+(** [f i y] for each [x <-param_i- y] into this [x] (x formal, y actual). *)
+
+val iter_param_out : t -> var -> (callsite -> var -> unit) -> unit
+val iter_ret_in : t -> var -> (callsite -> var -> unit) -> unit
+val iter_ret_out : t -> var -> (callsite -> var -> unit) -> unit
+
+val iter_load_in : t -> var -> (field -> var -> unit) -> unit
+(** [f fd p] for each [x = p.fd] into this [x]. *)
+
+val iter_store_out : t -> var -> (field -> var -> unit) -> unit
+(** [f fd q] for each [q.fd = y] out of this [y]. *)
+
+val iter_stores_of_field : t -> field -> (var -> var -> unit) -> unit
+(** [f q y] for each [q.fd = y] — the "all N matching stores" of
+    [ReachableNodes] (Algorithm 1 line 19). A field id at or beyond
+    {!n_fields} is legal (interned but never loaded/stored) and yields
+    nothing.
+    @raise Invalid_argument on a negative field id. *)
+
+val iter_loads_of_field : t -> field -> (var -> var -> unit) -> unit
+(** [f x p] for each [x = p.fd] — dual index for the FlowsTo direction.
+    Bounds contract as {!iter_stores_of_field}. *)
+
+val has_load_in : t -> var -> bool
+val has_store_out : t -> var -> bool
+val has_stores_of_field : t -> field -> bool
+val has_loads_of_field : t -> field -> bool
+
+(** {1 Adjacency snapshots (allocating)}
+
+    Materialized copies of the same rows, for cold callers (serialization,
+    export, tests). Mutating the returned arrays does not affect the
+    graph. *)
 
 val new_in : t -> var -> obj array
 (** objects [o] with [x <-new- o]. *)
@@ -126,12 +175,13 @@ val store_out : t -> var -> (field * var) array
 (** pairs [(f, q)] with [q.f = y] for this [y]. *)
 
 val stores_of_field : t -> field -> (var * var) array
-(** pairs [(q, y)] with [q.f = y] — the "all N matching stores" of
-    [ReachableNodes] (Algorithm 1 line 19). *)
+(** pairs [(q, y)] with [q.f = y]. A field id at or beyond {!n_fields} is
+    legal (interned but never loaded/stored) and yields [[||]].
+    @raise Invalid_argument on a negative field id. *)
 
 val loads_of_field : t -> field -> (var * var) array
 (** pairs [(x, p)] with [x = p.f] — the dual index for the FlowsTo
-    direction. *)
+    direction. Bounds contract as {!stores_of_field}. *)
 
 val n_fields : t -> int
 (** Upper bound on field ids occurring in the graph plus one. *)

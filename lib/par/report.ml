@@ -12,6 +12,7 @@ type query_stat = {
   qs_start_us : float;
   qs_end_us : float;
   qs_latency_us : float;
+  qs_minor_words : int;
 }
 
 type t = {
@@ -26,6 +27,7 @@ type t = {
   r_jmp_histogram : (int array * int array) option;
   r_latency_hist : int array;
   r_steps_hist : int array;
+  r_minor_words_hist : int array;
   r_group_sizes : int array;
   r_worker_busy_us : float array;
   r_queries : query_stat array;
@@ -44,6 +46,13 @@ let n_completed t =
   Array.fold_left
     (fun acc q -> if q.qs_completed then acc + 1 else acc)
     0 t.r_queries
+
+let total_minor_words t =
+  Array.fold_left (fun acc q -> acc + q.qs_minor_words) 0 t.r_queries
+
+let minor_words_per_query t =
+  let n = Array.length t.r_queries in
+  if n = 0 then 0.0 else float_of_int (total_minor_words t) /. float_of_int n
 
 (* Fraction of the total step demand served by jmp shortcuts instead of
    traversal; unlike the paper's R_S (= jumped/walked, which exceeds 1 once
@@ -112,6 +121,16 @@ let to_json ?bench t =
         ("jumps_unfinished", Json.Int t.r_n_jumps_unfinished);
         ("early_terminations", Json.Int s.Stats.s_early_terminations);
         ("ratio_saved", Json.Float (ratio_saved t));
+        ("minor_words", Json.Int (total_minor_words t));
+        ("minor_words_per_query", Json.Float (minor_words_per_query t));
+        (* Steps/sec only means something for real executions: simulated
+           rows spend their wall clock running the event model, not
+           traversing. *)
+        ( "steps_per_second",
+          if t.r_sim_makespan <> None || t.r_wall_seconds <= 0.0 then Json.Null
+          else
+            Json.Float
+              (float_of_int s.Stats.s_steps_walked /. t.r_wall_seconds) );
         ("mean_group_size", Json.Float t.r_mean_group_size);
         ("n_groups", Json.Int (Array.length t.r_group_sizes));
         ( "worker_busy_us",
@@ -120,4 +139,5 @@ let to_json ?bench t =
                (Array.map (fun v -> Json.Float v) t.r_worker_busy_us)) );
         ("latency_hist", json_of_int_array t.r_latency_hist);
         ("steps_hist", json_of_int_array t.r_steps_hist);
+        ("minor_words_hist", json_of_int_array t.r_minor_words_hist);
       ])

@@ -18,6 +18,10 @@ type query_stat = {
   qs_latency_us : float;
       (** [qs_end_us -. qs_start_us]: wall microseconds under
           {!Runner.run}, virtual steps under {!Runner.simulate} *)
+  qs_minor_words : int;
+      (** minor-heap words allocated while answering this query, measured
+          on the worker's own domain ([Gc.minor_words] is per-domain in
+          OCaml 5, so parallel workers don't pollute each other) *)
 }
 
 type t = {
@@ -38,6 +42,9 @@ type t = {
           sums to the query count *)
   r_steps_hist : int array;
       (** per-query steps-walked counts, same bucketing; sums to the
+          query count *)
+  r_minor_words_hist : int array;
+      (** per-query minor-allocation counts, same bucketing; sums to the
           query count *)
   r_group_sizes : int array;
       (** scheduling-unit sizes in issue order (one entry per unit; a
@@ -63,6 +70,14 @@ val total_walked : t -> int
 val n_early_terminations : t -> int
 
 val n_completed : t -> int
+
+val total_minor_words : t -> int
+(** Sum of [qs_minor_words] over the batch. *)
+
+val minor_words_per_query : t -> float
+(** [total_minor_words / queries]; 0.0 on an empty batch. The headline
+    allocation-pressure figure — near-zero when the solver's hot path is
+    allocation-free and worker state is reused across queries. *)
 
 val ratio_saved : t -> float
 (** Steps served by jmp shortcuts over total step demand,

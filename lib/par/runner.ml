@@ -45,7 +45,7 @@ let offsets_of units =
     units;
   (offsets, !total)
 
-let query_stat_of (o : Query.outcome) start_us end_us =
+let query_stat_of (o : Query.outcome) start_us end_us minor =
   {
     Report.qs_var = o.Query.var;
     qs_completed = Query.completed o;
@@ -55,6 +55,7 @@ let query_stat_of (o : Query.outcome) start_us end_us =
     qs_start_us = start_us;
     qs_end_us = end_us;
     qs_latency_us = end_us -. start_us;
+    qs_minor_words = minor;
   }
 
 let fig7_buckets = 17
@@ -76,7 +77,8 @@ let ensure_complete outcomes =
     outcomes
 
 let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
-    ~mean_group_size ~histogram ~group_sizes ~busy ~starts ~ends outcomes =
+    ~mean_group_size ~histogram ~group_sizes ~busy ~starts ~ends ~minor
+    outcomes =
   ensure_complete outcomes;
   let nf, nu = jumps in
   let buckets = Report.hist_buckets in
@@ -88,6 +90,7 @@ let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
     Histogram.of_values ~buckets
       (Array.map (fun (o : Query.outcome) -> o.Query.steps_walked) outcomes)
   in
+  let minor_words_hist = Histogram.of_values ~buckets minor in
   {
     Report.r_mode = mode;
     r_threads = threads;
@@ -100,17 +103,20 @@ let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
     r_jmp_histogram = histogram;
     r_latency_hist = latency_hist;
     r_steps_hist = steps_hist;
+    r_minor_words_hist = minor_words_hist;
     r_group_sizes = group_sizes;
     r_worker_busy_us = busy;
     r_queries =
-      Array.mapi (fun i o -> query_stat_of o starts.(i) ends.(i)) outcomes;
+      Array.mapi
+        (fun i o -> query_stat_of o starts.(i) ends.(i) minor.(i))
+        outcomes;
     r_outcomes = outcomes;
   }
 
 let run ?tau_f ?tau_u ?share_directions ?sched_order_within
     ?sched_order_across ?sched_plan ?store ?ctx_store
     ?(type_level = fun _ -> 1) ?(solver_config = Config.default) ?tracer
-    ~mode ~threads ~queries pag =
+    ?(batch = 1) ~mode ~threads ~queries pag =
   let threads = match mode with Mode.Seq -> 1 | _ -> max 1 threads in
   (* A caller-owned jmp store must come with the context store its records
      were interned in — jmp keys and targets carry context ids that only
@@ -144,27 +150,42 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
   let outcomes = Array.make total dummy_outcome in
   let starts = Array.make total 0.0 in
   let ends = Array.make total 0.0 in
+  let minor = Array.make total 0 in
   let indexed = Array.mapi (fun i u -> (i, u)) units in
   let queue = Work_queue.create indexed in
   (* Per-worker slot: each domain writes only its own index, so no
      synchronisation is needed beyond the pool join. *)
   let busy = Array.make threads 0.0 in
+  (* One reusable qstate per worker: the solver's worklists, memo tables
+     and visited sets stay warm across the worker's whole share of the
+     batch, so steady-state queries allocate (almost) nothing. *)
+  let qstates =
+    Array.init threads (fun w -> Solver.make_qstate ~worker:w session)
+  in
+  let batch = max 1 batch in
   let worker ~worker =
+    let qs = qstates.(worker) in
     let rec loop () =
-      match Work_queue.pop queue with
-      | None -> ()
-      | Some (i, unit_vars) ->
+      let units_arr, first, len = Work_queue.pop_many queue batch in
+      if len > 0 then begin
+        for u = first to first + len - 1 do
+          let i, unit_vars = units_arr.(u) in
           Array.iteri
             (fun j v ->
               let t0 = Unix.gettimeofday () in
-              let o = Solver.points_to ~worker session v in
+              let m0 = Gc.minor_words () in
+              let o = Solver.points_to_with qs v in
+              let m1 = Gc.minor_words () in
               let t1 = Unix.gettimeofday () in
               starts.(offsets.(i) + j) <- t0 *. 1e6;
               ends.(offsets.(i) + j) <- t1 *. 1e6;
               busy.(worker) <- busy.(worker) +. ((t1 -. t0) *. 1e6);
+              minor.(offsets.(i) + j) <- int_of_float (m1 -. m0);
               outcomes.(offsets.(i) + j) <- o)
-            unit_vars;
-          loop ()
+            unit_vars
+        done;
+        loop ()
+      end
     in
     loop ()
   in
@@ -183,7 +204,7 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
   in
   finish_report ~mode ~threads ~wall ~sim_makespan:None ~stats ~jumps
     ~mean_group_size ~histogram ~group_sizes:(Array.map Array.length units)
-    ~busy ~starts ~ends outcomes
+    ~busy ~starts ~ends ~minor outcomes
 
 let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
     ?(type_level = fun _ -> 1) ?(solver_config = Config.default) ?tracer
@@ -203,6 +224,7 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
   let outcomes = Array.make total dummy_outcome in
   let starts = Array.make total 0.0 in
   let ends = Array.make total 0.0 in
+  let minor = Array.make total 0 in
   let clocks = Array.make threads 0 in
   (* Discrete-event loop: the next unit always goes to the thread that
      frees up first (ties to the lowest id) — a shared work queue with zero
@@ -221,6 +243,7 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
       Array.iteri
         (fun j v ->
           let start = clocks.(th) in
+          let m0 = Gc.minor_words () in
           let finish =
             match store with
             | None ->
@@ -250,6 +273,9 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
                   + qs.Sim_store.sync_cost () )
           in
           let outcome, t_end = finish in
+          (* Charged to the query including its per-query session — the
+             simulator measures the unshared-state configuration. *)
+          minor.(offsets.(i) + j) <- int_of_float (Gc.minor_words () -. m0);
           clocks.(th) <- t_end;
           (* Virtual latency: the query's span on its thread's clock. *)
           starts.(offsets.(i) + j) <- float_of_int start;
@@ -268,7 +294,7 @@ let simulate ?tau_f ?tau_u ?sched_order_within ?sched_order_across
     ~jumps ~mean_group_size ~histogram:None
     ~group_sizes:(Array.map Array.length units)
     ~busy:(Array.map float_of_int clocks)
-    ~starts ~ends outcomes
+    ~starts ~ends ~minor outcomes
 
 let per_query_cost report =
   Array.map

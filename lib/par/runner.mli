@@ -27,12 +27,17 @@ val run :
   ?type_level:(int -> int) ->
   ?solver_config:Parcfl_cfl.Config.t ->
   ?tracer:Parcfl_obs.Tracer.t ->
+  ?batch:int ->
   mode:Mode.t ->
   threads:int ->
   queries:Parcfl_pag.Pag.var array ->
   Parcfl_pag.Pag.t ->
   Report.t
-(** [type_level] is required for meaningful [Share_sched] scheduling; it
+(** [batch] is how many work units a worker claims from the shared queue
+    per grab (default 1 — one atomic operation per unit, identical work
+    distribution to popping singly; raise it to amortize queue contention
+    when units are tiny).
+    [type_level] is required for meaningful [Share_sched] scheduling; it
     defaults to a constant function (all groups equal DD). [solver_config]
     defaults to {!Parcfl_cfl.Config.default}. [Seq] mode forces one thread.
     [share_directions], [sched_order_within] and [sched_order_across] are

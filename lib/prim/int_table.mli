@@ -1,0 +1,59 @@
+(** Open-addressed hash table with immediate-int keys.
+
+    The solver's memo tables and provenance maps are keyed by packed
+    [node ⊕ ctx] ints (see {!Pack}); stdlib [Hashtbl] boxes every binding in
+    a bucket cell and hashes through a polymorphic entry point. This table
+    linear-probes a flat power-of-two array instead: a lookup is a multiply,
+    a mask and a short scan, and inserting allocates nothing beyond the
+    (amortised) backing-array growth.
+
+    Keys must be non-negative (packed values always are); there is no
+    deletion, which keeps probe chains valid forever. {!clear} is O(1): each
+    slot carries the generation it was written in, and clearing bumps the
+    table's generation so stale slots read as empty.
+
+    Not thread-safe; each solver query state owns its tables. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] is a hint for the expected number of bindings. *)
+
+val length : 'a t -> int
+
+val find : 'a t -> int -> 'a option
+
+val get : 'a t -> int -> default:'a -> 'a
+(** [find] without the option box. *)
+
+val mem : 'a t -> int -> bool
+
+val set : 'a t -> int -> 'a -> unit
+(** Insert or overwrite. *)
+
+val find_or_add : 'a t -> int -> (int -> 'a) -> 'a
+(** [find_or_add t k f] returns the binding of [k], inserting [f k] first if
+    absent. [f] must not modify [t]. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Iteration order is unspecified. *)
+
+val clear : 'a t -> unit
+(** Drops all bindings in O(1) without shrinking the backing store. *)
+
+(** Set of non-negative ints with the same layout and the same O(1)
+    generation-based {!Set.clear}; used for per-traversal visited sets. *)
+module Set : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val length : t -> int
+
+  val mem : t -> int -> bool
+
+  val add : t -> int -> bool
+  (** Returns [true] when the element was newly inserted. *)
+
+  val clear : t -> unit
+end

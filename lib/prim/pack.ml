@@ -1,0 +1,25 @@
+let hi_bits = 23
+let lo_bits = 39
+let hi_limit = 1 lsl hi_bits
+let lo_limit = 1 lsl lo_bits
+let lo_mask = lo_limit - 1
+
+let check_hi what v =
+  if v < 0 || v >= hi_limit then
+    invalid_arg
+      (Printf.sprintf "Pack: %s %d out of range [0, 2^%d)" what v hi_bits)
+
+let check_lo what v =
+  if v < 0 || v >= lo_limit then
+    invalid_arg
+      (Printf.sprintf "Pack: %s %d out of range [0, 2^%d)" what v lo_bits)
+
+let[@inline] unsafe_pack hi lo = (hi lsl lo_bits) lor lo
+
+let pack hi lo =
+  check_hi "hi component" hi;
+  check_lo "lo component" lo;
+  unsafe_pack hi lo
+
+let[@inline] hi p = p lsr lo_bits
+let[@inline] lo p = p land lo_mask

@@ -1,0 +1,51 @@
+(** Packing two dense ids into one non-negative OCaml int.
+
+    The solver's hot data — memo keys, worklist entries, CSR adjacency
+    payloads — are (small id, large id) pairs. Boxing them as tuples is what
+    this module exists to avoid: a pair becomes one immediate int, usable as
+    an open-addressed table key or a worklist slot with zero allocation.
+
+    The split is fixed at {!hi_bits} = 23 high bits and {!lo_bits} = 39 low
+    bits (62 total, so a packed value never sets the sign bit and [-1] /
+    [min_int] stay available as table sentinels). Documented bounds:
+
+    - {b hi} (PAG node, field or call-site ids): [0 <= hi < 2^23] (~8.4M).
+      {!Parcfl_pag.Pag.Build.freeze} enforces this for every id space it
+      packs.
+    - {b lo} (context ids, or a second node id): [0 <= lo < 2^39]. Context
+      ids are bounded far lower by the context store's chunk cap (2^28).
+
+    [pack] validates; [unsafe_pack] trusts ids already validated at graph
+    freeze / interning time and is branch-free for inner loops. *)
+
+val hi_bits : int
+(** 23. *)
+
+val lo_bits : int
+(** 39. *)
+
+val hi_limit : int
+(** [2^23]; valid hi components are [0 <= hi < hi_limit]. *)
+
+val lo_limit : int
+(** [2^39]; valid lo components are [0 <= lo < lo_limit]. *)
+
+val pack : int -> int -> int
+(** [pack hi lo] is [(hi lsl 39) lor lo].
+    @raise Invalid_argument when either component is out of range. *)
+
+val unsafe_pack : int -> int -> int
+(** [pack] without the range checks: both components must already be in
+    range or the halves bleed into each other. *)
+
+val hi : int -> int
+(** High component of a packed value. *)
+
+val lo : int -> int
+(** Low component of a packed value. *)
+
+val check_hi : string -> int -> unit
+(** [check_hi what v] raises [Invalid_argument] naming [what] unless
+    [0 <= v < hi_limit]. For validating an id space once, at freeze time. *)
+
+val check_lo : string -> int -> unit

@@ -1,50 +1,101 @@
+(* Pairs are stored packed ((a lsl 31) lor b) in flat int vectors; the
+   per-first grouping is an intrusive linked list threaded through [prev]
+   (index of the previous pair with the same first component, -1 at the
+   chain head), with [heads] mapping a first component to its most recent
+   index. Adding a fresh pair allocates nothing beyond amortised vector /
+   table growth, which is what lets the solver use these as memo
+   accumulators and alias sets in its inner loops.
+
+   The chain index is built lazily, [chained] marking how much of [order]
+   it covers: the solver's memo accumulators never group by first
+   component, so they stay a bare set + insertion log and each add is a
+   single table probe. The first grouped lookup replays the order log —
+   amortised O(1) per add, and the resulting chains are identical to eager
+   maintenance. *)
+
 type t = {
-  seen : (int, unit) Hashtbl.t; (* encoded pair *)
-  by_fst : (int, int list) Hashtbl.t;
-  order : (int * int) Vec.t;
+  seen : Int_table.Set.t; (* encoded pairs *)
+  order : int Vec.t; (* encoded pairs, insertion order *)
+  prev : int Vec.t; (* same-first chain links, parallel to [order] *)
+  heads : int Int_table.t; (* first component -> latest index in [order] *)
   first_order : int Vec.t;
+  mutable chained : int; (* prefix of [order] covered by the chain index *)
 }
 
 let bits = 31
 let limit = 1 lsl bits
+let mask = limit - 1
 
 let encode a b =
   if a < 0 || b < 0 || a >= limit || b >= limit then
     invalid_arg "Pair_set: components must be in [0, 2^31)";
   (a lsl bits) lor b
 
-let create ?(capacity = 16) () =
+let create ?(capacity = 0) () =
   {
-    seen = Hashtbl.create capacity;
-    by_fst = Hashtbl.create capacity;
+    seen = Int_table.Set.create ~capacity ();
     order = Vec.create ();
+    prev = Vec.create ();
+    heads = Int_table.create ~capacity ();
     first_order = Vec.create ();
+    chained = 0;
   }
 
-let mem t a b = Hashtbl.mem t.seen (encode a b)
+let mem t a b = Int_table.Set.mem t.seen (encode a b)
 
 let add t a b =
   let k = encode a b in
-  if Hashtbl.mem t.seen k then false
-  else begin
-    Hashtbl.replace t.seen k ();
-    (match Hashtbl.find_opt t.by_fst a with
-    | Some l -> Hashtbl.replace t.by_fst a (b :: l)
-    | None ->
-        Hashtbl.replace t.by_fst a [ b ];
-        Vec.push t.first_order a);
-    Vec.push t.order (a, b);
+  if Int_table.Set.add t.seen k then begin
+    Vec.push t.order k;
     true
+  end
+  else false
+
+let ensure_chains t =
+  let n = Vec.length t.order in
+  if t.chained < n then begin
+    for i = t.chained to n - 1 do
+      let a = Vec.get t.order i lsr bits in
+      let h = Int_table.get t.heads a ~default:(-1) in
+      Vec.push t.prev h;
+      if h < 0 then Vec.push t.first_order a;
+      Int_table.set t.heads a i
+    done;
+    t.chained <- n
   end
 
 let cardinal t = Vec.length t.order
 
-let iter f t = Vec.iter (fun (a, b) -> f a b) t.order
+let iter f t = Vec.iter (fun k -> f (k lsr bits) (k land mask)) t.order
 
-let find_firsts t a = Option.value (Hashtbl.find_opt t.by_fst a) ~default:[]
+let iter_firsts t a f =
+  ensure_chains t;
+  let i = ref (Int_table.get t.heads a ~default:(-1)) in
+  while !i >= 0 do
+    f (Vec.get t.order !i land mask);
+    i := Vec.get t.prev !i
+  done
 
-let mem_first t a = Hashtbl.mem t.by_fst a
+let find_firsts t a =
+  let acc = ref [] in
+  (* Chain order is most-recent-first; collect then reverse back. *)
+  iter_firsts t a (fun b -> acc := b :: !acc);
+  List.rev !acc
 
-let to_list t = Vec.to_list t.order
+let mem_first t a =
+  ensure_chains t;
+  Int_table.mem t.heads a
 
-let firsts t = Vec.to_list t.first_order
+let to_list t = Vec.map_to_list (fun k -> (k lsr bits, k land mask)) t.order
+
+let firsts t =
+  ensure_chains t;
+  Vec.to_list t.first_order
+
+let clear t =
+  Int_table.Set.clear t.seen;
+  Vec.clear t.order;
+  Vec.clear t.prev;
+  Int_table.clear t.heads;
+  Vec.clear t.first_order;
+  t.chained <- 0

@@ -25,6 +25,10 @@ val find_firsts : t -> int -> int list
 (** [find_firsts t a] is every [b] with [(a, b)] in the set, most recently
     added first; [[]] when none. *)
 
+val iter_firsts : t -> int -> (int -> unit) -> unit
+(** Allocation-free {!find_firsts}: visits the same elements in the same
+    (most-recent-first) order. *)
+
 val mem_first : t -> int -> bool
 
 val to_list : t -> (int * int) list
@@ -32,3 +36,6 @@ val to_list : t -> (int * int) list
 
 val firsts : t -> int list
 (** Distinct first components, in first-insertion order. *)
+
+val clear : t -> unit
+(** Empties the set, keeping its backing storage for reuse. *)

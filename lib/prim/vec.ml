@@ -44,6 +44,13 @@ let pop t =
     Some x
   end
 
+let pop_exn t =
+  if t.len = 0 then invalid_arg "Vec.pop_exn: empty";
+  t.len <- t.len - 1;
+  let x = Array.unsafe_get t.data t.len in
+  Array.unsafe_set t.data t.len (Obj.magic 0);
+  x
+
 let top t = if t.len = 0 then None else Some (Array.unsafe_get t.data (t.len - 1))
 
 let clear t =

@@ -22,6 +22,10 @@ val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 (** Removes and returns the last element. *)
 
+val pop_exn : 'a t -> 'a
+(** [pop] without the option box, for loops that test {!is_empty} first.
+    @raise Invalid_argument when empty. *)
+
 val top : 'a t -> 'a option
 
 val clear : 'a t -> unit

@@ -58,6 +58,7 @@ type t = {
      each batch report on the pump thread — no synchronisation needed. *)
   lat_hist : int array;
   steps_hist : int array;
+  minor_words_hist : int array;
   group_hist : int array;
   busy_us : float array;  (* per engine worker, across all batches *)
 }
@@ -108,6 +109,9 @@ let register_collectors t =
           t.lat_hist;
         Expo.histogram_of_log2 ~name:"parcfl_svc_steps"
           ~help:"Per-query steps walked" t.steps_hist;
+        Expo.histogram_of_log2 ~name:"parcfl_solver_minor_words_per_query"
+          ~help:"Per-query minor-heap words allocated by the solver"
+          t.minor_words_hist;
       ]);
   (* Per-domain utilization: busy microseconds by worker. *)
   Registry.register t.registry (fun () ->
@@ -185,6 +189,7 @@ let create ?(config = default_config) ?tracer ~type_level pag =
       names = index_names pag;
       lat_hist = Array.make buckets 0;
       steps_hist = Array.make buckets 0;
+      minor_words_hist = Array.make buckets 0;
       group_hist = Array.make buckets 0;
       busy_us = Array.make (Engine.threads engine) 0.0;
     }
@@ -413,6 +418,9 @@ let run_batch t live =
   Array.iteri
     (fun i c -> t.steps_hist.(i) <- t.steps_hist.(i) + c)
     report.Report.r_steps_hist;
+  Array.iteri
+    (fun i c -> t.minor_words_hist.(i) <- t.minor_words_hist.(i) + c)
+    report.Report.r_minor_words_hist;
   let group_bucket =
     Histogram.bucket ~buckets:(Array.length t.group_hist)
   in

@@ -1,0 +1,133 @@
+(* Int_table: the open-addressed int-keyed table backing the solver's memo
+   tables and visited sets. Exercises growth, probe chains under load,
+   generation-based O(1) clear, and the Set variant. *)
+module Int_table = Parcfl.Int_table
+
+let test_basic () =
+  let t = Int_table.create () in
+  Alcotest.(check int) "empty" 0 (Int_table.length t);
+  Alcotest.(check bool) "mem absent" false (Int_table.mem t 7);
+  Alcotest.(check (option int)) "find absent" None (Int_table.find t 7);
+  Alcotest.(check int) "get default" (-1) (Int_table.get t 7 ~default:(-1));
+  Int_table.set t 7 70;
+  Int_table.set t 0 100;
+  Alcotest.(check int) "length" 2 (Int_table.length t);
+  Alcotest.(check (option int)) "find" (Some 70) (Int_table.find t 7);
+  Alcotest.(check int) "get" 100 (Int_table.get t 0 ~default:(-1));
+  Int_table.set t 7 71;
+  Alcotest.(check int) "overwrite keeps length" 2 (Int_table.length t);
+  Alcotest.(check (option int)) "overwritten" (Some 71) (Int_table.find t 7)
+
+let test_grow () =
+  (* Push far past any initial capacity; every binding must survive the
+     rehashes and every probe chain must stay intact. *)
+  let t = Int_table.create ~capacity:1 () in
+  let n = 10_000 in
+  for k = 0 to n - 1 do
+    Int_table.set t (k * 3) (k + 1)
+  done;
+  Alcotest.(check int) "length after growth" n (Int_table.length t);
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    if Int_table.get t (k * 3) ~default:0 <> k + 1 then ok := false;
+    (* Neighbours of stored keys are absent: probing must terminate. *)
+    if Int_table.mem t ((k * 3) + 1) then ok := false
+  done;
+  Alcotest.(check bool) "all bindings survive growth" true !ok
+
+let test_find_or_add () =
+  let t = Int_table.create () in
+  let calls = ref 0 in
+  let mk k =
+    incr calls;
+    k * 10
+  in
+  Alcotest.(check int) "inserts" 420 (Int_table.find_or_add t 42 mk);
+  Alcotest.(check int) "returns existing" 420 (Int_table.find_or_add t 42 mk);
+  Alcotest.(check int) "f called once" 1 !calls;
+  Int_table.set t 5 99;
+  Alcotest.(check int) "respects set" 99 (Int_table.find_or_add t 5 mk);
+  Alcotest.(check int) "f not called for present key" 1 !calls
+
+let test_iter () =
+  let t = Int_table.create () in
+  for k = 0 to 99 do
+    Int_table.set t k (k * 2)
+  done;
+  let seen = Array.make 100 false in
+  Int_table.iter
+    (fun k v ->
+      if v <> k * 2 then Alcotest.fail "iter: wrong value";
+      if seen.(k) then Alcotest.fail "iter: duplicate key";
+      seen.(k) <- true)
+    t;
+  Alcotest.(check bool) "iter visits every binding" true
+    (Array.for_all Fun.id seen)
+
+let test_generation_clear () =
+  let t = Int_table.create ~capacity:4 () in
+  (* Many clear/refill rounds: stale slots from earlier generations must
+     always read as empty, including after the generation counter has been
+     bumped many times over the same backing array. *)
+  for round = 0 to 99 do
+    for k = 0 to 31 do
+      Int_table.set t k ((round * 100) + k)
+    done;
+    Alcotest.(check int) "length within round" 32 (Int_table.length t);
+    Int_table.clear t;
+    Alcotest.(check int) "cleared" 0 (Int_table.length t);
+    for k = 0 to 31 do
+      if Int_table.mem t k then Alcotest.fail "stale slot visible after clear"
+    done
+  done;
+  (* A binding written after many clears reflects only the latest write. *)
+  Int_table.set t 3 7;
+  Alcotest.(check (option int)) "fresh binding after clears" (Some 7)
+    (Int_table.find t 3)
+
+let prop_model =
+  QCheck.Test.make ~name:"int_table agrees with Hashtbl model" ~count:200
+    QCheck.(list (pair (int_bound 63) small_nat))
+    (fun ops ->
+      let t = Int_table.create ~capacity:2 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Int_table.set t k v;
+          Hashtbl.replace model k v)
+        ops;
+      Hashtbl.length model = Int_table.length t
+      && Hashtbl.fold
+           (fun k v acc -> acc && Int_table.find t k = Some v)
+           model true
+      && List.for_all
+           (fun k ->
+             Hashtbl.mem model k || Int_table.find t k = None)
+           (List.init 64 Fun.id))
+
+let test_set () =
+  let s = Int_table.Set.create ~capacity:2 () in
+  Alcotest.(check bool) "fresh add" true (Int_table.Set.add s 11);
+  Alcotest.(check bool) "dup add" false (Int_table.Set.add s 11);
+  Alcotest.(check bool) "mem" true (Int_table.Set.mem s 11);
+  Alcotest.(check bool) "not mem" false (Int_table.Set.mem s 12);
+  for k = 0 to 999 do
+    ignore (Int_table.Set.add s k)
+  done;
+  Alcotest.(check int) "length after growth" 1000 (Int_table.Set.length s);
+  Int_table.Set.clear s;
+  Alcotest.(check int) "cleared" 0 (Int_table.Set.length s);
+  Alcotest.(check bool) "stale member gone" false (Int_table.Set.mem s 11);
+  Alcotest.(check bool) "re-add after clear" true (Int_table.Set.add s 11)
+
+let suite =
+  ( "int-table",
+    [
+      Alcotest.test_case "basic" `Quick test_basic;
+      Alcotest.test_case "growth" `Quick test_grow;
+      Alcotest.test_case "find_or_add" `Quick test_find_or_add;
+      Alcotest.test_case "iter" `Quick test_iter;
+      Alcotest.test_case "generation clear" `Quick test_generation_clear;
+      QCheck_alcotest.to_alcotest prop_model;
+      Alcotest.test_case "set variant" `Quick test_set;
+    ] )

@@ -6,6 +6,7 @@ let () =
       Test_vec.suite;
       Test_scc.suite;
       Test_prim_misc.suite;
+      Test_int_table.suite;
       Test_conc.suite;
       Test_ctx.suite;
       Test_pag.suite;

@@ -91,6 +91,145 @@ let test_direct_neighbors () =
   Alcotest.(check (list int)) "f succs" [ z ] (succs f);
   Alcotest.(check (list int)) "z succs" [] (succs z)
 
+let test_iter_adjacency () =
+  let pag, (x, y, p, q, z, g, f, o0) = small () in
+  let row1 iter v =
+    let out = ref [] in
+    iter pag v (fun a -> out := a :: !out);
+    List.rev !out
+  in
+  let row2 iter v =
+    let out = ref [] in
+    iter pag v (fun a b -> out := (a, b) :: !out);
+    List.rev !out
+  in
+  Alcotest.(check (list int)) "iter_new_in x" [ o0 ] (row1 Pag.iter_new_in x);
+  Alcotest.(check (list int)) "iter_new_out o0" [ x ]
+    (row1 Pag.iter_new_out o0);
+  Alcotest.(check (list int)) "iter_assign_in y" [ x ]
+    (row1 Pag.iter_assign_in y);
+  Alcotest.(check (list int)) "iter_gassign_in g" [ y ]
+    (row1 Pag.iter_gassign_in g);
+  Alcotest.(check (list (pair int int))) "iter_load_in y" [ (3, p) ]
+    (row2 Pag.iter_load_in y);
+  Alcotest.(check (list (pair int int))) "iter_store_out z" [ (3, q) ]
+    (row2 Pag.iter_store_out z);
+  Alcotest.(check (list (pair int int))) "iter_param_in f" [ (11, x) ]
+    (row2 Pag.iter_param_in f);
+  Alcotest.(check (list (pair int int))) "iter_ret_in z" [ (11, f) ]
+    (row2 Pag.iter_ret_in z);
+  Alcotest.(check (list (pair int int))) "iter_stores_of_field" [ (q, z) ]
+    (row2 Pag.iter_stores_of_field 3);
+  Alcotest.(check (list (pair int int))) "iter_loads_of_field" [ (y, p) ]
+    (row2 Pag.iter_loads_of_field 3);
+  Alcotest.(check bool) "has_load_in y" true (Pag.has_load_in pag y);
+  Alcotest.(check bool) "has_load_in x" false (Pag.has_load_in pag x);
+  Alcotest.(check bool) "has_store_out z" true (Pag.has_store_out pag z);
+  Alcotest.(check bool) "has_stores_of_field 3" true
+    (Pag.has_stores_of_field pag 3);
+  Alcotest.(check bool) "has_stores_of_field absent" false
+    (Pag.has_stores_of_field pag 2)
+
+let test_field_bounds () =
+  let pag, _ = small () in
+  (* Field ids at or beyond n_fields are interned-but-unused: legal, empty. *)
+  let beyond = Pag.n_fields pag + 5 in
+  Alcotest.(check (list (pair int int))) "stores beyond n_fields" []
+    (Array.to_list (Pag.stores_of_field pag beyond));
+  Alcotest.(check (list (pair int int))) "loads beyond n_fields" []
+    (Array.to_list (Pag.loads_of_field pag beyond));
+  let count = ref 0 in
+  Pag.iter_stores_of_field pag beyond (fun _ _ -> incr count);
+  Pag.iter_loads_of_field pag beyond (fun _ _ -> incr count);
+  Alcotest.(check int) "iterators beyond n_fields yield nothing" 0 !count;
+  Alcotest.(check bool) "has_stores beyond" false
+    (Pag.has_stores_of_field pag beyond);
+  (* Negative ids are caller bugs, not interned fields: rejected loudly. *)
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument on -1" name
+  in
+  expect_invalid "stores_of_field" (fun () ->
+      ignore (Pag.stores_of_field pag (-1)));
+  expect_invalid "loads_of_field" (fun () ->
+      ignore (Pag.loads_of_field pag (-1)));
+  expect_invalid "iter_stores_of_field" (fun () ->
+      Pag.iter_stores_of_field pag (-1) (fun _ _ -> ()));
+  expect_invalid "iter_loads_of_field" (fun () ->
+      Pag.iter_loads_of_field pag (-1) (fun _ _ -> ()))
+
+(* CSR-vs-snapshot parity on randomized graphs: the zero-alloc iterators and
+   the allocating snapshot arrays are two views of the same frozen rows and
+   must agree element-for-element, in order, for every node. *)
+let prop_csr_parity =
+  let gen =
+    QCheck.make
+      ~print:(fun ops -> string_of_int (List.length ops))
+      QCheck.Gen.(
+        small_list
+          (tup4 (int_bound 6) (int_bound 11) (int_bound 11) (int_bound 4)))
+  in
+  QCheck.Test.make ~name:"CSR iterators match snapshot arrays" ~count:100 gen
+    (fun ops ->
+      let b = B.create () in
+      let vars = Array.init 12 (fun i -> B.add_var b (Printf.sprintf "v%d" i)) in
+      let objs = Array.init 4 (fun i -> B.add_obj b (Printf.sprintf "o%d" i)) in
+      List.iter
+        (fun (kind, a, c, aux) ->
+          let va = vars.(a) and vc = vars.(c) in
+          match kind with
+          | 0 -> B.new_edge b ~dst:va objs.(aux mod Array.length objs)
+          | 1 -> B.assign b ~dst:va ~src:vc
+          | 2 -> B.assign_global b ~dst:va ~src:vc
+          | 3 -> B.load b ~dst:va ~base:vc aux
+          | 4 -> B.store b ~base:va aux ~src:vc
+          | 5 -> B.param b ~dst:va ~site:aux ~src:vc
+          | _ -> B.ret b ~dst:va ~site:aux ~src:vc)
+        ops;
+      let pag = B.freeze b in
+      let row1 iter v =
+        let out = ref [] in
+        iter pag v (fun a -> out := a :: !out);
+        List.rev !out
+      in
+      let row2 iter v =
+        let out = ref [] in
+        iter pag v (fun a b -> out := (a, b) :: !out);
+        List.rev !out
+      in
+      let ok = ref true in
+      let check_row got want = if got <> Array.to_list want then ok := false in
+      Array.iter
+        (fun v ->
+          check_row (row1 Pag.iter_new_in v) (Pag.new_in pag v);
+          check_row (row1 Pag.iter_assign_in v) (Pag.assign_in pag v);
+          check_row (row1 Pag.iter_assign_out v) (Pag.assign_out pag v);
+          check_row (row1 Pag.iter_gassign_in v) (Pag.gassign_in pag v);
+          check_row (row1 Pag.iter_gassign_out v) (Pag.gassign_out pag v);
+          check_row (row2 Pag.iter_load_in v) (Pag.load_in pag v);
+          check_row (row2 Pag.iter_store_out v) (Pag.store_out pag v);
+          check_row (row2 Pag.iter_param_in v) (Pag.param_in pag v);
+          check_row (row2 Pag.iter_param_out v) (Pag.param_out pag v);
+          check_row (row2 Pag.iter_ret_in v) (Pag.ret_in pag v);
+          check_row (row2 Pag.iter_ret_out v) (Pag.ret_out pag v);
+          if Pag.has_load_in pag v <> (Array.length (Pag.load_in pag v) > 0)
+          then ok := false;
+          if Pag.has_store_out pag v <> (Array.length (Pag.store_out pag v) > 0)
+          then ok := false)
+        vars;
+      Array.iter
+        (fun o -> check_row (row1 Pag.iter_new_out o) (Pag.new_out pag o))
+        objs;
+      for f = 0 to Pag.n_fields pag - 1 do
+        check_row (row2 Pag.iter_stores_of_field f) (Pag.stores_of_field pag f);
+        check_row (row2 Pag.iter_loads_of_field f) (Pag.loads_of_field pag f);
+        if Pag.has_stores_of_field pag f
+           <> (Array.length (Pag.stores_of_field pag f) > 0)
+        then ok := false
+      done;
+      !ok)
+
 let test_builder_validation () =
   let b = B.create () in
   let x = B.add_var b "x" in
@@ -120,6 +259,9 @@ let suite =
       Alcotest.test_case "sizes" `Quick test_sizes;
       Alcotest.test_case "attributes" `Quick test_attributes;
       Alcotest.test_case "adjacency" `Quick test_adjacency;
+      Alcotest.test_case "iterator adjacency" `Quick test_iter_adjacency;
+      Alcotest.test_case "field id bounds" `Quick test_field_bounds;
+      QCheck_alcotest.to_alcotest prop_csr_parity;
       Alcotest.test_case "iter_edges" `Quick test_iter_edges;
       Alcotest.test_case "direct neighbors" `Quick test_direct_neighbors;
       Alcotest.test_case "builder validation" `Quick test_builder_validation;

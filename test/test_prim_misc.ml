@@ -96,6 +96,35 @@ let test_pair_set_basic () =
     "insertion order" [ (1, 2); (1, 3); (2, 2) ] (Pair_set.to_list t);
   Alcotest.(check (list int)) "firsts order" [ 1; 2 ] (Pair_set.firsts t)
 
+(* The by-first chain index is built lazily on the first grouped lookup;
+   interleaving adds with [iter_firsts]/[mem_first] forces repeated
+   incremental replays and must give the same answers as [find_firsts]. *)
+let test_pair_set_lazy_chains () =
+  let t = Pair_set.create () in
+  let firsts_via_iter a =
+    let out = ref [] in
+    Pair_set.iter_firsts t a (fun b -> out := b :: !out);
+    List.rev !out
+  in
+  for b = 0 to 9 do
+    ignore (Pair_set.add t (b mod 3) b);
+    (* Query mid-stream: chains indexed so far must already be correct. *)
+    Alcotest.(check (list int))
+      (Printf.sprintf "iter_firsts agrees after add %d" b)
+      (Pair_set.find_firsts t (b mod 3))
+      (firsts_via_iter (b mod 3))
+  done;
+  Alcotest.(check (list int)) "chain 0" [ 9; 6; 3; 0 ] (firsts_via_iter 0);
+  Alcotest.(check bool) "mem_first" true (Pair_set.mem_first t 2);
+  ignore (Pair_set.add t 7 70);
+  Alcotest.(check (list int)) "chain added after lookup" [ 70 ]
+    (firsts_via_iter 7);
+  Pair_set.clear t;
+  Alcotest.(check int) "cleared" 0 (Pair_set.cardinal t);
+  Alcotest.(check (list int)) "chains reset" [] (firsts_via_iter 0);
+  ignore (Pair_set.add t 0 42);
+  Alcotest.(check (list int)) "reuse after clear" [ 42 ] (firsts_via_iter 0)
+
 let prop_pair_set_model =
   QCheck.Test.make ~name:"pair_set agrees with a list model" ~count:200
     QCheck.(list (pair (int_bound 20) (int_bound 20)))
@@ -137,6 +166,8 @@ let suite =
       Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle;
       Alcotest.test_case "rng split" `Quick test_rng_split;
       Alcotest.test_case "pair_set basic" `Quick test_pair_set_basic;
+      Alcotest.test_case "pair_set lazy chains" `Quick
+        test_pair_set_lazy_chains;
       QCheck_alcotest.to_alcotest prop_pair_set_model;
       Alcotest.test_case "intern" `Quick test_intern;
     ] )
