@@ -24,6 +24,10 @@
                         sub-50ms rates are dominated by fixed costs)
      completed         any drop
      requests          any drop (service rows)
+     completed_with_breakdown
+                       any drop (service rows: answers whose stage
+                        breakdown accounts for the reported latency — a
+                        drop means span stamping broke)
 
    Exit status: 0 no regression, 1 regression found, 2 usage or I/O error. *)
 
@@ -114,6 +118,7 @@ let check_entry k baseline latest =
   |> check_sps k baseline latest
   |> check_no_drop "completed" k baseline latest
   |> check_no_drop "requests" k baseline latest
+  |> check_no_drop "completed_with_breakdown" k baseline latest
   |> List.rev
 
 (* ------------------------------------------------------------------ *)
@@ -170,7 +175,7 @@ let read_doc path =
 
 let self_test () =
   let entry ?section ~bench ~mode ~threads ~sim ~wall ~steps ~completed
-      ?makespan ?minor_words ?sps () =
+      ?makespan ?minor_words ?sps ?with_breakdown () =
     J.Obj
       ((match section with
        | Some s -> [ ("section", J.String s) ]
@@ -189,9 +194,12 @@ let self_test () =
       @ (match minor_words with
         | Some m -> [ ("minor_words", J.Int m) ]
         | None -> [])
+      @ (match sps with
+        | Some s -> [ ("steps_per_second", J.Float s) ]
+        | None -> [])
       @
-      match sps with
-      | Some s -> [ ("steps_per_second", J.Float s) ]
+      match with_breakdown with
+      | Some n -> [ ("completed_with_breakdown", J.Int n) ]
       | None -> [])
   in
   let doc es = J.Obj [ ("schema", J.Int 1); ("entries", J.List es) ] in
@@ -204,6 +212,8 @@ let self_test () =
           ~steps:800 ~completed:100 ~makespan:500 ();
         entry ~bench:"b" ~mode:"d" ~threads:8 ~sim:false ~wall:1.0
           ~steps:1000 ~completed:100 ~minor_words:10000 ~sps:1000.0 ();
+        entry ~section:"serve" ~bench:"b" ~mode:"-" ~threads:2 ~sim:false
+          ~wall:0.5 ~steps:0 ~completed:0 ~with_breakdown:400 ();
       ]
   in
   let expect name doc' want =
@@ -296,6 +306,22 @@ let self_test () =
        [
          entry ~bench:"b" ~mode:"d" ~threads:8 ~sim:false ~wall:0.01
            ~steps:1000 ~completed:100 ~minor_words:10000 ~sps:400.0 ();
+       ])
+    0;
+  (* A single lost lifecycle breakdown is a regression: spans must cover
+     every answered request, not most of them. *)
+  run "breakdown-drop"
+    (doc
+       [
+         entry ~section:"serve" ~bench:"b" ~mode:"-" ~threads:2 ~sim:false
+           ~wall:0.5 ~steps:0 ~completed:0 ~with_breakdown:399 ();
+       ])
+    1;
+  run "breakdown-held"
+    (doc
+       [
+         entry ~section:"serve" ~bench:"b" ~mode:"-" ~threads:2 ~sim:false
+           ~wall:0.5 ~steps:0 ~completed:0 ~with_breakdown:400 ();
        ])
     0;
   run "everything-at-once"

@@ -453,6 +453,27 @@ let serve_cmd =
     let doc = "Slow-query flight recorder capacity (worst queries kept)." in
     Arg.(value & opt int 32 & info [ "slowlog-cap" ] ~docv:"N" ~doc)
   in
+  let wd_stall_arg =
+    let doc =
+      "Liveness watchdog: max seconds without worker progress (while \
+       requests are queued) before $(b,health) reports degraded."
+    in
+    Arg.(
+      value
+      & opt float P.Svc_watchdog.default_config.P.Svc_watchdog.wd_stall_s
+      & info [ "wd-stall-s" ] ~docv:"S" ~doc)
+  in
+  let wd_starvation_arg =
+    let doc =
+      "Liveness watchdog: max seconds the oldest admitted request may wait \
+       before $(b,health) reports degraded."
+    in
+    Arg.(
+      value
+      & opt float
+          P.Svc_watchdog.default_config.P.Svc_watchdog.wd_starvation_s
+      & info [ "wd-starvation-s" ] ~docv:"S" ~doc)
+  in
   let metrics_socket_arg =
     let doc =
       "Unix socket serving the Prometheus text exposition: each accepted \
@@ -464,7 +485,8 @@ let serve_cmd =
       & info [ "metrics-socket" ] ~docv:"PATH" ~doc)
   in
   let run bench mode threads budget socket stdio max_batch window_ms queue_cap
-      cache_cap slowlog_cap metrics_socket trace_out bench_json =
+      cache_cap slowlog_cap wd_stall_s wd_starvation_s metrics_socket trace_out
+      bench_json =
     match build_bench bench with
     | Error e ->
         prerr_endline e;
@@ -487,6 +509,8 @@ let serve_cmd =
             tau_f = Some P.Profile.default_tau_f;
             tau_u = Some P.Profile.default_tau_u;
             slowlog_capacity = slowlog_cap;
+            wd_stall_s;
+            wd_starvation_s;
           }
         in
         let service =
@@ -536,7 +560,8 @@ let serve_cmd =
     Term.(
       const run $ bench_arg $ mode_arg $ threads_arg $ budget_arg $ socket_arg
       $ stdio_arg $ max_batch_arg $ window_arg $ queue_cap_arg $ cache_cap_arg
-      $ slowlog_cap_arg $ metrics_socket_arg $ trace_out_arg $ bench_json_arg)
+      $ slowlog_cap_arg $ wd_stall_arg $ wd_starvation_arg $ metrics_socket_arg
+      $ trace_out_arg $ bench_json_arg)
 
 let load_cmd =
   let clients_arg =

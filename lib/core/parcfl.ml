@@ -23,8 +23,9 @@
       (served by the service's [metrics] request and scrape socket);
     - {!Service}, {!Server}, {!Load_gen}, {!Svc_protocol}, ... — the
       persistent analysis service: micro-batching, cross-batch caching,
-      admission control, stdio/Unix-socket front ends and a load-generator
-      client;
+      admission control, request-lifecycle spans ({!Svc_span}), a liveness
+      watchdog ({!Svc_watchdog}), stdio/Unix-socket front ends and a
+      load-generator client;
     - {!Profile}, {!Genprog}, {!Suite} — benchmark generation;
     - {!Bitset}, {!Vec}, {!Rng}, ... — substrate data structures. *)
 
@@ -101,6 +102,8 @@ module Svc_batcher = Parcfl_svc.Batcher
 module Svc_engine = Parcfl_svc.Engine
 module Svc_metrics = Parcfl_svc.Metrics
 module Svc_slowlog = Parcfl_svc.Slowlog
+module Svc_span = Parcfl_svc.Span
+module Svc_watchdog = Parcfl_svc.Watchdog
 module Service = Parcfl_svc.Service
 module Server = Parcfl_svc.Server
 module Load_gen = Parcfl_svc.Load_gen

@@ -36,10 +36,38 @@ type ring = {
   mutable last_ts : float;
 }
 
+(* A request's six lifecycle stamps, already converted to trace-relative
+   microseconds (see [of_epoch_us]). Immutable: the ring holds finished
+   spans only, noted once per answered request by the service pump. *)
+type request_span = {
+  rq_id : int;
+  rq_var : int;
+  rq_admit_us : float;
+  rq_batch_us : float;
+  rq_sched_us : float;
+  rq_solve_start_us : float;
+  rq_solve_end_us : float;
+  rq_respond_us : float;
+}
+
+let dummy_span =
+  {
+    rq_id = 0;
+    rq_var = 0;
+    rq_admit_us = 0.0;
+    rq_batch_us = 0.0;
+    rq_sched_us = 0.0;
+    rq_solve_start_us = 0.0;
+    rq_solve_end_us = 0.0;
+    rq_respond_us = 0.0;
+  }
+
 type t = {
   rings : ring array;
   capacity : int;
   t0 : float;
+  spans : request_span array;  (* single writer: the service pump thread *)
+  mutable span_count : int;  (* total noted, including overwritten *)
 }
 
 let default_capacity = 1 lsl 16
@@ -59,7 +87,18 @@ let create ?(capacity = default_capacity) ~workers () =
           });
     capacity;
     t0 = Unix.gettimeofday ();
+    spans = Array.make capacity dummy_span;
+    span_count = 0;
   }
+
+let of_epoch_us t us = us -. (t.t0 *. 1e6)
+
+let note_request t span =
+  t.spans.(t.span_count mod t.capacity) <- span;
+  t.span_count <- t.span_count + 1
+
+let n_requests t = min t.span_count t.capacity
+let n_dropped_requests t = max 0 (t.span_count - t.capacity)
 
 let workers t = Array.length t.rings
 
@@ -95,20 +134,87 @@ let iter t f =
     (fun worker r -> iter_ring t r (fun kind var ts -> f ~worker kind ~var ~ts))
     t.rings
 
-let event ~tid ~ph ~name ~ts ~var extra =
+let event ?(pid = 0) ?(args = []) ~tid ~ph ~name ~ts ~var extra =
   Json.Obj
     ([
        ("name", Json.String name);
        ("cat", Json.String "parcfl");
        ("ph", Json.String ph);
-       ("pid", Json.Int 0);
+       ("pid", Json.Int pid);
        ("tid", Json.Int tid);
        ("ts", Json.Float ts);
-       ("args", Json.Obj [ ("var", Json.Int var) ]);
+       ("args", Json.Obj (("var", Json.Int var) :: args));
      ]
     @ extra)
 
 let instant_scope = [ ("s", Json.String "t") ]
+
+(* The service lane: pid 1, one tid ("lane") per set of non-overlapping
+   requests. Lanes are assigned greedily in admit order — lowest lane whose
+   previous request responded before this one was admitted — so concurrent
+   requests render stacked instead of interleaved on one row. *)
+let service_pid = 1
+
+let process_name ~pid name =
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let complete ?args ~tid ~name ~ts ~dur ~var () =
+  event ~pid:service_pid ?args ~tid ~ph:"X" ~name ~ts ~var
+    [ ("dur", Json.Float (Float.max 0.0 dur)) ]
+
+let retained_spans t =
+  let kept = n_requests t in
+  let start = t.span_count - kept in
+  List.init kept (fun j -> t.spans.((start + j) mod t.capacity))
+
+let span_events spans =
+  let spans =
+    List.sort (fun a b -> compare a.rq_admit_us b.rq_admit_us) spans
+  in
+  let lanes = ref [||] in
+  let lane_of span =
+    let n = Array.length !lanes in
+    let rec find i =
+      if i >= n then begin
+        lanes := Array.append !lanes [| span.rq_respond_us |];
+        n
+      end
+      else if !lanes.(i) <= span.rq_admit_us then begin
+        !lanes.(i) <- span.rq_respond_us;
+        i
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  List.concat_map
+    (fun s ->
+      let tid = lane_of s in
+      let var = s.rq_var in
+      let stage name a b =
+        if b -. a > 0.0 then
+          [ complete ~tid ~name ~ts:a ~dur:(b -. a) ~var () ]
+        else []
+      in
+      complete ~tid ~name:"request" ~ts:s.rq_admit_us
+        ~dur:(s.rq_respond_us -. s.rq_admit_us)
+        ~var
+        ~args:[ ("id", Json.Int s.rq_id) ]
+        ()
+      :: List.concat
+           [
+             stage "queue" s.rq_admit_us s.rq_batch_us;
+             stage "batch" s.rq_batch_us s.rq_solve_start_us;
+             stage "solve" s.rq_solve_start_us s.rq_solve_end_us;
+             stage "respond" s.rq_solve_end_us s.rq_respond_us;
+           ])
+    spans
 
 let to_json t =
   let evs = ref [] in
@@ -131,13 +237,22 @@ let to_json t =
             in
             evs := e :: !evs))
     t.rings;
+  let worker_events = List.rev !evs in
+  let service_events =
+    if t.span_count = 0 then []
+    else
+      process_name ~pid:0 "solver workers"
+      :: process_name ~pid:service_pid "service requests"
+      :: span_events (retained_spans t)
+  in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.rev !evs));
+      ("traceEvents", Json.List (worker_events @ service_events));
       ("displayTimeUnit", Json.String "ms");
       (* Truncation must be visible: a viewer reading a wrapped ring would
          otherwise mistake the retained window for the whole run. *)
       ("droppedEvents", Json.Int (n_dropped t));
+      ("droppedRequestSpans", Json.Int (n_dropped_requests t));
     ]
 
 let write_chrome ~path t = Json.write_file ~path (to_json t)

@@ -23,11 +23,41 @@ val kind_name : kind -> string
 
 type t
 
+(** A request's lifecycle stamps in trace-relative microseconds (convert
+    service clocks with {!of_epoch_us}); noted once per answered request
+    by the service, exported as the trace's {e service lane}. *)
+type request_span = {
+  rq_id : int;  (** client request id *)
+  rq_var : int;  (** resolved PAG variable *)
+  rq_admit_us : float;
+  rq_batch_us : float;
+  rq_sched_us : float;
+  rq_solve_start_us : float;
+  rq_solve_end_us : float;
+  rq_respond_us : float;
+}
+
 val create : ?capacity:int -> workers:int -> unit -> t
 (** One ring of [capacity] events (default 65536) per worker in
-    [0 .. workers-1]. @raise Invalid_argument on non-positive arguments. *)
+    [0 .. workers-1], plus one request-span ring of the same capacity.
+    @raise Invalid_argument on non-positive arguments. *)
 
 val workers : t -> int
+
+val of_epoch_us : t -> float -> float
+(** Convert absolute epoch microseconds (the service's span stamps) to
+    this tracer's timebase (microseconds since {!create}), the clock
+    {!emit} events and exported timestamps use. *)
+
+val note_request : t -> request_span -> unit
+(** Record one finished request span (single-writer: the service pump
+    thread). When the ring is full the oldest span is overwritten. *)
+
+val n_requests : t -> int
+(** Request spans currently held. *)
+
+val n_dropped_requests : t -> int
+(** Request spans overwritten by ring wrap-around. *)
 
 val emit : t -> worker:int -> kind -> var:int -> unit
 (** Record one event, timestamped now. Timestamps are clamped to be
@@ -49,8 +79,18 @@ val to_json : t -> Json.t
     ["B"]/["E"] duration pairs and the other kinds as thread instants.
     After wrap-around, a worker's leading events up to its first retained
     {!Query_start} are dropped so the exported nesting stays well formed.
-    The top-level [droppedEvents] field carries {!n_dropped}, so a
-    truncated trace declares itself. *)
+
+    When request spans were noted, the export adds a second pseudo-process
+    (pid 1, named ["service requests"]; the worker rings become pid 0
+    ["solver workers"]): each request renders as an ["X"] complete event
+    spanning admit→respond with nested stage slices (queue/batch/solve/
+    respond), and overlapping requests are stacked onto separate lanes
+    (tids) assigned greedily in admit order — so one trace file shows a
+    query's queueing and its solve on the same timeline.
+
+    The top-level [droppedEvents]/[droppedRequestSpans] fields carry
+    {!n_dropped}/{!n_dropped_requests}, so a truncated trace declares
+    itself. *)
 
 val write_chrome : path:string -> t -> unit
 (** [to_json] serialised to [path] (parent directories created). *)

@@ -2,12 +2,20 @@ module Domain_pool = Parcfl_conc.Domain_pool
 module Histogram = Parcfl_stats.Histogram
 module Json = Parcfl_obs.Json
 
+type stage_quantiles = {
+  sq_p50_us : float option;
+  sq_p95_us : float option;
+  sq_p99_us : float option;
+}
+
 type summary = {
   ls_clients : int;
   ls_sent : int;
   ls_ok : int;
   ls_cached : int;
   ls_timeouts : int;
+  ls_timeouts_budget : int;
+  ls_timeouts_deadline : int;
   ls_rejected : int;
   ls_errors : int;
   ls_wall_s : float;
@@ -17,6 +25,7 @@ type summary = {
   ls_p99_us : float option;
   ls_max_us : float option;
   ls_latency_hist : int array;
+  ls_stages : (string * stage_quantiles) list;
 }
 
 let hist_buckets = 22
@@ -46,20 +55,30 @@ type tally = {
   mutable ok : int;
   mutable cached : int;
   mutable timeouts : int;
+  mutable timeouts_budget : int;
+  mutable timeouts_deadline : int;
   mutable rejected : int;
   mutable errors : int;
   mutable latencies : float list;
+  mutable breakdowns : Span.breakdown list;
+      (* server-reported stage decompositions (answers and timeouts) *)
 }
 
 let classify tally = function
-  | Ok (Protocol.Answer { cached; _ }) ->
+  | Ok (Protocol.Answer { cached; breakdown; _ }) ->
       tally.ok <- tally.ok + 1;
-      if cached then tally.cached <- tally.cached + 1
-  | Ok (Protocol.Timeout _) -> tally.timeouts <- tally.timeouts + 1
+      if cached then tally.cached <- tally.cached + 1;
+      tally.breakdowns <- breakdown :: tally.breakdowns
+  | Ok (Protocol.Timeout { reason; breakdown; _ }) ->
+      tally.timeouts <- tally.timeouts + 1;
+      (match reason with
+      | `Budget -> tally.timeouts_budget <- tally.timeouts_budget + 1
+      | `Deadline -> tally.timeouts_deadline <- tally.timeouts_deadline + 1);
+      tally.breakdowns <- breakdown :: tally.breakdowns
   | Ok (Protocol.Rejected _) -> tally.rejected <- tally.rejected + 1
   | Ok (Protocol.Error _) | Ok (Protocol.Pong _)
   | Ok (Protocol.Stats_reply _) | Ok (Protocol.Metrics_reply _)
-  | Ok (Protocol.Slowlog_reply _)
+  | Ok (Protocol.Slowlog_reply _) | Ok (Protocol.Health_reply _)
   | Error _ ->
       tally.errors <- tally.errors + 1
 
@@ -116,8 +135,9 @@ let run ?(rate = 0.0) ~connect ~clients ~requests_per_client ~queries () =
     invalid_arg "Svc.Load_gen.run: empty query mix";
   let tallies =
     Array.init clients (fun _ ->
-        { ok = 0; cached = 0; timeouts = 0; rejected = 0; errors = 0;
-          latencies = [] })
+        { ok = 0; cached = 0; timeouts = 0; timeouts_budget = 0;
+          timeouts_deadline = 0; rejected = 0; errors = 0; latencies = [];
+          breakdowns = [] })
   in
   let rate_per_client = rate /. float_of_int clients in
   let t0 = Unix.gettimeofday () in
@@ -132,6 +152,22 @@ let run ?(rate = 0.0) ~connect ~clients ~requests_per_client ~queries () =
     Array.of_list (Array.fold_left (fun acc t -> t.latencies @ acc) [] tallies)
   in
   Array.sort compare latencies;
+  let breakdowns =
+    Array.fold_left (fun acc t -> t.breakdowns @ acc) [] tallies
+  in
+  let stage_of i =
+    let samples =
+      Array.of_list
+        (List.map (fun bd -> List.nth (Span.stage_values bd) i) breakdowns)
+    in
+    Array.sort compare samples;
+    {
+      sq_p50_us = Result.to_option (percentile samples 0.50);
+      sq_p95_us = Result.to_option (percentile samples 0.95);
+      sq_p99_us = Result.to_option (percentile samples 0.99);
+    }
+  in
+  let stages = List.mapi (fun i name -> (name, stage_of i)) Span.stage_names in
   let sent = clients * requests_per_client in
   let responded = Array.length latencies in
   {
@@ -140,6 +176,8 @@ let run ?(rate = 0.0) ~connect ~clients ~requests_per_client ~queries () =
     ls_ok = sum (fun t -> t.ok);
     ls_cached = sum (fun t -> t.cached);
     ls_timeouts = sum (fun t -> t.timeouts);
+    ls_timeouts_budget = sum (fun t -> t.timeouts_budget);
+    ls_timeouts_deadline = sum (fun t -> t.timeouts_deadline);
     ls_rejected = sum (fun t -> t.rejected);
     ls_errors = sum (fun t -> t.errors);
     ls_wall_s = wall;
@@ -153,6 +191,7 @@ let run ?(rate = 0.0) ~connect ~clients ~requests_per_client ~queries () =
     ls_latency_hist =
       Histogram.of_values ~buckets:hist_buckets
         (Array.map int_of_float latencies);
+    ls_stages = stages;
   }
 
 let fetch_stats ~connect () =
@@ -170,6 +209,8 @@ let fetch_stats ~connect () =
             (Printf.sprintf "unexpected reply %s" (Protocol.response_to_string r))
       | Error e -> Error e)
 
+let quantile_json = function Some v -> Json.Float v | None -> Json.Null
+
 let to_json s =
   Json.Obj
     [
@@ -178,20 +219,30 @@ let to_json s =
       ("ok", Json.Int s.ls_ok);
       ("cached", Json.Int s.ls_cached);
       ("timeouts", Json.Int s.ls_timeouts);
+      ("timeouts_budget", Json.Int s.ls_timeouts_budget);
+      ("timeouts_deadline", Json.Int s.ls_timeouts_deadline);
       ("rejected", Json.Int s.ls_rejected);
       ("errors", Json.Int s.ls_errors);
       ("wall_seconds", Json.Float s.ls_wall_s);
       ("throughput_qps", Json.Float s.ls_throughput);
-      ( "p50_us",
-        match s.ls_p50_us with Some v -> Json.Float v | None -> Json.Null );
-      ( "p95_us",
-        match s.ls_p95_us with Some v -> Json.Float v | None -> Json.Null );
-      ( "p99_us",
-        match s.ls_p99_us with Some v -> Json.Float v | None -> Json.Null );
-      ( "max_us",
-        match s.ls_max_us with Some v -> Json.Float v | None -> Json.Null );
+      ("p50_us", quantile_json s.ls_p50_us);
+      ("p95_us", quantile_json s.ls_p95_us);
+      ("p99_us", quantile_json s.ls_p99_us);
+      ("max_us", quantile_json s.ls_max_us);
       ( "latency_hist",
         Json.List (Array.to_list (Array.map (fun n -> Json.Int n) s.ls_latency_hist)) );
+      ( "stages",
+        Json.Obj
+          (List.map
+             (fun (name, q) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("p50_us", quantile_json q.sq_p50_us);
+                     ("p95_us", quantile_json q.sq_p95_us);
+                     ("p99_us", quantile_json q.sq_p99_us);
+                   ] ))
+             s.ls_stages) );
     ]
 
 let pp_quantile ppf = function
@@ -200,9 +251,17 @@ let pp_quantile ppf = function
 
 let pp ppf s =
   Format.fprintf ppf
-    "@[<v>clients=%d sent=%d ok=%d (cached=%d) timeouts=%d rejected=%d \
-     errors=%d@,wall=%.3fs throughput=%.1f req/s@,latency p50=%a \
-     p95=%a p99=%a max=%a@]"
-    s.ls_clients s.ls_sent s.ls_ok s.ls_cached s.ls_timeouts s.ls_rejected
+    "@[<v>clients=%d sent=%d ok=%d (cached=%d) timeouts=%d \
+     (budget=%d deadline=%d) rejected=%d errors=%d@,\
+     wall=%.3fs throughput=%.1f req/s@,latency p50=%a \
+     p95=%a p99=%a max=%a"
+    s.ls_clients s.ls_sent s.ls_ok s.ls_cached s.ls_timeouts
+    s.ls_timeouts_budget s.ls_timeouts_deadline s.ls_rejected
     s.ls_errors s.ls_wall_s s.ls_throughput pp_quantile s.ls_p50_us
-    pp_quantile s.ls_p95_us pp_quantile s.ls_p99_us pp_quantile s.ls_max_us
+    pp_quantile s.ls_p95_us pp_quantile s.ls_p99_us pp_quantile s.ls_max_us;
+  List.iter
+    (fun (name, q) ->
+      Format.fprintf ppf "@,stage %-7s p50=%a p95=%a p99=%a" name pp_quantile
+        q.sq_p50_us pp_quantile q.sq_p95_us pp_quantile q.sq_p99_us)
+    s.ls_stages;
+  Format.fprintf ppf "@]"

@@ -6,12 +6,21 @@
     (write → response line) and merged into percentiles and a log2
     histogram ({!Parcfl_stats.Histogram}). *)
 
+type stage_quantiles = {
+  sq_p50_us : float option;
+  sq_p95_us : float option;
+  sq_p99_us : float option;
+}
+
 type summary = {
   ls_clients : int;
   ls_sent : int;
   ls_ok : int;  (** answers, cold or cached *)
   ls_cached : int;  (** subset of [ls_ok] served from the result cache *)
   ls_timeouts : int;
+  ls_timeouts_budget : int;  (** subset of [ls_timeouts]: step budget hit *)
+  ls_timeouts_deadline : int;
+      (** subset of [ls_timeouts]: wall deadline expired *)
   ls_rejected : int;
   ls_errors : int;  (** error responses, malformed replies, dead connections *)
   ls_wall_s : float;
@@ -24,6 +33,11 @@ type summary = {
   ls_p99_us : float option;
   ls_max_us : float option;  (** [None] when nothing responded *)
   ls_latency_hist : int array;  (** log2 us buckets, {!hist_buckets} wide *)
+  ls_stages : (string * stage_quantiles) list;
+      (** server-side latency decomposition: per-{!Span} stage quantiles
+          over every answer/timeout breakdown, in {!Span.stage_names}
+          order — tells queueing apart from solving when the end-to-end
+          tail moves *)
 }
 
 val hist_buckets : int

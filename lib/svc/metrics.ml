@@ -17,12 +17,17 @@ type counter =
   | Flush_forced
   | Sched_groups
   | Early_terms
+  | Stage_queue_us
+  | Stage_batch_us
+  | Stage_solve_us
+  | Stage_respond_us
 
 let all =
   [
     Admitted; Rejected; Cache_hit; Cache_miss; Completed; Timeout_budget;
     Timeout_deadline; Batches; Batched_queries; Coalesced; Flush_full;
-    Flush_window; Flush_forced; Sched_groups; Early_terms;
+    Flush_window; Flush_forced; Sched_groups; Early_terms; Stage_queue_us;
+    Stage_batch_us; Stage_solve_us; Stage_respond_us;
   ]
 
 let index = function
@@ -41,6 +46,10 @@ let index = function
   | Flush_forced -> 12
   | Sched_groups -> 13
   | Early_terms -> 14
+  | Stage_queue_us -> 15
+  | Stage_batch_us -> 16
+  | Stage_solve_us -> 17
+  | Stage_respond_us -> 18
 
 let name = function
   | Admitted -> "admitted"
@@ -58,6 +67,10 @@ let name = function
   | Flush_forced -> "flushes_forced"
   | Sched_groups -> "sched_groups"
   | Early_terms -> "early_terminations"
+  | Stage_queue_us -> "stage_queue_wait_us"
+  | Stage_batch_us -> "stage_batch_wait_us"
+  | Stage_solve_us -> "stage_solve_us"
+  | Stage_respond_us -> "stage_respond_us"
 
 type t = { counters : Counter.t array; created : float }
 
@@ -81,13 +94,14 @@ let mean_batch_size t =
   if b = 0 then 0.0
   else float_of_int (get t Batched_queries) /. float_of_int b
 
-let to_json ?(extra = []) t ~queue_depth ~cache_size =
+let to_json ?(extra = []) t ~queue_depth ~cache_size ~in_flight =
   Json.Obj
     (List.map (fun c -> (name c, Json.Int (get t c))) all
     @ [
         ("cache_hit_rate", Json.Float (cache_hit_rate t));
         ("mean_batch_size", Json.Float (mean_batch_size t));
         ("queue_depth", Json.Int queue_depth);
+        ("in_flight", Json.Int in_flight);
         ("cache_size", Json.Int cache_size);
         ("uptime_s", Json.Float (uptime_s t));
       ]

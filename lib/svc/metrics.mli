@@ -22,6 +22,12 @@ type counter =
   | Flush_forced  (** batches formed by an explicit [drain] *)
   | Sched_groups  (** scheduling units executed across all batches *)
   | Early_terms  (** early terminations observed across all batches *)
+  | Stage_queue_us
+      (** cumulative admit→batch-formed microseconds over answered
+          requests (see {!Span.breakdown}) *)
+  | Stage_batch_us  (** cumulative batch-formed→solve-start microseconds *)
+  | Stage_solve_us  (** cumulative solve microseconds *)
+  | Stage_respond_us  (** cumulative solve-end→respond microseconds *)
 
 val all : counter list
 (** Every counter, in a fixed order (the [stats] field order). *)
@@ -51,7 +57,9 @@ val to_json :
   t ->
   queue_depth:int ->
   cache_size:int ->
+  in_flight:int ->
   Parcfl_obs.Json.t
 (** The [stats] response payload: every counter plus derived rates, the
-    queue/cache gauges, [uptime_s], and any [extra] fields the service
-    appends (jmp-store and eviction counters it owns the sources of). *)
+    queue-depth / in-flight / cache-size gauges, [uptime_s], and any
+    [extra] fields the service appends (jmp-store and eviction counters it
+    owns the sources of). *)

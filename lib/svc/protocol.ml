@@ -10,6 +10,7 @@ type request =
   | Stats of int
   | Metrics of int
   | Slowlog of { id : int; limit : int option }
+  | Health of int
   | Ping of int
   | Quit
 
@@ -47,6 +48,8 @@ let parse_request line =
       Result.map (fun id -> Stats id) (int_of_token "stats id" id)
   | [ "metrics"; id ] ->
       Result.map (fun id -> Metrics id) (int_of_token "metrics id" id)
+  | [ "health"; id ] ->
+      Result.map (fun id -> Health id) (int_of_token "health id" id)
   | [ "slowlog"; id ] ->
       Result.map
         (fun id -> Slowlog { id; limit = None })
@@ -65,7 +68,8 @@ let parse_request line =
   | verb :: _ ->
       Error
         (Printf.sprintf
-           "unknown request %S (want query|stats|metrics|slowlog|ping|quit)"
+           "unknown request %S \
+            (want query|stats|metrics|slowlog|health|ping|quit)"
            verb)
 
 let request_to_string = function
@@ -73,6 +77,7 @@ let request_to_string = function
   | Ping id -> Printf.sprintf "ping %d" id
   | Stats id -> Printf.sprintf "stats %d" id
   | Metrics id -> Printf.sprintf "metrics %d" id
+  | Health id -> Printf.sprintf "health %d" id
   | Slowlog { id; limit = None } -> Printf.sprintf "slowlog %d" id
   | Slowlog { id; limit = Some n } -> Printf.sprintf "slowlog %d %d" id n
   | Query { id; var; budget; deadline_ms } ->
@@ -97,37 +102,48 @@ type response =
       cached : bool;
       steps : int;
       latency_us : float;
+      breakdown : Span.breakdown;
     }
-  | Timeout of { id : int; reason : timeout_reason; cached : bool }
+  | Timeout of {
+      id : int;
+      reason : timeout_reason;
+      cached : bool;
+      latency_us : float;
+      breakdown : Span.breakdown;
+    }
   | Rejected of { id : int; reason : string }
   | Error of { id : int option; reason : string }
   | Pong of int
   | Stats_reply of { id : int; stats : Json.t }
   | Metrics_reply of { id : int; body : string }
   | Slowlog_reply of { id : int; entries : Json.t }
+  | Health_reply of { id : int; healthy : bool; reasons : string list }
 
 let reason_string = function `Budget -> "budget" | `Deadline -> "deadline"
 
 let response_to_json = function
-  | Answer { id; var; objects; cached; steps; latency_us } ->
+  | Answer { id; var; objects; cached; steps; latency_us; breakdown } ->
       Json.Obj
-        [
-          ("id", Json.Int id);
-          ("status", Json.String "ok");
-          ("var", Json.String var);
-          ("objects", Json.List (List.map (fun o -> Json.String o) objects));
-          ("cached", Json.Bool cached);
-          ("steps", Json.Int steps);
-          ("latency_us", Json.Float latency_us);
-        ]
-  | Timeout { id; reason; cached } ->
+        ([
+           ("id", Json.Int id);
+           ("status", Json.String "ok");
+           ("var", Json.String var);
+           ("objects", Json.List (List.map (fun o -> Json.String o) objects));
+           ("cached", Json.Bool cached);
+           ("steps", Json.Int steps);
+           ("latency_us", Json.Float latency_us);
+         ]
+        @ Span.breakdown_fields breakdown)
+  | Timeout { id; reason; cached; latency_us; breakdown } ->
       Json.Obj
-        [
-          ("id", Json.Int id);
-          ("status", Json.String "timeout");
-          ("reason", Json.String (reason_string reason));
-          ("cached", Json.Bool cached);
-        ]
+        ([
+           ("id", Json.Int id);
+           ("status", Json.String "timeout");
+           ("reason", Json.String (reason_string reason));
+           ("cached", Json.Bool cached);
+           ("latency_us", Json.Float latency_us);
+         ]
+        @ Span.breakdown_fields breakdown)
   | Rejected { id; reason } ->
       Json.Obj
         [
@@ -163,6 +179,14 @@ let response_to_json = function
           ("status", Json.String "slowlog");
           ("entries", entries);
         ]
+  | Health_reply { id; healthy; reasons } ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("status", Json.String "health");
+          ("health", Json.String (if healthy then "ok" else "degraded"));
+          ("reasons", Json.List (List.map (fun r -> Json.String r) reasons));
+        ]
 
 let response_to_string r = Json.to_string (response_to_json r)
 
@@ -187,6 +211,19 @@ let require what = function
 
 let ( let* ) = Result.bind
 
+let breakdown_of_json j =
+  let* q = require "queue_wait_us" (member_float "queue_wait_us" j) in
+  let* b = require "batch_wait_us" (member_float "batch_wait_us" j) in
+  let* s = require "solve_us" (member_float "solve_us" j) in
+  let* r = require "respond_us" (member_float "respond_us" j) in
+  Ok
+    {
+      Span.bd_queue_wait_us = q;
+      bd_batch_wait_us = b;
+      bd_solve_us = s;
+      bd_respond_us = r;
+    }
+
 let response_of_json j =
   let* status = require "status" (member_string "status" j) in
   match status with
@@ -209,7 +246,8 @@ let response_of_json j =
       let* cached = require "cached" (member_bool "cached" j) in
       let* steps = require "steps" (member_int "steps" j) in
       let* latency_us = require "latency_us" (member_float "latency_us" j) in
-      Ok (Answer { id; var; objects; cached; steps; latency_us })
+      let* breakdown = breakdown_of_json j in
+      Ok (Answer { id; var; objects; cached; steps; latency_us; breakdown })
   | "timeout" ->
       let* id = require "id" (member_int "id" j) in
       let* reason = require "reason" (member_string "reason" j) in
@@ -220,7 +258,9 @@ let response_of_json j =
         | r -> Stdlib.Error (Printf.sprintf "unknown timeout reason %S" r)
       in
       let cached = Option.value ~default:false (member_bool "cached" j) in
-      Ok (Timeout { id; reason; cached })
+      let* latency_us = require "latency_us" (member_float "latency_us" j) in
+      let* breakdown = breakdown_of_json j in
+      Ok (Timeout { id; reason; cached; latency_us; breakdown })
   | "rejected" ->
       let* id = require "id" (member_int "id" j) in
       let* reason = require "reason" (member_string "reason" j) in
@@ -243,6 +283,29 @@ let response_of_json j =
       let* id = require "id" (member_int "id" j) in
       let* entries = require "entries" (Json.member "entries" j) in
       Ok (Slowlog_reply { id; entries })
+  | "health" ->
+      let* id = require "id" (member_int "id" j) in
+      let* state = require "health" (member_string "health" j) in
+      let* healthy =
+        match state with
+        | "ok" -> Ok true
+        | "degraded" -> Ok false
+        | s -> Stdlib.Error (Printf.sprintf "unknown health state %S" s)
+      in
+      let* reasons =
+        match Json.member "reasons" j with
+        | Some (Json.List l) ->
+            List.fold_left
+              (fun acc r ->
+                let* acc = acc in
+                match r with
+                | Json.String s -> Ok (s :: acc)
+                | _ -> Stdlib.Error "reasons: expected strings")
+              (Ok []) l
+            |> Result.map List.rev
+        | _ -> Stdlib.Error "response missing reasons"
+      in
+      Ok (Health_reply { id; healthy; reasons })
   | s -> Stdlib.Error (Printf.sprintf "unknown response status %S" s)
 
 let response_of_string s = Result.bind (Json.of_string s) response_of_json
@@ -254,6 +317,7 @@ let response_id = function
   | Pong id
   | Stats_reply { id; _ }
   | Metrics_reply { id; _ }
-  | Slowlog_reply { id; _ } ->
+  | Slowlog_reply { id; _ }
+  | Health_reply { id; _ } ->
       Some id
   | Error { id; _ } -> id

@@ -13,6 +13,7 @@
     stats <id>
     metrics <id>
     slowlog <id> [<limit>]
+    health <id>
     ping <id>
     quit
     v}
@@ -35,6 +36,8 @@ type request =
   | Slowlog of { id : int; limit : int option }
       (** the flight recorder's worst queries by latency, worst first;
           [limit] truncates the reply *)
+  | Health of int
+      (** the liveness watchdog's verdict: [ok] or [degraded] + reasons *)
   | Ping of int
   | Quit  (** begin graceful drain and shut the server down *)
 
@@ -58,8 +61,20 @@ type response =
               the entry was produced) *)
       latency_us : float;
           (** admission-to-answer service latency (0 on a cache hit) *)
+      breakdown : Span.breakdown;
+          (** where the latency went — serialised as the flat wire fields
+              [queue_wait_us]/[batch_wait_us]/[solve_us]/[respond_us],
+              which sum to [latency_us] (all-zero on a cache hit) *)
     }
-  | Timeout of { id : int; reason : timeout_reason; cached : bool }
+  | Timeout of {
+      id : int;
+      reason : timeout_reason;
+      cached : bool;
+      latency_us : float;
+      breakdown : Span.breakdown;
+          (** a deadline that expired in the queue reports its wait with
+              [solve_us = 0] — distinguishable from a slow solve *)
+    }
   | Rejected of { id : int; reason : string }
   | Error of { id : int option; reason : string }
   | Pong of int
@@ -69,6 +84,9 @@ type response =
           string so the response still fits on one line *)
   | Slowlog_reply of { id : int; entries : Parcfl_obs.Json.t }
       (** a JSON list, worst query first (see {!Slowlog.to_json}) *)
+  | Health_reply of { id : int; healthy : bool; reasons : string list }
+      (** serialised with ["health": "ok" | "degraded"]; [reasons] name
+          stalled workers / queue starvation (empty when healthy) *)
 
 val response_to_json : response -> Parcfl_obs.Json.t
 

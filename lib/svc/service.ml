@@ -7,6 +7,7 @@ module Json = Parcfl_obs.Json
 module Expo = Parcfl_telemetry.Expo
 module Registry = Parcfl_telemetry.Registry
 module Histogram = Parcfl_stats.Histogram
+module Tracer = Parcfl_obs.Tracer
 
 type config = {
   threads : int;
@@ -19,6 +20,8 @@ type config = {
   tau_f : int option;
   tau_u : int option;
   slowlog_capacity : int;
+  wd_stall_s : float;
+  wd_starvation_s : float;
 }
 
 let default_config =
@@ -33,6 +36,8 @@ let default_config =
     tau_f = None;
     tau_u = None;
     slowlog_capacity = 32;
+    wd_stall_s = Watchdog.default_config.Watchdog.wd_stall_s;
+    wd_starvation_s = Watchdog.default_config.Watchdog.wd_starvation_s;
   }
 
 type pending = {
@@ -41,6 +46,7 @@ type pending = {
   p_budget : int;  (* effective step budget for this request *)
   p_deadline : float option;  (* absolute seconds *)
   p_arrival : float;
+  p_span : Span.t;
   p_respond : Protocol.response -> unit;
 }
 
@@ -53,6 +59,8 @@ type t = {
   metrics : Metrics.t;
   slowlog : Slowlog.t;
   registry : Registry.t;
+  watchdog : Watchdog.t;
+  tracer : Tracer.t option;
   names : (string, Pag.var) Hashtbl.t;
   (* Cumulative service-lifetime histograms (log2 buckets), folded in from
      each batch report on the pump thread — no synchronisation needed. *)
@@ -60,7 +68,9 @@ type t = {
   steps_hist : int array;
   minor_words_hist : int array;
   group_hist : int array;
+  stage_hists : int array array;  (* per Span stage, microsecond buckets *)
   busy_us : float array;  (* per engine worker, across all batches *)
+  mutable in_flight : int;  (* requests inside the currently solving batch *)
 }
 
 let index_names pag =
@@ -72,6 +82,44 @@ let index_names pag =
     if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name v
   done;
   tbl
+
+let stage_counters =
+  [
+    Metrics.Stage_queue_us; Metrics.Stage_batch_us; Metrics.Stage_solve_us;
+    Metrics.Stage_respond_us;
+  ]
+
+(* One histogram family, one series per lifecycle stage. The buckets count
+   microseconds (the service clock) but the family is named in base units,
+   so the [le] bounds are scaled to seconds and the [sum] comes from the
+   cumulative stage counters — which keeps [stats] and the exposition in
+   exact agreement. *)
+let stage_seconds_family t =
+  let series =
+    List.mapi
+      (fun i stage ->
+        let h = t.stage_hists.(i) in
+        let buckets = Expo.cumulative_of_log2 ~le_scale:1e-6 h in
+        let count =
+          match List.rev buckets with (_, c) :: _ -> c | [] -> 0
+        in
+        {
+          Expo.h_labels = [ ("stage", stage) ];
+          h_buckets = buckets;
+          h_count = count;
+          h_sum =
+            Some
+              (float_of_int (Metrics.get t.metrics (List.nth stage_counters i))
+              /. 1e6);
+        })
+      Span.stage_names
+  in
+  Expo.Histogram
+    {
+      name = "parcfl_stage_seconds";
+      help = "Per-request time spent in each service lifecycle stage";
+      series;
+    }
 
 (* Everything the service knows, as Prometheus families. Collectors only
    read atomics and snapshot copies, so a scrape never blocks a solve. *)
@@ -112,6 +160,22 @@ let register_collectors t =
         Expo.histogram_of_log2 ~name:"parcfl_solver_minor_words_per_query"
           ~help:"Per-query minor-heap words allocated by the solver"
           t.minor_words_hist;
+      ]);
+  (* Request lifecycle: stage decomposition + liveness. *)
+  Registry.register t.registry (fun () ->
+      let verdict =
+        Watchdog.check t.watchdog ~now:(Unix.gettimeofday ())
+          ~oldest_admitted:
+            (Option.map (fun p -> p.p_arrival) (Admission.peek t.queue))
+      in
+      [
+        stage_seconds_family t;
+        g ~name:"parcfl_svc_in_flight"
+          ~help:"Requests inside the currently solving batch"
+          (float_of_int t.in_flight);
+        g ~name:"parcfl_svc_healthy"
+          ~help:"Liveness watchdog verdict (1 = ok, 0 = degraded)"
+          (if verdict.Watchdog.wd_healthy then 1.0 else 0.0);
       ]);
   (* Per-domain utilization: busy microseconds by worker. *)
   Registry.register t.registry (fun () ->
@@ -186,12 +250,25 @@ let create ?(config = default_config) ?tracer ~type_level pag =
       metrics = Metrics.create ();
       slowlog = Slowlog.create ~capacity:config.slowlog_capacity;
       registry = Registry.create ();
+      watchdog =
+        Watchdog.create
+          ~config:
+            {
+              Watchdog.wd_stall_s = config.wd_stall_s;
+              wd_starvation_s = config.wd_starvation_s;
+            }
+          ~workers:(Engine.threads engine)
+          ~now:(Unix.gettimeofday ()) ();
+      tracer;
       names = index_names pag;
       lat_hist = Array.make buckets 0;
       steps_hist = Array.make buckets 0;
       minor_words_hist = Array.make buckets 0;
       group_hist = Array.make buckets 0;
+      stage_hists =
+        Array.make_matrix (List.length Span.stage_names) buckets 0;
       busy_us = Array.make (Engine.threads engine) 0.0;
+      in_flight = 0;
     }
   in
   register_collectors t;
@@ -203,12 +280,23 @@ let queue_depth t = Admission.depth t.queue
 let metrics t = t.metrics
 let slowlog t = t.slowlog
 let registry t = t.registry
+let watchdog t = t.watchdog
+let in_flight t = t.in_flight
 let metrics_text t = Registry.render t.registry
+
+let oldest_arrival t =
+  Option.map (fun p -> p.p_arrival) (Admission.peek t.queue)
+
+let health t ~now =
+  Watchdog.check t.watchdog ~now ~oldest_admitted:(oldest_arrival t)
+
+let inject_stall t ~now ~worker ~stalled =
+  Watchdog.inject_stall t.watchdog ~now ~worker ~stalled
 
 let metrics_json t =
   let base =
     Metrics.to_json t.metrics ~queue_depth:(queue_depth t)
-      ~cache_size:(Cache.size t.cache)
+      ~cache_size:(Cache.size t.cache) ~in_flight:t.in_flight
   in
   let extra =
     [
@@ -271,10 +359,12 @@ let cache_key t ~var ~budget =
     ck_generation = Engine.generation t.engine;
   }
 
-let answer_of_outcome t ~id ~cached ~latency_us (outcome : Query.outcome) =
+let answer_of_outcome t ~id ~cached ~latency_us ~breakdown
+    (outcome : Query.outcome) =
   let pag = Engine.pag t.engine in
   if outcome.Query.result = Query.Out_of_budget then
-    Protocol.Timeout { id; reason = `Budget; cached }
+    Protocol.Timeout
+      { id; reason = `Budget; cached; latency_us; breakdown }
   else
     Protocol.Answer
       {
@@ -284,9 +374,11 @@ let answer_of_outcome t ~id ~cached ~latency_us (outcome : Query.outcome) =
         cached;
         steps = outcome.Query.steps_used;
         latency_us;
+        breakdown;
       }
 
-let note_slowlog t ~id ~var ~budget ~steps ~latency_us ~outcome ~cached ~now =
+let note_slowlog t ~id ~var ~budget ~steps ~latency_us ~breakdown ~outcome
+    ~cached ~now =
   Slowlog.note t.slowlog
     {
       Slowlog.sl_id = id;
@@ -294,6 +386,7 @@ let note_slowlog t ~id ~var ~budget ~steps ~latency_us ~outcome ~cached ~now =
       sl_budget = budget;
       sl_steps = steps;
       sl_latency_us = latency_us;
+      sl_breakdown = breakdown;
       sl_outcome = outcome;
       sl_cached = cached;
       sl_at = now;
@@ -306,6 +399,54 @@ let observe_latency t latency_us =
   in
   t.lat_hist.(b) <- t.lat_hist.(b) + 1
 
+let observe_stages t bd =
+  List.iteri
+    (fun i v ->
+      let us = max 0 (int_of_float v) in
+      Metrics.add t.metrics (List.nth stage_counters i) us;
+      let h = t.stage_hists.(i) in
+      let b = Histogram.bucket ~buckets:(Array.length h) us in
+      h.(b) <- h.(b) + 1)
+    (Span.stage_values bd)
+
+let note_trace t p =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      let sp = p.p_span in
+      let c = Tracer.of_epoch_us tr in
+      Tracer.note_request tr
+        {
+          Tracer.rq_id = p.p_id;
+          rq_var = p.p_var;
+          rq_admit_us = c sp.Span.sp_admit_us;
+          rq_batch_us = c sp.Span.sp_batch_us;
+          rq_sched_us = c sp.Span.sp_sched_us;
+          rq_solve_start_us = c sp.Span.sp_solve_start_us;
+          rq_solve_end_us = c sp.Span.sp_solve_end_us;
+          rq_respond_us = c sp.Span.sp_respond_us;
+        }
+
+(* Final accounting for an admitted request: stamp respond, collapse the
+   span, feed the latency/stage aggregates, remember the worst in the
+   flight recorder, note the trace span, deliver. Reporting the clamped
+   stage sum as the latency keeps "the breakdown sums to the latency"
+   true by construction, even when a test drives the service with a
+   logical clock while solve stamps are wall clock. *)
+let finish t p ~respond_us ~steps ~outcome make_response =
+  let sp = p.p_span in
+  Span.stamp_respond sp ~us:respond_us;
+  let bd = Span.breakdown sp in
+  let latency_us = Span.total_us bd in
+  observe_latency t latency_us;
+  observe_stages t bd;
+  note_slowlog t ~id:p.p_id
+    ~var:(Pag.var_name (Engine.pag t.engine) p.p_var)
+    ~budget:p.p_budget ~steps ~latency_us ~breakdown:bd ~outcome
+    ~cached:false ~now:(respond_us /. 1e6);
+  note_trace t p;
+  p.p_respond (make_response ~latency_us ~breakdown:bd)
+
 let submit t ~now ~respond req =
   match req with
   | Protocol.Ping id -> respond (Protocol.Pong id)
@@ -317,6 +458,15 @@ let submit t ~now ~respond req =
       respond
         (Protocol.Slowlog_reply
            { id; entries = Slowlog.to_json ?limit t.slowlog })
+  | Protocol.Health id ->
+      let v = health t ~now in
+      respond
+        (Protocol.Health_reply
+           {
+             id;
+             healthy = v.Watchdog.wd_healthy;
+             reasons = v.Watchdog.wd_reasons;
+           })
   | Protocol.Quit -> ()
   | Protocol.Query { id; var; budget; deadline_ms } -> (
       match resolve t var with
@@ -328,7 +478,8 @@ let submit t ~now ~respond req =
           | Some outcome ->
               Metrics.incr t.metrics Metrics.Cache_hit;
               let resp =
-                answer_of_outcome t ~id ~cached:true ~latency_us:0.0 outcome
+                answer_of_outcome t ~id ~cached:true ~latency_us:0.0
+                  ~breakdown:Span.zero outcome
               in
               let outcome_str =
                 match resp with
@@ -342,7 +493,7 @@ let submit t ~now ~respond req =
               observe_latency t 0.0;
               note_slowlog t ~id ~var ~budget:eff
                 ~steps:outcome.Query.steps_used ~latency_us:0.0
-                ~outcome:outcome_str ~cached:true ~now;
+                ~breakdown:Span.zero ~outcome:outcome_str ~cached:true ~now;
               respond resp
           | None ->
               Metrics.incr t.metrics Metrics.Cache_miss;
@@ -353,6 +504,7 @@ let submit t ~now ~respond req =
                   p_budget = eff;
                   p_deadline = deadline;
                   p_arrival = now;
+                  p_span = Span.create ~admit_us:(now *. 1e6);
                   p_respond = respond;
                 }
               in
@@ -363,9 +515,6 @@ let submit t ~now ~respond req =
                 respond (Protocol.Rejected { id; reason = "queue_full" })
               end))
 
-let oldest_arrival t =
-  Option.map (fun p -> p.p_arrival) (Admission.peek t.queue)
-
 let due t ~now =
   Batcher.due t.batcher ~now ~depth:(queue_depth t)
     ~oldest_arrival:(oldest_arrival t)
@@ -373,23 +522,21 @@ let due t ~now =
 let wait_hint t ~now =
   Batcher.wait_hint t.batcher ~now ~oldest_arrival:(oldest_arrival t)
 
-let respond_timeout t ~now ~latency_us ~steps p reason =
+let respond_timeout t ~respond_us ~steps p reason =
   Metrics.incr t.metrics
     (match reason with
     | `Deadline -> Metrics.Timeout_deadline
     | `Budget -> Metrics.Timeout_budget);
-  observe_latency t latency_us;
-  note_slowlog t ~id:p.p_id
-    ~var:(Pag.var_name (Engine.pag t.engine) p.p_var)
-    ~budget:p.p_budget ~steps ~latency_us
+  finish t p ~respond_us ~steps
     ~outcome:
       (match reason with
       | `Deadline -> "timeout_deadline"
       | `Budget -> "timeout_budget")
-    ~cached:false ~now;
-  p.p_respond (Protocol.Timeout { id = p.p_id; reason; cached = false })
+    (fun ~latency_us ~breakdown ->
+      Protocol.Timeout
+        { id = p.p_id; reason; cached = false; latency_us; breakdown })
 
-let run_batch t live =
+let run_batch t ~now live =
   (* Coalesce duplicate variables: one solve serves every requester. *)
   let seen = Hashtbl.create 64 in
   let vars =
@@ -410,7 +557,15 @@ let run_batch t live =
   let batch_budget =
     List.fold_left (fun acc p -> max acc p.p_budget) 1 live
   in
+  (* Schedule-ordered: coalesced and about to enter the engine (which
+     applies the precomputed plan). Real clock — this stamp only feeds the
+     trace lane, never the breakdown arithmetic. *)
+  let sched_us = Unix.gettimeofday () *. 1e6 in
+  List.iter (fun p -> Span.stamp_sched p.p_span ~us:sched_us) live;
+  t.in_flight <- List.length live;
   let report = Engine.execute t.engine ~budget:batch_budget vars in
+  Watchdog.observe_batch t.watchdog ~now
+    ~last_progress_us:report.Report.r_worker_last_progress_us;
   Metrics.add t.metrics Metrics.Sched_groups
     (Array.length report.Report.r_group_sizes);
   Metrics.add t.metrics Metrics.Early_terms
@@ -469,30 +624,31 @@ let run_batch t live =
             Cache.put t.cache
               (cache_key t ~var:p.p_var ~budget:p.p_budget)
               outcome;
+          (* Solve stamps come straight from the runner's per-query
+             start/end microseconds — the span costs the solver no extra
+             clock reads. *)
+          Span.stamp_solve p.p_span ~start_us:qs.Report.qs_start_us
+            ~end_us:qs.Report.qs_end_us;
           let deadline_missed =
             match p.p_deadline with
             | Some d -> qs.Report.qs_end_us /. 1e6 > d
             | None -> false
           in
-          let end_s = qs.Report.qs_end_us /. 1e6 in
-          let latency_us = qs.Report.qs_end_us -. (p.p_arrival *. 1e6) in
+          let respond_us = Unix.gettimeofday () *. 1e6 in
           let steps = outcome.Query.steps_used in
           if deadline_missed then
-            respond_timeout t ~now:end_s ~latency_us ~steps p `Deadline
+            respond_timeout t ~respond_us ~steps p `Deadline
           else if not within_budget then
-            respond_timeout t ~now:end_s ~latency_us ~steps p `Budget
+            respond_timeout t ~respond_us ~steps p `Budget
           else begin
             Metrics.incr t.metrics Metrics.Completed;
-            observe_latency t latency_us;
-            note_slowlog t ~id:p.p_id
-              ~var:(Pag.var_name (Engine.pag t.engine) p.p_var)
-              ~budget:p.p_budget ~steps ~latency_us ~outcome:"ok"
-              ~cached:false ~now:end_s;
-            p.p_respond
-              (answer_of_outcome t ~id:p.p_id ~cached:false ~latency_us
-                 outcome)
+            finish t p ~respond_us ~steps ~outcome:"ok"
+              (fun ~latency_us ~breakdown ->
+                answer_of_outcome t ~id:p.p_id ~cached:false ~latency_us
+                  ~breakdown outcome)
           end)
-    live
+    live;
+  t.in_flight <- 0
 
 let pump ?(force = false) t ~now =
   let reason =
@@ -507,6 +663,8 @@ let pump ?(force = false) t ~now =
       | Some Batcher.Window -> Metrics.Flush_window
       | None -> Metrics.Flush_forced);
     let batch = Admission.take t.queue ~max:(Batcher.max_batch t.batcher) in
+    let batch_us = now *. 1e6 in
+    List.iter (fun p -> Span.stamp_batch p.p_span ~us:batch_us) batch;
     let live, expired =
       List.partition
         (fun p ->
@@ -515,11 +673,14 @@ let pump ?(force = false) t ~now =
     in
     List.iter
       (fun p ->
-        respond_timeout t ~now
-          ~latency_us:((now -. p.p_arrival) *. 1e6)
-          ~steps:0 p `Deadline)
+        (* Never solved: the whole latency is queue wait. Collapsing the
+           remaining stamps onto the batch point makes the breakdown read
+           solve = 0, respond = 0 — a queue death, not a slow solve. *)
+        Span.stamp_sched p.p_span ~us:batch_us;
+        Span.stamp_solve p.p_span ~start_us:batch_us ~end_us:batch_us;
+        respond_timeout t ~respond_us:batch_us ~steps:0 p `Deadline)
       expired;
-    if live <> [] then run_batch t live;
+    if live <> [] then run_batch t ~now live;
     List.length batch
   end
 

@@ -20,6 +20,15 @@
       whose deadline passed or whose budget the solve exceeded reports
       [Timeout], never a fabricated answer.
 
+    Every admitted request carries a {!Span} stamped at admit →
+    batch-formed → schedule-ordered → solve-start → solve-end → respond;
+    its breakdown rides on the response, feeds the per-stage histograms
+    ([parcfl_stage_seconds]) and the slowlog, and — when the service has a
+    tracer — becomes a span on the Chrome trace's service lane. A
+    {!Watchdog} turns per-worker last-progress heartbeats and the oldest
+    admitted request's age into the [health] verb's verdict and the
+    [parcfl_svc_healthy] gauge.
+
     The service is driven from one front-end thread ({!Server}'s event
     loop or a test harness); the parallelism lives inside the engine's
     batch execution. Responses are delivered through the callback given at
@@ -36,11 +45,14 @@ type config = {
   tau_f : int option;
   tau_u : int option;
   slowlog_capacity : int;  (** flight-recorder bound (worst queries kept) *)
+  wd_stall_s : float;  (** watchdog: max worker-heartbeat age under demand *)
+  wd_starvation_s : float;  (** watchdog: max oldest-admitted wait *)
 }
 
 val default_config : config
 (** 4 threads, [Share_sched], batches of 64 / 10 ms, queue 1024, cache
-    4096, budget {!Parcfl_cfl.Config.default}'s, slowlog 32. *)
+    4096, budget {!Parcfl_cfl.Config.default}'s, slowlog 32, watchdog
+    {!Watchdog.default_config}'s thresholds. *)
 
 type t
 
@@ -54,7 +66,24 @@ val create :
 val config : t -> config
 val engine : t -> Engine.t
 val queue_depth : t -> int
+
+val in_flight : t -> int
+(** Requests inside the currently-executing micro-batch (0 between
+    pumps). *)
+
 val metrics : t -> Metrics.t
+
+val watchdog : t -> Watchdog.t
+(** The liveness watchdog: fed a heartbeat per worker after every batch
+    (from the report's per-worker last-progress stamps). *)
+
+val health : t -> now:float -> Watchdog.verdict
+(** The [health] verb's verdict: worker-stall and queue-starvation checks
+    against the configured [wd_stall_s]/[wd_starvation_s] thresholds. *)
+
+val inject_stall : t -> now:float -> worker:int -> stalled:bool -> unit
+(** Fault injection for drills and tests: pin [worker]'s heartbeat in the
+    past (or release it) so {!health} reports degraded deterministically. *)
 
 val slowlog : t -> Slowlog.t
 (** The flight recorder; populated by every answered query. *)

@@ -6,6 +6,7 @@ type entry = {
   sl_budget : int;
   sl_steps : int;
   sl_latency_us : float;
+  sl_breakdown : Span.breakdown;
   sl_outcome : string;
   sl_cached : bool;
   sl_at : float;
@@ -59,16 +60,19 @@ let worst ?limit t =
 
 let entry_to_json e =
   Json.Obj
-    [
-      ("id", Json.Int e.sl_id);
-      ("var", Json.String e.sl_var);
-      ("budget", Json.Int e.sl_budget);
-      ("steps", Json.Int e.sl_steps);
-      ("latency_us", Json.Float e.sl_latency_us);
-      ("outcome", Json.String e.sl_outcome);
-      ("cached", Json.Bool e.sl_cached);
-      ("at", Json.Float e.sl_at);
-    ]
+    ([
+       ("id", Json.Int e.sl_id);
+       ("var", Json.String e.sl_var);
+       ("budget", Json.Int e.sl_budget);
+       ("steps", Json.Int e.sl_steps);
+       ("latency_us", Json.Float e.sl_latency_us);
+     ]
+    @ Span.breakdown_fields e.sl_breakdown
+    @ [
+        ("outcome", Json.String e.sl_outcome);
+        ("cached", Json.Bool e.sl_cached);
+        ("at", Json.Float e.sl_at);
+      ])
 
 let to_json ?limit t = Json.List (List.map entry_to_json (worst ?limit t))
 

@@ -1,0 +1,93 @@
+type config = { wd_stall_s : float; wd_starvation_s : float }
+
+let default_config = { wd_stall_s = 5.0; wd_starvation_s = 1.0 }
+
+type t = {
+  cfg : config;
+  last_beat : float array;  (* per worker, seconds on the service clock *)
+  injected : bool array;  (* fault-injection: worker's beats are ignored *)
+}
+
+let create ?(config = default_config) ~workers ~now () =
+  if workers < 1 then invalid_arg "Svc.Watchdog.create: workers must be >= 1";
+  if config.wd_stall_s <= 0.0 || config.wd_starvation_s <= 0.0 then
+    invalid_arg "Svc.Watchdog.create: thresholds must be > 0";
+  {
+    cfg = config;
+    last_beat = Array.make workers now;
+    injected = Array.make workers false;
+  }
+
+let config t = t.cfg
+let workers t = Array.length t.last_beat
+let last_beat t w = t.last_beat.(w)
+
+let beat t ~now ~worker =
+  if worker >= 0 && worker < Array.length t.last_beat
+     && not t.injected.(worker)
+  then t.last_beat.(worker) <- Float.max t.last_beat.(worker) now
+
+(* A joined batch proves every worker alive; workers that executed queries
+   additionally carry their real last-completion stamp (epoch µs from the
+   runner), idle workers beat with the batch end. *)
+let observe_batch ?last_progress_us t ~now =
+  Array.iteri
+    (fun w _ ->
+      let stamp =
+        match last_progress_us with
+        | Some a when w < Array.length a && a.(w) > 0.0 ->
+            Float.min now (a.(w) /. 1e6)
+        | _ -> now
+      in
+      beat t ~now:stamp ~worker:w)
+    t.last_beat
+
+let inject_stall t ~now ~worker ~stalled =
+  if worker >= 0 && worker < Array.length t.last_beat then
+    if stalled then begin
+      t.injected.(worker) <- true;
+      (* Backdate past the threshold so the degraded verdict flows through
+         the same age arithmetic as a real stall — the injection exercises
+         the detector, it does not bypass it. *)
+      t.last_beat.(worker) <-
+        Float.min t.last_beat.(worker) (now -. t.cfg.wd_stall_s -. 1.0)
+    end
+    else begin
+      t.injected.(worker) <- false;
+      t.last_beat.(worker) <- now
+    end
+
+let injected t =
+  let out = ref [] in
+  for w = Array.length t.injected - 1 downto 0 do
+    if t.injected.(w) then out := w :: !out
+  done;
+  !out
+
+type verdict = { wd_healthy : bool; wd_reasons : string list }
+
+(* A quiet service is healthy no matter how stale the beats: workers only
+   owe progress while there is demand. An injected stall owes progress
+   unconditionally — that is the point of the injection. *)
+let check t ~now ~oldest_admitted =
+  let demand = oldest_admitted <> None in
+  let reasons = ref [] in
+  (match oldest_admitted with
+  | Some arrival when now -. arrival > t.cfg.wd_starvation_s ->
+      reasons :=
+        [
+          Printf.sprintf "queue starved: oldest admitted waiting %.1fs \
+                          (threshold %.1fs)"
+            (now -. arrival) t.cfg.wd_starvation_s;
+        ]
+  | _ -> ());
+  for w = Array.length t.last_beat - 1 downto 0 do
+    let age = now -. t.last_beat.(w) in
+    if age > t.cfg.wd_stall_s && (t.injected.(w) || demand) then
+      reasons :=
+        Printf.sprintf "worker %d stalled: no progress for %.1fs \
+                        (threshold %.1fs)"
+          w age t.cfg.wd_stall_s
+        :: !reasons
+  done;
+  { wd_healthy = !reasons = []; wd_reasons = !reasons }

@@ -66,7 +66,7 @@ let counter ?(labels = []) ~name ~help v =
 let gauge ?(labels = []) ~name ~help v =
   Gauge { name; help; samples = [ { labels; value = v } ] }
 
-let cumulative_of_log2 h =
+let cumulative_of_log2 ?(le_scale = 1.0) h =
   let n = Array.length h in
   if n = 0 then [ (Float.infinity, 0) ]
   else begin
@@ -74,13 +74,14 @@ let cumulative_of_log2 h =
     List.init n (fun i ->
         acc := !acc + h.(i);
         let le =
-          if i = n - 1 then Float.infinity else Float.of_int (1 lsl (i + 1))
+          if i = n - 1 then Float.infinity
+          else Float.of_int (1 lsl (i + 1)) *. le_scale
         in
         (le, !acc))
   end
 
-let histogram_of_log2 ?(labels = []) ?sum ~name ~help h =
-  let buckets = cumulative_of_log2 h in
+let histogram_of_log2 ?(labels = []) ?sum ?le_scale ~name ~help h =
+  let buckets = cumulative_of_log2 ?le_scale h in
   let count = match List.rev buckets with (_, c) :: _ -> c | [] -> 0 in
   Histogram
     {

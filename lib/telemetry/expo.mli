@@ -61,13 +61,17 @@ val gauge :
   ?labels:(string * string) list -> name:string -> help:string -> float ->
   family
 
-val cumulative_of_log2 : int array -> (float * int) list
+val cumulative_of_log2 : ?le_scale:float -> int array -> (float * int) list
 (** Turn a log2 bucket array into cumulative [(le, count)] pairs; empty
-    array becomes a single [+Inf] bucket of 0. *)
+    array becomes a single [+Inf] bucket of 0. [le_scale] multiplies every
+    finite upper bound — pass [1e-6] to expose microsecond-bucketed
+    observations with second-unit bounds, as base-unit metric names
+    ([*_seconds]) require. *)
 
 val histogram_of_log2 :
   ?labels:(string * string) list ->
   ?sum:float ->
+  ?le_scale:float ->
   name:string ->
   help:string ->
   int array ->

@@ -73,9 +73,21 @@ let () =
   in
   let expect_answer id v ~cached_ok =
     match recv () with
-    | Proto.Answer { id = id'; objects; cached; _ } when id' = id ->
+    | Proto.Answer { id = id'; objects; cached; latency_us; breakdown; _ }
+      when id' = id ->
         if objects <> expected v then fail "query %d: wrong points-to set" id;
         if (not cached_ok) && cached then fail "query %d: unexpected cache hit" id;
+        (* The lifecycle breakdown must account for the reported latency:
+           four non-negative stages summing to within 5% of the total. *)
+        List.iter
+          (fun s -> if s < 0.0 then fail "query %d: negative stage" id)
+          (P.Svc_span.stage_values breakdown);
+        let sum = P.Svc_span.total_us breakdown in
+        if abs_float (sum -. latency_us) > (0.05 *. latency_us) +. 1.0 then
+          fail "query %d: breakdown sums to %.1fus, latency is %.1fus" id sum
+            latency_us;
+        if (not cached) && latency_us <= 0.0 then
+          fail "query %d: cold answer with no latency" id;
         cached
     | r -> fail "query %d: unexpected %s" id (Proto.response_to_string r)
   in
@@ -116,8 +128,21 @@ let () =
           "# TYPE parcfl_cache_evictions_total counter";
           "# TYPE parcfl_svc_latency_us histogram";
           "parcfl_svc_latency_us_bucket{le=\"+Inf\"}";
+          "# TYPE parcfl_stage_seconds histogram";
+          "parcfl_stage_seconds_bucket{stage=\"solve\"";
+          "# TYPE parcfl_svc_healthy gauge";
+          "parcfl_svc_healthy 1";
+          "# TYPE parcfl_svc_in_flight gauge";
         ]
   | r -> fail "expected metrics, got %s" (Proto.response_to_string r));
+
+  (* Liveness: a serving, progressing server reports healthy. *)
+  send (Proto.Health 23);
+  (match recv () with
+  | Proto.Health_reply { id = 23; healthy = true; reasons = [] } -> ()
+  | Proto.Health_reply { id = 23; healthy = false; reasons } ->
+      fail "healthy server reports degraded: %s" (String.concat "; " reasons)
+  | r -> fail "expected health, got %s" (Proto.response_to_string r));
 
   (* The flight recorder saw the three answered queries. *)
   send (Proto.Slowlog { id = 22; limit = Some 2 });

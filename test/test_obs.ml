@@ -166,6 +166,90 @@ let test_tracer_ignores_bad_worker () =
   Tracer.emit tr ~worker:(-1) Tracer.Query_start ~var:0;
   Alcotest.(check int) "out-of-range workers ignored" 0 (Tracer.n_events tr)
 
+(* The service lane: request spans export as "X" complete events on their
+   own pseudo-process, overlapping requests on distinct lanes (tids). *)
+let test_tracer_service_lane () =
+  let tr = Tracer.create ~workers:1 () in
+  let span id a b =
+    {
+      Tracer.rq_id = id;
+      rq_var = id;
+      rq_admit_us = a;
+      rq_batch_us = a +. 10.0;
+      rq_sched_us = a +. 12.0;
+      rq_solve_start_us = a +. 15.0;
+      rq_solve_end_us = b -. 5.0;
+      rq_respond_us = b;
+    }
+  in
+  (* Two overlapping requests, one disjoint later one. *)
+  Tracer.note_request tr (span 1 0.0 100.0);
+  Tracer.note_request tr (span 2 50.0 150.0);
+  Tracer.note_request tr (span 3 200.0 300.0);
+  Alcotest.(check int) "three spans" 3 (Tracer.n_requests tr);
+  Alcotest.(check int) "none dropped" 0 (Tracer.n_dropped_requests tr);
+  match Json.of_string (Json.to_string (Tracer.to_json tr)) with
+  | Error e -> Alcotest.failf "service lane export does not parse: %s" e
+  | Ok json ->
+      let evs = trace_events json in
+      let service_evs =
+        List.filter
+          (fun ev ->
+            match Json.member "pid" ev with
+            | Some (Json.Int 1) -> true
+            | _ -> false)
+          evs
+      in
+      let requests =
+        List.filter
+          (fun ev ->
+            str_field "ph" ev = "X" && str_field "name" ev = "request")
+          service_evs
+      in
+      Alcotest.(check int) "one X event per request" 3 (List.length requests);
+      (* Overlapping requests 1 and 2 must not share a lane; request 3 can
+         reuse a freed one. *)
+      let lane_of id =
+        match
+          List.find_opt
+            (fun ev ->
+              match Json.member "args" ev with
+              | Some args -> (
+                  match Json.member "id" args with
+                  | Some (Json.Int i) -> i = id
+                  | _ -> false)
+              | None -> false)
+            requests
+        with
+        | Some ev -> int_field "tid" ev
+        | None -> Alcotest.failf "request %d missing from the lane" id
+      in
+      Alcotest.(check bool) "overlap forces distinct lanes" true
+        (lane_of 1 <> lane_of 2);
+      Alcotest.(check int) "disjoint request reuses lane 0" (lane_of 1)
+        (lane_of 3);
+      (* Every X event carries a non-negative duration, and the stage
+         slices nest inside their request. *)
+      List.iter
+        (fun ev ->
+          match Json.member "dur" ev with
+          | Some (Json.Float d) ->
+              Alcotest.(check bool) "dur >= 0" true (d >= 0.0)
+          | Some (Json.Int d) ->
+              Alcotest.(check bool) "dur >= 0" true (d >= 0)
+          | _ -> Alcotest.fail "X event without dur")
+        (List.filter (fun ev -> str_field "ph" ev = "X") service_evs);
+      let stage_names =
+        List.filter_map
+          (fun ev ->
+            let n = str_field "name" ev in
+            if str_field "ph" ev = "X" && n <> "request" then Some n else None)
+          service_evs
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check bool) "stage slices present" true
+        (List.mem "solve" stage_names && List.mem "queue" stage_names)
+
 (* --------------------------- histograms ---------------------------- *)
 
 let test_histogram_bucket () =
@@ -258,6 +342,8 @@ let suite =
       Alcotest.test_case "tracer overflow" `Quick test_tracer_overflow;
       Alcotest.test_case "tracer bad worker" `Quick
         test_tracer_ignores_bad_worker;
+      Alcotest.test_case "tracer service lane" `Quick
+        test_tracer_service_lane;
       Alcotest.test_case "histogram bucket" `Quick test_histogram_bucket;
       Alcotest.test_case "report invariants" `Quick test_report_invariants;
       Alcotest.test_case "solver trace wiring" `Quick

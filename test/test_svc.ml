@@ -18,6 +18,7 @@ let test_request_round_trip () =
       Proto.Metrics 4;
       Proto.Slowlog { id = 5; limit = None };
       Proto.Slowlog { id = 6; limit = Some 10 };
+      Proto.Health 8;
       Proto.Ping 7;
       Proto.Quit;
     ]
@@ -39,8 +40,16 @@ let test_request_errors () =
     [
       ""; "query"; "query x"; "bogus 1"; "ping notanint";
       "query 1 v budget=x"; "metrics"; "metrics x"; "slowlog";
-      "slowlog 1 -2"; "slowlog 1 x";
+      "slowlog 1 -2"; "slowlog 1 x"; "health"; "health x";
     ]
+
+let breakdown =
+  {
+    P.Svc_span.bd_queue_wait_us = 100.0;
+    bd_batch_wait_us = 25.0;
+    bd_solve_us = 120.0;
+    bd_respond_us = 5.0;
+  }
 
 let test_response_round_trip () =
   let responses =
@@ -53,9 +62,24 @@ let test_response_round_trip () =
           cached = true;
           steps = 17;
           latency_us = 250.0;
+          breakdown;
         };
-      Proto.Timeout { id = 2; reason = `Budget; cached = false };
-      Proto.Timeout { id = 3; reason = `Deadline; cached = false };
+      Proto.Timeout
+        {
+          id = 2;
+          reason = `Budget;
+          cached = false;
+          latency_us = 250.0;
+          breakdown;
+        };
+      Proto.Timeout
+        {
+          id = 3;
+          reason = `Deadline;
+          cached = false;
+          latency_us = 100.0;
+          breakdown = P.Svc_span.zero;
+        };
       Proto.Rejected { id = 4; reason = "queue_full" };
       Proto.Error { id = Some 5; reason = "no such variable" };
       Proto.Error { id = None; reason = "parse error" };
@@ -69,6 +93,13 @@ let test_response_round_trip () =
           id = 9;
           entries =
             P.Json.List [ P.Json.Obj [ ("id", P.Json.Int 1) ] ];
+        };
+      Proto.Health_reply { id = 10; healthy = true; reasons = [] };
+      Proto.Health_reply
+        {
+          id = 11;
+          healthy = false;
+          reasons = [ "worker 0 stalled"; "queue starvation" ];
         };
     ]
   in
@@ -270,7 +301,14 @@ let test_deadline_expired_is_timeout () =
      Timeout `Deadline without fabricating a points-to answer. *)
   ignore (P.Service.pump ~force:true svc ~now:10.0);
   match Hashtbl.find_opt responses 1 with
-  | Some (Proto.Timeout { reason = `Deadline; _ }) -> ()
+  | Some (Proto.Timeout { reason = `Deadline; latency_us; breakdown; _ }) ->
+      (* The whole wait happened in the queue; nothing was solved. *)
+      Alcotest.(check (float 1e-6)) "never solved" 0.0
+        breakdown.P.Svc_span.bd_solve_us;
+      Alcotest.(check (float 1e-3)) "breakdown sums to latency" latency_us
+        (P.Svc_span.total_us breakdown);
+      Alcotest.(check (float 1e-3)) "latency is the queue wait" 10.0e6
+        latency_us
   | r ->
       Alcotest.failf "expected deadline timeout, got %s"
         (match r with Some r -> Proto.response_to_string r | None -> "none")
@@ -357,6 +395,112 @@ let test_runner_query_stamps () =
         Alcotest.fail "qs_latency_us disagrees with the stamps")
     r.P.Report.r_queries
 
+(* ------------------------ spans & watchdog ------------------------- *)
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Tentpole: an answered query's breakdown accounts for its whole
+   latency. Driven with the wall clock so the solve stamps (epoch µs from
+   the runner) and the service stamps share a timebase. *)
+let test_breakdown_sums_to_latency () =
+  let b, svc = make_service () in
+  let responses, respond = collector () in
+  P.Service.submit svc ~now:(Unix.gettimeofday ()) ~respond
+    (query 1 b.P.Suite.queries.(0));
+  ignore (P.Service.pump ~force:true svc ~now:(Unix.gettimeofday ()));
+  (match Hashtbl.find_opt responses 1 with
+  | Some (Proto.Answer { cached; latency_us; breakdown; _ }) ->
+      Alcotest.(check bool) "cold" false cached;
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "stage non-negative" true (v >= 0.0))
+        (P.Svc_span.stage_values breakdown);
+      let sum = P.Svc_span.total_us breakdown in
+      Alcotest.(check bool) "stages sum to latency" true
+        (abs_float (sum -. latency_us) <= (0.05 *. latency_us) +. 1.0)
+  | r ->
+      Alcotest.failf "expected an answer, got %s"
+        (match r with Some r -> Proto.response_to_string r | None -> "none"));
+  (* The same stages feed the service counters and the stats payload. *)
+  let m = P.Service.metrics svc in
+  let stage_total =
+    List.fold_left
+      (fun acc c -> acc + P.Svc_metrics.get m c)
+      0
+      [
+        P.Svc_metrics.Stage_queue_us; P.Svc_metrics.Stage_batch_us;
+        P.Svc_metrics.Stage_solve_us; P.Svc_metrics.Stage_respond_us;
+      ]
+  in
+  Alcotest.(check bool) "stage counters accumulated" true (stage_total >= 0);
+  match P.Service.metrics_json svc with
+  | P.Json.Obj fields ->
+      Alcotest.(check bool) "stats has in_flight" true
+        (List.assoc_opt "in_flight" fields = Some (P.Json.Int 0));
+      Alcotest.(check bool) "stats has stage aggregate" true
+        (List.mem_assoc "stage_solve_us" fields)
+  | _ -> Alcotest.fail "stats payload is not an object"
+
+let test_watchdog_unit () =
+  let module W = P.Svc_watchdog in
+  let wd = W.create ~workers:2 ~now:0.0 () in
+  (* A quiet service owes no progress, however stale the beats. *)
+  let v = W.check wd ~now:100.0 ~oldest_admitted:None in
+  Alcotest.(check bool) "quiet is healthy" true v.W.wd_healthy;
+  (* Demand turns the same stale beats into a stall — one reason per
+     worker (default stall threshold 5 s). *)
+  let v = W.check wd ~now:100.0 ~oldest_admitted:(Some 99.9) in
+  Alcotest.(check bool) "stale under demand" false v.W.wd_healthy;
+  Alcotest.(check int) "both workers named" 2 (List.length v.W.wd_reasons);
+  (* A joined batch heartbeats everyone back to health. *)
+  W.observe_batch wd ~now:100.0;
+  let v = W.check wd ~now:100.0 ~oldest_admitted:(Some 99.9) in
+  Alcotest.(check bool) "fresh beats are healthy" true v.W.wd_healthy;
+  (* Queue starvation fires independently of worker health (default
+     starvation threshold 1 s). *)
+  let v = W.check wd ~now:102.0 ~oldest_admitted:(Some 100.0) in
+  Alcotest.(check bool) "starved queue degrades" false v.W.wd_healthy;
+  Alcotest.(check bool) "reason names starvation" true
+    (List.exists (fun r -> contains r "starved") v.W.wd_reasons);
+  (* Real runner stamps (epoch µs) beat workers at their last solve-end;
+     a zero stamp (worker never ran a query) falls back to the batch
+     end. *)
+  W.observe_batch wd ~now:200.0 ~last_progress_us:[| 199.5e6; 0.0 |];
+  Alcotest.(check (float 1e-9)) "stamped worker" 199.5 (W.last_beat wd 0);
+  Alcotest.(check (float 1e-9)) "idle worker" 200.0 (W.last_beat wd 1)
+
+let test_health_verb_and_injection () =
+  let _, svc = make_service () in
+  let health now =
+    let seen = ref None in
+    P.Service.submit svc ~now
+      ~respond:(fun r -> seen := Some r)
+      (Proto.Health 1);
+    match !seen with
+    | Some (Proto.Health_reply { healthy; reasons; _ }) -> (healthy, reasons)
+    | Some r ->
+        Alcotest.failf "expected a health reply, got %s"
+          (Proto.response_to_string r)
+    | None -> Alcotest.fail "health got no reply"
+  in
+  let healthy, reasons = health 0.0 in
+  Alcotest.(check bool) "initially ok" true healthy;
+  Alcotest.(check (list string)) "no reasons" [] reasons;
+  (* An injected stall must flow through the same verdict the operator
+     sees, and recovery must be observable the same way. *)
+  P.Service.inject_stall svc ~now:10.0 ~worker:0 ~stalled:true;
+  let healthy, reasons = health 10.0 in
+  Alcotest.(check bool) "injected stall degrades" false healthy;
+  Alcotest.(check bool) "reason names worker 0" true
+    (List.exists (fun r -> contains r "worker 0") reasons);
+  P.Service.inject_stall svc ~now:20.0 ~worker:0 ~stalled:false;
+  let healthy, reasons = health 20.0 in
+  Alcotest.(check bool) "recovers" true healthy;
+  Alcotest.(check (list string)) "reasons clear" [] reasons
+
 let suite =
   ( "svc",
     [
@@ -381,4 +525,10 @@ let suite =
       Alcotest.test_case "stats count cache hits" `Quick test_stats_count_hits;
       Alcotest.test_case "variable resolution" `Quick test_resolve;
       Alcotest.test_case "runner query stamps" `Quick test_runner_query_stamps;
+      Alcotest.test_case "breakdown sums to latency" `Quick
+        test_breakdown_sums_to_latency;
+      Alcotest.test_case "watchdog stall + starvation" `Quick
+        test_watchdog_unit;
+      Alcotest.test_case "health verb + stall injection" `Quick
+        test_health_verb_and_injection;
     ] )

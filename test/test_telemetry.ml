@@ -152,6 +152,13 @@ let entry ?(cached = false) ?(outcome = "ok") ~id ~lat ~at () =
     sl_budget = 100;
     sl_steps = 10;
     sl_latency_us = lat;
+    sl_breakdown =
+      {
+        P.Svc_span.bd_queue_wait_us = lat /. 2.0;
+        bd_batch_wait_us = 0.0;
+        bd_solve_us = lat /. 2.0;
+        bd_respond_us = 0.0;
+      };
     sl_outcome = outcome;
     sl_cached = cached;
     sl_at = at;
