@@ -28,6 +28,17 @@
                        any drop (service rows: answers whose stage
                         breakdown accounts for the reported latency — a
                         drop means span stamping broke)
+     cold_completed /
+     warm_completed    any drop (serve_coldwarm rows; both sides are
+                        deterministic at fixed seed and budget)
+     warm_solve_p95_us must stay strictly below cold_solve_p95_us in the
+                       fresh run wherever the baseline shows a decisive
+                       win (warm <= cold/2). On budget-bound benches warm
+                       p95 is legitimately higher — cold gives up at the
+                       step budget while warm replays full seeded target
+                       sets and completes more queries — so only the
+                       workloads where pre-seeding decisively won (the CI
+                       workload included) are held to keep winning.
 
    Exit status: 0 no regression, 1 regression found, 2 usage or I/O error. *)
 
@@ -109,6 +120,29 @@ let check_no_drop field k b l acc =
       Printf.sprintf "%s: %s dropped %.0f -> %.0f" k field bv lv :: acc
   | _ -> acc
 
+(* Where the committed baseline shows pre-seeding decisively winning
+   (warm p95 at most half the cold one — true of the CI workload), the
+   fresh run must still have warm strictly below cold: losing a 2x+
+   margin entirely means the seeds stopped serving traffic. Entries whose
+   baseline never had that margin (budget-bound benches, where warm
+   legitimately pays more wall time to answer more queries) are not
+   gated on latency — only on their completion counts above. *)
+let coldwarm_armed_ratio = 0.5
+
+let check_coldwarm k b l acc =
+  match
+    ( num "cold_solve_p95_us" b, num "warm_solve_p95_us" b,
+      num "cold_solve_p95_us" l, num "warm_solve_p95_us" l )
+  with
+  | Some bc, Some bw, Some lc, Some lw
+    when bw <= bc *. coldwarm_armed_ratio && lw >= lc ->
+      Printf.sprintf
+        "%s: warm_solve_p95_us %.0f did not beat cold_solve_p95_us %.0f \
+         (baseline won %.0f vs %.0f)"
+        k lw lc bw bc
+      :: acc
+  | _ -> acc
+
 let check_entry k baseline latest =
   []
   |> check_wall k baseline latest
@@ -119,6 +153,9 @@ let check_entry k baseline latest =
   |> check_no_drop "completed" k baseline latest
   |> check_no_drop "requests" k baseline latest
   |> check_no_drop "completed_with_breakdown" k baseline latest
+  |> check_no_drop "cold_completed" k baseline latest
+  |> check_no_drop "warm_completed" k baseline latest
+  |> check_coldwarm k baseline latest
   |> List.rev
 
 (* ------------------------------------------------------------------ *)
@@ -202,6 +239,20 @@ let self_test () =
       | Some n -> [ ("completed_with_breakdown", J.Int n) ]
       | None -> [])
   in
+  let coldwarm ?(bench = "b") ?(cold_p95 = 900.0) ?(warm_p95 = 120.0)
+      ?(cold_ok = 380) ?(warm_ok = 390) () =
+    J.Obj
+      [
+        ("section", J.String "serve_coldwarm");
+        ("bench", J.String bench);
+        ("requests", J.Int 400);
+        ("cold_completed", J.Int cold_ok);
+        ("warm_completed", J.Int warm_ok);
+        ("cold_solve_p95_us", J.Float cold_p95);
+        ("warm_solve_p95_us", J.Float warm_p95);
+        ("wall_seconds", J.Float 0.5);
+      ]
+  in
   let doc es = J.Obj [ ("schema", J.Int 1); ("entries", J.List es) ] in
   let base =
     doc
@@ -214,6 +265,9 @@ let self_test () =
           ~steps:1000 ~completed:100 ~minor_words:10000 ~sps:1000.0 ();
         entry ~section:"serve" ~bench:"b" ~mode:"-" ~threads:2 ~sim:false
           ~wall:0.5 ~steps:0 ~completed:0 ~with_breakdown:400 ();
+        coldwarm ();
+        (* A budget-bound bench where warm never won: latency unarmed. *)
+        coldwarm ~bench:"big" ~cold_p95:800.0 ~warm_p95:3000.0 ();
       ]
   in
   let expect name doc' want =
@@ -324,6 +378,18 @@ let self_test () =
            ~wall:0.5 ~steps:0 ~completed:0 ~with_breakdown:400 ();
        ])
     0;
+  (* Where the baseline won decisively, equal p95s are already a failure
+     (the seeds stopped paying for themselves)... *)
+  run "coldwarm-warm-not-faster" (doc [ coldwarm ~warm_p95:900.0 () ]) 1;
+  run "coldwarm-improvement" (doc [ coldwarm ~warm_p95:60.0 () ]) 0;
+  (* ...but a narrowed, still-winning margin is not one... *)
+  run "coldwarm-margin-narrowed" (doc [ coldwarm ~warm_p95:850.0 () ]) 0;
+  (* ...and a bench whose baseline never won is not latency-gated. *)
+  run "coldwarm-unarmed"
+    (doc [ coldwarm ~bench:"big" ~cold_p95:800.0 ~warm_p95:3500.0 () ])
+    0;
+  run "coldwarm-cold-completed-drop" (doc [ coldwarm ~cold_ok:379 () ]) 1;
+  run "coldwarm-warm-completed-drop" (doc [ coldwarm ~warm_ok:389 () ]) 1;
   run "everything-at-once"
     (doc
        [

@@ -484,9 +484,20 @@ let serve_cmd =
       & opt (some string) None
       & info [ "metrics-socket" ] ~docv:"PATH" ~doc)
   in
+  let preseed_arg =
+    let doc =
+      "Warm start: run the whole-program bitset kernel over the loaded PAG \
+       and pre-seed the jmp store with its facts before accepting traffic."
+    in
+    Arg.(value & flag & info [ "preseed" ] ~doc)
+  in
+  let serve_insensitive_arg =
+    let doc = "Serve context-insensitively (Andersen-equivalent engine)." in
+    Arg.(value & flag & info [ "insensitive" ] ~doc)
+  in
   let run bench mode threads budget socket stdio max_batch window_ms queue_cap
-      cache_cap slowlog_cap wd_stall_s wd_starvation_s metrics_socket trace_out
-      bench_json =
+      cache_cap slowlog_cap wd_stall_s wd_starvation_s metrics_socket preseed
+      insensitive trace_out bench_json =
     match build_bench bench with
     | Error e ->
         prerr_endline e;
@@ -506,6 +517,8 @@ let serve_cmd =
             queue_capacity = queue_cap;
             cache_capacity = cache_cap;
             max_budget = budget;
+            context_sensitive = not insensitive;
+            preseed;
             tau_f = Some P.Profile.default_tau_f;
             tau_u = Some P.Profile.default_tau_u;
             slowlog_capacity = slowlog_cap;
@@ -519,13 +532,19 @@ let serve_cmd =
         in
         let stdio = if socket = None then true else stdio in
         (* Service chatter goes to stderr: stdout is the stdio transport. *)
-        Format.eprintf "parcfl serve: bench=%s mode=%a threads=%d%s%s@." bench
+        Format.eprintf "parcfl serve: bench=%s mode=%a threads=%d%s%s%s%s@."
+          bench
           (fun ppf -> P.Mode.pp ppf)
           mode threads
           (match socket with
           | Some p -> Printf.sprintf " socket=%s" p
           | None -> "")
-          (if stdio then " stdio" else "");
+          (if stdio then " stdio" else "")
+          (if insensitive then " insensitive" else "")
+          (if preseed then
+             Printf.sprintf " preseed=%d"
+               (P.Svc_engine.preseeded_edges (P.Service.engine service))
+           else "");
         P.Server.serve ~stdio ?socket_path:socket
           ?metrics_socket_path:metrics_socket service;
         let stats = P.Service.metrics_json service in
@@ -561,7 +580,7 @@ let serve_cmd =
       const run $ bench_arg $ mode_arg $ threads_arg $ budget_arg $ socket_arg
       $ stdio_arg $ max_batch_arg $ window_arg $ queue_cap_arg $ cache_cap_arg
       $ slowlog_cap_arg $ wd_stall_arg $ wd_starvation_arg $ metrics_socket_arg
-      $ trace_out_arg $ bench_json_arg)
+      $ preseed_arg $ serve_insensitive_arg $ trace_out_arg $ bench_json_arg)
 
 let load_cmd =
   let clients_arg =

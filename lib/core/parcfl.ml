@@ -86,6 +86,8 @@ module Sim_store = Parcfl_par.Sim_store
 module Andersen = Parcfl_andersen.Solver
 module Andersen_par = Parcfl_andersen.Par_solver
 module Constraints = Parcfl_andersen.Constraints
+module Matrix = Parcfl_matrix.Kernel
+module Matrix_seed = Parcfl_matrix.Seed
 
 (* Clients *)
 module Client_session = Parcfl_clients.Client_session

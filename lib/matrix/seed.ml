@@ -1,0 +1,86 @@
+module Bitset = Parcfl_prim.Bitset
+module Pag = Parcfl_pag.Pag
+module Ctx = Parcfl_pag.Ctx
+module Hooks = Parcfl_cfl.Hooks
+module Jmp_store = Parcfl_sharing.Jmp_store
+
+(* Conversion of whole-program facts into demand-engine jmp edges.
+
+   The demand solver consults the store on entry to ReachableNodes: for the
+   backward (PointsTo) direction at a variable x carrying loads, a Finished
+   record's targets are exactly the heap-step set
+
+     T(x) = { y | load x = p.f, store q.f = y, pts(p) ∩ pts(q) ≠ ∅ }
+
+   and dually, forward at a stored variable y,
+
+     T⁻¹(y) = { x | store q.f = y, load x = p.f, pts(p) ∩ pts(q) ≠ ∅ }.
+
+   The kernel's rows give the context-insensitive alias check pts(p)∩pts(q)
+   by a single Bitset.intersects, so both sets fall out of the PAG's
+   per-field CSR indexes without any traversal.
+
+   Only generation-stable facts may be replicated into the store — records
+   must be exactly what a budgetless run of the engine itself would have
+   recorded, in the context the engine will look them up under:
+
+   - context-insensitive engine: contexts never leave Ctx.empty, so the
+     full CI target sets are exact; every load-in/store-out variable is
+     seeded.
+   - context-sensitive engine: a CI target set is an over-approximation
+     (context matching only removes paths), so replaying it would be
+     unsound. The empty set is the one CI fact that transfers: if the CI
+     heap-step set is empty then so is every context's, and an
+     empty-target Finished record at Ctx.empty is answer-preserving.
+
+   Seeded records carry the store's own tau_f as their cost — the smallest
+   cost the store accepts, and the replay charge warm queries pay. *)
+
+let targets_of_loads kernel pag ~seen x =
+  Bitset.clear seen;
+  let acc = ref [] in
+  Pag.iter_load_in pag x (fun f p ->
+      let pts_p = Kernel.points_to kernel p in
+      Pag.iter_stores_of_field pag f (fun q y ->
+          if
+            (not (Bitset.mem seen y))
+            && Bitset.intersects pts_p (Kernel.points_to kernel q)
+          then begin
+            ignore (Bitset.add seen y);
+            acc := y :: !acc
+          end));
+  !acc
+
+let targets_of_stores kernel pag ~seen y =
+  Bitset.clear seen;
+  let acc = ref [] in
+  Pag.iter_store_out pag y (fun f q ->
+      let pts_q = Kernel.points_to kernel q in
+      Pag.iter_loads_of_field pag f (fun x p ->
+          if
+            (not (Bitset.mem seen x))
+            && Bitset.intersects pts_q (Kernel.points_to kernel p)
+          then begin
+            ignore (Bitset.add seen x);
+            acc := x :: !acc
+          end));
+  !acc
+
+let preseed ~kernel ~pag ~store ~context_sensitive =
+  let before = Jmp_store.n_finished store in
+  let cost = Jmp_store.tau_f store in
+  let hooks = Jmp_store.hooks store in
+  let seen = Bitset.create ~capacity:(Pag.n_vars pag) () in
+  let record dir var ts =
+    if (not context_sensitive) || ts = [] then
+      hooks.Hooks.record_finished dir var Ctx.empty ~cost
+        ~targets:
+          (Array.of_list (List.rev_map (fun v -> (v, Ctx.empty)) ts))
+  in
+  for v = 0 to Pag.n_vars pag - 1 do
+    if Pag.has_load_in pag v then
+      record Hooks.Bwd v (targets_of_loads kernel pag ~seen v);
+    if Pag.has_store_out pag v then
+      record Hooks.Fwd v (targets_of_stores kernel pag ~seen v)
+  done;
+  Jmp_store.n_finished store - before

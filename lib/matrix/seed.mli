@@ -1,0 +1,25 @@
+(** Pre-seeding: convert {!Kernel} facts into Finished jmp edges.
+
+    Kills the demand engine's cold start: the whole-program pass runs once
+    offline (before a service accepts traffic) and its transitive facts are
+    installed as Finished records, so the first query waves replay
+    shortcuts instead of paying full traversals.
+
+    The conversion rule (DESIGN.md S21): only generation-stable facts may
+    be replicated. A context-insensitive engine gets every load-in /
+    store-out variable's exact heap-step target set at [Ctx.empty]; a
+    context-sensitive engine gets only the variables whose
+    context-insensitive set is empty (the one CI fact every context
+    inherits), recorded as empty-target Finished records. Records whose
+    direction the store excludes ([`Bwd_only]) are dropped by the store
+    itself. *)
+
+val preseed :
+  kernel:Kernel.t ->
+  pag:Parcfl_pag.Pag.t ->
+  store:Parcfl_sharing.Jmp_store.t ->
+  context_sensitive:bool ->
+  int
+(** Returns the number of Finished records actually accepted by the
+    store. The kernel must have been solved over the same frozen [pag] the
+    store's engine queries. *)

@@ -50,24 +50,63 @@ let union_into ~dst ~src =
      capacity lets union cycles (a ⊇ b and b ⊇ a) ping-pong the doubling
      growth into exponentially larger allocations with no new members. *)
   let n = ref (Bytes.length src.words) in
+  while !n >= 8 && Bytes.get_int64_ne src.words (!n - 8) = 0L do
+    n := !n - 8
+  done;
   while !n > 0 && Bytes.unsafe_get src.words (!n - 1) = '\000' do
     decr n
   done;
   let n = !n in
   if n * 8 > capacity dst then ensure dst ((n * 8) - 1);
   let changed = ref false in
-  for b = 0 to n - 1 do
-    let s = Char.code (Bytes.unsafe_get src.words b) in
-    if s <> 0 then begin
-      let d = Char.code (Bytes.unsafe_get dst.words b) in
-      let u = d lor s in
+  let b = ref 0 in
+  (* 64-bit lanes over the full words, byte lane over the tail. *)
+  while !b + 8 <= n do
+    let s = Bytes.get_int64_ne src.words !b in
+    if s <> 0L then begin
+      let d = Bytes.get_int64_ne dst.words !b in
+      let u = Int64.logor d s in
       if u <> d then begin
-        Bytes.unsafe_set dst.words b (Char.unsafe_chr u);
+        Bytes.set_int64_ne dst.words !b u;
         changed := true
       end
-    end
+    end;
+    b := !b + 8
+  done;
+  while !b < n do
+    let s = Char.code (Bytes.unsafe_get src.words !b) in
+    (if s <> 0 then begin
+       let d = Char.code (Bytes.unsafe_get dst.words !b) in
+       let u = d lor s in
+       if u <> d then begin
+         Bytes.unsafe_set dst.words !b (Char.unsafe_chr u);
+         changed := true
+       end
+     end);
+    incr b
   done;
   !changed
+
+let intersects a b =
+  let n = min (Bytes.length a.words) (Bytes.length b.words) in
+  let hit = ref false in
+  let i = ref 0 in
+  while (not !hit) && !i + 8 <= n do
+    if
+      Int64.logand (Bytes.get_int64_ne a.words !i) (Bytes.get_int64_ne b.words !i)
+      <> 0L
+    then hit := true
+    else i := !i + 8
+  done;
+  while (not !hit) && !i < n do
+    if
+      Char.code (Bytes.unsafe_get a.words !i)
+      land Char.code (Bytes.unsafe_get b.words !i)
+      <> 0
+    then hit := true
+    else incr i
+  done;
+  !hit
 
 let popcount_byte =
   let tbl = Bytes.create 256 in
@@ -77,10 +116,30 @@ let popcount_byte =
   done;
   fun c -> Char.code (Bytes.unsafe_get tbl c)
 
+(* SWAR popcount of a 32-bit value held in a native int (OCaml ints are
+   63-bit, so the 0x01010101 multiply cannot overflow). *)
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0f0f0f0f in
+  (x * 0x01010101) lsr 24 land 0xff
+
 let cardinal t =
+  let len = Bytes.length t.words in
   let n = ref 0 in
-  for b = 0 to Bytes.length t.words - 1 do
-    n := !n + popcount_byte (Char.code (Bytes.unsafe_get t.words b))
+  let b = ref 0 in
+  while !b + 8 <= len do
+    let w = Bytes.get_int64_ne t.words !b in
+    if w <> 0L then begin
+      let lo = Int64.to_int w land 0xFFFFFFFF in
+      let hi = Int64.to_int (Int64.shift_right_logical w 32) land 0xFFFFFFFF in
+      n := !n + popcount32 lo + popcount32 hi
+    end;
+    b := !b + 8
+  done;
+  while !b < len do
+    n := !n + popcount_byte (Char.code (Bytes.unsafe_get t.words !b));
+    incr b
   done;
   !n
 

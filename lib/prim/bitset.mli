@@ -20,6 +20,10 @@ val union_into : dst:t -> src:t -> bool
 (** [union_into ~dst ~src] adds all of [src] to [dst]; returns [true] iff
     [dst] changed. *)
 
+val intersects : t -> t -> bool
+(** [intersects a b] is [true] iff [a] and [b] share a member. Never
+    allocates; the two sets' capacities need not match. *)
+
 val capacity : t -> int
 (** Current capacity in bits (implementation detail, exposed for
     diagnostics). *)

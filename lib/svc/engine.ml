@@ -23,6 +23,7 @@ type t = {
          outlive them, so it is renewed exactly when the jmp store is *)
   mutable generation : int;
   mutable rate : float option;  (* EWMA steps/second *)
+  mutable preseeded : int;  (* Finished records installed by preseed *)
 }
 
 let fresh_store t =
@@ -47,6 +48,7 @@ let create ?(mode = Mode.Share_sched) ?(threads = 4) ?tau_f ?tau_u
       ctx_store = Ctx.create_store ();
       generation = 0;
       rate = None;
+      preseeded = 0;
     }
   in
   t.store <- fresh_store t;
@@ -65,7 +67,27 @@ let load t ?type_level pag =
   t.plan <- Schedule.prepare ~pag ~type_level;
   t.store <- fresh_store t;
   t.ctx_store <- Ctx.create_store ();
+  t.preseeded <- 0;
   t.generation <- t.generation + 1
+
+(* Warm start: run the whole-program bitset kernel over the loaded PAG and
+   install its facts as Finished jmp edges before traffic arrives. The
+   seeds are keyed by the jmp store the engine currently owns, so a later
+   [load] (fresh store, new generation) discards them — only
+   generation-stable facts are ever replicated. *)
+let preseed t =
+  match t.store with
+  | None -> 0
+  | Some store ->
+      let kernel = Parcfl_matrix.Kernel.solve ~threads:t.threads t.pag in
+      let n =
+        Parcfl_matrix.Seed.preseed ~kernel ~pag:t.pag ~store
+          ~context_sensitive:t.solver_config.Config.context_sensitive
+      in
+      t.preseeded <- t.preseeded + n;
+      n
+
+let preseeded_edges t = t.preseeded
 
 let jmp_edges t =
   match t.store with Some s -> Jmp_store.n_jumps s | None -> 0

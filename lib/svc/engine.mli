@@ -44,6 +44,20 @@ val load : t -> ?type_level:(int -> int) -> Parcfl_pag.Pag.t -> unit
     and rebuilds the scheduling plan. [type_level] defaults to the previous
     one (pass it whenever the new graph has its own type hierarchy). *)
 
+val preseed : t -> int
+(** Warm start (ROADMAP item 3): solve the whole-program bitset kernel
+    ({!Parcfl_matrix.Kernel}) over the loaded PAG on the engine's thread
+    count and install its facts as Finished jmp edges
+    ({!Parcfl_matrix.Seed}) — the full context-insensitive heap-step sets
+    when the engine is context-insensitive, only the empty ones when it is
+    context-sensitive. Returns the records accepted (0 when the mode has
+    no jmp store). Call before accepting traffic; a later {!load} discards
+    the seeds with the store they live in. *)
+
+val preseeded_edges : t -> int
+(** Finished records installed by {!preseed} into the current store (reset
+    to 0 by {!load}). *)
+
 val jmp_edges : t -> int
 (** jmp records accumulated across all batches so far. *)
 

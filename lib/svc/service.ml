@@ -17,6 +17,8 @@ type config = {
   queue_capacity : int;
   cache_capacity : int;
   max_budget : int;
+  context_sensitive : bool;
+  preseed : bool;
   tau_f : int option;
   tau_u : int option;
   slowlog_capacity : int;
@@ -33,6 +35,8 @@ let default_config =
     queue_capacity = 1024;
     cache_capacity = 4096;
     max_budget = Config.default.Config.budget;
+    context_sensitive = Config.default.Config.context_sensitive;
+    preseed = false;
     tau_f = None;
     tau_u = None;
     slowlog_capacity = 32;
@@ -214,6 +218,9 @@ let register_collectors t =
         c ~name:"parcfl_jmp_unfinished_total"
           ~help:"Unfinished jmp records accepted"
           (float_of_int (Engine.jmp_unfinished t.engine));
+        g ~name:"parcfl_jmp_preseeded"
+          ~help:"Finished jmp records installed by the warm-start kernel"
+          (float_of_int (Engine.preseeded_edges t.engine));
       ]);
   (* Scheduler (lib/sched): groups and their sizes. *)
   Registry.register t.registry (fun () ->
@@ -230,13 +237,19 @@ let register_collectors t =
 
 let create ?(config = default_config) ?tracer ~type_level pag =
   let solver_config =
-    Config.with_budget config.max_budget Config.default
+    {
+      (Config.with_budget config.max_budget Config.default) with
+      Config.context_sensitive = config.context_sensitive;
+    }
   in
   let engine =
     Engine.create ~mode:config.mode ~threads:config.threads
       ?tau_f:config.tau_f ?tau_u:config.tau_u ~solver_config ?tracer
       ~type_level pag
   in
+  (* Warm start before any traffic: the whole-program kernel's facts enter
+     the jmp store under the engine's initial generation. *)
+  if config.preseed then ignore (Engine.preseed engine);
   let buckets = Report.hist_buckets in
   let t =
     {
@@ -306,6 +319,7 @@ let metrics_json t =
       ("jmp_misses", Json.Int (Engine.jmp_misses t.engine));
       ("jmp_finished", Json.Int (Engine.jmp_finished t.engine));
       ("jmp_unfinished", Json.Int (Engine.jmp_unfinished t.engine));
+      ("preseeded_edges", Json.Int (Engine.preseeded_edges t.engine));
       ("cache_evictions", Json.Int (Cache.evictions t.cache));
       ( "steps_per_second",
         match Engine.steps_per_second t.engine with

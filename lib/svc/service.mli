@@ -42,6 +42,13 @@ type config = {
   queue_capacity : int;  (** admission bound; beyond it requests are rejected *)
   cache_capacity : int;
   max_budget : int;  (** service-wide per-query step-budget ceiling *)
+  context_sensitive : bool;
+      (** solver context sensitivity; [false] runs the Andersen-equivalent
+          context-insensitive engine *)
+  preseed : bool;
+      (** warm-start: run the whole-program bitset kernel at {!create} and
+          install its facts as Finished jmp edges before any traffic (see
+          {!Engine.preseed}) *)
   tau_f : int option;
   tau_u : int option;
   slowlog_capacity : int;  (** flight-recorder bound (worst queries kept) *)
@@ -51,8 +58,9 @@ type config = {
 
 val default_config : config
 (** 4 threads, [Share_sched], batches of 64 / 10 ms, queue 1024, cache
-    4096, budget {!Parcfl_cfl.Config.default}'s, slowlog 32, watchdog
-    {!Watchdog.default_config}'s thresholds. *)
+    4096, budget and context sensitivity {!Parcfl_cfl.Config.default}'s,
+    no preseed, slowlog 32, watchdog {!Watchdog.default_config}'s
+    thresholds. *)
 
 type t
 

@@ -67,6 +67,56 @@ let test_negative () =
     (fun () -> ignore (Bitset.add t (-1)));
   check "negative mem" false (Bitset.mem t (-3))
 
+let test_word_boundaries () =
+  (* The word-widened union/cardinal paths must treat bits straddling the
+     64-bit lane edges (63/64, 127/128) and the byte tail identically to
+     the old byte-at-a-time code. *)
+  let edges = [ 0; 7; 8; 62; 63; 64; 65; 127; 128; 191; 511; 512; 515 ] in
+  let t = Bitset.of_list edges in
+  check_list "elements across word edges" edges (Bitset.elements t);
+  check_int "cardinal across word edges" (List.length edges) (Bitset.cardinal t);
+  let dst = Bitset.of_list [ 63 ] in
+  check "union across word edges changes dst" true
+    (Bitset.union_into ~dst ~src:t);
+  check_list "union result" edges (Bitset.elements dst);
+  check "union idempotent at word edges" false (Bitset.union_into ~dst ~src:t);
+  (* A dst strictly wider than src: word loop must not read past src. *)
+  let wide = Bitset.of_list [ 10_000 ] in
+  check "narrow into wide" true (Bitset.union_into ~dst:wide ~src:(Bitset.of_list [ 64 ]));
+  check_list "narrow into wide result" [ 64; 10_000 ] (Bitset.elements wide)
+
+let test_union_trailing_zero_growth () =
+  (* src with a huge capacity but only low set bits must not grow dst:
+     union_into sizes dst to src's highest *set* byte. *)
+  let src = Bitset.create ~capacity:65_536 () in
+  ignore (Bitset.add src 9);
+  let dst = Bitset.of_list [ 1 ] in
+  ignore (Bitset.union_into ~dst ~src);
+  check "dst not grown to src capacity" true (Bitset.capacity dst < 1024);
+  check_list "contents" [ 1; 9 ] (Bitset.elements dst)
+
+let test_intersects () =
+  check "disjoint" false
+    (Bitset.intersects (Bitset.of_list [ 1; 64 ]) (Bitset.of_list [ 2; 65 ]));
+  check "shared low bit" true
+    (Bitset.intersects (Bitset.of_list [ 3 ]) (Bitset.of_list [ 3; 999 ]));
+  check "shared bit at word edge" true
+    (Bitset.intersects (Bitset.of_list [ 64 ]) (Bitset.of_list [ 64 ]));
+  check "shared bit beyond shorter capacity" false
+    (Bitset.intersects (Bitset.of_list [ 1 ]) (Bitset.of_list [ 100_000 ]));
+  check "empty vs empty" false
+    (Bitset.intersects (Bitset.create ()) (Bitset.create ()));
+  check "symmetric across capacities" true
+    (Bitset.intersects (Bitset.of_list [ 100_000; 5 ]) (Bitset.of_list [ 5 ]))
+
+let prop_intersects =
+  QCheck.Test.make ~name:"intersects matches model" ~count:200
+    QCheck.(pair (list (int_bound 300)) (list (int_bound 3000)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list xs and b = Bitset.of_list ys in
+      Bitset.intersects a b = List.exists (fun x -> List.mem x ys) xs
+      && Bitset.intersects a b = Bitset.intersects b a)
+
 (* Properties against a reference implementation over int lists. *)
 let test_union_cycle_capacity () =
   (* Regression: union cycles must not ping-pong the doubling growth into
@@ -120,6 +170,11 @@ let suite =
       Alcotest.test_case "union cycle capacity" `Quick
         test_union_cycle_capacity;
       Alcotest.test_case "negative members" `Quick test_negative;
+      Alcotest.test_case "word boundaries" `Quick test_word_boundaries;
+      Alcotest.test_case "union trailing-zero growth" `Quick
+        test_union_trailing_zero_growth;
+      Alcotest.test_case "intersects" `Quick test_intersects;
+      QCheck_alcotest.to_alcotest prop_intersects;
       QCheck_alcotest.to_alcotest prop_model;
       QCheck_alcotest.to_alcotest prop_union;
       QCheck_alcotest.to_alcotest prop_subset;

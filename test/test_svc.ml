@@ -162,6 +162,64 @@ let test_cache_eviction () =
   Alcotest.(check bool) "newest survives" true
     (P.Svc_cache.find c (key 10) <> None)
 
+let test_cache_reput_replaces () =
+  (* Regression: put on a resident key used to keep the stale entry and
+     only refresh its recency tick. A re-put must make the new outcome
+     observable — pre-seeding relies on upgrading a cached Out_of_budget
+     to a real answer under the same key. *)
+  let b = Lazy.force tiny in
+  let real = solve_outcome b.P.Suite.queries.(0) in
+  let starved =
+    { real with P.Query.result = P.Query.Out_of_budget; early_terminated = true }
+  in
+  let c = P.Svc_cache.create ~capacity:10 () in
+  let k = { P.Svc_cache.ck_var = 0; ck_budget = 7; ck_generation = 0 } in
+  P.Svc_cache.put c k starved;
+  (match P.Svc_cache.find c k with
+  | Some o ->
+      Alcotest.(check bool) "first put visible" true
+        (o.P.Query.result = P.Query.Out_of_budget)
+  | None -> Alcotest.fail "first put missed");
+  P.Svc_cache.put c k real;
+  (match P.Svc_cache.find c k with
+  | Some o ->
+      Alcotest.(check bool) "re-put replaced the outcome" true
+        (o.P.Query.result = real.P.Query.result)
+  | None -> Alcotest.fail "re-put missed");
+  Alcotest.(check int) "re-put is not an insert" 1 (P.Svc_cache.size c)
+
+let test_cache_concurrent_inserts () =
+  (* Eviction sweeps must be mutually excluded: without the try-lock, two
+     inserters that both observe size > cap each run the full sweep and
+     jointly evict far below the 90% watermark. Hammer the cache from
+     several domains and check the size invariants hold afterwards. *)
+  let b = Lazy.force tiny in
+  let outcome = solve_outcome b.P.Suite.queries.(0) in
+  let cap = 64 in
+  let c = P.Svc_cache.create ~capacity:cap () in
+  let n_domains = 4 and per_domain = 400 in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      let k =
+        { P.Svc_cache.ck_var = (d * per_domain) + i;
+          ck_budget = 1;
+          ck_generation = 0 }
+      in
+      P.Svc_cache.put c k outcome
+    done
+  in
+  let domains =
+    List.init (n_domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+  in
+  worker 0 ();
+  List.iter Domain.join domains;
+  let target = max 1 (cap - max 1 (cap / 10)) in
+  Alcotest.(check bool) "evictions happened" true (P.Svc_cache.evictions c > 0);
+  Alcotest.(check bool) "never ends far above capacity" true
+    (P.Svc_cache.size c <= cap + n_domains);
+  Alcotest.(check bool) "never over-evicts below the watermark" true
+    (P.Svc_cache.size c >= target)
+
 (* ---------------------------- admission ---------------------------- *)
 
 let test_admission () =
@@ -511,6 +569,10 @@ let suite =
         test_response_round_trip;
       Alcotest.test_case "cache basic + generation" `Quick test_cache_basic;
       Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+      Alcotest.test_case "cache re-put replaces outcome" `Quick
+        test_cache_reput_replaces;
+      Alcotest.test_case "cache concurrent inserts" `Quick
+        test_cache_concurrent_inserts;
       Alcotest.test_case "admission backpressure" `Quick test_admission;
       Alcotest.test_case "batcher policy" `Quick test_batcher;
       Alcotest.test_case "cached result equals cold solve" `Quick
