@@ -775,6 +775,7 @@ let serve ms =
               ("stats", P.Service.metrics_json service);
             ]
           :: !serve_entries;
+        P.Service.shutdown service;
         [
           name;
           string_of_int !answered;
@@ -808,18 +809,20 @@ let serve ms =
 
 let coldwarm_entries : P.Json.t list ref = ref []
 
+(* p95 over a microsecond sample list — shared by the coldwarm and
+   cluster sections. *)
+let p95_us = function
+  | [] -> 0.0
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      a.(min (n - 1) (max 0 (int_of_float (ceil (0.95 *. float_of_int n)) - 1)))
+
 let serve_coldwarm ms =
   let ms = ablation_sample ms in
   Format.printf
     "@.== Service: cold start vs matrix-kernel pre-seeding ==@.@.";
-  let p95_us = function
-    | [] -> 0.0
-    | xs ->
-        let a = Array.of_list xs in
-        Array.sort compare a;
-        let n = Array.length a in
-        a.(min (n - 1) (max 0 (int_of_float (ceil (0.95 *. float_of_int n)) - 1)))
-  in
   let rows =
     List.map
       (fun m ->
@@ -874,6 +877,7 @@ let serve_coldwarm ms =
             mix;
           P.Service.drain service ~now:(Unix.gettimeofday ());
           let seeds = P.Svc_engine.preseeded_edges (P.Service.engine service) in
+          P.Service.shutdown service;
           (!completed, !answered, p95_us !solves, seeds)
         in
         let t0 = Unix.gettimeofday () in
@@ -914,6 +918,316 @@ let serve_coldwarm ms =
         "cold ok"; "warm ok"; "seeds";
       ]
     Format.std_formatter rows
+
+(* ------------------------------------------------------------------ *)
+(* Cluster scale-out: the shard-affine partition behind lib/cluster's   *)
+(* router, measured without processes. The 400-query mix is split by    *)
+(* Shard_map.home — direct-component rendezvous ownership, exactly the  *)
+(* router's routing rule — and each shard's substream runs serially     *)
+(* through its own in-process service. With one core per replica the    *)
+(* cluster finishes when its busiest replica does, so the modelled      *)
+(* cluster wall is the max over per-replica walls and qps is the total  *)
+(* request count over that wall. Affinity keeps every repeat of a       *)
+(* variable on one replica, so cross-batch cache hits survive the       *)
+(* split; the speedup column is qps relative to the 1-replica arm.      *)
+(*                                                                      *)
+(* A second measurement prices snapshot warm-up for a joining replica:  *)
+(* the first 100 queries of the mix against a fresh service, cold vs    *)
+(* seeded with a warmed donor's export_snapshot (the jmpsnap text the   *)
+(* cluster CLI hands joiners), comparing solve-stage p95. The entry     *)
+(* reuses the serve_coldwarm field names so the regress gates (both     *)
+(* completion floors and warm-beats-cold where the baseline won         *)
+(* decisively) apply unchanged.                                         *)
+
+let cluster_entries : P.Json.t list ref = ref []
+
+let serve_cluster ms =
+  let ms = ablation_sample ms in
+  Format.printf
+    "@.== Cluster: shard-affine scale-out (modelled, one core per replica) \
+     ==@.@.";
+  let mk_service b =
+    P.Service.create
+      ~config:
+        {
+          P.Service.default_config with
+          P.Service.threads = 2;
+          max_batch = 32;
+          max_wait = 0.0;
+          tau_f = Some tau_f;
+          tau_u = Some tau_u;
+          max_budget = budget;
+        }
+      ~type_level:b.P.Suite.type_level b.P.Suite.pag
+  in
+  (* Drive one replica's substream exactly like the serve section: submit
+     then pump, drain at the end. Returns (wall, answered, completed,
+     [(request id, solve_us)] of real solves). *)
+  let run_stream service vars =
+    let answered = ref 0 and completed = ref 0 and solves = ref [] in
+    let note r =
+      incr answered;
+      match r with
+      | P.Svc_protocol.Answer { id; breakdown; _ } ->
+          incr completed;
+          if breakdown.P.Svc_span.bd_solve_us > 0.0 then
+            solves := (id, breakdown.P.Svc_span.bd_solve_us) :: !solves
+      | P.Svc_protocol.Timeout { id; breakdown; _ } ->
+          if breakdown.P.Svc_span.bd_solve_us > 0.0 then
+            solves := (id, breakdown.P.Svc_span.bd_solve_us) :: !solves
+      | _ -> ()
+    in
+    (* The timed walls here are a few milliseconds; a major slice
+       inherited from whatever section ran before would dwarf them, so
+       every stream starts from a settled heap. *)
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    Array.iteri
+      (fun i v ->
+        P.Service.submit service ~now:(Unix.gettimeofday ()) ~respond:note
+          (P.Svc_protocol.Query
+             {
+               id = i;
+               var = Printf.sprintf "#%d" v;
+               budget = None;
+               deadline_ms = None;
+             });
+        ignore (P.Service.pump service ~now:(Unix.gettimeofday ())))
+      vars;
+    P.Service.drain service ~now:(Unix.gettimeofday ());
+    let wall = Unix.gettimeofday () -. t0 in
+    (* Each substream gets a fresh service; join its worker domains so a
+       whole bench run stays under the runtime's domain limit. *)
+    P.Service.shutdown service;
+    (wall, !answered, !completed, !solves)
+  in
+  (* The walls under measurement are a few milliseconds, and the host's
+     throughput drifts tens of percent between runs, so ratios of walls
+     measured seconds apart are unusable. Instead each repeat times the
+     1-replica stream and every arm's buckets back-to-back — one
+     repeat's ratios share the same host conditions — and the reported
+     speedup is the median of the per-repeat ratios. *)
+  let repeats = 5 in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let scale_rows = ref [] and join_rows = ref [] in
+  List.iter
+    (fun m ->
+      let b = m.bench in
+      let name = b.P.Suite.profile.P.Profile.name in
+      let mix = P.Suite.query_mix b ~n:400 in
+      let plan =
+        P.Schedule.prepare ~pag:b.P.Suite.pag
+          ~type_level:b.P.Suite.type_level
+      in
+      let arms = [ 2; 4 ] in
+      (* Partition the mix once per arm; the buckets are deterministic.
+         The map is load-balanced against a measured cost profile — the
+         capacity-planning case where the operator knows the traffic.
+         One calibration stream prices each variable: its first request
+         pays the solve, every repeat pays the (uniform) fast-path cost,
+         so load(v) = solve_us(v) + count(v) * overhead_us. Request
+         counts alone are a poor proxy — per-variable solve costs spread
+         over orders of magnitude. *)
+      let load = Array.make (P.Pag.n_vars b.P.Suite.pag) 0 in
+      let cal_wall, _, _, cal_solves = run_stream (mk_service b) mix in
+      let solve_total =
+        List.fold_left (fun acc (_, us) -> acc +. us) 0.0 cal_solves
+      in
+      let overhead_us =
+        Float.max 1.0
+          ((cal_wall *. 1e6) -. solve_total)
+        /. float_of_int (max 1 (Array.length mix))
+      in
+      Array.iter
+        (fun v ->
+          load.(v) <- load.(v) + int_of_float (Float.max 1.0 overhead_us))
+        mix;
+      List.iter
+        (fun (id, us) ->
+          let v = mix.(id) in
+          load.(v) <- load.(v) + int_of_float us)
+        cal_solves;
+      let buckets_of replicas =
+        let map =
+          P.Shard_map.of_plan_balanced ~candidates:64 ~n_shards:replicas
+            ~load plan
+        in
+        let buckets = Array.make replicas [] in
+        Array.iter
+          (fun v ->
+            let s = P.Shard_map.home map v in
+            buckets.(s) <- v :: buckets.(s))
+          mix;
+        Array.to_list buckets
+        |> List.filter_map (function
+             | [] -> None
+             | l -> Some (Array.of_list (List.rev l)))
+      in
+      let arm_buckets = List.map (fun r -> (r, buckets_of r)) arms in
+      let n_arms = List.length arms in
+      (* Each timed point is the better of two back-to-back streams: the
+         arm wall is a max over buckets, which a single slow outlier
+         biases upward, so trimming each bucket's tail first keeps the
+         ratio honest under background noise. *)
+      let timed vars =
+        let w1', a, c, s = run_stream (mk_service b) vars in
+        let w2', _, _, _ = run_stream (mk_service b) vars in
+        (Float.min w1' w2', a, c, s)
+      in
+      let w1_samples = ref [] in
+      let arm_walls = Array.make n_arms [] in
+      let arm_ratios = Array.make n_arms [] in
+      let a1 = ref 0 and c1 = ref 0 in
+      let solves1 = ref [] in
+      let arm_answered = Array.make n_arms 0 in
+      let arm_completed = Array.make n_arms 0 in
+      let arm_solves = Array.make n_arms [] in
+      for rep = 1 to repeats do
+        let w1, a, c, solves = timed mix in
+        if rep = 1 then begin
+          a1 := a;
+          c1 := c;
+          solves1 := List.map snd solves
+        end;
+        w1_samples := w1 :: !w1_samples;
+        List.iteri
+          (fun i (_, buckets) ->
+            let wall = ref 0.0 and ans = ref 0 and comp = ref 0 in
+            List.iter
+              (fun vars ->
+                let w, a, c, solves = timed vars in
+                wall := Float.max !wall w;
+                ans := !ans + a;
+                comp := !comp + c;
+                if rep = 1 then
+                  arm_solves.(i) <-
+                    List.rev_append (List.map snd solves) arm_solves.(i))
+              buckets;
+            if rep = 1 then begin
+              arm_answered.(i) <- !ans;
+              arm_completed.(i) <- !comp
+            end;
+            arm_walls.(i) <- !wall :: arm_walls.(i);
+            arm_ratios.(i) <- (w1 /. !wall) :: arm_ratios.(i))
+          arm_buckets
+      done;
+      let w1 = median !w1_samples in
+      let qps1 = if w1 > 0.0 then float_of_int !a1 /. w1 else 0.0 in
+      let note_arm ~replicas ~wall ~qps ~speedup ~answered ~completed
+          ~busiest ~solve_p95 =
+        cluster_entries :=
+          P.Json.Obj
+            [
+              ("section", P.Json.String "serve_cluster");
+              ("bench", P.Json.String name);
+              ("replicas", P.Json.Int replicas);
+              ("requests", P.Json.Int answered);
+              ("completed", P.Json.Int completed);
+              ("qps", P.Json.Float qps);
+              ("speedup", P.Json.Float speedup);
+              ("solve_p95_us", P.Json.Float solve_p95);
+              ("busiest_share", P.Json.Float busiest);
+              ("wall_seconds", P.Json.Float wall);
+            ]
+          :: !cluster_entries;
+        scale_rows :=
+          [
+            name;
+            string_of_int replicas;
+            string_of_int answered;
+            T.fmt_float ~decimals:0 qps;
+            T.fmt_float ~decimals:2 speedup;
+            T.fmt_float ~decimals:0 solve_p95;
+            T.fmt_float ~decimals:2 busiest;
+          ]
+          :: !scale_rows
+      in
+      note_arm ~replicas:1 ~wall:w1 ~qps:qps1 ~speedup:1.0 ~answered:!a1
+        ~completed:!c1 ~busiest:1.0 ~solve_p95:(p95_us !solves1);
+      List.iteri
+        (fun i (replicas, buckets) ->
+          let biggest =
+            List.fold_left
+              (fun acc vars -> max acc (Array.length vars))
+              0 buckets
+          in
+          let busiest =
+            float_of_int biggest /. float_of_int (Array.length mix)
+          in
+          let speedup = median arm_ratios.(i) in
+          note_arm ~replicas
+            ~wall:(median arm_walls.(i))
+            ~qps:(qps1 *. speedup) ~speedup ~answered:arm_answered.(i)
+            ~completed:arm_completed.(i) ~busiest
+            ~solve_p95:(p95_us arm_solves.(i)))
+        arm_buckets;
+      (* Join warm-up: a replica re-admitted after a drain (or freshly
+         added) either solves from scratch or installs a running donor's
+         Finished-only snapshot first. *)
+      let donor = mk_service b in
+      let _ = run_stream donor mix in
+      let snapshot_text, snapshot_records =
+        match P.Svc_engine.export_snapshot (P.Service.engine donor) with
+        | Ok (text, n) -> (text, n)
+        | Error e -> failwith ("serve_cluster: snapshot export failed: " ^ e)
+      in
+      let first = Array.sub mix 0 (min 100 (Array.length mix)) in
+      let join_side ~warm =
+        let service = mk_service b in
+        if warm then begin
+          match P.Service.import_snapshot service snapshot_text with
+          | Ok _ -> ()
+          | Error e ->
+              failwith ("serve_cluster: snapshot import failed: " ^ e)
+        end;
+        let _, _, completed, solves = run_stream service first in
+        (completed, p95_us (List.map snd solves))
+      in
+      let jt0 = Unix.gettimeofday () in
+      let cold_completed, cold_p95 = join_side ~warm:false in
+      let warm_completed, warm_p95 = join_side ~warm:true in
+      let join_wall = Unix.gettimeofday () -. jt0 in
+      cluster_entries :=
+        P.Json.Obj
+          [
+            ("section", P.Json.String "serve_cluster_join");
+            ("bench", P.Json.String name);
+            ("requests", P.Json.Int (Array.length first));
+            ("cold_completed", P.Json.Int cold_completed);
+            ("warm_completed", P.Json.Int warm_completed);
+            ("cold_solve_p95_us", P.Json.Float cold_p95);
+            ("warm_solve_p95_us", P.Json.Float warm_p95);
+            ("snapshot_records", P.Json.Int snapshot_records);
+            ("wall_seconds", P.Json.Float join_wall);
+          ]
+        :: !cluster_entries;
+      join_rows :=
+        [
+          name;
+          T.fmt_int snapshot_records;
+          T.fmt_float ~decimals:0 cold_p95;
+          T.fmt_float ~decimals:0 warm_p95;
+          T.fmt_float ~decimals:1
+            (if warm_p95 > 0.0 then cold_p95 /. warm_p95 else 0.0);
+        ]
+        :: !join_rows)
+    ms;
+  T.render
+    ~header:
+      [
+        "Benchmark"; "replicas"; "#req"; "req/s"; "speedup"; "p95 us";
+        "busiest";
+      ]
+    Format.std_formatter (List.rev !scale_rows);
+  Format.printf "@.-- joining replica: cold vs snapshot-warmed --@.@.";
+  T.render
+    ~header:
+      [ "Benchmark"; "snap recs"; "cold p95 us"; "warm p95 us"; "x" ]
+    Format.std_formatter (List.rev !join_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per table/figure kernel.         *)
@@ -1019,6 +1333,7 @@ let emit_results ms =
       ms
     @ List.rev !serve_entries
     @ List.rev !coldwarm_entries
+    @ List.rev !cluster_entries
   in
   let meta =
     [
@@ -1029,11 +1344,24 @@ let emit_results ms =
       ("benchmarks", P.Json.Int (List.length ms));
     ]
   in
+  (* latest.json is the stable handle CI diffs against; the timestamped
+     sibling is an append-only history of past runs on this checkout, so
+     a refreshed latest never erases the run it replaced. *)
+  let stamp =
+    let t = Unix.gmtime (Unix.gettimeofday ()) in
+    Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (t.Unix.tm_year + 1900)
+      (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+      t.Unix.tm_sec
+  in
   List.iter
     (fun path ->
       P.Bench_json.write ~path ~meta entries;
       Format.printf "results -> %s@." path)
-    [ "bench/results/latest.json"; "BENCH_parcfl.json" ]
+    [
+      "bench/results/latest.json";
+      Printf.sprintf "bench/results/%s.json" stamp;
+      "BENCH_parcfl.json";
+    ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -1049,7 +1377,7 @@ let () =
     if sections = [] then
       [
         "table1"; "table2"; "fig6"; "fig7"; "fig8"; "mem"; "ablate";
-        "refinecmp"; "serve"; "serve_coldwarm"; "micro";
+        "refinecmp"; "serve"; "serve_coldwarm"; "serve_cluster"; "micro";
       ]
     else sections
   in
@@ -1074,6 +1402,7 @@ let () =
       | "refinecmp" -> refinecmp ms
       | "serve" -> serve ms
       | "serve_coldwarm" -> serve_coldwarm ms
+      | "serve_cluster" -> serve_cluster ms
       | "micro" -> micro ms
       | s -> Format.printf "unknown section %S (skipped)@." s)
     sections;

@@ -39,6 +39,16 @@
                        sets and completes more queries — so only the
                        workloads where pre-seeding decisively won (the CI
                        workload included) are held to keep winning.
+                       (Also gates serve_cluster_join rows, which carry
+                        the same field names: a snapshot-warmed joining
+                        replica must keep beating a cold one.)
+     speedup           serve_cluster rows: a cluster arm must keep its
+                       acceptance floor — 1.6x at 2 replicas, 2.5x at 4 —
+                       wherever the committed baseline meets it. Armed
+                       per entry so a host that never reached the floor
+                       is not gated into permanent failure; once met,
+                       losing the floor means the shard partition's
+                       balance or affinity regressed.
 
    Exit status: 0 no regression, 1 regression found, 2 usage or I/O error. *)
 
@@ -67,7 +77,14 @@ let str field entry =
 let key entry =
   let bench = Option.value ~default:"?" (str "bench" entry) in
   match str "section" entry with
-  | Some section -> Printf.sprintf "%s/%s" bench section
+  | Some section ->
+      (* serve_cluster emits one row per replica count for one bench. *)
+      let replicas =
+        match J.member "replicas" entry with
+        | Some (J.Int r) -> Printf.sprintf "/r%d" r
+        | _ -> ""
+      in
+      Printf.sprintf "%s/%s%s" bench section replicas
   | None ->
       let mode = Option.value ~default:"?" (str "mode" entry) in
       let threads =
@@ -143,6 +160,25 @@ let check_coldwarm k b l acc =
       :: acc
   | _ -> acc
 
+(* Cluster scale-out acceptance floors, armed per entry where the
+   committed baseline itself meets the floor (same philosophy as the
+   coldwarm latency gate: a host that never reached the bar is not gated
+   into permanent failure, but a host that did must not lose it). *)
+let cluster_floor = function 2 -> 1.6 | 4 -> 2.5 | _ -> 0.0
+
+let check_cluster_speedup k b l acc =
+  match (str "section" b, J.member "replicas" b) with
+  | Some "serve_cluster", Some (J.Int r) -> (
+      let floor = cluster_floor r in
+      match (num "speedup" b, num "speedup" l) with
+      | Some bs, Some ls when floor > 0.0 && bs >= floor && ls < floor ->
+          Printf.sprintf
+            "%s: speedup %.2fx fell below the %.1fx floor (baseline %.2fx)"
+            k ls floor bs
+          :: acc
+      | _ -> acc)
+  | _ -> acc
+
 let check_entry k baseline latest =
   []
   |> check_wall k baseline latest
@@ -156,6 +192,7 @@ let check_entry k baseline latest =
   |> check_no_drop "cold_completed" k baseline latest
   |> check_no_drop "warm_completed" k baseline latest
   |> check_coldwarm k baseline latest
+  |> check_cluster_speedup k baseline latest
   |> List.rev
 
 (* ------------------------------------------------------------------ *)
@@ -253,6 +290,20 @@ let self_test () =
         ("wall_seconds", J.Float 0.5);
       ]
   in
+  let cluster ?(bench = "b") ?(replicas = 2) ?(speedup = 1.9)
+      ?(requests = 400) () =
+    J.Obj
+      [
+        ("section", J.String "serve_cluster");
+        ("bench", J.String bench);
+        ("replicas", J.Int replicas);
+        ("requests", J.Int requests);
+        ("completed", J.Int requests);
+        ("qps", J.Float (1000.0 *. speedup));
+        ("speedup", J.Float speedup);
+        ("wall_seconds", J.Float 0.1);
+      ]
+  in
   let doc es = J.Obj [ ("schema", J.Int 1); ("entries", J.List es) ] in
   let base =
     doc
@@ -268,6 +319,13 @@ let self_test () =
         coldwarm ();
         (* A budget-bound bench where warm never won: latency unarmed. *)
         coldwarm ~bench:"big" ~cold_p95:800.0 ~warm_p95:3000.0 ();
+        (* Cluster arms: the replicas count is part of the identity key,
+           so all three rows coexist for one bench. *)
+        cluster ~replicas:1 ~speedup:1.0 ();
+        cluster ~replicas:2 ~speedup:1.9 ();
+        cluster ~replicas:4 ~speedup:2.9 ();
+        (* A host that never met the 4-replica floor: unarmed. *)
+        cluster ~bench:"slow" ~replicas:4 ~speedup:2.1 ();
       ]
   in
   let expect name doc' want =
@@ -390,6 +448,30 @@ let self_test () =
     0;
   run "coldwarm-cold-completed-drop" (doc [ coldwarm ~cold_ok:379 () ]) 1;
   run "coldwarm-warm-completed-drop" (doc [ coldwarm ~warm_ok:389 () ]) 1;
+  (* An armed cluster arm losing its acceptance floor is a regression... *)
+  run "cluster-speedup-floor-lost"
+    (doc [ cluster ~replicas:2 ~speedup:1.4 () ])
+    1;
+  run "cluster-speedup-floor-lost-at-4"
+    (doc [ cluster ~replicas:4 ~speedup:2.2 () ])
+    1;
+  (* ...a narrowed margin still above the floor is not one... *)
+  run "cluster-margin-narrowed"
+    (doc [ cluster ~replicas:2 ~speedup:1.65 () ])
+    0;
+  (* ...the 1-replica arm has no floor... *)
+  run "cluster-one-replica-unarmed"
+    (doc [ cluster ~replicas:1 ~speedup:0.9 () ])
+    0;
+  (* ...a baseline that never met the floor does not arm the gate... *)
+  run "cluster-unarmed-host"
+    (doc [ cluster ~bench:"slow" ~replicas:4 ~speedup:1.2 () ])
+    0;
+  (* ...and lost requests are a regression on any arm (the helper keeps
+     completed = requests, so both no-drop rules fire). *)
+  run "cluster-requests-drop"
+    (doc [ cluster ~replicas:2 ~speedup:1.9 ~requests:399 () ])
+    2;
   run "everything-at-once"
     (doc
        [

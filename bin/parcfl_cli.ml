@@ -6,6 +6,7 @@
      query                   answer points-to queries for named variables
      oracle                  cross-check CFL(context-insensitive) vs Andersen
      serve                   persistent analysis service (stdio / Unix socket)
+     cluster                 N serve replicas behind a shard-affine router
      load                    load-generate against a running serve socket
      dot                     dump a benchmark's PAG as Graphviz *)
 
@@ -495,9 +496,28 @@ let serve_cmd =
     let doc = "Serve context-insensitively (Andersen-equivalent engine)." in
     Arg.(value & flag & info [ "insensitive" ] ~doc)
   in
+  let snapshot_out_arg =
+    let doc =
+      "Export the engine's Finished-only jmp store as a generation-tagged \
+       snapshot to $(docv) (written atomically) before accepting traffic — \
+       the warm replica's half of cluster warm-up."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "snapshot-out" ] ~docv:"FILE" ~doc)
+  in
+  let snapshot_in_arg =
+    let doc =
+      "Wait for $(docv) to appear, then warm the jmp store from it before \
+       accepting traffic — the joining replica's half of cluster warm-up. \
+       Refused (and the server exits) when the snapshot's generation \
+       disagrees with the engine's."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "snapshot-in" ] ~docv:"FILE" ~doc)
+  in
   let run bench mode threads budget socket stdio max_batch window_ms queue_cap
       cache_cap slowlog_cap wd_stall_s wd_starvation_s metrics_socket preseed
-      insensitive trace_out bench_json =
+      insensitive snapshot_out snapshot_in trace_out bench_json =
     match build_bench bench with
     | Error e ->
         prerr_endline e;
@@ -530,6 +550,38 @@ let serve_cmd =
           P.Service.create ~config ?tracer ~type_level:b.P.Suite.type_level
             b.P.Suite.pag
         in
+        let snapshot_failed = ref false in
+        Option.iter
+          (fun path ->
+            match
+              Result.bind
+                (P.Cluster_snapshot.wait_for_file ~path ())
+                (P.Service.import_snapshot service)
+            with
+            | Ok n -> Format.eprintf "parcfl serve: warmed %d records@." n
+            | Error e ->
+                Format.eprintf "parcfl serve: snapshot import failed: %s@." e;
+                snapshot_failed := true)
+          snapshot_in;
+        Option.iter
+          (fun path ->
+            match
+              Result.bind
+                (P.Svc_engine.export_snapshot (P.Service.engine service))
+                (fun (text, n) ->
+                  Result.map
+                    (fun () -> n)
+                    (P.Cluster_snapshot.save_file ~path text))
+            with
+            | Ok n ->
+                Format.eprintf "parcfl serve: exported %d records -> %s@." n
+                  path
+            | Error e ->
+                Format.eprintf "parcfl serve: snapshot export failed: %s@." e;
+                snapshot_failed := true)
+          snapshot_out;
+        if !snapshot_failed then 1
+        else begin
         let stdio = if socket = None then true else stdio in
         (* Service chatter goes to stderr: stdout is the stdio transport. *)
         Format.eprintf "parcfl serve: bench=%s mode=%a threads=%d%s%s%s%s@."
@@ -569,6 +621,7 @@ let serve_cmd =
                   [ P.Json.Obj [ ("section", P.Json.String "serve"); ("stats", stats) ] ]))
           bench_json;
         if !failed then 1 else 0
+        end
   in
   Cmd.v
     (Cmd.info "serve"
@@ -580,7 +633,8 @@ let serve_cmd =
       const run $ bench_arg $ mode_arg $ threads_arg $ budget_arg $ socket_arg
       $ stdio_arg $ max_batch_arg $ window_arg $ queue_cap_arg $ cache_cap_arg
       $ slowlog_cap_arg $ wd_stall_arg $ wd_starvation_arg $ metrics_socket_arg
-      $ preseed_arg $ serve_insensitive_arg $ trace_out_arg $ bench_json_arg)
+      $ preseed_arg $ serve_insensitive_arg $ snapshot_out_arg $ snapshot_in_arg
+      $ trace_out_arg $ bench_json_arg)
 
 let load_cmd =
   let clients_arg =
@@ -607,12 +661,20 @@ let load_cmd =
     let doc = "Fraction of draws aimed at the hot query set." in
     Arg.(value & opt float 0.75 & info [ "hot-share" ] ~docv:"F" ~doc)
   in
-  let run bench socket clients requests rate mix seed hot_share bench_json =
-    match socket with
-    | None ->
-        prerr_endline "parcfl load: --socket is required";
+  let sockets_arg =
+    let doc =
+      "Target Unix socket path; repeatable — clients are spread \
+       round-robin over all given targets, so one run can drive the \
+       cluster router and raw replicas identically."
+    in
+    Arg.(value & opt_all string [] & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let run bench sockets clients requests rate mix seed hot_share bench_json =
+    match sockets with
+    | [] ->
+        prerr_endline "parcfl load: at least one --socket is required";
         1
-    | Some socket -> (
+    | sockets -> (
         match build_bench bench with
         | Error e ->
             prerr_endline e;
@@ -629,13 +691,22 @@ let load_cmd =
               1
             end
             else begin
-              let connect = P.Load_gen.connect_unix socket in
+              let targets =
+                Array.of_list
+                  (List.map
+                     (fun s -> (s, P.Load_gen.connect_unix s))
+                     sockets)
+              in
               let summary =
-                P.Load_gen.run ~rate ~connect ~clients
+                P.Load_gen.run ~rate ~targets ~clients
                   ~requests_per_client:requests ~queries ()
               in
               Format.printf "%a@." (fun ppf -> P.Load_gen.pp ppf) summary;
-              (match P.Load_gen.fetch_stats ~connect () with
+              (match
+                 P.Load_gen.fetch_stats
+                   ~connect:(P.Load_gen.connect_unix (List.hd sockets))
+                   ()
+               with
               | Ok stats ->
                   Format.printf "server stats: %s@." (P.Json.to_string stats)
               | Error e -> Format.eprintf "stats fetch failed: %s@." e);
@@ -663,8 +734,170 @@ let load_cmd =
          "Replay a benchmark query mix against a running `parcfl serve` \
           socket and report throughput and latency percentiles")
     Term.(
-      const run $ bench_arg $ socket_arg $ clients_arg $ requests_arg
+      const run $ bench_arg $ sockets_arg $ clients_arg $ requests_arg
       $ rate_arg $ mix_arg $ seed_arg $ hot_share_arg $ bench_json_arg)
+
+let cluster_cmd =
+  let replicas_arg =
+    let doc = "Number of engine replicas to spawn." in
+    Arg.(value & opt int 2 & info [ "r"; "replicas" ] ~docv:"N" ~doc)
+  in
+  let adopt_arg =
+    let doc =
+      "Adopt an already-running serve socket as a replica instead of \
+       spawning one; repeatable (overrides --replicas)."
+    in
+    Arg.(value & opt_all string [] & info [ "adopt" ] ~docv:"PATH" ~doc)
+  in
+  let poll_ms_arg =
+    let doc = "Health-poll interval, milliseconds." in
+    Arg.(value & opt float 500.0 & info [ "poll-ms" ] ~docv:"MS" ~doc)
+  in
+  let readmit_arg =
+    let doc =
+      "Consecutive healthy polls a drained replica must answer before \
+       re-admission."
+    in
+    Arg.(value & opt int 3 & info [ "readmit" ] ~docv:"K" ~doc)
+  in
+  let run bench threads budget insensitive preseed socket replicas adopt
+      poll_ms readmit =
+    match socket with
+    | None ->
+        prerr_endline "parcfl cluster: --socket is required";
+        1
+    | Some socket -> (
+        match build_bench bench with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok b ->
+            let members =
+              if adopt <> [] then
+                Array.of_list
+                  (List.mapi
+                     (fun i s -> P.Cluster_replica.adopt ~id:i ~socket:s)
+                     adopt)
+              else begin
+                let snap = socket ^ ".jmpsnap" in
+                (try Sys.remove snap with Sys_error _ -> ());
+                Array.init (max 1 replicas) (fun i ->
+                    let sock = Printf.sprintf "%s.r%d" socket i in
+                    let argv =
+                      [ Sys.executable_name; "serve"; "-b"; bench;
+                        "--socket"; sock; "-t"; string_of_int threads;
+                        "--budget"; string_of_int budget ]
+                      @ (if insensitive then [ "--insensitive" ] else [])
+                      @ (if preseed then
+                           if i = 0 then [ "--preseed"; "--snapshot-out"; snap ]
+                           else [ "--snapshot-in"; snap ]
+                         else [])
+                    in
+                    P.Cluster_replica.spawn ~id:i ~socket:sock
+                      ~argv:(Array.of_list argv))
+              end
+            in
+            let kill_all () =
+              Array.iter P.Cluster_replica.kill members;
+              Array.iter (fun r -> P.Cluster_replica.reap r) members
+            in
+            let booted =
+              Array.for_all
+                (fun r ->
+                  match P.Cluster_replica.wait_socket r with
+                  | Ok () -> true
+                  | Error e ->
+                      Format.eprintf "parcfl cluster: %s@." e;
+                      false)
+                members
+            in
+            if not booted then begin
+              kill_all ();
+              1
+            end
+            else begin
+              Array.iter
+                (fun r ->
+                  Format.printf "replica %d socket=%s%s@."
+                    (P.Cluster_replica.id r)
+                    (P.Cluster_replica.socket r)
+                    (match P.Cluster_replica.pid r with
+                    | Some pid -> Printf.sprintf " pid=%d" pid
+                    | None -> " adopted"))
+                members;
+              Format.printf "router socket=%s replicas=%d@.%!" socket
+                (Array.length members);
+              let pag = b.P.Suite.pag in
+              let plan =
+                P.Schedule.prepare ~pag ~type_level:b.P.Suite.type_level
+              in
+              (* Balance placement against the queryable set: without a
+                 traffic histogram, every application local is equally
+                 likely to be asked. *)
+              let load = Array.make (P.Pag.n_vars pag) 0 in
+              Array.iter
+                (fun v -> load.(v) <- load.(v) + 1)
+                b.P.Suite.queries;
+              let shard_map =
+                P.Shard_map.of_plan_balanced
+                  ~n_shards:(Array.length members) ~load plan
+              in
+              let names = Hashtbl.create 1024 in
+              for v = 0 to P.Pag.n_vars pag - 1 do
+                (* First binding wins, matching the service's resolver. *)
+                let name = P.Pag.var_name pag v in
+                if not (Hashtbl.mem names name) then Hashtbl.add names name v
+              done;
+              let resolve name =
+                let len = String.length name in
+                if len > 1 && name.[0] = '#' then
+                  match int_of_string_opt (String.sub name 1 (len - 1)) with
+                  | Some v when v >= 0 && v < P.Pag.n_vars pag -> Ok v
+                  | Some v ->
+                      Error
+                        (Printf.sprintf "variable id %d out of range (0..%d)"
+                           v
+                           (P.Pag.n_vars pag - 1))
+                  | None ->
+                      Error (Printf.sprintf "malformed variable id %S" name)
+                else
+                  match Hashtbl.find_opt names name with
+                  | Some v -> Ok v
+                  | None -> Error (Printf.sprintf "unknown variable %S" name)
+              in
+              let config =
+                {
+                  P.Router.default_config with
+                  P.Router.poll_interval = poll_ms /. 1000.0;
+                  k_readmit = readmit;
+                }
+              in
+              P.Router.serve ~config ~socket_path:socket ~shard_map ~resolve
+                members;
+              (* quit was broadcast by the router; give the replicas their
+                 graceful drain, then make sure nothing lingers. *)
+              Array.iter (fun r -> P.Cluster_replica.reap r) members;
+              0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Serve a benchmark from N engine replicas behind a shard-affine \
+          router: queries route by their direct-relation group, dead \
+          replicas are drained and replayed, drained replicas re-admit \
+          after consecutive healthy polls")
+    Term.(
+      const run $ bench_arg $ threads_arg $ budget_arg
+      $ Arg.(value & flag & info [ "insensitive" ] ~doc:"Context-insensitive replicas.")
+      $ Arg.(
+          value & flag
+          & info [ "preseed" ]
+              ~doc:
+                "Warm start: replica 0 preseeds from the bitset kernel and \
+                 exports a snapshot the other replicas import before \
+                 serving.")
+      $ socket_arg $ replicas_arg $ adopt_arg $ poll_ms_arg $ readmit_arg)
 
 let dot_cmd =
   let run bench =
@@ -684,7 +917,8 @@ let main =
   Cmd.group (Cmd.info "parcfl" ~version:"1.0.0" ~doc)
     [
       info_cmd; run_cmd; query_cmd; oracle_cmd; explain_cmd; clients_cmd;
-      analyze_cmd; save_cmd; load_pag_cmd; serve_cmd; load_cmd; dot_cmd;
+      analyze_cmd; save_cmd; load_pag_cmd; serve_cmd; cluster_cmd; load_cmd;
+      dot_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

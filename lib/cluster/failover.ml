@@ -1,0 +1,50 @@
+type state =
+  | Live
+  | Drained of int  (* consecutive healthy polls observed while drained *)
+
+type event = Unchanged | Drained_now | Readmitted
+
+type t = { states : state array; k_readmit : int }
+
+let create ~n ~k_readmit =
+  if n <= 0 then invalid_arg "Failover.create: n must be > 0";
+  if k_readmit <= 0 then invalid_arg "Failover.create: k_readmit must be > 0";
+  { states = Array.make n Live; k_readmit }
+
+let n t = Array.length t.states
+let is_live t i = t.states.(i) = Live
+
+let live t = Array.map (fun s -> s = Live) t.states
+
+let n_live t =
+  Array.fold_left (fun acc s -> if s = Live then acc + 1 else acc) 0 t.states
+
+let force_drain t i =
+  match t.states.(i) with
+  | Live ->
+      t.states.(i) <- Drained 0;
+      Drained_now
+  | Drained _ ->
+      (* Already out — but fresh evidence of failure resets the healthy
+         streak so re-admission starts over. *)
+      t.states.(i) <- Drained 0;
+      Unchanged
+
+let observe t i ~healthy =
+  match (t.states.(i), healthy) with
+  | Live, true -> Unchanged
+  | Live, false ->
+      t.states.(i) <- Drained 0;
+      Drained_now
+  | Drained _, false ->
+      t.states.(i) <- Drained 0;
+      Unchanged
+  | Drained k, true ->
+      if k + 1 >= t.k_readmit then begin
+        t.states.(i) <- Live;
+        Readmitted
+      end
+      else begin
+        t.states.(i) <- Drained (k + 1);
+        Unchanged
+      end

@@ -1,0 +1,40 @@
+(** Per-replica failover state machine: Live ⇄ Drained.
+
+    The router polls each replica's [health] verb. A failed poll — an
+    explicitly degraded verdict, a timeout, or a dead connection — drains
+    the replica immediately: its shards re-route to the survivors (the
+    rendezvous map does this implicitly) and no new work reaches it. A
+    drained replica must then answer {b K consecutive} healthy polls
+    before it is re-admitted; one healthy blip after a crash-loop does not
+    pull traffic back, and any failure while drained resets the streak. *)
+
+type event =
+  | Unchanged
+  | Drained_now  (** a live replica just failed — re-route its shards now *)
+  | Readmitted
+      (** a drained replica completed its healthy streak — its home shards
+          route back to it *)
+
+type t
+
+val create : n:int -> k_readmit:int -> t
+(** All [n] replicas start Live. @raise Invalid_argument unless both
+    arguments are positive. *)
+
+val n : t -> int
+val is_live : t -> int -> bool
+
+val live : t -> bool array
+(** Fresh liveness mask in replica order — feed to
+    {!Shard_map.shard}. *)
+
+val n_live : t -> int
+
+val observe : t -> int -> healthy:bool -> event
+(** Record one health-poll outcome for replica [i]. *)
+
+val force_drain : t -> int -> event
+(** Out-of-band failure (connection died mid-request): drain without
+    waiting for the next poll. Returns [Drained_now] only on the Live →
+    Drained edge; on an already-drained replica it resets the healthy
+    streak and reports [Unchanged]. *)

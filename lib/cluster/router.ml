@@ -1,0 +1,480 @@
+module Proto = Parcfl_svc.Protocol
+
+let max_line = 1 lsl 20
+
+type config = {
+  poll_interval : float;  (* seconds between health-poll rounds *)
+  health_timeout : float;  (* unanswered probe age that counts as failed *)
+  k_readmit : int;  (* consecutive healthy polls before re-admission *)
+}
+
+let default_config =
+  { poll_interval = 0.5; health_timeout = 5.0; k_readmit = 3 }
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;
+  mutable c_alive : bool;
+}
+
+type backend = {
+  b_idx : int;
+  b_replica : Replica.t;
+  mutable b_fd : Unix.file_descr option;
+  b_buf : Buffer.t;
+}
+
+type pending = {
+  p_client : client;
+  p_orig_id : int;
+  p_request : Proto.request;  (* original ids — what a replay re-sends *)
+  p_backend : int;  (* a replay builds a fresh pending, never mutates *)
+}
+
+type t = {
+  config : config;
+  shard_map : Shard_map.t;
+  resolve : string -> (int, string) result;
+  failover : Failover.t;
+  backends : backend array;
+  mutable clients : client list;
+  mutable listen_fd : Unix.file_descr option;
+  inflight : (int, pending) Hashtbl.t;  (* router id → waiting client *)
+  probes : (int, int * float) Hashtbl.t;  (* router id → (backend, sent) *)
+  mutable next_rid : int;
+  mutable next_poll : float;
+  mutable stopping : bool;
+}
+
+let log fmt = Printf.eprintf ("[router] " ^^ fmt ^^ "\n%!")
+
+(* ------------------------- id plumbing ----------------------------- *)
+
+let request_with_id req id =
+  match req with
+  | Proto.Query q -> Proto.Query { q with id }
+  | Proto.Stats _ -> Proto.Stats id
+  | Proto.Metrics _ -> Proto.Metrics id
+  | Proto.Slowlog s -> Proto.Slowlog { s with id }
+  | Proto.Health _ -> Proto.Health id
+  | Proto.Drain _ -> Proto.Drain id
+  | Proto.Snapshot _ -> Proto.Snapshot id
+  | Proto.Ping _ -> Proto.Ping id
+  | Proto.Quit -> Proto.Quit
+
+let response_with_id resp id =
+  match resp with
+  | Proto.Answer a -> Proto.Answer { a with id }
+  | Proto.Timeout x -> Proto.Timeout { x with id }
+  | Proto.Rejected r -> Proto.Rejected { r with id }
+  | Proto.Error e -> Proto.Error { e with id = Some id }
+  | Proto.Pong _ -> Proto.Pong id
+  | Proto.Stats_reply s -> Proto.Stats_reply { s with id }
+  | Proto.Metrics_reply m -> Proto.Metrics_reply { m with id }
+  | Proto.Slowlog_reply s -> Proto.Slowlog_reply { s with id }
+  | Proto.Health_reply h -> Proto.Health_reply { h with id }
+  | Proto.Drained d -> Proto.Drained { d with id }
+  | Proto.Snapshot_reply s -> Proto.Snapshot_reply { s with id }
+
+let fresh_rid t =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  rid
+
+(* --------------------------- raw writes ---------------------------- *)
+
+let write_fd fd s =
+  let bytes = Bytes.of_string s in
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then
+      match Unix.write fd bytes off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> (
+          (* Non-blocking client fd with a full buffer: wait for it to
+             drain; a peer wedged past the grace period counts as dead
+             (the EPIPE is caught by this function's callers). *)
+          match Unix.select [] [ fd ] [] 30.0 with
+          | _, [], _ -> raise (Unix.Unix_error (EPIPE, "write", ""))
+          | _ -> go off
+          | exception Unix.Unix_error (EINTR, _, _) -> go off)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let client_send client resp =
+  if client.c_alive then
+    match write_fd client.c_fd (Proto.response_to_string resp ^ "\n") with
+    | () -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+        client.c_alive <- false
+
+let disconnect_backend b =
+  Option.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    b.b_fd;
+  b.b_fd <- None;
+  Buffer.clear b.b_buf
+
+let ensure_connected b =
+  match b.b_fd with
+  | Some fd -> Ok fd
+  | None -> (
+      match Replica.try_connect b.b_replica with
+      | Ok fd ->
+          b.b_fd <- Some fd;
+          Ok fd
+      | Error _ as e -> e)
+
+(* --------------------- routing and failover ------------------------ *)
+
+let first_live t =
+  let n = Array.length t.backends in
+  let rec go i =
+    if i >= n then None
+    else if Failover.is_live t.failover i then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let pick_backend t req =
+  match req with
+  | Proto.Query { var; _ } -> (
+      match t.resolve var with
+      | Error e -> Error e
+      | Ok v ->
+          if Failover.n_live t.failover = 0 then Error "no live replica"
+          else Ok (Shard_map.shard t.shard_map ~live:(Failover.live t.failover) v))
+  | _ -> (
+      match first_live t with
+      | Some i -> Ok i
+      | None -> Error "no live replica")
+
+(* send → death → drain → replay → send is one recursive knot: a replica
+   dying mid-flight must re-route its outstanding requests immediately,
+   and the re-route may hit another dead replica. Termination: each
+   failed send drains a Live replica (or answers the client with an
+   error once none are left), and there are finitely many replicas. *)
+let rec backend_send t b line =
+  match ensure_connected b with
+  | Error e ->
+      backend_died t b (Printf.sprintf "connect failed: %s" e);
+      false
+  | Ok fd -> (
+      match write_fd fd line with
+      | () -> true
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+          backend_died t b "connection lost";
+          false)
+
+and backend_died t b reason =
+  disconnect_backend b;
+  (match Failover.force_drain t.failover b.b_idx with
+  | Failover.Drained_now ->
+      log "replica %d drained (%s); re-routing its shards" b.b_idx reason
+  | _ -> ());
+  (* Probes to the dead replica can never answer: count each as a failed
+     poll so a drained replica's healthy streak resets. *)
+  let dead_probes =
+    Hashtbl.fold
+      (fun rid (bi, _) acc -> if bi = b.b_idx then rid :: acc else acc)
+      t.probes []
+  in
+  List.iter (Hashtbl.remove t.probes) dead_probes;
+  (* Replay every request that was waiting on it — the cluster loses no
+     answers when a replica dies, it only moves them. *)
+  let orphans =
+    Hashtbl.fold
+      (fun rid p acc -> if p.p_backend = b.b_idx then (rid, p) :: acc else acc)
+      t.inflight []
+  in
+  List.iter (fun (rid, _) -> Hashtbl.remove t.inflight rid) orphans;
+  List.iter
+    (fun (_, p) ->
+      if p.p_client.c_alive then route t p.p_client p.p_request)
+    orphans
+
+(* Route one client request: answered locally (ping, router health,
+   resolution errors), or forwarded with the id rewritten so concurrent
+   clients with overlapping id spaces never collide at the replica. *)
+and route t client req =
+  match req with
+  | Proto.Ping id -> client_send client (Proto.Pong id)
+  | Proto.Health id ->
+      let reasons = ref [] in
+      for i = Array.length t.backends - 1 downto 0 do
+        if not (Failover.is_live t.failover i) then
+          reasons :=
+            Printf.sprintf "replica %d (%s) drained" i
+              (Replica.socket t.backends.(i).b_replica)
+            :: !reasons
+      done;
+      client_send client
+        (Proto.Health_reply
+           {
+             id;
+             healthy = Failover.n_live t.failover > 0;
+             reasons = !reasons;
+           })
+  | Proto.Quit ->
+      t.stopping <- true
+  | _ -> (
+      match pick_backend t req with
+      | Error reason ->
+          client_send client (Proto.Error { id = Proto.request_id req; reason })
+      | Ok idx -> forward t client req idx)
+
+and forward t client req idx =
+  match Proto.request_id req with
+  | None -> () (* unreachable: Quit never reaches here *)
+  | Some orig_id ->
+      let rid = fresh_rid t in
+      let p =
+        { p_client = client; p_orig_id = orig_id; p_request = req;
+          p_backend = idx }
+      in
+      Hashtbl.replace t.inflight rid p;
+      let line = Proto.request_to_string (request_with_id req rid) ^ "\n" in
+      if not (backend_send t t.backends.(idx) line) then
+        (* backend_died already replayed the inflight table — including
+           this request, which it re-routed or error-answered. *)
+        ()
+
+(* ------------------------- health polling -------------------------- *)
+
+let observe_poll t idx ~healthy =
+  match Failover.observe t.failover idx ~healthy with
+  | Failover.Drained_now ->
+      log "replica %d drained (failed health poll)" idx
+  | Failover.Readmitted -> log "replica %d re-admitted" idx
+  | Failover.Unchanged -> ()
+
+let poll_health t ~now =
+  (* Expire probes first: an unanswered probe is a failed poll. *)
+  let expired =
+    Hashtbl.fold
+      (fun rid (idx, sent) acc ->
+        if now -. sent > t.config.health_timeout then (rid, idx) :: acc
+        else acc)
+      t.probes []
+  in
+  List.iter
+    (fun (rid, idx) ->
+      Hashtbl.remove t.probes rid;
+      observe_poll t idx ~healthy:false;
+      (* The connection is wedged, not just slow to answer one verb:
+         start over so the next probe gets a fresh connection. *)
+      disconnect_backend t.backends.(idx))
+    expired;
+  (* Probe everyone — drained replicas too, that's how they come back. *)
+  Array.iter
+    (fun b ->
+      let rid = fresh_rid t in
+      let line = Proto.request_to_string (Proto.Health rid) ^ "\n" in
+      match ensure_connected b with
+      | Error _ -> observe_poll t b.b_idx ~healthy:false
+      | Ok fd -> (
+          match write_fd fd line with
+          | () -> Hashtbl.replace t.probes rid (b.b_idx, now)
+          | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _)
+            ->
+              (* A dying replica is handled like any other send failure
+                 so inflight work is replayed, but the poll verdict is
+                 recorded too. *)
+              backend_died t b "connection lost during health poll"))
+    t.backends
+
+(* ---------------------- backend reply handling --------------------- *)
+
+let handle_backend_line t b line =
+  match Proto.response_of_string line with
+  | Error e -> log "replica %d sent an unparseable reply (%s)" b.b_idx e
+  | Ok resp -> (
+      match Proto.response_id resp with
+      | None -> log "replica %d sent a reply without an id" b.b_idx
+      | Some rid -> (
+          match Hashtbl.find_opt t.probes rid with
+          | Some (idx, _) ->
+              Hashtbl.remove t.probes rid;
+              let healthy =
+                match resp with
+                | Proto.Health_reply { healthy; _ } -> healthy
+                | _ -> false
+              in
+              observe_poll t idx ~healthy
+          | None -> (
+              match Hashtbl.find_opt t.inflight rid with
+              | Some p ->
+                  Hashtbl.remove t.inflight rid;
+                  client_send p.p_client (response_with_id resp p.p_orig_id)
+              | None ->
+                  (* A replay already answered this request from another
+                     replica; the original replica's late reply is
+                     dropped, never double-delivered. *)
+                  ())))
+
+let feed_lines buf chunk ~on_line ~on_overflow =
+  Buffer.add_string buf chunk;
+  let data = Buffer.contents buf in
+  Buffer.clear buf;
+  let parts = String.split_on_char '\n' data in
+  let rec go = function
+    | [] -> ()
+    | [ last ] ->
+        if String.length last > max_line then on_overflow ()
+        else Buffer.add_string buf last
+    | line :: rest ->
+        let line =
+          let n = String.length line in
+          if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+          else line
+        in
+        on_line line;
+        go rest
+  in
+  go parts
+
+let read_backend t b fd =
+  let bytes = Bytes.create 4096 in
+  match Unix.read fd bytes 0 4096 with
+  | 0 -> backend_died t b "closed its connection"
+  | n ->
+      feed_lines b.b_buf
+        (Bytes.sub_string bytes 0 n)
+        ~on_line:(fun line -> handle_backend_line t b line)
+        ~on_overflow:(fun () -> backend_died t b "reply line too long")
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+      backend_died t b "connection reset"
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+
+(* ------------------------- client handling ------------------------- *)
+
+let handle_client_line t client line =
+  if String.trim line <> "" then
+    match Proto.parse_request line with
+    | Ok req -> route t client req
+    | Error reason ->
+        client_send client (Proto.Error { id = None; reason })
+
+let read_client t client =
+  let bytes = Bytes.create 4096 in
+  match Unix.read client.c_fd bytes 0 4096 with
+  | 0 -> client.c_alive <- false
+  | n ->
+      feed_lines client.c_buf
+        (Bytes.sub_string bytes 0 n)
+        ~on_line:(fun line -> handle_client_line t client line)
+        ~on_overflow:(fun () ->
+          client_send client
+            (Proto.Error { id = None; reason = "request line too long" });
+          client.c_alive <- false)
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+      client.c_alive <- false
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+
+let accept_client t listen_fd =
+  match Unix.accept listen_fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      t.clients <-
+        { c_fd = fd; c_buf = Buffer.create 256; c_alive = true } :: t.clients
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+
+(* ----------------------------- serving ----------------------------- *)
+
+let create ?(config = default_config) ~shard_map ~resolve replicas =
+  let n = Array.length replicas in
+  if n = 0 then invalid_arg "Router.create: no replicas";
+  if Shard_map.n_shards shard_map <> n then
+    invalid_arg "Router.create: shard map size disagrees with replica count";
+  {
+    config;
+    shard_map;
+    resolve;
+    failover = Failover.create ~n ~k_readmit:config.k_readmit;
+    backends =
+      Array.mapi
+        (fun i r ->
+          { b_idx = i; b_replica = r; b_fd = None; b_buf = Buffer.create 256 })
+        replicas;
+    clients = [];
+    listen_fd = None;
+    inflight = Hashtbl.create 64;
+    probes = Hashtbl.create 8;
+    next_rid = 0;
+    next_poll = 0.0;
+    stopping = false;
+  }
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+let broadcast_quit t =
+  Array.iter
+    (fun b ->
+      match b.b_fd with
+      | None -> ()
+      | Some fd -> (
+          match write_fd fd "quit\n" with
+          | () -> ()
+          | exception Unix.Unix_error _ -> ()))
+    t.backends
+
+let serve ?config ~socket_path ~shard_map ~resolve replicas =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let t = create ?config ~shard_map ~resolve replicas in
+  t.listen_fd <- Some (listen_unix socket_path);
+  log "serving %s over %d replicas" socket_path (Array.length t.backends);
+  while not t.stopping do
+    t.clients <- List.filter (fun c -> c.c_alive) t.clients;
+    let now = Unix.gettimeofday () in
+    if now >= t.next_poll then begin
+      poll_health t ~now;
+      t.next_poll <- now +. t.config.poll_interval
+    end;
+    let backend_fds =
+      Array.to_list t.backends
+      |> List.filter_map (fun b -> Option.map (fun fd -> (fd, b)) b.b_fd)
+    in
+    let read_fds =
+      (match t.listen_fd with Some fd -> [ fd ] | None -> [])
+      @ List.map fst backend_fds
+      @ List.map (fun c -> c.c_fd) t.clients
+    in
+    let timeout = Float.max 0.01 (Float.min (t.next_poll -. now) 1.0) in
+    match Unix.select read_fds [] [] timeout with
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if Some fd = t.listen_fd then accept_client t fd
+            else
+              match List.assoc_opt fd backend_fds with
+              | Some b -> read_backend t b fd
+              | None -> (
+                  match
+                    List.find_opt (fun c -> c.c_fd = fd) t.clients
+                  with
+                  | Some c when c.c_alive -> read_client t c
+                  | _ -> ()))
+          ready
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  (* Shutdown: no new clients, tell every replica to drain and go. *)
+  Option.iter
+    (fun fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    t.listen_fd;
+  broadcast_quit t;
+  Array.iter disconnect_backend t.backends;
+  List.iter
+    (fun c ->
+      if c.c_alive then
+        try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+    t.clients

@@ -1,0 +1,55 @@
+(** The cluster front end: one process, one listening socket, N engine
+    replicas behind it.
+
+    Clients speak the ordinary {!Parcfl_svc.Protocol} to the router; the
+    router speaks it onward. Each query is routed by its variable's
+    {b direct-relation component} through the {!Shard_map}, so queries
+    that produce and consume each other's [jmp] shortcuts keep landing on
+    the same replica — the cluster inherits the single engine's cache and
+    store locality per shard instead of diluting it N ways. Correlation
+    ids are rewritten on the way in and restored on the way out, so
+    clients with overlapping id spaces can share the cluster.
+
+    Failure handling, in order of detection speed:
+
+    + a {b send or connection failure} drains the replica immediately
+      ({!Failover.force_drain}) and {e replays} every request that was
+      waiting on it against the survivors — a killed replica loses no
+      answers, it only moves them (a late reply from the old replica is
+      dropped, never double-delivered);
+    + the {b health poll loop} probes every replica (live and drained)
+      each [poll_interval] with the [health] verb; a degraded verdict, an
+      unanswered probe older than [health_timeout], or a failed connect
+      counts as a failed poll and drains a live replica;
+    + a drained replica re-admits only after [k_readmit] {e consecutive}
+      healthy polls ({!Failover}) — and its home shards route back by
+      construction of rendezvous hashing.
+
+    The router answers [ping] and [health] itself (the cluster is healthy
+    while any replica is live; reasons name the drained ones), forwards
+    [stats]/[metrics]/[slowlog]/[drain]/[snapshot] to the first live
+    replica, and on [quit] broadcasts the shutdown. *)
+
+type config = {
+  poll_interval : float;  (** seconds between health-poll rounds *)
+  health_timeout : float;
+      (** an unanswered probe older than this counts as a failed poll and
+          resets the connection *)
+  k_readmit : int;  (** consecutive healthy polls before re-admission *)
+}
+
+val default_config : config
+(** 0.5 s polls, 5 s probe timeout, 3 polls to re-admit. *)
+
+val serve :
+  ?config:config ->
+  socket_path:string ->
+  shard_map:Shard_map.t ->
+  resolve:(string -> (int, string) result) ->
+  Replica.t array ->
+  unit
+(** Run the router event loop until a client sends [quit]. [resolve] maps
+    a protocol variable reference (["#<n>"] or an exact name) to its PAG
+    id — the router resolves only to pick the shard and forwards the
+    reference verbatim. The shard map's size must equal the replica
+    count. *)

@@ -1,0 +1,88 @@
+let save_file ~path text =
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text);
+    Unix.rename tmp path
+  with
+  | () -> Ok ()
+  | exception (Sys_error e | Unix.Unix_error (_, _, e)) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Printf.sprintf "snapshot save %s: %s" path e)
+
+let load_file ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> Ok text
+  | exception Sys_error e -> Error (Printf.sprintf "snapshot load: %s" e)
+  | exception End_of_file ->
+      Error (Printf.sprintf "snapshot load %s: truncated read" path)
+
+let wait_for_file ?(timeout_s = 30.0) ?(poll_s = 0.05) ~path () =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if Sys.file_exists path then load_file ~path
+    else if Unix.gettimeofday () > deadline then
+      Error
+        (Printf.sprintf "snapshot %s did not appear within %.1fs" path
+           timeout_s)
+    else begin
+      Unix.sleepf poll_s;
+      go ()
+    end
+  in
+  go ()
+
+(* One snapshot round trip on a fresh connection: send the verb, read the
+   single JSON reply line (the multi-line body travels inside it as a JSON
+   string). *)
+let fetch ~connect () =
+  match connect () with
+  | exception (Unix.Unix_error (_, _, _) | Sys_error _) ->
+      Error "snapshot fetch: connect failed"
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let line = "snapshot 0\n" in
+          let bytes = Bytes.of_string line in
+          let rec write_all off =
+            if off < Bytes.length bytes then
+              write_all (off + Unix.write fd bytes off (Bytes.length bytes - off))
+          in
+          let buf = Buffer.create 4096 in
+          let chunk = Bytes.create 4096 in
+          let rec read_line () =
+            match Unix.read fd chunk 0 4096 with
+            | 0 -> Error "snapshot fetch: connection closed before reply"
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                let data = Buffer.contents buf in
+                (match String.index_opt data '\n' with
+                | Some i -> Ok (String.sub data 0 i)
+                | None -> read_line ())
+            | exception Unix.Unix_error (EINTR, _, _) -> read_line ()
+          in
+          match
+            write_all 0;
+            read_line ()
+          with
+          | exception Unix.Unix_error (_, _, e) ->
+              Error (Printf.sprintf "snapshot fetch: %s" e)
+          | Error _ as e -> e
+          | Ok reply -> (
+              match Parcfl_svc.Protocol.response_of_string reply with
+              | Ok (Parcfl_svc.Protocol.Snapshot_reply
+                      { generation; records; body; _ }) ->
+                  Ok (generation, records, body)
+              | Ok (Parcfl_svc.Protocol.Error { reason; _ }) ->
+                  Error (Printf.sprintf "snapshot fetch: peer said %s" reason)
+              | Ok _ -> Error "snapshot fetch: unexpected reply"
+              | Error e ->
+                  Error (Printf.sprintf "snapshot fetch: bad reply: %s" e)))

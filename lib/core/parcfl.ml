@@ -110,6 +110,13 @@ module Service = Parcfl_svc.Service
 module Server = Parcfl_svc.Server
 module Load_gen = Parcfl_svc.Load_gen
 
+(* Cluster *)
+module Shard_map = Parcfl_cluster.Shard_map
+module Cluster_failover = Parcfl_cluster.Failover
+module Cluster_snapshot = Parcfl_cluster.Snapshot
+module Cluster_replica = Parcfl_cluster.Replica
+module Router = Parcfl_cluster.Router
+
 (* Reporting and observability *)
 module Ascii_table = Parcfl_stats.Ascii_table
 module Histogram = Parcfl_stats.Histogram

@@ -117,8 +117,12 @@ let finish_report ~mode ~threads ~wall ~sim_makespan ~stats ~jumps
 let run ?tau_f ?tau_u ?share_directions ?sched_order_within
     ?sched_order_across ?sched_plan ?store ?ctx_store
     ?(type_level = fun _ -> 1) ?(solver_config = Config.default) ?tracer
-    ?(batch = 1) ~mode ~threads ~queries pag =
+    ?(batch = 1) ?pool ~mode ~threads ~queries pag =
   let threads = match mode with Mode.Seq -> 1 | _ -> max 1 threads in
+  (match pool with
+  | Some p when Domain_pool.threads p <> threads ->
+      invalid_arg "Runner.run: pool size disagrees with threads"
+  | _ -> ());
   (* A caller-owned jmp store must come with the context store its records
      were interned in — jmp keys and targets carry context ids that only
      that store can resolve. *)
@@ -194,8 +198,14 @@ let run ?tau_f ?tau_u ?share_directions ?sched_order_within
   in
   let t0 = Unix.gettimeofday () in
   if threads = 1 then worker ~worker:0
-  else
-    Domain_pool.with_pool ~threads (fun pool -> Domain_pool.run pool worker);
+  else (
+    (* A caller-owned pool amortises domain spawn/join across batches — a
+       long-lived service pays it once, not per pump. *)
+    match pool with
+    | Some pool -> Domain_pool.run pool worker
+    | None ->
+        Domain_pool.with_pool ~threads (fun pool ->
+            Domain_pool.run pool worker));
   let wall = Unix.gettimeofday () -. t0 in
   let jumps =
     match store with

@@ -28,6 +28,7 @@ val run :
   ?solver_config:Parcfl_cfl.Config.t ->
   ?tracer:Parcfl_obs.Tracer.t ->
   ?batch:int ->
+  ?pool:Parcfl_conc.Domain_pool.t ->
   mode:Mode.t ->
   threads:int ->
   queries:Parcfl_pag.Pag.var array ->
@@ -37,6 +38,10 @@ val run :
     per grab (default 1 — one atomic operation per unit, identical work
     distribution to popping singly; raise it to amortize queue contention
     when units are tiny).
+    [pool] is a caller-owned domain pool to run on instead of spawning a
+    fresh one per call — a long-lived service executing many micro-batches
+    pays domain spawn/join once instead of per batch. Its size must equal
+    [threads]. With [threads = 1] (and in [Seq] mode) it is ignored.
     [type_level] is required for meaningful [Share_sched] scheduling; it
     defaults to a constant function (all groups equal DD). [solver_config]
     defaults to {!Parcfl_cfl.Config.default}. [Seq] mode forces one thread.

@@ -52,6 +52,8 @@ let prepare ~pag ~type_level =
   done;
   { root_of = Array.init n (Union_find.find uf); cd; comp_dd }
 
+let component_roots plan = Array.copy plan.root_of
+
 let build_with ?(order_within = true) ?(order_across = true) plan queries =
   let { root_of; cd; comp_dd } = plan in
   (* Collect queries per component. *)

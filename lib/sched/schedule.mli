@@ -46,6 +46,13 @@ val prepare :
 (** [type_level] maps a frontend type id to its containment level [L(t)];
     it must return 0 for unknown/primitive ([-1]) types. *)
 
+val component_roots : plan -> int array
+(** Every variable's direct-relation component root (a representative
+    variable id), indexed by variable id — the partition a cluster shard
+    map is built over, so queries that share [jmp]-productive structure
+    land on the same replica. A fresh copy; mutating it cannot corrupt the
+    plan. *)
+
 val build_with :
   ?order_within:bool ->
   ?order_across:bool ->

@@ -6,6 +6,7 @@ module Report = Parcfl_par.Report
 module Schedule = Parcfl_sched.Schedule
 module Jmp_store = Parcfl_sharing.Jmp_store
 module Ctx = Parcfl_pag.Ctx
+module Domain_pool = Parcfl_conc.Domain_pool
 
 type t = {
   mode : Mode.t;
@@ -24,6 +25,9 @@ type t = {
   mutable generation : int;
   mutable rate : float option;  (* EWMA steps/second *)
   mutable preseeded : int;  (* Finished records installed by preseed *)
+  mutable pool : Domain_pool.t option;
+      (* worker domains persist across batches — spawned on the first
+         multi-threaded execute, joined by [shutdown] *)
 }
 
 let fresh_store t =
@@ -49,10 +53,30 @@ let create ?(mode = Mode.Share_sched) ?(threads = 4) ?tau_f ?tau_u
       generation = 0;
       rate = None;
       preseeded = 0;
+      pool = None;
     }
   in
   t.store <- fresh_store t;
   t
+
+(* [Seq] forces one thread inside the runner, so a pool would sit unused
+   there; everywhere else the pool is sized exactly to [t.threads] as
+   {!Runner.run} requires. *)
+let worker_pool t =
+  if t.threads <= 1 || t.mode = Mode.Seq then None
+  else begin
+    (match t.pool with
+    | Some _ -> ()
+    | None -> t.pool <- Some (Domain_pool.create ~threads:t.threads));
+    t.pool
+  end
+
+let shutdown t =
+  match t.pool with
+  | Some pool ->
+      t.pool <- None;
+      Domain_pool.shutdown pool
+  | None -> ()
 
 let pag t = t.pag
 let generation t = t.generation
@@ -88,6 +112,30 @@ let preseed t =
       n
 
 let preseeded_edges t = t.preseeded
+
+(* Cluster warm-up hooks: a replica exports its Finished-only jmp store and
+   a joining replica imports it instead of re-deriving the same facts. The
+   snapshot is tagged with this engine's generation; import refuses a
+   mismatch, so a stale snapshot can never poison a reloaded PAG. *)
+let export_snapshot t =
+  match t.store with
+  | None -> Error "engine mode shares no jmp store"
+  | Some store ->
+      Ok
+        ( Jmp_store.export_finished store ~generation:t.generation
+            ~ctx_store:t.ctx_store,
+          Jmp_store.n_finished store )
+
+let import_snapshot t text =
+  match t.store with
+  | None -> Error "engine mode shares no jmp store"
+  | Some store ->
+      Result.map
+        (fun n ->
+          t.preseeded <- t.preseeded + n;
+          n)
+        (Jmp_store.import_finished store ~generation:t.generation
+           ~ctx_store:t.ctx_store text)
 
 let jmp_edges t =
   match t.store with Some s -> Jmp_store.n_jumps s | None -> 0
@@ -131,8 +179,8 @@ let execute t ~budget queries =
   let report =
     Runner.run ?tau_f:t.tau_f ?tau_u:t.tau_u ~sched_plan:t.plan
       ?store:t.store ~ctx_store:t.ctx_store ~type_level:t.type_level
-      ~solver_config ?tracer:t.tracer ~mode:t.mode ~threads:t.threads
-      ~queries t.pag
+      ~solver_config ?tracer:t.tracer ?pool:(worker_pool t) ~mode:t.mode
+      ~threads:t.threads ~queries t.pag
   in
   observe_rate t report;
   report

@@ -78,4 +78,26 @@ val deadline_budget : t -> seconds_left:float -> int
     estimate yet, [max_budget] (optimistic: the first batch calibrates). *)
 
 val execute : t -> budget:int -> Parcfl_pag.Pag.var array -> Parcfl_par.Report.t
-(** Solve one deduplicated batch with per-query budget [budget]. *)
+(** Solve one deduplicated batch with per-query budget [budget]. The
+    engine's worker domains are spawned on the first multi-threaded call
+    and reused for every batch after it — domain spawn/join is paid once
+    per engine, not once per batch. *)
+
+val shutdown : t -> unit
+(** Join the engine's persistent worker domains, if any were spawned.
+    Idempotent, and not final: a later {!execute} simply spawns a fresh
+    pool. Long-running processes that create many engines (benchmark
+    harnesses, tests) must call this to stay under the runtime's domain
+    limit. *)
+
+val export_snapshot : t -> (string * int, string) result
+(** [(text, records)]: the engine's Finished-only jmp store as a
+    generation-tagged [jmpsnap] text
+    ({!Parcfl_sharing.Jmp_store.export_finished}) plus the record count.
+    Errors when the mode shares no jmp store. *)
+
+val import_snapshot : t -> string -> (int, string) result
+(** Install a peer's snapshot into this engine's jmp store, re-interning
+    contexts locally. Rejected when the snapshot's generation differs from
+    this engine's — only generation-stable facts ever replicate. Imported
+    records count toward {!preseeded_edges}. *)

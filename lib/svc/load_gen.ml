@@ -26,6 +26,7 @@ type summary = {
   ls_max_us : float option;
   ls_latency_hist : int array;
   ls_stages : (string * stage_quantiles) list;
+  ls_target_errors : (string * int) list;
 }
 
 let hist_buckets = 22
@@ -79,6 +80,7 @@ let classify tally = function
   | Ok (Protocol.Error _) | Ok (Protocol.Pong _)
   | Ok (Protocol.Stats_reply _) | Ok (Protocol.Metrics_reply _)
   | Ok (Protocol.Slowlog_reply _) | Ok (Protocol.Health_reply _)
+  | Ok (Protocol.Drained _) | Ok (Protocol.Snapshot_reply _)
   | Error _ ->
       tally.errors <- tally.errors + 1
 
@@ -127,12 +129,19 @@ let client_loop ~rate_per_client ~requests ~queries ~client tally =
   | Unix.Unix_error _ -> tally.errors <- tally.errors + 1);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let run ?(rate = 0.0) ~connect ~clients ~requests_per_client ~queries () =
+(* Clients are spread over the targets round-robin (client [i] drives
+   target [i mod n]), so one generator can exercise a single server, the
+   cluster router, or N raw replicas side by side with the same mix.
+   Errors are also tallied per target: when one replica of a cluster
+   misbehaves, the summary says which. *)
+let run ?(rate = 0.0) ~targets ~clients ~requests_per_client ~queries () =
   if clients <= 0 then invalid_arg "Svc.Load_gen.run: clients must be > 0";
   if requests_per_client <= 0 then
     invalid_arg "Svc.Load_gen.run: requests_per_client must be > 0";
   if Array.length queries = 0 then
     invalid_arg "Svc.Load_gen.run: empty query mix";
+  let n_targets = Array.length targets in
+  if n_targets = 0 then invalid_arg "Svc.Load_gen.run: no targets";
   let tallies =
     Array.init clients (fun _ ->
         { ok = 0; cached = 0; timeouts = 0; timeouts_budget = 0;
@@ -143,9 +152,15 @@ let run ?(rate = 0.0) ~connect ~clients ~requests_per_client ~queries () =
   let t0 = Unix.gettimeofday () in
   Domain_pool.with_pool ~threads:clients (fun pool ->
       Domain_pool.run pool (fun ~worker ->
-          let fd = connect () in
-          client_loop ~rate_per_client ~requests:requests_per_client ~queries
-            ~client:worker tallies.(worker) fd));
+          let _, connect = targets.(worker mod n_targets) in
+          match connect () with
+          | fd ->
+              client_loop ~rate_per_client ~requests:requests_per_client
+                ~queries ~client:worker tallies.(worker) fd
+          | exception (Unix.Unix_error _ | Sys_error _) ->
+              (* A dead target costs its clients' whole quota, visibly. *)
+              tallies.(worker).errors <-
+                tallies.(worker).errors + requests_per_client));
   let wall = Unix.gettimeofday () -. t0 in
   let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
   let latencies =
@@ -168,6 +183,18 @@ let run ?(rate = 0.0) ~connect ~clients ~requests_per_client ~queries () =
     }
   in
   let stages = List.mapi (fun i name -> (name, stage_of i)) Span.stage_names in
+  let target_errors =
+    Array.to_list
+      (Array.mapi
+         (fun ti (name, _) ->
+           let errs = ref 0 in
+           Array.iteri
+             (fun ci tally ->
+               if ci mod n_targets = ti then errs := !errs + tally.errors)
+             tallies;
+           (name, !errs))
+         targets)
+  in
   let sent = clients * requests_per_client in
   let responded = Array.length latencies in
   {
@@ -192,6 +219,7 @@ let run ?(rate = 0.0) ~connect ~clients ~requests_per_client ~queries () =
       Histogram.of_values ~buckets:hist_buckets
         (Array.map int_of_float latencies);
     ls_stages = stages;
+    ls_target_errors = target_errors;
   }
 
 let fetch_stats ~connect () =
@@ -243,6 +271,10 @@ let to_json s =
                      ("p99_us", quantile_json q.sq_p99_us);
                    ] ))
              s.ls_stages) );
+      ( "target_errors",
+        Json.Obj
+          (List.map (fun (name, n) -> (name, Json.Int n)) s.ls_target_errors)
+      );
     ]
 
 let pp_quantile ppf = function
@@ -264,4 +296,13 @@ let pp ppf s =
       Format.fprintf ppf "@,stage %-7s p50=%a p95=%a p99=%a" name pp_quantile
         q.sq_p50_us pp_quantile q.sq_p95_us pp_quantile q.sq_p99_us)
     s.ls_stages;
+  (* Per-target error counts only earn a line when there is more than one
+     target or something actually failed. *)
+  (match s.ls_target_errors with
+  | [] | [ (_, 0) ] -> ()
+  | targets ->
+      List.iter
+        (fun (name, n) ->
+          Format.fprintf ppf "@,target %s errors=%d" name n)
+        targets);
   Format.fprintf ppf "@]"

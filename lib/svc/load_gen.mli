@@ -38,6 +38,9 @@ type summary = {
           over every answer/timeout breakdown, in {!Span.stage_names}
           order — tells queueing apart from solving when the end-to-end
           tail moves *)
+  ls_target_errors : (string * int) list;
+      (** errors attributed to each target (in [targets] order): when one
+          replica of a cluster misbehaves, this says which *)
 }
 
 val hist_buckets : int
@@ -51,17 +54,22 @@ val percentile : float array -> float -> (float, string) result
 
 val run :
   ?rate:float ->
-  connect:(unit -> Unix.file_descr) ->
+  targets:(string * (unit -> Unix.file_descr)) array ->
   clients:int ->
   requests_per_client:int ->
   queries:string array ->
   unit ->
   summary
 (** [rate] is the aggregate target in requests/second, spread evenly over
-    clients; 0 (default) means unthrottled. [queries] are protocol
-    variable references (names or ["#<id>"]), replayed round-robin with a
-    per-client offset. @raise Invalid_argument on no clients, no
-    requests or an empty query mix. *)
+    clients; 0 (default) means unthrottled. [targets] are
+    [(label, connector)] pairs; clients are assigned round-robin (client
+    [i] drives target [i mod n]), so one generator can drive the cluster
+    router and raw replicas identically. A target whose connection fails
+    charges its client's whole request quota to that target's error count.
+    [queries] are protocol variable references (names or ["#<id>"]),
+    replayed round-robin with a per-client offset.
+    @raise Invalid_argument on no clients, no targets, no requests or an
+    empty query mix. *)
 
 val connect_unix : string -> unit -> Unix.file_descr
 (** Connector for a Unix domain socket path. *)

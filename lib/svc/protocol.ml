@@ -11,6 +11,8 @@ type request =
   | Metrics of int
   | Slowlog of { id : int; limit : int option }
   | Health of int
+  | Drain of int
+  | Snapshot of int
   | Ping of int
   | Quit
 
@@ -50,6 +52,10 @@ let parse_request line =
       Result.map (fun id -> Metrics id) (int_of_token "metrics id" id)
   | [ "health"; id ] ->
       Result.map (fun id -> Health id) (int_of_token "health id" id)
+  | [ "drain"; id ] ->
+      Result.map (fun id -> Drain id) (int_of_token "drain id" id)
+  | [ "snapshot"; id ] ->
+      Result.map (fun id -> Snapshot id) (int_of_token "snapshot id" id)
   | [ "slowlog"; id ] ->
       Result.map
         (fun id -> Slowlog { id; limit = None })
@@ -69,7 +75,7 @@ let parse_request line =
       Error
         (Printf.sprintf
            "unknown request %S \
-            (want query|stats|metrics|slowlog|health|ping|quit)"
+            (want query|stats|metrics|slowlog|health|drain|snapshot|ping|quit)"
            verb)
 
 let request_to_string = function
@@ -78,6 +84,8 @@ let request_to_string = function
   | Stats id -> Printf.sprintf "stats %d" id
   | Metrics id -> Printf.sprintf "metrics %d" id
   | Health id -> Printf.sprintf "health %d" id
+  | Drain id -> Printf.sprintf "drain %d" id
+  | Snapshot id -> Printf.sprintf "snapshot %d" id
   | Slowlog { id; limit = None } -> Printf.sprintf "slowlog %d" id
   | Slowlog { id; limit = Some n } -> Printf.sprintf "slowlog %d %d" id n
   | Query { id; var; budget; deadline_ms } ->
@@ -118,6 +126,13 @@ type response =
   | Metrics_reply of { id : int; body : string }
   | Slowlog_reply of { id : int; entries : Json.t }
   | Health_reply of { id : int; healthy : bool; reasons : string list }
+  | Drained of { id : int; completed : int }
+  | Snapshot_reply of {
+      id : int;
+      generation : int;
+      records : int;
+      body : string;
+    }
 
 let reason_string = function `Budget -> "budget" | `Deadline -> "deadline"
 
@@ -186,6 +201,24 @@ let response_to_json = function
           ("status", Json.String "health");
           ("health", Json.String (if healthy then "ok" else "degraded"));
           ("reasons", Json.List (List.map (fun r -> Json.String r) reasons));
+        ]
+  | Drained { id; completed } ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("status", Json.String "drained");
+          ("completed", Json.Int completed);
+        ]
+  | Snapshot_reply { id; generation; records; body } ->
+      (* Like the metrics exposition, the multi-line snapshot text rides
+         inside a JSON string to keep one-line-per-response framing. *)
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("status", Json.String "snapshot");
+          ("generation", Json.Int generation);
+          ("records", Json.Int records);
+          ("body", Json.String body);
         ]
 
 let response_to_string r = Json.to_string (response_to_json r)
@@ -306,9 +339,31 @@ let response_of_json j =
         | _ -> Stdlib.Error "response missing reasons"
       in
       Ok (Health_reply { id; healthy; reasons })
+  | "drained" ->
+      let* id = require "id" (member_int "id" j) in
+      let* completed = require "completed" (member_int "completed" j) in
+      Ok (Drained { id; completed })
+  | "snapshot" ->
+      let* id = require "id" (member_int "id" j) in
+      let* generation = require "generation" (member_int "generation" j) in
+      let* records = require "records" (member_int "records" j) in
+      let* body = require "body" (member_string "body" j) in
+      Ok (Snapshot_reply { id; generation; records; body })
   | s -> Stdlib.Error (Printf.sprintf "unknown response status %S" s)
 
 let response_of_string s = Result.bind (Json.of_string s) response_of_json
+
+let request_id = function
+  | Query { id; _ }
+  | Stats id
+  | Metrics id
+  | Slowlog { id; _ }
+  | Health id
+  | Drain id
+  | Snapshot id
+  | Ping id ->
+      Some id
+  | Quit -> None
 
 let response_id = function
   | Answer { id; _ }
@@ -318,6 +373,8 @@ let response_id = function
   | Stats_reply { id; _ }
   | Metrics_reply { id; _ }
   | Slowlog_reply { id; _ }
-  | Health_reply { id; _ } ->
+  | Health_reply { id; _ }
+  | Drained { id; _ }
+  | Snapshot_reply { id; _ } ->
       Some id
   | Error { id; _ } -> id

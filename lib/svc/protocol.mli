@@ -14,6 +14,8 @@
     metrics <id>
     slowlog <id> [<limit>]
     health <id>
+    drain <id>
+    snapshot <id>
     ping <id>
     quit
     v}
@@ -38,11 +40,24 @@ type request =
           [limit] truncates the reply *)
   | Health of int
       (** the liveness watchdog's verdict: [ok] or [degraded] + reasons *)
+  | Drain of int
+      (** stop admitting queries (subsequent ones are [Rejected] with
+          reason ["draining"]), finish everything in flight, then report
+          {!Drained} — the rolling-restart / failover hand-off verb *)
+  | Snapshot of int
+      (** export the engine's Finished-only jmp store as a
+          generation-tagged snapshot ({!Parcfl_sharing.Jmp_store}) for
+          warming a joining replica *)
   | Ping of int
   | Quit  (** begin graceful drain and shut the server down *)
 
 val parse_request : string -> (request, string) result
 (** One line, no trailing newline. *)
+
+val request_id : request -> int option
+(** The client-chosen correlation id; [None] only for [Quit]. A proxy
+    rewrites it before forwarding so overlapping client id spaces never
+    collide at the replica. *)
 
 val request_to_string : request -> string
 (** The canonical line for a request (used by the load-gen client);
@@ -87,6 +102,17 @@ type response =
   | Health_reply of { id : int; healthy : bool; reasons : string list }
       (** serialised with ["health": "ok" | "degraded"]; [reasons] name
           stalled workers / queue starvation (empty when healthy) *)
+  | Drained of { id : int; completed : int }
+      (** the drain finished; [completed] counts the queued requests that
+          were answered while draining *)
+  | Snapshot_reply of {
+      id : int;
+      generation : int;  (** the PAG generation the snapshot is valid for *)
+      records : int;  (** Finished records in [body] *)
+      body : string;
+          (** the multi-line [jmpsnap] text, carried as one JSON string so
+              the response still fits on one line *)
+    }
 
 val response_to_json : response -> Parcfl_obs.Json.t
 

@@ -18,6 +18,16 @@ let write_all conn s =
         | written -> go (off + written)
         | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
             conn.alive <- false
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> (
+            (* The fd is non-blocking and a pipelining peer (a cluster
+               router replaying a burst) outran its read side: wait for
+               the buffer to drain instead of crashing or truncating a
+               response mid-line. A peer that stays wedged is dropped. *)
+            match Unix.select [] [ conn.out_fd ] [] 30.0 with
+            | _, [], _ -> conn.alive <- false
+            | _ -> go off
+            | exception Unix.Unix_error (EINTR, _, _) -> go off)
+        | exception Unix.Unix_error (EINTR, _, _) -> go off
     in
     go 0
 
@@ -203,4 +213,5 @@ let serve ?stdio ?socket_path ?metrics_socket_path service =
         metrics_socket_path)
     t.metrics_fd;
   Service.drain t.service ~now:(Unix.gettimeofday ());
-  List.iter close_conn t.conns
+  List.iter close_conn t.conns;
+  Service.shutdown t.service

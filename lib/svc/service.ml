@@ -75,6 +75,10 @@ type t = {
   stage_hists : int array array;  (* per Span stage, microsecond buckets *)
   busy_us : float array;  (* per engine worker, across all batches *)
   mutable in_flight : int;  (* requests inside the currently solving batch *)
+  mutable draining : bool;
+      (* set by the [drain] verb: new queries are rejected with reason
+         "draining" while stats/health/metrics keep answering, so an
+         operator (or the cluster router) can watch the hand-off *)
 }
 
 let index_names pag =
@@ -282,6 +286,7 @@ let create ?(config = default_config) ?tracer ~type_level pag =
         Array.make_matrix (List.length Span.stage_names) buckets 0;
       busy_us = Array.make (Engine.threads engine) 0.0;
       in_flight = 0;
+      draining = false;
     }
   in
   register_collectors t;
@@ -461,74 +466,6 @@ let finish t p ~respond_us ~steps ~outcome make_response =
   note_trace t p;
   p.p_respond (make_response ~latency_us ~breakdown:bd)
 
-let submit t ~now ~respond req =
-  match req with
-  | Protocol.Ping id -> respond (Protocol.Pong id)
-  | Protocol.Stats id ->
-      respond (Protocol.Stats_reply { id; stats = metrics_json t })
-  | Protocol.Metrics id ->
-      respond (Protocol.Metrics_reply { id; body = metrics_text t })
-  | Protocol.Slowlog { id; limit } ->
-      respond
-        (Protocol.Slowlog_reply
-           { id; entries = Slowlog.to_json ?limit t.slowlog })
-  | Protocol.Health id ->
-      let v = health t ~now in
-      respond
-        (Protocol.Health_reply
-           {
-             id;
-             healthy = v.Watchdog.wd_healthy;
-             reasons = v.Watchdog.wd_reasons;
-           })
-  | Protocol.Quit -> ()
-  | Protocol.Query { id; var; budget; deadline_ms } -> (
-      match resolve t var with
-      | Error reason -> respond (Protocol.Error { id = Some id; reason })
-      | Ok v -> (
-          let deadline = Option.map (fun d -> now +. (d /. 1000.0)) deadline_ms in
-          let eff = effective_budget t ~now ~budget ~deadline in
-          match Cache.find t.cache (cache_key t ~var:v ~budget:eff) with
-          | Some outcome ->
-              Metrics.incr t.metrics Metrics.Cache_hit;
-              let resp =
-                answer_of_outcome t ~id ~cached:true ~latency_us:0.0
-                  ~breakdown:Span.zero outcome
-              in
-              let outcome_str =
-                match resp with
-                | Protocol.Timeout _ ->
-                    Metrics.incr t.metrics Metrics.Timeout_budget;
-                    "timeout_budget"
-                | _ ->
-                    Metrics.incr t.metrics Metrics.Completed;
-                    "ok"
-              in
-              observe_latency t 0.0;
-              note_slowlog t ~id ~var ~budget:eff
-                ~steps:outcome.Query.steps_used ~latency_us:0.0
-                ~breakdown:Span.zero ~outcome:outcome_str ~cached:true ~now;
-              respond resp
-          | None ->
-              Metrics.incr t.metrics Metrics.Cache_miss;
-              let p =
-                {
-                  p_id = id;
-                  p_var = v;
-                  p_budget = eff;
-                  p_deadline = deadline;
-                  p_arrival = now;
-                  p_span = Span.create ~admit_us:(now *. 1e6);
-                  p_respond = respond;
-                }
-              in
-              if Admission.try_add t.queue p then
-                Metrics.incr t.metrics Metrics.Admitted
-              else begin
-                Metrics.incr t.metrics Metrics.Rejected;
-                respond (Protocol.Rejected { id; reason = "queue_full" })
-              end))
-
 let due t ~now =
   Batcher.due t.batcher ~now ~depth:(queue_depth t)
     ~oldest_arrival:(oldest_arrival t)
@@ -702,3 +639,94 @@ let drain t ~now =
   while pump ~force:true t ~now > 0 do
     ()
   done
+
+let draining t = t.draining
+
+let import_snapshot t text = Engine.import_snapshot t.engine text
+let shutdown t = Engine.shutdown t.engine
+
+let submit t ~now ~respond req =
+  match req with
+  | Protocol.Ping id -> respond (Protocol.Pong id)
+  | Protocol.Stats id ->
+      respond (Protocol.Stats_reply { id; stats = metrics_json t })
+  | Protocol.Metrics id ->
+      respond (Protocol.Metrics_reply { id; body = metrics_text t })
+  | Protocol.Slowlog { id; limit } ->
+      respond
+        (Protocol.Slowlog_reply
+           { id; entries = Slowlog.to_json ?limit t.slowlog })
+  | Protocol.Health id ->
+      let v = health t ~now in
+      respond
+        (Protocol.Health_reply
+           {
+             id;
+             healthy = v.Watchdog.wd_healthy;
+             reasons = v.Watchdog.wd_reasons;
+           })
+  | Protocol.Drain id ->
+      (* Stop admitting first, then finish everything already admitted, so
+         the completed count in the reply is exact and nothing can slip in
+         behind the drain (the service is driven from one thread). *)
+      t.draining <- true;
+      let pending = queue_depth t in
+      drain t ~now;
+      respond (Protocol.Drained { id; completed = pending })
+  | Protocol.Snapshot id -> (
+      match Engine.export_snapshot t.engine with
+      | Error reason -> respond (Protocol.Error { id = Some id; reason })
+      | Ok (body, records) ->
+          respond
+            (Protocol.Snapshot_reply
+               { id; generation = Engine.generation t.engine; records; body }))
+  | Protocol.Quit -> ()
+  | Protocol.Query { id; _ } when t.draining ->
+      Metrics.incr t.metrics Metrics.Rejected;
+      respond (Protocol.Rejected { id; reason = "draining" })
+  | Protocol.Query { id; var; budget; deadline_ms } -> (
+      match resolve t var with
+      | Error reason -> respond (Protocol.Error { id = Some id; reason })
+      | Ok v -> (
+          let deadline = Option.map (fun d -> now +. (d /. 1000.0)) deadline_ms in
+          let eff = effective_budget t ~now ~budget ~deadline in
+          match Cache.find t.cache (cache_key t ~var:v ~budget:eff) with
+          | Some outcome ->
+              Metrics.incr t.metrics Metrics.Cache_hit;
+              let resp =
+                answer_of_outcome t ~id ~cached:true ~latency_us:0.0
+                  ~breakdown:Span.zero outcome
+              in
+              let outcome_str =
+                match resp with
+                | Protocol.Timeout _ ->
+                    Metrics.incr t.metrics Metrics.Timeout_budget;
+                    "timeout_budget"
+                | _ ->
+                    Metrics.incr t.metrics Metrics.Completed;
+                    "ok"
+              in
+              observe_latency t 0.0;
+              note_slowlog t ~id ~var ~budget:eff
+                ~steps:outcome.Query.steps_used ~latency_us:0.0
+                ~breakdown:Span.zero ~outcome:outcome_str ~cached:true ~now;
+              respond resp
+          | None ->
+              Metrics.incr t.metrics Metrics.Cache_miss;
+              let p =
+                {
+                  p_id = id;
+                  p_var = v;
+                  p_budget = eff;
+                  p_deadline = deadline;
+                  p_arrival = now;
+                  p_span = Span.create ~admit_us:(now *. 1e6);
+                  p_respond = respond;
+                }
+              in
+              if Admission.try_add t.queue p then
+                Metrics.incr t.metrics Metrics.Admitted
+              else begin
+                Metrics.incr t.metrics Metrics.Rejected;
+                respond (Protocol.Rejected { id; reason = "queue_full" })
+              end))

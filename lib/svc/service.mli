@@ -133,3 +133,18 @@ val pump : ?force:bool -> t -> now:float -> int
 val drain : t -> now:float -> unit
 (** Graceful shutdown: keep pumping (forced) until the queue is empty —
     every in-flight request gets a real response. *)
+
+val draining : t -> bool
+(** Whether a [drain] request has been handled: once set, new queries are
+    rejected with reason ["draining"] while stats/health/metrics/snapshot
+    keep answering (rolling restarts watch the hand-off this way). *)
+
+val import_snapshot : t -> string -> (int, string) result
+(** Warm this service's engine from a [jmpsnap] snapshot exported by a
+    peer replica (see {!Engine.import_snapshot}); returns the number of
+    Finished records installed. *)
+
+val shutdown : t -> unit
+(** Join the engine's persistent worker domains (see {!Engine.shutdown}).
+    Call after the final {!drain} when discarding a service; idempotent,
+    and a later pump would transparently respawn the pool. *)

@@ -1,0 +1,190 @@
+(* CI smoke test for `parcfl cluster`: boot the real binary — a router in
+   front of two spawned replicas with snapshot warm-up — pipeline a
+   400-query mix through the router socket, SIGKILL one replica after the
+   150th answer, and require every one of the 400 queries to come back as
+   a correct answer (cross-checked against an in-process solve): the
+   failover replay may move work, never lose or corrupt it.
+
+   Usage: cluster_smoke.exe <path/to/parcfl_cli.exe> *)
+
+module P = Parcfl
+module Proto = P.Svc_protocol
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let deadline = Unix.gettimeofday () +. 300.0
+
+let check_deadline () =
+  if Unix.gettimeofday () > deadline then fail "smoke test deadline exceeded"
+
+let () =
+  if Array.length Sys.argv < 2 then fail "usage: cluster_smoke <parcfl_cli.exe>";
+  let cli = Sys.argv.(1) in
+  if not (Sys.file_exists cli) then fail "no such binary %s" cli;
+
+  let bench =
+    match P.Suite.build_by_name "tiny" with
+    | Some b -> b
+    | None -> fail "tiny benchmark missing"
+  in
+  (* Ground truth from one in-process session — the same PAG and config
+     every replica builds. *)
+  let session =
+    P.Solver.make_session ~config:P.Config.default
+      ~ctx_store:(P.Ctx.create_store ()) bench.P.Suite.pag
+  in
+  let expected v =
+    P.Query.objects (P.Solver.points_to session v).P.Query.result
+    |> List.map (P.Pag.obj_name bench.P.Suite.pag)
+    |> List.sort_uniq compare
+  in
+  let mix = P.Suite.query_mix ~seed:0 ~hot_share:0.75 bench ~n:64 in
+  if Array.length mix = 0 then fail "tiny benchmark has no queries";
+  let n_requests = 400 in
+  let var_of i = mix.(i mod Array.length mix) in
+
+  let sock =
+    Printf.sprintf "%s/parcfl_cluster_smoke_%d.sock"
+      (Filename.get_temp_dir_name ()) (Unix.getpid ())
+  in
+
+  (* Boot the cluster with its stdout piped so we learn the replica pids. *)
+  let from_child_r, from_child_w = Unix.pipe ~cloexec:false () in
+  let cluster_pid =
+    Unix.create_process cli
+      [|
+        cli; "cluster"; "-b"; "tiny"; "--socket"; sock; "-r"; "2";
+        "--preseed"; "-t"; "1"; "--poll-ms"; "100";
+      |]
+      Unix.stdin from_child_w Unix.stderr
+  in
+  Unix.close from_child_w;
+  let cluster_out = Unix.in_channel_of_descr from_child_r in
+  let cleanup () =
+    (try Unix.kill cluster_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ()
+  in
+  at_exit cleanup;
+
+  (* Read the boot banner: two replica lines, then the router line. *)
+  let replica_pids = Hashtbl.create 2 in
+  let rec read_banner () =
+    check_deadline ();
+    match input_line cluster_out with
+    | exception End_of_file -> fail "cluster exited during boot"
+    | line ->
+        (try
+           Scanf.sscanf line "replica %d socket=%s@ pid=%d" (fun id _ pid ->
+               Hashtbl.replace replica_pids id pid)
+         with Scanf.Scan_failure _ | End_of_file | Failure _ -> ());
+        let is_router_line =
+          String.length line >= 6 && String.sub line 0 6 = "router"
+        in
+        if not is_router_line then read_banner ()
+  in
+  read_banner ();
+  let replica0_pid =
+    match Hashtbl.find_opt replica_pids 0 with
+    | Some pid -> pid
+    | None -> fail "boot banner named no replica 0 pid"
+  in
+
+  (* Poll-connect to the router socket. *)
+  let fd =
+    let rec go tries =
+      check_deadline ();
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX sock) with
+      | () -> fd
+      | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if tries > 600 then fail "router socket never accepted"
+          else begin
+            Unix.sleepf 0.05;
+            go (tries + 1)
+          end
+    in
+    go 0
+  in
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  let send r =
+    output_string oc (Proto.request_to_string r ^ "\n");
+    flush oc
+  in
+  let recv () =
+    check_deadline ();
+    match input_line ic with
+    | line -> (
+        match Proto.response_of_string line with
+        | Ok r -> r
+        | Error e -> fail "bad response %S: %s" line e)
+    | exception End_of_file -> fail "router closed the connection early"
+  in
+
+  (* Pipeline the whole mix: responses come back in completion order (two
+     replicas race), so collect by id. *)
+  for i = 0 to n_requests - 1 do
+    send
+      (Proto.Query
+         {
+           id = i;
+           var = Printf.sprintf "#%d" (var_of i);
+           budget = None;
+           deadline_ms = None;
+         })
+  done;
+
+  let answers : (int, string list) Hashtbl.t = Hashtbl.create n_requests in
+  let killed = ref false in
+  for k = 1 to n_requests do
+    (match recv () with
+    | Proto.Answer { id; objects; _ } ->
+        if Hashtbl.mem answers id then fail "query %d answered twice" id;
+        if id < 0 || id >= n_requests then fail "answer for unknown id %d" id;
+        Hashtbl.replace answers id objects
+    | r ->
+        fail "expected an answer, got %s (after %d answers)"
+          (Proto.response_to_string r) (Hashtbl.length answers));
+    if k = 150 && not !killed then begin
+      (* Mid-load failure: replica 0 dies hard. Its queued and future
+         work must move to replica 1 without losing an answer. *)
+      killed := true;
+      (try Unix.kill replica0_pid Sys.sigkill
+       with Unix.Unix_error _ -> fail "could not kill replica 0")
+    end
+  done;
+  if not !killed then fail "never reached the kill point";
+
+  (* Zero lost, zero incorrect: every id answered, every answer equal to
+     the in-process solve. *)
+  for i = 0 to n_requests - 1 do
+    match Hashtbl.find_opt answers i with
+    | None -> fail "query %d was lost" i
+    | Some objects ->
+        if objects <> expected (var_of i) then
+          fail "query %d: wrong points-to set after failover" i
+  done;
+
+  (* The cluster keeps reporting healthy on the surviving replica, and
+     names the drained one. *)
+  send (Proto.Health 9000);
+  (match recv () with
+  | Proto.Health_reply { id = 9000; healthy; reasons } ->
+      if not healthy then
+        fail "cluster degraded after failover: %s" (String.concat "; " reasons);
+      if not (List.exists (fun r -> String.length r > 0) reasons) then
+        fail "health report does not name the drained replica"
+  | r -> fail "expected health, got %s" (Proto.response_to_string r));
+
+  send Proto.Quit;
+  close_out oc;
+  let _, status = Unix.waitpid [] cluster_pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> fail "cluster exited %d" n
+  | Unix.WSIGNALED n -> fail "cluster killed by signal %d" n
+  | Unix.WSTOPPED n -> fail "cluster stopped by signal %d" n);
+  (try Sys.remove sock with Sys_error _ -> ());
+  Printf.printf "cluster smoke: ok (%d answers, replica 0 killed at 150)\n"
+    n_requests

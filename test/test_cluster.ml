@@ -1,0 +1,216 @@
+(* Cluster primitives: the shard-affine variable map (rendezvous
+   ownership, oversized-component splitting, drain stability), the
+   failover state machine, and snapshot file/fetch plumbing. The
+   router's end-to-end behaviour — failover replay over real processes —
+   is covered by test/cluster_smoke.ml under `dune build @ci`. *)
+module P = Parcfl
+
+(* --------------------------- shard map ---------------------------- *)
+
+(* 12 vars in 6 two-var components: below any split threshold, so every
+   variable follows its root. *)
+let even_roots = Array.init 12 (fun v -> v - (v mod 2))
+
+let test_map_affinity () =
+  let m = P.Shard_map.create ~n_shards:3 ~root_of:even_roots () in
+  Alcotest.(check int) "no split" 0 (P.Shard_map.split_components m);
+  for v = 0 to 11 do
+    Alcotest.(check int)
+      (Printf.sprintf "var %d follows its root" v)
+      (P.Shard_map.home m (v - (v mod 2)))
+      (P.Shard_map.home m v)
+  done
+
+let test_map_live_equals_home () =
+  let m = P.Shard_map.create ~n_shards:4 ~root_of:even_roots () in
+  let live = Array.make 4 true in
+  for v = 0 to 11 do
+    Alcotest.(check int) "all-live shard = home" (P.Shard_map.home m v)
+      (P.Shard_map.shard m ~live v)
+  done
+
+(* Draining one shard moves exactly that shard's keys; everything else
+   keeps its owner (the rendezvous property the router's re-routing
+   depends on). *)
+let test_map_drain_stability () =
+  let root_of = Array.init 64 (fun v -> v - (v mod 2)) in
+  let m = P.Shard_map.create ~n_shards:4 ~root_of () in
+  let all = Array.make 4 true in
+  let drained = Array.init 4 (fun s -> s <> 1) in
+  Array.iteri
+    (fun v _ ->
+      let before = P.Shard_map.shard m ~live:all v in
+      let after = P.Shard_map.shard m ~live:drained v in
+      if before <> 1 then
+        Alcotest.(check int)
+          (Printf.sprintf "var %d unmoved by unrelated drain" v)
+          before after
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "var %d left the drained shard" v)
+          true (after <> 1))
+    root_of
+
+(* One 40-var component among 10 singletons: mean size is ~4.5, so the
+   big component is split per-variable and its members spread over the
+   shards instead of pinning 80% of the map to one replica. *)
+let outlier_roots =
+  Array.init 50 (fun v -> if v < 40 then 0 else v)
+
+let test_map_splits_outlier () =
+  let m = P.Shard_map.create ~n_shards:4 ~root_of:outlier_roots () in
+  Alcotest.(check int) "one split component" 1
+    (P.Shard_map.split_components m);
+  let shards = Array.make 4 0 in
+  for v = 0 to 39 do
+    shards.(P.Shard_map.home m v) <- shards.(P.Shard_map.home m v) + 1
+  done;
+  Alcotest.(check bool) "outlier members spread over >1 shard" true
+    (Array.exists (fun c -> c > 0 && c < 40) shards);
+  (* Sub-sharding is still drain-stable per variable. *)
+  let all = Array.make 4 true in
+  let dead = Array.init 4 (fun s -> s <> 0) in
+  for v = 0 to 39 do
+    let before = P.Shard_map.shard m ~live:all v in
+    if before <> 0 then
+      Alcotest.(check int) "split member unmoved" before
+        (P.Shard_map.shard m ~live:dead v)
+  done
+
+let test_map_split_factor_override () =
+  (* A huge factor disables splitting: the outlier follows its root and
+     all 40 members share one owner. *)
+  let m =
+    P.Shard_map.create ~split_factor:1000.0 ~n_shards:4
+      ~root_of:outlier_roots ()
+  in
+  Alcotest.(check int) "no split at factor 1000" 0
+    (P.Shard_map.split_components m);
+  let owner = P.Shard_map.home m 0 in
+  for v = 1 to 39 do
+    Alcotest.(check int) "member follows root" owner (P.Shard_map.home m v)
+  done
+
+let test_map_balanced_choice () =
+  (* Two singleton components carrying all the load: a single seed may
+     co-locate them, but the balanced scan must find a seed that puts
+     them on different shards (busiest share 0.5). *)
+  let root_of = [| 0; 1 |] and load = [| 100; 100 |] in
+  let m = P.Shard_map.create_balanced ~n_shards:2 ~root_of ~load () in
+  Alcotest.(check bool) "heavy keys separated" true
+    (P.Shard_map.home m 0 <> P.Shard_map.home m 1);
+  Alcotest.(check bool) "chosen seed within candidates" true
+    (P.Shard_map.seed m >= 0 && P.Shard_map.seed m < 16);
+  Alcotest.check_raises "load length mismatch"
+    (Invalid_argument
+       "Shard_map.create_balanced: load length disagrees with vars")
+    (fun () ->
+      ignore
+        (P.Shard_map.create_balanced ~n_shards:2 ~root_of
+           ~load:[| 1 |] ()));
+  Alcotest.check_raises "no candidates"
+    (Invalid_argument "Shard_map.create_balanced: candidates must be > 0")
+    (fun () ->
+      ignore
+        (P.Shard_map.create_balanced ~candidates:0 ~n_shards:2 ~root_of
+           ~load ()))
+
+let test_map_sizes_and_errors () =
+  let m = P.Shard_map.create ~n_shards:2 ~root_of:even_roots () in
+  let live = Array.make 2 true in
+  let sizes = P.Shard_map.shard_sizes m ~live in
+  Alcotest.(check int) "sizes sum to vars" 12
+    (Array.fold_left ( + ) 0 sizes);
+  Alcotest.check_raises "no live shard"
+    (Invalid_argument "Shard_map.owner_among: no live shard") (fun () ->
+      ignore (P.Shard_map.shard m ~live:(Array.make 2 false) 0));
+  Alcotest.check_raises "var out of range"
+    (Invalid_argument "Shard_map.home: variable out of range") (fun () ->
+      ignore (P.Shard_map.home m 12));
+  Alcotest.check_raises "mask size mismatch"
+    (Invalid_argument "Shard_map.shard: live mask size mismatch") (fun () ->
+      ignore (P.Shard_map.shard m ~live:(Array.make 3 true) 0))
+
+(* ---------------------------- failover ---------------------------- *)
+
+let test_failover_drain_and_readmit () =
+  let f = P.Cluster_failover.create ~n:3 ~k_readmit:2 in
+  Alcotest.(check int) "all live" 3 (P.Cluster_failover.n_live f);
+  Alcotest.(check bool) "drain fires" true
+    (P.Cluster_failover.force_drain f 1 = P.Cluster_failover.Drained_now);
+  Alcotest.(check bool) "1 is down" false (P.Cluster_failover.is_live f 1);
+  Alcotest.(check int) "two live" 2 (P.Cluster_failover.n_live f);
+  (* One healthy poll is not enough at k_readmit = 2... *)
+  Alcotest.(check bool) "first healthy poll: no readmit" true
+    (P.Cluster_failover.observe f 1 ~healthy:true
+    = P.Cluster_failover.Unchanged);
+  (* ...a failure resets the streak... *)
+  Alcotest.(check bool) "failed poll resets" true
+    (P.Cluster_failover.observe f 1 ~healthy:false
+    = P.Cluster_failover.Unchanged);
+  Alcotest.(check bool) "restart streak" true
+    (P.Cluster_failover.observe f 1 ~healthy:true
+    = P.Cluster_failover.Unchanged);
+  (* ...and the k-th consecutive success re-admits. *)
+  Alcotest.(check bool) "second consecutive readmits" true
+    (P.Cluster_failover.observe f 1 ~healthy:true
+    = P.Cluster_failover.Readmitted);
+  Alcotest.(check bool) "1 is back" true (P.Cluster_failover.is_live f 1)
+
+let test_failover_healthy_live_noop () =
+  let f = P.Cluster_failover.create ~n:2 ~k_readmit:3 in
+  Alcotest.(check bool) "healthy live replica unchanged" true
+    (P.Cluster_failover.observe f 0 ~healthy:true
+    = P.Cluster_failover.Unchanged);
+  Alcotest.(check bool) "unhealthy live replica drains" true
+    (P.Cluster_failover.observe f 0 ~healthy:false
+    = P.Cluster_failover.Drained_now);
+  Alcotest.(check bool) "re-drain of a drained replica is a no-op" true
+    (P.Cluster_failover.force_drain f 0 = P.Cluster_failover.Unchanged)
+
+(* ---------------------------- snapshot ---------------------------- *)
+
+let test_snapshot_file_roundtrip () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "parcfl_snap_test_%d" (Unix.getpid ()))
+  in
+  let text = "jmpsnap 1 gen=3\nfin 1 4 - 7\n" in
+  (match P.Cluster_snapshot.save_file ~path text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" e);
+  (match P.Cluster_snapshot.load_file ~path with
+  | Ok got -> Alcotest.(check string) "roundtrip" text got
+  | Error e -> Alcotest.failf "load: %s" e);
+  (match P.Cluster_snapshot.wait_for_file ~timeout_s:1.0 ~path () with
+  | Ok got -> Alcotest.(check string) "wait sees it" text got
+  | Error e -> Alcotest.failf "wait: %s" e);
+  Sys.remove path;
+  match P.Cluster_snapshot.wait_for_file ~timeout_s:0.2 ~poll_s:0.05 ~path ()
+  with
+  | Ok _ -> Alcotest.fail "wait on a missing file must time out"
+  | Error _ -> ()
+
+let suite =
+  ( "cluster",
+    [
+      Alcotest.test_case "shard map affinity" `Quick test_map_affinity;
+      Alcotest.test_case "shard map all-live = home" `Quick
+        test_map_live_equals_home;
+      Alcotest.test_case "shard map drain stability" `Quick
+        test_map_drain_stability;
+      Alcotest.test_case "shard map splits outliers" `Quick
+        test_map_splits_outlier;
+      Alcotest.test_case "shard map split factor" `Quick
+        test_map_split_factor_override;
+      Alcotest.test_case "shard map balanced seed choice" `Quick
+        test_map_balanced_choice;
+      Alcotest.test_case "shard map sizes and errors" `Quick
+        test_map_sizes_and_errors;
+      Alcotest.test_case "failover drain/readmit" `Quick
+        test_failover_drain_and_readmit;
+      Alcotest.test_case "failover edge cases" `Quick
+        test_failover_healthy_live_noop;
+      Alcotest.test_case "snapshot file roundtrip" `Quick
+        test_snapshot_file_roundtrip;
+    ] )

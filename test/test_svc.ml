@@ -19,6 +19,8 @@ let test_request_round_trip () =
       Proto.Slowlog { id = 5; limit = None };
       Proto.Slowlog { id = 6; limit = Some 10 };
       Proto.Health 8;
+      Proto.Drain 9;
+      Proto.Snapshot 10;
       Proto.Ping 7;
       Proto.Quit;
     ]
@@ -41,6 +43,7 @@ let test_request_errors () =
       ""; "query"; "query x"; "bogus 1"; "ping notanint";
       "query 1 v budget=x"; "metrics"; "metrics x"; "slowlog";
       "slowlog 1 -2"; "slowlog 1 x"; "health"; "health x";
+      "drain"; "drain x"; "snapshot"; "snapshot x";
     ]
 
 let breakdown =
@@ -100,6 +103,14 @@ let test_response_round_trip () =
           id = 11;
           healthy = false;
           reasons = [ "worker 0 stalled"; "queue starvation" ];
+        };
+      Proto.Drained { id = 12; completed = 3 };
+      Proto.Snapshot_reply
+        {
+          id = 13;
+          generation = 2;
+          records = 1;
+          body = "jmpsnap 1 gen=2\nfin 1 4 - 7\n";
         };
     ]
   in
@@ -350,6 +361,50 @@ let test_drain_completes_inflight () =
           (match r with Some r -> Proto.response_to_string r | None -> "none")
   done
 
+(* Satellite: the drain verb finishes in-flight work, reports how much it
+   finished, and flips the service into a rejecting state — the hand-off a
+   rolling restart watches. *)
+let test_drain_verb () =
+  let b, svc = make_service () in
+  let responses, respond = collector () in
+  let n = min 3 (Array.length b.P.Suite.queries) in
+  for i = 0 to n - 1 do
+    P.Service.submit svc ~now:0.0 ~respond (query i b.P.Suite.queries.(i))
+  done;
+  Alcotest.(check bool) "not draining yet" false (P.Service.draining svc);
+  P.Service.submit svc ~now:0.0 ~respond (Proto.Drain 100);
+  (* Every queued request got a real answer before the drained reply. *)
+  for i = 0 to n - 1 do
+    match Hashtbl.find_opt responses i with
+    | Some (Proto.Answer _) | Some (Proto.Timeout _) -> ()
+    | r ->
+        Alcotest.failf "request %d: expected a real response, got %s" i
+          (match r with Some r -> Proto.response_to_string r | None -> "none")
+  done;
+  (match Hashtbl.find_opt responses 100 with
+  | Some (Proto.Drained { completed; _ }) ->
+      Alcotest.(check int) "reports what it finished" n completed
+  | r ->
+      Alcotest.failf "expected a drained reply, got %s"
+        (match r with Some r -> Proto.response_to_string r | None -> "none"));
+  Alcotest.(check int) "queue empty" 0 (P.Service.queue_depth svc);
+  Alcotest.(check bool) "draining" true (P.Service.draining svc);
+  (* New queries bounce with the draining reason; observability verbs keep
+     answering so the operator can watch the hand-off. *)
+  P.Service.submit svc ~now:1.0 ~respond (query 200 b.P.Suite.queries.(0));
+  (match Hashtbl.find_opt responses 200 with
+  | Some (Proto.Rejected { reason; _ }) ->
+      Alcotest.(check string) "reason" "draining" reason
+  | r ->
+      Alcotest.failf "expected a draining rejection, got %s"
+        (match r with Some r -> Proto.response_to_string r | None -> "none"));
+  P.Service.submit svc ~now:1.0 ~respond (Proto.Health 201);
+  match Hashtbl.find_opt responses 201 with
+  | Some (Proto.Health_reply _) -> ()
+  | r ->
+      Alcotest.failf "expected health to keep answering, got %s"
+        (match r with Some r -> Proto.response_to_string r | None -> "none")
+
 let test_deadline_expired_is_timeout () =
   let b, svc = make_service () in
   let responses, respond = collector () in
@@ -580,6 +635,7 @@ let suite =
       Alcotest.test_case "queue full rejects" `Quick test_queue_full_rejection;
       Alcotest.test_case "drain completes in-flight" `Quick
         test_drain_completes_inflight;
+      Alcotest.test_case "drain verb hand-off" `Quick test_drain_verb;
       Alcotest.test_case "expired deadline times out" `Quick
         test_deadline_expired_is_timeout;
       Alcotest.test_case "exhausted budget times out" `Quick
