@@ -747,6 +747,7 @@ let serve ms =
                    var = Printf.sprintf "#%d" v;
                    budget = None;
                    deadline_ms = None;
+                   trace = None;
                  });
             (* max_wait = 0: every pending request is due immediately, so
                batch size is bounded by arrival concurrency (here: the
@@ -872,6 +873,7 @@ let serve_coldwarm ms =
                      var = Printf.sprintf "#%d" v;
                      budget = None;
                      deadline_ms = None;
+                     trace = None;
                    });
               ignore (P.Service.pump service ~now:(Unix.gettimeofday ())))
             mix;
@@ -991,6 +993,7 @@ let serve_cluster ms =
                var = Printf.sprintf "#%d" v;
                budget = None;
                deadline_ms = None;
+               trace = None;
              });
         ignore (P.Service.pump service ~now:(Unix.gettimeofday ())))
       vars;
@@ -1014,6 +1017,7 @@ let serve_cluster ms =
     a.(Array.length a / 2)
   in
   let scale_rows = ref [] and join_rows = ref [] in
+  let rebalance_rows = ref [] in
   List.iter
     (fun m ->
       let b = m.bench in
@@ -1023,7 +1027,7 @@ let serve_cluster ms =
         P.Schedule.prepare ~pag:b.P.Suite.pag
           ~type_level:b.P.Suite.type_level
       in
-      let arms = [ 2; 4 ] in
+      let arms = [ 2; 4; 8 ] in
       (* Partition the mix once per arm; the buckets are deterministic.
          The map is load-balanced against a measured cost profile — the
          capacity-planning case where the operator knows the traffic.
@@ -1165,6 +1169,54 @@ let serve_cluster ms =
             ~completed:arm_completed.(i) ~busiest
             ~solve_p95:(p95_us arm_solves.(i)))
         arm_buckets;
+      (* Telemetry-driven rebalance, modelled: the placement the cluster
+         boots with knows only request counts (the uniform profile the
+         CLI builds), while the router's live profile weights each
+         variable by its observed solve cost. Re-running the seed scan
+         against the observed profile — exactly what the router's
+         rebalance tick does — must never leave the busiest shard worse
+         off, and Shard_map.diff_owners prices the migration. *)
+      let load_uniform = Array.make (P.Pag.n_vars b.P.Suite.pag) 0 in
+      Array.iter
+        (fun v -> load_uniform.(v) <- load_uniform.(v) + 1)
+        mix;
+      List.iter
+        (fun replicas ->
+          let rt0 = Unix.gettimeofday () in
+          let map0 =
+            P.Shard_map.of_plan_balanced ~candidates:64 ~n_shards:replicas
+              ~load:load_uniform plan
+          in
+          let before = P.Shard_map.busiest_share map0 ~load in
+          let map1 = P.Shard_map.rebalance ~candidates:64 map0 ~load in
+          let after = P.Shard_map.busiest_share map1 ~load in
+          let migrated = List.length (P.Shard_map.diff_owners map0 map1) in
+          let components = P.Shard_map.n_keys map0 in
+          let rwall = Unix.gettimeofday () -. rt0 in
+          cluster_entries :=
+            P.Json.Obj
+              [
+                ("section", P.Json.String "serve_cluster_rebalance");
+                ("bench", P.Json.String name);
+                ("replicas", P.Json.Int replicas);
+                ("busiest_before", P.Json.Float before);
+                ("busiest_after", P.Json.Float after);
+                ("migrated", P.Json.Int migrated);
+                ("components", P.Json.Int components);
+                ("wall_seconds", P.Json.Float rwall);
+              ]
+            :: !cluster_entries;
+          rebalance_rows :=
+            [
+              name;
+              string_of_int replicas;
+              T.fmt_int components;
+              T.fmt_int migrated;
+              T.fmt_float ~decimals:2 before;
+              T.fmt_float ~decimals:2 after;
+            ]
+            :: !rebalance_rows)
+        arms;
       (* Join warm-up: a replica re-admitted after a drain (or freshly
          added) either solves from scratch or installs a running donor's
          Finished-only snapshot first. *)
@@ -1223,6 +1275,16 @@ let serve_cluster ms =
         "busiest";
       ]
     Format.std_formatter (List.rev !scale_rows);
+  Format.printf
+    "@.-- telemetry-driven rebalance: uniform placement vs observed-cost \
+     re-scan --@.@.";
+  T.render
+    ~header:
+      [
+        "Benchmark"; "replicas"; "components"; "migrated"; "busiest before";
+        "busiest after";
+      ]
+    Format.std_formatter (List.rev !rebalance_rows);
   Format.printf "@.-- joining replica: cold vs snapshot-warmed --@.@.";
   T.render
     ~header:

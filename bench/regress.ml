@@ -43,12 +43,19 @@
                         the same field names: a snapshot-warmed joining
                         replica must keep beating a cold one.)
      speedup           serve_cluster rows: a cluster arm must keep its
-                       acceptance floor — 1.6x at 2 replicas, 2.5x at 4 —
-                       wherever the committed baseline meets it. Armed
-                       per entry so a host that never reached the floor
-                       is not gated into permanent failure; once met,
-                       losing the floor means the shard partition's
-                       balance or affinity regressed.
+                       acceptance floor — 1.6x at 2 replicas, 2.5x at 4,
+                       3.0x at 8 — wherever the committed baseline meets
+                       it. Armed per entry so a host that never reached
+                       the floor is not gated into permanent failure;
+                       once met, losing the floor means the shard
+                       partition's balance or affinity regressed.
+     busiest_after     serve_cluster_rebalance rows: the observed-profile
+                       re-scan must never leave the busiest shard with a
+                       larger load share than the static placement it
+                       started from (checked within the fresh run — the
+                       strict-improvement incumbent rule makes this a
+                       structural invariant, so any violation is a bug,
+                       not noise).
 
    Exit status: 0 no regression, 1 regression found, 2 usage or I/O error. *)
 
@@ -164,7 +171,7 @@ let check_coldwarm k b l acc =
    committed baseline itself meets the floor (same philosophy as the
    coldwarm latency gate: a host that never reached the bar is not gated
    into permanent failure, but a host that did must not lose it). *)
-let cluster_floor = function 2 -> 1.6 | 4 -> 2.5 | _ -> 0.0
+let cluster_floor = function 2 -> 1.6 | 4 -> 2.5 | 8 -> 3.0 | _ -> 0.0
 
 let check_cluster_speedup k b l acc =
   match (str "section" b, J.member "replicas" b) with
@@ -175,6 +182,22 @@ let check_cluster_speedup k b l acc =
           Printf.sprintf
             "%s: speedup %.2fx fell below the %.1fx floor (baseline %.2fx)"
             k ls floor bs
+          :: acc
+      | _ -> acc)
+  | _ -> acc
+
+(* A telemetry-driven re-scan is built on a strict-improvement incumbent
+   rule, so busiest_after > busiest_before in a fresh run is a broken
+   rebalancer regardless of what the baseline says — the check reads
+   only the latest entry. *)
+let check_rebalance_not_worse k _b l acc =
+  match str "section" l with
+  | Some "serve_cluster_rebalance" -> (
+      match (num "busiest_before" l, num "busiest_after" l) with
+      | Some before, Some after when after > before +. 1e-9 ->
+          Printf.sprintf
+            "%s: rebalance made the busiest shard worse (%.3f -> %.3f)" k
+            before after
           :: acc
       | _ -> acc)
   | _ -> acc
@@ -193,6 +216,7 @@ let check_entry k baseline latest =
   |> check_no_drop "warm_completed" k baseline latest
   |> check_coldwarm k baseline latest
   |> check_cluster_speedup k baseline latest
+  |> check_rebalance_not_worse k baseline latest
   |> List.rev
 
 (* ------------------------------------------------------------------ *)
@@ -304,6 +328,20 @@ let self_test () =
         ("wall_seconds", J.Float 0.1);
       ]
   in
+  let rebalance ?(bench = "b") ?(replicas = 4) ?(before = 0.5)
+      ?(after = 0.3) () =
+    J.Obj
+      [
+        ("section", J.String "serve_cluster_rebalance");
+        ("bench", J.String bench);
+        ("replicas", J.Int replicas);
+        ("busiest_before", J.Float before);
+        ("busiest_after", J.Float after);
+        ("migrated", J.Int 3);
+        ("components", J.Int 40);
+        ("wall_seconds", J.Float 0.001);
+      ]
+  in
   let doc es = J.Obj [ ("schema", J.Int 1); ("entries", J.List es) ] in
   let base =
     doc
@@ -324,8 +362,10 @@ let self_test () =
         cluster ~replicas:1 ~speedup:1.0 ();
         cluster ~replicas:2 ~speedup:1.9 ();
         cluster ~replicas:4 ~speedup:2.9 ();
+        cluster ~replicas:8 ~speedup:3.4 ();
         (* A host that never met the 4-replica floor: unarmed. *)
         cluster ~bench:"slow" ~replicas:4 ~speedup:2.1 ();
+        rebalance ();
       ]
   in
   let expect name doc' want =
@@ -455,6 +495,9 @@ let self_test () =
   run "cluster-speedup-floor-lost-at-4"
     (doc [ cluster ~replicas:4 ~speedup:2.2 () ])
     1;
+  run "cluster-speedup-floor-lost-at-8"
+    (doc [ cluster ~replicas:8 ~speedup:2.7 () ])
+    1;
   (* ...a narrowed margin still above the floor is not one... *)
   run "cluster-margin-narrowed"
     (doc [ cluster ~replicas:2 ~speedup:1.65 () ])
@@ -472,6 +515,11 @@ let self_test () =
   run "cluster-requests-drop"
     (doc [ cluster ~replicas:2 ~speedup:1.9 ~requests:399 () ])
     2;
+  (* A rebalance that holds or improves the busiest share passes... *)
+  run "rebalance-not-worse-holds" (doc [ rebalance () ]) 0;
+  run "rebalance-no-op" (doc [ rebalance ~after:0.5 () ]) 0;
+  (* ...one that makes it worse is structurally broken. *)
+  run "rebalance-made-it-worse" (doc [ rebalance ~after:0.6 () ]) 1;
   run "everything-at-once"
     (doc
        [

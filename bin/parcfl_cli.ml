@@ -760,8 +760,32 @@ let cluster_cmd =
     in
     Arg.(value & opt int 3 & info [ "readmit" ] ~docv:"K" ~doc)
   in
+  let admin_replica_arg =
+    let doc =
+      "Forward metrics/stats/slowlog to replica $(docv) alone instead of \
+       federating over every live replica."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replica" ] ~docv:"N" ~doc)
+  in
+  let rebalance_ms_arg =
+    let doc =
+      "Re-scan shard placement against the observed per-component load \
+       every $(docv) milliseconds, migrating only components whose owner \
+       improves; 0 disables."
+    in
+    Arg.(value & opt float 0.0 & info [ "rebalance-ms" ] ~docv:"MS" ~doc)
+  in
+  let rebalance_candidates_arg =
+    let doc = "Seeds scanned per placement re-scan." in
+    Arg.(
+      value & opt int 16 & info [ "rebalance-candidates" ] ~docv:"N" ~doc)
+  in
   let run bench threads budget insensitive preseed socket replicas adopt
-      poll_ms readmit =
+      poll_ms readmit admin_replica rebalance_ms rebalance_candidates
+      trace_out =
     match socket with
     | None ->
         prerr_endline "parcfl cluster: --socket is required";
@@ -792,6 +816,12 @@ let cluster_cmd =
                            if i = 0 then [ "--preseed"; "--snapshot-out"; snap ]
                            else [ "--snapshot-in"; snap ]
                          else [])
+                      @ (match trace_out with
+                        | Some _ ->
+                            (* each replica writes its own trace on exit;
+                               the router merges them into [trace_out] *)
+                            [ "--trace-out"; sock ^ ".trace.json" ]
+                        | None -> [])
                     in
                     P.Cluster_replica.spawn ~id:i ~socket:sock
                       ~argv:(Array.of_list argv))
@@ -870,13 +900,57 @@ let cluster_cmd =
                   P.Router.default_config with
                   P.Router.poll_interval = poll_ms /. 1000.0;
                   k_readmit = readmit;
+                  admin_replica;
+                  rebalance_interval = rebalance_ms /. 1000.0;
+                  rebalance_candidates;
                 }
               in
-              P.Router.serve ~config ~socket_path:socket ~shard_map ~resolve
-                members;
+              let router_spans = ref [] in
+              let on_span =
+                match trace_out with
+                | None -> None
+                | Some _ ->
+                    Some (fun s -> router_spans := s :: !router_spans)
+              in
+              P.Router.serve ~config ?on_span ~socket_path:socket ~shard_map
+                ~resolve members;
               (* quit was broadcast by the router; give the replicas their
                  graceful drain, then make sure nothing lingers. *)
               Array.iter (fun r -> P.Cluster_replica.reap r) members;
+              (match trace_out with
+              | None -> ()
+              | Some path ->
+                  (* Merge whatever traces the replicas managed to write —
+                     a replica that was killed mid-run is simply absent
+                     from its lane. *)
+                  let replica_docs =
+                    Array.to_list members
+                    |> List.filter_map (fun r ->
+                           let p =
+                             P.Cluster_replica.socket r ^ ".trace.json"
+                           in
+                           match In_channel.with_open_bin p In_channel.input_all with
+                           | text -> (
+                               match P.Json.of_string text with
+                               | Ok doc -> Some (P.Cluster_replica.id r, doc)
+                               | Error e ->
+                                   Format.eprintf
+                                     "parcfl cluster: unreadable trace %s: %s@."
+                                     p e;
+                                   None)
+                           | exception Sys_error _ -> None)
+                  in
+                  let merged =
+                    P.Tracer.merge_cluster
+                      ~router_spans:(List.rev !router_spans)
+                      ~replicas:replica_docs
+                  in
+                  P.Json.write_file ~path merged;
+                  Format.printf
+                    "cluster trace: %d router span(s), %d replica lane(s) -> %s@."
+                    (List.length !router_spans)
+                    (List.length replica_docs)
+                    path);
               0
             end)
   in
@@ -897,7 +971,9 @@ let cluster_cmd =
                 "Warm start: replica 0 preseeds from the bitset kernel and \
                  exports a snapshot the other replicas import before \
                  serving.")
-      $ socket_arg $ replicas_arg $ adopt_arg $ poll_ms_arg $ readmit_arg)
+      $ socket_arg $ replicas_arg $ adopt_arg $ poll_ms_arg $ readmit_arg
+      $ admin_replica_arg $ rebalance_ms_arg $ rebalance_candidates_arg
+      $ trace_out_arg)
 
 let dot_cmd =
   let run bench =

@@ -1,0 +1,47 @@
+(** Cluster-wide merges of per-replica observability payloads.
+
+    The router answers one client [metrics]/[stats]/[slowlog] by
+    scattering it to every live replica and folding the replies through
+    these functions, so a single scrape describes the whole cluster
+    instead of one shard of it. Pure and synchronous — the router owns
+    the sockets; this module owns the semantics. *)
+
+val merge_metrics :
+  ?extra:Parcfl_telemetry.Expo.family list ->
+  (int * string) list ->
+  (string, string) result
+(** [merge_metrics ~extra [(replica, exposition); ...]] parses each
+    replica's Prometheus text exposition
+    ({!Parcfl_telemetry.Expo.parse_families}) and renders one federated
+    exposition: counters and histogram buckets with equal names and
+    labels are {e summed}; every gauge sample instead gains a
+    [replica="N"] label and survives unsummed (instantaneous values do
+    not add meaningfully); family help text comes from the first replica
+    that exposes the family. Histogram series with unequal bucket-bound
+    lists merge over the union of bounds, each side contributing its
+    cumulative count at the greatest bound [<= le] — the [+Inf] bucket
+    keeps totals exact. [extra] prepends locally-produced families (the
+    router's own registry) to the merged output. Errors name the replica
+    whose exposition failed to parse, or the family whose kind disagrees
+    across replicas. *)
+
+val merge_families :
+  (int * Parcfl_telemetry.Expo.family list) list ->
+  (Parcfl_telemetry.Expo.family list, string) result
+(** The structural core of {!merge_metrics}, exposed for tests. *)
+
+val merge_stats :
+  (int * Parcfl_obs.Json.t) list -> Parcfl_obs.Json.t
+(** One object over all replies: [replicas] (how many answered),
+    [totals] (each top-level numeric field that {e every} replica
+    reports, summed — integer when all sides are integers), and
+    [per_replica] (each replica's stats object verbatim, tagged with its
+    index) — the unsummable fields stay inspectable without lying in a
+    total. *)
+
+val merge_slowlogs :
+  ?limit:int -> (int * Parcfl_obs.Json.t) list -> Parcfl_obs.Json.t
+(** Concatenate the replicas' slowlog entry lists, tag each entry with
+    its [replica] index, re-sort by worst [latency_us] (ties:
+    newest [at] first — the per-replica contract, kept cluster-wide) and
+    truncate to [limit] when given. *)

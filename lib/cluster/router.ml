@@ -1,4 +1,8 @@
 module Proto = Parcfl_svc.Protocol
+module Span = Parcfl_svc.Span
+module Tracer = Parcfl_obs.Tracer
+module Registry = Parcfl_telemetry.Registry
+module Expo = Parcfl_telemetry.Expo
 
 let max_line = 1 lsl 20
 
@@ -6,10 +10,27 @@ type config = {
   poll_interval : float;  (* seconds between health-poll rounds *)
   health_timeout : float;  (* unanswered probe age that counts as failed *)
   k_readmit : int;  (* consecutive healthy polls before re-admission *)
+  admin_replica : int option;
+      (* send metrics/stats/slowlog to this one replica instead of
+         federating over all live ones — the single-replica escape hatch *)
+  rebalance_interval : float;
+      (* seconds between live-profile seed re-scans; 0 disables *)
+  rebalance_candidates : int;  (* seeds scanned per re-scan *)
+  rebalance_decay : float;
+      (* per-interval multiplier on the observed load profile: an EWMA
+         over intervals, so placement tracks the recent workload *)
 }
 
 let default_config =
-  { poll_interval = 0.5; health_timeout = 5.0; k_readmit = 3 }
+  {
+    poll_interval = 0.5;
+    health_timeout = 5.0;
+    k_readmit = 3;
+    admin_replica = None;
+    rebalance_interval = 0.0;
+    rebalance_candidates = 16;
+    rebalance_decay = 0.5;
+  }
 
 type client = {
   c_fd : Unix.file_descr;
@@ -29,11 +50,33 @@ type pending = {
   p_orig_id : int;
   p_request : Proto.request;  (* original ids — what a replay re-sends *)
   p_backend : int;  (* a replay builds a fresh pending, never mutates *)
+  p_var : int;  (* resolved query variable (load attribution), or -1 *)
+  (* Router-side span stamps in epoch microseconds; 0 when tracing is
+     off (the stamps cost clock reads, so they are taken only when a
+     span sink is installed). *)
+  p_accept_us : float;
+  p_route_us : float;
+  p_forward_us : float;
+}
+
+(* One federated admin request: scattered to every live replica, the
+   replies gathered here and merged once the last one lands (or its
+   replica dies — a dead replica only shrinks the merge, never wedges
+   it). *)
+type agg_verb = Agg_metrics | Agg_stats | Agg_slowlog of int option
+
+type agg = {
+  g_client : client;
+  g_orig_id : int;
+  g_verb : agg_verb;
+  mutable g_waiting : int;
+  mutable g_replies : (int * Proto.response) list;  (* replica, reply *)
+  mutable g_done : bool;
 }
 
 type t = {
   config : config;
-  shard_map : Shard_map.t;
+  mutable shard_map : Shard_map.t;  (* swapped by a live rebalance *)
   resolve : string -> (int, string) result;
   failover : Failover.t;
   backends : backend array;
@@ -41,12 +84,28 @@ type t = {
   mutable listen_fd : Unix.file_descr option;
   inflight : (int, pending) Hashtbl.t;  (* router id → waiting client *)
   probes : (int, int * float) Hashtbl.t;  (* router id → (backend, sent) *)
+  aggs : (int, int * agg) Hashtbl.t;  (* router id → (backend, gather) *)
   mutable next_rid : int;
   mutable next_poll : float;
+  mutable next_rebalance : float;
   mutable stopping : bool;
+  on_span : (Tracer.router_span -> unit) option;
+  (* Router-side telemetry, federated ahead of the replicas' families. *)
+  registry : Registry.t;
+  routed : int array;  (* forwards per shard *)
+  poll_hist : int array;  (* health-probe round trips, log2 us *)
+  mutable replays : int;
+  mutable drains : int;
+  mutable readmits : int;
+  mutable rebalances : int;
+  mutable migrated : int;
+  mutable busiest_before : float;  (* last rebalance, observed profile *)
+  mutable busiest_after : float;
+  profile : float array;  (* per-variable decayed solve_us EWMA *)
 }
 
 let log fmt = Printf.eprintf ("[router] " ^^ fmt ^^ "\n%!")
+let now_us () = Unix.gettimeofday () *. 1e6
 
 (* ------------------------- id plumbing ----------------------------- *)
 
@@ -80,6 +139,88 @@ let fresh_rid t =
   let rid = t.next_rid in
   t.next_rid <- rid + 1;
   rid
+
+(* --------------------------- telemetry ----------------------------- *)
+
+let observe_log2 hist v =
+  let v = if v < 1 then 1 else v in
+  let b = int_of_float (Float.log2 (float_of_int v)) in
+  let b = if b >= Array.length hist then Array.length hist - 1 else b in
+  hist.(b) <- hist.(b) + 1
+
+let router_families t =
+  let fi = float_of_int in
+  let inflight_per = Array.make (Array.length t.backends) 0 in
+  Hashtbl.iter
+    (fun _ p ->
+      if p.p_backend >= 0 && p.p_backend < Array.length inflight_per then
+        inflight_per.(p.p_backend) <- inflight_per.(p.p_backend) + 1)
+    t.inflight;
+  [
+    Expo.Counter
+      {
+        name = "parcfl_router_routed_total";
+        help = "Requests forwarded per shard.";
+        samples =
+          Array.to_list
+            (Array.mapi
+               (fun i c ->
+                 {
+                   Expo.labels = [ ("shard", string_of_int i) ];
+                   value = fi c;
+                 })
+               t.routed);
+      };
+    Expo.counter ~name:"parcfl_router_replays_total"
+      ~help:"Requests replayed onto a survivor after their replica died."
+      (fi t.replays);
+    Expo.counter ~name:"parcfl_router_drains_total"
+      ~help:"Replicas drained (failed polls or dead connections)."
+      (fi t.drains);
+    Expo.counter ~name:"parcfl_router_readmits_total"
+      ~help:"Drained replicas re-admitted after consecutive healthy polls."
+      (fi t.readmits);
+    Expo.counter ~name:"parcfl_router_rebalances_total"
+      ~help:"Live-profile seed re-scans that migrated components."
+      (fi t.rebalances);
+    Expo.counter ~name:"parcfl_router_migrated_components_total"
+      ~help:"Rendezvous keys whose owner changed across rebalances."
+      (fi t.migrated);
+    Expo.gauge ~name:"parcfl_router_live_replicas"
+      ~help:"Replicas currently admitted by failover."
+      (fi (Failover.n_live t.failover));
+    Expo.Gauge
+      {
+        name = "parcfl_router_inflight";
+        help = "Forwarded requests awaiting a reply, per replica.";
+        samples =
+          Array.to_list
+            (Array.mapi
+               (fun i c ->
+                 {
+                   Expo.labels = [ ("replica", string_of_int i) ];
+                   value = fi c;
+                 })
+               inflight_per);
+      };
+    Expo.Gauge
+      {
+        name = "parcfl_router_rebalance_busiest_share";
+        help =
+          "Busiest shard's share of the observed load at the last \
+           migrating rebalance.";
+        samples =
+          [
+            {
+              Expo.labels = [ ("when", "before") ];
+              value = t.busiest_before;
+            };
+            { Expo.labels = [ ("when", "after") ]; value = t.busiest_after };
+          ];
+      };
+    Expo.histogram_of_log2 ~name:"parcfl_router_poll_latency_us"
+      ~help:"Health-probe round trips, microseconds." t.poll_hist;
+  ]
 
 (* --------------------------- raw writes ---------------------------- *)
 
@@ -126,6 +267,63 @@ let ensure_connected b =
           Ok fd
       | Error _ as e -> e)
 
+(* ------------------------ gather completion ------------------------ *)
+
+let finish_agg t agg =
+  if (not agg.g_done) && agg.g_waiting <= 0 then begin
+    agg.g_done <- true;
+    let replies = List.rev agg.g_replies in
+    let err reason = Proto.Error { id = Some agg.g_orig_id; reason } in
+    let resp =
+      match agg.g_verb with
+      | Agg_metrics -> (
+          let bodies =
+            List.filter_map
+              (function
+                | i, Proto.Metrics_reply { body; _ } -> Some (i, body)
+                | _ -> None)
+              replies
+          in
+          if bodies = [] then err "no live replica answered"
+          else
+            match
+              Federation.merge_metrics
+                ~extra:(Registry.collect t.registry)
+                bodies
+            with
+            | Ok body -> Proto.Metrics_reply { id = agg.g_orig_id; body }
+            | Error reason -> err reason)
+      | Agg_stats ->
+          let stats =
+            List.filter_map
+              (function
+                | i, Proto.Stats_reply { stats; _ } -> Some (i, stats)
+                | _ -> None)
+              replies
+          in
+          if stats = [] then err "no live replica answered"
+          else
+            Proto.Stats_reply
+              { id = agg.g_orig_id; stats = Federation.merge_stats stats }
+      | Agg_slowlog limit ->
+          let logs =
+            List.filter_map
+              (function
+                | i, Proto.Slowlog_reply { entries; _ } -> Some (i, entries)
+                | _ -> None)
+              replies
+          in
+          if logs = [] then err "no live replica answered"
+          else
+            Proto.Slowlog_reply
+              {
+                id = agg.g_orig_id;
+                entries = Federation.merge_slowlogs ?limit logs;
+              }
+    in
+    client_send agg.g_client resp
+  end
+
 (* --------------------- routing and failover ------------------------ *)
 
 let first_live t =
@@ -137,18 +335,12 @@ let first_live t =
   in
   go 0
 
-let pick_backend t req =
-  match req with
-  | Proto.Query { var; _ } -> (
-      match t.resolve var with
-      | Error e -> Error e
-      | Ok v ->
-          if Failover.n_live t.failover = 0 then Error "no live replica"
-          else Ok (Shard_map.shard t.shard_map ~live:(Failover.live t.failover) v))
-  | _ -> (
-      match first_live t with
-      | Some i -> Ok i
-      | None -> Error "no live replica")
+let live_indices t =
+  let acc = ref [] in
+  for i = Array.length t.backends - 1 downto 0 do
+    if Failover.is_live t.failover i then acc := i :: !acc
+  done;
+  !acc
 
 (* send → death → drain → replay → send is one recursive knot: a replica
    dying mid-flight must re-route its outstanding requests immediately,
@@ -171,6 +363,7 @@ and backend_died t b reason =
   disconnect_backend b;
   (match Failover.force_drain t.failover b.b_idx with
   | Failover.Drained_now ->
+      t.drains <- t.drains + 1;
       log "replica %d drained (%s); re-routing its shards" b.b_idx reason
   | _ -> ());
   (* Probes to the dead replica can never answer: count each as a failed
@@ -181,6 +374,21 @@ and backend_died t b reason =
       t.probes []
   in
   List.iter (Hashtbl.remove t.probes) dead_probes;
+  (* A gather never waits on the dead: its reply just isn't part of the
+     merge (broadcast verbs are not replayed — the surviving replicas'
+     replies still describe every live shard). *)
+  let dead_gathers =
+    Hashtbl.fold
+      (fun rid (bi, agg) acc ->
+        if bi = b.b_idx then (rid, agg) :: acc else acc)
+      t.aggs []
+  in
+  List.iter
+    (fun (rid, agg) ->
+      Hashtbl.remove t.aggs rid;
+      agg.g_waiting <- agg.g_waiting - 1)
+    dead_gathers;
+  List.iter (fun (_, agg) -> finish_agg t agg) dead_gathers;
   (* Replay every request that was waiting on it — the cluster loses no
      answers when a replica dies, it only moves them. *)
   let orphans =
@@ -191,12 +399,16 @@ and backend_died t b reason =
   List.iter (fun (rid, _) -> Hashtbl.remove t.inflight rid) orphans;
   List.iter
     (fun (_, p) ->
-      if p.p_client.c_alive then route t p.p_client p.p_request)
+      if p.p_client.c_alive then begin
+        t.replays <- t.replays + 1;
+        route t p.p_client p.p_request
+      end)
     orphans
 
 (* Route one client request: answered locally (ping, router health,
-   resolution errors), or forwarded with the id rewritten so concurrent
-   clients with overlapping id spaces never collide at the replica. *)
+   resolution errors), forwarded with the id rewritten so concurrent
+   clients with overlapping id spaces never collide at the replica, or —
+   for the admin verbs — scattered to every live replica and federated. *)
 and route t client req =
   match req with
   | Proto.Ping id -> client_send client (Proto.Pong id)
@@ -218,35 +430,143 @@ and route t client req =
            })
   | Proto.Quit ->
       t.stopping <- true
-  | _ -> (
-      match pick_backend t req with
+  | Proto.Query { var; _ } -> (
+      let accept_us = if t.on_span = None then 0.0 else now_us () in
+      match t.resolve var with
       | Error reason ->
-          client_send client (Proto.Error { id = Proto.request_id req; reason })
-      | Ok idx -> forward t client req idx)
+          client_send client
+            (Proto.Error { id = Proto.request_id req; reason })
+      | Ok v ->
+          if Failover.n_live t.failover = 0 then
+            client_send client
+              (Proto.Error
+                 { id = Proto.request_id req; reason = "no live replica" })
+          else begin
+            let idx =
+              Shard_map.shard t.shard_map ~live:(Failover.live t.failover) v
+            in
+            t.routed.(idx) <- t.routed.(idx) + 1;
+            let route_us = if t.on_span = None then 0.0 else now_us () in
+            forward t client req idx ~var:v ~accept_us ~route_us
+          end)
+  | (Proto.Metrics _ | Proto.Stats _ | Proto.Slowlog _)
+    when t.config.admin_replica = None ->
+      scatter t client req
+  | _ -> (
+      (* drain/snapshot, or admin verbs pinned to one replica. *)
+      let target =
+        match t.config.admin_replica with
+        | Some i ->
+            if Failover.is_live t.failover i then Ok i
+            else Error (Printf.sprintf "replica %d is drained" i)
+        | None -> (
+            match first_live t with
+            | Some i -> Ok i
+            | None -> Error "no live replica")
+      in
+      match target with
+      | Error reason ->
+          client_send client
+            (Proto.Error { id = Proto.request_id req; reason })
+      | Ok idx ->
+          t.routed.(idx) <- t.routed.(idx) + 1;
+          forward t client req idx ~var:(-1) ~accept_us:0.0 ~route_us:0.0)
 
-and forward t client req idx =
+and forward t client req idx ~var ~accept_us ~route_us =
   match Proto.request_id req with
   | None -> () (* unreachable: Quit never reaches here *)
   | Some orig_id ->
       let rid = fresh_rid t in
+      (* The replica's trace lane adopts the client-visible id via the
+         wire [trace=] option, so the merged cluster trace speaks one id
+         for both hops. *)
+      let wire =
+        match request_with_id req rid with
+        | Proto.Query q -> Proto.Query { q with trace = Some orig_id }
+        | r -> r
+      in
+      let line = Proto.request_to_string wire ^ "\n" in
+      let forward_us = if t.on_span = None then 0.0 else now_us () in
       let p =
-        { p_client = client; p_orig_id = orig_id; p_request = req;
-          p_backend = idx }
+        {
+          p_client = client;
+          p_orig_id = orig_id;
+          p_request = req;
+          p_backend = idx;
+          p_var = var;
+          p_accept_us = accept_us;
+          p_route_us = route_us;
+          p_forward_us = forward_us;
+        }
       in
       Hashtbl.replace t.inflight rid p;
-      let line = Proto.request_to_string (request_with_id req rid) ^ "\n" in
       if not (backend_send t t.backends.(idx) line) then
         (* backend_died already replayed the inflight table — including
            this request, which it re-routed or error-answered. *)
         ()
+
+and scatter t client req =
+  match Proto.request_id req with
+  | None -> ()
+  | Some orig_id -> (
+      match live_indices t with
+      | [] ->
+          client_send client
+            (Proto.Error { id = Some orig_id; reason = "no live replica" })
+      | targets ->
+          let verb =
+            match req with
+            | Proto.Metrics _ -> Agg_metrics
+            | Proto.Stats _ -> Agg_stats
+            | Proto.Slowlog { limit; _ } -> Agg_slowlog limit
+            | _ -> assert false
+          in
+          let agg =
+            {
+              g_client = client;
+              g_orig_id = orig_id;
+              g_verb = verb;
+              g_waiting = 0;
+              g_replies = [];
+              g_done = false;
+            }
+          in
+          (* Register the whole fan-out before the first send: a send
+             failure mid-scatter re-enters through backend_died, and an
+             agg with unregistered members would finish early. *)
+          let rids =
+            List.map
+              (fun idx ->
+                let rid = fresh_rid t in
+                Hashtbl.replace t.aggs rid (idx, agg);
+                agg.g_waiting <- agg.g_waiting + 1;
+                (rid, idx))
+              targets
+          in
+          List.iter
+            (fun (rid, idx) ->
+              (* Skip members whose replica died earlier in this same
+                 scatter — backend_died already unregistered them. *)
+              if Hashtbl.mem t.aggs rid then begin
+                t.routed.(idx) <- t.routed.(idx) + 1;
+                let line =
+                  Proto.request_to_string (request_with_id req rid) ^ "\n"
+                in
+                ignore (backend_send t t.backends.(idx) line)
+              end)
+            rids;
+          finish_agg t agg)
 
 (* ------------------------- health polling -------------------------- *)
 
 let observe_poll t idx ~healthy =
   match Failover.observe t.failover idx ~healthy with
   | Failover.Drained_now ->
+      t.drains <- t.drains + 1;
       log "replica %d drained (failed health poll)" idx
-  | Failover.Readmitted -> log "replica %d re-admitted" idx
+  | Failover.Readmitted ->
+      t.readmits <- t.readmits + 1;
+      log "replica %d re-admitted" idx
   | Failover.Unchanged -> ()
 
 let poll_health t ~now =
@@ -263,8 +583,9 @@ let poll_health t ~now =
       Hashtbl.remove t.probes rid;
       observe_poll t idx ~healthy:false;
       (* The connection is wedged, not just slow to answer one verb:
-         start over so the next probe gets a fresh connection. *)
-      disconnect_backend t.backends.(idx))
+         treat it as dead so inflight work replays and gathers waiting
+         on it complete, and the next probe gets a fresh connection. *)
+      backend_died t t.backends.(idx) "health probe timed out")
     expired;
   (* Probe everyone — drained replicas too, that's how they come back. *)
   Array.iter
@@ -284,6 +605,43 @@ let poll_health t ~now =
               backend_died t b "connection lost during health poll"))
     t.backends
 
+(* ------------------------ live rebalancing ------------------------- *)
+
+(* Fold the observed profile into a placement decision: re-run the seed
+   scan against what queries actually cost (each answer's solve_us,
+   decayed per interval), adopt the better seed, and migrate only the
+   components whose rendezvous owner changed — the map diff is exact, so
+   a rebalance that cannot improve placement moves nothing. *)
+let rebalance_now t =
+  let load = Array.map int_of_float t.profile in
+  let total = Array.fold_left ( + ) 0 load in
+  if total > 0 then begin
+    let before = Shard_map.busiest_share t.shard_map ~load in
+    let next =
+      Shard_map.rebalance ~candidates:t.config.rebalance_candidates
+        t.shard_map ~load
+    in
+    let moved = Shard_map.diff_owners t.shard_map next in
+    if moved <> [] then begin
+      let after = Shard_map.busiest_share next ~load in
+      log
+        "rebalance: seed %d -> %d, %d/%d component(s) migrate, busiest \
+         share %.3f -> %.3f"
+        (Shard_map.seed t.shard_map)
+        (Shard_map.seed next) (List.length moved)
+        (Shard_map.n_keys t.shard_map)
+        before after;
+      t.shard_map <- next;
+      t.rebalances <- t.rebalances + 1;
+      t.migrated <- t.migrated + List.length moved;
+      t.busiest_before <- before;
+      t.busiest_after <- after
+    end
+  end;
+  Array.iteri
+    (fun i x -> t.profile.(i) <- x *. t.config.rebalance_decay)
+    t.profile
+
 (* ---------------------- backend reply handling --------------------- *)
 
 let handle_backend_line t b line =
@@ -294,8 +652,10 @@ let handle_backend_line t b line =
       | None -> log "replica %d sent a reply without an id" b.b_idx
       | Some rid -> (
           match Hashtbl.find_opt t.probes rid with
-          | Some (idx, _) ->
+          | Some (idx, sent) ->
               Hashtbl.remove t.probes rid;
+              observe_log2 t.poll_hist
+                (int_of_float ((Unix.gettimeofday () -. sent) *. 1e6));
               let healthy =
                 match resp with
                 | Proto.Health_reply { healthy; _ } -> healthy
@@ -303,15 +663,54 @@ let handle_backend_line t b line =
               in
               observe_poll t idx ~healthy
           | None -> (
-              match Hashtbl.find_opt t.inflight rid with
-              | Some p ->
-                  Hashtbl.remove t.inflight rid;
-                  client_send p.p_client (response_with_id resp p.p_orig_id)
-              | None ->
-                  (* A replay already answered this request from another
-                     replica; the original replica's late reply is
-                     dropped, never double-delivered. *)
-                  ())))
+              match Hashtbl.find_opt t.aggs rid with
+              | Some (_, agg) ->
+                  Hashtbl.remove t.aggs rid;
+                  agg.g_replies <- (b.b_idx, resp) :: agg.g_replies;
+                  agg.g_waiting <- agg.g_waiting - 1;
+                  finish_agg t agg
+              | None -> (
+                  match Hashtbl.find_opt t.inflight rid with
+                  | Some p ->
+                      Hashtbl.remove t.inflight rid;
+                      (* Every answer's solve time feeds the per-variable
+                         load profile the rebalancer re-scans against. *)
+                      (match resp with
+                      | Proto.Answer { breakdown; _ }
+                      | Proto.Timeout { breakdown; _ } ->
+                          if
+                            p.p_var >= 0
+                            && p.p_var < Array.length t.profile
+                          then
+                            t.profile.(p.p_var) <-
+                              t.profile.(p.p_var)
+                              +. breakdown.Span.bd_solve_us
+                      | _ -> ());
+                      let reply_us =
+                        if t.on_span = None then 0.0 else now_us ()
+                      in
+                      client_send p.p_client
+                        (response_with_id resp p.p_orig_id);
+                      (match (t.on_span, p.p_request) with
+                      | Some sink, Proto.Query _ ->
+                          sink
+                            {
+                              Tracer.rs_id = p.p_orig_id;
+                              rs_rid = rid;
+                              rs_replica = p.p_backend;
+                              rs_var = p.p_var;
+                              rs_accept_us = p.p_accept_us;
+                              rs_route_us = p.p_route_us;
+                              rs_forward_us = p.p_forward_us;
+                              rs_reply_us = reply_us;
+                              rs_respond_us = now_us ();
+                            }
+                      | _ -> ())
+                  | None ->
+                      (* A replay already answered this request from
+                         another replica; the original replica's late
+                         reply is dropped, never double-delivered. *)
+                      ()))))
 
 let feed_lines buf chunk ~on_line ~on_overflow =
   Buffer.add_string buf chunk;
@@ -382,29 +781,52 @@ let accept_client t listen_fd =
 
 (* ----------------------------- serving ----------------------------- *)
 
-let create ?(config = default_config) ~shard_map ~resolve replicas =
+let create ?(config = default_config) ?on_span ~shard_map ~resolve replicas
+    =
   let n = Array.length replicas in
   if n = 0 then invalid_arg "Router.create: no replicas";
   if Shard_map.n_shards shard_map <> n then
     invalid_arg "Router.create: shard map size disagrees with replica count";
-  {
-    config;
-    shard_map;
-    resolve;
-    failover = Failover.create ~n ~k_readmit:config.k_readmit;
-    backends =
-      Array.mapi
-        (fun i r ->
-          { b_idx = i; b_replica = r; b_fd = None; b_buf = Buffer.create 256 })
-        replicas;
-    clients = [];
-    listen_fd = None;
-    inflight = Hashtbl.create 64;
-    probes = Hashtbl.create 8;
-    next_rid = 0;
-    next_poll = 0.0;
-    stopping = false;
-  }
+  (match config.admin_replica with
+  | Some i when i < 0 || i >= n ->
+      invalid_arg "Router.create: admin replica out of range"
+  | _ -> ());
+  let t =
+    {
+      config;
+      shard_map;
+      resolve;
+      failover = Failover.create ~n ~k_readmit:config.k_readmit;
+      backends =
+        Array.mapi
+          (fun i r ->
+            { b_idx = i; b_replica = r; b_fd = None; b_buf = Buffer.create 256 })
+          replicas;
+      clients = [];
+      listen_fd = None;
+      inflight = Hashtbl.create 64;
+      probes = Hashtbl.create 8;
+      aggs = Hashtbl.create 8;
+      next_rid = 0;
+      next_poll = 0.0;
+      next_rebalance = 0.0;
+      stopping = false;
+      on_span;
+      registry = Registry.create ();
+      routed = Array.make n 0;
+      poll_hist = Array.make 20 0;
+      replays = 0;
+      drains = 0;
+      readmits = 0;
+      rebalances = 0;
+      migrated = 0;
+      busiest_before = Float.nan;
+      busiest_after = Float.nan;
+      profile = Array.make (Shard_map.n_vars shard_map) 0.0;
+    }
+  in
+  Registry.register t.registry (fun () -> router_families t);
+  t
 
 let listen_unix path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -425,11 +847,12 @@ let broadcast_quit t =
           | exception Unix.Unix_error _ -> ()))
     t.backends
 
-let serve ?config ~socket_path ~shard_map ~resolve replicas =
+let serve ?config ?on_span ~socket_path ~shard_map ~resolve replicas =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let t = create ?config ~shard_map ~resolve replicas in
+  let t = create ?config ?on_span ~shard_map ~resolve replicas in
   t.listen_fd <- Some (listen_unix socket_path);
+  t.next_rebalance <- Unix.gettimeofday () +. t.config.rebalance_interval;
   log "serving %s over %d replicas" socket_path (Array.length t.backends);
   while not t.stopping do
     t.clients <- List.filter (fun c -> c.c_alive) t.clients;
@@ -437,6 +860,10 @@ let serve ?config ~socket_path ~shard_map ~resolve replicas =
     if now >= t.next_poll then begin
       poll_health t ~now;
       t.next_poll <- now +. t.config.poll_interval
+    end;
+    if t.config.rebalance_interval > 0.0 && now >= t.next_rebalance then begin
+      rebalance_now t;
+      t.next_rebalance <- now +. t.config.rebalance_interval
     end;
     let backend_fds =
       Array.to_list t.backends

@@ -8,7 +8,9 @@
     the same replica — the cluster inherits the single engine's cache and
     store locality per shard instead of diluting it N ways. Correlation
     ids are rewritten on the way in and restored on the way out, so
-    clients with overlapping id spaces can share the cluster.
+    clients with overlapping id spaces can share the cluster; the
+    client's original id still travels in the query's [trace=] option,
+    so the replica's trace lane and the router's speak the same id.
 
     Failure handling, in order of detection speed:
 
@@ -25,10 +27,31 @@
       healthy polls ({!Failover}) — and its home shards route back by
       construction of rendezvous hashing.
 
-    The router answers [ping] and [health] itself (the cluster is healthy
-    while any replica is live; reasons name the drained ones), forwards
-    [stats]/[metrics]/[slowlog]/[drain]/[snapshot] to the first live
-    replica, and on [quit] broadcasts the shutdown. *)
+    {b Telemetry federation.} The router answers [ping] and [health]
+    itself (the cluster is healthy while any replica is live; reasons
+    name the drained ones). [metrics], [stats] and [slowlog] are
+    {e scattered} to every live replica and the replies merged into one
+    cluster-wide view ({!Federation}): counters and histogram buckets
+    sum, per-replica gauges gain a [replica="N"] label, slowlogs
+    interleave worst-first. The router's own registry — routing counts
+    per shard, replay/drain/re-admit totals, health-probe latency,
+    per-replica in-flight gauges — federates ahead of the replicas'
+    families as the [parcfl_router_*] namespace. A replica that dies
+    mid-scatter only shrinks the merge; it never wedges the reply.
+    Setting [admin_replica] restores the single-replica behaviour
+    (inspect one replica in isolation). [drain] and [snapshot] stay
+    single-replica verbs — first live, or [admin_replica] when set.
+
+    {b Live rebalancing.} When [rebalance_interval > 0] the router folds
+    every answer's [solve_us] into a per-variable load profile (decayed
+    by [rebalance_decay] each interval — an EWMA over intervals) and
+    periodically re-runs the {!Shard_map.rebalance} seed scan against
+    the observed profile. The scan's strict-improvement rule means a
+    rebalance is never worse than the incumbent placement, and
+    {!Shard_map.diff_owners} bounds the swap: only components whose
+    rendezvous owner actually changed migrate — their replayed queries
+    warm the new owner's cache; everything else keeps its shard and its
+    cached state. *)
 
 type config = {
   poll_interval : float;  (** seconds between health-poll rounds *)
@@ -36,13 +59,25 @@ type config = {
       (** an unanswered probe older than this counts as a failed poll and
           resets the connection *)
   k_readmit : int;  (** consecutive healthy polls before re-admission *)
+  admin_replica : int option;
+      (** forward [metrics]/[stats]/[slowlog] to this one replica instead
+          of federating — the single-replica inspection escape hatch *)
+  rebalance_interval : float;
+      (** seconds between live-profile seed re-scans; [0.] disables *)
+  rebalance_candidates : int;
+      (** seeds scanned per re-scan ({!Shard_map.rebalance}) *)
+  rebalance_decay : float;
+      (** per-interval multiplier on the observed load profile *)
 }
 
 val default_config : config
-(** 0.5 s polls, 5 s probe timeout, 3 polls to re-admit. *)
+(** 0.5 s polls, 5 s probe timeout, 3 polls to re-admit, federation on
+    ([admin_replica = None]), rebalancing off, 16 candidate seeds,
+    0.5 decay. *)
 
 val serve :
   ?config:config ->
+  ?on_span:(Parcfl_obs.Tracer.router_span -> unit) ->
   socket_path:string ->
   shard_map:Shard_map.t ->
   resolve:(string -> (int, string) result) ->
@@ -52,4 +87,10 @@ val serve :
     a protocol variable reference (["#<n>"] or an exact name) to its PAG
     id — the router resolves only to pick the shard and forwards the
     reference verbatim. The shard map's size must equal the replica
-    count. *)
+    count ([Invalid_argument] otherwise, as for an out-of-range
+    [admin_replica]).
+
+    [on_span] receives one {!Parcfl_obs.Tracer.router_span} per answered
+    query — the router-side accept/route/forward/reply/respond stamps —
+    for {!Parcfl_obs.Tracer.merge_cluster}; when absent the router takes
+    no clock readings on the hot path. *)

@@ -162,3 +162,61 @@ let create_balanced ?(candidates = 16) ?split_factor ~n_shards ~root_of
 let of_plan_balanced ?candidates ?split_factor ~n_shards ~load plan =
   create_balanced ?candidates ?split_factor ~n_shards
     ~root_of:(Parcfl_sched.Schedule.component_roots plan) ~load ()
+
+(* ---------------------- live-profile rebalance ---------------------- *)
+
+let n_keys t =
+  let seen = Hashtbl.create 256 in
+  Array.iteri
+    (fun v _ ->
+      let k = key t v in
+      if not (Hashtbl.mem seen k) then Hashtbl.add seen k ())
+    t.root_of;
+  Hashtbl.length seen
+
+(* Re-run the seed scan against an observed load profile. Only the seed
+   may change — the split array and root_of are kept byte-identical, so
+   the rendezvous keys of the old and new map coincide and [diff_owners]
+   is exact. The current seed always competes (with a strict-improvement
+   rule), so the result is never worse than [t] and an already-optimal
+   map comes back unchanged: no gratuitous migration. *)
+let rebalance ?(candidates = 16) t ~load =
+  if Array.length load <> Array.length t.root_of then
+    invalid_arg "Shard_map.rebalance: load length disagrees with vars";
+  if candidates <= 0 then
+    invalid_arg "Shard_map.rebalance: candidates must be > 0";
+  let best = ref (busiest_share t ~load, t) in
+  for s = 0 to candidates - 1 do
+    if s <> t.seed then begin
+      let c = { t with seed = s } in
+      let share = busiest_share c ~load in
+      if share < fst !best then best := (share, c)
+    end
+  done;
+  snd !best
+
+(* Rendezvous keys whose all-live owner differs between two maps over
+   the same variable space — exactly the components (or split-component
+   members) a router must migrate when it adopts [b] in place of [a].
+   Everything else keeps its owner: this is the rendezvous property that
+   makes the migration diff computable instead of total. *)
+let diff_owners a b =
+  if a.n_shards <> b.n_shards then
+    invalid_arg "Shard_map.diff_owners: shard counts differ";
+  if
+    Array.length a.root_of <> Array.length b.root_of
+    || a.root_of <> b.root_of || a.split <> b.split
+  then invalid_arg "Shard_map.diff_owners: maps cover different keys";
+  let live = all_live a.n_shards in
+  let seen = Hashtbl.create 256 in
+  let moved = ref [] in
+  Array.iteri
+    (fun v _ ->
+      let k = key a v in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        if owner_among a ~live k <> owner_among b ~live k then
+          moved := k :: !moved
+      end)
+    a.root_of;
+  List.rev !moved

@@ -109,3 +109,35 @@ val owner_among : t -> live:bool array -> int -> int
 
 val shard_sizes : t -> live:bool array -> int array
 (** Variables owned per shard under [live] — balance diagnostics. *)
+
+val busiest_share : t -> load:int array -> float
+(** The busiest shard's share of [load] with every shard live — the
+    quantity {!create_balanced} and {!rebalance} minimise. [load.(v)] is
+    [v]'s weight; [0.0] when the profile is all zero. *)
+
+val key : t -> int -> int
+(** [v]'s rendezvous key: its component root, or [v] itself inside an
+    oversized (split) component. Two variables with equal keys always
+    share an owner — the unit of migration. *)
+
+val n_keys : t -> int
+(** Distinct rendezvous keys — the number of independently-placed units
+    (components plus split-component members). *)
+
+val rebalance : ?candidates:int -> t -> load:int array -> t
+(** Re-run the seed scan against an {e observed} load profile: the best
+    seed in [0 .. candidates-1] (default [16]) by {!busiest_share},
+    with the incumbent seed competing under a strict-improvement rule.
+    Never worse than [t]; returns [t]'s seed unchanged (hence an empty
+    {!diff_owners}) when no candidate beats it. Only the seed changes —
+    roots and split decisions are preserved, so old and new map share
+    one key space.
+    @raise Invalid_argument when [candidates <= 0] or [load] length
+    disagrees with the variable count. *)
+
+val diff_owners : t -> t -> int list
+(** The rendezvous keys whose all-live owner differs between two maps
+    over the same key space (same roots and splits, e.g. a map and its
+    {!rebalance}) — exactly the components a router must migrate when it
+    swaps maps; every other key keeps its owner.
+    @raise Invalid_argument when the maps' key spaces differ. *)

@@ -115,6 +115,7 @@ module Shard_map = Parcfl_cluster.Shard_map
 module Cluster_failover = Parcfl_cluster.Failover
 module Cluster_snapshot = Parcfl_cluster.Snapshot
 module Cluster_replica = Parcfl_cluster.Replica
+module Cluster_federation = Parcfl_cluster.Federation
 module Router = Parcfl_cluster.Router
 
 (* Reporting and observability *)

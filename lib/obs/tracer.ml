@@ -164,8 +164,8 @@ let process_name ~pid name =
       ("args", Json.Obj [ ("name", Json.String name) ]);
     ]
 
-let complete ?args ~tid ~name ~ts ~dur ~var () =
-  event ~pid:service_pid ?args ~tid ~ph:"X" ~name ~ts ~var
+let complete ?(pid = service_pid) ?args ~tid ~name ~ts ~dur ~var () =
+  event ~pid ?args ~tid ~ph:"X" ~name ~ts ~var
     [ ("dur", Json.Float (Float.max 0.0 dur)) ]
 
 let retained_spans t =
@@ -173,29 +173,34 @@ let retained_spans t =
   let start = t.span_count - kept in
   List.init kept (fun j -> t.spans.((start + j) mod t.capacity))
 
-let span_events spans =
-  let spans =
-    List.sort (fun a b -> compare a.rq_admit_us b.rq_admit_us) spans
+(* Greedy lane packing: items sorted by start time, each takes the
+   lowest lane whose previous occupant ended before it started, so
+   concurrent items render stacked instead of interleaved on one row. *)
+let assign_lanes ~start_of ~end_of items =
+  let items =
+    List.sort (fun a b -> compare (start_of a) (start_of b)) items
   in
   let lanes = ref [||] in
-  let lane_of span =
-    let n = Array.length !lanes in
-    let rec find i =
-      if i >= n then begin
-        lanes := Array.append !lanes [| span.rq_respond_us |];
-        n
-      end
-      else if !lanes.(i) <= span.rq_admit_us then begin
-        !lanes.(i) <- span.rq_respond_us;
-        i
-      end
-      else find (i + 1)
-    in
-    find 0
-  in
+  List.map
+    (fun it ->
+      let n = Array.length !lanes in
+      let rec find i =
+        if i >= n then begin
+          lanes := Array.append !lanes [| end_of it |];
+          n
+        end
+        else if !lanes.(i) <= start_of it then begin
+          !lanes.(i) <- end_of it;
+          i
+        end
+        else find (i + 1)
+      in
+      (it, find 0))
+    items
+
+let span_events spans =
   List.concat_map
-    (fun s ->
-      let tid = lane_of s in
+    (fun (s, tid) ->
       let var = s.rq_var in
       let stage name a b =
         if b -. a > 0.0 then
@@ -214,7 +219,10 @@ let span_events spans =
              stage "solve" s.rq_solve_start_us s.rq_solve_end_us;
              stage "respond" s.rq_solve_end_us s.rq_respond_us;
            ])
-    spans
+    (assign_lanes
+       ~start_of:(fun s -> s.rq_admit_us)
+       ~end_of:(fun s -> s.rq_respond_us)
+       spans)
 
 let to_json t =
   let evs = ref [] in
@@ -249,6 +257,10 @@ let to_json t =
     [
       ("traceEvents", Json.List (worker_events @ service_events));
       ("displayTimeUnit", Json.String "ms");
+      (* The trace's epoch origin in absolute microseconds: timestamps
+         above are relative to it, so a merger ({!merge_cluster}) can put
+         several processes' traces on one clock. *)
+      ("t0_us", Json.Float (t.t0 *. 1e6));
       (* Truncation must be visible: a viewer reading a wrapped ring would
          otherwise mistake the retained window for the whole run. *)
       ("droppedEvents", Json.Int (n_dropped t));
@@ -256,3 +268,164 @@ let to_json t =
     ]
 
 let write_chrome ~path t = Json.write_file ~path (to_json t)
+
+(* -------------------------- cluster merge -------------------------- *)
+
+(* A query's five stamps at the router, in absolute epoch microseconds
+   (the router serves several replicas, so unlike [request_span] there is
+   no single tracer [t0] to be relative to). *)
+type router_span = {
+  rs_id : int;  (* the client's id — matches the replica lane *)
+  rs_rid : int;  (* the rewritten wire correlation id *)
+  rs_replica : int;
+  rs_var : int;  (* resolved PAG variable, or -1 *)
+  rs_accept_us : float;
+  rs_route_us : float;
+  rs_forward_us : float;
+  rs_reply_us : float;
+  rs_respond_us : float;
+}
+
+let router_pid = 0
+
+let router_events ~t0 spans =
+  List.concat_map
+    (fun (s, tid) ->
+      let rel us = us -. t0 in
+      let var = s.rs_var in
+      let stage name a b =
+        if b -. a > 0.0 then
+          [
+            complete ~pid:router_pid ~tid ~name ~ts:(rel a) ~dur:(b -. a)
+              ~var ();
+          ]
+        else []
+      in
+      complete ~pid:router_pid ~tid ~name:"request" ~ts:(rel s.rs_accept_us)
+        ~dur:(s.rs_respond_us -. s.rs_accept_us)
+        ~var
+        ~args:
+          [
+            ("id", Json.Int s.rs_id);
+            ("rid", Json.Int s.rs_rid);
+            ("replica", Json.Int s.rs_replica);
+          ]
+        ()
+      :: List.concat
+           [
+             stage "route" s.rs_accept_us s.rs_route_us;
+             stage "forward" s.rs_route_us s.rs_forward_us;
+             stage "replica" s.rs_forward_us s.rs_reply_us;
+             stage "respond" s.rs_reply_us s.rs_respond_us;
+           ])
+    (assign_lanes
+       ~start_of:(fun s -> s.rs_accept_us)
+       ~end_of:(fun s -> s.rs_respond_us)
+       spans)
+
+(* A replica keeps its worker rows and service-request lanes, collapsed
+   into one process: original pid 0 (workers) keeps its tids, original
+   pid 1 (service lanes) is offset well past any worker count. *)
+let replica_tid_offset = 64
+
+let int_of_field j =
+  match j with
+  | Some (Json.Int i) -> Some i
+  | Some (Json.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let float_of_field j =
+  match j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let remap_replica_event ~shift ~pid ev =
+  match ev with
+  | Json.Obj fields -> (
+      match Json.member "ph" ev with
+      | Some (Json.String "M") ->
+          (* Drop per-replica process metadata; the merger names each
+             replica's process itself. *)
+          None
+      | _ ->
+          let orig_pid =
+            Option.value (int_of_field (Json.member "pid" ev)) ~default:0
+          in
+          let remap (k, v) =
+            match (k, v) with
+            | "pid", _ -> (k, Json.Int pid)
+            | "tid", Json.Int tid when orig_pid = service_pid ->
+                (k, Json.Int (tid + replica_tid_offset))
+            | "ts", (Json.Float _ | Json.Int _) ->
+                ( k,
+                  Json.Float
+                    (Option.get (float_of_field (Some v)) +. shift) )
+            | _ -> (k, v)
+          in
+          Some (Json.Obj (List.map remap fields)))
+  | _ -> None
+
+(* One Chrome trace for the whole cluster: the router as pid 0, each
+   replica's trace shifted onto the router's clock as pid [index + 1].
+   Request ids need no rewriting — the router forwards its client's id in
+   the query's [trace=] option, so replica request lanes already speak
+   the client-visible id that the router lane records. A replica whose
+   trace document is missing (it died mid-run) simply contributes
+   nothing: the merge never fails on partial evidence. *)
+let merge_cluster ~router_spans ~replicas =
+  let t0 =
+    let m = ref Float.infinity in
+    List.iter
+      (fun s -> if s.rs_accept_us < !m then m := s.rs_accept_us)
+      router_spans;
+    List.iter
+      (fun (_, doc) ->
+        match float_of_field (Json.member "t0_us" doc) with
+        | Some f when f < !m -> m := f
+        | _ -> ())
+      replicas;
+    if Float.is_finite !m then !m else 0.0
+  in
+  let dropped_of key doc =
+    Option.value (int_of_field (Json.member key doc)) ~default:0
+  in
+  let replica_events =
+    List.concat_map
+      (fun (idx, doc) ->
+        let shift =
+          match float_of_field (Json.member "t0_us" doc) with
+          | Some f -> f -. t0
+          | None -> 0.0
+        in
+        let pid = idx + 1 in
+        let events =
+          match Json.member "traceEvents" doc with
+          | Some (Json.List evs) ->
+              List.filter_map (remap_replica_event ~shift ~pid) evs
+          | _ -> []
+        in
+        process_name ~pid (Printf.sprintf "replica %d" idx) :: events)
+      replicas
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          ((process_name ~pid:router_pid "cluster router"
+           :: router_events ~t0 router_spans)
+          @ replica_events) );
+      ("displayTimeUnit", Json.String "ms");
+      ("t0_us", Json.Float t0);
+      ( "droppedEvents",
+        Json.Int
+          (List.fold_left
+             (fun acc (_, doc) -> acc + dropped_of "droppedEvents" doc)
+             0 replicas) );
+      ( "droppedRequestSpans",
+        Json.Int
+          (List.fold_left
+             (fun acc (_, doc) ->
+               acc + dropped_of "droppedRequestSpans" doc)
+             0 replicas) );
+    ]

@@ -90,7 +90,40 @@ val to_json : t -> Json.t
 
     The top-level [droppedEvents]/[droppedRequestSpans] fields carry
     {!n_dropped}/{!n_dropped_requests}, so a truncated trace declares
-    itself. *)
+    itself, and [t0_us] carries the tracer's epoch origin in absolute
+    microseconds so {!merge_cluster} can align several processes'
+    relative timestamps on one clock. *)
 
 val write_chrome : path:string -> t -> unit
 (** [to_json] serialised to [path] (parent directories created). *)
+
+(** One forwarded query's stamps at the cluster router, in {e absolute}
+    epoch microseconds (the router correlates several replicas'
+    timebases, so there is no single tracer origin to be relative to). *)
+type router_span = {
+  rs_id : int;  (** the client's request id — what the replica lane shows *)
+  rs_rid : int;  (** the router's rewritten wire correlation id *)
+  rs_replica : int;  (** backend index the query was forwarded to *)
+  rs_var : int;  (** resolved PAG variable, or [-1] when unresolved *)
+  rs_accept_us : float;  (** request line parsed off the client socket *)
+  rs_route_us : float;  (** shard map consulted, backend picked *)
+  rs_forward_us : float;  (** request written to the replica socket *)
+  rs_reply_us : float;  (** replica's response line arrived *)
+  rs_respond_us : float;  (** response written back to the client *)
+}
+
+val merge_cluster :
+  router_spans:router_span list -> replicas:(int * Json.t) list -> Json.t
+(** One Chrome trace for the whole cluster. The router renders as pid 0
+    (["cluster router"]) with each forwarded query an ["X"] event
+    (args: [id], [rid], [replica]) over greedy lanes, with nested
+    route/forward/replica/respond slices; each [(index, trace)] in
+    [replicas] — a replica's {!to_json} document — is shifted onto the
+    merged clock via its [t0_us] and re-homed to pid [index + 1]
+    (["replica N"]), worker rows first, service-request lanes offset
+    above them. The merged timebase is the earliest instant any process
+    saw. Request ids line up across lanes because the router forwards
+    the client's id in the query's [trace=] option rather than its
+    rewritten correlation id. Replicas that died without writing a trace
+    are simply absent; [droppedEvents]/[droppedRequestSpans] sum over
+    the replica documents. *)

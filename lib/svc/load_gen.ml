@@ -113,7 +113,7 @@ let client_loop ~rate_per_client ~requests ~queries ~client tally =
        let t0 = Unix.gettimeofday () in
        let reply =
          round_trip oc ic
-           (Protocol.Query { id; var; budget = None; deadline_ms = None })
+           (Protocol.Query { id; var; budget = None; deadline_ms = None; trace = None })
        in
        let t1 = Unix.gettimeofday () in
        tally.latencies <- ((t1 -. t0) *. 1e6) :: tally.latencies;

@@ -6,6 +6,11 @@ type request =
       var : string;
       budget : int option;
       deadline_ms : float option;
+      trace : int option;
+          (* the caller's own id for this query, when it differs from
+             [id] — the cluster router rewrites [id] for correlation and
+             carries the client-visible id here so both sides' trace
+             lanes speak one request id *)
     }
   | Stats of int
   | Metrics of int
@@ -28,18 +33,22 @@ let parse_option acc tok =
   match (acc, String.index_opt tok '=') with
   | Error _, _ -> acc
   | Ok _, None -> Error (Printf.sprintf "malformed option %S (want k=v)" tok)
-  | Ok (budget, deadline), Some i -> (
+  | Ok (budget, deadline, trace), Some i -> (
       let k = String.sub tok 0 i in
       let v = String.sub tok (i + 1) (String.length tok - i - 1) in
       match k with
       | "budget" -> (
           match int_of_string_opt v with
-          | Some b when b > 0 -> Ok (Some b, deadline)
+          | Some b when b > 0 -> Ok (Some b, deadline, trace)
           | _ -> Error (Printf.sprintf "budget: want a positive integer, got %S" v))
       | "deadline_ms" -> (
           match float_of_string_opt v with
-          | Some d when d >= 0.0 -> Ok (budget, Some d)
+          | Some d when d >= 0.0 -> Ok (budget, Some d, trace)
           | _ -> Error (Printf.sprintf "deadline_ms: want a non-negative float, got %S" v))
+      | "trace" -> (
+          match int_of_string_opt v with
+          | Some t -> Ok (budget, deadline, Some t)
+          | _ -> Error (Printf.sprintf "trace: want an integer, got %S" v))
       | _ -> Error (Printf.sprintf "unknown option %S" k))
 
 let parse_request line =
@@ -68,8 +77,9 @@ let parse_request line =
   | "query" :: id :: var :: opts ->
       Result.bind (int_of_token "query id" id) (fun id ->
           Result.map
-            (fun (budget, deadline_ms) -> Query { id; var; budget; deadline_ms })
-            (List.fold_left parse_option (Ok (None, None)) opts))
+            (fun (budget, deadline_ms, trace) ->
+              Query { id; var; budget; deadline_ms; trace })
+            (List.fold_left parse_option (Ok (None, None, None)) opts))
   | [] -> Error "empty request"
   | verb :: _ ->
       Error
@@ -88,7 +98,7 @@ let request_to_string = function
   | Snapshot id -> Printf.sprintf "snapshot %d" id
   | Slowlog { id; limit = None } -> Printf.sprintf "slowlog %d" id
   | Slowlog { id; limit = Some n } -> Printf.sprintf "slowlog %d %d" id n
-  | Query { id; var; budget; deadline_ms } ->
+  | Query { id; var; budget; deadline_ms; trace } ->
       String.concat ""
         [
           Printf.sprintf "query %d %s" id var;
@@ -97,6 +107,9 @@ let request_to_string = function
           | None -> "");
           (match deadline_ms with
           | Some d -> Printf.sprintf " deadline_ms=%.3f" d
+          | None -> "");
+          (match trace with
+          | Some t -> Printf.sprintf " trace=%d" t
           | None -> "");
         ]
 

@@ -9,7 +9,7 @@
     transports):
 
     {v
-    query <id> <var> [budget=<steps>] [deadline_ms=<float>]
+    query <id> <var> [budget=<steps>] [deadline_ms=<float>] [trace=<id>]
     stats <id>
     metrics <id>
     slowlog <id> [<limit>]
@@ -32,6 +32,11 @@ type request =
       budget : int option;  (** per-request step budget cap *)
       deadline_ms : float option;
           (** wall-clock deadline relative to admission *)
+      trace : int option;
+          (** the originating caller's id for this query when a proxy
+              (the cluster router) rewrote [id] for its own correlation;
+              the server's trace lane adopts it so one request id names
+              the same work on both sides of the hop *)
     }
   | Stats of int  (** service counters snapshot *)
   | Metrics of int  (** Prometheus text exposition of the full registry *)

@@ -46,6 +46,9 @@ let default_config =
 
 type pending = {
   p_id : int;
+  p_trace : int option;
+      (* the originating caller's id when a proxy rewrote p_id; the
+         trace lane reports this one so router and replica lanes agree *)
   p_var : Pag.var;
   p_budget : int;  (* effective step budget for this request *)
   p_deadline : float option;  (* absolute seconds *)
@@ -436,7 +439,7 @@ let note_trace t p =
       let c = Tracer.of_epoch_us tr in
       Tracer.note_request tr
         {
-          Tracer.rq_id = p.p_id;
+          Tracer.rq_id = Option.value p.p_trace ~default:p.p_id;
           rq_var = p.p_var;
           rq_admit_us = c sp.Span.sp_admit_us;
           rq_batch_us = c sp.Span.sp_batch_us;
@@ -684,7 +687,7 @@ let submit t ~now ~respond req =
   | Protocol.Query { id; _ } when t.draining ->
       Metrics.incr t.metrics Metrics.Rejected;
       respond (Protocol.Rejected { id; reason = "draining" })
-  | Protocol.Query { id; var; budget; deadline_ms } -> (
+  | Protocol.Query { id; var; budget; deadline_ms; trace } -> (
       match resolve t var with
       | Error reason -> respond (Protocol.Error { id = Some id; reason })
       | Ok v -> (
@@ -716,6 +719,7 @@ let submit t ~now ~respond req =
               let p =
                 {
                   p_id = id;
+                  p_trace = trace;
                   p_var = v;
                   p_budget = eff;
                   p_deadline = deadline;

@@ -167,3 +167,271 @@ let render families =
       | Histogram { help; series; _ } -> render_hist buf name help series)
     families;
   Buffer.contents buf
+
+(* ------------------------------ parsing ------------------------------ *)
+
+(* The inverse of [render], for reading a peer's scrape back so replicas'
+   expositions can be merged (the cluster router federates metrics). The
+   grammar is exactly what [render] emits — HELP then TYPE then samples,
+   histogram series as contiguous bucket/sum/count runs — so a strict
+   parser suffices, and render ∘ parse ∘ render = render byte for byte:
+   names arrive already sanitised, families and samples arrive already
+   sorted, and [number]'s 12-significant-digit spelling re-reads to a
+   float whose nearest 12-digit decimal is the original string. *)
+
+let parse_error fmt = Printf.ksprintf (fun s -> Stdlib.Error s) fmt
+
+let unescape ~what s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else
+      match s.[i] with
+      | '\\' ->
+          if i + 1 >= n then parse_error "%s: dangling backslash" what
+          else begin
+            match s.[i + 1] with
+            | '\\' ->
+                Buffer.add_char buf '\\';
+                go (i + 2)
+            | 'n' ->
+                Buffer.add_char buf '\n';
+                go (i + 2)
+            | '"' ->
+                Buffer.add_char buf '"';
+                go (i + 2)
+            | c -> parse_error "%s: unknown escape \\%c" what c
+          end
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0
+
+let parse_value s =
+  match s with
+  | "NaN" -> Ok Float.nan
+  | "+Inf" -> Ok Float.infinity
+  | "-Inf" -> Ok Float.neg_infinity
+  | s -> (
+      match float_of_string_opt s with
+      | Some v when Float.is_finite v -> Ok v
+      | _ -> parse_error "bad value %S" s)
+
+(* [name{k="v",...}] — returns (labels, rest after '}'). Escapes inside a
+   quoted value are skipped, not interpreted, so the value is cut at its
+   real closing quote; [unescape] then decodes it. *)
+let parse_labels line start =
+  let n = String.length line in
+  let rec labels acc i =
+    if i >= n then parse_error "unterminated label set"
+    else if line.[i] = '}' then Ok (List.rev acc, i + 1)
+    else
+      match String.index_from_opt line i '=' with
+      | None -> parse_error "label without '='"
+      | Some eq ->
+          let k = String.sub line i (eq - i) in
+          if eq + 1 >= n || line.[eq + 1] <> '"' then
+            parse_error "label %s: expected opening quote" k
+          else
+            let rec close j =
+              if j >= n then parse_error "label %s: unterminated value" k
+              else
+                match line.[j] with
+                | '\\' -> close (j + 2)
+                | '"' -> Ok j
+                | _ -> close (j + 1)
+            in
+            Result.bind (close (eq + 2)) (fun q ->
+                Result.bind
+                  (unescape ~what:("label " ^ k)
+                     (String.sub line (eq + 2) (q - eq - 2)))
+                  (fun v ->
+                    let i = q + 1 in
+                    if i < n && line.[i] = ',' then
+                      labels ((k, v) :: acc) (i + 1)
+                    else labels ((k, v) :: acc) i))
+  in
+  labels [] start
+
+(* One sample line: name, optional {labels}, a space, the value token. *)
+let parse_sample line =
+  let n = String.length line in
+  let rec name_end i =
+    if i < n && name_char_ok (i = 0) line.[i] then name_end (i + 1) else i
+  in
+  let e = name_end 0 in
+  if e = 0 then parse_error "sample line %S: no metric name" line
+  else
+    let name = String.sub line 0 e in
+    let with_labels =
+      if e < n && line.[e] = '{' then parse_labels line (e + 1)
+      else Ok ([], e)
+    in
+    Result.bind with_labels (fun (labels, i) ->
+        if i >= n || line.[i] <> ' ' then
+          parse_error "sample line %S: expected a value" line
+        else
+          Result.map
+            (fun v -> (name, labels, v))
+            (parse_value (String.sub line (i + 1) (n - i - 1))))
+
+(* Histogram reassembly: one series' bucket lines arrive contiguously and
+   its [_count] line closes it (exactly how [render_hist] emits). *)
+type hist_acc = {
+  mutable ha_labels : (string * string) list;
+  mutable ha_buckets : (float * int) list;  (* reversed *)
+  mutable ha_sum : float option;
+  mutable ha_open : bool;
+  mutable ha_series : hist list;  (* reversed, completed *)
+}
+
+let parse_families text =
+  let ( let* ) = Result.bind in
+  let finished = ref [] in
+  (* The family under construction: name, help, kind, plus its samples or
+     histogram accumulator. *)
+  let cur = ref None in
+  let flush () =
+    match !cur with
+    | None -> Ok ()
+    | Some (name, help, kind, samples, ha) ->
+        cur := None;
+        if ha.ha_open then
+          parse_error "histogram %s: series not closed by a _count line" name
+        else
+          let fam =
+            match kind with
+            | "counter" ->
+                Ok (Counter { name; help; samples = List.rev !samples })
+            | "gauge" -> Ok (Gauge { name; help; samples = List.rev !samples })
+            | "histogram" ->
+                Ok (Histogram { name; help; series = List.rev ha.ha_series })
+            | k -> parse_error "family %s: unknown kind %S" name k
+          in
+          Result.map (fun f -> finished := f :: !finished) fam
+  in
+  let strip_suffix suffix s =
+    let ls = String.length suffix and ln = String.length s in
+    if ln >= ls && String.sub s (ln - ls) ls = suffix then
+      Some (String.sub s 0 (ln - ls))
+    else None
+  in
+  let feed_hist fname ha name labels value =
+    let close_open series_labels =
+      if ha.ha_open && ha.ha_labels <> series_labels then
+        parse_error "histogram %s: interleaved series" fname
+      else Ok ()
+    in
+    match strip_suffix "_bucket" name with
+    | Some base when base = fname -> (
+        match List.partition (fun (k, _) -> k = "le") labels with
+        | [ (_, le) ], rest ->
+            let* le = parse_value le in
+            let* () = close_open rest in
+            ha.ha_labels <- rest;
+            ha.ha_open <- true;
+            ha.ha_buckets <- (le, int_of_float value) :: ha.ha_buckets;
+            Ok ()
+        | _ -> parse_error "histogram %s: bucket without one le label" fname)
+    | _ -> (
+        match strip_suffix "_sum" name with
+        | Some base when base = fname ->
+            let* () = close_open labels in
+            ha.ha_sum <- Some value;
+            Ok ()
+        | _ -> (
+            match strip_suffix "_count" name with
+            | Some base when base = fname ->
+                let* () = close_open labels in
+                ha.ha_series <-
+                  {
+                    h_labels = labels;
+                    h_buckets = List.rev ha.ha_buckets;
+                    h_count = int_of_float value;
+                    h_sum = ha.ha_sum;
+                  }
+                  :: ha.ha_series;
+                ha.ha_labels <- [];
+                ha.ha_buckets <- [];
+                ha.ha_sum <- None;
+                ha.ha_open <- false;
+                Ok ()
+            | _ ->
+                parse_error "histogram %s: stray sample %s" fname name))
+  in
+  let feed_line line =
+    if line = "" then Ok ()
+    else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then
+      (* A HELP line opens the next family; flush the previous one. *)
+      let* () = flush () in
+      let rest = String.sub line 7 (String.length line - 7) in
+      match String.index_opt rest ' ' with
+      | None -> parse_error "HELP line %S: missing help text" line
+      | Some sp ->
+          let name = String.sub rest 0 sp in
+          let* help =
+            unescape ~what:("help of " ^ name)
+              (String.sub rest (sp + 1) (String.length rest - sp - 1))
+          in
+          cur :=
+            Some
+              ( name,
+                help,
+                "",
+                ref [],
+                {
+                  ha_labels = [];
+                  ha_buckets = [];
+                  ha_sum = None;
+                  ha_open = false;
+                  ha_series = [];
+                } );
+          Ok ()
+    else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then
+      match !cur with
+      | Some (name, help, "", samples, ha) -> (
+          let rest = String.sub line 7 (String.length line - 7) in
+          match String.split_on_char ' ' rest with
+          | [ n; kind ] when n = name ->
+              if kind = "counter" || kind = "gauge" || kind = "histogram"
+              then begin
+                cur := Some (name, help, kind, samples, ha);
+                Ok ()
+              end
+              else parse_error "family %s: unknown kind %S" name kind
+          | [ n; _ ] -> parse_error "TYPE for %s under HELP for %s" n name
+          | _ -> parse_error "malformed TYPE line %S" line)
+      | Some (name, _, _, _, _) ->
+          parse_error "family %s: duplicate TYPE line" name
+      | None -> parse_error "TYPE line %S without a HELP line" line
+    else if String.length line >= 1 && line.[0] = '#' then
+      Ok () (* other comments are legal exposition, carrying no data *)
+    else
+      let* name, labels, value = parse_sample line in
+      match !cur with
+      | None -> parse_error "sample %s before any family header" name
+      | Some (fname, _, kind, samples, ha) -> (
+          match kind with
+          | "counter" | "gauge" ->
+              if name <> fname then
+                parse_error "sample %s inside family %s" name fname
+              else begin
+                samples := { labels; value } :: !samples;
+                Ok ()
+              end
+          | "histogram" -> feed_hist fname ha name labels value
+          | _ -> parse_error "sample %s before the TYPE of %s" name fname)
+  in
+  let rec feed = function
+    | [] ->
+        let* () = flush () in
+        Ok (List.rev !finished)
+    | line :: rest ->
+        let* () = feed_line line in
+        feed rest
+  in
+  feed (String.split_on_char '\n' text)
+
+(* parser: see mli for the round-trip contract *)

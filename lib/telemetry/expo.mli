@@ -83,3 +83,16 @@ val render : family list -> string
     HELP/TYPE header each, samples sorted by label set, trailing newline.
     Non-finite gauge/counter values render as the Prometheus spellings
     NaN, +Inf, and -Inf. *)
+
+val parse_families : string -> (family list, string) result
+(** Parse an exposition back into families — the inverse of {!render},
+    used by the cluster router to read each replica's scrape and merge
+    them into one federated exposition. Accepts exactly the text shape
+    {!render} emits (HELP then TYPE then samples; histogram series as
+    contiguous bucket runs closed by a [_count] line) plus blank lines
+    and non-HELP/TYPE comments. Round trip: for any family list [fs],
+    [parse_families (render fs)] succeeds and re-rendering its result
+    reproduces [render fs] byte for byte — values print with 12
+    significant digits, which re-read to the same float. Malformed input
+    yields [Error] with a line-level reason rather than a partial
+    parse. *)

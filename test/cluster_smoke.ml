@@ -1,9 +1,22 @@
 (* CI smoke test for `parcfl cluster`: boot the real binary — a router in
-   front of two spawned replicas with snapshot warm-up — pipeline a
-   400-query mix through the router socket, SIGKILL one replica after the
-   150th answer, and require every one of the 400 queries to come back as
-   a correct answer (cross-checked against an in-process solve): the
-   failover replay may move work, never lose or corrupt it.
+   front of two spawned replicas with snapshot warm-up, live rebalancing
+   and cluster tracing on — then:
+
+   1. warm up with 40 pipelined queries and check the *federated* scrape:
+      the router's `metrics` must sum the two replicas' latency-histogram
+      counts (cross-checked against direct per-replica scrapes), relabel
+      per-replica gauges, and expose the router's own parcfl_router_*
+      families;
+   2. pipeline a 400-query mix through the router socket, SIGKILL one
+      replica after the 150th answer, and require every one of the 400
+      queries to come back as a correct answer (cross-checked against an
+      in-process solve): the failover replay may move work — and the
+      rebalancer may re-home components mid-run — never lose or corrupt
+      it;
+   3. after the kill, `stats` and `slowlog` must federate over the
+      surviving replica (replicas=1, entries tagged with their replica);
+   4. after quit, the merged cluster trace must show at least one request
+      id in both the router lane (pid 0) and a replica lane (pid >= 1).
 
    Usage: cluster_smoke.exe <path/to/parcfl_cli.exe> *)
 
@@ -16,6 +29,57 @@ let deadline = Unix.gettimeofday () +. 300.0
 
 let check_deadline () =
   if Unix.gettimeofday () > deadline then fail "smoke test deadline exceeded"
+
+let connect_path path =
+  let rec go tries =
+    check_deadline ();
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if tries > 600 then fail "socket %s never accepted" path
+        else begin
+          Unix.sleepf 0.05;
+          go (tries + 1)
+        end
+  in
+  go 0
+
+(* One fresh-connection scrape of a serve socket's metrics verb. *)
+let scrape_metrics path =
+  let fd = connect_path path in
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  output_string oc "metrics 77\n";
+  flush oc;
+  let line =
+    match input_line ic with
+    | line -> line
+    | exception End_of_file -> fail "%s closed during scrape" path
+  in
+  let body =
+    match Proto.response_of_string line with
+    | Ok (Proto.Metrics_reply { body; _ }) -> body
+    | Ok r -> fail "scrape of %s got %s" path (Proto.response_to_string r)
+    | Error e -> fail "scrape of %s unparseable: %s" path e
+  in
+  (try close_out oc with Sys_error _ -> ());
+  body
+
+let parse_exposition what text =
+  match P.Expo.parse_families text with
+  | Ok fams -> fams
+  | Error e -> fail "%s exposition does not parse: %s" what e
+
+let hist_count name fams =
+  let rec go = function
+    | [] -> fail "family %s missing from exposition" name
+    | P.Expo.Histogram { name = n; series; _ } :: _ when n = name ->
+        List.fold_left (fun acc s -> acc + s.P.Expo.h_count) 0 series
+    | _ :: rest -> go rest
+  in
+  go fams
 
 let () =
   if Array.length Sys.argv < 2 then fail "usage: cluster_smoke <parcfl_cli.exe>";
@@ -47,14 +111,18 @@ let () =
     Printf.sprintf "%s/parcfl_cluster_smoke_%d.sock"
       (Filename.get_temp_dir_name ()) (Unix.getpid ())
   in
+  let trace_path = sock ^ ".trace.json" in
 
-  (* Boot the cluster with its stdout piped so we learn the replica pids. *)
+  (* Boot the cluster with its stdout piped so we learn the replica pids.
+     Rebalancing and tracing are both on: the run exercises live
+     migration under load, and the exit path must merge the lanes. *)
   let from_child_r, from_child_w = Unix.pipe ~cloexec:false () in
   let cluster_pid =
     Unix.create_process cli
       [|
         cli; "cluster"; "-b"; "tiny"; "--socket"; sock; "-r"; "2";
         "--preseed"; "-t"; "1"; "--poll-ms"; "100";
+        "--rebalance-ms"; "150"; "--trace-out"; trace_path;
       |]
       Unix.stdin from_child_w Unix.stderr
   in
@@ -89,23 +157,7 @@ let () =
     | None -> fail "boot banner named no replica 0 pid"
   in
 
-  (* Poll-connect to the router socket. *)
-  let fd =
-    let rec go tries =
-      check_deadline ();
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      match Unix.connect fd (Unix.ADDR_UNIX sock) with
-      | () -> fd
-      | exception Unix.Unix_error _ ->
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          if tries > 600 then fail "router socket never accepted"
-          else begin
-            Unix.sleepf 0.05;
-            go (tries + 1)
-          end
-    in
-    go 0
-  in
+  let fd = connect_path sock in
   let oc = Unix.out_channel_of_descr fd in
   let ic = Unix.in_channel_of_descr fd in
   let send r =
@@ -122,8 +174,69 @@ let () =
     | exception End_of_file -> fail "router closed the connection early"
   in
 
-  (* Pipeline the whole mix: responses come back in completion order (two
-     replicas race), so collect by id. *)
+  (* ------------- phase 1: warm-up + federated scrape ---------------- *)
+
+  let n_warmup = 40 in
+  for i = 0 to n_warmup - 1 do
+    send
+      (Proto.Query
+         {
+           id = 10000 + i;
+           var = Printf.sprintf "#%d" (var_of i);
+           budget = None;
+           deadline_ms = None;
+           trace = None;
+         })
+  done;
+  for _ = 1 to n_warmup do
+    match recv () with
+    | Proto.Answer _ -> ()
+    | r -> fail "warm-up expected an answer, got %s" (Proto.response_to_string r)
+  done;
+
+  (* No query is in flight now, so per-replica counts are stable: the
+     router's federated scrape must equal the sum of direct scrapes. *)
+  let r0 = parse_exposition "replica 0" (scrape_metrics (sock ^ ".r0")) in
+  let r1 = parse_exposition "replica 1" (scrape_metrics (sock ^ ".r1")) in
+  send (Proto.Metrics 8000);
+  let federated =
+    match recv () with
+    | Proto.Metrics_reply { id = 8000; body } -> body
+    | r -> fail "expected federated metrics, got %s" (Proto.response_to_string r)
+  in
+  let fed = parse_exposition "federated" federated in
+  let lat = "parcfl_svc_latency_us" in
+  let direct_sum = hist_count lat r0 + hist_count lat r1 in
+  if direct_sum < n_warmup then
+    fail "replicas answered %d queries but observed only %d" n_warmup
+      direct_sum;
+  if hist_count lat fed <> direct_sum then
+    fail "federated %s count %d <> per-replica sum %d" lat
+      (hist_count lat fed) direct_sum;
+  (* Per-replica gauges survive relabelled, one sample per replica. *)
+  let queue_depth_replicas =
+    List.concat_map
+      (function
+        | P.Expo.Gauge { name = "parcfl_svc_queue_depth"; samples; _ } ->
+            List.filter_map
+              (fun s -> List.assoc_opt "replica" s.P.Expo.labels)
+              samples
+        | _ -> [])
+      fed
+  in
+  if List.sort_uniq compare queue_depth_replicas <> [ "0"; "1" ] then
+    fail "federated queue-depth gauge not labelled per replica (got %s)"
+      (String.concat "," queue_depth_replicas);
+  (* The router's own registry federates in. *)
+  if
+    not
+      (List.exists
+         (fun f -> P.Expo.family_name f = "parcfl_router_routed_total")
+         fed)
+  then fail "router families missing from the federated scrape";
+
+  (* ------------- phase 2: failover under pipelined load -------------- *)
+
   for i = 0 to n_requests - 1 do
     send
       (Proto.Query
@@ -132,6 +245,7 @@ let () =
            var = Printf.sprintf "#%d" (var_of i);
            budget = None;
            deadline_ms = None;
+           trace = None;
          })
   done;
 
@@ -157,7 +271,8 @@ let () =
   if not !killed then fail "never reached the kill point";
 
   (* Zero lost, zero incorrect: every id answered, every answer equal to
-     the in-process solve. *)
+     the in-process solve — across failover replay *and* any rebalance
+     migrations the 150 ms re-scan performed mid-run. *)
   for i = 0 to n_requests - 1 do
     match Hashtbl.find_opt answers i with
     | None -> fail "query %d was lost" i
@@ -177,6 +292,31 @@ let () =
         fail "health report does not name the drained replica"
   | r -> fail "expected health, got %s" (Proto.response_to_string r));
 
+  (* --------- phase 3: federation over the surviving replica ---------- *)
+
+  send (Proto.Stats 9100);
+  (match recv () with
+  | Proto.Stats_reply { id = 9100; stats } -> (
+      (match P.Json.member "replicas" stats with
+      | Some (P.Json.Int 1) -> ()
+      | _ -> fail "post-kill stats must federate over exactly 1 replica");
+      match P.Json.member "totals" stats with
+      | Some (P.Json.Obj (_ :: _)) -> ()
+      | _ -> fail "federated stats carry no totals")
+  | r -> fail "expected federated stats, got %s" (Proto.response_to_string r));
+
+  send (Proto.Slowlog { id = 9200; limit = Some 5 });
+  (match recv () with
+  | Proto.Slowlog_reply { id = 9200; entries = P.Json.List entries } ->
+      if entries = [] then fail "federated slowlog is empty after 400 queries";
+      List.iter
+        (fun e ->
+          match P.Json.member "replica" e with
+          | Some (P.Json.Int 1) -> ()
+          | _ -> fail "slowlog entry not tagged with the surviving replica")
+        entries
+  | r -> fail "expected federated slowlog, got %s" (Proto.response_to_string r));
+
   send Proto.Quit;
   close_out oc;
   let _, status = Unix.waitpid [] cluster_pid in
@@ -185,6 +325,56 @@ let () =
   | Unix.WEXITED n -> fail "cluster exited %d" n
   | Unix.WSIGNALED n -> fail "cluster killed by signal %d" n
   | Unix.WSTOPPED n -> fail "cluster stopped by signal %d" n);
+
+  (* -------------- phase 4: the merged cluster trace ------------------ *)
+
+  let trace_text =
+    match In_channel.with_open_bin trace_path In_channel.input_all with
+    | text -> text
+    | exception Sys_error e -> fail "no merged trace: %s" e
+  in
+  let trace =
+    match P.Json.of_string trace_text with
+    | Ok t -> t
+    | Error e -> fail "merged trace does not parse: %s" e
+  in
+  let events =
+    match P.Json.member "traceEvents" trace with
+    | Some (P.Json.List l) -> l
+    | _ -> fail "merged trace has no traceEvents"
+  in
+  let request_id pid_want e =
+    match
+      (P.Json.member "pid" e, P.Json.member "name" e, P.Json.member "args" e)
+    with
+    | Some (P.Json.Int pid), Some (P.Json.String "request"), Some args
+      when pid_want pid -> (
+        match P.Json.member "id" args with
+        | Some (P.Json.Int id) -> Some id
+        | _ -> None)
+    | _ -> None
+  in
+  let router_ids =
+    List.filter_map (request_id (fun pid -> pid = 0)) events
+  in
+  let replica_ids =
+    List.filter_map (request_id (fun pid -> pid >= 1)) events
+  in
+  if router_ids = [] then fail "merged trace has no router-lane requests";
+  if replica_ids = [] then fail "merged trace has no replica-lane requests";
+  let correlated =
+    List.exists (fun id -> List.mem id router_ids) replica_ids
+  in
+  if not correlated then
+    fail "no request id appears in both the router and a replica lane";
+
   (try Sys.remove sock with Sys_error _ -> ());
-  Printf.printf "cluster smoke: ok (%d answers, replica 0 killed at 150)\n"
+  (try Sys.remove trace_path with Sys_error _ -> ());
+  Array.iter
+    (fun suffix ->
+      try Sys.remove (sock ^ suffix) with Sys_error _ -> ())
+    [| ".r0"; ".r1"; ".r0.trace.json"; ".r1.trace.json"; ".jmpsnap" |];
+  Printf.printf
+    "cluster smoke: ok (%d answers, replica 0 killed at 150, federated \
+     scrape consistent, trace lanes correlated)\n"
     n_requests

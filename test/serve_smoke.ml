@@ -69,7 +69,7 @@ let () =
   let ask id v =
     send
       (Proto.Query
-         { id; var = Printf.sprintf "#%d" v; budget = None; deadline_ms = None })
+         { id; var = Printf.sprintf "#%d" v; budget = None; deadline_ms = None; trace = None })
   in
   let expect_answer id v ~cached_ok =
     match recv () with

@@ -131,6 +131,225 @@ let test_map_sizes_and_errors () =
     (Invalid_argument "Shard_map.shard: live mask size mismatch") (fun () ->
       ignore (P.Shard_map.shard m ~live:(Array.make 3 true) 0))
 
+(* --------------------------- rebalance ---------------------------- *)
+
+(* Rebalancing against an observed profile two heavy components the
+   incumbent seed co-locates: the re-scan must separate them, and the
+   owner diff must name exactly the keys that moved. *)
+let test_rebalance_improves_and_diff_is_exact () =
+  let root_of = [| 0; 1 |] and load = [| 100; 100 |] in
+  (* Find an incumbent seed that co-locates the two heavy components —
+     the skew a static placement built against the wrong profile has. *)
+  let rec colocated s =
+    let m = P.Shard_map.create ~seed:s ~n_shards:2 ~root_of () in
+    if P.Shard_map.home m 0 = P.Shard_map.home m 1 then m
+    else colocated (s + 1)
+  in
+  let m = colocated 0 in
+  Alcotest.(check (float 1e-9)) "incumbent is fully skewed" 1.0
+    (P.Shard_map.busiest_share m ~load);
+  let next = P.Shard_map.rebalance m ~load in
+  Alcotest.(check (float 1e-9)) "rebalance separates the heavy keys" 0.5
+    (P.Shard_map.busiest_share next ~load);
+  let moved = P.Shard_map.diff_owners m next in
+  Alcotest.(check bool) "something migrated" true (moved <> []);
+  let all = Array.make 2 true in
+  for v = 0 to 1 do
+    let k = P.Shard_map.key m v in
+    let was = P.Shard_map.shard m ~live:all v
+    and is = P.Shard_map.shard next ~live:all v in
+    if List.mem k moved then
+      Alcotest.(check bool)
+        (Printf.sprintf "moved key %d changed owner" k)
+        true (was <> is)
+    else
+      Alcotest.(check int)
+        (Printf.sprintf "unmoved key %d kept its owner" k)
+        was is
+  done
+
+let test_rebalance_incumbent_stays () =
+  (* A balanced map re-scanned against the profile it was built for
+     cannot improve: strict-improvement keeps the incumbent seed, so
+     nothing migrates — a no-op rebalance moves no state. *)
+  let root_of = [| 0; 1 |] and load = [| 100; 100 |] in
+  let m = P.Shard_map.create_balanced ~n_shards:2 ~root_of ~load () in
+  let next = P.Shard_map.rebalance m ~load in
+  Alcotest.(check int) "seed unchanged" (P.Shard_map.seed m)
+    (P.Shard_map.seed next);
+  Alcotest.(check (list int)) "no migration" []
+    (P.Shard_map.diff_owners m next)
+
+let test_rebalance_never_worse () =
+  (* Whatever the profile, the re-scan's strict-improvement rule bounds
+     it by the incumbent. *)
+  let root_of = Array.init 16 (fun v -> v) in
+  let load = Array.init 16 (fun v -> 1 + ((v * 7) mod 13)) in
+  let m = P.Shard_map.create ~seed:9 ~n_shards:4 ~root_of () in
+  let next = P.Shard_map.rebalance ~candidates:32 m ~load in
+  Alcotest.(check bool) "never worse than the incumbent" true
+    (P.Shard_map.busiest_share next ~load
+    <= P.Shard_map.busiest_share m ~load)
+
+let test_diff_owners_rejects_mismatch () =
+  let a = P.Shard_map.create ~n_shards:2 ~root_of:even_roots () in
+  Alcotest.(check int) "n_keys counts components" 6 (P.Shard_map.n_keys a);
+  let b = P.Shard_map.create ~n_shards:3 ~root_of:even_roots () in
+  Alcotest.check_raises "shard count mismatch"
+    (Invalid_argument "Shard_map.diff_owners: shard counts differ")
+    (fun () -> ignore (P.Shard_map.diff_owners a b));
+  let c =
+    P.Shard_map.create ~n_shards:2
+      ~root_of:(Array.init 12 (fun v -> v))
+      ()
+  in
+  Alcotest.check_raises "key space mismatch"
+    (Invalid_argument "Shard_map.diff_owners: maps cover different keys")
+    (fun () -> ignore (P.Shard_map.diff_owners a c))
+
+(* --------------------------- federation --------------------------- *)
+
+module E = P.Expo
+module F = P.Cluster_federation
+module J = P.Json
+
+let test_federation_counters_sum_gauges_relabel () =
+  let fam_of value gauge =
+    [
+      E.counter ~name:"parcfl_hits_total" ~help:"Hits." value;
+      E.gauge ~name:"parcfl_queue_depth" ~help:"Depth." gauge;
+    ]
+  in
+  match F.merge_families [ (0, fam_of 3.0 5.0); (2, fam_of 4.0 7.0) ] with
+  | Error e -> Alcotest.failf "merge: %s" e
+  | Ok fams ->
+      let text = E.render fams in
+      Alcotest.(check bool) "counters summed" true
+        (let re = "parcfl_hits_total 7" in
+         let rec find i =
+           i + String.length re <= String.length text
+           && (String.sub text i (String.length re) = re || find (i + 1))
+         in
+         find 0);
+      (* Gauges survive per replica under a replica label, unsummed. *)
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "gauge kept: %s" needle)
+            true
+            (let rec find i =
+               i + String.length needle <= String.length text
+               && (String.sub text i (String.length needle) = needle
+                  || find (i + 1))
+             in
+             find 0))
+        [
+          "parcfl_queue_depth{replica=\"0\"} 5";
+          "parcfl_queue_depth{replica=\"2\"} 7";
+        ]
+
+let test_federation_histograms_sum () =
+  (* Equal-length log2 bucket arrays sum pointwise... *)
+  let h buckets =
+    [
+      E.histogram_of_log2 ~name:"parcfl_latency_us" ~help:"Latency."
+        buckets;
+    ]
+  in
+  (match F.merge_families [ (0, h [| 1; 2; 3 |]); (1, h [| 4; 0; 1 |]) ]
+   with
+  | Error e -> Alcotest.failf "merge: %s" e
+  | Ok [ E.Histogram { series = [ s ]; _ } ] ->
+      Alcotest.(check int) "total count sums" 11 s.E.h_count;
+      Alcotest.(check (list (pair (float 1e-9) int)))
+        "buckets sum cumulatively"
+        [ (2.0, 5); (4.0, 7); (infinity, 11) ]
+        s.E.h_buckets
+  | Ok _ -> Alcotest.fail "expected one merged histogram series");
+  (* ...and unequal bucket lists merge over the union of bounds with
+     exact totals (replicas size their rings independently). *)
+  match F.merge_families [ (0, h [| 2 |]); (1, h [| 1; 1; 1 |]) ] with
+  | Error e -> Alcotest.failf "merge: %s" e
+  | Ok [ E.Histogram { series = [ s ]; _ } ] ->
+      Alcotest.(check int) "union total" 5 s.E.h_count;
+      let total_bound, total = List.nth s.E.h_buckets (List.length s.E.h_buckets - 1) in
+      Alcotest.(check bool) "+Inf closes the union" true
+        (total_bound = infinity);
+      Alcotest.(check int) "+Inf keeps totals exact" 5 total
+  | Ok _ -> Alcotest.fail "expected one merged histogram series"
+
+let test_federation_kind_mismatch_rejected () =
+  let a = [ E.counter ~name:"parcfl_x" ~help:"X." 1.0 ] in
+  let b = [ E.gauge ~name:"parcfl_x" ~help:"X." 1.0 ] in
+  match F.merge_families [ (0, a); (1, b) ] with
+  | Ok _ -> Alcotest.fail "kind mismatch must be rejected"
+  | Error e ->
+      Alcotest.(check bool) "error names the family" true
+        (let needle = "parcfl_x" in
+         let rec find i =
+           i + String.length needle <= String.length e
+           && (String.sub e i (String.length needle) = needle
+              || find (i + 1))
+         in
+         find 0)
+
+let test_federation_stats_totals () =
+  let stats served depth =
+    J.Obj
+      [
+        ("served", J.Int served);
+        ("queue_depth", J.Int depth);
+        ("mode", J.String "demand");
+      ]
+  in
+  let merged = F.merge_stats [ (0, stats 10 2); (1, stats 5 1) ] in
+  (match J.member "replicas" merged with
+  | Some (J.Int 2) -> ()
+  | _ -> Alcotest.fail "replicas count");
+  (match J.member "totals" merged with
+  | Some totals -> (
+      (match J.member "served" totals with
+      | Some (J.Int 15) -> ()
+      | _ -> Alcotest.fail "served sums");
+      match J.member "mode" totals with
+      | None -> ()
+      | Some _ -> Alcotest.fail "non-numeric fields must not be summed")
+  | None -> Alcotest.fail "totals present");
+  match J.member "per_replica" merged with
+  | Some (J.List [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "per-replica stats kept verbatim"
+
+let test_federation_slowlog_order_and_limit () =
+  let entry lat at = J.Obj [ ("latency_us", J.Float lat); ("at", J.Float at) ] in
+  let merged =
+    F.merge_slowlogs ~limit:3
+      [
+        (0, J.List [ entry 50.0 1.0; entry 10.0 2.0 ]);
+        (1, J.List [ entry 90.0 3.0; entry 50.0 4.0 ]);
+      ]
+  in
+  match merged with
+  | J.List entries ->
+      let lat e =
+        match J.member "latency_us" e with
+        | Some (J.Float f) -> f
+        | _ -> Alcotest.fail "entry latency"
+      in
+      let replica e =
+        match J.member "replica" e with
+        | Some (J.Int i) -> i
+        | _ -> Alcotest.fail "entry replica tag"
+      in
+      Alcotest.(check (list (float 1e-9)))
+        "worst first, truncated to limit" [ 90.0; 50.0; 50.0 ]
+        (List.map lat entries);
+      (* The 50us tie breaks by newest [at]: replica 1's entry (at=4)
+         precedes replica 0's (at=1). *)
+      Alcotest.(check (list int)) "entries tagged with their replica"
+        [ 1; 1; 0 ]
+        (List.map replica entries)
+  | _ -> Alcotest.fail "slowlog merge returns a list"
+
 (* ---------------------------- failover ---------------------------- *)
 
 let test_failover_drain_and_readmit () =
@@ -207,6 +426,24 @@ let suite =
         test_map_balanced_choice;
       Alcotest.test_case "shard map sizes and errors" `Quick
         test_map_sizes_and_errors;
+      Alcotest.test_case "rebalance improves skew, diff exact" `Quick
+        test_rebalance_improves_and_diff_is_exact;
+      Alcotest.test_case "rebalance incumbent rule" `Quick
+        test_rebalance_incumbent_stays;
+      Alcotest.test_case "rebalance never worse" `Quick
+        test_rebalance_never_worse;
+      Alcotest.test_case "diff_owners key-space guard" `Quick
+        test_diff_owners_rejects_mismatch;
+      Alcotest.test_case "federation counters/gauges" `Quick
+        test_federation_counters_sum_gauges_relabel;
+      Alcotest.test_case "federation histograms" `Quick
+        test_federation_histograms_sum;
+      Alcotest.test_case "federation kind mismatch" `Quick
+        test_federation_kind_mismatch_rejected;
+      Alcotest.test_case "federation stats totals" `Quick
+        test_federation_stats_totals;
+      Alcotest.test_case "federation slowlog order" `Quick
+        test_federation_slowlog_order_and_limit;
       Alcotest.test_case "failover drain/readmit" `Quick
         test_failover_drain_and_readmit;
       Alcotest.test_case "failover edge cases" `Quick

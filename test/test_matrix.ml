@@ -199,6 +199,7 @@ let test_preseed_service_equivalence () =
                var = Printf.sprintf "#%d" v;
                budget = None;
                deadline_ms = None;
+               trace = None;
              });
         ignore (P.Service.pump ~force:true svc ~now:0.0))
       b.P.Suite.queries;

@@ -11,9 +11,12 @@ module Proto = P.Svc_protocol
 let test_request_round_trip () =
   let requests =
     [
-      Proto.Query { id = 1; var = "#5"; budget = None; deadline_ms = None };
+      Proto.Query { id = 1; var = "#5"; budget = None; deadline_ms = None; trace = None };
       Proto.Query
-        { id = 2; var = "Main.x"; budget = Some 100; deadline_ms = Some 5.5 };
+        { id = 2; var = "Main.x"; budget = Some 100; deadline_ms = Some 5.5; trace = None };
+      (* A router-forwarded query: rewritten id, original id in trace. *)
+      Proto.Query
+        { id = 11; var = "#5"; budget = Some 9; deadline_ms = None; trace = Some 2 };
       Proto.Stats 3;
       Proto.Metrics 4;
       Proto.Slowlog { id = 5; limit = None };
@@ -41,7 +44,8 @@ let test_request_errors () =
       | Ok _ -> Alcotest.failf "parsed %S" line)
     [
       ""; "query"; "query x"; "bogus 1"; "ping notanint";
-      "query 1 v budget=x"; "metrics"; "metrics x"; "slowlog";
+      "query 1 v budget=x"; "query 1 v trace=x"; "metrics"; "metrics x";
+      "slowlog";
       "slowlog 1 -2"; "slowlog 1 x"; "health"; "health x";
       "drain"; "drain x"; "snapshot"; "snapshot x";
     ]
@@ -290,7 +294,7 @@ let collector () =
   (responses, respond)
 
 let query ?budget ?deadline_ms id v =
-  Proto.Query { id; var = Printf.sprintf "#%d" v; budget; deadline_ms }
+  Proto.Query { id; var = Printf.sprintf "#%d" v; budget; deadline_ms; trace = None }
 
 let test_cached_equals_cold () =
   let b, svc = make_service () in

@@ -129,6 +129,116 @@ let test_histogram_render () =
   check_contains "sum" "lat_us_sum 12.5\n" text;
   check_contains "count" "lat_us_count 7\n" text
 
+(* ----------------------------- parsing ----------------------------- *)
+
+(* The property the cluster router's federation rests on: the parser
+   reads back exactly what the renderer wrote, so render → parse →
+   re-render is byte-identical. *)
+let check_roundtrip what families =
+  let text = E.render families in
+  match E.parse_families text with
+  | Error e -> Alcotest.failf "%s: parse failed: %s\n%s" what e text
+  | Ok parsed ->
+      Alcotest.(check string)
+        (what ^ ": render/parse/render fixpoint")
+        text (E.render parsed)
+
+let test_parse_roundtrip () =
+  check_roundtrip "counters"
+    [
+      E.counter ~name:"plain_total" ~help:"a counter" 42.0;
+      E.Counter
+        {
+          name = "labeled_total";
+          help = "labels with every escape: \\ \" and a\nnewline";
+          samples =
+            [
+              { E.labels = [ ("path", "a\\b") ]; value = 1.0 };
+              { E.labels = [ ("path", "say \"hi\"") ]; value = 2.0 };
+              { E.labels = [ ("path", "two\nlines") ]; value = 3.0 };
+              { E.labels = [ ("k", "v"); ("k2", "v2") ]; value = 0.5 };
+            ];
+        };
+    ];
+  check_roundtrip "gauges incl. non-finite and non-integer"
+    [
+      E.gauge ~name:"g_nan" ~help:"h" Float.nan;
+      E.gauge ~name:"g_pinf" ~help:"h" Float.infinity;
+      E.gauge ~name:"g_ninf" ~help:"h" Float.neg_infinity;
+      E.gauge ~name:"g_frac" ~help:"h" 0.034782608695652;
+      E.gauge ~labels:[ ("replica", "3") ] ~name:"g_lab" ~help:"h" 7.0;
+    ];
+  check_roundtrip "histograms"
+    [
+      E.histogram_of_log2 ~sum:12.5 ~name:"lat_us" ~help:"latency"
+        [| 2; 1; 0; 4 |];
+      E.histogram_of_log2 ~labels:[ ("stage", "solve") ] ~name:"stage_us"
+        ~help:"no sum tracked" [| 1; 1 |];
+      E.Histogram
+        {
+          name = "multi_series";
+          help = "two label sets in one family";
+          series =
+            [
+              {
+                E.h_labels = [ ("replica", "0") ];
+                h_buckets = [ (2.0, 1); (Float.infinity, 4) ];
+                h_count = 4;
+                h_sum = Some 9.25;
+              };
+              {
+                E.h_labels = [ ("replica", "1") ];
+                h_buckets = [ (2.0, 0); (Float.infinity, 2) ];
+                h_count = 2;
+                h_sum = None;
+              };
+            ];
+        };
+    ];
+  check_roundtrip "empty exposition" [];
+  (* Parsed structure is faithful, not just re-renderable. *)
+  let fams =
+    [ E.counter ~labels:[ ("a", "x\ny") ] ~name:"c_total" ~help:"h" 3.0 ]
+  in
+  match E.parse_families (E.render fams) with
+  | Ok [ E.Counter { name = "c_total"; help = "h"; samples } ] ->
+      Alcotest.(check bool) "label value unescaped" true
+        (samples = [ { E.labels = [ ("a", "x\ny") ]; value = 3.0 } ])
+  | Ok _ -> Alcotest.fail "unexpected parse shape"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parse_rejects_malformed () =
+  let expect_error what text =
+    match E.parse_families text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: malformed input accepted" what
+  in
+  expect_error "garbage" "not an exposition\n";
+  expect_error "sample before any header" "x_total 1\n";
+  expect_error "TYPE before HELP" "# TYPE x_total counter\nx_total 1\n";
+  expect_error "TYPE name mismatch"
+    "# HELP a_total h\n# TYPE b_total counter\n";
+  expect_error "unknown kind" "# HELP x h\n# TYPE x summary\nx 1\n";
+  expect_error "sample from another family"
+    "# HELP a_total h\n# TYPE a_total counter\nb_total 1\n";
+  expect_error "missing value" "# HELP x h\n# TYPE x gauge\nx\n";
+  expect_error "bad value" "# HELP x h\n# TYPE x gauge\nx pancake\n";
+  expect_error "unterminated label value"
+    "# HELP x h\n# TYPE x gauge\nx{a=\"b} 1\n";
+  expect_error "unknown escape" "# HELP x h\n# TYPE x gauge\nx{a=\"\\t\"} 1\n";
+  expect_error "histogram series left open"
+    "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\n";
+  expect_error "bucket without le"
+    "# HELP h h\n# TYPE h histogram\nh_bucket 1\nh_count 1\n";
+  (* Blank lines and foreign comments are legal exposition noise. *)
+  match
+    E.parse_families
+      "\n# a scrape comment\n# HELP x_total h\n# TYPE x_total counter\n\nx_total 1\n"
+  with
+  | Ok [ E.Counter { samples = [ { E.value = 1.0; _ } ]; _ } ] -> ()
+  | Ok _ -> Alcotest.fail "unexpected shape for commented exposition"
+  | Error e -> Alcotest.failf "comments/blank lines rejected: %s" e
+
 let test_registry () =
   let r = P.Telemetry.create () in
   P.Telemetry.register r (fun () ->
@@ -279,6 +389,7 @@ let drive_queries svc queries =
              var = Printf.sprintf "#%d" v;
              budget = None;
              deadline_ms = None;
+             trace = None;
            });
       ignore (P.Service.pump ~force:true svc ~now:(float_of_int i)))
     queries
@@ -305,7 +416,13 @@ let test_service_exposition () =
   Alcotest.(check string) "stable bytes" (strip_uptime text)
     (strip_uptime (P.Service.metrics_text svc));
   (* Every sched group the engine ran is visible. *)
-  check_contains "group size histogram" "parcfl_sched_group_size_bucket" text
+  check_contains "group size histogram" "parcfl_sched_group_size_bucket" text;
+  (* A real ~30-family scrape survives parse_families round trip. *)
+  match E.parse_families text with
+  | Error e -> Alcotest.failf "live scrape did not parse: %s" e
+  | Ok fams ->
+      Alcotest.(check string) "live scrape render fixpoint" text
+        (E.render fams)
 
 let test_service_slowlog () =
   let b, svc = make_service () in
@@ -364,6 +481,9 @@ let suite =
       Alcotest.test_case "cumulative log2 buckets" `Quick
         test_cumulative_buckets;
       Alcotest.test_case "histogram rendering" `Quick test_histogram_render;
+      Alcotest.test_case "parse round trip" `Quick test_parse_roundtrip;
+      Alcotest.test_case "parse rejects malformed" `Quick
+        test_parse_rejects_malformed;
       Alcotest.test_case "registry isolates collectors" `Quick test_registry;
       Alcotest.test_case "slowlog bound and order" `Quick
         test_slowlog_bound_and_order;
