@@ -4,9 +4,10 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- table1 fig6  -- selected sections
      dune exec bench/main.exe -- -b h2 fig8   -- restrict benchmarks
+     dune exec bench/main.exe -- --keep 20    -- prune history beyond 20 runs
 
    Sections: table1 table2 fig6 fig7 fig8 mem ablate refinecmp serve
-   serve_coldwarm micro.
+   serve_coldwarm serve_cluster serve_oracle micro.
 
    Figures 6 and 8 report *simulated* multicore speedups: the host has a
    single core, so parallel scaling is measured with the deterministic
@@ -1378,6 +1379,152 @@ let micro ms =
 (* bench/results/latest.json and mirrored at the repo root as           *)
 (* BENCH_parcfl.json so CI and plotting scripts have a stable path.     *)
 
+(* ------------------------------------------------------------------ *)
+(* O(1) oracle tier: the same 400-query mix against two in-process      *)
+(* services that differ only in [config.oracle]. The off arm's          *)
+(* population is its real solves (cache hits carry an all-zero          *)
+(* breakdown and are excluded); the on arm answers every request from   *)
+(* the oracle, so all 400 measured latencies enter its population —     *)
+(* duplicates included, because the tier has no cache in front of it.   *)
+(* Per-request answers are tabled by id and compared across arms:       *)
+(* [identical_answers] counts requests whose (var, objects) payloads    *)
+(* agree exactly, the differential the regress gate holds at no-drop.   *)
+
+let oracle_entries : P.Json.t list ref = ref []
+
+let serve_oracle ms =
+  let ms = ablation_sample ms in
+  Format.printf "@.== Service: O(1) oracle tier vs demand solver ==@.@.";
+  let rows =
+    List.map
+      (fun m ->
+        let b = m.bench in
+        let name = b.P.Suite.profile.P.Profile.name in
+        let mix = P.Suite.query_mix b ~n:400 in
+        let run_side ~oracle =
+          let service =
+            P.Service.create
+              ~config:
+                {
+                  P.Service.default_config with
+                  P.Service.threads = 2;
+                  max_batch = 32;
+                  max_wait = 0.0;
+                  context_sensitive = false;
+                  oracle;
+                  tau_f = Some tau_f;
+                  tau_u = Some tau_u;
+                  max_budget = budget;
+                }
+              ~type_level:b.P.Suite.type_level b.P.Suite.pag
+          in
+          let completed = ref 0 and solves = ref [] in
+          let answers = Hashtbl.create 512 in
+          let note r =
+            match r with
+            | P.Svc_protocol.Answer { id; var; objects; breakdown; _ } ->
+                incr completed;
+                Hashtbl.replace answers id (var, objects);
+                if oracle || breakdown.P.Svc_span.bd_solve_us > 0.0 then
+                  solves := breakdown.P.Svc_span.bd_solve_us :: !solves
+            | _ -> ()
+          in
+          Array.iteri
+            (fun i v ->
+              P.Service.submit service ~now:(Unix.gettimeofday ())
+                ~respond:note
+                (P.Svc_protocol.Query
+                   {
+                     id = i;
+                     var = Printf.sprintf "#%d" v;
+                     budget = None;
+                     deadline_ms = None;
+                     trace = None;
+                   });
+              ignore (P.Service.pump service ~now:(Unix.gettimeofday ())))
+            mix;
+          P.Service.drain service ~now:(Unix.gettimeofday ());
+          let svc_m = P.Service.metrics service in
+          let hits = P.Svc_metrics.get svc_m P.Svc_metrics.Oracle_hit in
+          let falls = P.Svc_metrics.get svc_m P.Svc_metrics.Oracle_fallback in
+          let shape =
+            match P.Svc_engine.oracle (P.Service.engine service) with
+            | Some o ->
+                ( P.Oracle.distinct_rows o,
+                  P.Oracle.compressed_bytes o,
+                  P.Oracle.build_seconds o )
+            | None -> (0, 0, 0.0)
+          in
+          P.Service.shutdown service;
+          (!completed, p95_us !solves, answers, hits, falls, shape)
+        in
+        let t0 = Unix.gettimeofday () in
+        let off_completed, fallback_p95, off_answers, _, _, _ =
+          run_side ~oracle:false
+        in
+        let on_completed, oracle_p95, on_answers, hits, falls, shape =
+          run_side ~oracle:true
+        in
+        let distinct_rows, compressed_bytes, build_seconds = shape in
+        let wall = Unix.gettimeofday () -. t0 in
+        let requests = Array.length mix in
+        let identical = ref 0 in
+        for i = 0 to requests - 1 do
+          match (Hashtbl.find_opt off_answers i, Hashtbl.find_opt on_answers i)
+          with
+          | Some a, Some b when a = b -> incr identical
+          | _ -> ()
+        done;
+        let hit_rate =
+          if requests = 0 then 0.0
+          else float_of_int hits /. float_of_int requests
+        in
+        oracle_entries :=
+          P.Json.Obj
+            [
+              ("section", P.Json.String "serve_oracle");
+              ("bench", P.Json.String name);
+              ("requests", P.Json.Int requests);
+              ("off_completed", P.Json.Int off_completed);
+              ("on_completed", P.Json.Int on_completed);
+              ("fallback_solve_p95_us", P.Json.Float fallback_p95);
+              ("oracle_solve_p95_us", P.Json.Float oracle_p95);
+              ("hit_rate", P.Json.Float hit_rate);
+              ("oracle_fallbacks", P.Json.Int falls);
+              ("identical_answers", P.Json.Int !identical);
+              ("distinct_rows", P.Json.Int distinct_rows);
+              ("compressed_bytes", P.Json.Int compressed_bytes);
+              ("build_seconds", P.Json.Float build_seconds);
+              ("wall_seconds", P.Json.Float wall);
+            ]
+          :: !oracle_entries;
+        [
+          name;
+          string_of_int requests;
+          T.fmt_float ~decimals:1 fallback_p95;
+          T.fmt_float ~decimals:1 oracle_p95;
+          T.fmt_float ~decimals:1
+            (if oracle_p95 > 0.0 then fallback_p95 /. oracle_p95 else 0.0);
+          T.fmt_float ~decimals:2 hit_rate;
+          Printf.sprintf "%d/%d" !identical requests;
+          T.fmt_int distinct_rows;
+          T.fmt_int compressed_bytes;
+        ])
+      ms
+  in
+  T.render
+    ~header:
+      [
+        "Benchmark"; "#req"; "solver p95 us"; "oracle p95 us"; "x";
+        "hit rate"; "identical"; "rows"; "bytes";
+      ]
+    Format.std_formatter rows
+
+(* ------------------------------------------------------------------ *)
+
+(* History files kept by --keep N (newest first); None leaves every run. *)
+let keep_history : int option ref = ref None
+
 let emit_results ms =
   let entries =
     List.concat_map
@@ -1396,6 +1543,7 @@ let emit_results ms =
     @ List.rev !serve_entries
     @ List.rev !coldwarm_entries
     @ List.rev !cluster_entries
+    @ List.rev !oracle_entries
   in
   let meta =
     [
@@ -1415,15 +1563,35 @@ let emit_results ms =
       (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
       t.Unix.tm_sec
   in
+  let stamped_path = Printf.sprintf "bench/results/%s.json" stamp in
   List.iter
     (fun path ->
       P.Bench_json.write ~path ~meta entries;
       Format.printf "results -> %s@." path)
-    [
-      "bench/results/latest.json";
-      Printf.sprintf "bench/results/%s.json" stamp;
-      "BENCH_parcfl.json";
-    ]
+    [ "bench/results/latest.json"; stamped_path; "BENCH_parcfl.json" ];
+  (match !keep_history with
+  | None -> ()
+  | Some keep ->
+      List.iter
+        (fun f -> Format.printf "pruned bench/results/%s@." f)
+        (P.Bench_json.prune_history ~dir:"bench/results" ~keep:(max 1 keep)));
+  (* History hygiene invariant: the stable handle and the newest history
+     file are the same document. A divergence means a concurrent writer or
+     a pruning bug ate the run we just recorded — fail loudly. *)
+  let read p = In_channel.with_open_bin p In_channel.input_all in
+  let newest =
+    Sys.readdir "bench/results" |> Array.to_list
+    |> List.filter P.Bench_json.is_timestamped
+    |> List.sort (fun a b -> compare b a)
+    |> function
+    | f :: _ -> Filename.concat "bench/results" f
+    | [] -> stamped_path
+  in
+  if read newest <> read "bench/results/latest.json" then begin
+    Format.eprintf "bench: latest.json disagrees with newest history %s@."
+      newest;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -1431,6 +1599,11 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse sections benches = function
     | "-b" :: name :: rest -> parse sections (name :: benches) rest
+    | "--keep" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k -> keep_history := Some k
+        | None -> Format.printf "bad --keep %S (ignored)@." n);
+        parse sections benches rest
     | s :: rest -> parse (s :: sections) benches rest
     | [] -> (List.rev sections, List.rev benches)
   in
@@ -1439,7 +1612,8 @@ let () =
     if sections = [] then
       [
         "table1"; "table2"; "fig6"; "fig7"; "fig8"; "mem"; "ablate";
-        "refinecmp"; "serve"; "serve_coldwarm"; "serve_cluster"; "micro";
+        "refinecmp"; "serve"; "serve_coldwarm"; "serve_cluster";
+        "serve_oracle"; "micro";
       ]
     else sections
   in
@@ -1465,6 +1639,7 @@ let () =
       | "serve" -> serve ms
       | "serve_coldwarm" -> serve_coldwarm ms
       | "serve_cluster" -> serve_cluster ms
+      | "serve_oracle" -> serve_oracle ms
       | "micro" -> micro ms
       | s -> Format.printf "unknown section %S (skipped)@." s)
     sections;

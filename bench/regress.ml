@@ -56,6 +56,21 @@
                        strict-improvement incumbent rule makes this a
                        structural invariant, so any violation is a bug,
                        not noise).
+     oracle_solve_p95_us
+                       serve_oracle rows: must stay strictly below
+                       fallback_solve_p95_us in the fresh run wherever the
+                       committed baseline shows the oracle winning
+                       decisively (oracle <= fallback/2 — true of the CI
+                       workload). Same arming philosophy as the coldwarm
+                       gate.
+     hit_rate          serve_oracle rows: where the baseline meets the 0.9
+                       floor, the fresh run must too — a lost hit rate
+                       means budget-free traffic stopped reaching the
+                       tier (tier wiring or oracle liveness regressed).
+     on_completed / off_completed / identical_answers
+                       any drop (serve_oracle rows; identical_answers is
+                       the oracle-vs-solver differential — a drop means
+                       the tier changed an answer).
 
    Exit status: 0 no regression, 1 regression found, 2 usage or I/O error. *)
 
@@ -202,6 +217,40 @@ let check_rebalance_not_worse k _b l acc =
       | _ -> acc)
   | _ -> acc
 
+(* The oracle tier's latency gate mirrors the coldwarm one: armed per
+   entry where the committed baseline shows a decisive win (oracle p95 at
+   most half the fallback p95), and the floor-style hit-rate gate arms
+   where the baseline itself meets the floor. *)
+let oracle_armed_ratio = 0.5
+let oracle_hit_rate_floor = 0.9
+
+let check_oracle k b l acc =
+  match str "section" b with
+  | Some "serve_oracle" ->
+      let acc =
+        match
+          ( num "fallback_solve_p95_us" b, num "oracle_solve_p95_us" b,
+            num "fallback_solve_p95_us" l, num "oracle_solve_p95_us" l )
+        with
+        | Some bf, Some bo, Some lf, Some lo
+          when bo <= bf *. oracle_armed_ratio && lo >= lf ->
+            Printf.sprintf
+              "%s: oracle_solve_p95_us %.0f did not beat \
+               fallback_solve_p95_us %.0f (baseline won %.0f vs %.0f)"
+              k lo lf bo bf
+            :: acc
+        | _ -> acc
+      in
+      (match (num "hit_rate" b, num "hit_rate" l) with
+      | Some bh, Some lh
+        when bh >= oracle_hit_rate_floor && lh < oracle_hit_rate_floor ->
+          Printf.sprintf
+            "%s: hit_rate %.2f fell below the %.2f floor (baseline %.2f)" k
+            lh oracle_hit_rate_floor bh
+          :: acc
+      | _ -> acc)
+  | _ -> acc
+
 let check_entry k baseline latest =
   []
   |> check_wall k baseline latest
@@ -214,7 +263,11 @@ let check_entry k baseline latest =
   |> check_no_drop "completed_with_breakdown" k baseline latest
   |> check_no_drop "cold_completed" k baseline latest
   |> check_no_drop "warm_completed" k baseline latest
+  |> check_no_drop "off_completed" k baseline latest
+  |> check_no_drop "on_completed" k baseline latest
+  |> check_no_drop "identical_answers" k baseline latest
   |> check_coldwarm k baseline latest
+  |> check_oracle k baseline latest
   |> check_cluster_speedup k baseline latest
   |> check_rebalance_not_worse k baseline latest
   |> List.rev
@@ -328,6 +381,23 @@ let self_test () =
         ("wall_seconds", J.Float 0.1);
       ]
   in
+  let oracle ?(bench = "b") ?(fallback_p95 = 800.0) ?(oracle_p95 = 40.0)
+      ?(hit_rate = 1.0) ?(off_ok = 400) ?(on_ok = 400) ?(identical = 400) () =
+    J.Obj
+      [
+        ("section", J.String "serve_oracle");
+        ("bench", J.String bench);
+        ("requests", J.Int 400);
+        ("off_completed", J.Int off_ok);
+        ("on_completed", J.Int on_ok);
+        ("fallback_solve_p95_us", J.Float fallback_p95);
+        ("oracle_solve_p95_us", J.Float oracle_p95);
+        ("hit_rate", J.Float hit_rate);
+        ("identical_answers", J.Int identical);
+        ("distinct_rows", J.Int 37);
+        ("wall_seconds", J.Float 0.2);
+      ]
+  in
   let rebalance ?(bench = "b") ?(replicas = 4) ?(before = 0.5)
       ?(after = 0.3) () =
     J.Obj
@@ -365,6 +435,11 @@ let self_test () =
         cluster ~replicas:8 ~speedup:3.4 ();
         (* A host that never met the 4-replica floor: unarmed. *)
         cluster ~bench:"slow" ~replicas:4 ~speedup:2.1 ();
+        oracle ();
+        (* A bench where the oracle never decisively won and the hit rate
+           never met the floor: both oracle gates unarmed. *)
+        oracle ~bench:"big" ~fallback_p95:100.0 ~oracle_p95:90.0
+          ~hit_rate:0.5 ();
         rebalance ();
       ]
   in
@@ -515,6 +590,35 @@ let self_test () =
   run "cluster-requests-drop"
     (doc [ cluster ~replicas:2 ~speedup:1.9 ~requests:399 () ])
     2;
+  (* Where the baseline's oracle won decisively, equal p95s already fail... *)
+  run "oracle-not-faster" (doc [ oracle ~oracle_p95:800.0 () ]) 1;
+  run "oracle-improvement" (doc [ oracle ~oracle_p95:20.0 () ]) 0;
+  (* ...a narrowed, still-winning margin is not a failure... *)
+  run "oracle-margin-narrowed" (doc [ oracle ~oracle_p95:700.0 () ]) 0;
+  (* ...and a bench whose baseline never won is not latency-gated. *)
+  run "oracle-unarmed"
+    (doc
+       [
+         oracle ~bench:"big" ~fallback_p95:100.0 ~oracle_p95:150.0
+           ~hit_rate:0.5 ();
+       ])
+    0;
+  (* An armed hit rate falling through the floor is a regression... *)
+  run "oracle-hit-rate-lost" (doc [ oracle ~hit_rate:0.7 () ]) 1;
+  (* ...a narrowed rate still at the floor is not... *)
+  run "oracle-hit-rate-narrowed" (doc [ oracle ~hit_rate:0.9 () ]) 0;
+  (* ...and a baseline that never met the floor does not arm it. *)
+  run "oracle-hit-rate-unarmed"
+    (doc
+       [
+         oracle ~bench:"big" ~fallback_p95:100.0 ~oracle_p95:90.0
+           ~hit_rate:0.2 ();
+       ])
+    0;
+  run "oracle-on-completed-drop" (doc [ oracle ~on_ok:399 () ]) 1;
+  run "oracle-off-completed-drop" (doc [ oracle ~off_ok:399 () ]) 1;
+  (* One changed answer between the arms is a correctness regression. *)
+  run "oracle-identity-drop" (doc [ oracle ~identical:399 () ]) 1;
   (* A rebalance that holds or improves the busiest share passes... *)
   run "rebalance-not-worse-holds" (doc [ rebalance () ]) 0;
   run "rebalance-no-op" (doc [ rebalance ~after:0.5 () ]) 0;

@@ -496,6 +496,38 @@ let serve_cmd =
     let doc = "Serve context-insensitively (Andersen-equivalent engine)." in
     Arg.(value & flag & info [ "insensitive" ] ~doc)
   in
+  let oracle_arg =
+    let doc =
+      "Build the O(1) pair-query oracle (offline Dyck decomposition of the \
+       CI relation) at startup and answer budget-free, deadline-free \
+       queries from it before the cache and solver. Requires \
+       $(b,--insensitive); shares $(b,--preseed)'s kernel run."
+    in
+    Arg.(value & flag & info [ "oracle" ] ~doc)
+  in
+  let oracle_snapshot_out_arg =
+    let doc =
+      "Export the live oracle as a generation-tagged snapshot to $(docv) \
+       (written atomically) before accepting traffic — the warm replica's \
+       half of oracle ride-along."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "oracle-snapshot-out" ] ~docv:"FILE" ~doc)
+  in
+  let oracle_snapshot_in_arg =
+    let doc =
+      "Wait for $(docv) to appear, then install it as the oracle tier \
+       before accepting traffic (arms the tier without re-running the \
+       kernel) — the joining replica's half of oracle ride-along. Refused \
+       (and the server exits) on a generation mismatch."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "oracle-snapshot-in" ] ~docv:"FILE" ~doc)
+  in
   let snapshot_out_arg =
     let doc =
       "Export the engine's Finished-only jmp store as a generation-tagged \
@@ -517,12 +549,17 @@ let serve_cmd =
   in
   let run bench mode threads budget socket stdio max_batch window_ms queue_cap
       cache_cap slowlog_cap wd_stall_s wd_starvation_s metrics_socket preseed
-      insensitive snapshot_out snapshot_in trace_out bench_json =
+      insensitive oracle oracle_snapshot_out oracle_snapshot_in snapshot_out
+      snapshot_in trace_out bench_json =
     match build_bench bench with
     | Error e ->
         prerr_endline e;
         1
     | Ok b ->
+        if oracle && not insensitive then
+          Format.eprintf
+            "parcfl serve: --oracle answers the CI relation; ignored without \
+             --insensitive@.";
         let tracer =
           Option.map
             (fun _ -> P.Tracer.create ~workers:(max 1 threads) ())
@@ -539,6 +576,7 @@ let serve_cmd =
             max_budget = budget;
             context_sensitive = not insensitive;
             preseed;
+            oracle = oracle && insensitive;
             tau_f = Some P.Profile.default_tau_f;
             tau_u = Some P.Profile.default_tau_u;
             slowlog_capacity = slowlog_cap;
@@ -580,6 +618,34 @@ let serve_cmd =
                 Format.eprintf "parcfl serve: snapshot export failed: %s@." e;
                 snapshot_failed := true)
           snapshot_out;
+        Option.iter
+          (fun path ->
+            match
+              Result.bind
+                (P.Cluster_snapshot.wait_for_file ~path ())
+                (P.Service.import_oracle service)
+            with
+            | Ok rows ->
+                Format.eprintf "parcfl serve: oracle armed (%d rows)@." rows
+            | Error e ->
+                Format.eprintf "parcfl serve: oracle import failed: %s@." e;
+                snapshot_failed := true)
+          oracle_snapshot_in;
+        Option.iter
+          (fun path ->
+            match
+              Result.bind (P.Service.export_oracle service) (fun (text, rows) ->
+                  Result.map
+                    (fun () -> rows)
+                    (P.Cluster_snapshot.save_file ~path text))
+            with
+            | Ok rows ->
+                Format.eprintf "parcfl serve: exported oracle (%d rows) -> %s@."
+                  rows path
+            | Error e ->
+                Format.eprintf "parcfl serve: oracle export failed: %s@." e;
+                snapshot_failed := true)
+          oracle_snapshot_out;
         if !snapshot_failed then 1
         else begin
         let stdio = if socket = None then true else stdio in
@@ -593,10 +659,16 @@ let serve_cmd =
           | None -> "")
           (if stdio then " stdio" else "")
           (if insensitive then " insensitive" else "")
-          (if preseed then
-             Printf.sprintf " preseed=%d"
-               (P.Svc_engine.preseeded_edges (P.Service.engine service))
-           else "");
+          ((if preseed then
+              Printf.sprintf " preseed=%d"
+                (P.Svc_engine.preseeded_edges (P.Service.engine service))
+            else "")
+          ^
+          match P.Svc_engine.oracle (P.Service.engine service) with
+          | Some o ->
+              Printf.sprintf " oracle=%d-rows"
+                (P.Oracle.distinct_rows o)
+          | None -> "");
         P.Server.serve ~stdio ?socket_path:socket
           ?metrics_socket_path:metrics_socket service;
         let stats = P.Service.metrics_json service in
@@ -633,8 +705,9 @@ let serve_cmd =
       const run $ bench_arg $ mode_arg $ threads_arg $ budget_arg $ socket_arg
       $ stdio_arg $ max_batch_arg $ window_arg $ queue_cap_arg $ cache_cap_arg
       $ slowlog_cap_arg $ wd_stall_arg $ wd_starvation_arg $ metrics_socket_arg
-      $ preseed_arg $ serve_insensitive_arg $ snapshot_out_arg $ snapshot_in_arg
-      $ trace_out_arg $ bench_json_arg)
+      $ preseed_arg $ serve_insensitive_arg $ oracle_arg
+      $ oracle_snapshot_out_arg $ oracle_snapshot_in_arg $ snapshot_out_arg
+      $ snapshot_in_arg $ trace_out_arg $ bench_json_arg)
 
 let load_cmd =
   let clients_arg =
@@ -783,8 +856,8 @@ let cluster_cmd =
     Arg.(
       value & opt int 16 & info [ "rebalance-candidates" ] ~docv:"N" ~doc)
   in
-  let run bench threads budget insensitive preseed socket replicas adopt
-      poll_ms readmit admin_replica rebalance_ms rebalance_candidates
+  let run bench threads budget insensitive preseed oracle socket replicas
+      adopt poll_ms readmit admin_replica rebalance_ms rebalance_candidates
       trace_out =
     match socket with
     | None ->
@@ -796,6 +869,11 @@ let cluster_cmd =
             prerr_endline e;
             1
         | Ok b ->
+            if oracle && not insensitive then
+              Format.eprintf
+                "parcfl cluster: --oracle answers the CI relation; ignored \
+                 without --insensitive@.";
+            let oracle = oracle && insensitive in
             let members =
               if adopt <> [] then
                 Array.of_list
@@ -804,7 +882,9 @@ let cluster_cmd =
                      adopt)
               else begin
                 let snap = socket ^ ".jmpsnap" in
+                let osnap = socket ^ ".oraclesnap" in
                 (try Sys.remove snap with Sys_error _ -> ());
+                (try Sys.remove osnap with Sys_error _ -> ());
                 Array.init (max 1 replicas) (fun i ->
                     let sock = Printf.sprintf "%s.r%d" socket i in
                     let argv =
@@ -815,6 +895,13 @@ let cluster_cmd =
                       @ (if preseed then
                            if i = 0 then [ "--preseed"; "--snapshot-out"; snap ]
                            else [ "--snapshot-in"; snap ]
+                         else [])
+                      @ (if oracle then
+                           (* replica 0 pays the build once; joiners arm the
+                              tier from its exported rows *)
+                           if i = 0 then
+                             [ "--oracle"; "--oracle-snapshot-out"; osnap ]
+                           else [ "--oracle-snapshot-in"; osnap ]
                          else [])
                       @ (match trace_out with
                         | Some _ ->
@@ -971,6 +1058,14 @@ let cluster_cmd =
                 "Warm start: replica 0 preseeds from the bitset kernel and \
                  exports a snapshot the other replicas import before \
                  serving.")
+      $ Arg.(
+          value & flag
+          & info [ "oracle" ]
+              ~doc:
+                "O(1) answer tier: replica 0 builds the pair-query oracle \
+                 and exports its rows; the other replicas import them and \
+                 arm the tier without re-running the kernel. Requires \
+                 $(b,--insensitive).")
       $ socket_arg $ replicas_arg $ adopt_arg $ poll_ms_arg $ readmit_arg
       $ admin_replica_arg $ rebalance_ms_arg $ rebalance_candidates_arg
       $ trace_out_arg)

@@ -16,6 +16,9 @@
     - {!Mode}, {!Runner}, {!Report} — the four execution configurations,
       real parallel execution, and the multicore simulator;
     - {!Andersen}, {!Andersen_par} — the whole-program baseline/oracle;
+    - {!Oracle} — the O(1) pair-query oracle: offline Dyck decomposition
+      of the CI relation with shared-row compression, the service's first
+      answer tier;
     - {!Tracer}, {!Json}, {!Bench_json} — observability: per-worker event
       tracing with Chrome trace export, and machine-readable bench results;
     - {!Expo}, {!Telemetry} — pull-based telemetry: Prometheus text
@@ -88,6 +91,7 @@ module Andersen_par = Parcfl_andersen.Par_solver
 module Constraints = Parcfl_andersen.Constraints
 module Matrix = Parcfl_matrix.Kernel
 module Matrix_seed = Parcfl_matrix.Seed
+module Oracle = Parcfl_oracle.Oracle
 
 (* Clients *)
 module Client_session = Parcfl_clients.Client_session

@@ -123,13 +123,7 @@ let compute_levels t =
     let below =
       List.fold_left (fun acc c' -> max acc comp_level.(c')) 0 dag.(comp)
     in
-    let self_cycle =
-      (not (Scc.is_trivial scc comp))
-      ||
-      match scc.Scc.members.(comp) with
-      | [ c ] -> List.exists (fun s -> s = c) (succs c)
-      | _ -> false
-    in
+    let self_cycle = Scc.has_self_loop scc ~succs comp in
     (* A self-recursive type contains itself; "modulo recursion" means the
        recursive contribution is ignored, so it adds nothing beyond +1. *)
     ignore self_cycle;

@@ -10,3 +10,42 @@ let wrap ?(meta = []) entries =
     @ [ ("entries", Json.List entries) ])
 
 let write ~path ?meta entries = Json.write_file ~path (wrap ?meta entries)
+
+(* A history file is exactly a bench timestamp: YYYYMMDDThhmmssZ.json —
+   21 chars, digits everywhere but the T/Z markers and the extension.
+   Anything else in the directory (latest.json, stray files) is never a
+   pruning candidate. *)
+let is_timestamped name =
+  String.length name = 21
+  && String.sub name 16 5 = ".json"
+  && name.[8] = 'T'
+  && name.[15] = 'Z'
+  && (let ok = ref true in
+      String.iteri
+        (fun i c ->
+          if i < 15 && i <> 8 && not ('0' <= c && c <= '9') then ok := false)
+        name;
+      !ok)
+
+let prune_history ~dir ~keep =
+  let keep = max 0 keep in
+  let names =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> [||]
+    | names -> names
+  in
+  let stamped =
+    Array.to_list names |> List.filter is_timestamped
+    (* the stamp format sorts chronologically as a string; newest first *)
+    |> List.sort (fun a b -> compare b a)
+  in
+  let rec drop i = function
+    | [] -> []
+    | x :: rest ->
+        if i < keep then drop (i + 1) rest
+        else begin
+          (try Sys.remove (Filename.concat dir x) with Sys_error _ -> ());
+          x :: drop (i + 1) rest
+        end
+  in
+  drop 0 stamped

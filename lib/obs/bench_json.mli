@@ -22,3 +22,13 @@ val wrap : ?meta:(string * Json.t) list -> Json.t list -> Json.t
 
 val write : path:string -> ?meta:(string * Json.t) list -> Json.t list -> unit
 (** [wrap] then {!Json.write_file}. *)
+
+val is_timestamped : string -> bool
+(** Whether a file name is a bench history stamp ([YYYYMMDDThhmmssZ.json]
+    exactly); [latest.json] and stray files never are. *)
+
+val prune_history : dir:string -> keep:int -> string list
+(** Delete all but the [keep] newest timestamped history files in [dir]
+    (the stamp format sorts chronologically as a string), returning the
+    names removed. Non-timestamped names are untouched; a missing
+    directory prunes nothing. *)

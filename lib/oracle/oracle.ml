@@ -1,0 +1,236 @@
+module Pag = Parcfl_pag.Pag
+module Ctx = Parcfl_pag.Ctx
+module Bitset = Parcfl_prim.Bitset
+module Scc = Parcfl_prim.Scc
+module Query = Parcfl_cfl.Query
+module Kernel = Parcfl_matrix.Kernel
+
+type t = {
+  generation : int;
+  n_vars : int;
+  n_objs : int;
+  row_of : int array;  (* var -> distinct-row id *)
+  rows : Bitset.t array;  (* one shared bitset per distinct points-to set *)
+  row_pairs : (Pag.obj * Ctx.t) list array;
+      (* outcome-ready (obj, empty-context) pairs, shared per row so
+         answering allocates nothing beyond the outcome record *)
+  build_seconds : float;
+}
+
+let generation t = t.generation
+let n_vars t = t.n_vars
+let distinct_rows t = Array.length t.rows
+let build_seconds t = t.build_seconds
+
+(* One word of bitset per 64 objects per distinct row, plus the dense
+   var -> row table (boxed-free int array, one word per variable). *)
+let compressed_bytes t =
+  let row_words = (t.n_objs + 63) / 64 in
+  (8 * t.n_vars) + (Array.length t.rows * row_words * 8)
+
+let check_var t v =
+  if v < 0 || v >= t.n_vars then
+    invalid_arg (Printf.sprintf "Oracle: variable %d out of range 0..%d" v (t.n_vars - 1))
+
+let points_to t v =
+  check_var t v;
+  t.rows.(t.row_of.(v))
+
+let points_to_list t v = Bitset.elements (points_to t v)
+
+let may_alias t a b =
+  check_var t a;
+  check_var t b;
+  Bitset.intersects t.rows.(t.row_of.(a)) t.rows.(t.row_of.(b))
+
+let outcome t v =
+  check_var t v;
+  {
+    Query.var = v;
+    result = Query.Points_to t.row_pairs.(t.row_of.(v));
+    steps_used = 0;
+    steps_walked = 0;
+    early_terminated = false;
+    used_partial = false;
+  }
+
+let hash_row row =
+  let h = ref 0 in
+  Bitset.iter (fun x -> h := (!h * 31) + x + 1) row;
+  !h land max_int
+
+let pairs_of_row row =
+  List.map (fun o -> (o, Ctx.empty)) (Bitset.elements row)
+
+(* Shared-row construction from per-variable rows. [row_for v] may return
+   the same physical bitset for different [v]; deduplication is by
+   content. *)
+let compress ~generation ~n_vars ~n_objs ~build_seconds ~components row_for =
+  let row_of = Array.make n_vars 0 in
+  let rows = ref [] in
+  let n_rows = ref 0 in
+  let by_hash : (int, (Bitset.t * int) list) Hashtbl.t = Hashtbl.create 256 in
+  let intern row =
+    let h = hash_row row in
+    let bucket = try Hashtbl.find by_hash h with Not_found -> [] in
+    match List.find_opt (fun (r, _) -> Bitset.equal r row) bucket with
+    | Some (_, id) -> id
+    | None ->
+        let id = !n_rows in
+        incr n_rows;
+        rows := row :: !rows;
+        Hashtbl.replace by_hash h ((row, id) :: bucket);
+        id
+  in
+  List.iter
+    (fun members ->
+      match members with
+      | [] -> ()
+      | rep :: _ ->
+          (* Every member of a copy-SCC shares the representative's set:
+             dst ⊇ src around the cycle forces equality. The differential
+             tests hold this against Andersen on every variable. *)
+          let id = intern (row_for rep) in
+          List.iter (fun v -> row_of.(v) <- id) members)
+    components;
+  let rows = Array.of_list (List.rev !rows) in
+  {
+    generation;
+    n_vars;
+    n_objs;
+    row_of;
+    rows;
+    row_pairs = Array.map pairs_of_row rows;
+    build_seconds;
+  }
+
+let of_kernel ?since ~generation pag kernel =
+  let t0 =
+    match since with Some s -> s | None -> Unix.gettimeofday ()
+  in
+  let n_vars = Pag.n_vars pag in
+  let succs v =
+    let out = ref [] in
+    Pag.iter_direct_succs pag v (fun w -> out := w :: !out);
+    !out
+  in
+  let scc = Scc.compute ~n:n_vars ~succs in
+  let t =
+    compress ~generation ~n_vars ~n_objs:(Pag.n_objs pag) ~build_seconds:0.0
+      ~components:(Array.to_list scc.Scc.members)
+      (Kernel.points_to kernel)
+  in
+  { t with build_seconds = Unix.gettimeofday () -. t0 }
+
+let build ?(threads = 1) ~generation pag =
+  let t0 = Unix.gettimeofday () in
+  let kernel = Kernel.solve ~threads pag in
+  of_kernel ~since:t0 ~generation pag kernel
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: a line-oriented text format in the jmpsnap tradition.
+
+     oraclesnap 1 <generation> <n_vars> <n_objs> <n_rows>
+     <n_rows lines: the distinct rows' object ids, ascending>
+     <one line: n_vars row ids, var order>                              *)
+
+let export t =
+  let buf = Buffer.create (4096 + (t.n_vars * 3)) in
+  Buffer.add_string buf
+    (Printf.sprintf "oraclesnap 1 %d %d %d %d\n" t.generation t.n_vars
+       t.n_objs (Array.length t.rows));
+  Array.iter
+    (fun row ->
+      List.iteri
+        (fun i o ->
+          if i > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int o))
+        (Bitset.elements row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  Array.iteri
+    (fun v id ->
+      if v > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int id))
+    t.row_of;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let import ~generation text =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let ints line =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+    |> List.fold_left
+         (fun acc s ->
+           match (acc, int_of_string_opt s) with
+           | Ok xs, Some x -> Ok (x :: xs)
+           | Ok _, None -> Error s
+           | (Error _ as e), _ -> e)
+         (Ok [])
+    |> Result.map List.rev
+  in
+  match String.split_on_char '\n' text with
+  | header :: body -> (
+      match String.split_on_char ' ' header with
+      | [ "oraclesnap"; "1"; g; nv; no; nr ] -> (
+          match
+            ( int_of_string_opt g, int_of_string_opt nv, int_of_string_opt no,
+              int_of_string_opt nr )
+          with
+          | Some g, Some n_vars, Some n_objs, Some n_rows
+            when n_vars >= 0 && n_objs >= 0 && n_rows >= 0 ->
+              if g <> generation then
+                err "oracle snapshot is generation %d, engine is %d" g
+                  generation
+              else if List.length body < n_rows + 1 then
+                err "oracle snapshot truncated: %d row line(s), need %d"
+                  (List.length body) (n_rows + 1)
+              else begin
+                let rows = Array.make n_rows (Bitset.create ()) in
+                let rec read_rows i = function
+                  | rest when i = n_rows -> Ok rest
+                  | line :: rest -> (
+                      match ints line with
+                      | Error s -> err "oracle snapshot row %d: bad id %S" i s
+                      | Ok ids ->
+                          if List.exists (fun o -> o < 0 || o >= n_objs) ids
+                          then err "oracle snapshot row %d: object out of range" i
+                          else begin
+                            rows.(i) <- Bitset.of_list ids;
+                            read_rows (i + 1) rest
+                          end)
+                  | [] -> err "oracle snapshot truncated at row %d" i
+                in
+                match read_rows 0 body with
+                | Error _ as e -> e
+                | Ok (map_line :: _) -> (
+                    match ints map_line with
+                    | Error s -> err "oracle snapshot map: bad row id %S" s
+                    | Ok ids when List.length ids <> n_vars ->
+                        err "oracle snapshot map has %d entr%s, need %d"
+                          (List.length ids)
+                          (if List.length ids = 1 then "y" else "ies")
+                          n_vars
+                    | Ok ids ->
+                        if List.exists (fun r -> r < 0 || r >= n_rows) ids
+                        then err "oracle snapshot map: row id out of range"
+                        else
+                          Ok
+                            {
+                              generation;
+                              n_vars;
+                              n_objs;
+                              row_of = Array.of_list ids;
+                              rows;
+                              row_pairs = Array.map pairs_of_row rows;
+                              build_seconds = 0.0;
+                            })
+                | Ok [] -> err "oracle snapshot has no row map"
+              end
+          | _ -> err "oracle snapshot header is malformed"
+          )
+      | magic :: _ when magic <> "oraclesnap" ->
+          err "not an oracle snapshot (magic %S)" magic
+      | _ -> err "oracle snapshot header is malformed")
+  | [] -> err "empty oracle snapshot"

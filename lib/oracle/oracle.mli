@@ -1,0 +1,92 @@
+(** O(1) pair-query oracle from an offline Dyck decomposition.
+
+    Chatterjee et al. ("Optimal Dyck Reachability", "Optimal and Perfectly
+    Parallel Algorithms for On-demand Data-flow Analysis") split
+    CFL-reachability into a near-linear offline pass and O(1) on-demand
+    pair queries. This module is that split for our context-insensitive
+    field-sensitive fragment:
+
+    + {e decompose}: Tarjan-condense the PAG's direct (copy) relation with
+      {!Parcfl_prim.Scc.compute} — variables in one copy-SCC provably share
+      a points-to set (mutual subset inclusion), so one row serves the
+      whole component;
+    + {e saturate}: run the whole-program bitset kernel
+      ({!Parcfl_matrix.Kernel.solve}, row-range parallel) to the CI
+      fixpoint;
+    + {e compress}: dedupe identical rows across components by hashing,
+      leaving one shared bitset per distinct points-to set plus a
+      var → row-id table.
+
+    Queries are then row lookups: {!points_to} returns the shared row
+    (borrowed), {!may_alias} is one {!Parcfl_prim.Bitset.intersects} —
+    both O(1) in graph size and allocation-free. {!outcome} answers in the
+    demand solver's own currency (a {!Parcfl_cfl.Query.outcome} with zero
+    steps) so a service can splice the oracle in front of its cache and
+    solver.
+
+    An oracle is frozen against one PAG generation: it answers for the
+    graph it decomposed and must be discarded on reload, exactly like the
+    jmp preseed ({!generation} is checked by importers). *)
+
+type t
+
+val build : ?threads:int -> generation:int -> Parcfl_pag.Pag.t -> t
+(** Run the offline pass: kernel fixpoint ([threads] defaults to 1) plus
+    decomposition and row compression. *)
+
+val of_kernel :
+  ?since:float ->
+  generation:int ->
+  Parcfl_pag.Pag.t ->
+  Parcfl_matrix.Kernel.t ->
+  t
+(** Compress an already-solved kernel (so one kernel run can feed both the
+    jmp preseed and the oracle). [since] is the wall-clock start the
+    reported {!build_seconds} is measured from; it defaults to the start
+    of compression. *)
+
+(* {2 Queries} *)
+
+val points_to : t -> Parcfl_pag.Pag.var -> Parcfl_prim.Bitset.t
+(** The variable's points-to set as a shared row, borrowed — do not
+    mutate. O(1), allocation-free.
+    @raise Invalid_argument when out of the PAG's variable range. *)
+
+val points_to_list : t -> Parcfl_pag.Pag.var -> int list
+(** Object ids, ascending. Bounds contract as {!points_to}. *)
+
+val may_alias : t -> Parcfl_pag.Pag.var -> Parcfl_pag.Pag.var -> bool
+(** Row intersection ({!Parcfl_prim.Bitset.intersects}): O(min row words),
+    allocation-free. Bounds contract as {!points_to}. *)
+
+val outcome : t -> Parcfl_pag.Pag.var -> Parcfl_cfl.Query.outcome
+(** The answer in the demand solver's shape: [Points_to] pairs under the
+    empty context, [steps_used = 0]. The pair list is precomputed per
+    distinct row, so this allocates only the outcome record itself. *)
+
+(* {2 Provenance and accounting} *)
+
+val generation : t -> int
+val n_vars : t -> int
+
+val distinct_rows : t -> int
+(** Distinct points-to sets across all variables — the compression's
+    denominator. *)
+
+val compressed_bytes : t -> int
+(** Bytes held by the compressed representation: the var → row table plus
+    one bitset per distinct row. *)
+
+val build_seconds : t -> float
+
+(* {2 Snapshots (cluster warm-up)} *)
+
+val export : t -> string
+(** A self-describing text snapshot ([oraclesnap]), generation-tagged like
+    the jmp snapshot, for shipping to joining replicas over the existing
+    {!Parcfl_cluster.Snapshot} transport. *)
+
+val import : generation:int -> string -> (t, string) result
+(** Rebuild an oracle from {!export}ed text. Refused when the snapshot's
+    generation differs from [generation] — a reloaded PAG can never be
+    served from a stale decomposition. *)

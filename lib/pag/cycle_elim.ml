@@ -9,6 +9,10 @@ type t = {
 let run pag =
   let n = Pag.n_vars pag in
   let succs v = Array.to_list (Pag.assign_out pag v) in
+  (* No Scc.is_trivial / has_self_loop needed here: every component
+     collapses onto its representative uniformly, and a self-looped
+     singleton's [x = x] edge translates to [d = s] below and is dropped —
+     a points-to no-op either way. *)
   let scc = Scc.compute ~n ~succs in
   (* Representative of a component: its smallest member (stable naming). *)
   let rep_of_comp =

@@ -117,3 +117,11 @@ let is_trivial t c =
   match t.members.(c) with
   | [ _ ] -> true
   | _ -> false
+
+let has_self_loop t ~succs c =
+  match t.members.(c) with
+  | [ v ] -> List.exists (fun w -> w = v) (succs v)
+  | _ ->
+      (* Two or more mutually reachable members: the component contains a
+         cycle whether or not any single edge loops. *)
+      true

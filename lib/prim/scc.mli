@@ -29,4 +29,10 @@ val longest_path_through : dag:int list array -> weight:(int -> int) -> int arra
 val is_trivial : t -> int -> bool
 (** [is_trivial t c] is true when component [c] has a single member. Note a
     single member with a self-loop is still reported trivial; callers that
-    care about self-loops must check separately. *)
+    care about cycles must use {!has_self_loop}. *)
+
+val has_self_loop : t -> succs:(int -> int list) -> int -> bool
+(** Whether component [c] contains a cycle under [succs] (the same
+    successor function {!compute} ran with): true for every multi-member
+    component, and for a singleton exactly when its member lists itself as
+    a successor — the case {!is_trivial} cannot distinguish. *)

@@ -17,6 +17,9 @@ let direct_succs pag v =
 let connection_distances ~pag =
   let n = Pag.n_vars pag in
   let succs = direct_succs pag in
+  (* Self-loops are irrelevant here (no Scc.has_self_loop check): the
+     condensation strips them and a singleton's weight is its member count
+     whether or not it loops, so connection distances are unaffected. *)
   let scc = Scc.compute ~n ~succs in
   let dag = Scc.condensation scc ~succs in
   let weight c = List.length scc.Scc.members.(c) in

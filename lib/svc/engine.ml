@@ -7,6 +7,7 @@ module Schedule = Parcfl_sched.Schedule
 module Jmp_store = Parcfl_sharing.Jmp_store
 module Ctx = Parcfl_pag.Ctx
 module Domain_pool = Parcfl_conc.Domain_pool
+module Oracle = Parcfl_oracle.Oracle
 
 type t = {
   mode : Mode.t;
@@ -25,6 +26,9 @@ type t = {
   mutable generation : int;
   mutable rate : float option;  (* EWMA steps/second *)
   mutable preseeded : int;  (* Finished records installed by preseed *)
+  mutable oracle : Oracle.t option;
+      (* the O(1) CI answer tier; dies with the PAG generation exactly
+         like the jmp preseed — [load] discards it *)
   mutable pool : Domain_pool.t option;
       (* worker domains persist across batches — spawned on the first
          multi-threaded execute, joined by [shutdown] *)
@@ -53,6 +57,7 @@ let create ?(mode = Mode.Share_sched) ?(threads = 4) ?tau_f ?tau_u
       generation = 0;
       rate = None;
       preseeded = 0;
+      oracle = None;
       pool = None;
     }
   in
@@ -92,26 +97,47 @@ let load t ?type_level pag =
   t.store <- fresh_store t;
   t.ctx_store <- Ctx.create_store ();
   t.preseeded <- 0;
+  t.oracle <- None;
   t.generation <- t.generation + 1
 
-(* Warm start: run the whole-program bitset kernel over the loaded PAG and
-   install its facts as Finished jmp edges before traffic arrives. The
-   seeds are keyed by the jmp store the engine currently owns, so a later
-   [load] (fresh store, new generation) discards them — only
-   generation-stable facts are ever replicated. *)
-let preseed t =
-  match t.store with
-  | None -> 0
-  | Some store ->
-      let kernel = Parcfl_matrix.Kernel.solve ~threads:t.threads t.pag in
-      let n =
-        Parcfl_matrix.Seed.preseed ~kernel ~pag:t.pag ~store
-          ~context_sensitive:t.solver_config.Config.context_sensitive
-      in
-      t.preseeded <- t.preseeded + n;
-      n
+(* Warm start: run the whole-program bitset kernel over the loaded PAG
+   once and feed every consumer that wants it — the jmp preseed installs
+   the kernel's facts as Finished edges, and the oracle compresses the
+   kernel's rows into the O(1) answer tier. Both artefacts are keyed to
+   the current generation, so a later [load] discards them — only
+   generation-stable facts ever survive. The oracle answers the CI
+   relation; a context-sensitive engine never builds one. *)
+let warm_start t ~preseed ~oracle =
+  let want_oracle = oracle && not t.solver_config.Config.context_sensitive in
+  if not (preseed || want_oracle) then 0
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let kernel = Parcfl_matrix.Kernel.solve ~threads:t.threads t.pag in
+    if want_oracle then
+      t.oracle <-
+        Some
+          (Parcfl_oracle.Oracle.of_kernel ~since:t0 ~generation:t.generation
+             t.pag kernel);
+    match t.store with
+    | Some store when preseed ->
+        let n =
+          Parcfl_matrix.Seed.preseed ~kernel ~pag:t.pag ~store
+            ~context_sensitive:t.solver_config.Config.context_sensitive
+        in
+        t.preseeded <- t.preseeded + n;
+        n
+    | _ -> 0
+  end
 
+let preseed t = warm_start t ~preseed:true ~oracle:false
 let preseeded_edges t = t.preseeded
+
+(* The oracle accessor re-checks the generation so a caller holding the
+   engine across a [load] can never read answers for a dead PAG. *)
+let oracle t =
+  match t.oracle with
+  | Some o when Oracle.generation o = t.generation -> Some o
+  | _ -> None
 
 (* Cluster warm-up hooks: a replica exports its Finished-only jmp store and
    a joining replica imports it instead of re-deriving the same facts. The
@@ -136,6 +162,24 @@ let import_snapshot t text =
           n)
         (Jmp_store.import_finished store ~generation:t.generation
            ~ctx_store:t.ctx_store text)
+
+(* Oracle ride-along for cluster warm-up: replica 0 exports its compressed
+   rows, joiners import them instead of re-running the kernel. Same
+   generation discipline as the jmp snapshot. *)
+let export_oracle t =
+  match oracle t with
+  | None -> Error "engine holds no live oracle"
+  | Some o -> Ok (Oracle.export o, Oracle.distinct_rows o)
+
+let import_oracle t text =
+  if t.solver_config.Config.context_sensitive then
+    Error "context-sensitive engine cannot host the CI oracle"
+  else
+    Result.map
+      (fun o ->
+        t.oracle <- Some o;
+        Oracle.distinct_rows o)
+      (Oracle.import ~generation:t.generation text)
 
 let jmp_edges t =
   match t.store with Some s -> Jmp_store.n_jumps s | None -> 0

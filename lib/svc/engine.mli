@@ -44,15 +44,33 @@ val load : t -> ?type_level:(int -> int) -> Parcfl_pag.Pag.t -> unit
     and rebuilds the scheduling plan. [type_level] defaults to the previous
     one (pass it whenever the new graph has its own type hierarchy). *)
 
+val warm_start : t -> preseed:bool -> oracle:bool -> int
+(** One whole-program bitset-kernel run ({!Parcfl_matrix.Kernel}) feeding
+    up to two consumers: with [preseed], install the kernel's facts as
+    Finished jmp edges ({!Parcfl_matrix.Seed}); with [oracle], compress
+    the kernel's rows into the O(1) pair-query oracle
+    ({!Parcfl_oracle.Oracle.of_kernel}). Asking for both shares the single
+    kernel solve. The oracle answers the CI relation, so a
+    context-sensitive engine silently skips it. Returns the jmp records
+    accepted (0 when preseeding was not requested or the mode has no jmp
+    store). Both artefacts die with the generation: a later {!load}
+    discards them. *)
+
 val preseed : t -> int
-(** Warm start (ROADMAP item 3): solve the whole-program bitset kernel
-    ({!Parcfl_matrix.Kernel}) over the loaded PAG on the engine's thread
-    count and install its facts as Finished jmp edges
-    ({!Parcfl_matrix.Seed}) — the full context-insensitive heap-step sets
-    when the engine is context-insensitive, only the empty ones when it is
-    context-sensitive. Returns the records accepted (0 when the mode has
-    no jmp store). Call before accepting traffic; a later {!load} discards
-    the seeds with the store they live in. *)
+(** Warm start (ROADMAP item 3): [warm_start ~preseed:true ~oracle:false].
+    Solves the whole-program bitset kernel over the loaded PAG on the
+    engine's thread count and installs its facts as Finished jmp edges —
+    the full context-insensitive heap-step sets when the engine is
+    context-insensitive, only the empty ones when it is context-sensitive.
+    Returns the records accepted (0 when the mode has no jmp store). Call
+    before accepting traffic; a later {!load} discards the seeds with the
+    store they live in. *)
+
+val oracle : t -> Parcfl_oracle.Oracle.t option
+(** The live O(1) answer tier, if one was built or imported for the
+    {e current} generation. Never returns an oracle from a previous
+    generation: {!load} both clears the field and bumps the counter the
+    accessor checks. *)
 
 val preseeded_edges : t -> int
 (** Finished records installed by {!preseed} into the current store (reset
@@ -101,3 +119,14 @@ val import_snapshot : t -> string -> (int, string) result
     contexts locally. Rejected when the snapshot's generation differs from
     this engine's — only generation-stable facts ever replicate. Imported
     records count toward {!preseeded_edges}. *)
+
+val export_oracle : t -> (string * int, string) result
+(** [(text, distinct_rows)]: the live oracle as a generation-tagged
+    [oraclesnap] text ({!Parcfl_oracle.Oracle.export}). Errors when the
+    engine holds no live oracle. *)
+
+val import_oracle : t -> string -> (int, string) result
+(** Install a peer's oracle snapshot as this engine's answer tier,
+    returning its distinct-row count. Rejected on a context-sensitive
+    engine (the oracle answers the CI relation) and on a generation
+    mismatch — the same rule as {!import_snapshot}. *)

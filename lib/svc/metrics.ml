@@ -21,13 +21,17 @@ type counter =
   | Stage_batch_us
   | Stage_solve_us
   | Stage_respond_us
+  | Oracle_hit
+  | Oracle_miss
+  | Oracle_fallback
 
 let all =
   [
     Admitted; Rejected; Cache_hit; Cache_miss; Completed; Timeout_budget;
     Timeout_deadline; Batches; Batched_queries; Coalesced; Flush_full;
     Flush_window; Flush_forced; Sched_groups; Early_terms; Stage_queue_us;
-    Stage_batch_us; Stage_solve_us; Stage_respond_us;
+    Stage_batch_us; Stage_solve_us; Stage_respond_us; Oracle_hit;
+    Oracle_miss; Oracle_fallback;
   ]
 
 let index = function
@@ -50,6 +54,9 @@ let index = function
   | Stage_batch_us -> 16
   | Stage_solve_us -> 17
   | Stage_respond_us -> 18
+  | Oracle_hit -> 19
+  | Oracle_miss -> 20
+  | Oracle_fallback -> 21
 
 let name = function
   | Admitted -> "admitted"
@@ -71,6 +78,9 @@ let name = function
   | Stage_batch_us -> "stage_batch_wait_us"
   | Stage_solve_us -> "stage_solve_us"
   | Stage_respond_us -> "stage_respond_us"
+  | Oracle_hit -> "oracle_hits"
+  | Oracle_miss -> "oracle_misses"
+  | Oracle_fallback -> "oracle_fallbacks"
 
 type t = { counters : Counter.t array; created : float }
 

@@ -28,6 +28,13 @@ type counter =
   | Stage_batch_us  (** cumulative batch-formed→solve-start microseconds *)
   | Stage_solve_us  (** cumulative solve microseconds *)
   | Stage_respond_us  (** cumulative solve-end→respond microseconds *)
+  | Oracle_hit  (** queries answered by the O(1) oracle tier *)
+  | Oracle_miss
+      (** oracle tier enabled and live, but the request asked for a
+          budget- or deadline-refined answer — fell through to the solver *)
+  | Oracle_fallback
+      (** oracle tier enabled but no live oracle (context-sensitive
+          engine, generation died, or never built) — fell through *)
 
 val all : counter list
 (** Every counter, in a fixed order (the [stats] field order). *)

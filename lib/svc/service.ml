@@ -19,6 +19,7 @@ type config = {
   max_budget : int;
   context_sensitive : bool;
   preseed : bool;
+  oracle : bool;
   tau_f : int option;
   tau_u : int option;
   slowlog_capacity : int;
@@ -37,6 +38,7 @@ let default_config =
     max_budget = Config.default.Config.budget;
     context_sensitive = Config.default.Config.context_sensitive;
     preseed = false;
+    oracle = false;
     tau_f = None;
     tau_u = None;
     slowlog_capacity = 32;
@@ -78,6 +80,11 @@ type t = {
   stage_hists : int array array;  (* per Span stage, microsecond buckets *)
   busy_us : float array;  (* per engine worker, across all batches *)
   mutable in_flight : int;  (* requests inside the currently solving batch *)
+  mutable oracle_enabled : bool;
+      (* the answer tier's switch: on from [config.oracle], or flipped on
+         when a cluster joiner imports an oracle snapshot. With the switch
+         on but no live oracle, queries count Oracle_fallback and take the
+         normal path — the tier degrades, never wedges. *)
   mutable draining : bool;
       (* set by the [drain] verb: new queries are rejected with reason
          "draining" while stats/health/metrics keep answering, so an
@@ -229,6 +236,37 @@ let register_collectors t =
           ~help:"Finished jmp records installed by the warm-start kernel"
           (float_of_int (Engine.preseeded_edges t.engine));
       ]);
+  (* O(1) oracle tier: outcome counters plus the live artefact's shape.
+     The three *_total families read the same Metrics counters the [stats]
+     verb reports, so exposition and stats can never disagree. *)
+  Registry.register t.registry (fun () ->
+      let live = Engine.oracle t.engine in
+      let stat f = match live with Some o -> f o | None -> 0.0 in
+      [
+        c ~name:"parcfl_oracle_hits_total"
+          ~help:"Queries answered by the O(1) oracle tier"
+          (float_of_int (Metrics.get t.metrics Metrics.Oracle_hit));
+        c ~name:"parcfl_oracle_misses_total"
+          ~help:"Oracle-eligible queries refined past the tier (budget/deadline)"
+          (float_of_int (Metrics.get t.metrics Metrics.Oracle_miss));
+        c ~name:"parcfl_oracle_fallbacks_total"
+          ~help:"Queries arriving with the tier enabled but no live oracle"
+          (float_of_int (Metrics.get t.metrics Metrics.Oracle_fallback));
+        g ~name:"parcfl_oracle_live"
+          ~help:"Whether a current-generation oracle is installed (1/0)"
+          (match live with Some _ -> 1.0 | None -> 0.0);
+        g ~name:"parcfl_oracle_build_seconds"
+          ~help:"Wall seconds the offline decomposition took (0 if imported)"
+          (stat (fun o -> Parcfl_oracle.Oracle.build_seconds o));
+        g ~name:"parcfl_oracle_compressed_bytes"
+          ~help:"Bytes held by the shared rows plus the var->row table"
+          (stat (fun o ->
+               float_of_int (Parcfl_oracle.Oracle.compressed_bytes o)));
+        g ~name:"parcfl_oracle_distinct_rows"
+          ~help:"Distinct points-to sets after row compression"
+          (stat (fun o ->
+               float_of_int (Parcfl_oracle.Oracle.distinct_rows o)));
+      ]);
   (* Scheduler (lib/sched): groups and their sizes. *)
   Registry.register t.registry (fun () ->
       [
@@ -254,9 +292,12 @@ let create ?(config = default_config) ?tracer ~type_level pag =
       ?tau_f:config.tau_f ?tau_u:config.tau_u ~solver_config ?tracer
       ~type_level pag
   in
-  (* Warm start before any traffic: the whole-program kernel's facts enter
-     the jmp store under the engine's initial generation. *)
-  if config.preseed then ignore (Engine.preseed engine);
+  (* Warm start before any traffic: one whole-program kernel run feeds the
+     jmp store (preseed) and/or the O(1) oracle tier, both keyed to the
+     engine's initial generation. *)
+  if config.preseed || config.oracle then
+    ignore
+      (Engine.warm_start engine ~preseed:config.preseed ~oracle:config.oracle);
   let buckets = Report.hist_buckets in
   let t =
     {
@@ -289,6 +330,7 @@ let create ?(config = default_config) ?tracer ~type_level pag =
         Array.make_matrix (List.length Span.stage_names) buckets 0;
       busy_us = Array.make (Engine.threads engine) 0.0;
       in_flight = 0;
+      oracle_enabled = config.oracle;
       draining = false;
     }
   in
@@ -336,6 +378,18 @@ let metrics_json t =
       ("threads", Json.Int (Engine.threads t.engine));
       ("mode", Json.String (Mode.to_string (Engine.mode t.engine)));
     ]
+    @ (match Engine.oracle t.engine with
+      | None -> [ ("oracle_live", Json.Int 0) ]
+      | Some o ->
+          [
+            ("oracle_live", Json.Int 1);
+            ( "oracle_build_seconds",
+              Json.Float (Parcfl_oracle.Oracle.build_seconds o) );
+            ( "oracle_compressed_bytes",
+              Json.Int (Parcfl_oracle.Oracle.compressed_bytes o) );
+            ( "oracle_distinct_rows",
+              Json.Int (Parcfl_oracle.Oracle.distinct_rows o) );
+          ])
   in
   match base with
   | Json.Obj fields -> Json.Obj (fields @ extra)
@@ -646,7 +700,54 @@ let drain t ~now =
 let draining t = t.draining
 
 let import_snapshot t text = Engine.import_snapshot t.engine text
+let export_oracle t = Engine.export_oracle t.engine
+
+(* A successful import arms the tier even when the service was started
+   without [config.oracle] — this is how cluster joiners receive the tier
+   from replica 0 without re-running the kernel. *)
+let import_oracle t text =
+  Result.map
+    (fun n ->
+      t.oracle_enabled <- true;
+      n)
+    (Engine.import_oracle t.engine text)
+
 let shutdown t = Engine.shutdown t.engine
+
+(* The O(1) answer tier: a budget-free, deadline-free query against a live
+   oracle is answered from the shared rows without touching the cache, the
+   queue or the solver. Refined requests (any budget or deadline) fall
+   through — the oracle holds only the exhaustive CI answer, and a client
+   asking for a budgeted approximation must get the solver's semantics.
+   Latency is measured with its own wall-clock pair (never the service
+   drive clock, which tests run logically), reported as pure solve time. *)
+let try_oracle t ~id ~var ~v ~respond =
+  match Engine.oracle t.engine with
+  | None ->
+      Metrics.incr t.metrics Metrics.Oracle_fallback;
+      false
+  | Some o ->
+      let t0 = Unix.gettimeofday () in
+      let outcome = Parcfl_oracle.Oracle.outcome o v in
+      let latency_us = Float.max 0.0 ((Unix.gettimeofday () -. t0) *. 1e6) in
+      Metrics.incr t.metrics Metrics.Oracle_hit;
+      Metrics.incr t.metrics Metrics.Completed;
+      let breakdown =
+        {
+          Span.bd_queue_wait_us = 0.0;
+          bd_batch_wait_us = 0.0;
+          bd_solve_us = latency_us;
+          bd_respond_us = 0.0;
+        }
+      in
+      observe_latency t latency_us;
+      observe_stages t breakdown;
+      note_slowlog t ~id ~var ~budget:(Engine.max_budget t.engine) ~steps:0
+        ~latency_us ~breakdown ~outcome:"ok" ~cached:false
+        ~now:(t0 +. (latency_us /. 1e6));
+      respond
+        (answer_of_outcome t ~id ~cached:false ~latency_us ~breakdown outcome);
+      true
 
 let submit t ~now ~respond req =
   match req with
@@ -690,7 +791,19 @@ let submit t ~now ~respond req =
   | Protocol.Query { id; var; budget; deadline_ms; trace } -> (
       match resolve t var with
       | Error reason -> respond (Protocol.Error { id = Some id; reason })
+      | Ok v
+        when t.oracle_enabled && budget = None && deadline_ms = None
+             && try_oracle t ~id ~var ~v ~respond ->
+          ()
       | Ok v -> (
+          (* Tier enabled but this request went past it. A refined request
+             against a live oracle is a miss; with no live oracle it is a
+             fallback (try_oracle already counted the budget-free case). *)
+          if t.oracle_enabled && (budget <> None || deadline_ms <> None) then
+            Metrics.incr t.metrics
+              (match Engine.oracle t.engine with
+              | Some _ -> Metrics.Oracle_miss
+              | None -> Metrics.Oracle_fallback);
           let deadline = Option.map (fun d -> now +. (d /. 1000.0)) deadline_ms in
           let eff = effective_budget t ~now ~budget ~deadline in
           match Cache.find t.cache (cache_key t ~var:v ~budget:eff) with

@@ -4,9 +4,13 @@
     {!Cache}, an {!Admission} queue and a {!Batcher} policy, and turns a
     stream of {!Protocol} requests into responses:
 
-    + {!submit} answers [ping]/[stats] immediately, resolves a query's
-      variable, computes its {e effective budget} (the request's own cap,
-      the wall-clock deadline translated through the engine's observed
+    + {!submit} answers [ping]/[stats] immediately and resolves a query's
+      variable. With the {b oracle tier} enabled, a budget-free,
+      deadline-free query against a live {!Parcfl_oracle.Oracle} is
+      answered right here — O(1), before the cache, without entering the
+      pipeline at all; refined requests fall through. Otherwise it computes
+      the request's {e effective budget} (the request's own cap, the
+      wall-clock deadline translated through the engine's observed
       traversal rate, and the service maximum — whichever is smallest),
       then consults the cache. A hit responds immediately; a miss enters
       the admission queue or is {e rejected} with backpressure when full.
@@ -49,6 +53,12 @@ type config = {
       (** warm-start: run the whole-program bitset kernel at {!create} and
           install its facts as Finished jmp edges before any traffic (see
           {!Engine.preseed}) *)
+  oracle : bool;
+      (** build the O(1) pair-query oracle at {!create} and answer
+          budget-free, deadline-free queries from it before the cache and
+          solver (see {!Engine.warm_start}; shares the preseed's kernel
+          run). The oracle holds the CI relation, so a [context_sensitive]
+          service counts fallbacks instead of building one. *)
   tau_f : int option;
   tau_u : int option;
   slowlog_capacity : int;  (** flight-recorder bound (worst queries kept) *)
@@ -59,8 +69,8 @@ type config = {
 val default_config : config
 (** 4 threads, [Share_sched], batches of 64 / 10 ms, queue 1024, cache
     4096, budget and context sensitivity {!Parcfl_cfl.Config.default}'s,
-    no preseed, slowlog 32, watchdog {!Watchdog.default_config}'s
-    thresholds. *)
+    no preseed, no oracle, slowlog 32, watchdog
+    {!Watchdog.default_config}'s thresholds. *)
 
 type t
 
@@ -143,6 +153,17 @@ val import_snapshot : t -> string -> (int, string) result
 (** Warm this service's engine from a [jmpsnap] snapshot exported by a
     peer replica (see {!Engine.import_snapshot}); returns the number of
     Finished records installed. *)
+
+val export_oracle : t -> (string * int, string) result
+(** [(text, distinct_rows)]: the live oracle as a generation-tagged
+    [oraclesnap] text (see {!Engine.export_oracle}). Errors when no live
+    oracle is installed. *)
+
+val import_oracle : t -> string -> (int, string) result
+(** Install a peer's oracle snapshot and {e arm the tier} — a service
+    started without [config.oracle] begins answering from the oracle after
+    a successful import (cluster joiners warm up this way). Same
+    generation/CS rejection rules as {!Engine.import_oracle}. *)
 
 val shutdown : t -> unit
 (** Join the engine's persistent worker domains (see {!Engine.shutdown}).

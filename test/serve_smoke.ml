@@ -160,4 +160,89 @@ let () =
   | Unix.WEXITED n -> fail "server exited %d" n
   | Unix.WSIGNALED n -> fail "server killed by signal %d" n
   | Unix.WSTOPPED n -> fail "server stopped by signal %d" n);
+
+  (* Oracle leg: an --insensitive --oracle server must return exactly the
+     (id, var, objects) payloads of an --insensitive server without the
+     tier, and account the traffic as oracle hits. The "cold answer with
+     no latency" rule above deliberately does NOT apply here: the tier's
+     latency is a paired wall-clock read that may quantise to ~0. *)
+  let with_server extra_args f =
+    let to_r, to_w = Unix.pipe ~cloexec:false () in
+    let from_r, from_w = Unix.pipe ~cloexec:false () in
+    let pid =
+      Unix.create_process cli
+        (Array.append
+           [| cli; "serve"; "-b"; "tiny"; "-t"; "1"; "--stdio" |]
+           extra_args)
+        to_r from_w Unix.stderr
+    in
+    Unix.close to_r;
+    Unix.close from_w;
+    let oc = Unix.out_channel_of_descr to_w in
+    let ic = Unix.in_channel_of_descr from_r in
+    let send r =
+      output_string oc (Proto.request_to_string r ^ "\n");
+      flush oc
+    in
+    let recv () =
+      if Unix.gettimeofday () > deadline then fail "smoke test deadline exceeded";
+      match input_line ic with
+      | line -> (
+          match Proto.response_of_string line with
+          | Ok r -> r
+          | Error e -> fail "bad response %S: %s" line e)
+      | exception End_of_file -> fail "oracle leg: server closed the stream"
+    in
+    let out = f ~send ~recv in
+    send Proto.Quit;
+    close_out oc;
+    let _, status = Unix.waitpid [] pid in
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED n -> fail "oracle-leg server exited %d" n
+    | Unix.WSIGNALED n -> fail "oracle-leg server killed by signal %d" n
+    | Unix.WSTOPPED n -> fail "oracle-leg server stopped by signal %d" n);
+    out
+  in
+  let probe = [ (30, v0); (31, v1); (32, v0) ] in
+  let ask_all ~send ~recv =
+    List.map
+      (fun (id, v) ->
+        send
+          (Proto.Query
+             {
+               id;
+               var = Printf.sprintf "#%d" v;
+               budget = None;
+               deadline_ms = None;
+               trace = None;
+             });
+        match recv () with
+        | Proto.Answer { id = id'; var; objects; _ } when id' = id ->
+            (id, var, objects)
+        | r -> fail "oracle leg query %d: unexpected %s" id
+                 (Proto.response_to_string r))
+      probe
+  in
+  let plain = with_server [| "--insensitive" |] ask_all in
+  let oracled =
+    with_server [| "--insensitive"; "--oracle" |] (fun ~send ~recv ->
+        let got = ask_all ~send ~recv in
+        send (Proto.Stats 40);
+        (match recv () with
+        | Proto.Stats_reply { id = 40; stats = P.Json.Obj fields } ->
+            (match List.assoc_opt "oracle_hits" fields with
+            | Some (P.Json.Int h) when h >= List.length probe -> ()
+            | _ -> fail "oracle server did not answer from the tier");
+            (match List.assoc_opt "oracle_live" fields with
+            | Some (P.Json.Int 1) -> ()
+            | _ -> fail "oracle server reports the tier dead")
+        | r -> fail "expected oracle stats, got %s" (Proto.response_to_string r));
+        got)
+  in
+  List.iter2
+    (fun (id, var, objects) (id', var', objects') ->
+      if id <> id' || var <> var' || objects <> objects' then
+        fail "oracle leg: answer %d differs between the tiers" id)
+    plain oracled;
   print_endline "serve smoke: ok"

@@ -331,6 +331,56 @@ let test_solver_trace_wiring () =
         (Array.length b.Parcfl.Suite.queries)
         (List.length starts)
 
+let test_bench_stamp () =
+  let module B = Parcfl.Bench_json in
+  List.iter
+    (fun (name, want) ->
+      Alcotest.(check bool) name want (B.is_timestamped name))
+    [
+      ("20260809T020844Z.json", true);
+      ("19991231T235959Z.json", true);
+      ("latest.json", false);
+      ("20260809T020844Z.json.bak", false);
+      ("20260809t020844Z.json", false);
+      ("2026080xT020844Z.json", false);
+      ("20260809T020844Z.JSON", false);
+      ("", false);
+    ]
+
+let test_prune_history () =
+  let module B = Parcfl.Bench_json in
+  let dir = Filename.temp_file "parcfl_hist" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let touch name = close_out (open_out (Filename.concat dir name)) in
+  let stamps =
+    [
+      "20260801T000000Z.json";
+      "20260802T000000Z.json";
+      "20260803T000000Z.json";
+      "20260804T000000Z.json";
+    ]
+  in
+  List.iter touch stamps;
+  touch "latest.json";
+  touch "notes.txt";
+  let removed = B.prune_history ~dir ~keep:2 in
+  Alcotest.(check (slist string compare))
+    "two oldest removed"
+    [ "20260801T000000Z.json"; "20260802T000000Z.json" ]
+    removed;
+  let left = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  Alcotest.(check (list string))
+    "newest stamps and strays survive"
+    [ "20260803T000000Z.json"; "20260804T000000Z.json"; "latest.json"; "notes.txt" ]
+    left;
+  Alcotest.(check (list string)) "idempotent" [] (B.prune_history ~dir ~keep:2);
+  Alcotest.(check (list string))
+    "missing directory prunes nothing" []
+    (B.prune_history ~dir:(Filename.concat dir "absent") ~keep:1);
+  List.iter (fun n -> Sys.remove (Filename.concat dir n)) left;
+  Unix.rmdir dir
+
 let suite =
   ( "obs",
     [
@@ -348,4 +398,6 @@ let suite =
       Alcotest.test_case "report invariants" `Quick test_report_invariants;
       Alcotest.test_case "solver trace wiring" `Quick
         test_solver_trace_wiring;
+      Alcotest.test_case "bench history stamp" `Quick test_bench_stamp;
+      Alcotest.test_case "bench history pruning" `Quick test_prune_history;
     ] )

@@ -1,0 +1,453 @@
+(* The O(1) pair-query oracle (lib/oracle) and its service tier.
+
+   Correctness is differential three ways: the oracle's rows must equal
+   field-sensitive Andersen on every variable (the whole-program witness),
+   must equal the budgetless context-insensitive demand solver on query
+   sets (the engine the tier sits in front of), and an oracle-tiered
+   service must return byte-identical (var, objects) payloads to an
+   oracle-less one on the same traffic. The tier's bookkeeping is checked
+   separately: refined requests fall through as misses, a dead generation
+   falls back, imports arm the tier, and the stats/exposition surfaces
+   agree. *)
+
+module P = Parcfl
+module Pag = P.Pag
+module Query = P.Query
+
+let pag_of_profile p =
+  let program = P.Genprog.generate p in
+  let cg = P.Callgraph.build program in
+  (P.Lower.lower program cg).P.Lower.pag
+
+let tiny = lazy (Option.get (P.Suite.build_by_name "tiny"))
+
+(* Variables where the oracle and Andersen disagree (must be []). *)
+let oracle_vs_andersen pag =
+  let oracle = P.Oracle.build ~generation:0 pag in
+  let andersen = P.Andersen.solve pag in
+  let bad = ref [] in
+  for v = 0 to Pag.n_vars pag - 1 do
+    if P.Oracle.points_to_list oracle v <> P.Andersen.points_to_list andersen v
+    then bad := v :: !bad
+  done;
+  !bad
+
+let demand_pts session v =
+  List.sort compare (Query.objects (P.Solver.points_to session v).Query.result)
+
+(* Queried variables where the oracle and the budgetless CI demand solver
+   disagree (must be []). *)
+let oracle_vs_demand pag queries =
+  let oracle = P.Oracle.build ~generation:0 pag in
+  let session =
+    P.Solver.make_session ~config:P.Config.oracle
+      ~ctx_store:(P.Ctx.create_store ()) pag
+  in
+  List.filter
+    (fun v -> P.Oracle.points_to_list oracle v <> demand_pts session v)
+    queries
+
+let test_all_profiles () =
+  (* Whole-program agreement on the entire built-in suite: every variable
+     of every benchmark profile. This is the test that holds the copy-SCC
+     row sharing (one row per component) to the theorem it relies on. *)
+  List.iter
+    (fun p ->
+      let pag = pag_of_profile p in
+      Alcotest.(check (list int))
+        (Printf.sprintf "oracle = Andersen on %s" p.P.Profile.name)
+        [] (oracle_vs_andersen pag))
+    P.Profile.all
+
+let test_demand_agreement () =
+  List.iter
+    (fun name ->
+      let b = Option.get (P.Suite.build_by_name name) in
+      let queries =
+        Array.to_list b.P.Suite.queries
+        |> List.sort_uniq compare
+        |> List.filteri (fun i _ -> i < 100)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "oracle = budgetless demand on %s" name)
+        []
+        (oracle_vs_demand b.P.Suite.pag queries))
+    [ "tiny"; "_200_check" ]
+
+(* Random PAGs: the same edge-soup generator as test_oracle.ml — the
+   equivalence must hold for any PAG, not just Java-shaped ones. *)
+let random_pag_gen =
+  QCheck.Gen.(
+    let small = int_bound 7 in
+    list_size (int_bound 24)
+      (oneof
+         [
+           map2 (fun a b -> `New (a, b)) small (int_bound 4);
+           map2 (fun a b -> `Assign (a, b)) small small;
+           map2 (fun a b -> `Gassign (a, b)) small small;
+           map3 (fun a b f -> `Load (a, b, f)) small small (int_bound 2);
+           map3 (fun a f b -> `Store (a, f, b)) small (int_bound 2) small;
+           map3 (fun a i b -> `Param (a, i, b)) small (int_bound 3) small;
+           map3 (fun a i b -> `Ret (a, i, b)) small (int_bound 3) small;
+         ]))
+
+let build_random edges =
+  let module B = Pag.Build in
+  let b = B.create () in
+  let vars = Array.init 8 (fun i -> B.add_var b (Printf.sprintf "v%d" i)) in
+  let objects = Array.init 5 (fun i -> B.add_obj b (Printf.sprintf "o%d" i)) in
+  List.iter
+    (fun e ->
+      match e with
+      | `New (x, o) -> B.new_edge b ~dst:vars.(x) objects.(o)
+      | `Assign (x, y) -> B.assign b ~dst:vars.(x) ~src:vars.(y)
+      | `Gassign (x, y) -> B.assign_global b ~dst:vars.(x) ~src:vars.(y)
+      | `Load (x, p, f) -> B.load b ~dst:vars.(x) ~base:vars.(p) f
+      | `Store (q, f, y) -> B.store b ~base:vars.(q) f ~src:vars.(y)
+      | `Param (x, i, y) -> B.param b ~dst:vars.(x) ~site:i ~src:vars.(y)
+      | `Ret (x, i, y) -> B.ret b ~dst:vars.(x) ~site:i ~src:vars.(y))
+    edges;
+  B.freeze b
+
+let prop_three_way_random =
+  QCheck.Test.make
+    ~name:"oracle = Andersen = budgetless demand on random PAGs" ~count:100
+    (QCheck.make random_pag_gen)
+    (fun edges ->
+      let pag = build_random edges in
+      let all_vars = List.init (Pag.n_vars pag) Fun.id in
+      oracle_vs_andersen pag = [] && oracle_vs_demand pag all_vars = [])
+
+let prop_may_alias_random =
+  QCheck.Test.make ~name:"may_alias agrees with row intersection" ~count:60
+    (QCheck.make random_pag_gen)
+    (fun edges ->
+      let pag = build_random edges in
+      let oracle = P.Oracle.build ~generation:0 pag in
+      let n = Pag.n_vars pag in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          let inter =
+            List.exists
+              (fun o -> List.mem o (P.Oracle.points_to_list oracle b))
+              (P.Oracle.points_to_list oracle a)
+          in
+          if P.Oracle.may_alias oracle a b <> inter then ok := false
+        done
+      done;
+      !ok)
+
+let test_shape () =
+  let b = Lazy.force tiny in
+  let pag = b.P.Suite.pag in
+  let oracle = P.Oracle.build ~generation:7 pag in
+  Alcotest.(check int) "generation" 7 (P.Oracle.generation oracle);
+  Alcotest.(check int) "n_vars" (Pag.n_vars pag) (P.Oracle.n_vars oracle);
+  Alcotest.(check bool) "rows deduplicated" true
+    (P.Oracle.distinct_rows oracle <= Pag.n_vars pag);
+  Alcotest.(check bool) "compressed accounting positive" true
+    (P.Oracle.compressed_bytes oracle > 0);
+  (* The borrowed bitset and the materialised list are the same set. *)
+  for v = 0 to Pag.n_vars pag - 1 do
+    Alcotest.(check (list int))
+      "points_to row = points_to_list" (P.Oracle.points_to_list oracle v)
+      (P.Bitset.elements (P.Oracle.points_to oracle v))
+  done;
+  (match P.Oracle.points_to oracle (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative variable accepted");
+  match P.Oracle.points_to oracle (Pag.n_vars pag) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range variable accepted"
+
+let test_export_import () =
+  let pag = (Lazy.force tiny).P.Suite.pag in
+  let oracle = P.Oracle.build ~generation:3 pag in
+  let text = P.Oracle.export oracle in
+  (match P.Oracle.import ~generation:3 text with
+  | Error e -> Alcotest.failf "round trip refused: %s" e
+  | Ok back ->
+      for v = 0 to Pag.n_vars pag - 1 do
+        Alcotest.(check (list int))
+          "imported rows agree"
+          (P.Oracle.points_to_list oracle v)
+          (P.Oracle.points_to_list back v)
+      done;
+      Alcotest.(check int) "distinct rows survive"
+        (P.Oracle.distinct_rows oracle)
+        (P.Oracle.distinct_rows back));
+  (match P.Oracle.import ~generation:4 text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "generation mismatch accepted");
+  (match P.Oracle.import ~generation:3 "jmpsnap 1 3 0 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong magic accepted");
+  match P.Oracle.import ~generation:3 "oraclesnap 1 3 5 5 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated snapshot accepted"
+
+(* ------------------------- service tier ---------------------------- *)
+
+let make_service ?(context_sensitive = false) ~oracle () =
+  let b = Lazy.force tiny in
+  let config =
+    {
+      P.Service.default_config with
+      P.Service.threads = 1;
+      max_batch = 8;
+      max_wait = 0.0;
+      context_sensitive;
+      oracle;
+    }
+  in
+  (b, P.Service.create ~config ~type_level:b.P.Suite.type_level b.P.Suite.pag)
+
+(* Drive budget-free queries and table each response's comparable payload
+   by id. Tier metadata (latency, steps, cached) is excluded on purpose:
+   identity is defined over what the answer {e says}, (var, objects). *)
+let drive_and_table svc queries =
+  let table = Hashtbl.create 64 in
+  Array.iteri
+    (fun i v ->
+      P.Service.submit svc
+        ~now:(float_of_int i)
+        ~respond:(fun r ->
+          let payload =
+            match r with
+            | P.Svc_protocol.Answer { var; objects; _ } ->
+                `Answer (var, objects)
+            | P.Svc_protocol.Timeout { reason; _ } -> `Timeout reason
+            | _ -> `Other
+          in
+          Hashtbl.replace table i payload)
+        (P.Svc_protocol.Query
+           {
+             id = i;
+             var = Printf.sprintf "#%d" v;
+             budget = None;
+             deadline_ms = None;
+             trace = None;
+           });
+      ignore (P.Service.pump ~force:true svc ~now:(float_of_int i)))
+    queries;
+  P.Service.drain svc ~now:1e6;
+  table
+
+let test_service_identity () =
+  let b, off = make_service ~oracle:false () in
+  let _, on = make_service ~oracle:true () in
+  let queries = b.P.Suite.queries in
+  let off_t = drive_and_table off queries in
+  let on_t = drive_and_table on queries in
+  Array.iteri
+    (fun i _ ->
+      let payload side t =
+        match Hashtbl.find_opt t i with
+        | Some p -> p
+        | None -> Alcotest.failf "%s arm lost request %d" side i
+      in
+      if payload "off" off_t <> payload "on" on_t then
+        Alcotest.failf "request %d differs between the arms" i)
+    queries;
+  let m = P.Service.metrics on in
+  Alcotest.(check int) "every request was an oracle hit"
+    (Array.length queries)
+    (P.Svc_metrics.get m P.Svc_metrics.Oracle_hit);
+  (* The tier sits before the cache: oracle traffic never touches it. *)
+  Alcotest.(check int) "no cache lookups behind the tier" 0
+    (P.Svc_metrics.get m P.Svc_metrics.Cache_hit
+    + P.Svc_metrics.get m P.Svc_metrics.Cache_miss);
+  Alcotest.(check int) "off arm never counts oracle hits" 0
+    (P.Svc_metrics.get (P.Service.metrics off) P.Svc_metrics.Oracle_hit);
+  P.Service.shutdown off;
+  P.Service.shutdown on
+
+let submit_one svc ~id ~var ~budget ~deadline_ms =
+  let got = ref None in
+  P.Service.submit svc ~now:0.0
+    ~respond:(fun r -> got := Some r)
+    (P.Svc_protocol.Query { id; var; budget; deadline_ms; trace = None });
+  ignore (P.Service.pump ~force:true svc ~now:0.0);
+  P.Service.drain svc ~now:0.0;
+  !got
+
+let test_refined_falls_through () =
+  let _, svc = make_service ~oracle:true () in
+  let m = P.Service.metrics svc in
+  (* A budgeted request must get the solver's semantics, not the oracle's
+     exhaustive answer — it falls through and counts a miss. *)
+  (match
+     submit_one svc ~id:0 ~var:"#0" ~budget:(Some 4000) ~deadline_ms:None
+   with
+  | Some (P.Svc_protocol.Answer _) | Some (P.Svc_protocol.Timeout _) -> ()
+  | _ -> Alcotest.fail "budgeted request got no solver response");
+  Alcotest.(check int) "budget refinement is a miss" 1
+    (P.Svc_metrics.get m P.Svc_metrics.Oracle_miss);
+  (match
+     submit_one svc ~id:1 ~var:"#0" ~budget:None
+       ~deadline_ms:(Some 1_000_000.0)
+   with
+  | Some (P.Svc_protocol.Answer _) | Some (P.Svc_protocol.Timeout _) -> ()
+  | _ -> Alcotest.fail "deadlined request got no solver response");
+  Alcotest.(check int) "deadline refinement is a miss" 2
+    (P.Svc_metrics.get m P.Svc_metrics.Oracle_miss);
+  Alcotest.(check int) "refined traffic never hits" 0
+    (P.Svc_metrics.get m P.Svc_metrics.Oracle_hit);
+  P.Service.shutdown svc
+
+let test_generation_death () =
+  let b, svc = make_service ~oracle:true () in
+  let engine = P.Service.engine svc in
+  Alcotest.(check bool) "oracle live at start" true
+    (P.Svc_engine.oracle engine <> None);
+  (* Reloading the PAG bumps the generation; the oracle must die with it
+     and budget-free traffic must degrade to the solver, counted as
+     fallbacks — never answered from the dead oracle's rows. *)
+  P.Svc_engine.load engine b.P.Suite.pag;
+  Alcotest.(check bool) "oracle dead after load" true
+    (P.Svc_engine.oracle engine = None);
+  (match submit_one svc ~id:0 ~var:"#0" ~budget:None ~deadline_ms:None with
+  | Some (P.Svc_protocol.Answer _) -> ()
+  | _ -> Alcotest.fail "post-load request was not answered by the solver");
+  Alcotest.(check int) "fallback counted" 1
+    (P.Svc_metrics.get (P.Service.metrics svc) P.Svc_metrics.Oracle_fallback);
+  P.Service.shutdown svc
+
+let test_cs_service_never_builds () =
+  let _, svc = make_service ~context_sensitive:true ~oracle:true () in
+  Alcotest.(check bool) "CS engine built no oracle" true
+    (P.Svc_engine.oracle (P.Service.engine svc) = None);
+  (match submit_one svc ~id:0 ~var:"#0" ~budget:None ~deadline_ms:None with
+  | Some (P.Svc_protocol.Answer _) -> ()
+  | _ -> Alcotest.fail "CS request was not answered by the solver");
+  Alcotest.(check int) "CS tier degrades as fallback" 1
+    (P.Svc_metrics.get (P.Service.metrics svc) P.Svc_metrics.Oracle_fallback);
+  (* And an import can never smuggle CI rows into a CS engine. *)
+  let text =
+    P.Oracle.export (P.Oracle.build ~generation:0 (Lazy.force tiny).P.Suite.pag)
+  in
+  (match P.Service.import_oracle svc text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "CS service accepted an oracle import");
+  P.Service.shutdown svc
+
+let test_import_arms_tier () =
+  let b, svc = make_service ~oracle:false () in
+  let m = P.Service.metrics svc in
+  (* Without the tier, budget-free traffic takes the normal path and no
+     oracle counter moves. *)
+  ignore (submit_one svc ~id:0 ~var:"#0" ~budget:None ~deadline_ms:None);
+  Alcotest.(check int) "tier off: no oracle accounting" 0
+    (P.Svc_metrics.get m P.Svc_metrics.Oracle_hit
+    + P.Svc_metrics.get m P.Svc_metrics.Oracle_miss
+    + P.Svc_metrics.get m P.Svc_metrics.Oracle_fallback);
+  let donor = P.Oracle.build ~generation:0 b.P.Suite.pag in
+  (match P.Service.import_oracle svc (P.Oracle.export donor) with
+  | Error e -> Alcotest.failf "import refused: %s" e
+  | Ok rows ->
+      Alcotest.(check int) "imported row count" (P.Oracle.distinct_rows donor)
+        rows);
+  (* The joiner path: a successful import arms the tier. *)
+  (match submit_one svc ~id:1 ~var:"#1" ~budget:None ~deadline_ms:None with
+  | Some (P.Svc_protocol.Answer { objects; _ }) ->
+      let pag = b.P.Suite.pag in
+      let expect =
+        P.Oracle.points_to_list donor 1
+        |> List.map (Pag.obj_name pag)
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check (list string)) "armed answer = donor rows" expect objects
+  | _ -> Alcotest.fail "armed tier did not answer");
+  Alcotest.(check int) "post-import hit" 1
+    (P.Svc_metrics.get m P.Svc_metrics.Oracle_hit);
+  P.Service.shutdown svc
+
+(* --------------------- stats/exposition parity --------------------- *)
+
+let counter_value fams name =
+  List.find_map
+    (function
+      | P.Expo.Counter { name = n; samples = [ { P.Expo.value; _ } ]; _ }
+        when n = name ->
+          Some value
+      | _ -> None)
+    fams
+
+let gauge_value fams name =
+  List.find_map
+    (function
+      | P.Expo.Gauge { name = n; samples = [ { P.Expo.value; _ } ]; _ }
+        when n = name ->
+          Some value
+      | _ -> None)
+    fams
+
+let stats_int stats field =
+  match P.Json.member field stats with
+  | Some (P.Json.Int i) -> i
+  | _ -> Alcotest.failf "stats field %s missing or not an int" field
+
+let test_metrics_parity () =
+  let b, svc = make_service ~oracle:true () in
+  ignore (drive_and_table svc b.P.Suite.queries);
+  (* One refined request so the miss counter is nonzero too. *)
+  ignore (submit_one svc ~id:999 ~var:"#0" ~budget:(Some 4000) ~deadline_ms:None);
+  let stats = P.Service.metrics_json svc in
+  let fams =
+    match P.Expo.parse_families (P.Service.metrics_text svc) with
+    | Ok fams -> fams
+    | Error e -> Alcotest.failf "exposition did not parse: %s" e
+  in
+  List.iter
+    (fun (stat_field, family) ->
+      match counter_value fams family with
+      | None -> Alcotest.failf "exposition lacks %s" family
+      | Some v ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s = %s" stat_field family)
+            (stats_int stats stat_field) (int_of_float v))
+    [
+      ("oracle_hits", "parcfl_oracle_hits_total");
+      ("oracle_misses", "parcfl_oracle_misses_total");
+      ("oracle_fallbacks", "parcfl_oracle_fallbacks_total");
+    ];
+  Alcotest.(check bool) "hits actually flowed" true
+    (stats_int stats "oracle_hits" > 0);
+  Alcotest.(check bool) "miss actually flowed" true
+    (stats_int stats "oracle_misses" > 0);
+  (match gauge_value fams "parcfl_oracle_live" with
+  | Some 1.0 -> ()
+  | v -> Alcotest.failf "parcfl_oracle_live = %s" (match v with Some f -> string_of_float f | None -> "absent"));
+  (match gauge_value fams "parcfl_oracle_distinct_rows" with
+  | Some v ->
+      Alcotest.(check int) "distinct rows agree"
+        (stats_int stats "oracle_distinct_rows")
+        (int_of_float v)
+  | None -> Alcotest.fail "exposition lacks parcfl_oracle_distinct_rows");
+  Alcotest.(check int) "stats reports the tier live" 1
+    (stats_int stats "oracle_live");
+  P.Service.shutdown svc
+
+let suite =
+  ( "oracle_tier",
+    [
+      Alcotest.test_case "oracle = Andersen on all profiles" `Slow
+        test_all_profiles;
+      Alcotest.test_case "oracle = budgetless demand" `Slow
+        test_demand_agreement;
+      QCheck_alcotest.to_alcotest prop_three_way_random;
+      QCheck_alcotest.to_alcotest prop_may_alias_random;
+      Alcotest.test_case "shape and bounds" `Quick test_shape;
+      Alcotest.test_case "export/import round trip" `Quick test_export_import;
+      Alcotest.test_case "service answers byte-identical" `Quick
+        test_service_identity;
+      Alcotest.test_case "refined requests fall through" `Quick
+        test_refined_falls_through;
+      Alcotest.test_case "generation death falls back" `Quick
+        test_generation_death;
+      Alcotest.test_case "CS service never builds/imports" `Quick
+        test_cs_service_never_builds;
+      Alcotest.test_case "import arms the tier" `Quick test_import_arms_tier;
+      Alcotest.test_case "stats/exposition parity" `Quick test_metrics_parity;
+    ] )

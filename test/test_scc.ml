@@ -32,6 +32,20 @@ let test_self_loop () =
   Alcotest.(check bool) "trivial by member count" true
     (Scc.is_trivial scc scc.Scc.comp_of.(0))
 
+(* The regression has_self_loop exists to prevent: a self-looped singleton
+   is trivial by member count but still cyclic — callers asking "does this
+   component contain a cycle?" must not use is_trivial alone. *)
+let test_has_self_loop () =
+  let scc, succs = compute 4 [ (0, 0); (0, 1); (2, 3); (3, 2) ] in
+  Alcotest.(check bool) "self-looped singleton is cyclic" true
+    (Scc.has_self_loop scc ~succs scc.Scc.comp_of.(0));
+  Alcotest.(check bool) "but still trivial by member count" true
+    (Scc.is_trivial scc scc.Scc.comp_of.(0));
+  Alcotest.(check bool) "plain singleton is acyclic" false
+    (Scc.has_self_loop scc ~succs scc.Scc.comp_of.(1));
+  Alcotest.(check bool) "multi-member component is cyclic" true
+    (Scc.has_self_loop scc ~succs scc.Scc.comp_of.(2))
+
 let test_condensation () =
   let scc, succs = compute 6 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2); (4, 5) ] in
   let dag = Scc.condensation scc ~succs in
@@ -115,6 +129,8 @@ let suite =
       Alcotest.test_case "chain" `Quick test_chain;
       Alcotest.test_case "cycle" `Quick test_cycle;
       Alcotest.test_case "self loop" `Quick test_self_loop;
+      Alcotest.test_case "has_self_loop vs is_trivial" `Quick
+        test_has_self_loop;
       Alcotest.test_case "condensation" `Quick test_condensation;
       Alcotest.test_case "longest path (diamondish)" `Quick test_longest_path;
       Alcotest.test_case "longest path (branch)" `Quick test_longest_path_branch;
