@@ -1521,6 +1521,152 @@ let serve_oracle ms =
     Format.std_formatter rows
 
 (* ------------------------------------------------------------------ *)
+(* Service: the explain tier. Measures the traced re-derivation's p95   *)
+(* against the plain serve path, and proves the witness index is free   *)
+(* on the hot path: the same 400-query mix runs on a cold service and   *)
+(* on one whose index was populated by a batch of explains — the two    *)
+(* p95s must agree (regress.ml holds them together).                    *)
+
+let explain_entries : P.Json.t list ref = ref []
+
+let serve_explain ms =
+  let ms = ablation_sample ms in
+  Format.printf
+    "@.== Service: explain tier and the witness/dependency index ==@.@.";
+  let rows =
+    List.map
+      (fun m ->
+        let b = m.bench in
+        let name = b.P.Suite.profile.P.Profile.name in
+        let mix = P.Suite.query_mix b ~n:400 in
+        let mk_service () =
+          P.Service.create
+            ~config:
+              {
+                P.Service.default_config with
+                P.Service.threads = 2;
+                max_batch = 32;
+                max_wait = 0.0;
+                tau_f = Some tau_f;
+                tau_u = Some tau_u;
+                max_budget = budget;
+              }
+            ~type_level:b.P.Suite.type_level b.P.Suite.pag
+        in
+        let drive service =
+          let lats = ref [] in
+          let note = function
+            | P.Svc_protocol.Answer { latency_us; _ }
+            | P.Svc_protocol.Timeout { latency_us; _ } ->
+                lats := latency_us :: !lats
+            | _ -> ()
+          in
+          Array.iteri
+            (fun i v ->
+              P.Service.submit service ~now:(Unix.gettimeofday ())
+                ~respond:note
+                (P.Svc_protocol.Query
+                   {
+                     id = i;
+                     var = Printf.sprintf "#%d" v;
+                     budget = None;
+                     deadline_ms = None;
+                     trace = None;
+                   });
+              ignore (P.Service.pump service ~now:(Unix.gettimeofday ())))
+            mix;
+          P.Service.drain service ~now:(Unix.gettimeofday ());
+          !lats
+        in
+        let t0 = Unix.gettimeofday () in
+        (* Control arm: the mix against a service whose index is empty. *)
+        let plain = mk_service () in
+        let serve_plain_p95 = p95_us (drive plain) in
+        P.Service.shutdown plain;
+        (* Explain arm: populate the index by explaining one fact per
+           sampled variable, then rerun the identical mix on the same
+           service — any hot-path cost of the resident index shows as a
+           p95 gap against the control arm. *)
+        let svc = mk_service () in
+        let sample =
+          Array.to_list mix |> List.sort_uniq compare
+          |> List.filteri (fun i _ -> i < 32)
+        in
+        let facts =
+          let s =
+            P.Solver.make_session ~config:P.Config.default
+              ~ctx_store:(P.Ctx.create_store ()) b.P.Suite.pag
+          in
+          List.filter_map
+            (fun v ->
+              match (P.Solver.points_to s v).P.Query.result with
+              | P.Query.Points_to ((o, _) :: _) -> Some (v, o)
+              | _ -> None)
+            sample
+        in
+        let explain_lats = ref [] and found = ref 0 in
+        List.iteri
+          (fun i (v, o) ->
+            P.Service.submit svc ~now:(Unix.gettimeofday ())
+              ~respond:(fun r ->
+                match r with
+                | P.Svc_protocol.Explain_reply
+                    { found = f; latency_us; _ } ->
+                    if f then incr found;
+                    explain_lats := latency_us :: !explain_lats
+                | _ -> ())
+              (P.Svc_protocol.Explain
+                 {
+                   id = i;
+                   var = Printf.sprintf "#%d" v;
+                   obj = Printf.sprintf "#%d" o;
+                 });
+            ignore (P.Service.pump svc ~now:(Unix.gettimeofday ())))
+          facts;
+        let idx = P.Service.witness_index svc in
+        let indexed_entries = P.Provenance.entries idx in
+        let postings_bytes = P.Provenance.bytes idx in
+        let serve_indexed_p95 = p95_us (drive svc) in
+        P.Service.shutdown svc;
+        let wall = Unix.gettimeofday () -. t0 in
+        let explain_p95 = p95_us !explain_lats in
+        explain_entries :=
+          P.Json.Obj
+            [
+              ("section", P.Json.String "serve_explain");
+              ("bench", P.Json.String name);
+              ("requests", P.Json.Int (Array.length mix));
+              ("explains", P.Json.Int (List.length facts));
+              ("explains_found", P.Json.Int !found);
+              ("explain_p95_us", P.Json.Float explain_p95);
+              ("serve_plain_p95_us", P.Json.Float serve_plain_p95);
+              ("serve_indexed_p95_us", P.Json.Float serve_indexed_p95);
+              ("indexed_entries", P.Json.Int indexed_entries);
+              ("postings_bytes", P.Json.Int postings_bytes);
+              ("wall_seconds", P.Json.Float wall);
+            ]
+          :: !explain_entries;
+        [
+          name;
+          string_of_int (List.length facts);
+          string_of_int !found;
+          T.fmt_float ~decimals:1 explain_p95;
+          T.fmt_float ~decimals:1 serve_plain_p95;
+          T.fmt_float ~decimals:1 serve_indexed_p95;
+          string_of_int indexed_entries;
+          T.fmt_int postings_bytes;
+        ])
+      ms
+  in
+  T.render
+    ~header:
+      [
+        "Benchmark"; "#expl"; "found"; "explain p95 us"; "plain p95 us";
+        "indexed p95 us"; "entries"; "bytes";
+      ]
+    Format.std_formatter rows
+
+(* ------------------------------------------------------------------ *)
 
 (* History files kept by --keep N (newest first); None leaves every run. *)
 let keep_history : int option ref = ref None
@@ -1544,6 +1690,7 @@ let emit_results ms =
     @ List.rev !coldwarm_entries
     @ List.rev !cluster_entries
     @ List.rev !oracle_entries
+    @ List.rev !explain_entries
   in
   let meta =
     [
@@ -1613,7 +1760,7 @@ let () =
       [
         "table1"; "table2"; "fig6"; "fig7"; "fig8"; "mem"; "ablate";
         "refinecmp"; "serve"; "serve_coldwarm"; "serve_cluster";
-        "serve_oracle"; "micro";
+        "serve_oracle"; "serve_explain"; "micro";
       ]
     else sections
   in
@@ -1640,6 +1787,7 @@ let () =
       | "serve_coldwarm" -> serve_coldwarm ms
       | "serve_cluster" -> serve_cluster ms
       | "serve_oracle" -> serve_oracle ms
+      | "serve_explain" -> serve_explain ms
       | "micro" -> micro ms
       | s -> Format.printf "unknown section %S (skipped)@." s)
     sections;

@@ -251,6 +251,51 @@ let check_oracle k b l acc =
       | _ -> acc)
   | _ -> acc
 
+(* The explain tier is a cold diagnostic path — a traced re-derivation
+   with data sharing off — so its latency gate is deliberately loose:
+   p95 bounded by twice the committed baseline plus a 50 ms absolute
+   floor. Tightening it would gate provenance quality on scheduler
+   noise; the tier's correctness is the test suite's job. *)
+let explain_ratio = 2.0
+let explain_floor_us = 50_000.0
+
+let check_explain k b l acc =
+  match str "section" b with
+  | Some "serve_explain" -> (
+      match (num "explain_p95_us" b, num "explain_p95_us" l) with
+      | Some bp, Some lp when lp > (bp *. explain_ratio) +. explain_floor_us
+        ->
+          Printf.sprintf
+            "%s: explain_p95_us %.0f exceeds %.1fx baseline %.0f + %.0fus \
+             floor"
+            k lp explain_ratio bp explain_floor_us
+          :: acc
+      | _ -> acc)
+  | _ -> acc
+
+(* The witness index must be free on the serve hot path. Like the
+   rebalance rule this reads only the fresh run: serve_explain drives
+   the identical 400-query mix against an empty index and a populated
+   one, so a populated arm slower than the control arm beyond scheduler
+   noise means the index leaked into the serve path. *)
+let indexed_serve_ratio = 1.5
+let indexed_serve_floor_us = 5_000.0
+
+let check_indexed_serve_free k _b l acc =
+  match str "section" l with
+  | Some "serve_explain" -> (
+      match (num "serve_plain_p95_us" l, num "serve_indexed_p95_us" l) with
+      | Some plain, Some indexed
+        when indexed > (plain *. indexed_serve_ratio) +. indexed_serve_floor_us
+        ->
+          Printf.sprintf
+            "%s: serve p95 with the witness index resident (%.0fus) exceeds \
+             the plain arm (%.0fus) beyond noise"
+            k indexed plain
+          :: acc
+      | _ -> acc)
+  | _ -> acc
+
 let check_entry k baseline latest =
   []
   |> check_wall k baseline latest
@@ -266,10 +311,13 @@ let check_entry k baseline latest =
   |> check_no_drop "off_completed" k baseline latest
   |> check_no_drop "on_completed" k baseline latest
   |> check_no_drop "identical_answers" k baseline latest
+  |> check_no_drop "explains_found" k baseline latest
   |> check_coldwarm k baseline latest
   |> check_oracle k baseline latest
   |> check_cluster_speedup k baseline latest
   |> check_rebalance_not_worse k baseline latest
+  |> check_explain k baseline latest
+  |> check_indexed_serve_free k baseline latest
   |> List.rev
 
 (* ------------------------------------------------------------------ *)
@@ -412,6 +460,23 @@ let self_test () =
         ("wall_seconds", J.Float 0.001);
       ]
   in
+  let explain ?(bench = "b") ?(explain_p95 = 300.0) ?(plain_p95 = 50.0)
+      ?(indexed_p95 = 48.0) ?(found = 24) () =
+    J.Obj
+      [
+        ("section", J.String "serve_explain");
+        ("bench", J.String bench);
+        ("requests", J.Int 400);
+        ("explains", J.Int 24);
+        ("explains_found", J.Int found);
+        ("explain_p95_us", J.Float explain_p95);
+        ("serve_plain_p95_us", J.Float plain_p95);
+        ("serve_indexed_p95_us", J.Float indexed_p95);
+        ("indexed_entries", J.Int 24);
+        ("postings_bytes", J.Int 2608);
+        ("wall_seconds", J.Float 0.1);
+      ]
+  in
   let doc es = J.Obj [ ("schema", J.Int 1); ("entries", J.List es) ] in
   let base =
     doc
@@ -441,6 +506,7 @@ let self_test () =
         oracle ~bench:"big" ~fallback_p95:100.0 ~oracle_p95:90.0
           ~hit_rate:0.5 ();
         rebalance ();
+        explain ();
       ]
   in
   let expect name doc' want =
@@ -622,6 +688,21 @@ let self_test () =
   (* A rebalance that holds or improves the busiest share passes... *)
   run "rebalance-not-worse-holds" (doc [ rebalance () ]) 0;
   run "rebalance-no-op" (doc [ rebalance ~after:0.5 () ]) 0;
+  (* Explain: the loose 2x + 50ms bound absorbs a slow diagnostic path;
+     blowing past it is a regression. *)
+  run "explain-latency-regression" (doc [ explain ~explain_p95:51_000.0 () ]) 1;
+  run "explain-latency-within-floor"
+    (doc [ explain ~explain_p95:40_000.0 () ])
+    0;
+  (* The within-run hot-path check: a populated index must not slow the
+     plain serve mix. Reads only the fresh entry. *)
+  run "explain-index-not-free"
+    (doc [ explain ~plain_p95:50.0 ~indexed_p95:5_100.0 () ])
+    1;
+  run "explain-index-noise-tolerated"
+    (doc [ explain ~plain_p95:50.0 ~indexed_p95:60.0 () ])
+    0;
+  run "explain-found-drop" (doc [ explain ~found:20 () ]) 1;
   (* ...one that makes it worse is structurally broken. *)
   run "rebalance-made-it-worse" (doc [ rebalance ~after:0.6 () ]) 1;
   run "everything-at-once"

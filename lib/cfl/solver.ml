@@ -810,12 +810,100 @@ module Witness = struct
             if not (Ctx.is_empty c) then Format.fprintf ppf "%a" (Ctx.pp store) c) s.ctx)
       t.steps;
     Format.fprintf ppf " <-new- %s" (Pag.obj_name pag t.obj)
+
+  (* The PAG edges a witness claims to have followed, in traversal order:
+     each step's [via] names how its variable was reached from the previous
+     step's, a heap step expands to its matched load/store pair, and the
+     chain closes with the holder's allocation edge. Purely structural — no
+     graph lookups — so a caller can check the claims against any PAG. *)
+  let edges w =
+    let rec go prev = function
+      | [] -> [ Pag.New { dst = prev.var; obj = w.obj } ]
+      | cur :: rest ->
+          let es =
+            match cur.via with
+            | Start -> [] (* malformed: only the first step starts *)
+            | Assign -> [ Pag.Assign { dst = prev.var; src = cur.var } ]
+            | Global -> [ Pag.Assign_global { dst = prev.var; src = cur.var } ]
+            | Param i -> [ Pag.Param { dst = prev.var; site = i; src = cur.var } ]
+            | Ret i -> [ Pag.Ret { dst = prev.var; site = i; src = cur.var } ]
+            | Heap { field; load_base; store_base } ->
+                [
+                  Pag.Load { dst = prev.var; base = load_base; field };
+                  Pag.Store { base = store_base; field; src = cur.var };
+                ]
+          in
+          es @ go cur rest
+    in
+    match w.steps with [] -> [] | first :: rest -> go first rest
+
+  let describe_edge pag e =
+    let v = Pag.var_name pag in
+    match e with
+    | Pag.New { dst; obj } ->
+        Printf.sprintf "new(%s <- %s)" (v dst) (Pag.obj_name pag obj)
+    | Pag.Assign { dst; src } -> Printf.sprintf "assign(%s <- %s)" (v dst) (v src)
+    | Pag.Assign_global { dst; src } ->
+        Printf.sprintf "assign_g(%s <- %s)" (v dst) (v src)
+    | Pag.Load { dst; base; field } ->
+        Printf.sprintf "load(%s = %s.f%d)" (v dst) (v base) field
+    | Pag.Store { base; field; src } ->
+        Printf.sprintf "store(%s.f%d = %s)" (v base) field (v src)
+    | Pag.Param { dst; site; src } ->
+        Printf.sprintf "param_%d(%s <- %s)" site (v dst) (v src)
+    | Pag.Ret { dst; site; src } ->
+        Printf.sprintf "ret_%d(%s <- %s)" site (v dst) (v src)
+
+  (* Machine verification: replay the witness edge-by-edge against a frozen
+     PAG. The witness re-derives the answer iff its chain starts at the
+     query variable, every claimed edge exists in the graph, and the chain
+     terminates in the object's allocation (the final [New] edge [edges]
+     appends). This is the differential the wire `explain` verb is held
+     to. *)
+  let replay pag ~query w =
+    match w.steps with
+    | [] -> Error "empty witness"
+    | first :: rest ->
+        if first.via <> Start then Error "first step is not the query"
+        else if first.var <> query then
+          Error
+            (Printf.sprintf "witness starts at %s, not the query %s"
+               (Pag.var_name pag first.var)
+               (Pag.var_name pag query))
+        else if List.exists (fun s -> s.via = Start) rest then
+          Error "interior Start step"
+        else
+          let rec check = function
+            | [] -> Ok ()
+            | e :: es ->
+                if Pag.has_edge pag e then check es
+                else
+                  Error
+                    (Printf.sprintf "edge not in the PAG: %s"
+                       (describe_edge pag e))
+          in
+          check (edges w)
+
+  (* The chain as stable edge ids (see {!Pag.edge_id}), traversal order. *)
+  let edge_ids pag w =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: es -> (
+          match Pag.edge_id pag e with
+          | Some id -> go (id :: acc) es
+          | None ->
+              Error
+                (Printf.sprintf "edge not in the PAG: %s" (describe_edge pag e)))
+    in
+    go [] (edges w)
+
+  let depth w = List.length w.steps
 end
 
-(* Explain why [l] may point to [o]: re-run the query with provenance
-   tracing (sharing disabled — replayed shortcuts carry no provenance) and
-   walk the parent chain from the allocation back to the query variable. *)
-let explain ?(worker = 0) s l o =
+(* Re-run [l]'s query with provenance tracing (sharing disabled — replayed
+   shortcuts carry no provenance) and hand back the filled trace, or [None]
+   when the budget ran out. *)
+let traced_run s worker l =
   let tr =
     { parents = Int_table.create ~capacity:256 (); facts = Hashtbl.create 64 }
   in
@@ -831,59 +919,111 @@ let explain ?(worker = 0) s l o =
   in
   match run () with
   | exception Out_of_budget_exn _ -> None
-  | _ -> (
-      (* Find any recorded fact for this object (any context). *)
-      let found =
-        Hashtbl.fold
-          (fun fk holder acc ->
-            match acc with
-            | Some _ -> acc
-            | None ->
-                if Pack.hi fk = o then Some (Pack.lo fk, holder) else None)
-          tr.facts None
+  | _ -> Some tr
+
+(* Walk the trace's parent chain from [o]'s allocation holder back to the
+   query variable. *)
+let witness_of_trace tr o =
+  (* Find any recorded fact for this object (any context). *)
+  let found =
+    Hashtbl.fold
+      (fun fk holder acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if Pack.hi fk = o then Some (Pack.lo fk, holder) else None)
+      tr.facts None
+  in
+  match found with
+  | None -> None
+  | Some (obj_ctx, (hx, hc)) ->
+      (* Walk parents from the holder back to the query variable; the
+         chain is acyclic by construction but guard anyway. *)
+      let guard = Hashtbl.create 64 in
+      let rec walk v c acc =
+        let k = key v c in
+        if Hashtbl.mem guard k then acc
+        else begin
+          Hashtbl.add guard k ();
+          match Int_table.find tr.parents k with
+          | None | Some P_start ->
+              { Witness.var = v; ctx = c; via = Witness.Start } :: acc
+          | Some (P_assign (pv, pc)) ->
+              walk pv pc
+                ({ Witness.var = v; ctx = c; via = Witness.Assign } :: acc)
+          | Some (P_global (pv, pc)) ->
+              walk pv pc
+                ({ Witness.var = v; ctx = c; via = Witness.Global } :: acc)
+          | Some (P_param (i, pv, pc)) ->
+              walk pv pc
+                ({ Witness.var = v; ctx = c; via = Witness.Param i } :: acc)
+          | Some (P_ret (i, pv, pc)) ->
+              walk pv pc
+                ({ Witness.var = v; ctx = c; via = Witness.Ret i } :: acc)
+          | Some (P_heap { p_var; p_ctx; field; load_base; store_base }) ->
+              walk p_var p_ctx
+                ({
+                   Witness.var = v;
+                   ctx = c;
+                   via = Witness.Heap { field; load_base; store_base };
+                 }
+                :: acc)
+        end
       in
-      match found with
-      | None -> None
-      | Some (obj_ctx, (hx, hc)) ->
-          (* Walk parents from the holder back to the query variable; the
-             chain is acyclic by construction but guard anyway. *)
-          let guard = Hashtbl.create 64 in
-          let rec walk v c acc =
-            let k = key v c in
-            if Hashtbl.mem guard k then acc
-            else begin
-              Hashtbl.add guard k ();
-              match Int_table.find tr.parents k with
-              | None | Some P_start ->
-                  { Witness.var = v; ctx = c; via = Witness.Start } :: acc
-              | Some (P_assign (pv, pc)) ->
-                  walk pv pc
-                    ({ Witness.var = v; ctx = c; via = Witness.Assign } :: acc)
-              | Some (P_global (pv, pc)) ->
-                  walk pv pc
-                    ({ Witness.var = v; ctx = c; via = Witness.Global } :: acc)
-              | Some (P_param (i, pv, pc)) ->
-                  walk pv pc
-                    ({ Witness.var = v; ctx = c; via = Witness.Param i } :: acc)
-              | Some (P_ret (i, pv, pc)) ->
-                  walk pv pc
-                    ({ Witness.var = v; ctx = c; via = Witness.Ret i } :: acc)
-              | Some (P_heap { p_var; p_ctx; field; load_base; store_base }) ->
-                  walk p_var p_ctx
-                    ({
-                       Witness.var = v;
-                       ctx = c;
-                       via = Witness.Heap { field; load_base; store_base };
-                     }
-                    :: acc)
-            end
-          in
-          Some
-            {
-              Witness.steps = walk hx hc [];
-              obj = o;
-              obj_ctx = Ctx.unsafe_of_int obj_ctx;
-            })
+      Some
+        {
+          Witness.steps = walk hx hc [];
+          obj = o;
+          obj_ctx = Ctx.unsafe_of_int obj_ctx;
+        }
+
+(* Every PAG edge the traced traversal recorded, as sorted-unique stable
+   edge ids: one edge per parent entry (two for heap steps — the matched
+   load and store), plus the allocation edge behind every recorded fact.
+   This is the answer's dependency footprint — the postings the witness
+   index stores and ROADMAP item 1's delta layer will consult. Nested
+   alias-test traversals are not traced (the heap prov already names the
+   matched load/store pair), so the footprint covers the outermost
+   derivation. *)
+let deps_of_trace pag tr =
+  let ids = Hashtbl.create 256 in
+  let add e =
+    match Pag.edge_id pag e with
+    | Some id -> Hashtbl.replace ids id ()
+    | None -> ()
+  in
+  Int_table.iter
+    (fun k prov ->
+      let v = Pack.hi k in
+      match prov with
+      | P_start -> ()
+      | P_assign (pv, _) -> add (Pag.Assign { dst = pv; src = v })
+      | P_global (pv, _) -> add (Pag.Assign_global { dst = pv; src = v })
+      | P_param (i, pv, _) -> add (Pag.Param { dst = pv; site = i; src = v })
+      | P_ret (i, pv, _) -> add (Pag.Ret { dst = pv; site = i; src = v })
+      | P_heap { p_var; field; load_base; store_base; _ } ->
+          add (Pag.Load { dst = p_var; base = load_base; field });
+          add (Pag.Store { base = store_base; field; src = v }))
+    tr.parents;
+  Hashtbl.iter
+    (fun fk (hx, _) -> add (Pag.New { dst = hx; obj = Pack.hi fk }))
+    tr.facts;
+  let arr = Array.of_seq (Hashtbl.to_seq_keys ids) in
+  Array.sort compare arr;
+  arr
+
+(* Explain why [l] may point to [o]: one traced re-run, then the parent
+   walk. *)
+let explain ?(worker = 0) s l o =
+  match traced_run s worker l with
+  | None -> None
+  | Some tr -> witness_of_trace tr o
+
+(* [explain] plus the traced answer's full dependency footprint, from the
+   same single traced run. *)
+let explain_deps ?(worker = 0) s l o =
+  match traced_run s worker l with
+  | None -> (None, [||])
+  | Some tr -> (witness_of_trace tr o, deps_of_trace s.pag tr)
 
 let may_alias ?(worker = 0) s v1 v2 =
   let o1 = points_to ~worker s v1 in

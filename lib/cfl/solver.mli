@@ -117,6 +117,26 @@ module Witness : sig
     Format.formatter ->
     t ->
     unit
+
+  val edges : t -> Parcfl_pag.Pag.edge list
+  (** The PAG edges the witness claims to have followed, in traversal
+      order: one per step (two for a heap step — the matched load and
+      store), closed by the holder's [New] edge. Purely structural; check
+      the claims with {!replay}. *)
+
+  val replay :
+    Parcfl_pag.Pag.t -> query:Parcfl_pag.Pag.var -> t -> (unit, string) result
+  (** Machine verification: the witness re-derives the answer iff it starts
+      at [query], every edge of {!edges} exists in the graph, and the chain
+      terminates in the object's allocation. [Error] names the first
+      violated claim. *)
+
+  val edge_ids : Parcfl_pag.Pag.t -> t -> (int list, string) result
+  (** {!edges} resolved to stable ids ({!Parcfl_pag.Pag.edge_id}),
+      traversal order; [Error] when a claimed edge is not in the graph. *)
+
+  val depth : t -> int
+  (** Number of steps (query variable included). *)
 end
 
 val explain :
@@ -128,3 +148,17 @@ val explain :
 (** [explain s l o] re-runs the query with provenance tracing (data sharing
     disabled for this query) and returns a witness path when [o] is indeed
     in [l]'s points-to set within budget; [None] otherwise. *)
+
+val explain_deps :
+  ?worker:int ->
+  session ->
+  Parcfl_pag.Pag.var ->
+  Parcfl_pag.Pag.obj ->
+  Witness.t option * int array
+(** [explain] plus the traced answer's dependency footprint from the same
+    single traced run: every PAG edge the outermost derivation recorded
+    (assign/global/param/ret parents, matched load/store pairs, allocation
+    edges behind each fact) as sorted-unique stable edge ids. The array is
+    the whole answer's footprint — it does not depend on which object was
+    asked about — and is what the service's witness index stores. Empty
+    when the traced run exhausts its budget. *)

@@ -198,6 +198,18 @@ let merge_stats parts =
              parts) );
     ]
 
+(* ------------------------------ health ----------------------------- *)
+
+let merge_health ?(drained = []) parts =
+  let healthy = parts <> [] && List.for_all (fun (_, ok, _) -> ok) parts in
+  let reasons =
+    List.concat_map
+      (fun (r, _, reasons) ->
+        List.map (fun s -> Printf.sprintf "replica=\"%d\": %s" r s) reasons)
+      parts
+  in
+  (healthy, drained @ reasons)
+
 (* ----------------------------- slowlog ----------------------------- *)
 
 let num_field k = function

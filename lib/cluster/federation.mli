@@ -39,6 +39,17 @@ val merge_stats :
     index) — the unsummable fields stay inspectable without lying in a
     total. *)
 
+val merge_health :
+  ?drained:string list ->
+  (int * bool * string list) list ->
+  bool * string list
+(** [merge_health ~drained [(replica, healthy, reasons); ...]]: one
+    cluster verdict — [ok] iff {e every} live replica that answered is
+    [ok] (and at least one answered). Each replica's reasons are tagged
+    [replica="N": ...]; [drained] prepends the router's own
+    drained-replica notes, which inform but never flip the verdict
+    (drained replicas are not live). *)
+
 val merge_slowlogs :
   ?limit:int -> (int * Parcfl_obs.Json.t) list -> Parcfl_obs.Json.t
 (** Concatenate the replicas' slowlog entry lists, tag each entry with

@@ -63,7 +63,11 @@ type pending = {
    replies gathered here and merged once the last one lands (or its
    replica dies — a dead replica only shrinks the merge, never wedges
    it). *)
-type agg_verb = Agg_metrics | Agg_stats | Agg_slowlog of int option
+type agg_verb =
+  | Agg_metrics
+  | Agg_stats
+  | Agg_slowlog of int option
+  | Agg_health
 
 type agg = {
   g_client : client;
@@ -112,6 +116,7 @@ let now_us () = Unix.gettimeofday () *. 1e6
 let request_with_id req id =
   match req with
   | Proto.Query q -> Proto.Query { q with id }
+  | Proto.Explain e -> Proto.Explain { e with id }
   | Proto.Stats _ -> Proto.Stats id
   | Proto.Metrics _ -> Proto.Metrics id
   | Proto.Slowlog s -> Proto.Slowlog { s with id }
@@ -131,6 +136,7 @@ let response_with_id resp id =
   | Proto.Stats_reply s -> Proto.Stats_reply { s with id }
   | Proto.Metrics_reply m -> Proto.Metrics_reply { m with id }
   | Proto.Slowlog_reply s -> Proto.Slowlog_reply { s with id }
+  | Proto.Explain_reply e -> Proto.Explain_reply { e with id }
   | Proto.Health_reply h -> Proto.Health_reply { h with id }
   | Proto.Drained d -> Proto.Drained { d with id }
   | Proto.Snapshot_reply s -> Proto.Snapshot_reply { s with id }
@@ -269,6 +275,17 @@ let ensure_connected b =
 
 (* ------------------------ gather completion ------------------------ *)
 
+let drained_reasons t =
+  let reasons = ref [] in
+  for i = Array.length t.backends - 1 downto 0 do
+    if not (Failover.is_live t.failover i) then
+      reasons :=
+        Printf.sprintf "replica %d (%s) drained" i
+          (Replica.socket t.backends.(i).b_replica)
+        :: !reasons
+  done;
+  !reasons
+
 let finish_agg t agg =
   if (not agg.g_done) && agg.g_waiting <= 0 then begin
     agg.g_done <- true;
@@ -320,6 +337,22 @@ let finish_agg t agg =
                 id = agg.g_orig_id;
                 entries = Federation.merge_slowlogs ?limit logs;
               }
+      | Agg_health -> (
+          let verdicts =
+            List.filter_map
+              (function
+                | i, Proto.Health_reply { healthy; reasons; _ } ->
+                    Some (i, healthy, reasons)
+                | _ -> None)
+              replies
+          in
+          match verdicts with
+          | [] -> err "no live replica answered"
+          | verdicts ->
+              let healthy, reasons =
+                Federation.merge_health ~drained:(drained_reasons t) verdicts
+              in
+              Proto.Health_reply { id = agg.g_orig_id; healthy; reasons })
     in
     client_send agg.g_client resp
   end
@@ -412,25 +445,12 @@ and backend_died t b reason =
 and route t client req =
   match req with
   | Proto.Ping id -> client_send client (Proto.Pong id)
-  | Proto.Health id ->
-      let reasons = ref [] in
-      for i = Array.length t.backends - 1 downto 0 do
-        if not (Failover.is_live t.failover i) then
-          reasons :=
-            Printf.sprintf "replica %d (%s) drained" i
-              (Replica.socket t.backends.(i).b_replica)
-            :: !reasons
-      done;
-      client_send client
-        (Proto.Health_reply
-           {
-             id;
-             healthy = Failover.n_live t.failover > 0;
-             reasons = !reasons;
-           })
   | Proto.Quit ->
       t.stopping <- true
-  | Proto.Query { var; _ } -> (
+  | Proto.Query { var; _ } | Proto.Explain { var; _ } -> (
+      (* Both resolve a variable and go to the shard that owns its
+         component: a query for the answer, an explain for the answer's
+         provenance — the witness index lives where the answer does. *)
       let accept_us = if t.on_span = None then 0.0 else now_us () in
       match t.resolve var with
       | Error reason ->
@@ -449,7 +469,7 @@ and route t client req =
             let route_us = if t.on_span = None then 0.0 else now_us () in
             forward t client req idx ~var:v ~accept_us ~route_us
           end)
-  | (Proto.Metrics _ | Proto.Stats _ | Proto.Slowlog _)
+  | (Proto.Metrics _ | Proto.Stats _ | Proto.Slowlog _ | Proto.Health _)
     when t.config.admin_replica = None ->
       scatter t client req
   | _ -> (
@@ -519,6 +539,7 @@ and scatter t client req =
             | Proto.Metrics _ -> Agg_metrics
             | Proto.Stats _ -> Agg_stats
             | Proto.Slowlog { limit; _ } -> Agg_slowlog limit
+            | Proto.Health _ -> Agg_health
             | _ -> assert false
           in
           let agg =

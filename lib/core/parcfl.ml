@@ -93,6 +93,9 @@ module Matrix = Parcfl_matrix.Kernel
 module Matrix_seed = Parcfl_matrix.Seed
 module Oracle = Parcfl_oracle.Oracle
 
+(* Provenance *)
+module Provenance = Parcfl_provenance.Index
+
 (* Clients *)
 module Client_session = Parcfl_clients.Client_session
 module Alias_client = Parcfl_clients.Alias_client

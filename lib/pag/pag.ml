@@ -397,6 +397,113 @@ let iter_edges t f =
     iter_row2 t.ret_in dst (fun site src -> f (Ret { dst; site; src }))
   done
 
+(* Stable dense edge ids over the frozen CSRs, in {!iter_edges} relation
+   order (new, assign, gassign, load, store, param, ret). An edge's id is
+   its relation's cumulative base plus its position in the relation's
+   in-side payload array — [store] is keyed by its source, every other
+   relation by its destination — so ids cover [0 .. n_edges-1] densely and
+   never change for the lifetime of the frozen graph. Cold path only:
+   explain/provenance use these, the solver never does. *)
+let edge_bases t =
+  let b1 = Array.length t.new_in.dat in
+  let b2 = b1 + Array.length t.assign_in.dat in
+  let b3 = b2 + Array.length t.gassign_in.dat in
+  let b4 = b3 + Array.length t.load_in.dat in
+  let b5 = b4 + Array.length t.store_out.dat in
+  let b6 = b5 + Array.length t.param_in.dat in
+  (b1, b2, b3, b4, b5, b6)
+
+let find_in_row c node payload =
+  if node < 0 || node + 1 >= Array.length c.off then None
+  else
+    let stop = c.off.(node + 1) in
+    let rec go i =
+      if i >= stop then None
+      else if c.dat.(i) = payload then Some i
+      else go (i + 1)
+    in
+    go c.off.(node)
+
+let edge_id t e =
+  let b1, b2, b3, b4, b5, b6 = edge_bases t in
+  let nv = n_vars t in
+  let packed hi lo =
+    if hi >= 0 && hi < Pack.hi_limit && lo >= 0 && lo < Pack.lo_limit then
+      Some (Pack.unsafe_pack hi lo)
+    else None
+  in
+  let at base = Option.map (fun i -> base + i) in
+  match e with
+  | New { dst; obj } when dst < nv -> at 0 (find_in_row t.new_in dst obj)
+  | Assign { dst; src } when dst < nv ->
+      at b1 (find_in_row t.assign_in dst src)
+  | Assign_global { dst; src } when dst < nv ->
+      at b2 (find_in_row t.gassign_in dst src)
+  | Load { dst; base; field } when dst < nv ->
+      Option.bind (packed field base) (fun p ->
+          at b3 (find_in_row t.load_in dst p))
+  | Store { base; field; src } when src < nv ->
+      Option.bind (packed field base) (fun p ->
+          at b4 (find_in_row t.store_out src p))
+  | Param { dst; site; src } when dst < nv ->
+      Option.bind (packed site src) (fun p ->
+          at b5 (find_in_row t.param_in dst p))
+  | Ret { dst; site; src } when dst < nv ->
+      Option.bind (packed site src) (fun p ->
+          at b6 (find_in_row t.ret_in dst p))
+  | _ -> None
+
+(* Largest row v with off.(v) <= k — the row whose payload range holds
+   slot k (empty rows share an offset; the rightmost owner is the one
+   whose next offset exceeds k). *)
+let row_of c k =
+  let lo = ref 0 and hi = ref (Array.length c.off - 2) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if c.off.(mid) <= k then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let edge_of_id t id =
+  if id < 0 || id >= t.n_edges then
+    invalid_arg
+      (Printf.sprintf "Pag.edge_of_id: id %d out of range (0..%d)" id
+         (t.n_edges - 1));
+  let b1, b2, b3, b4, b5, b6 = edge_bases t in
+  if id < b1 then
+    let dst = row_of t.new_in id in
+    New { dst; obj = t.new_in.dat.(id) }
+  else if id < b2 then
+    let k = id - b1 in
+    let dst = row_of t.assign_in k in
+    Assign { dst; src = t.assign_in.dat.(k) }
+  else if id < b3 then
+    let k = id - b2 in
+    let dst = row_of t.gassign_in k in
+    Assign_global { dst; src = t.gassign_in.dat.(k) }
+  else if id < b4 then
+    let k = id - b3 in
+    let dst = row_of t.load_in k in
+    let d = t.load_in.dat.(k) in
+    Load { dst; base = Pack.lo d; field = Pack.hi d }
+  else if id < b5 then
+    let k = id - b4 in
+    let src = row_of t.store_out k in
+    let d = t.store_out.dat.(k) in
+    Store { base = Pack.lo d; field = Pack.hi d; src }
+  else if id < b6 then
+    let k = id - b5 in
+    let dst = row_of t.param_in k in
+    let d = t.param_in.dat.(k) in
+    Param { dst; site = Pack.hi d; src = Pack.lo d }
+  else
+    let k = id - b6 in
+    let dst = row_of t.ret_in k in
+    let d = t.ret_in.dat.(k) in
+    Ret { dst; site = Pack.hi d; src = Pack.lo d }
+
+let has_edge t e = edge_id t e <> None
+
 let iter_direct_neighbors t v f =
   iter_row t.assign_in v f;
   iter_row t.assign_out v f;

@@ -186,6 +186,28 @@ val loads_of_field : t -> field -> (var * var) array
 val n_fields : t -> int
 (** Upper bound on field ids occurring in the graph plus one. *)
 
+(** {1 Stable edge ids}
+
+    A dense numbering of the frozen graph's edges in {!iter_edges} relation
+    order (new, assign, gassign, load, store, param, ret): an edge's id is
+    its relation's cumulative base plus its position in the relation's
+    in-side CSR payload ([store] keyed by source, everything else by
+    destination). Ids cover [0 .. n_edges-1], never change after
+    {!Build.freeze}, and are the currency of the provenance/witness index
+    ({!Parcfl_provenance.Index}). Cold path only — resolution scans one CSR
+    row ({!edge_id}) or binary-searches the offsets ({!edge_of_id}). *)
+
+val edge_id : t -> edge -> int option
+(** The edge's stable id, or [None] when no such edge exists in the
+    graph. Duplicate parallel edges resolve to the first occurrence. *)
+
+val edge_of_id : t -> int -> edge
+(** Inverse of {!edge_id} (for the first occurrence of a duplicate).
+    @raise Invalid_argument when the id is outside [0 .. n_edges-1]. *)
+
+val has_edge : t -> edge -> bool
+(** [edge_id t e <> None] — membership test for witness replay. *)
+
 (** {1 Whole-graph iteration} *)
 
 val iter_edges : t -> (edge -> unit) -> unit

@@ -1,0 +1,123 @@
+(* Var -> sorted-int postings, byte-budgeted with LRU shedding. The index
+   is cold-path (populated and read by the `explain` verb, consulted by
+   invalidation), so eviction is a plain min-tick scan rather than an
+   intrusive list — simpler, and n is small by construction: the budget
+   caps how many postings can be resident. *)
+
+type entry = {
+  e_deps : int array; (* sorted unique stable edge ids *)
+  mutable e_tick : int; (* recency stamp; larger = more recent *)
+}
+
+type t = {
+  budget : int;
+  mutable gen : int;
+  tbl : (int, entry) Hashtbl.t; (* var -> entry *)
+  mutable bytes : int;
+  mutable tick : int;
+  mutable sheds : int;
+}
+
+let default_byte_budget = 1 lsl 20
+
+(* Accounted footprint of one entry: the postings array (header + 8 bytes
+   per id) plus a flat allowance for the entry record and its table slot. *)
+let entry_bytes deps = 48 + (8 * Array.length deps)
+
+let create ?(byte_budget = default_byte_budget) ~generation () =
+  if byte_budget <= 0 then
+    invalid_arg "Provenance.Index.create: non-positive byte budget";
+  {
+    budget = byte_budget;
+    gen = generation;
+    tbl = Hashtbl.create 64;
+    bytes = 0;
+    tick = 0;
+    sheds = 0;
+  }
+
+let remove t var =
+  match Hashtbl.find_opt t.tbl var with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.tbl var;
+      t.bytes <- t.bytes - entry_bytes e.e_deps
+
+(* Shed the least-recently-used entry; returns false on an empty index. *)
+let shed_one t =
+  let victim = ref (-1) and best = ref max_int in
+  Hashtbl.iter
+    (fun var e ->
+      if e.e_tick < !best then begin
+        best := e.e_tick;
+        victim := var
+      end)
+    t.tbl;
+  if !victim < 0 then false
+  else begin
+    remove t !victim;
+    t.sheds <- t.sheds + 1;
+    true
+  end
+
+let record t ~var deps =
+  let cost = entry_bytes deps in
+  if Array.length deps = 0 || cost > t.budget then begin
+    (* Refused outright: nothing to invalidate on, or it could never fit.
+       Count the over-budget case as a shed so telemetry shows it. *)
+    if cost > t.budget then t.sheds <- t.sheds + 1;
+    false
+  end
+  else begin
+    remove t var;
+    while t.bytes + cost > t.budget && shed_one t do
+      ()
+    done;
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.tbl var { e_deps = deps; e_tick = t.tick };
+    t.bytes <- t.bytes + cost;
+    true
+  end
+
+let deps t ~var =
+  match Hashtbl.find_opt t.tbl var with
+  | None -> None
+  | Some e ->
+      t.tick <- t.tick + 1;
+      e.e_tick <- t.tick;
+      Some e.e_deps
+
+let mem t ~var = Hashtbl.mem t.tbl var
+
+let contains deps x =
+  let lo = ref 0 and hi = ref (Array.length deps - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = deps.(mid) in
+    if v = x then found := true else if v < x then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let keys_touching t ~edge_id =
+  Hashtbl.fold
+    (fun var e acc -> if contains e.e_deps edge_id then var :: acc else acc)
+    t.tbl []
+  |> List.sort compare
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.bytes <- 0
+
+let note_generation t g =
+  if g <> t.gen then begin
+    clear t;
+    t.gen <- g
+  end
+
+let generation t = t.gen
+let entries t = Hashtbl.length t.tbl
+let bytes t = t.bytes
+let byte_budget t = t.budget
+let sheds t = t.sheds
+let iter f t = Hashtbl.iter (fun var e -> f var e.e_deps) t.tbl

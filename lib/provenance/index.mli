@@ -1,0 +1,83 @@
+(** Bounded witness/dependency index.
+
+    For every answer the service has explained, the index remembers the
+    answer's {e dependency footprint}: the set of PAG edges its traced
+    derivation touched, as sorted-unique stable edge ids over the frozen
+    graph's CSR numbering ({!Parcfl_pag.Pag.edge_id}). Two queries drive
+    it:
+
+    + forward — [deps v]: which edges does [v]'s cached answer depend on
+      (rendered in the `explain` wire reply);
+    + reverse — [keys_touching ~edge_id]: which indexed answers does this
+      edge support. This is the map ROADMAP item 1's delta layer consults
+      for dependency-scoped invalidation: on [remove_edge e], only the
+      answers whose postings contain [e]'s id need re-deriving, instead of
+      nuking the whole cache.
+
+    Memory is capped by a byte budget. Postings are compact (one boxed
+    [int array] per answer, 8 bytes per id plus a fixed per-entry
+    overhead); when an insert would exceed the budget the
+    least-recently-used entries are shed, oldest first, and the shed count
+    is exported ({!sheds}) so an undersized index is visible in telemetry
+    rather than silent. A footprint larger than the whole budget is
+    refused outright (counted as a shed).
+
+    Entries are tagged with the PAG generation they were derived against;
+    {!note_generation} with a newer generation clears the index, exactly
+    like the service cache. Single-writer (the service pump thread); not
+    thread-safe. *)
+
+type t
+
+val default_byte_budget : int
+(** 1 MiB. *)
+
+val create : ?byte_budget:int -> generation:int -> unit -> t
+(** @raise Invalid_argument on a non-positive byte budget. *)
+
+val record : t -> var:int -> int array -> bool
+(** [record t ~var deps] indexes [var]'s answer footprint, replacing any
+    previous entry, marking it most recently used, and shedding LRU
+    entries until the index fits its budget. [deps] must be sorted
+    ascending and duplicate-free (as {!Parcfl_cfl.Solver.explain_deps}
+    returns); ownership transfers to the index. Returns [false] when the
+    footprint alone exceeds the whole budget and was refused. Empty
+    footprints are refused too ([false]): an answer with no recorded
+    derivation has nothing to invalidate on. *)
+
+val deps : t -> var:int -> int array option
+(** The indexed footprint (borrowed — do not mutate), marking the entry
+    most recently used. *)
+
+val mem : t -> var:int -> bool
+(** Membership without touching recency. *)
+
+val keys_touching : t -> edge_id:int -> int list
+(** Ascending list of indexed vars whose footprint contains [edge_id] —
+    one binary search per entry; cold path. Does not touch recency. *)
+
+val note_generation : t -> int -> unit
+(** Adopt a new PAG generation: when it differs from the index's, every
+    entry is dropped (not counted as sheds) — a re-frozen graph renumbers
+    edges, so stale postings are meaningless. *)
+
+val generation : t -> int
+
+val entries : t -> int
+(** Indexed answers. *)
+
+val bytes : t -> int
+(** Bytes currently accounted against the budget. *)
+
+val byte_budget : t -> int
+
+val sheds : t -> int
+(** Entries evicted by the byte budget since creation (generation clears
+    excluded). *)
+
+val clear : t -> unit
+(** Drop every entry (does not count as sheds, keeps the generation). *)
+
+val iter : (int -> int array -> unit) -> t -> unit
+(** [iter f t] applies [f var deps] to every entry, unspecified order,
+    postings borrowed. *)

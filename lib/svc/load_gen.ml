@@ -81,6 +81,7 @@ let classify tally = function
   | Ok (Protocol.Stats_reply _) | Ok (Protocol.Metrics_reply _)
   | Ok (Protocol.Slowlog_reply _) | Ok (Protocol.Health_reply _)
   | Ok (Protocol.Drained _) | Ok (Protocol.Snapshot_reply _)
+  | Ok (Protocol.Explain_reply _)
   | Error _ ->
       tally.errors <- tally.errors + 1
 

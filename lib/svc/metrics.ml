@@ -24,6 +24,8 @@ type counter =
   | Oracle_hit
   | Oracle_miss
   | Oracle_fallback
+  | Explain_ok
+  | Explain_miss
 
 let all =
   [
@@ -31,7 +33,7 @@ let all =
     Timeout_deadline; Batches; Batched_queries; Coalesced; Flush_full;
     Flush_window; Flush_forced; Sched_groups; Early_terms; Stage_queue_us;
     Stage_batch_us; Stage_solve_us; Stage_respond_us; Oracle_hit;
-    Oracle_miss; Oracle_fallback;
+    Oracle_miss; Oracle_fallback; Explain_ok; Explain_miss;
   ]
 
 let index = function
@@ -57,6 +59,8 @@ let index = function
   | Oracle_hit -> 19
   | Oracle_miss -> 20
   | Oracle_fallback -> 21
+  | Explain_ok -> 22
+  | Explain_miss -> 23
 
 let name = function
   | Admitted -> "admitted"
@@ -81,6 +85,8 @@ let name = function
   | Oracle_hit -> "oracle_hits"
   | Oracle_miss -> "oracle_misses"
   | Oracle_fallback -> "oracle_fallbacks"
+  | Explain_ok -> "explains_ok"
+  | Explain_miss -> "explains_miss"
 
 type t = { counters : Counter.t array; created : float }
 

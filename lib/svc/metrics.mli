@@ -35,6 +35,10 @@ type counter =
   | Oracle_fallback
       (** oracle tier enabled but no live oracle (context-sensitive
           engine, generation died, or never built) — fell through *)
+  | Explain_ok  (** [explain] requests that produced a witness chain *)
+  | Explain_miss
+      (** [explain] requests whose object was not in the variable's
+          points-to set within budget (no witness) *)
 
 val all : counter list
 (** Every counter, in a fixed order (the [stats] field order). *)

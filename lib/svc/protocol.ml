@@ -12,6 +12,7 @@ type request =
              carries the client-visible id here so both sides' trace
              lanes speak one request id *)
     }
+  | Explain of { id : int; var : string; obj : string }
   | Stats of int
   | Metrics of int
   | Slowlog of { id : int; limit : int option }
@@ -80,12 +81,17 @@ let parse_request line =
             (fun (budget, deadline_ms, trace) ->
               Query { id; var; budget; deadline_ms; trace })
             (List.fold_left parse_option (Ok (None, None, None)) opts))
+  | [ "explain"; id; var; obj ] ->
+      Result.map
+        (fun id -> Explain { id; var; obj })
+        (int_of_token "explain id" id)
   | [] -> Error "empty request"
   | verb :: _ ->
       Error
         (Printf.sprintf
            "unknown request %S \
-            (want query|stats|metrics|slowlog|health|drain|snapshot|ping|quit)"
+            (want \
+            query|explain|stats|metrics|slowlog|health|drain|snapshot|ping|quit)"
            verb)
 
 let request_to_string = function
@@ -112,6 +118,7 @@ let request_to_string = function
           | Some t -> Printf.sprintf " trace=%d" t
           | None -> "");
         ]
+  | Explain { id; var; obj } -> Printf.sprintf "explain %d %s %s" id var obj
 
 type timeout_reason = [ `Budget | `Deadline ]
 
@@ -138,6 +145,15 @@ type response =
   | Stats_reply of { id : int; stats : Json.t }
   | Metrics_reply of { id : int; body : string }
   | Slowlog_reply of { id : int; entries : Json.t }
+  | Explain_reply of {
+      id : int;
+      var : string;
+      obj : string;
+      found : bool;
+      depth : int;
+      latency_us : float;
+      chain : Json.t;
+    }
   | Health_reply of { id : int; healthy : bool; reasons : string list }
   | Drained of { id : int; completed : int }
   | Snapshot_reply of {
@@ -206,6 +222,18 @@ let response_to_json = function
           ("id", Json.Int id);
           ("status", Json.String "slowlog");
           ("entries", entries);
+        ]
+  | Explain_reply { id; var; obj; found; depth; latency_us; chain } ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("status", Json.String "explain");
+          ("var", Json.String var);
+          ("obj", Json.String obj);
+          ("found", Json.Bool found);
+          ("depth", Json.Int depth);
+          ("latency_us", Json.Float latency_us);
+          ("chain", chain);
         ]
   | Health_reply { id; healthy; reasons } ->
       Json.Obj
@@ -329,6 +357,15 @@ let response_of_json j =
       let* id = require "id" (member_int "id" j) in
       let* entries = require "entries" (Json.member "entries" j) in
       Ok (Slowlog_reply { id; entries })
+  | "explain" ->
+      let* id = require "id" (member_int "id" j) in
+      let* var = require "var" (member_string "var" j) in
+      let* obj = require "obj" (member_string "obj" j) in
+      let* found = require "found" (member_bool "found" j) in
+      let* depth = require "depth" (member_int "depth" j) in
+      let* latency_us = require "latency_us" (member_float "latency_us" j) in
+      let* chain = require "chain" (Json.member "chain" j) in
+      Ok (Explain_reply { id; var; obj; found; depth; latency_us; chain })
   | "health" ->
       let* id = require "id" (member_int "id" j) in
       let* state = require "health" (member_string "health" j) in
@@ -368,6 +405,7 @@ let response_of_string s = Result.bind (Json.of_string s) response_of_json
 
 let request_id = function
   | Query { id; _ }
+  | Explain { id; _ }
   | Stats id
   | Metrics id
   | Slowlog { id; _ }
@@ -386,6 +424,7 @@ let response_id = function
   | Stats_reply { id; _ }
   | Metrics_reply { id; _ }
   | Slowlog_reply { id; _ }
+  | Explain_reply { id; _ }
   | Health_reply { id; _ }
   | Drained { id; _ }
   | Snapshot_reply { id; _ } ->

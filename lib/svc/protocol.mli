@@ -10,6 +10,7 @@
 
     {v
     query <id> <var> [budget=<steps>] [deadline_ms=<float>] [trace=<id>]
+    explain <id> <var> <obj>
     stats <id>
     metrics <id>
     slowlog <id> [<limit>]
@@ -21,9 +22,9 @@
     v}
 
     [<var>] is either [#<n>] — PAG variable id [n] — or a variable name
-    resolved by exact match against the loaded PAG. [<id>] is an arbitrary
-    client-chosen integer echoed back in the response so clients can
-    pipeline requests. *)
+    resolved by exact match against the loaded PAG; [<obj>] is the same for
+    allocation-site (object) names. [<id>] is an arbitrary client-chosen
+    integer echoed back in the response so clients can pipeline requests. *)
 
 type request =
   | Query of {
@@ -38,6 +39,11 @@ type request =
               the server's trace lane adopts it so one request id names
               the same work on both sides of the hop *)
     }
+  | Explain of { id : int; var : string; obj : string }
+      (** answer provenance: re-derive "why does [var] point to [obj]?"
+          with witness tracing and return the edge chain; answered
+          synchronously (cold path — the re-derivation shares nothing with
+          the hot answer tiers) *)
   | Stats of int  (** service counters snapshot *)
   | Metrics of int  (** Prometheus text exposition of the full registry *)
   | Slowlog of { id : int; limit : int option }
@@ -104,6 +110,23 @@ type response =
           string so the response still fits on one line *)
   | Slowlog_reply of { id : int; entries : Parcfl_obs.Json.t }
       (** a JSON list, worst query first (see {!Slowlog.to_json}) *)
+  | Explain_reply of {
+      id : int;
+      var : string;  (** the variable's name in the loaded PAG *)
+      obj : string;  (** the object's name in the loaded PAG *)
+      found : bool;
+          (** [false] when [obj] is not in [var]'s points-to set within
+              budget — [chain] is then the empty list *)
+      depth : int;  (** witness chain depth (steps, query variable first) *)
+      latency_us : float;  (** wall-clock of the traced re-derivation *)
+      chain : Parcfl_obs.Json.t;
+          (** JSON list of edge objects in traversal order (query variable
+              towards the allocation) — each carries the edge [kind], its
+              stable [edge] id over the frozen PAG's numbering, endpoint
+              names, [field]/[site] where the kind has one, and [ctx]: the
+              context frames (call-site stack, top first) the traversal
+              held when it crossed the edge *)
+    }
   | Health_reply of { id : int; healthy : bool; reasons : string list }
       (** serialised with ["health": "ok" | "degraded"]; [reasons] name
           stalled workers / queue starvation (empty when healthy) *)

@@ -1,6 +1,9 @@
 module Pag = Parcfl_pag.Pag
+module Ctx = Parcfl_pag.Ctx
 module Config = Parcfl_cfl.Config
 module Query = Parcfl_cfl.Query
+module Solver = Parcfl_cfl.Solver
+module Provenance = Parcfl_provenance.Index
 module Mode = Parcfl_par.Mode
 module Report = Parcfl_par.Report
 module Json = Parcfl_obs.Json
@@ -25,6 +28,7 @@ type config = {
   slowlog_capacity : int;
   wd_stall_s : float;
   wd_starvation_s : float;
+  witness_bytes : int;
 }
 
 let default_config =
@@ -44,6 +48,7 @@ let default_config =
     slowlog_capacity = 32;
     wd_stall_s = Watchdog.default_config.Watchdog.wd_stall_s;
     wd_starvation_s = Watchdog.default_config.Watchdog.wd_starvation_s;
+    witness_bytes = Provenance.default_byte_budget;
   }
 
 type pending = {
@@ -71,6 +76,13 @@ type t = {
   watchdog : Watchdog.t;
   tracer : Tracer.t option;
   names : (string, Pag.var) Hashtbl.t;
+  obj_names : (string, Pag.obj) Hashtbl.t;
+  witness : Provenance.t;
+      (* the bounded witness/dependency index: per-answer PAG edge postings
+         recorded by the explain verb — the reverse map an incremental
+         invalidator (ROADMAP item 1) walks from a mutated edge *)
+  explain_hist : int array;  (* explain re-derivation latency, us, log2 *)
+  chain_hist : int array;  (* witness chain depth, log2 *)
   (* Cumulative service-lifetime histograms (log2 buckets), folded in from
      each batch report on the pump thread — no synchronisation needed. *)
   lat_hist : int array;
@@ -98,6 +110,14 @@ let index_names pag =
     (* First binding wins: resolution is deterministic when names repeat
        across methods; clients needing precision use the #id form. *)
     if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name v
+  done;
+  tbl
+
+let index_obj_names pag =
+  let tbl = Hashtbl.create 1024 in
+  for o = 0 to Pag.n_objs pag - 1 do
+    let name = Pag.obj_name pag o in
+    if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name o
   done;
   tbl
 
@@ -267,6 +287,30 @@ let register_collectors t =
           (stat (fun o ->
                float_of_int (Parcfl_oracle.Oracle.distinct_rows o)));
       ]);
+  (* Witness/dependency index (explain tier): the bounded per-answer PAG
+     edge postings plus the explain verb's own latency and chain-depth
+     histograms. *)
+  Registry.register t.registry (fun () ->
+      [
+        g ~name:"parcfl_witness_indexed_answers"
+          ~help:"Answers with a recorded dependency footprint"
+          (float_of_int (Provenance.entries t.witness));
+        g ~name:"parcfl_witness_postings_bytes"
+          ~help:"Bytes held by the sorted-int edge postings"
+          (float_of_int (Provenance.bytes t.witness));
+        g ~name:"parcfl_witness_byte_budget"
+          ~help:"Byte budget the postings are shed against"
+          (float_of_int (Provenance.byte_budget t.witness));
+        c ~name:"parcfl_witness_sheds_total"
+          ~help:"Postings dropped by LRU shedding or refused as oversized"
+          (float_of_int (Provenance.sheds t.witness));
+        Expo.histogram_of_log2 ~name:"parcfl_witness_chain_depth"
+          ~help:"Witness chain depth per successful explain (steps)"
+          t.chain_hist;
+        Expo.histogram_of_log2 ~name:"parcfl_witness_explain_latency_us"
+          ~help:"Wall microseconds per explain re-derivation"
+          t.explain_hist;
+      ]);
   (* Scheduler (lib/sched): groups and their sizes. *)
   Registry.register t.registry (fun () ->
       [
@@ -322,6 +366,12 @@ let create ?(config = default_config) ?tracer ~type_level pag =
           ~now:(Unix.gettimeofday ()) ();
       tracer;
       names = index_names pag;
+      obj_names = index_obj_names pag;
+      witness =
+        Provenance.create ~byte_budget:config.witness_bytes
+          ~generation:(Engine.generation engine) ();
+      explain_hist = Array.make buckets 0;
+      chain_hist = Array.make buckets 0;
       lat_hist = Array.make buckets 0;
       steps_hist = Array.make buckets 0;
       minor_words_hist = Array.make buckets 0;
@@ -377,6 +427,18 @@ let metrics_json t =
         | None -> Json.Null );
       ("threads", Json.Int (Engine.threads t.engine));
       ("mode", Json.String (Mode.to_string (Engine.mode t.engine)));
+      ( "witness",
+        Json.Obj
+          [
+            ("entries", Json.Int (Provenance.entries t.witness));
+            ("bytes", Json.Int (Provenance.bytes t.witness));
+            ("byte_budget", Json.Int (Provenance.byte_budget t.witness));
+            ("sheds", Json.Int (Provenance.sheds t.witness));
+            ( "explains_ok",
+              Json.Int (Metrics.get t.metrics Metrics.Explain_ok) );
+            ( "explains_miss",
+              Json.Int (Metrics.get t.metrics Metrics.Explain_miss) );
+          ] );
     ]
     @ (match Engine.oracle t.engine with
       | None -> [ ("oracle_live", Json.Int 0) ]
@@ -410,6 +472,22 @@ let resolve t name =
     match Hashtbl.find_opt t.names name with
     | Some v -> Ok v
     | None -> Error (Printf.sprintf "unknown variable %S" name)
+
+let resolve_obj t name =
+  let pag = Engine.pag t.engine in
+  let len = String.length name in
+  if len > 1 && name.[0] = '#' then
+    match int_of_string_opt (String.sub name 1 (len - 1)) with
+    | Some o when o >= 0 && o < Pag.n_objs pag -> Ok o
+    | Some o ->
+        Error
+          (Printf.sprintf "object id %d out of range (0..%d)" o
+             (Pag.n_objs pag - 1))
+    | None -> Error (Printf.sprintf "malformed object id %S" name)
+  else
+    match Hashtbl.find_opt t.obj_names name with
+    | Some o -> Ok o
+    | None -> Error (Printf.sprintf "unknown object %S" name)
 
 let object_names pag result =
   Query.objects result
@@ -453,8 +531,8 @@ let answer_of_outcome t ~id ~cached ~latency_us ~breakdown
         breakdown;
       }
 
-let note_slowlog t ~id ~var ~budget ~steps ~latency_us ~breakdown ~outcome
-    ~cached ~now =
+let note_slowlog t ~id ~trace ~var ~budget ~steps ~latency_us ~breakdown
+    ~outcome ~cached ~now =
   Slowlog.note t.slowlog
     {
       Slowlog.sl_id = id;
@@ -465,6 +543,7 @@ let note_slowlog t ~id ~var ~budget ~steps ~latency_us ~breakdown ~outcome
       sl_breakdown = breakdown;
       sl_outcome = outcome;
       sl_cached = cached;
+      sl_trace = trace;
       sl_at = now;
     }
 
@@ -503,6 +582,27 @@ let note_trace t p =
           rq_respond_us = c sp.Span.sp_respond_us;
         }
 
+(* A trace span for a request that never entered the pipeline (oracle-tier
+   hit, explain): the admit/batch/sched stamps all collapse onto the start
+   point so the rendered span shows zero queue and batch wait — the stage
+   arithmetic and the trace lane agree that no batch was formed. *)
+let note_point_trace t ~id ~trace ~var ~t0_us ~t1_us =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      let c = Tracer.of_epoch_us tr in
+      Tracer.note_request tr
+        {
+          Tracer.rq_id = Option.value trace ~default:id;
+          rq_var = var;
+          rq_admit_us = c t0_us;
+          rq_batch_us = c t0_us;
+          rq_sched_us = c t0_us;
+          rq_solve_start_us = c t0_us;
+          rq_solve_end_us = c t1_us;
+          rq_respond_us = c t1_us;
+        }
+
 (* Final accounting for an admitted request: stamp respond, collapse the
    span, feed the latency/stage aggregates, remember the worst in the
    flight recorder, note the trace span, deliver. Reporting the clamped
@@ -516,7 +616,7 @@ let finish t p ~respond_us ~steps ~outcome make_response =
   let latency_us = Span.total_us bd in
   observe_latency t latency_us;
   observe_stages t bd;
-  note_slowlog t ~id:p.p_id
+  note_slowlog t ~id:p.p_id ~trace:p.p_trace
     ~var:(Pag.var_name (Engine.pag t.engine) p.p_var)
     ~budget:p.p_budget ~steps ~latency_us ~breakdown:bd ~outcome
     ~cached:false ~now:(respond_us /. 1e6);
@@ -721,7 +821,7 @@ let shutdown t = Engine.shutdown t.engine
    asking for a budgeted approximation must get the solver's semantics.
    Latency is measured with its own wall-clock pair (never the service
    drive clock, which tests run logically), reported as pure solve time. *)
-let try_oracle t ~id ~var ~v ~respond =
+let try_oracle t ~id ~trace ~var ~v ~respond =
   match Engine.oracle t.engine with
   | None ->
       Metrics.incr t.metrics Metrics.Oracle_fallback;
@@ -732,6 +832,10 @@ let try_oracle t ~id ~var ~v ~respond =
       let latency_us = Float.max 0.0 ((Unix.gettimeofday () -. t0) *. 1e6) in
       Metrics.incr t.metrics Metrics.Oracle_hit;
       Metrics.incr t.metrics Metrics.Completed;
+      (* Tier answers never form a batch: every stage except solve is
+         pinned to 0 (never read from a Span, whose batch stamps would be
+         meaningless here), and the trace span collapses its queue/batch
+         points onto the start for the same reason. *)
       let breakdown =
         {
           Span.bd_queue_wait_us = 0.0;
@@ -742,16 +846,175 @@ let try_oracle t ~id ~var ~v ~respond =
       in
       observe_latency t latency_us;
       observe_stages t breakdown;
-      note_slowlog t ~id ~var ~budget:(Engine.max_budget t.engine) ~steps:0
-        ~latency_us ~breakdown ~outcome:"ok" ~cached:false
+      note_slowlog t ~id ~trace ~var ~budget:(Engine.max_budget t.engine)
+        ~steps:0 ~latency_us ~breakdown ~outcome:"ok" ~cached:false
         ~now:(t0 +. (latency_us /. 1e6));
+      note_point_trace t ~id ~trace ~var:v ~t0_us:(t0 *. 1e6)
+        ~t1_us:((t0 *. 1e6) +. latency_us);
       respond
         (answer_of_outcome t ~id ~cached:false ~latency_us ~breakdown outcome);
       true
 
+(* The wire chain: one JSON object per PAG edge the witness follows, in
+   traversal order (query variable towards the allocation). Each carries
+   the edge kind, its stable id over the frozen PAG's numbering
+   ({!Pag.edge_id}), endpoint names, the field/site where the kind has
+   one, and [ctx] — the context frames (call-site stack, top first) the
+   traversal held when it crossed the edge. A heap step expands to its
+   matched load/store pair; the chain closes with the holder's allocation
+   edge. *)
+let chain_json t (w : Solver.Witness.t) =
+  let open Solver.Witness in
+  let pag = Engine.pag t.engine in
+  let store = Engine.ctx_store t.engine in
+  let vn v = Json.String (Pag.var_name pag v) in
+  let ctx_json c =
+    Json.List (List.map (fun s -> Json.Int s) (Ctx.to_list store c))
+  in
+  let edge kind e ctx fields =
+    let eid =
+      match Pag.edge_id pag e with Some i -> Json.Int i | None -> Json.Null
+    in
+    Json.Obj
+      (("kind", Json.String kind) :: ("edge", eid)
+      :: (fields @ [ ("ctx", ctx_json ctx) ]))
+  in
+  let rec go prev = function
+    | [] ->
+        [
+          edge "new"
+            (Pag.New { dst = prev.var; obj = w.obj })
+            w.obj_ctx
+            [
+              ("dst", vn prev.var);
+              ("obj", Json.String (Pag.obj_name pag w.obj));
+            ];
+        ]
+    | cur :: rest ->
+        let es =
+          match cur.via with
+          | Start -> []  (* malformed; replay rejects it *)
+          | Assign ->
+              [
+                edge "assign"
+                  (Pag.Assign { dst = prev.var; src = cur.var })
+                  cur.ctx
+                  [ ("dst", vn prev.var); ("src", vn cur.var) ];
+              ]
+          | Global ->
+              [
+                edge "assign_g"
+                  (Pag.Assign_global { dst = prev.var; src = cur.var })
+                  cur.ctx
+                  [ ("dst", vn prev.var); ("src", vn cur.var) ];
+              ]
+          | Param i ->
+              [
+                edge "param"
+                  (Pag.Param { dst = prev.var; site = i; src = cur.var })
+                  cur.ctx
+                  [
+                    ("dst", vn prev.var); ("src", vn cur.var);
+                    ("site", Json.Int i);
+                  ];
+              ]
+          | Ret i ->
+              [
+                edge "ret"
+                  (Pag.Ret { dst = prev.var; site = i; src = cur.var })
+                  cur.ctx
+                  [
+                    ("dst", vn prev.var); ("src", vn cur.var);
+                    ("site", Json.Int i);
+                  ];
+              ]
+          | Heap { field; load_base; store_base } ->
+              [
+                edge "load"
+                  (Pag.Load { dst = prev.var; base = load_base; field })
+                  cur.ctx
+                  [
+                    ("dst", vn prev.var); ("base", vn load_base);
+                    ("field", Json.Int field);
+                  ];
+                edge "store"
+                  (Pag.Store { base = store_base; field; src = cur.var })
+                  cur.ctx
+                  [
+                    ("base", vn store_base); ("src", vn cur.var);
+                    ("field", Json.Int field);
+                  ];
+              ]
+        in
+        es @ go cur rest
+  in
+  Json.List (match w.steps with [] -> [] | first :: rest -> go first rest)
+
+let observe_log2 hist v =
+  let b = Histogram.bucket ~buckets:(Array.length hist) (max 0 v) in
+  hist.(b) <- hist.(b) + 1
+
+(* The explain verb's engine side: re-derive with tracing, answer with the
+   chain, and feed the witness/dependency index with the derivation's PAG
+   edge footprint (the reverse map ROADMAP item 1's invalidator needs).
+   Synchronous and cold by design — the re-derivation shares nothing with
+   the hot answer tiers, so the serve path costs nothing for it. *)
+let explain t ~id ~var ~obj ~respond =
+  match resolve t var with
+  | Error reason -> respond (Protocol.Error { id = Some id; reason })
+  | Ok v -> (
+      match resolve_obj t obj with
+      | Error reason -> respond (Protocol.Error { id = Some id; reason })
+      | Ok o ->
+          let t0 = Unix.gettimeofday () in
+          let w, deps = Engine.explain t.engine ~var:v ~obj:o in
+          let t1 = Unix.gettimeofday () in
+          let latency_us = Float.max 0.0 ((t1 -. t0) *. 1e6) in
+          Provenance.note_generation t.witness (Engine.generation t.engine);
+          if Array.length deps > 0 then
+            ignore (Provenance.record t.witness ~var:v deps);
+          observe_log2 t.explain_hist (int_of_float latency_us);
+          note_point_trace t ~id ~trace:None ~var:v ~t0_us:(t0 *. 1e6)
+            ~t1_us:(t1 *. 1e6);
+          let var_name = Pag.var_name (Engine.pag t.engine) v in
+          let obj_name = Pag.obj_name (Engine.pag t.engine) o in
+          let reply =
+            match w with
+            | Some w ->
+                Metrics.incr t.metrics Metrics.Explain_ok;
+                let depth = Solver.Witness.depth w in
+                observe_log2 t.chain_hist depth;
+                Protocol.Explain_reply
+                  {
+                    id;
+                    var = var_name;
+                    obj = obj_name;
+                    found = true;
+                    depth;
+                    latency_us;
+                    chain = chain_json t w;
+                  }
+            | None ->
+                Metrics.incr t.metrics Metrics.Explain_miss;
+                Protocol.Explain_reply
+                  {
+                    id;
+                    var = var_name;
+                    obj = obj_name;
+                    found = false;
+                    depth = 0;
+                    latency_us;
+                    chain = Json.List [];
+                  }
+          in
+          respond reply)
+
+let witness_index t = t.witness
+
 let submit t ~now ~respond req =
   match req with
   | Protocol.Ping id -> respond (Protocol.Pong id)
+  | Protocol.Explain { id; var; obj } -> explain t ~id ~var ~obj ~respond
   | Protocol.Stats id ->
       respond (Protocol.Stats_reply { id; stats = metrics_json t })
   | Protocol.Metrics id ->
@@ -793,7 +1056,7 @@ let submit t ~now ~respond req =
       | Error reason -> respond (Protocol.Error { id = Some id; reason })
       | Ok v
         when t.oracle_enabled && budget = None && deadline_ms = None
-             && try_oracle t ~id ~var ~v ~respond ->
+             && try_oracle t ~id ~trace ~var ~v ~respond ->
           ()
       | Ok v -> (
           (* Tier enabled but this request went past it. A refined request
@@ -823,7 +1086,7 @@ let submit t ~now ~respond req =
                     "ok"
               in
               observe_latency t 0.0;
-              note_slowlog t ~id ~var ~budget:eff
+              note_slowlog t ~id ~trace ~var ~budget:eff
                 ~steps:outcome.Query.steps_used ~latency_us:0.0
                 ~breakdown:Span.zero ~outcome:outcome_str ~cached:true ~now;
               respond resp

@@ -9,6 +9,7 @@ type entry = {
   sl_breakdown : Span.breakdown;
   sl_outcome : string;
   sl_cached : bool;
+  sl_trace : int option;
   sl_at : float;
 }
 
@@ -71,8 +72,11 @@ let entry_to_json e =
     @ [
         ("outcome", Json.String e.sl_outcome);
         ("cached", Json.Bool e.sl_cached);
-        ("at", Json.Float e.sl_at);
-      ])
+      ]
+    @ (match e.sl_trace with
+      | Some tid -> [ ("trace", Json.Int tid) ]
+      | None -> [])
+    @ [ ("at", Json.Float e.sl_at) ])
 
 let to_json ?limit t = Json.List (List.map entry_to_json (worst ?limit t))
 

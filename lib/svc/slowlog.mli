@@ -21,6 +21,10 @@ type entry = {
           enter the pipeline) *)
   sl_outcome : string;  (** ["ok"], ["timeout_budget"], ["timeout_deadline"] *)
   sl_cached : bool;  (** answered from the result cache *)
+  sl_trace : int option;
+      (** the client's [trace=] request id when a proxy (the cluster
+          router) rewrote [sl_id] — lets a flight-recorder row be joined
+          against the Chrome trace lanes, which speak the client's id *)
   sl_at : float;  (** completion time, epoch seconds *)
 }
 

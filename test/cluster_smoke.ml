@@ -194,6 +194,37 @@ let () =
     | r -> fail "warm-up expected an answer, got %s" (Proto.response_to_string r)
   done;
 
+  (* Provenance through the router: explain is shard-affine — it must
+     reach the replica that owns the variable and come back with a chain
+     the library witness agrees with. *)
+  let explain_var = var_of 0 in
+  let explain_obj =
+    match
+      P.Query.objects
+        (P.Solver.points_to session explain_var).P.Query.result
+    with
+    | o :: _ -> o
+    | [] -> fail "warm-up variable %d has an empty points-to set" explain_var
+  in
+  send
+    (Proto.Explain
+       {
+         id = 8100;
+         var = Printf.sprintf "#%d" explain_var;
+         obj = Printf.sprintf "#%d" explain_obj;
+       });
+  (match recv () with
+  | Proto.Explain_reply
+      { id = 8100; found = true; depth; chain = P.Json.List edges; _ } -> (
+      if edges = [] then fail "routed explain sent no chain";
+      match P.Solver.explain session explain_var explain_obj with
+      | None -> fail "library explain lost the routed fact"
+      | Some w ->
+          if P.Solver.Witness.depth w <> depth then
+            fail "routed depth %d, library depth %d" depth
+              (P.Solver.Witness.depth w))
+  | r -> fail "expected routed explain, got %s" (Proto.response_to_string r));
+
   (* No query is in flight now, so per-replica counts are stable: the
      router's federated scrape must equal the sum of direct scrapes. *)
   let r0 = parse_exposition "replica 0" (scrape_metrics (sock ^ ".r0")) in
@@ -234,6 +265,21 @@ let () =
          (fun f -> P.Expo.family_name f = "parcfl_router_routed_total")
          fed)
   then fail "router families missing from the federated scrape";
+  (* The witness index shows in the federated scrape: a per-replica
+     gauge, and the explain above indexed one answer somewhere. *)
+  let witness_entries =
+    List.concat_map
+      (function
+        | P.Expo.Gauge { name = "parcfl_witness_indexed_answers"; samples; _ }
+          ->
+            List.map (fun s -> s.P.Expo.value) samples
+        | _ -> [])
+      fed
+  in
+  if witness_entries = [] then
+    fail "parcfl_witness_indexed_answers missing from the federated scrape";
+  if List.fold_left ( +. ) 0.0 witness_entries < 1.0 then
+    fail "routed explain left no indexed answer in the federated scrape";
 
   (* ------------- phase 2: failover under pipelined load -------------- *)
 

@@ -152,6 +152,61 @@ let () =
       if List.length l > 2 then fail "slowlog ignored the limit"
   | r -> fail "expected slowlog, got %s" (Proto.response_to_string r));
 
+  (* Provenance over the wire: explain one (var, obj) fact and hold the
+     served chain to the library's own witness for the same pair — same
+     depth, same stable edge ids, and the chain must replay. *)
+  let explain_session =
+    P.Solver.make_session ~config:P.Config.default
+      ~ctx_store:(P.Ctx.create_store ()) bench.P.Suite.pag
+  in
+  let explain_obj =
+    match
+      P.Query.objects (P.Solver.points_to explain_session v0).P.Query.result
+    with
+    | o :: _ -> o
+    | [] -> fail "query variable %d has an empty points-to set" v0
+  in
+  send
+    (Proto.Explain
+       {
+         id = 25;
+         var = Printf.sprintf "#%d" v0;
+         obj = Printf.sprintf "#%d" explain_obj;
+       });
+  (match recv () with
+  | Proto.Explain_reply
+      { id = 25; found = true; depth; latency_us; chain = P.Json.List edges; _ }
+    -> (
+      if latency_us < 0.0 then fail "explain reports negative latency";
+      if edges = [] then fail "explain found the fact but sent no chain";
+      match P.Solver.explain explain_session v0 explain_obj with
+      | None -> fail "library explain lost the served fact"
+      | Some w ->
+          if P.Solver.Witness.depth w <> depth then
+            fail "wire depth %d, library depth %d" depth
+              (P.Solver.Witness.depth w);
+          (match
+             P.Solver.Witness.replay bench.P.Suite.pag ~query:v0 w
+           with
+          | Ok () -> ()
+          | Error e -> fail "library witness fails replay: %s" e);
+          let wire_ids =
+            List.filter_map
+              (fun e ->
+                match e with
+                | P.Json.Obj fields -> (
+                    match List.assoc_opt "edge" fields with
+                    | Some (P.Json.Int id) -> Some id
+                    | _ -> None)
+                | _ -> None)
+              edges
+          in
+          (match P.Solver.Witness.edge_ids bench.P.Suite.pag w with
+          | Ok ids when ids = wire_ids -> ()
+          | Ok _ -> fail "wire chain ids differ from the library witness"
+          | Error e -> fail "library chain has no ids: %s" e))
+  | r -> fail "expected explain reply, got %s" (Proto.response_to_string r));
+
   send Proto.Quit;
   close_out oc;
   let _, status = Unix.waitpid [] pid in

@@ -350,6 +350,37 @@ let test_federation_slowlog_order_and_limit () =
         (List.map replica entries)
   | _ -> Alcotest.fail "slowlog merge returns a list"
 
+let test_federation_health () =
+  (* All live replicas ok: the cluster is ok, no reasons. *)
+  Alcotest.(check (pair bool (list string)))
+    "all ok" (true, [])
+    (F.merge_health [ (0, true, []); (1, true, []) ]);
+  (* One degraded replica degrades the cluster; its reasons survive,
+     tagged with the replica that reported them. *)
+  let healthy, reasons =
+    F.merge_health
+      [ (0, true, []); (2, false, [ "worker 0 stalled"; "queue starvation" ]) ]
+  in
+  Alcotest.(check bool) "one bad replica flips the verdict" false healthy;
+  Alcotest.(check (list string))
+    "reasons tagged with their replica"
+    [ "replica=\"2\": worker 0 stalled"; "replica=\"2\": queue starvation" ]
+    reasons;
+  (* No replies at all is not health — it is silence. *)
+  Alcotest.(check bool) "empty gather is not healthy" false
+    (fst (F.merge_health []));
+  (* Drained-replica notes inform but never flip the verdict: drained
+     replicas are not live, so their absence is expected. *)
+  let healthy, reasons =
+    F.merge_health ~drained:[ "replica 1 (127.0.0.1:7001) drained" ]
+      [ (0, true, []) ]
+  in
+  Alcotest.(check bool) "drained notes keep the cluster ok" true healthy;
+  Alcotest.(check (list string))
+    "drained notes prepended"
+    [ "replica 1 (127.0.0.1:7001) drained" ]
+    reasons
+
 (* ---------------------------- failover ---------------------------- *)
 
 let test_failover_drain_and_readmit () =
@@ -442,6 +473,8 @@ let suite =
         test_federation_kind_mismatch_rejected;
       Alcotest.test_case "federation stats totals" `Quick
         test_federation_stats_totals;
+      Alcotest.test_case "federation health verdict" `Quick
+        test_federation_health;
       Alcotest.test_case "federation slowlog order" `Quick
         test_federation_slowlog_order_and_limit;
       Alcotest.test_case "failover drain/readmit" `Quick

@@ -22,6 +22,8 @@ let test_request_round_trip () =
       Proto.Slowlog { id = 5; limit = None };
       Proto.Slowlog { id = 6; limit = Some 10 };
       Proto.Health 8;
+      Proto.Explain { id = 12; var = "#5"; obj = "#2" };
+      Proto.Explain { id = 13; var = "Main.x"; obj = "Main.Obj/3" };
       Proto.Drain 9;
       Proto.Snapshot 10;
       Proto.Ping 7;
@@ -48,6 +50,7 @@ let test_request_errors () =
       "slowlog";
       "slowlog 1 -2"; "slowlog 1 x"; "health"; "health x";
       "drain"; "drain x"; "snapshot"; "snapshot x";
+      "explain"; "explain 1"; "explain 1 v"; "explain x v o";
     ]
 
 let breakdown =
@@ -100,6 +103,37 @@ let test_response_round_trip () =
           id = 9;
           entries =
             P.Json.List [ P.Json.Obj [ ("id", P.Json.Int 1) ] ];
+        };
+      Proto.Explain_reply
+        {
+          id = 14;
+          var = "v";
+          obj = "o";
+          found = true;
+          depth = 3;
+          latency_us = 42.0;
+          chain =
+            P.Json.List
+              [
+                P.Json.Obj
+                  [
+                    ("kind", P.Json.String "assign");
+                    ("edge", P.Json.Int 7);
+                    ("dst", P.Json.String "v");
+                    ("src", P.Json.String "w");
+                    ("ctx", P.Json.List []);
+                  ];
+              ];
+        };
+      Proto.Explain_reply
+        {
+          id = 15;
+          var = "v";
+          obj = "o";
+          found = false;
+          depth = 0;
+          latency_us = 1.0;
+          chain = P.Json.List [];
         };
       Proto.Health_reply { id = 10; healthy = true; reasons = [] };
       Proto.Health_reply

@@ -271,6 +271,7 @@ let entry ?(cached = false) ?(outcome = "ok") ~id ~lat ~at () =
       };
     sl_outcome = outcome;
     sl_cached = cached;
+    sl_trace = None;
     sl_at = at;
   }
 
